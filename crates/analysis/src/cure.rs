@@ -1,0 +1,171 @@
+//! Structural repair passes: minimum-memory insertion and the paper's
+//! deadlock cure.
+//!
+//! * [`enforce_min_memory`] realises the paper's central implementation
+//!   rule — *"we need to add at least one half or one full relay station
+//!   between two shells"* — by inserting a half station on every direct
+//!   shell-to-shell channel.
+//! * [`cure_deadlocks`] implements the remedy for half stations in
+//!   loops: simulate the skeleton past the transient ("either the
+//!   deadlock will show, or will be forever avoided"); while any shell
+//!   starves, substitute one half relay station inside a loop with a
+//!   full one — *"the cases that inject deadlocks can be cured by low
+//!   intrusive changes (adding/substituting few relay stations)"*.
+
+use lip_core::RelayKind;
+use lip_graph::topology::sccs;
+use lip_graph::{Netlist, NetlistError, NodeId, NodeKind};
+use lip_sim::measure::check_liveness;
+use lip_sim::LivenessReport;
+
+/// Insert a half relay station on every direct shell-to-shell channel.
+/// Returns the inserted node ids.
+pub fn enforce_min_memory(netlist: &mut Netlist) -> Vec<NodeId> {
+    let offending = netlist.shell_to_shell_channels();
+    offending
+        .into_iter()
+        .map(|ch| netlist.insert_relay_on_channel(ch, RelayKind::Half))
+        .collect()
+}
+
+/// Half relay stations that sit inside a directed cycle — the paper's
+/// deadlock suspects ("potential deadlocks iff half relay stations are
+/// present in loops").
+#[must_use]
+pub fn half_relays_in_loops(netlist: &Netlist) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for comp in sccs(netlist) {
+        let cyclic = comp.len() > 1
+            || comp
+                .first()
+                .is_some_and(|id| netlist.successors(*id).contains(id));
+        if !cyclic {
+            continue;
+        }
+        for id in comp {
+            if matches!(
+                netlist.node(id).kind(),
+                NodeKind::Relay { kind: RelayKind::Half }
+            ) {
+                out.push(id);
+            }
+        }
+    }
+    out
+}
+
+/// Outcome of [`cure_deadlocks`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CureReport {
+    /// Half stations substituted by full ones, in order.
+    pub substituted: Vec<NodeId>,
+    /// The final liveness verdict.
+    pub liveness: LivenessReport,
+}
+
+impl CureReport {
+    /// `true` when the cured system keeps every shell firing.
+    #[must_use]
+    pub fn is_live(&self) -> bool {
+        self.liveness.is_live()
+    }
+}
+
+/// Detect starvation/deadlock by skeleton-style simulation past the
+/// transient, and cure it by substituting half relay stations in loops
+/// with full ones, one at a time, re-checking after each substitution.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+pub fn cure_deadlocks(
+    netlist: &mut Netlist,
+    max_transient: u64,
+    fallback: u64,
+) -> Result<CureReport, NetlistError> {
+    let mut substituted = Vec::new();
+    loop {
+        let liveness = check_liveness(netlist, max_transient, fallback)?;
+        if liveness.is_live() {
+            return Ok(CureReport { substituted, liveness });
+        }
+        let suspects = half_relays_in_loops(netlist);
+        match suspects.first() {
+            Some(&id) => {
+                netlist.set_relay_kind(id, RelayKind::Full);
+                substituted.push(id);
+            }
+            None => return Ok(CureReport { substituted, liveness }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_core::pearl::IdentityPearl;
+    use lip_core::Pattern;
+    use lip_graph::generate;
+
+    #[test]
+    fn min_memory_inserts_on_shell_to_shell() {
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let a = n.add_shell("A", IdentityPearl::new());
+        let b = n.add_shell("B", IdentityPearl::new());
+        let out = n.add_sink("out");
+        n.chain(&[src, a, b, out]).unwrap();
+        assert_eq!(n.shell_to_shell_channels().len(), 1);
+        let inserted = enforce_min_memory(&mut n);
+        assert_eq!(inserted.len(), 1);
+        assert!(n.shell_to_shell_channels().is_empty());
+        n.validate().unwrap();
+        assert_eq!(n.census().half_relays, 1);
+    }
+
+    #[test]
+    fn min_memory_is_idempotent() {
+        let mut f = generate::fig1();
+        assert!(enforce_min_memory(&mut f.netlist).is_empty());
+    }
+
+    #[test]
+    fn half_relays_in_loops_are_found() {
+        let r = generate::ring(2, 2, RelayKind::Half);
+        assert_eq!(half_relays_in_loops(&r.netlist).len(), 2);
+        let r = generate::ring(2, 2, RelayKind::Full);
+        assert!(half_relays_in_loops(&r.netlist).is_empty());
+        // Half stations outside loops are not suspects.
+        let c = generate::chain(2, 1, RelayKind::Half);
+        assert!(half_relays_in_loops(&c.netlist).is_empty());
+    }
+
+    #[test]
+    fn live_systems_are_untouched() {
+        let mut f = generate::fig1();
+        let report = cure_deadlocks(&mut f.netlist, 1000, 1000).unwrap();
+        assert!(report.is_live());
+        assert!(report.substituted.is_empty());
+    }
+
+    #[test]
+    fn starved_half_ring_gets_substitutions() {
+        // A ring with half stations disturbed by a sink that stops half
+        // the time: if any shell starves, the cure must make it live (or
+        // conclude it is already live) while substituting at most all
+        // suspect stations.
+        let r = generate::ring_with_entry(
+            2,
+            2,
+            RelayKind::Half,
+            Pattern::Never,
+            Pattern::Cyclic(vec![true, false]),
+        );
+        let mut netlist = r.netlist;
+        let suspects_before = half_relays_in_loops(&netlist).len();
+        let report = cure_deadlocks(&mut netlist, 2000, 2000).unwrap();
+        assert!(report.substituted.len() <= suspects_before);
+        assert!(report.is_live() || half_relays_in_loops(&netlist).is_empty());
+        netlist.validate().unwrap();
+    }
+}

@@ -1,0 +1,230 @@
+//! The paper's closed-form throughput expressions, plus a general
+//! predictor combining them with the marked-graph model.
+
+use lip_graph::topology::{classify, TopologyClass};
+use lip_graph::{Netlist, NodeKind};
+use lip_sim::Ratio;
+
+use crate::model::{pattern_accept_rate, pattern_data_rate, MarkedGraph};
+
+/// Tree claim: "The throughput of each node ... is 1."
+#[must_use]
+pub fn tree_throughput() -> Ratio {
+    Ratio::new(1, 1)
+}
+
+/// Feedback-loop formula: "A maximum of `S` valid data can be present at
+/// a time, out of `S + R` positions. This justifies the number `S/(S+R)`
+/// for the maximum throughput."
+///
+/// # Panics
+///
+/// Panics if `shells == 0` (a loop of relay stations only is not a legal
+/// LID).
+#[must_use]
+pub fn loop_throughput(shells: usize, relays: usize) -> Ratio {
+    assert!(shells > 0, "a loop must contain at least one shell");
+    Ratio::new(shells as u64, (shells + relays) as u64)
+}
+
+/// Reconvergent feed-forward formula: `T = (m − i)/m`, where `i` is the
+/// relay-station imbalance between the converging branches and `m` is
+/// "the total number of relay stations in the loop, plus the number of
+/// shells on the path with the highest number of relay stations"
+/// (excluding the join shell, whose output register is outside the
+/// implicit loop).
+///
+/// For the paper's Fig. 1 instance (`loop_relays = 3`,
+/// `shells_on_long_branch = 2` — blocks A and B — and `imbalance = 1`):
+/// `m = 5` and `T = 4/5`.
+#[must_use]
+pub fn reconvergent_throughput(
+    loop_relays: usize,
+    shells_on_long_branch: usize,
+    imbalance: usize,
+) -> Ratio {
+    let m = (loop_relays + shells_on_long_branch) as u64;
+    if m == 0 {
+        return Ratio::new(1, 1);
+    }
+    let i = (imbalance as u64).min(m);
+    Ratio::new(m - i, m)
+}
+
+/// Predicted steady-state system throughput of an arbitrary legal
+/// netlist: the minimum of
+///
+/// * the marked-graph minimum cycle ratio (which subsumes the tree,
+///   reconvergent and loop formulas), and
+/// * every source's data rate and sink's acceptance rate (for periodic
+///   environment patterns).
+///
+/// Returns `None` when some environment pattern is aperiodic.
+#[must_use]
+pub fn predict_throughput(netlist: &Netlist) -> Option<Ratio> {
+    let mut best = MarkedGraph::new(netlist).min_cycle_ratio();
+    let less = |a: Ratio, b: Ratio| a.num() * b.den() < b.num() * a.den();
+    for (_, node) in netlist.nodes() {
+        let rate = match node.kind() {
+            NodeKind::Source { void_pattern } => pattern_data_rate(void_pattern)?,
+            NodeKind::Sink { stop_pattern } => pattern_accept_rate(stop_pattern)?,
+            _ => continue,
+        };
+        if less(rate, best) {
+            best = rate;
+        }
+    }
+    Some(best)
+}
+
+/// Which closed form applies to `netlist`, with its prediction — the
+/// paper's taxonomy made executable. The general
+/// [`predict_throughput`] agrees with the closed form on each family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClosedForm {
+    /// Tree: `T = 1`.
+    Tree,
+    /// Reconvergent feed-forward: `T = (m − i)/m`.
+    Reconvergent {
+        /// The `m` of the formula.
+        m: u64,
+        /// The imbalance `i`.
+        i: u64,
+    },
+    /// Feedback: `T = S/(S+R)` for the slowest loop.
+    Feedback {
+        /// Shells on the binding loop.
+        s: u64,
+        /// Relay stations on the binding loop.
+        r: u64,
+    },
+}
+
+impl ClosedForm {
+    /// The throughput this form predicts.
+    #[must_use]
+    pub fn throughput(self) -> Ratio {
+        match self {
+            ClosedForm::Tree => Ratio::new(1, 1),
+            ClosedForm::Reconvergent { m, i } => Ratio::new(m - i.min(m), m.max(1)),
+            ClosedForm::Feedback { s, r } => Ratio::new(s, s + r),
+        }
+    }
+}
+
+/// Classify `netlist` and instantiate the applicable closed form, using
+/// the slowest simple loop for feedback systems. Reconvergent systems
+/// fall back to the marked-graph ratio expressed as `(m − i)/m` in
+/// lowest terms.
+#[must_use]
+pub fn closed_form(netlist: &Netlist) -> ClosedForm {
+    match classify(netlist) {
+        TopologyClass::Tree => ClosedForm::Tree,
+        TopologyClass::ReconvergentFeedForward => {
+            let t = MarkedGraph::new(netlist).min_cycle_ratio();
+            ClosedForm::Reconvergent { m: t.den(), i: t.den() - t.num() }
+        }
+        TopologyClass::Feedback => {
+            let profiles = lip_graph::topology::cycle_profiles(netlist, 256);
+            let slowest = profiles
+                .iter()
+                .min_by(|a, b| {
+                    // Compare S/(S+R) as fractions.
+                    let (sa, ra) = (a.shells as u64, a.relays() as u64);
+                    let (sb, rb) = (b.shells as u64, b.relays() as u64);
+                    (sa * (sb + rb)).cmp(&(sb * (sa + ra)))
+                })
+                .expect("feedback topology has at least one cycle");
+            ClosedForm::Feedback {
+                s: slowest.shells as u64,
+                r: slowest.relays() as u64,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_core::{Pattern, RelayKind};
+    use lip_graph::generate;
+
+    #[test]
+    fn closed_form_values() {
+        assert_eq!(tree_throughput(), Ratio::new(1, 1));
+        assert_eq!(loop_throughput(2, 1), Ratio::new(2, 3));
+        assert_eq!(loop_throughput(3, 0), Ratio::new(1, 1));
+        // Fig. 1: 3 loop relays + shells A, B => m = 5; i = 1 => 4/5.
+        assert_eq!(reconvergent_throughput(3, 2, 1), Ratio::new(4, 5));
+        assert_eq!(reconvergent_throughput(0, 0, 0), Ratio::new(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shell")]
+    fn loop_throughput_rejects_shellless_loop() {
+        let _ = loop_throughput(0, 3);
+    }
+
+    #[test]
+    fn predictor_handles_environment_rates() {
+        // A plain wire limited by a sink that stops every 4th cycle.
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let sink = n.add_sink_with_pattern("out", Pattern::EveryNth { period: 4, phase: 0 });
+        n.connect(src, 0, sink, 0).unwrap();
+        assert_eq!(predict_throughput(&n), Some(Ratio::new(3, 4)));
+    }
+
+    #[test]
+    fn predictor_handles_void_sources() {
+        let mut n = Netlist::new();
+        let src = n.add_source_with_pattern("in", Pattern::EveryNth { period: 3, phase: 1 });
+        let sink = n.add_sink("out");
+        n.connect(src, 0, sink, 0).unwrap();
+        assert_eq!(predict_throughput(&n), Some(Ratio::new(2, 3)));
+    }
+
+    #[test]
+    fn predictor_returns_none_for_aperiodic() {
+        let mut n = Netlist::new();
+        let src = n.add_source_with_pattern("in", Pattern::Random { num: 1, denom: 2, seed: 3 });
+        let sink = n.add_sink("out");
+        n.connect(src, 0, sink, 0).unwrap();
+        assert_eq!(predict_throughput(&n), None);
+    }
+
+    #[test]
+    fn closed_forms_match_families() {
+        assert_eq!(closed_form(&generate::tree(2, 2, 1).netlist), ClosedForm::Tree);
+
+        let f = generate::fig1();
+        let cf = closed_form(&f.netlist);
+        assert_eq!(cf, ClosedForm::Reconvergent { m: 5, i: 1 });
+        assert_eq!(cf.throughput(), Ratio::new(4, 5));
+
+        let ring = generate::ring(2, 3, RelayKind::Full);
+        let cf = closed_form(&ring.netlist);
+        assert_eq!(cf, ClosedForm::Feedback { s: 2, r: 3 });
+        assert_eq!(cf.throughput(), Ratio::new(2, 5));
+    }
+
+    #[test]
+    fn closed_form_agrees_with_general_predictor() {
+        for (r1, r2, s) in [(1usize, 1usize, 1usize), (2, 1, 1), (2, 2, 1)] {
+            let f = generate::fork_join(r1, r2, s);
+            assert_eq!(
+                closed_form(&f.netlist).throughput(),
+                predict_throughput(&f.netlist).unwrap(),
+            );
+        }
+        for (s, r) in [(1usize, 2usize), (2, 1), (3, 2)] {
+            let ring = generate::ring(s, r, RelayKind::Full);
+            assert_eq!(
+                closed_form(&ring.netlist).throughput(),
+                predict_throughput(&ring.netlist).unwrap(),
+            );
+        }
+    }
+
+    use lip_graph::Netlist;
+}

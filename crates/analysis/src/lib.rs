@@ -1,0 +1,51 @@
+//! Performance analysis and structural optimisation of
+//! latency-insensitive designs — the quantitative half of the paper.
+//!
+//! * [`model`] — the marked-graph minimum-cycle-ratio model: exact
+//!   steady-state throughput of any legal netlist, generalising every
+//!   closed form in the paper;
+//! * [`formulas`] — the paper's closed forms: trees
+//!   (`T = 1`), reconvergent feed-forward (`T = (m − i)/m`), feedback
+//!   loops (`T = S/(S+R)`), plus [`predict_throughput`] combining the
+//!   model with environment rates;
+//! * [`transient`](mod@crate::transient) — the upfront transient-length
+//!   bound the deadlock recipe relies on;
+//! * [`equalize`](mod@crate::equalize) — path equalization by spare relay
+//!   stations;
+//! * [`cure`](mod@crate::cure) — minimum-memory insertion and the
+//!   half-station-in-loop deadlock cure.
+//!
+//! # Example
+//!
+//! Predict Fig. 1 without simulating, then confirm by simulation:
+//!
+//! ```
+//! use lip_analysis::predict_throughput;
+//! use lip_graph::generate;
+//! use lip_sim::{measure, Ratio};
+//!
+//! # fn main() -> Result<(), lip_graph::NetlistError> {
+//! let fig1 = generate::fig1();
+//! let predicted = predict_throughput(&fig1.netlist).expect("periodic env");
+//! assert_eq!(predicted, Ratio::new(4, 5));
+//! assert_eq!(measure(&fig1.netlist)?.system_throughput(), Some(predicted));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cure;
+pub mod equalize;
+pub mod formulas;
+pub mod model;
+pub mod pipeline;
+pub mod transient;
+
+pub use cure::{cure_deadlocks, enforce_min_memory, half_relays_in_loops, CureReport};
+pub use equalize::{equalize, EqualizeReport};
+pub use formulas::{closed_form, loop_throughput, predict_throughput, reconvergent_throughput, tree_throughput, ClosedForm};
+pub use model::MarkedGraph;
+pub use pipeline::{pipeline_wires, PipelineReport, WireLatency};
+pub use transient::transient_bound;

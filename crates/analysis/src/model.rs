@@ -1,0 +1,356 @@
+//! The marked-graph performance model: exact steady-state throughput of
+//! any legal latency-insensitive netlist as a minimum cycle ratio.
+//!
+//! Every storage element of the protocol contributes two constraint
+//! edges between its producer `u` and its consumer `v`:
+//!
+//! * a **forward** edge `u → v` carrying the element's initial
+//!   informative tokens, with the element's forward latency as delay;
+//! * a **backward** edge `v → u` carrying the element's free *spaces*
+//!   (capacity − tokens), with the latency of its back-pressure path as
+//!   delay (1 for relay stations, whose `stop` is registered; 0 for
+//!   shells, whose stop traverses combinationally).
+//!
+//! A firing consumes a token forward and a space backward, so in steady
+//! state every directed cycle `c` bounds the throughput by
+//! `tokens(c)/delay(c)`; the binding constraint is the **minimum cycle
+//! ratio**. This generalises both formulas in the paper: a ring of `S`
+//! shells (1 token, 1 delay each) and `R` full relay stations (0 tokens,
+//! 1 delay) yields `S/(S+R)`; the implicit fork-join loop of Fig. 1
+//! yields `(m − i)/m`. It also covers half relay stations, mixed loops
+//! and compositions exactly — the test-suite checks it against simulated
+//! throughput over the whole topology corpus.
+
+use lip_core::{Pattern, RelayKind};
+use lip_graph::{Netlist, NodeId, NodeKind};
+use lip_sim::Ratio;
+
+/// One constraint edge of the marked-graph model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelEdge {
+    /// Origin node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Initial tokens (data forward, spaces backward).
+    pub tokens: u64,
+    /// Latency in cycles.
+    pub delay: u64,
+}
+
+/// The constraint graph extracted from a netlist.
+#[derive(Debug, Clone)]
+pub struct MarkedGraph {
+    node_count: usize,
+    edges: Vec<ModelEdge>,
+}
+
+impl MarkedGraph {
+    /// Build the model of `netlist`.
+    ///
+    /// Sources and sinks contribute no constraints here (they neither
+    /// run out of tokens nor of spaces); their rate limits from void and
+    /// stop patterns are handled by
+    /// [`predict_throughput`](crate::predict_throughput).
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        let mut edges = Vec::new();
+        for (_, ch) in netlist.channels() {
+            let u = ch.producer.node;
+            let v = ch.consumer.node;
+            // Storage parameters of the producer's output element.
+            let (fwd_delay, tokens, capacity, bwd_delay) = match netlist.node(u).kind() {
+                NodeKind::Shell { .. } => (1u64, 1u64, 1u64, 0u64),
+                NodeKind::Relay { kind: RelayKind::Full } => (1, 0, 2, 1),
+                NodeKind::Relay { kind: RelayKind::Half } => (0, 0, 1, 1),
+                NodeKind::Relay { kind: RelayKind::Fifo(k) } => (1, 0, u64::from(*k), 1),
+                NodeKind::Source { .. } => continue,
+                NodeKind::Sink { .. } => unreachable!("sinks have no outputs"),
+            };
+            edges.push(ModelEdge { from: u, to: v, tokens, delay: fwd_delay });
+            // Sinks apply no sustained back-pressure in free flow.
+            if !matches!(netlist.node(v).kind(), NodeKind::Sink { .. }) {
+                // A buffered-shell consumer fuses a one-place skid
+                // buffer (a half station) into its input: one extra
+                // space and one extra cycle on the backward path.
+                let buffered = netlist.node(v).kind().is_buffered_shell();
+                edges.push(ModelEdge {
+                    from: v,
+                    to: u,
+                    tokens: capacity - tokens + u64::from(buffered),
+                    delay: bwd_delay + u64::from(buffered),
+                });
+            }
+        }
+        MarkedGraph { node_count: netlist.node_count(), edges }
+    }
+
+    /// The constraint edges.
+    #[must_use]
+    pub fn edges(&self) -> &[ModelEdge] {
+        &self.edges
+    }
+
+    /// Minimum cycle ratio `tokens/delay` over all directed cycles,
+    /// capped at 1 (a LID never exceeds one token per cycle). Returns
+    /// `Ratio::new(1, 1)` when no constraining cycle exists (pure
+    /// feed-forward systems).
+    ///
+    /// Exact: iteratively extracts a cycle with ratio below the current
+    /// bound (Bellman-Ford negative-cycle detection under integer
+    /// cross-multiplied weights) and tightens the bound to that cycle's
+    /// exact ratio, until no better cycle exists.
+    #[must_use]
+    pub fn min_cycle_ratio(&self) -> Ratio {
+        let mut best = Ratio::new(1, 1);
+        // A zero-delay, zero-token cycle would be a combinational loop;
+        // the netlist validator excludes it, but guard anyway.
+        while let Some(cycle) = self.cycle_below(best) {
+            let tokens: u64 = cycle.iter().map(|e| e.tokens).sum();
+            let delay: u64 = cycle.iter().map(|e| e.delay).sum();
+            debug_assert!(delay > 0, "combinational loop in model");
+            if delay == 0 {
+                break;
+            }
+            let r = Ratio::new(tokens, delay);
+            debug_assert!(
+                r.num() * best.den() < best.num() * r.den(),
+                "cycle extraction must improve the bound"
+            );
+            best = r;
+        }
+        best
+    }
+
+    /// The cycle achieving the minimum ratio, as edges in traversal
+    /// order, together with that ratio — the design's *bottleneck*.
+    /// Returns `None` when nothing constrains the design below `T = 1`
+    /// (trees, balanced fork-joins, sufficiently tokenised loops).
+    ///
+    /// Designers use this to know *which* loop to attack: insert spare
+    /// stations on its backward (space) segment, or remove latency from
+    /// its forward segment.
+    #[must_use]
+    pub fn binding_cycle(&self) -> Option<(Vec<ModelEdge>, Ratio)> {
+        let best = self.min_cycle_ratio();
+        if best == Ratio::new(1, 1) {
+            return None; // nothing constrains below full rate
+        }
+        // Find a cycle achieving `best` exactly: none is strictly below
+        // it, so probe with the next larger rational step (denominator
+        // scaled by the total delay, which dominates every cycle).
+        let total_delay: u64 = self.edges.iter().map(|e| e.delay).sum::<u64>().max(1);
+        let probe = Ratio::new(best.num() * total_delay + 1, best.den() * total_delay);
+        let cycle = self.cycle_below(probe)?;
+        let tokens: u64 = cycle.iter().map(|e| e.tokens).sum();
+        let delay: u64 = cycle.iter().map(|e| e.delay).sum();
+        Some((cycle, Ratio::new(tokens, delay)))
+    }
+
+    /// Find a cycle with ratio strictly below `bound`, if any.
+    ///
+    /// Uses weights `w(e) = bound.den * tokens(e) − bound.num * delay(e)`
+    /// (a cycle is negative iff its ratio < bound) and Bellman-Ford from
+    /// a virtual source; on detection, walks predecessors to extract the
+    /// cycle.
+    fn cycle_below(&self, bound: Ratio) -> Option<Vec<ModelEdge>> {
+        let n = self.node_count;
+        let w = |e: &ModelEdge| -> i128 {
+            i128::from(bound.den()) * i128::from(e.tokens)
+                - i128::from(bound.num()) * i128::from(e.delay)
+        };
+        // Bellman-Ford with all distances 0 (virtual source to all).
+        let mut dist = vec![0i128; n];
+        let mut pred: Vec<Option<usize>> = vec![None; n]; // predecessor edge index
+        let mut updated_node = None;
+        for round in 0..=n {
+            updated_node = None;
+            for (ei, e) in self.edges.iter().enumerate() {
+                let cand = dist[e.from.index()] + w(e);
+                if cand < dist[e.to.index()] {
+                    dist[e.to.index()] = cand;
+                    pred[e.to.index()] = Some(ei);
+                    updated_node = Some(e.to.index());
+                }
+            }
+            updated_node?;
+            let _ = round;
+        }
+        // A relaxation happened in round n: walk back n steps to land on
+        // the cycle, then collect it.
+        let mut v = updated_node.expect("relaxation recorded");
+        for _ in 0..n {
+            let ei = pred[v].expect("on a negative path");
+            v = self.edges[ei].from.index();
+        }
+        let start = v;
+        let mut cycle = Vec::new();
+        loop {
+            let ei = pred[v].expect("on the cycle");
+            cycle.push(self.edges[ei]);
+            v = self.edges[ei].from.index();
+            if v == start {
+                break;
+            }
+        }
+        cycle.reverse();
+        Some(cycle)
+    }
+}
+
+/// Steady-state valid-token rate of a periodic [`Pattern`] used as a
+/// *void* pattern (fraction of cycles that carry data), or `None` for
+/// aperiodic patterns.
+#[must_use]
+pub fn pattern_data_rate(void_pattern: &Pattern) -> Option<Ratio> {
+    let period = void_pattern.period()?;
+    let voids = (0..period).filter(|&c| void_pattern.at(c)).count() as u64;
+    Some(Ratio::new(period - voids, period))
+}
+
+/// Steady-state acceptance rate of a periodic stop [`Pattern`] (fraction
+/// of cycles the consumer accepts), or `None` for aperiodic patterns.
+#[must_use]
+pub fn pattern_accept_rate(stop_pattern: &Pattern) -> Option<Ratio> {
+    pattern_data_rate(stop_pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_graph::generate;
+
+    fn min_ratio(netlist: &Netlist) -> Ratio {
+        MarkedGraph::new(netlist).min_cycle_ratio()
+    }
+
+    #[test]
+    fn fig1_model_gives_four_fifths() {
+        let f = generate::fig1();
+        assert_eq!(min_ratio(&f.netlist), Ratio::new(4, 5));
+    }
+
+    #[test]
+    fn fork_join_sweep_matches_formula() {
+        // (m - i)/m with m = relays-in-loop + shells on the long branch
+        // (A and B), i = imbalance.
+        for (r1, r2, s) in [(1usize, 1usize, 1usize), (2, 1, 1), (1, 2, 1), (2, 2, 1), (2, 1, 2)] {
+            let f = generate::fork_join(r1, r2, s);
+            let m = (r1 + r2 + s + 2) as u64;
+            let i = (r1 + r2 - s) as u64;
+            assert_eq!(
+                min_ratio(&f.netlist),
+                Ratio::new(m - i, m),
+                "fork_join({r1},{r2},{s})"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_model_gives_s_over_s_plus_r() {
+        for (s, r) in [(1usize, 1usize), (2, 1), (2, 2), (3, 1), (1, 4)] {
+            let ring = generate::ring(s, r, RelayKind::Full);
+            assert_eq!(
+                min_ratio(&ring.netlist),
+                Ratio::new(s as u64, (s + r) as u64),
+                "ring({s},{r})"
+            );
+        }
+    }
+
+    #[test]
+    fn trees_and_chains_are_unconstrained() {
+        assert_eq!(min_ratio(&generate::tree(2, 2, 1).netlist), Ratio::new(1, 1));
+        assert_eq!(
+            min_ratio(&generate::chain(3, 2, RelayKind::Full).netlist),
+            Ratio::new(1, 1)
+        );
+    }
+
+    #[test]
+    fn balanced_fork_join_reaches_one() {
+        let f = generate::fork_join(1, 1, 2);
+        assert_eq!(min_ratio(&f.netlist), Ratio::new(1, 1));
+    }
+
+    #[test]
+    fn half_relay_ring_model() {
+        // Half stations add no forward delay: a ring of 2 shells and 1
+        // half relay has cycle tokens 2, delay 2 -> capped at 1.
+        let ring = generate::ring(2, 1, RelayKind::Half);
+        assert_eq!(min_ratio(&ring.netlist), Ratio::new(1, 1));
+    }
+
+    #[test]
+    fn composed_is_bound_by_slowest_subtopology() {
+        // Ring 1 shell + 2 relays -> 1/3; front-end fork imbalance mild.
+        let c = generate::composed(2, 1, 1, 2);
+        let t = min_ratio(&c.netlist);
+        assert_eq!(t, Ratio::new(1, 3));
+    }
+
+    #[test]
+    fn model_matches_simulation_on_corpus() {
+        for seed in 0..40u64 {
+            let (fam, netlist) = generate::random_family(seed);
+            if netlist.validate().is_err() {
+                continue;
+            }
+            let predicted = min_ratio(&netlist);
+            let measured = lip_sim::measure(&netlist).unwrap();
+            if measured.periodicity.is_none() {
+                continue;
+            }
+            assert_eq!(
+                measured.system_throughput(),
+                Some(predicted),
+                "seed {seed} family {fam:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn binding_cycle_names_the_bottleneck() {
+        // Fig. 1: the binding cycle is the implicit fork-join loop at
+        // ratio 4/5, traversing A and the long branch.
+        let f = generate::fig1();
+        let g = MarkedGraph::new(&f.netlist);
+        let (cycle, ratio) = g.binding_cycle().expect("constrained");
+        assert_eq!(ratio, Ratio::new(4, 5));
+        let nodes: std::collections::HashSet<_> = cycle.iter().map(|e| e.from).collect();
+        assert!(nodes.contains(&f.fork), "fork on the loop");
+        assert!(nodes.contains(&f.mid), "mid shell on the loop");
+        // The cycle is closed.
+        for w in cycle.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+        assert_eq!(cycle.last().unwrap().to, cycle[0].from);
+
+        // Rings: the loop itself binds.
+        let r = generate::ring(2, 3, RelayKind::Full);
+        let (_, ratio) = MarkedGraph::new(&r.netlist).binding_cycle().expect("constrained");
+        assert_eq!(ratio, Ratio::new(2, 5));
+
+        // Trees: unconstrained.
+        assert!(MarkedGraph::new(&generate::tree(2, 2, 1).netlist)
+            .binding_cycle()
+            .is_none());
+    }
+
+    #[test]
+    fn pattern_rates() {
+        assert_eq!(pattern_data_rate(&Pattern::Never), Some(Ratio::new(1, 1)));
+        assert_eq!(pattern_data_rate(&Pattern::Always), Some(Ratio::new(0, 1)));
+        assert_eq!(
+            pattern_data_rate(&Pattern::EveryNth { period: 5, phase: 0 }),
+            Some(Ratio::new(4, 5))
+        );
+        assert_eq!(pattern_data_rate(&Pattern::Random { num: 1, denom: 2, seed: 0 }), None);
+        assert_eq!(
+            pattern_accept_rate(&Pattern::Cyclic(vec![true, false])),
+            Some(Ratio::new(1, 2))
+        );
+    }
+
+    use lip_core::RelayKind;
+}

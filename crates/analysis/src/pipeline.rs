@@ -1,0 +1,134 @@
+//! Wire pipelining: the methodology step that motivates the whole
+//! paper — "the performance of future Systems-on-Chip will be limited by
+//! the latency of long interconnects requiring more than one clock cycle
+//! for the signals to propagate".
+//!
+//! Given post-floorplan wire latencies, [`pipeline_wires`] inserts the
+//! required relay stations: `latency` full stations on every wire that
+//! needs `latency` extra cycles, and — per the paper's minimum-memory
+//! rule — a half station on any remaining zero-latency shell-to-shell
+//! wire.
+
+use lip_core::RelayKind;
+use lip_graph::{ChannelId, Netlist, NodeId};
+
+/// One wire's physical annotation: the channel and how many clock
+/// cycles its wire needs beyond the same-cycle reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireLatency {
+    /// The annotated channel.
+    pub channel: ChannelId,
+    /// Extra clock cycles of wire delay (0 = reachable in-cycle).
+    pub cycles: u64,
+}
+
+/// Result of [`pipeline_wires`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Full relay stations inserted, per annotated channel.
+    pub full_inserted: Vec<(ChannelId, Vec<NodeId>)>,
+    /// Half stations inserted on zero-latency shell-to-shell wires.
+    pub half_inserted: Vec<(ChannelId, NodeId)>,
+}
+
+impl PipelineReport {
+    /// Total stations inserted.
+    #[must_use]
+    pub fn total_inserted(&self) -> usize {
+        self.full_inserted.iter().map(|(_, v)| v.len()).sum::<usize>() + self.half_inserted.len()
+    }
+}
+
+/// Insert the relay stations demanded by the wire annotations:
+/// `cycles` full stations per annotated channel, then a half station on
+/// every remaining direct shell-to-shell channel (minimum memory).
+/// Channels not mentioned are treated as zero-latency.
+///
+/// # Panics
+///
+/// Panics if an annotation references a channel of another netlist.
+pub fn pipeline_wires(netlist: &mut Netlist, wires: &[WireLatency]) -> PipelineReport {
+    let mut report = PipelineReport::default();
+    for w in wires {
+        if w.cycles == 0 {
+            continue;
+        }
+        let mut inserted = Vec::new();
+        let mut target = w.channel;
+        for _ in 0..w.cycles {
+            let rs = netlist.insert_relay_on_channel(target, RelayKind::Full);
+            target = netlist.out_channel(rs, 0).expect("just connected");
+            inserted.push(rs);
+        }
+        report.full_inserted.push((w.channel, inserted));
+    }
+    for ch in netlist.shell_to_shell_channels() {
+        let rs = netlist.insert_relay_on_channel(ch, RelayKind::Half);
+        report.half_inserted.push((ch, rs));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_core::pearl::IdentityPearl;
+    use lip_sim::{measure, Ratio, System};
+
+    fn two_stage() -> (Netlist, ChannelId, lip_graph::NodeId) {
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let a = n.add_shell("a", IdentityPearl::new());
+        let b = n.add_shell("b", IdentityPearl::new());
+        let out = n.add_sink("out");
+        let chans = n.chain(&[src, a, b, out]).unwrap();
+        (n, chans[1], out)
+    }
+
+    #[test]
+    fn inserts_full_stations_per_annotation() {
+        let (mut n, ab, _) = two_stage();
+        let report = pipeline_wires(&mut n, &[WireLatency { channel: ab, cycles: 3 }]);
+        assert_eq!(report.total_inserted(), 3);
+        assert_eq!(n.census().full_relays, 3);
+        assert!(n.shell_to_shell_channels().is_empty());
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn covers_unannotated_shell_wires_with_half_stations() {
+        let (mut n, _, _) = two_stage();
+        let report = pipeline_wires(&mut n, &[]);
+        assert_eq!(report.full_inserted.len(), 0);
+        assert_eq!(report.half_inserted.len(), 1);
+        assert_eq!(n.census().half_relays, 1);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_cycles_annotation_still_gets_minimum_memory() {
+        let (mut n, ab, _) = two_stage();
+        let report = pipeline_wires(&mut n, &[WireLatency { channel: ab, cycles: 0 }]);
+        assert_eq!(report.half_inserted.len(), 1);
+        assert_eq!(report.total_inserted(), 1);
+    }
+
+    #[test]
+    fn pipelined_design_keeps_streams_and_throughput() {
+        let (reference, _, r_out) = two_stage();
+        let (mut n, ab, out) = two_stage();
+        pipeline_wires(&mut n, &[WireLatency { channel: ab, cycles: 4 }]);
+
+        let mut a = System::new(&reference).unwrap();
+        let mut b = System::new(&n).unwrap();
+        a.run(80);
+        b.run(80);
+        let ra = a.sink(r_out).unwrap().received();
+        let rb = b.sink(out).unwrap().received();
+        assert_eq!(&ra[..rb.len()], rb, "pipelining changed data");
+        assert_eq!(
+            measure(&n).unwrap().system_throughput(),
+            Some(Ratio::new(1, 1))
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Transient-length prediction.
+//!
+//! The paper: *"after a number of clock cycles that are dependent on the
+//! system each part of it behaves in a periodic fashion"*, and for the
+//! deadlock recipe: *"the transient length is related to the number of
+//! relay stations and shells, and can be predicted upfront"*.
+//!
+//! [`transient_bound`] computes that upfront prediction: a conservative
+//! cycle count by which the control state must have entered its periodic
+//! regime. The empirical transient (measured by
+//! [`find_periodicity`](lip_sim::measure::find_periodicity)) is asserted
+//! against this bound over the whole topology corpus in the tests and in
+//! experiment `EXP-T7`.
+
+use lip_graph::topology::longest_latency;
+use lip_graph::{Netlist, NodeKind};
+
+/// Conservative upper bound on the transient duration of `netlist`'s
+/// control behaviour, in cycles.
+///
+/// Rationale: initialization voids must flush along the longest forward
+/// path (the paper's tree bound: "the initial latency ... can be as much
+/// as the longest path"); in cyclic systems, tokens additionally
+/// redistribute around loops, which takes at most one full recirculation
+/// per storage element. Summing forward latency, total buffering
+/// capacity and the environment period dominates both effects; the
+/// corpus tests check the measured transient never exceeds it.
+#[must_use]
+pub fn transient_bound(netlist: &Netlist) -> u64 {
+    let mut latency = 0u64;
+    let mut capacity = 0u64;
+    let mut env = 1u64;
+    for (_, node) in netlist.nodes() {
+        match node.kind() {
+            NodeKind::Shell { pearl, buffered } => {
+                latency += 1;
+                capacity += pearl.num_outputs() as u64;
+                if *buffered {
+                    capacity += pearl.num_inputs() as u64;
+                }
+            }
+            NodeKind::Relay { kind } => {
+                latency += kind.forward_latency();
+                capacity += kind.capacity() as u64;
+            }
+            NodeKind::Source { void_pattern } => {
+                env = lcm(env, void_pattern.period().unwrap_or(1));
+            }
+            NodeKind::Sink { stop_pattern } => {
+                env = lcm(env, stop_pattern.period().unwrap_or(1));
+            }
+        }
+    }
+    // For acyclic systems the longest path is a tighter latency term.
+    let path = longest_latency(netlist).unwrap_or(latency);
+    path + latency + capacity + env
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    fn gcd(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+    if a == 0 || b == 0 {
+        return a.max(b).max(1);
+    }
+    (a / gcd(a, b)).saturating_mul(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_core::RelayKind;
+    use lip_graph::generate;
+    use lip_sim::measure::find_periodicity;
+    use lip_sim::System;
+
+    fn measured_transient(netlist: &Netlist) -> Option<u64> {
+        let mut sys = System::new(netlist).ok()?;
+        find_periodicity(&mut sys, 50_000).map(|p| p.transient)
+    }
+
+    #[test]
+    fn bound_holds_for_fig1() {
+        let f = generate::fig1();
+        let bound = transient_bound(&f.netlist);
+        let measured = measured_transient(&f.netlist).unwrap();
+        assert!(measured <= bound, "measured {measured} > bound {bound}");
+    }
+
+    #[test]
+    fn bound_holds_for_rings() {
+        for (s, r) in [(1usize, 1usize), (2, 2), (3, 1)] {
+            let ring = generate::ring(s, r, RelayKind::Full);
+            let bound = transient_bound(&ring.netlist);
+            let measured = measured_transient(&ring.netlist).unwrap();
+            assert!(measured <= bound, "ring({s},{r}): {measured} > {bound}");
+        }
+    }
+
+    #[test]
+    fn bound_holds_over_random_corpus() {
+        for seed in 0..60u64 {
+            let (fam, netlist) = generate::random_family(seed);
+            if netlist.validate().is_err() {
+                continue;
+            }
+            let bound = transient_bound(&netlist);
+            if let Some(measured) = measured_transient(&netlist) {
+                assert!(
+                    measured <= bound,
+                    "seed {seed} {fam:?}: transient {measured} > bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_bound_reflects_longest_path() {
+        // The paper: tree transient can be as much as the longest path.
+        let t = generate::tree(3, 2, 2);
+        let bound = transient_bound(&t.netlist);
+        let longest = longest_latency(&t.netlist).unwrap();
+        assert!(bound >= longest);
+        let measured = measured_transient(&t.netlist).unwrap();
+        assert!(measured <= bound);
+        // Trees settle quickly: the measured transient is within the
+        // longest-path order, far below pathological bounds.
+        assert!(measured <= longest + 2, "measured {measured}, longest {longest}");
+    }
+
+    use lip_graph::Netlist;
+}

@@ -1,0 +1,40 @@
+//! EXP-C3 — what the closed forms buy: computing throughput by the
+//! marked-graph model versus measuring it by simulation to steady state.
+//!
+//! The paper's point in providing formulas is that "precise calculations
+//! of important design parameters" beat simulating; this bench records
+//! the gap as systems grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lip_analysis::predict_throughput;
+use lip_core::RelayKind;
+use lip_graph::generate;
+use lip_sim::measure;
+
+fn bench_analysis_vs_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_vs_sim");
+    let cases = [
+        ("fig1", generate::fig1().netlist),
+        ("ring4x4", generate::ring(4, 4, RelayKind::Full).netlist),
+        ("ring8x8", generate::ring(8, 8, RelayKind::Full).netlist),
+        ("composed", generate::composed(3, 1, 3, 2).netlist),
+        ("tree3x2", generate::tree(3, 2, 2).netlist),
+    ];
+    for (name, netlist) in &cases {
+        group.bench_with_input(BenchmarkId::new("model", name), netlist, |b, n| {
+            b.iter(|| predict_throughput(n).expect("periodic"));
+        });
+        group.bench_with_input(BenchmarkId::new("simulate", name), netlist, |b, n| {
+            b.iter(|| {
+                measure(n)
+                    .expect("measures")
+                    .system_throughput()
+                    .expect("one sink")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis_vs_sim);
+criterion_main!(benches);

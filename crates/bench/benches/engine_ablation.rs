@@ -1,0 +1,56 @@
+//! EXP-C2 — substrate ablation: the same RTL design on the levelised
+//! cycle engine, the VHDL-style event-driven engine, and the direct
+//! protocol interpreter.
+//!
+//! The paper used an event-driven simulator; this bench records what
+//! that choice costs/saves on LID workloads. Measured here: activity is
+//! high (most channels toggle most cycles), so the event engine's wakeup
+//! bookkeeping loses to the levelised schedule on every case; the
+//! levelised RTL beats even the direct interpreter on small systems
+//! (tight closures vs per-component vectors) and loses on long chains
+//! (three signals per channel vs one token). See EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lip_core::RelayKind;
+use lip_graph::generate;
+use lip_kernel::{CycleEngine, Engine, EventEngine};
+use lip_sim::rtl::elaborate_rtl;
+use lip_sim::System;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_ablation");
+    let cases = [
+        ("fig1", generate::fig1().netlist),
+        ("chain16", generate::chain(16, 2, RelayKind::Full).netlist),
+        ("ring8", generate::ring(8, 8, RelayKind::Full).netlist),
+    ];
+    for (name, netlist) in &cases {
+        group.bench_with_input(BenchmarkId::new("interpreter", name), netlist, |b, n| {
+            let mut sys = System::new(n).expect("elaborates");
+            b.iter(|| {
+                sys.run(100);
+                sys.cycle()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rtl_cycle", name), netlist, |b, n| {
+            let (circuit, _) = elaborate_rtl(n).expect("elaborates");
+            let mut engine = CycleEngine::new(circuit);
+            b.iter(|| {
+                engine.run(100);
+                engine.stats().cycles
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rtl_event", name), netlist, |b, n| {
+            let (circuit, _) = elaborate_rtl(n).expect("elaborates");
+            let mut engine = EventEngine::new(circuit);
+            b.iter(|| {
+                engine.run(100);
+                engine.stats().cycles
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

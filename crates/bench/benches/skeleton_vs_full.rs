@@ -1,0 +1,56 @@
+//! EXP-C1 — "we are allowed to simulate just the skeleton of the system
+//! consisting of stop and valid signals, thus the simulation cost is
+//! absolutely negligible."
+//!
+//! Compares, per simulated cycle, the full data simulation against the
+//! skeleton over growing systems. The paper's shape claim: the skeleton
+//! is uniformly cheaper, and the gap persists (or widens) with size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lip_core::RelayKind;
+use lip_graph::generate;
+use lip_sim::{SkeletonSystem, System};
+
+fn bench_skeleton_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skeleton_vs_full");
+    for shells in [4usize, 16, 64] {
+        let chain = generate::chain(shells, 2, RelayKind::Full);
+        group.bench_with_input(BenchmarkId::new("full", shells), &chain.netlist, |b, n| {
+            let mut sys = System::new(n).expect("elaborates");
+            b.iter(|| {
+                sys.run(100);
+                sys.total_received()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("skeleton", shells), &chain.netlist, |b, n| {
+            let mut sk = SkeletonSystem::new(n).expect("elaborates");
+            b.iter(|| {
+                sk.run(100);
+                sk.cycle()
+            });
+        });
+    }
+    // A cyclic system too: the deadlock-analysis use case.
+    for (s, r) in [(4usize, 4usize), (8, 8)] {
+        let ring = generate::ring(s, r, RelayKind::Full);
+        let label = format!("ring{s}x{r}");
+        group.bench_with_input(BenchmarkId::new("full", &label), &ring.netlist, |b, n| {
+            let mut sys = System::new(n).expect("elaborates");
+            b.iter(|| {
+                sys.run(100);
+                sys.total_fires()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("skeleton", &label), &ring.netlist, |b, n| {
+            let mut sk = SkeletonSystem::new(n).expect("elaborates");
+            b.iter(|| {
+                sk.run(100);
+                sk.cycle()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skeleton_vs_full);
+criterion_main!(benches);

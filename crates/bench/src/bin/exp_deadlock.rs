@@ -1,0 +1,170 @@
+//! EXP-V2 — the liveness statements and the skeleton-based deadlock
+//! recipe: "Any LID is deadlock free if it has only a feed-forward
+//! topology; any LID using only full relay stations is deadlock free;
+//! any LID with full and half relay stations has potential deadlocks iff
+//! half relay stations are present in loops. ... If we simulate the
+//! system up to the transient's extinction, either the deadlock will
+//! show, or will be forever avoided. ... the cases that inject deadlocks
+//! can be cured by low intrusive changes."
+
+use lip_analysis::{cure_deadlocks, half_relays_in_loops};
+use lip_bench::{banner, mark, table};
+use lip_core::{Pattern, RelayKind};
+use lip_graph::generate;
+use lip_verify::explore_system;
+use lip_verify::liveness::{exhaustive_pattern_search, theorem_sweep, LivenessClass};
+
+fn main() {
+    banner(
+        "EXP-V2",
+        "liveness theorems + skeleton-decided deadlock + cures",
+        "feed-forward and full-only LIDs never starve; half stations in loops are the only risk; skeleton simulation decides; substitution cures",
+    );
+
+    // 1. Theorem sweep.
+    let cases = theorem_sweep(40).expect("corpus elaborates");
+    let mut counts: std::collections::BTreeMap<String, (u32, u32, bool)> = Default::default();
+    for case in &cases {
+        let e = counts.entry(case.class.to_string()).or_insert((0, 0, true));
+        e.0 += 1;
+        if case.live {
+            e.1 += 1;
+        }
+        e.2 &= case.consistent;
+    }
+    let rows: Vec<Vec<String>> = counts
+        .iter()
+        .map(|(class, (n, live, consistent))| {
+            vec![
+                class.clone(),
+                n.to_string(),
+                live.to_string(),
+                (n - live).to_string(),
+                mark(*consistent).into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["class", "cases", "live", "starved", "consistent"], &rows)
+    );
+    let half_cases = cases
+        .iter()
+        .filter(|c| c.class == LivenessClass::HalfInLoops)
+        .count();
+    println!("({half_cases} half-in-loop cases decided individually by skeleton simulation)\n");
+
+    // 2. Cure demonstration on starving configurations.
+    let mut cure_rows = Vec::new();
+    for (s, r, stop) in [
+        (2usize, 2usize, vec![true, false]),
+        (1, 2, vec![true, true, false]),
+        (3, 3, vec![true, false, true, false]),
+    ] {
+        let ring = generate::ring_with_entry(
+            s,
+            r,
+            RelayKind::Half,
+            Pattern::Never,
+            Pattern::Cyclic(stop.clone()),
+        );
+        let mut netlist = ring.netlist;
+        if netlist.validate().is_err() {
+            continue;
+        }
+        let suspects = half_relays_in_loops(&netlist).len();
+        let report = cure_deadlocks(&mut netlist, 10_000, 5_000).expect("elaborates");
+        cure_rows.push(vec![
+            format!("half ring({s},{r}), stop duty {}", stop.iter().filter(|b| **b).count()),
+            suspects.to_string(),
+            report.substituted.len().to_string(),
+            report.is_live().to_string(),
+            mark(report.is_live()).into(),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["system", "suspects", "substituted", "live after cure", "check"],
+            &cure_rows
+        )
+    );
+    println!("cures are low-intrusive: only suspect stations are substituted, one at a time");
+
+    // 3. Exhaustive environment-pattern search: every cyclic void/stop
+    //    pattern of period <= 4 against small rings of each kind. Since
+    //    system + periodic environment is finite-state, each instance is
+    //    *decided*, not merely tested.
+    println!("\n== exhaustive periodic-environment search (periods <= 4) ==");
+    let mut rows = Vec::new();
+    for kind in [RelayKind::Full, RelayKind::Half] {
+        for (s, r) in [(1usize, 1usize), (2, 1), (2, 2)] {
+            let report = exhaustive_pattern_search(s, r, kind, 4)
+                .expect("rings elaborate");
+            rows.push(vec![
+                format!("{kind} ring S={s} R={r}"),
+                report.environments.to_string(),
+                report.live.to_string(),
+                report.starving.len().to_string(),
+                mark(kind == RelayKind::Half || report.all_live()).into(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &["system", "environments", "live", "starving", "consistent"],
+            &rows
+        )
+    );
+    println!("full-station rings: decided live under every periodic disturbance");
+    println!("(exhaustive, not sampled) — the paper's second statement. half-station");
+    println!("rings: every instance decided individually; see EXPERIMENTS.md for the");
+    println!("honest discussion of injection frequency");
+
+    // 4. Universal exploration: breadth-first over the whole control
+    //    state space under ALL environment behaviours (not just the
+    //    periodic ones) — a wedged state is one from which no shell can
+    //    ever fire again.
+    println!("\n== universal environment exploration (model checking) ==");
+    let mut rows = Vec::new();
+    for (name, netlist) in [
+        ("Fig. 1 fork-join", generate::fig1().netlist),
+        (
+            "full ring S=2 R=1 (with entry)",
+            generate::ring_with_entry(2, 1, RelayKind::Full, Pattern::Never, Pattern::Never)
+                .netlist,
+        ),
+        (
+            "half ring S=2 R=2 (with entry)",
+            generate::ring_with_entry(2, 2, RelayKind::Half, Pattern::Never, Pattern::Never)
+                .netlist,
+        ),
+        (
+            "half ring S=3 R=3 (with entry)",
+            generate::ring_with_entry(3, 3, RelayKind::Half, Pattern::Never, Pattern::Never)
+                .netlist,
+        ),
+        ("buffered ring S=3 R=0", generate::buffered_ring(3, 0).netlist),
+        ("coupled composition", generate::composed_coupled(1, 1, 1, 2, 1).netlist),
+    ] {
+        let search = explore_system(&netlist, 500_000).expect("elaborates");
+        rows.push(vec![
+            name.to_owned(),
+            search.states.to_string(),
+            search.transitions.to_string(),
+            search.complete.to_string(),
+            mark(search.deadlock_free()).into(),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["system", "control states", "transitions", "exhausted", "deadlock free"],
+            &rows
+        )
+    );
+    println!("every reachable control state was enumerated under every environment");
+    println!("choice sequence: within these systems, deadlock is impossible — not");
+    println!("merely unobserved");
+}

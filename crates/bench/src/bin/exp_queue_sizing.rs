@@ -1,0 +1,86 @@
+//! EXP-A3 — queue sizing (the paper's reference \[5\], Carloni &
+//! Sangiovanni-Vincentelli DAC'00): instead of adding *stations* to the
+//! short branch, deepen the one station already there.
+//!
+//! A capacity-`k` FIFO on the Fig. 1 short branch contributes `k` spaces
+//! to the implicit loop at one cycle of backward latency, so
+//! `T = min(1, (k + 2)/5)` — capacity 3 fully equalizes Fig. 1 with a
+//! single station, where EXP-A1 needed an extra full station. Loops, by
+//! contrast, are latency-bound: deepening their queues buys nothing,
+//! exactly as `S/(S+R)` predicts.
+
+use lip_analysis::predict_throughput;
+use lip_bench::{banner, mark, table};
+use lip_core::RelayKind;
+use lip_graph::generate;
+use lip_sim::{measure, Ratio};
+
+fn main() {
+    banner(
+        "EXP-A3",
+        "queue sizing vs station insertion (Carloni DAC'00 baseline)",
+        "reconvergence slack scales with queue capacity; loop throughput does not",
+    );
+
+    // 1. Fig. 1 with the short-branch station resized.
+    let mut rows = Vec::new();
+    for k in 2u8..=6 {
+        let mut f = generate::fig1();
+        f.netlist.set_relay_kind(f.short_relays[0], RelayKind::Fifo(k));
+        f.netlist.validate().expect("legal");
+        let predicted = predict_throughput(&f.netlist).expect("periodic");
+        let measured = measure(&f.netlist)
+            .expect("measures")
+            .system_throughput()
+            .expect("one sink");
+        let formula = Ratio::new(u64::from(k + 2).min(5), 5);
+        rows.push(vec![
+            k.to_string(),
+            k.to_string(),
+            formula.to_string(),
+            predicted.to_string(),
+            measured.to_string(),
+            mark(measured == predicted && measured == formula).into(),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["short-branch capacity", "registers", "(k+2)/5 cap 1", "model", "measured", "check"],
+            &rows
+        )
+    );
+    println!("capacity 3 on the existing station equalizes Fig. 1 (T = 1/1) with one");
+    println!("register fewer than inserting a second full station\n");
+
+    // 2. Loops are latency-bound: queue depth is irrelevant.
+    let mut rows = Vec::new();
+    for (s, r) in [(2usize, 1usize), (2, 2), (3, 2)] {
+        for k in 2u8..=5 {
+            let mut ring = generate::ring(s, r, RelayKind::Full);
+            for relay in &ring.relays {
+                ring.netlist.set_relay_kind(*relay, RelayKind::Fifo(k));
+            }
+            ring.netlist.validate().expect("legal");
+            let measured = measure(&ring.netlist)
+                .expect("measures")
+                .system_throughput()
+                .expect("one sink");
+            let formula = Ratio::new(s as u64, (s + r) as u64);
+            rows.push(vec![
+                format!("ring({s},{r})"),
+                k.to_string(),
+                formula.to_string(),
+                measured.to_string(),
+                mark(measured == formula).into(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table(&["loop", "queue capacity", "S/(S+R)", "measured", "check"], &rows)
+    );
+    println!("loop throughput is set by tokens/latency, not by capacity — deepening");
+    println!("queues cannot beat S/(S+R); only removing latency (or adding tokens)");
+    println!("can, which is the content of the paper's feedback formula");
+}

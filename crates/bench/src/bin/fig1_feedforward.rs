@@ -1,0 +1,56 @@
+//! EXP-F1 — Fig. 1: feed-forward (reconvergent) topology evolution.
+//!
+//! Paper: "After the initial transient, the situation becomes periodic,
+//! and the output utters an invalid datum every 5 cycles. ... In the
+//! present case, n = 5, while i = 1. The number of valid data every 4
+//! periods is 4 and the throughput is 4/5."
+
+use lip_bench::{banner, mark, table};
+use lip_graph::generate;
+use lip_sim::{measure, Evolution, Ratio};
+
+fn main() {
+    banner(
+        "EXP-F1",
+        "Fig. 1 — feed-forward topology evolution",
+        "periodic after transient; one void at the output every n = 5 cycles; T = 4/5",
+    );
+
+    let fig1 = generate::fig1();
+    println!("topology: {}\n", fig1.netlist);
+    let ev = Evolution::record(&fig1.netlist, &[fig1.fork, fig1.mid, fig1.join], 20)
+        .expect("fig1 elaborates");
+    println!("{ev}");
+
+    let m = measure(&fig1.netlist).expect("fig1 measures");
+    let p = m.periodicity.expect("fig1 is periodic");
+    let t = m.system_throughput().expect("one sink");
+
+    let rows = vec![
+        vec![
+            "period n".into(),
+            "5".into(),
+            p.period.to_string(),
+            mark(p.period == 5).into(),
+        ],
+        vec![
+            "voids per period".into(),
+            "1 (i = 1)".into(),
+            format!("{}", p.period - t.num() * p.period / t.den()),
+            mark(p.period - t.num() * p.period / t.den() == 1).into(),
+        ],
+        vec![
+            "throughput T".into(),
+            "4/5".into(),
+            t.to_string(),
+            mark(t == Ratio::new(4, 5)).into(),
+        ],
+        vec![
+            "transient".into(),
+            "system dependent".into(),
+            format!("{} cycles", p.transient),
+            "ok".into(),
+        ],
+    ];
+    println!("{}", table(&["figure quantity", "paper", "measured", "check"], &rows));
+}

@@ -1,0 +1,82 @@
+//! Shared helpers for the experiment binaries that regenerate every
+//! figure and claim of Casu & Macchiarulo (DATE 2004).
+//!
+//! Each binary in `src/bin/` prints one paper artefact as a plain-text
+//! table (see `EXPERIMENTS.md` for the index); the Criterion benches in
+//! `benches/` cover the cost claims. These helpers keep the output
+//! format uniform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Render a fixed-width text table: a header row, a rule, then rows.
+/// Column widths adapt to content.
+#[must_use]
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(out, "{h:>w$}  ");
+    }
+    out.push('\n');
+    for w in &widths {
+        let _ = write!(out, "{}  ", "-".repeat(*w));
+    }
+    out.push('\n');
+    for row in rows {
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(out, "{cell:>w$}  ");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Print an experiment banner: id, paper artefact, and the claim.
+pub fn banner(id: &str, artefact: &str, claim: &str) {
+    println!("=== {id}: {artefact} ===");
+    println!("paper claim: {claim}");
+    println!();
+}
+
+/// Format a pass/fail marker for claim tables.
+#[must_use]
+pub fn mark(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "MISMATCH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "long_header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long_header"));
+        assert!(lines[1].starts_with("---"));
+    }
+
+    #[test]
+    fn marks() {
+        assert_eq!(mark(true), "ok");
+        assert_eq!(mark(false), "MISMATCH");
+    }
+}

@@ -1,0 +1,309 @@
+//! The buffered shell: the alternative the paper's simplified shell is
+//! measured against.
+//!
+//! The abstract contrasts its shell with "the papers by Carloni et
+//! alii": the earlier shell *stores incoming stop signals* (its inputs
+//! are registered), so no relay station is required between two shells —
+//! at the price of one register per input. [`BufferedShell`] implements
+//! that alternative: a [`Shell`] whose every input carries a fused
+//! one-place skid buffer with a registered stop, behaviourally identical
+//! to placing a [`HalfRelayStation`](crate::HalfRelayStation) on each
+//! input channel.
+//!
+//! This makes the paper's minimum-memory discussion executable: the two
+//! designs — simplified shell + explicit half station per shell-to-shell
+//! channel, versus buffered shell — use the same total storage and
+//! produce the same cycle-level behaviour (asserted by the test-suite
+//! and by experiment `EXP-A2`).
+
+use std::fmt;
+
+use crate::pearl::Pearl;
+use crate::shell::{Shell, ShellStats};
+use crate::token::Token;
+use crate::variant::ProtocolVariant;
+
+/// A shell whose inputs are registered: incoming stops are *saved*, so
+/// the backward stop path is cut inside the shell itself.
+///
+/// Per-cycle usage mirrors [`Shell`], except that `stop_upstream` is a
+/// Moore output (state only), like a relay station's.
+///
+/// # Example
+///
+/// ```
+/// use lip_core::{BufferedShell, Token};
+/// use lip_core::pearl::IdentityPearl;
+///
+/// let mut shell = BufferedShell::new(IdentityPearl::new());
+/// // Registered back-pressure: no stop before anything is buffered.
+/// assert!(!shell.stop_upstream(0));
+/// shell.clock(&[Token::valid(5)], &[false]);
+/// assert_eq!(shell.outputs()[0], Token::valid(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BufferedShell {
+    inner: Shell,
+    /// One-place skid buffer per input (void = empty).
+    buffers: Vec<Token>,
+}
+
+impl BufferedShell {
+    /// Wrap `pearl` using the paper's refined protocol variant.
+    pub fn new(pearl: impl Pearl + 'static) -> Self {
+        Self::with_variant(pearl, ProtocolVariant::Refined)
+    }
+
+    /// Wrap `pearl` under an explicit [`ProtocolVariant`].
+    pub fn with_variant(pearl: impl Pearl + 'static, variant: ProtocolVariant) -> Self {
+        Self::from_box(Box::new(pearl), variant)
+    }
+
+    /// Wrap an already-boxed pearl (used by elaboration code).
+    #[must_use]
+    pub fn from_box(pearl: Box<dyn Pearl>, variant: ProtocolVariant) -> Self {
+        let inner = Shell::from_box(pearl, variant);
+        let buffers = vec![Token::VOID; inner.num_inputs()];
+        BufferedShell { inner, buffers }
+    }
+
+    /// Number of input channels.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
+    }
+
+    /// Number of output channels.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.inner.num_outputs()
+    }
+
+    /// The protocol variant this shell follows.
+    #[must_use]
+    pub fn variant(&self) -> ProtocolVariant {
+        self.inner.variant()
+    }
+
+    /// Current output tokens.
+    #[must_use]
+    pub fn outputs(&self) -> &[Token] {
+        self.inner.outputs()
+    }
+
+    /// Firing statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> ShellStats {
+        self.inner.stats()
+    }
+
+    /// Snapshot of the wrapped pearl's internal state.
+    #[must_use]
+    pub fn pearl_state(&self) -> Vec<u64> {
+        self.inner.pearl_state()
+    }
+
+    /// The buffered token at input `index` (void when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn buffer(&self, index: usize) -> Token {
+        self.buffers[index]
+    }
+
+    /// The token the pearl would consume on input `index` this cycle:
+    /// the buffered one if present, else the channel's.
+    #[must_use]
+    pub fn effective_input(&self, index: usize, channel: Token) -> Token {
+        if self.buffers[index].is_valid() {
+            self.buffers[index]
+        } else {
+            channel
+        }
+    }
+
+    fn effective_inputs(&self, inputs: &[Token]) -> Vec<Token> {
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(i, t)| self.effective_input(i, *t))
+            .collect()
+    }
+
+    /// Registered back-pressure towards the producer of input `index`:
+    /// asserted iff that input's buffer is occupied. A Moore output —
+    /// this is the "memory element that saves the stop".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn stop_upstream(&self, index: usize) -> bool {
+        self.buffers[index].is_valid()
+    }
+
+    /// Whether the pearl fires this cycle, given the channel tokens and
+    /// downstream stops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the port counts.
+    #[must_use]
+    pub fn can_fire(&self, inputs: &[Token], output_stops: &[bool]) -> bool {
+        self.inner.can_fire(&self.effective_inputs(inputs), output_stops)
+    }
+
+    /// Advance one clock cycle.
+    ///
+    /// On a stall, any valid channel token whose buffer is free is
+    /// captured (its producer saw our registered stop low, so it
+    /// considers the token delivered — exactly the half-station capture
+    /// rule). On a fire, consumed buffers empty; channel tokens offered
+    /// while a buffer was occupied are re-offers and are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the port counts.
+    pub fn clock(&mut self, inputs: &[Token], output_stops: &[bool]) {
+        assert_eq!(inputs.len(), self.num_inputs(), "input arity mismatch");
+        let effective = self.effective_inputs(inputs);
+        let fire = self.inner.can_fire(&effective, output_stops);
+        if fire {
+            for buf in &mut self.buffers {
+                *buf = Token::VOID;
+            }
+        } else {
+            for (i, buf) in self.buffers.iter_mut().enumerate() {
+                if buf.is_void() && inputs[i].is_valid() {
+                    *buf = inputs[i];
+                }
+            }
+        }
+        self.inner.clock(&effective, output_stops);
+    }
+}
+
+impl fmt::Display for BufferedShell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Buffered{}", self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pearl::{AccumulatorPearl, IdentityPearl, JoinPearl};
+    use crate::relay::HalfRelayStation;
+    use crate::endpoint::{Pattern, Sink, Source};
+
+    #[test]
+    fn outputs_initialise_valid() {
+        let shell = BufferedShell::new(IdentityPearl::new());
+        assert!(shell.outputs()[0].is_valid());
+        assert!(!shell.stop_upstream(0));
+        assert_eq!(shell.num_inputs(), 1);
+        assert_eq!(shell.num_outputs(), 1);
+    }
+
+    #[test]
+    fn stall_captures_channel_token() {
+        // A join stalls on one void input; the valid input must be
+        // captured (its producer was not stopped this cycle).
+        let mut shell = BufferedShell::new(JoinPearl::first(2));
+        shell.clock(&[Token::valid(7), Token::VOID], &[false]);
+        assert_eq!(shell.buffer(0), Token::valid(7));
+        assert!(shell.stop_upstream(0));
+        assert!(!shell.stop_upstream(1));
+        // Second input arrives: fire from buffer + channel.
+        shell.clock(&[Token::valid(99), Token::valid(8)], &[false]);
+        assert_eq!(shell.outputs()[0], Token::valid(7)); // first(2) = input 0
+        assert!(!shell.stop_upstream(0)); // buffer drained
+    }
+
+    #[test]
+    fn reoffer_is_ignored_while_buffered() {
+        let mut shell = BufferedShell::new(JoinPearl::first(2));
+        shell.clock(&[Token::valid(1), Token::VOID], &[false]);
+        // Upstream re-offers token 1 (it saw our stop); it must not be
+        // duplicated.
+        shell.clock(&[Token::valid(1), Token::VOID], &[false]);
+        assert_eq!(shell.buffer(0), Token::valid(1));
+        shell.clock(&[Token::valid(1), Token::valid(2)], &[false]);
+        assert_eq!(shell.outputs()[0], Token::valid(1));
+    }
+
+    #[test]
+    fn gating_preserves_pearl_state() {
+        let mut shell = BufferedShell::new(AccumulatorPearl::new());
+        shell.clock(&[Token::valid(10)], &[false]);
+        let state = shell.pearl_state();
+        for _ in 0..5 {
+            shell.clock(&[Token::VOID], &[false]);
+        }
+        assert_eq!(shell.pearl_state(), state);
+        assert_eq!(shell.stats().fires, 1);
+    }
+
+    /// The equivalence the paper's minimum-memory discussion implies:
+    /// a buffered shell behaves exactly like a half relay station
+    /// feeding a simplified shell.
+    #[test]
+    fn buffered_shell_equals_half_station_plus_simple_shell() {
+        let stop_pattern = Pattern::Cyclic(vec![false, true, true, false, true]);
+        let void_pattern = Pattern::Cyclic(vec![false, false, true]);
+
+        // Design A: buffered shell.
+        let mut src_a = Source::with_void_pattern(void_pattern.clone());
+        let mut sink_a = Sink::with_stop_pattern(stop_pattern.clone());
+        let mut shell_a = BufferedShell::new(AccumulatorPearl::new());
+
+        // Design B: half relay station + simplified shell.
+        let mut src_b = Source::with_void_pattern(void_pattern);
+        let mut sink_b = Sink::with_stop_pattern(stop_pattern);
+        let mut hrs = HalfRelayStation::new();
+        let mut shell_b = Shell::new(AccumulatorPearl::new());
+
+        for _ in 0..200 {
+            // Design A.
+            let in_a = src_a.output();
+            let out_a = shell_a.outputs()[0];
+            let stop_out_a = sink_a.stop();
+            let stop_src_a = shell_a.stop_upstream(0);
+            sink_a.clock(out_a);
+            shell_a.clock(&[in_a], &[stop_out_a]);
+            src_a.clock(stop_src_a);
+
+            // Design B.
+            let src_out = src_b.output();
+            let shell_in = hrs.output(src_out);
+            let out_b = shell_b.outputs()[0];
+            let stop_out_b = sink_b.stop();
+            let stop_hrs = shell_b.stop_upstream(0, &[shell_in], &[stop_out_b]);
+            let stop_src_b = hrs.stop_upstream();
+            sink_b.clock(out_b);
+            shell_b.clock(&[shell_in], &[stop_out_b]);
+            hrs.clock(src_out, stop_hrs);
+            src_b.clock(stop_src_b);
+        }
+        assert_eq!(sink_a.received(), sink_b.received());
+        assert_eq!(sink_a.voids_seen(), sink_b.voids_seen());
+    }
+
+    #[test]
+    fn display_marks_buffered() {
+        let shell = BufferedShell::new(IdentityPearl::new());
+        assert!(shell.to_string().starts_with("BufferedShell("));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = BufferedShell::new(AccumulatorPearl::new());
+        let b = a.clone();
+        a.clock(&[Token::valid(3)], &[false]);
+        assert_ne!(a.pearl_state(), b.pearl_state());
+    }
+
+    use crate::shell::Shell;
+}

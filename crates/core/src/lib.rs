@@ -1,0 +1,76 @@
+//! Latency-insensitive protocol primitives — the contribution of
+//! *"Issues in Implementing Latency Insensitive Protocols"* (Casu &
+//! Macchiarulo, DATE 2004).
+//!
+//! A latency-insensitive design (LID) takes a synchronous system designed
+//! under the zero-delay-wire assumption and makes it tolerant of
+//! multi-cycle interconnect:
+//!
+//! * functional modules (*pearls*) are wrapped in [`Shell`]s that perform
+//!   data validation, back pressure and clock gating;
+//! * long wires are pipelined with [`FullRelayStation`]s;
+//! * shell-to-shell channels receive at least one [`HalfRelayStation`]
+//!   (or a full one), because the simplified shell does not store
+//!   incoming `stop` signals — the paper's minimum-memory result;
+//! * every channel carries `data` + `valid` forward and `stop` backward;
+//!   a cycle's worth of traffic is a [`Token`] plus a stop bit.
+//!
+//! Two stop-handling disciplines are provided (see [`ProtocolVariant`]):
+//! the paper's refinement discards stops asserted over void tokens, the
+//! Carloni-style baseline back-propagates them unconditionally. All other
+//! behaviour is shared, so throughput comparisons isolate the refinement.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use lip_core::{FullRelayStation, Shell, Source, Sink};
+//! use lip_core::pearl::IdentityPearl;
+//!
+//! // source -> relay station -> shell -> sink, stepped by hand.
+//! let mut src = Source::new();
+//! let mut rs = FullRelayStation::new();
+//! let mut shell = Shell::new(IdentityPearl::new());
+//! let mut sink = Sink::new();
+//!
+//! for _ in 0..5 {
+//!     // Forward phase: tokens offered this cycle.
+//!     let rs_out = rs.output();
+//!     let shell_out = shell.outputs()[0];
+//!     // Backward phase: stops (sink never stops here).
+//!     let stop_shell = sink.stop();
+//!     let stop_rs = shell.stop_upstream(0, &[rs_out], &[stop_shell]);
+//!     let stop_src = rs.stop_upstream();
+//!     // Clock edge.
+//!     sink.clock(shell_out);
+//!     shell.clock(&[rs_out], &[stop_shell]);
+//!     rs.clock(src.output(), stop_rs);
+//!     src.clock(stop_src);
+//! }
+//! // The relay station initialises void, so exactly its one-cycle bubble
+//! // (plus the shell's initial token) shows at the sink.
+//! assert!(sink.received().len() >= 3);
+//! ```
+//!
+//! Higher layers live in sibling crates: `lip-graph` (netlists and
+//! topology analysis), `lip-sim` (system simulation and measurement),
+//! `lip-analysis` (throughput/transient formulas) and `lip-verify`
+//! (model checking of the properties the paper verified with SMV).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffered;
+mod endpoint;
+pub mod pearl;
+mod relay;
+mod shell;
+mod token;
+mod variant;
+
+pub use buffered::BufferedShell;
+pub use endpoint::{Pattern, Sink, Source};
+pub use pearl::Pearl;
+pub use relay::{FifoStation, FullRelayStation, HalfRelayStation, RelayKind, RelayStation};
+pub use shell::{Shell, ShellStats};
+pub use token::Token;
+pub use variant::ProtocolVariant;

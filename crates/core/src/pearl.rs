@@ -1,0 +1,630 @@
+//! Pearls: the functional modules a shell encapsulates.
+//!
+//! Carloni's terminology calls the original synchronous IP block the
+//! *pearl* and its latency-insensitive wrapper the *shell*. A pearl is an
+//! ordinary clocked module designed under the zero-delay-wire assumption;
+//! the shell fires it only when every input is informative and every
+//! pending output has been consumed, and clock-gates it otherwise.
+//!
+//! The [`Pearl`] trait captures exactly what the shell needs: port counts,
+//! a firing function, and (for stateful pearls) access to the internal
+//! state so tests and the model checker can confirm clock gating keeps the
+//! state unchanged.
+
+use std::fmt;
+
+/// A synchronous functional module wrapped by a [`Shell`](crate::Shell).
+///
+/// One call to [`eval`](Pearl::eval) corresponds to one *enabled* clock
+/// tick: the shell guarantees it is called only when the module would have
+/// fired in the original zero-delay design. Implementations may hold
+/// state; the shell never calls `eval` on a gated cycle, which is the
+/// protocol's "clock gating" obligation.
+pub trait Pearl {
+    /// Number of input ports.
+    fn num_inputs(&self) -> usize;
+
+    /// Number of output ports.
+    fn num_outputs(&self) -> usize;
+
+    /// Fire once: consume one datum per input port, produce one per
+    /// output port.
+    ///
+    /// `inputs` has length [`num_inputs`](Pearl::num_inputs); `outputs`
+    /// has length [`num_outputs`](Pearl::num_outputs) and is fully
+    /// overwritten.
+    fn eval(&mut self, inputs: &[u64], outputs: &mut [u64]);
+
+    /// Snapshot of the internal state, used to verify clock gating and to
+    /// hash system states. Stateless pearls return an empty vector.
+    fn state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Human-readable name for traces and evolution tables.
+    fn name(&self) -> &str {
+        "pearl"
+    }
+
+    /// Clone into a box, so shells (and the systems containing them) can
+    /// be cloned for state-space exploration.
+    fn clone_box(&self) -> Box<dyn Pearl>;
+}
+
+impl Clone for Box<dyn Pearl> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+impl fmt::Debug for dyn Pearl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Pearl({} {}in {}out state={:?})",
+            self.name(),
+            self.num_inputs(),
+            self.num_outputs(),
+            self.state()
+        )
+    }
+}
+
+/// A stateless pearl computed by a plain function.
+///
+/// # Example
+///
+/// ```
+/// use lip_core::pearl::{FnPearl, Pearl};
+///
+/// let mut add = FnPearl::new("add", 2, 1, |i, o| o[0] = i[0] + i[1]);
+/// let mut out = [0u64];
+/// add.eval(&[2, 3], &mut out);
+/// assert_eq!(out[0], 5);
+/// ```
+#[derive(Clone)]
+pub struct FnPearl<F> {
+    name: String,
+    inputs: usize,
+    outputs: usize,
+    f: F,
+}
+
+impl<F> FnPearl<F>
+where
+    F: FnMut(&[u64], &mut [u64]) + Clone + 'static,
+{
+    /// Wrap `f` as a pearl with the given port counts.
+    pub fn new(name: impl Into<String>, inputs: usize, outputs: usize, f: F) -> Self {
+        FnPearl { name: name.into(), inputs, outputs, f }
+    }
+}
+
+impl<F> Pearl for FnPearl<F>
+where
+    F: FnMut(&[u64], &mut [u64]) + Clone + 'static,
+{
+    fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.outputs
+    }
+
+    fn eval(&mut self, inputs: &[u64], outputs: &mut [u64]) {
+        (self.f)(inputs, outputs);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn clone_box(&self) -> Box<dyn Pearl> {
+        Box::new(self.clone())
+    }
+}
+
+/// Identity on one channel — the workhorse of protocol-level experiments,
+/// where only token movement matters. With `fanout > 1` it copies its
+/// input to several output ports (LID fanout is per-port, each port having
+/// its own valid/stop pair).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IdentityPearl {
+    fanout: usize,
+}
+
+impl IdentityPearl {
+    /// One-input, one-output identity.
+    #[must_use]
+    pub fn new() -> Self {
+        IdentityPearl { fanout: 1 }
+    }
+
+    /// One-input identity replicated onto `fanout` output ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout == 0`.
+    #[must_use]
+    pub fn with_fanout(fanout: usize) -> Self {
+        assert!(fanout > 0, "fanout must be at least 1");
+        IdentityPearl { fanout }
+    }
+}
+
+impl Default for IdentityPearl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pearl for IdentityPearl {
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.fanout
+    }
+
+    fn eval(&mut self, inputs: &[u64], outputs: &mut [u64]) {
+        for o in outputs.iter_mut() {
+            *o = inputs[0];
+        }
+    }
+
+    fn name(&self) -> &str {
+        "identity"
+    }
+
+    fn clone_box(&self) -> Box<dyn Pearl> {
+        Box::new(self.clone())
+    }
+}
+
+/// Join pearl: combines `arity` inputs into one output with a chosen
+/// reduction. The paper's Fig. 1 join node ("C") is `Join::first(2)` —
+/// throughput analysis only needs the token alignment, not the arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JoinPearl {
+    arity: usize,
+    op: JoinOp,
+}
+
+/// Reduction applied by a [`JoinPearl`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinOp {
+    /// Emit the first input (token alignment only).
+    First,
+    /// Wrapping sum of all inputs.
+    Sum,
+    /// Maximum of all inputs.
+    Max,
+}
+
+impl JoinPearl {
+    /// A join forwarding its first input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0`.
+    #[must_use]
+    pub fn first(arity: usize) -> Self {
+        assert!(arity > 0, "join arity must be at least 1");
+        JoinPearl { arity, op: JoinOp::First }
+    }
+
+    /// A join computing the wrapping sum of its inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0`.
+    #[must_use]
+    pub fn sum(arity: usize) -> Self {
+        assert!(arity > 0, "join arity must be at least 1");
+        JoinPearl { arity, op: JoinOp::Sum }
+    }
+
+    /// A join computing the maximum of its inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0`.
+    #[must_use]
+    pub fn max(arity: usize) -> Self {
+        assert!(arity > 0, "join arity must be at least 1");
+        JoinPearl { arity, op: JoinOp::Max }
+    }
+}
+
+impl Pearl for JoinPearl {
+    fn num_inputs(&self) -> usize {
+        self.arity
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn eval(&mut self, inputs: &[u64], outputs: &mut [u64]) {
+        outputs[0] = match self.op {
+            JoinOp::First => inputs[0],
+            JoinOp::Sum => inputs.iter().fold(0u64, |a, &b| a.wrapping_add(b)),
+            JoinOp::Max => inputs.iter().copied().max().unwrap_or(0),
+        };
+    }
+
+    fn name(&self) -> &str {
+        "join"
+    }
+
+    fn clone_box(&self) -> Box<dyn Pearl> {
+        Box::new(self.clone())
+    }
+}
+
+/// A general N-input, M-output pearl: reduces its inputs with a wrapping
+/// sum and replicates the result onto every output port. The generic
+/// "some computation happens here" node used by netlist generators, where
+/// only token alignment matters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RouterPearl {
+    inputs: usize,
+    outputs: usize,
+}
+
+impl RouterPearl {
+    /// A router with the given port counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs == 0` (a node must produce something; use a
+    /// sink for pure consumers).
+    #[must_use]
+    pub fn new(inputs: usize, outputs: usize) -> Self {
+        assert!(outputs > 0, "router must have at least one output");
+        RouterPearl { inputs, outputs }
+    }
+}
+
+impl Pearl for RouterPearl {
+    fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.outputs
+    }
+
+    fn eval(&mut self, inputs: &[u64], outputs: &mut [u64]) {
+        let v = inputs.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        for o in outputs.iter_mut() {
+            *o = v;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "router"
+    }
+
+    fn clone_box(&self) -> Box<dyn Pearl> {
+        Box::new(self.clone())
+    }
+}
+
+/// A stateful accumulator: output is the running (wrapping) sum of every
+/// datum consumed so far. Used to verify that clock gating preserves
+/// pearl state ("a module waiting for new data and/or stopped keeps its
+/// present state").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AccumulatorPearl {
+    sum: u64,
+}
+
+impl AccumulatorPearl {
+    /// An accumulator starting from zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current accumulated value.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+}
+
+impl Pearl for AccumulatorPearl {
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn eval(&mut self, inputs: &[u64], outputs: &mut [u64]) {
+        self.sum = self.sum.wrapping_add(inputs[0]);
+        outputs[0] = self.sum;
+    }
+
+    fn state(&self) -> Vec<u64> {
+        vec![self.sum]
+    }
+
+    fn name(&self) -> &str {
+        "accumulator"
+    }
+
+    fn clone_box(&self) -> Box<dyn Pearl> {
+        Box::new(*self)
+    }
+}
+
+/// A stateful counter source pearl: zero inputs, one output, emits
+/// 0, 1, 2, … — sequence numbers make ordering violations visible, which
+/// is how the verification properties detect skipped or reordered tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CounterPearl {
+    next: u64,
+}
+
+impl CounterPearl {
+    /// A counter starting from zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A counter starting from `start`.
+    #[must_use]
+    pub fn starting_at(start: u64) -> Self {
+        CounterPearl { next: start }
+    }
+}
+
+impl Pearl for CounterPearl {
+    fn num_inputs(&self) -> usize {
+        0
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn eval(&mut self, _inputs: &[u64], outputs: &mut [u64]) {
+        outputs[0] = self.next;
+        self.next = self.next.wrapping_add(1);
+    }
+
+    fn state(&self) -> Vec<u64> {
+        vec![self.next]
+    }
+
+    fn name(&self) -> &str {
+        "counter"
+    }
+
+    fn clone_box(&self) -> Box<dyn Pearl> {
+        Box::new(*self)
+    }
+}
+
+/// A constant generator: zero inputs, one output, always the same
+/// value. Useful as a coefficient port in datapath examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstPearl {
+    value: u64,
+}
+
+impl ConstPearl {
+    /// A pearl that always emits `value`.
+    #[must_use]
+    pub fn new(value: u64) -> Self {
+        ConstPearl { value }
+    }
+}
+
+impl Pearl for ConstPearl {
+    fn num_inputs(&self) -> usize {
+        0
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn eval(&mut self, _inputs: &[u64], outputs: &mut [u64]) {
+        outputs[0] = self.value;
+    }
+
+    fn name(&self) -> &str {
+        "const"
+    }
+
+    fn clone_box(&self) -> Box<dyn Pearl> {
+        Box::new(*self)
+    }
+}
+
+/// A `k`-stage internal pipeline: models a pearl whose own datapath is
+/// pipelined (a multiplier, a filter). Each firing consumes one datum
+/// and emits the datum from `k` firings ago (zeros before that). Being
+/// inside the shell, the internal pipeline is clock-gated together with
+/// the pearl — the protocol never observes its depth except as
+/// different data timing, which is the latency-insensitivity point.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DelayPearl {
+    stages: std::collections::VecDeque<u64>,
+}
+
+impl DelayPearl {
+    /// A pearl with `k` internal pipeline stages (all initially zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (use [`IdentityPearl`] for a combinational
+    /// pass-through).
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "a delay pearl needs at least one stage");
+        DelayPearl { stages: std::collections::VecDeque::from(vec![0; k]) }
+    }
+
+    /// Number of internal stages.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+impl Pearl for DelayPearl {
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn eval(&mut self, inputs: &[u64], outputs: &mut [u64]) {
+        self.stages.push_back(inputs[0]);
+        outputs[0] = self.stages.pop_front().expect("k >= 1 stages");
+    }
+
+    fn state(&self) -> Vec<u64> {
+        self.stages.iter().copied().collect()
+    }
+
+    fn name(&self) -> &str {
+        "delay"
+    }
+
+    fn clone_box(&self) -> Box<dyn Pearl> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_pearl_emits_fixed_value() {
+        let mut p = ConstPearl::new(42);
+        let mut out = [0u64];
+        p.eval(&[], &mut out);
+        p.eval(&[], &mut out);
+        assert_eq!(out[0], 42);
+        assert_eq!(p.num_inputs(), 0);
+        assert!(p.state().is_empty());
+    }
+
+    #[test]
+    fn delay_pearl_shifts_by_k() {
+        let mut p = DelayPearl::new(2);
+        assert_eq!(p.depth(), 2);
+        let mut out = [0u64];
+        for (input, expect) in [(10, 0), (11, 0), (12, 10), (13, 11)] {
+            p.eval(&[input], &mut out);
+            assert_eq!(out[0], expect);
+        }
+        assert_eq!(p.state(), vec![12, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn delay_pearl_rejects_zero_depth() {
+        let _ = DelayPearl::new(0);
+    }
+
+    #[test]
+    fn fn_pearl_computes() {
+        let mut p = FnPearl::new("xor", 2, 1, |i, o| o[0] = i[0] ^ i[1]);
+        let mut out = [0u64];
+        p.eval(&[0b1100, 0b1010], &mut out);
+        assert_eq!(out[0], 0b0110);
+        assert_eq!(p.name(), "xor");
+        assert_eq!(p.num_inputs(), 2);
+        assert_eq!(p.num_outputs(), 1);
+        assert!(p.state().is_empty());
+    }
+
+    #[test]
+    fn identity_fans_out() {
+        let mut p = IdentityPearl::with_fanout(3);
+        let mut out = [0u64; 3];
+        p.eval(&[7], &mut out);
+        assert_eq!(out, [7, 7, 7]);
+        assert_eq!(p.num_outputs(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout must be at least 1")]
+    fn identity_rejects_zero_fanout() {
+        let _ = IdentityPearl::with_fanout(0);
+    }
+
+    #[test]
+    fn join_ops() {
+        let mut out = [0u64];
+        JoinPearl::first(3).eval(&[4, 5, 6], &mut out);
+        assert_eq!(out[0], 4);
+        JoinPearl::sum(3).eval(&[4, 5, 6], &mut out);
+        assert_eq!(out[0], 15);
+        JoinPearl::max(3).eval(&[4, 9, 6], &mut out);
+        assert_eq!(out[0], 9);
+    }
+
+    #[test]
+    fn accumulator_tracks_state() {
+        let mut p = AccumulatorPearl::new();
+        let mut out = [0u64];
+        p.eval(&[10], &mut out);
+        p.eval(&[5], &mut out);
+        assert_eq!(out[0], 15);
+        assert_eq!(p.sum(), 15);
+        assert_eq!(p.state(), vec![15]);
+    }
+
+    #[test]
+    fn counter_emits_sequence() {
+        let mut p = CounterPearl::starting_at(3);
+        let mut out = [0u64];
+        p.eval(&[], &mut out);
+        assert_eq!(out[0], 3);
+        p.eval(&[], &mut out);
+        assert_eq!(out[0], 4);
+        assert_eq!(p.state(), vec![5]);
+    }
+
+    #[test]
+    fn router_reduces_and_replicates() {
+        let mut p = RouterPearl::new(2, 3);
+        let mut out = [0u64; 3];
+        p.eval(&[3, 4], &mut out);
+        assert_eq!(out, [7, 7, 7]);
+        assert_eq!(p.num_inputs(), 2);
+        assert_eq!(p.num_outputs(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn router_rejects_zero_outputs() {
+        let _ = RouterPearl::new(1, 0);
+    }
+
+    #[test]
+    fn boxed_pearls_clone() {
+        let p: Box<dyn Pearl> = Box::new(AccumulatorPearl::new());
+        let mut q = p.clone();
+        let mut out = [0u64];
+        q.eval(&[2], &mut out);
+        // The original is unaffected by evaluating the clone.
+        assert_eq!(p.state(), vec![0]);
+        assert_eq!(q.state(), vec![2]);
+        assert!(format!("{p:?}").contains("accumulator"));
+    }
+}

@@ -1,0 +1,667 @@
+//! Relay stations: the pipelined interconnect blocks of a
+//! latency-insensitive design.
+//!
+//! A relay station sits on a channel whose wire is too long to traverse in
+//! one clock period (the **full** station) or between two shells whose
+//! back-to-back stop path must be cut (the **half** station, introduced by
+//! the paper). Both register the backward `stop` signal; the data
+//! register(s) absorb the token that is in flight during the one-cycle
+//! stop lag, so no datum is ever lost:
+//!
+//! * [`FullRelayStation`] — two data registers (*main* + *aux*), forward
+//!   latency 1, capacity 2. Initialised void (paper footnote 1: voids must
+//!   flush towards the primary outputs during the transient).
+//! * [`HalfRelayStation`] — one data register with a combinational bypass,
+//!   forward latency 0, capacity 1. It exists because the simplified shell
+//!   "does not save the incoming stop signals", so *"at least one memory
+//!   element to save this signal is needed between two shells"*.
+//!
+//! Both are Moore machines on the stop output (`stop_upstream` depends on
+//! state only), which is what cuts the combinational back-pressure chain.
+
+use std::fmt;
+
+use crate::token::Token;
+
+/// Which flavour of relay station to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelayKind {
+    /// Two registers, latency 1, capacity 2 — the paper's relay station.
+    Full,
+    /// One register with bypass, latency 0, capacity 1 — the paper's
+    /// half relay station.
+    Half,
+    /// Generalised queueing station: latency 1, capacity `k ≥ 2`
+    /// (`Fifo(2)` behaves like `Full`). This is the sized relay queue of
+    /// the paper's reference \[5\] (Carloni & Sangiovanni-Vincentelli,
+    /// DAC'00): extra capacity buys reconvergence slack without extra
+    /// stations.
+    Fifo(u8),
+}
+
+impl RelayKind {
+    /// Storage capacity in tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Fifo(k)` with `k < 2` (use [`RelayKind::Half`] for a
+    /// single-place station).
+    #[must_use]
+    pub fn capacity(self) -> usize {
+        match self {
+            RelayKind::Full => 2,
+            RelayKind::Half => 1,
+            RelayKind::Fifo(k) => {
+                assert!(k >= 2, "fifo stations need capacity >= 2");
+                k as usize
+            }
+        }
+    }
+
+    /// Forward latency in cycles when the pipeline is flowing.
+    #[must_use]
+    pub fn forward_latency(self) -> u64 {
+        match self {
+            RelayKind::Full | RelayKind::Fifo(_) => 1,
+            RelayKind::Half => 0,
+        }
+    }
+}
+
+impl fmt::Display for RelayKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelayKind::Full => f.write_str("full"),
+            RelayKind::Half => f.write_str("half"),
+            RelayKind::Fifo(k) => write!(f, "fifo{k}"),
+        }
+    }
+}
+
+/// A generalised relay station: a `k`-place FIFO with one-cycle forward
+/// latency and a registered stop asserted while full — the sized queue
+/// of Carloni's DAC'00 optimization paper. `FifoStation::new(2)` is
+/// behaviourally identical to [`FullRelayStation`].
+///
+/// # Example
+///
+/// ```
+/// use lip_core::{FifoStation, Token};
+///
+/// let mut q = FifoStation::new(3);
+/// q.clock(Token::valid(1), true); // output void: input still latched
+/// assert_eq!(q.output(), Token::valid(1));
+/// assert_eq!(q.capacity(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FifoStation {
+    /// Queue contents, oldest first. Length ≤ capacity.
+    queue: std::collections::VecDeque<u64>,
+    capacity: usize,
+}
+
+impl FifoStation {
+    /// An empty station with `capacity ≥ 2` places (paper init: void).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "fifo stations need capacity >= 2");
+        FifoStation { queue: std::collections::VecDeque::new(), capacity }
+    }
+
+    /// Token currently presented downstream.
+    #[must_use]
+    pub fn output(&self) -> Token {
+        match self.queue.front() {
+            Some(&v) => Token::valid(v),
+            None => Token::VOID,
+        }
+    }
+
+    /// Registered back-pressure: asserted iff the queue is full.
+    #[must_use]
+    pub fn stop_upstream(&self) -> bool {
+        self.queue.len() == self.capacity
+    }
+
+    /// Stored informative tokens.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Advance one clock cycle.
+    pub fn clock(&mut self, input: Token, stop_downstream: bool) {
+        let was_full = self.queue.len() == self.capacity;
+        if !stop_downstream && !self.queue.is_empty() {
+            self.queue.pop_front();
+        }
+        // Upstream saw our registered stop only if we *were* full at the
+        // start of the cycle; otherwise the offer is fresh and must be
+        // accepted (we have space now in every non-full case).
+        if !was_full {
+            if let Some(v) = input.value() {
+                debug_assert!(self.queue.len() < self.capacity);
+                self.queue.push_back(v);
+            }
+        }
+    }
+}
+
+impl fmt::Display for FifoStation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FIFO[{}/{}]", self.queue.len(), self.capacity)
+    }
+}
+
+/// The full relay station: a two-place latency-insensitive pipeline stage.
+///
+/// FSM states (paper/FMGALS'03 nomenclature) map onto the register pair:
+/// `Empty` (both void), `One` (main informative), `Full` (both
+/// informative). `stop_upstream` is asserted exactly in `Full`.
+///
+/// # Example
+///
+/// ```
+/// use lip_core::{FullRelayStation, Token};
+///
+/// let mut rs = FullRelayStation::new();
+/// assert!(rs.output().is_void()); // initialised void
+/// rs.clock(Token::valid(7), false);
+/// assert_eq!(rs.output(), Token::valid(7)); // one-cycle latency
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FullRelayStation {
+    /// Register whose content is presented downstream.
+    main: Token,
+    /// Overflow register that catches the in-flight token during the
+    /// one-cycle stop lag.
+    aux: Token,
+}
+
+impl FullRelayStation {
+    /// A station initialised with void outputs, as the paper requires.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A station pre-loaded with one informative token (used when
+    /// retiming moves initialisation, and by tests).
+    #[must_use]
+    pub fn with_initial(token: Token) -> Self {
+        FullRelayStation { main: token, aux: Token::VOID }
+    }
+
+    /// Token currently presented downstream.
+    #[must_use]
+    pub fn output(&self) -> Token {
+        self.main
+    }
+
+    /// Registered back-pressure to the upstream producer: asserted iff
+    /// both places are occupied.
+    #[must_use]
+    pub fn stop_upstream(&self) -> bool {
+        self.aux.is_valid()
+    }
+
+    /// Number of informative tokens stored (0..=2).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        usize::from(self.main.is_valid()) + usize::from(self.aux.is_valid())
+    }
+
+    /// Always 2.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        RelayKind::Full.capacity()
+    }
+
+    /// `(main, aux)` register pair, for state inspection and hashing.
+    #[must_use]
+    pub fn state(&self) -> (Token, Token) {
+        (self.main, self.aux)
+    }
+
+    /// Advance one clock cycle.
+    ///
+    /// `input` is the token offered by the upstream producer this cycle;
+    /// `stop_downstream` is the consumer's back-pressure over
+    /// [`output`](Self::output).
+    pub fn clock(&mut self, input: Token, stop_downstream: bool) {
+        let released = self.main.is_valid() && !stop_downstream;
+        let full = self.aux.is_valid();
+        if full {
+            if released {
+                // Shift aux forward; upstream was stopped so `input` is a
+                // re-offer that will be captured once stop deasserts.
+                self.main = self.aux;
+                self.aux = Token::VOID;
+            }
+            // else: hold both registers.
+        } else if self.main.is_valid() {
+            if released {
+                self.main = input;
+            } else if input.is_valid() {
+                // Stop lag: catch the in-flight token.
+                self.aux = input;
+            }
+            // A void input under stop changes nothing.
+        } else {
+            // Empty: a stop over our void output is meaningless (there is
+            // nothing to hold), so we always latch the input.
+            self.main = input;
+        }
+    }
+}
+
+impl fmt::Display for FullRelayStation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RS[{},{}]", self.main, self.aux)
+    }
+}
+
+/// The half relay station: one register plus a combinational bypass.
+///
+/// While empty it is transparent (forward latency 0); when a registered
+/// stop arrives over an informative bypassing token, the single register
+/// captures that token. `stop_upstream` is asserted exactly while the
+/// register is occupied.
+///
+/// # Example
+///
+/// ```
+/// use lip_core::{HalfRelayStation, Token};
+///
+/// let mut rs = HalfRelayStation::new();
+/// // Transparent while empty:
+/// assert_eq!(rs.output(Token::valid(3)), Token::valid(3));
+/// // A stop over the bypassing token captures it:
+/// rs.clock(Token::valid(3), true);
+/// assert!(rs.is_occupied());
+/// assert_eq!(rs.output(Token::VOID), Token::valid(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct HalfRelayStation {
+    reg: Token,
+}
+
+impl HalfRelayStation {
+    /// An empty (transparent) station, as the paper requires at reset.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Token presented downstream given this cycle's `input`: the stored
+    /// token when occupied, the bypassed input otherwise.
+    #[must_use]
+    pub fn output(&self, input: Token) -> Token {
+        if self.reg.is_valid() {
+            self.reg
+        } else {
+            input
+        }
+    }
+
+    /// Registered back-pressure: asserted iff the register is occupied.
+    #[must_use]
+    pub fn stop_upstream(&self) -> bool {
+        self.reg.is_valid()
+    }
+
+    /// `true` when a token is stored.
+    #[must_use]
+    pub fn is_occupied(&self) -> bool {
+        self.reg.is_valid()
+    }
+
+    /// Number of informative tokens stored (0 or 1).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        usize::from(self.reg.is_valid())
+    }
+
+    /// Always 1.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        RelayKind::Half.capacity()
+    }
+
+    /// The stored token (void when empty), for state inspection.
+    #[must_use]
+    pub fn state(&self) -> Token {
+        self.reg
+    }
+
+    /// Advance one clock cycle. `input` is the upstream offer,
+    /// `stop_downstream` the consumer's back-pressure over
+    /// [`output`](Self::output).
+    pub fn clock(&mut self, input: Token, stop_downstream: bool) {
+        if self.reg.is_valid() {
+            if !stop_downstream {
+                // Stored token consumed. Upstream saw our registered stop
+                // this cycle, so `input` is a re-offer: do not capture it.
+                self.reg = Token::VOID;
+            }
+        } else if stop_downstream && input.is_valid() {
+            // The bypassing token was refused downstream while upstream
+            // already considers it delivered: capture it.
+            self.reg = input;
+        }
+    }
+}
+
+impl fmt::Display for HalfRelayStation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HRS[{}]", self.reg)
+    }
+}
+
+/// A relay station of either kind behind one interface, for elaboration
+/// code that treats stations uniformly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RelayStation {
+    /// A [`FullRelayStation`].
+    Full(FullRelayStation),
+    /// A [`HalfRelayStation`].
+    Half(HalfRelayStation),
+    /// A sized [`FifoStation`].
+    Fifo(FifoStation),
+}
+
+impl RelayStation {
+    /// Instantiate a station of `kind` with the paper's initialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Fifo(k)` with `k < 2`.
+    #[must_use]
+    pub fn new(kind: RelayKind) -> Self {
+        match kind {
+            RelayKind::Full => RelayStation::Full(FullRelayStation::new()),
+            RelayKind::Half => RelayStation::Half(HalfRelayStation::new()),
+            RelayKind::Fifo(k) => RelayStation::Fifo(FifoStation::new(k as usize)),
+        }
+    }
+
+    /// Which kind this station is.
+    #[must_use]
+    pub fn kind(&self) -> RelayKind {
+        match self {
+            RelayStation::Full(_) => RelayKind::Full,
+            RelayStation::Half(_) => RelayKind::Half,
+            RelayStation::Fifo(q) => {
+                RelayKind::Fifo(u8::try_from(q.capacity()).expect("capacity fits u8"))
+            }
+        }
+    }
+
+    /// Token presented downstream given this cycle's `input`.
+    #[must_use]
+    pub fn output(&self, input: Token) -> Token {
+        match self {
+            RelayStation::Full(rs) => rs.output(),
+            RelayStation::Half(rs) => rs.output(input),
+            RelayStation::Fifo(q) => q.output(),
+        }
+    }
+
+    /// Registered back-pressure to the upstream producer.
+    #[must_use]
+    pub fn stop_upstream(&self) -> bool {
+        match self {
+            RelayStation::Full(rs) => rs.stop_upstream(),
+            RelayStation::Half(rs) => rs.stop_upstream(),
+            RelayStation::Fifo(q) => q.stop_upstream(),
+        }
+    }
+
+    /// Number of informative tokens stored.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        match self {
+            RelayStation::Full(rs) => rs.occupancy(),
+            RelayStation::Half(rs) => rs.occupancy(),
+            RelayStation::Fifo(q) => q.occupancy(),
+        }
+    }
+
+    /// Storage capacity in tokens.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.kind().capacity()
+    }
+
+    /// Advance one clock cycle.
+    pub fn clock(&mut self, input: Token, stop_downstream: bool) {
+        match self {
+            RelayStation::Full(rs) => rs.clock(input, stop_downstream),
+            RelayStation::Half(rs) => rs.clock(input, stop_downstream),
+            RelayStation::Fifo(q) => q.clock(input, stop_downstream),
+        }
+    }
+}
+
+impl fmt::Display for RelayStation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelayStation::Full(rs) => rs.fmt(f),
+            RelayStation::Half(rs) => rs.fmt(f),
+            RelayStation::Fifo(q) => q.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_initialised_void() {
+        let rs = FullRelayStation::new();
+        assert!(rs.output().is_void());
+        assert!(!rs.stop_upstream());
+        assert_eq!(rs.occupancy(), 0);
+        assert_eq!(rs.capacity(), 2);
+    }
+
+    #[test]
+    fn full_streams_at_unit_throughput() {
+        let mut rs = FullRelayStation::new();
+        let mut received = Vec::new();
+        for i in 0..10u64 {
+            received.push(rs.output());
+            rs.clock(Token::valid(i), false);
+        }
+        // One-cycle latency: first output void, then 0,1,2,...
+        assert_eq!(received[0], Token::VOID);
+        for (i, t) in received[1..].iter().enumerate() {
+            assert_eq!(*t, Token::valid(i as u64));
+        }
+    }
+
+    #[test]
+    fn full_absorbs_inflight_token_on_stop() {
+        let mut rs = FullRelayStation::new();
+        rs.clock(Token::valid(1), false); // main = 1
+        assert_eq!(rs.output(), Token::valid(1));
+        // Downstream stops while upstream (which has not yet seen a stop)
+        // offers token 2: it must be caught by aux.
+        rs.clock(Token::valid(2), true);
+        assert_eq!(rs.output(), Token::valid(1)); // held
+        assert!(rs.stop_upstream()); // now full
+        assert_eq!(rs.occupancy(), 2);
+        // Upstream is stopped: its re-offer of 3 must be ignored even as
+        // downstream resumes.
+        rs.clock(Token::valid(3), false);
+        assert_eq!(rs.output(), Token::valid(2));
+        assert!(!rs.stop_upstream());
+        // Now the re-offer is captured.
+        rs.clock(Token::valid(3), false);
+        assert_eq!(rs.output(), Token::valid(3));
+    }
+
+    #[test]
+    fn full_holds_output_on_persistent_stop() {
+        let mut rs = FullRelayStation::with_initial(Token::valid(9));
+        for _ in 0..5 {
+            rs.clock(Token::VOID, true);
+            assert_eq!(rs.output(), Token::valid(9));
+        }
+    }
+
+    #[test]
+    fn full_discards_nothing_when_empty_and_stopped() {
+        let mut rs = FullRelayStation::new();
+        // Stop over a void output is meaningless; input still latches.
+        rs.clock(Token::valid(5), true);
+        assert_eq!(rs.output(), Token::valid(5));
+        assert_eq!(rs.occupancy(), 1);
+    }
+
+    #[test]
+    fn half_is_transparent_when_empty() {
+        let rs = HalfRelayStation::new();
+        assert_eq!(rs.output(Token::valid(4)), Token::valid(4));
+        assert_eq!(rs.output(Token::VOID), Token::VOID);
+        assert!(!rs.stop_upstream());
+        assert_eq!(rs.capacity(), 1);
+    }
+
+    #[test]
+    fn half_captures_on_stop_and_releases() {
+        let mut rs = HalfRelayStation::new();
+        rs.clock(Token::valid(8), true); // refused downstream: capture
+        assert!(rs.is_occupied());
+        assert!(rs.stop_upstream());
+        assert_eq!(rs.output(Token::valid(99)), Token::valid(8)); // stored wins
+        rs.clock(Token::valid(99), false); // consumed; re-offer ignored
+        assert!(!rs.is_occupied());
+        assert_eq!(rs.output(Token::valid(99)), Token::valid(99)); // bypass again
+    }
+
+    #[test]
+    fn half_ignores_stop_over_void() {
+        let mut rs = HalfRelayStation::new();
+        rs.clock(Token::VOID, true);
+        assert!(!rs.is_occupied());
+    }
+
+    #[test]
+    fn half_holds_under_persistent_stop() {
+        let mut rs = HalfRelayStation::new();
+        rs.clock(Token::valid(1), true);
+        for _ in 0..4 {
+            rs.clock(Token::valid(2), true);
+            assert_eq!(rs.output(Token::valid(2)), Token::valid(1));
+        }
+        assert_eq!(rs.occupancy(), 1);
+    }
+
+    #[test]
+    fn fifo_station_behaves_like_full_at_capacity_two() {
+        use crate::endpoint::{Pattern, Sink, Source};
+        let stop = Pattern::Cyclic(vec![false, true, true, false, true]);
+        let voids = Pattern::Cyclic(vec![false, false, true]);
+        let mut src_a = Source::with_void_pattern(voids.clone());
+        let mut src_b = Source::with_void_pattern(voids);
+        let mut sink_a = Sink::with_stop_pattern(stop.clone());
+        let mut sink_b = Sink::with_stop_pattern(stop);
+        let mut full = FullRelayStation::new();
+        let mut fifo = FifoStation::new(2);
+        for _ in 0..200 {
+            let oa = full.output();
+            let ob = fifo.output();
+            assert_eq!(oa, ob);
+            assert_eq!(full.stop_upstream(), fifo.stop_upstream());
+            let stop_a = sink_a.stop();
+            let stop_b = sink_b.stop();
+            sink_a.clock(oa);
+            sink_b.clock(ob);
+            full.clock(src_a.output(), stop_a);
+            fifo.clock(src_b.output(), stop_b);
+            src_a.clock(full.stop_upstream());
+            src_b.clock(fifo.stop_upstream());
+        }
+        assert_eq!(sink_a.received(), sink_b.received());
+    }
+
+    #[test]
+    fn fifo_station_preserves_order_and_capacity() {
+        let mut q = FifoStation::new(3);
+        // Fill under persistent stop.
+        q.clock(Token::valid(1), true);
+        q.clock(Token::valid(2), true);
+        q.clock(Token::valid(3), true);
+        assert_eq!(q.occupancy(), 3);
+        assert!(q.stop_upstream());
+        // Re-offers while full are ignored.
+        q.clock(Token::valid(3), true);
+        assert_eq!(q.occupancy(), 3);
+        // Drain in order.
+        assert_eq!(q.output(), Token::valid(1));
+        q.clock(Token::valid(4), false); // re-offer of 4? was_full -> ignored
+        assert_eq!(q.output(), Token::valid(2));
+        q.clock(Token::valid(4), false); // now accepted
+        assert_eq!(q.output(), Token::valid(3));
+        q.clock(Token::VOID, false);
+        assert_eq!(q.output(), Token::valid(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 2")]
+    fn fifo_station_rejects_tiny_capacity() {
+        let _ = FifoStation::new(1);
+    }
+
+    #[test]
+    fn fifo_kind_properties() {
+        assert_eq!(RelayKind::Fifo(4).capacity(), 4);
+        assert_eq!(RelayKind::Fifo(4).forward_latency(), 1);
+        assert_eq!(RelayKind::Fifo(4).to_string(), "fifo4");
+        let rs = RelayStation::new(RelayKind::Fifo(3));
+        assert_eq!(rs.kind(), RelayKind::Fifo(3));
+        assert_eq!(rs.capacity(), 3);
+        assert_eq!(RelayStation::new(RelayKind::Fifo(3)).to_string(), "FIFO[0/3]");
+    }
+
+    #[test]
+    fn relay_station_enum_dispatches() {
+        let mut full = RelayStation::new(RelayKind::Full);
+        let mut half = RelayStation::new(RelayKind::Half);
+        assert_eq!(full.kind(), RelayKind::Full);
+        assert_eq!(half.kind(), RelayKind::Half);
+        assert_eq!(full.capacity(), 2);
+        assert_eq!(half.capacity(), 1);
+        assert_eq!(RelayKind::Full.forward_latency(), 1);
+        assert_eq!(RelayKind::Half.forward_latency(), 0);
+        full.clock(Token::valid(1), false);
+        half.clock(Token::valid(1), true);
+        assert_eq!(full.output(Token::VOID), Token::valid(1));
+        assert_eq!(half.output(Token::VOID), Token::valid(1));
+        assert_eq!(full.occupancy(), 1);
+        assert_eq!(half.occupancy(), 1);
+        assert!(!full.stop_upstream());
+        assert!(half.stop_upstream());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FullRelayStation::new().to_string(), "RS[n,n]");
+        assert_eq!(HalfRelayStation::new().to_string(), "HRS[n]");
+        assert_eq!(RelayKind::Full.to_string(), "full");
+        assert_eq!(RelayKind::Half.to_string(), "half");
+        assert_eq!(RelayStation::new(RelayKind::Half).to_string(), "HRS[n]");
+    }
+}

@@ -1,0 +1,383 @@
+//! Shells: the latency-insensitive wrappers around pearls.
+//!
+//! A shell performs the three duties the paper lists:
+//!
+//! * **Data validation** — each output channel carries a `valid` flag
+//!   telling the consumer whether the datum has still to be consumed.
+//! * **Back pressure** — when the pearl is stalled, a `stop` is generated
+//!   towards the inputs (in the [`Refined`](crate::ProtocolVariant::Refined)
+//!   variant only towards inputs that currently carry *valid* data; stops
+//!   over voids are discarded).
+//! * **Clock gating** — a stalled pearl keeps its present state; its
+//!   `eval` function is simply not called.
+//!
+//! This is the paper's *simplified shell*: it does **not** save incoming
+//! stop signals (they traverse the shell combinationally within the
+//! cycle), which is why the netlist validator requires at least one half
+//! or full relay station on every shell-to-shell channel.
+
+use std::fmt;
+
+use crate::pearl::Pearl;
+use crate::token::Token;
+use crate::variant::ProtocolVariant;
+
+/// Firing/stall counters of a [`Shell`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ShellStats {
+    /// Cycles in which the pearl fired.
+    pub fires: u64,
+    /// Cycles in which the pearl was clock-gated.
+    pub stalls: u64,
+}
+
+impl ShellStats {
+    /// Fraction of cycles in which the pearl fired (its local throughput).
+    #[must_use]
+    pub fn utilisation(&self) -> f64 {
+        let total = self.fires + self.stalls;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.fires as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// A latency-insensitive shell wrapping a [`Pearl`].
+///
+/// Per-cycle usage (the shell is a Mealy machine in the stop direction):
+///
+/// 1. read the output tokens via [`outputs`](Shell::outputs);
+/// 2. with this cycle's input tokens and downstream stops, query
+///    [`stop_upstream`](Shell::stop_upstream) for the back-pressure to
+///    each producer;
+/// 3. call [`clock`](Shell::clock) to advance to the next cycle.
+///
+/// # Example
+///
+/// ```
+/// use lip_core::{Shell, Token};
+/// use lip_core::pearl::IdentityPearl;
+///
+/// let mut shell = Shell::new(IdentityPearl::new());
+/// // Outputs initialise valid (paper footnote 1). Feed a token through:
+/// shell.clock(&[Token::valid(5)], &[false]);
+/// assert_eq!(shell.outputs()[0], Token::valid(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Shell {
+    pearl: Box<dyn Pearl>,
+    outputs: Vec<Token>,
+    variant: ProtocolVariant,
+    stats: ShellStats,
+    scratch_in: Vec<u64>,
+    scratch_out: Vec<u64>,
+}
+
+impl Shell {
+    /// Wrap `pearl` using the paper's refined protocol variant.
+    ///
+    /// Output registers initialise to valid tokens carrying the pearl's
+    /// first firing over zero-valued inputs — the paper's footnote 1:
+    /// *"the shells outputs are initialized with valid data"*.
+    pub fn new(pearl: impl Pearl + 'static) -> Self {
+        Self::with_variant(pearl, ProtocolVariant::Refined)
+    }
+
+    /// Wrap `pearl` under an explicit [`ProtocolVariant`].
+    pub fn with_variant(pearl: impl Pearl + 'static, variant: ProtocolVariant) -> Self {
+        Self::from_box(Box::new(pearl), variant)
+    }
+
+    /// Wrap an already-boxed pearl (used by elaboration code).
+    #[must_use]
+    pub fn from_box(mut pearl: Box<dyn Pearl>, variant: ProtocolVariant) -> Self {
+        let n_in = pearl.num_inputs();
+        let n_out = pearl.num_outputs();
+        // Initial valid outputs: the pearl's firing over all-zero inputs.
+        let zero_in = vec![0u64; n_in];
+        let mut first = vec![0u64; n_out];
+        pearl.eval(&zero_in, &mut first);
+        let outputs = first.into_iter().map(Token::valid).collect();
+        Shell {
+            pearl,
+            outputs,
+            variant,
+            stats: ShellStats::default(),
+            scratch_in: vec![0; n_in],
+            scratch_out: vec![0; n_out],
+        }
+    }
+
+    /// Number of input channels.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.pearl.num_inputs()
+    }
+
+    /// Number of output channels.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.pearl.num_outputs()
+    }
+
+    /// The protocol variant this shell follows.
+    #[must_use]
+    pub fn variant(&self) -> ProtocolVariant {
+        self.variant
+    }
+
+    /// Current output tokens (one per output channel).
+    #[must_use]
+    pub fn outputs(&self) -> &[Token] {
+        &self.outputs
+    }
+
+    /// Firing statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> ShellStats {
+        self.stats
+    }
+
+    /// Snapshot of the wrapped pearl's internal state.
+    #[must_use]
+    pub fn pearl_state(&self) -> Vec<u64> {
+        self.pearl.state()
+    }
+
+    /// Name of the wrapped pearl.
+    #[must_use]
+    pub fn pearl_name(&self) -> &str {
+        self.pearl.name()
+    }
+
+    /// Whether the pearl fires this cycle, given this cycle's input
+    /// tokens and the stops asserted over our outputs.
+    ///
+    /// The pearl fires iff every input is informative **and** no output
+    /// that still holds unconsumed data is stopped. Under the
+    /// [`Carloni`](ProtocolVariant::Carloni) variant any asserted output
+    /// stop blocks firing, valid or not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the port counts.
+    #[must_use]
+    pub fn can_fire(&self, inputs: &[Token], output_stops: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.num_inputs(), "input arity mismatch");
+        assert_eq!(output_stops.len(), self.num_outputs(), "output arity mismatch");
+        let all_valid = inputs.iter().all(|t| t.is_valid());
+        let blocked = self
+            .outputs
+            .iter()
+            .zip(output_stops)
+            .any(|(out, &stop)| stop && (out.is_valid() || !self.variant.discards_stop_on_void()));
+        all_valid && !blocked
+    }
+
+    /// Back-pressure generated towards the producer of input `index`.
+    ///
+    /// Refined variant: asserted iff that input carries valid data the
+    /// stalled pearl cannot consume. Carloni variant: asserted on every
+    /// input whenever the pearl stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the slice lengths do not match
+    /// the port counts.
+    #[must_use]
+    pub fn stop_upstream(&self, index: usize, inputs: &[Token], output_stops: &[bool]) -> bool {
+        assert!(index < self.num_inputs(), "input index out of range");
+        if self.can_fire(inputs, output_stops) {
+            return false;
+        }
+        if self.variant.discards_stop_on_void() {
+            inputs[index].is_valid()
+        } else {
+            true
+        }
+    }
+
+    /// Advance one clock cycle.
+    ///
+    /// If the pearl fires, all inputs are consumed and every output
+    /// register loads a fresh valid token. Otherwise the pearl is gated
+    /// and each output register is updated according to consumption: a
+    /// valid, un-stopped token was taken by the consumer (the register
+    /// turns void); a stopped token is held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the port counts.
+    pub fn clock(&mut self, inputs: &[Token], output_stops: &[bool]) {
+        if self.can_fire(inputs, output_stops) {
+            for (slot, t) in self.scratch_in.iter_mut().zip(inputs) {
+                *slot = t.value().expect("can_fire guarantees valid inputs");
+            }
+            self.pearl.eval(&self.scratch_in, &mut self.scratch_out);
+            for (reg, &v) in self.outputs.iter_mut().zip(&self.scratch_out) {
+                *reg = Token::valid(v);
+            }
+            self.stats.fires += 1;
+        } else {
+            for (reg, &stop) in self.outputs.iter_mut().zip(output_stops) {
+                if reg.is_valid() && !stop {
+                    // Consumed downstream this cycle.
+                    *reg = Token::VOID;
+                }
+            }
+            self.stats.stalls += 1;
+        }
+    }
+}
+
+impl fmt::Display for Shell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shell({}", self.pearl.name())?;
+        for t in &self.outputs {
+            write!(f, " {t}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pearl::{AccumulatorPearl, CounterPearl, IdentityPearl, JoinPearl};
+
+    #[test]
+    fn outputs_initialise_valid() {
+        let shell = Shell::new(IdentityPearl::new());
+        assert!(shell.outputs()[0].is_valid());
+    }
+
+    #[test]
+    fn fires_when_inputs_valid_and_unstopped() {
+        let shell = Shell::new(IdentityPearl::new());
+        assert!(shell.can_fire(&[Token::valid(1)], &[false]));
+        assert!(!shell.can_fire(&[Token::VOID], &[false]));
+        assert!(!shell.can_fire(&[Token::valid(1)], &[true])); // valid output stopped
+    }
+
+    #[test]
+    fn refined_variant_discards_stop_on_void_output() {
+        let mut shell = Shell::new(IdentityPearl::new());
+        // Drain the initial valid output while stalling on a void input.
+        shell.clock(&[Token::VOID], &[false]);
+        assert!(shell.outputs()[0].is_void());
+        // A stop over the void output must not block firing.
+        assert!(shell.can_fire(&[Token::valid(1)], &[true]));
+    }
+
+    #[test]
+    fn carloni_variant_respects_stop_on_void_output() {
+        let mut shell = Shell::with_variant(IdentityPearl::new(), ProtocolVariant::Carloni);
+        shell.clock(&[Token::VOID], &[false]);
+        assert!(shell.outputs()[0].is_void());
+        assert!(!shell.can_fire(&[Token::valid(1)], &[true]));
+    }
+
+    #[test]
+    fn back_pressure_only_on_valid_inputs_in_refined() {
+        let shell = Shell::new(JoinPearl::first(2));
+        let inputs = [Token::valid(1), Token::VOID]; // stalls: one void input
+        let stops = [false];
+        assert!(shell.stop_upstream(0, &inputs, &stops)); // valid input held
+        assert!(!shell.stop_upstream(1, &inputs, &stops)); // void: discarded
+    }
+
+    #[test]
+    fn back_pressure_unconditional_in_carloni() {
+        let shell = Shell::with_variant(JoinPearl::first(2), ProtocolVariant::Carloni);
+        let inputs = [Token::valid(1), Token::VOID];
+        let stops = [false];
+        assert!(shell.stop_upstream(0, &inputs, &stops));
+        assert!(shell.stop_upstream(1, &inputs, &stops));
+    }
+
+    #[test]
+    fn no_back_pressure_when_firing() {
+        let shell = Shell::new(IdentityPearl::new());
+        assert!(!shell.stop_upstream(0, &[Token::valid(4)], &[false]));
+    }
+
+    #[test]
+    fn gating_preserves_pearl_state() {
+        let mut shell = Shell::new(AccumulatorPearl::new());
+        shell.clock(&[Token::valid(10)], &[false]);
+        let state = shell.pearl_state();
+        for _ in 0..5 {
+            shell.clock(&[Token::VOID], &[false]); // gated: void input
+        }
+        assert_eq!(shell.pearl_state(), state);
+        assert_eq!(shell.stats().fires, 1);
+        assert_eq!(shell.stats().stalls, 5);
+    }
+
+    #[test]
+    fn consumed_output_turns_void_held_output_stays() {
+        let mut shell = Shell::new(IdentityPearl::with_fanout(2));
+        // Stall (void input); output 0 consumed, output 1 stopped.
+        let before = shell.outputs().to_vec();
+        shell.clock(&[Token::VOID], &[false, true]);
+        assert!(shell.outputs()[0].is_void());
+        assert_eq!(shell.outputs()[1], before[1]);
+    }
+
+    #[test]
+    fn firing_replaces_outputs() {
+        let mut shell = Shell::new(CounterPearl::new());
+        // Counter pearl: zero inputs. Initial output = 0; then 1, 2, ...
+        assert_eq!(shell.outputs()[0], Token::valid(0));
+        shell.clock(&[], &[false]);
+        assert_eq!(shell.outputs()[0], Token::valid(1));
+        shell.clock(&[], &[false]);
+        assert_eq!(shell.outputs()[0], Token::valid(2));
+    }
+
+    #[test]
+    fn source_like_shell_holds_on_stop() {
+        let mut shell = Shell::new(CounterPearl::new());
+        shell.clock(&[], &[true]); // stopped: hold the 0
+        assert_eq!(shell.outputs()[0], Token::valid(0));
+        shell.clock(&[], &[false]); // consumed & fires
+        assert_eq!(shell.outputs()[0], Token::valid(1));
+    }
+
+    #[test]
+    fn utilisation_reflects_fires() {
+        let mut shell = Shell::new(IdentityPearl::new());
+        shell.clock(&[Token::valid(1)], &[false]);
+        shell.clock(&[Token::VOID], &[false]);
+        let u = shell.stats().utilisation();
+        assert!((u - 0.5).abs() < 1e-12);
+        assert_eq!(ShellStats::default().utilisation(), 0.0);
+    }
+
+    #[test]
+    fn display_shows_pearl_and_outputs() {
+        let shell = Shell::new(IdentityPearl::new());
+        let s = shell.to_string();
+        assert!(s.starts_with("Shell(identity"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input arity mismatch")]
+    fn arity_mismatch_panics() {
+        let shell = Shell::new(IdentityPearl::new());
+        let _ = shell.can_fire(&[], &[false]);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = Shell::new(AccumulatorPearl::new());
+        let b = a.clone();
+        a.clock(&[Token::valid(3)], &[false]);
+        assert_ne!(a.pearl_state(), b.pearl_state());
+    }
+}

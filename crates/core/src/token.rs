@@ -1,0 +1,137 @@
+//! Tokens: the unit of information travelling on a latency-insensitive
+//! channel.
+
+use std::fmt;
+
+/// A datum travelling on a channel together with its `valid` flag.
+///
+/// Latency-insensitive channels carry either an *informative* token (a
+/// datum the consumer has still to use) or a *void* token (τ in Carloni's
+/// theory, printed `n` in the paper's figures). Voids appear when a relay
+/// station has nothing buffered or when a stalled shell's output was
+/// already consumed.
+///
+/// # Example
+///
+/// ```
+/// use lip_core::Token;
+///
+/// let t = Token::valid(42);
+/// assert!(t.is_valid());
+/// assert_eq!(t.value(), Some(42));
+/// assert_eq!(Token::VOID.value(), None);
+/// assert_eq!(Token::VOID.to_string(), "n");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Token(Option<u64>);
+
+impl Token {
+    /// The void token (`valid = 0`).
+    pub const VOID: Token = Token(None);
+
+    /// An informative token carrying `value`.
+    #[must_use]
+    pub fn valid(value: u64) -> Self {
+        Token(Some(value))
+    }
+
+    /// `true` for informative tokens.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self.0.is_some()
+    }
+
+    /// `true` for the void token.
+    #[must_use]
+    pub fn is_void(self) -> bool {
+        self.0.is_none()
+    }
+
+    /// The carried datum, or `None` for voids.
+    #[must_use]
+    pub fn value(self) -> Option<u64> {
+        self.0
+    }
+
+    /// The carried datum, or `default` for voids.
+    #[must_use]
+    pub fn value_or(self, default: u64) -> u64 {
+        self.0.unwrap_or(default)
+    }
+
+    /// Strip the datum, keeping only validity — the *skeleton* view of the
+    /// token used by the paper's cheap deadlock simulations.
+    #[must_use]
+    pub fn skeleton(self) -> Token {
+        if self.is_valid() {
+            Token::valid(0)
+        } else {
+            Token::VOID
+        }
+    }
+}
+
+impl From<Option<u64>> for Token {
+    fn from(v: Option<u64>) -> Self {
+        Token(v)
+    }
+}
+
+impl From<Token> for Option<u64> {
+    fn from(t: Token) -> Self {
+        t.0
+    }
+}
+
+impl fmt::Display for Token {
+    /// Prints the datum, or `n` for voids — matching the notation of the
+    /// paper's Fig. 1 and Fig. 2.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Some(v) => write!(f, "{v}"),
+            None => f.write_str("n"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn void_and_valid_are_distinct() {
+        assert!(Token::VOID.is_void());
+        assert!(!Token::VOID.is_valid());
+        assert!(Token::valid(0).is_valid());
+        assert_ne!(Token::valid(0), Token::VOID);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Token::valid(9).value(), Some(9));
+        assert_eq!(Token::VOID.value(), None);
+        assert_eq!(Token::VOID.value_or(7), 7);
+        assert_eq!(Token::valid(9).value_or(7), 9);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Token::valid(3).to_string(), "3");
+        assert_eq!(Token::VOID.to_string(), "n");
+    }
+
+    #[test]
+    fn skeleton_erases_data_keeps_validity() {
+        assert_eq!(Token::valid(99).skeleton(), Token::valid(0));
+        assert_eq!(Token::VOID.skeleton(), Token::VOID);
+    }
+
+    #[test]
+    fn option_conversions() {
+        let t: Token = Some(5).into();
+        assert_eq!(t, Token::valid(5));
+        let o: Option<u64> = Token::VOID.into();
+        assert_eq!(o, None);
+        assert_eq!(Token::default(), Token::VOID);
+    }
+}

@@ -1,0 +1,69 @@
+//! The two stop-handling disciplines compared by the paper.
+
+use std::fmt;
+
+/// How a shell treats `stop` signals relative to data validity.
+///
+/// The paper's key protocol refinement (Section 1): *"In previous works
+/// the stop signal is back-propagated regardless of the signals validity;
+/// in our implementation stops on invalid signals are discarded. The
+/// overall computation can get a significant speedup, and higher locality
+/// of management of void/stop signals is ensured."*
+///
+/// The two variants differ **only** in stop handling, so measured
+/// throughput differences (experiment `EXP-T5`) isolate exactly the
+/// refinement the paper claims credit for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProtocolVariant {
+    /// Casu & Macchiarulo's refinement: a `stop` asserted on a channel
+    /// whose current token is void is discarded — it neither stalls the
+    /// producer nor propagates further upstream.
+    #[default]
+    Refined,
+    /// The original Carloni-style discipline: `stop` back-propagates
+    /// unconditionally, regardless of the validity of the data it covers.
+    Carloni,
+}
+
+impl ProtocolVariant {
+    /// All variants, for sweeps.
+    pub const ALL: [ProtocolVariant; 2] = [ProtocolVariant::Refined, ProtocolVariant::Carloni];
+
+    /// `true` when a stop asserted over a void token should be ignored.
+    #[must_use]
+    pub fn discards_stop_on_void(self) -> bool {
+        matches!(self, ProtocolVariant::Refined)
+    }
+}
+
+impl fmt::Display for ProtocolVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolVariant::Refined => f.write_str("refined"),
+            ProtocolVariant::Carloni => f.write_str("carloni"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_variant() {
+        assert_eq!(ProtocolVariant::default(), ProtocolVariant::Refined);
+        assert!(ProtocolVariant::Refined.discards_stop_on_void());
+        assert!(!ProtocolVariant::Carloni.discards_stop_on_void());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProtocolVariant::Refined.to_string(), "refined");
+        assert_eq!(ProtocolVariant::Carloni.to_string(), "carloni");
+    }
+
+    #[test]
+    fn all_lists_both() {
+        assert_eq!(ProtocolVariant::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Edge-case coverage of the core components: behaviours that the
+//! protocol relies on but which the main property suites exercise only
+//! incidentally.
+
+use lip_core::pearl::{ConstPearl, DelayPearl, Pearl};
+use lip_core::{
+    BufferedShell, FifoStation, FullRelayStation, HalfRelayStation, Pattern, ProtocolVariant,
+    Shell, Sink, Source, Token,
+};
+
+#[test]
+fn tokens_order_voids_first() {
+    // Ord is derived from Option<u64>: voids sort before values, which
+    // keeps BTreeMap-based bookkeeping deterministic.
+    let mut v = vec![Token::valid(2), Token::VOID, Token::valid(0)];
+    v.sort();
+    assert_eq!(v, vec![Token::VOID, Token::valid(0), Token::valid(2)]);
+}
+
+#[test]
+#[should_panic(expected = "pattern period must be at least 1")]
+fn zero_period_pattern_panics() {
+    let _ = Pattern::EveryNth { period: 0, phase: 0 }.at(3);
+}
+
+#[test]
+#[should_panic(expected = "cyclic pattern must be non-empty")]
+fn empty_cyclic_pattern_panics() {
+    let _ = Pattern::Cyclic(vec![]).at(0);
+}
+
+#[test]
+fn source_emission_counter_ignores_held_cycles() {
+    let mut s = Source::new();
+    for _ in 0..10 {
+        s.clock(true); // held the whole time
+    }
+    assert_eq!(s.emitted(), 1); // only the initial token exists
+    assert_eq!(s.output(), Token::valid(0));
+}
+
+#[test]
+fn sink_throughput_on_empty_window_is_zero() {
+    let sink = Sink::new();
+    assert_eq!(sink.throughput(), 0.0);
+    assert_eq!(sink.cycles(), 0);
+}
+
+#[test]
+fn full_relay_under_alternating_stop_never_duplicates() {
+    let mut rs = FullRelayStation::new();
+    let mut src = Source::new();
+    let mut seen = Vec::new();
+    for cycle in 0..50u64 {
+        let stop = cycle % 2 == 0;
+        let out = rs.output();
+        if out.is_valid() && !stop {
+            seen.push(out.value().unwrap());
+        }
+        let up = rs.stop_upstream();
+        rs.clock(src.output(), stop);
+        src.clock(up);
+    }
+    for (i, v) in seen.iter().enumerate() {
+        assert_eq!(*v, i as u64);
+    }
+    assert!(seen.len() >= 20);
+}
+
+#[test]
+fn half_relay_capture_release_cycle_is_stable() {
+    // Exercise the tight alternation: capture, hold, release, bypass.
+    let mut h = HalfRelayStation::new();
+    let mut expected_next = 0u64;
+    let mut src = Source::new();
+    for cycle in 0..60u64 {
+        let stop = (cycle / 3) % 2 == 0; // 3-on 3-off stop bursts
+        let out = h.output(src.output());
+        if out.is_valid() && !stop {
+            assert_eq!(out.value().unwrap(), expected_next);
+            expected_next += 1;
+        }
+        let up = h.stop_upstream();
+        h.clock(src.output(), stop);
+        src.clock(up);
+    }
+    assert!(expected_next >= 25);
+}
+
+#[test]
+fn fifo_station_equivalence_to_full_holds_under_random_traffic() {
+    let stop = Pattern::Random { num: 2, denom: 5, seed: 99 };
+    let voids = Pattern::Random { num: 1, denom: 4, seed: 7 };
+    let mut full = FullRelayStation::new();
+    let mut fifo = FifoStation::new(2);
+    let mut src_a = Source::with_void_pattern(voids.clone());
+    let mut src_b = Source::with_void_pattern(voids);
+    for cycle in 0..500u64 {
+        let s = stop.at(cycle);
+        assert_eq!(full.output(), fifo.output(), "cycle {cycle}");
+        assert_eq!(full.stop_upstream(), fifo.stop_upstream(), "cycle {cycle}");
+        let (ua, ub) = (full.stop_upstream(), fifo.stop_upstream());
+        full.clock(src_a.output(), s);
+        fifo.clock(src_b.output(), s);
+        src_a.clock(ua);
+        src_b.clock(ub);
+    }
+}
+
+#[test]
+fn carloni_shell_blocks_on_any_stop() {
+    let mut shell = Shell::with_variant(ConstPearl::new(7), ProtocolVariant::Carloni);
+    // Drain the initial output, then stop over the void: the Carloni
+    // shell must stall anyway.
+    shell.clock(&[], &[false]);
+    shell.clock(&[], &[false]);
+    let before = shell.stats().fires;
+    shell.clock(&[], &[true]);
+    assert_eq!(shell.stats().fires, before, "carloni must respect stop over void");
+}
+
+#[test]
+fn refined_shell_fires_through_stop_over_void() {
+    let mut shell = Shell::new(ConstPearl::new(7));
+    shell.clock(&[], &[false]); // consumed: output now refreshed each fire
+    let before = shell.stats().fires;
+    // Make the output void first: impossible for a firing const shell —
+    // outputs are always replaced valid. Instead check can_fire directly
+    // after a forced consumption with simultaneous stop on the *void*
+    // state of an identity shell.
+    let mut idle = Shell::new(lip_core::pearl::IdentityPearl::new());
+    idle.clock(&[Token::VOID], &[false]); // output consumed, now void
+    assert!(idle.can_fire(&[Token::valid(1)], &[true]));
+    let _ = before;
+}
+
+#[test]
+fn buffered_shell_stats_and_display() {
+    let mut b = BufferedShell::new(lip_core::pearl::AccumulatorPearl::new());
+    b.clock(&[Token::valid(5)], &[false]);
+    assert_eq!(b.stats().fires, 1);
+    assert!(b.to_string().contains("Buffered"));
+    assert_eq!(b.variant(), ProtocolVariant::Refined);
+    assert_eq!(b.effective_input(0, Token::valid(9)), Token::valid(9));
+}
+
+#[test]
+fn delay_pearl_inside_shell_is_gated_with_it() {
+    let mut shell = Shell::new(DelayPearl::new(2));
+    // Fire twice, then gate: internal pipeline must freeze.
+    shell.clock(&[Token::valid(10)], &[false]);
+    shell.clock(&[Token::valid(11)], &[false]);
+    let frozen = shell.pearl_state();
+    for _ in 0..5 {
+        shell.clock(&[Token::VOID], &[false]);
+    }
+    assert_eq!(shell.pearl_state(), frozen);
+    // Resume: the pipeline picks up where it left off.
+    shell.clock(&[Token::valid(12)], &[false]);
+    assert_eq!(shell.outputs()[0], Token::valid(10));
+}
+
+#[test]
+fn pearl_trait_object_reports_metadata() {
+    let p: Box<dyn Pearl> = Box::new(DelayPearl::new(3));
+    assert_eq!(p.num_inputs(), 1);
+    assert_eq!(p.state().len(), 3);
+    assert_eq!(p.name(), "delay");
+    let q = p.clone();
+    assert_eq!(q.state(), p.state());
+}

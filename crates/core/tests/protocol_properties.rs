@@ -1,0 +1,243 @@
+//! Property-based tests of the protocol invariants.
+//!
+//! The paper's safety notion: a composition of shells and relay stations
+//! must behave, up to latency, exactly like the original zero-delay
+//! system. Concretely, on every channel the stream of *informative*
+//! tokens must arrive complete, in order, with no duplicates — for any
+//! stop/void pattern exercised by the environment. These tests drive
+//! randomised pipelines and check exactly that.
+
+use lip_core::pearl::{AccumulatorPearl, IdentityPearl};
+use lip_core::{Pattern, RelayKind, RelayStation, Shell, Sink, Source, Token};
+use proptest::prelude::*;
+
+/// Drive `src -> stations[0] -> ... -> stations[k-1] -> sink` for
+/// `cycles` cycles, honouring the protocol's evaluation order.
+fn run_chain(stations: &mut [RelayStation], src: &mut Source, sink: &mut Sink, cycles: usize) {
+    for _ in 0..cycles {
+        // Forward phase: settle the token offered at each stage input.
+        let mut inputs = Vec::with_capacity(stations.len() + 1);
+        let mut x = src.output();
+        for rs in stations.iter() {
+            inputs.push(x);
+            x = rs.output(x);
+        }
+        let to_sink = x;
+
+        // Backward phase: stops, downstream to upstream. Relay-station
+        // stops are registered (Moore), so no iteration is needed.
+        let mut stops = vec![false; stations.len()]; // stop over each station's output
+        let mut down = sink.stop();
+        for (i, rs) in stations.iter().enumerate().rev() {
+            stops[i] = down;
+            down = rs.stop_upstream();
+        }
+        let stop_src = down;
+
+        // Clock edge.
+        sink.clock(to_sink);
+        for (i, rs) in stations.iter_mut().enumerate() {
+            rs.clock(inputs[i], stops[i]);
+        }
+        src.clock(stop_src);
+    }
+}
+
+/// `received` must be exactly `0..n` for some `n`: complete, ordered,
+/// duplicate-free.
+fn assert_in_order_prefix(received: &[u64]) {
+    for (i, &v) in received.iter().enumerate() {
+        assert_eq!(v, i as u64, "stream corrupted at position {i}: {received:?}");
+    }
+}
+
+fn relay_kind_strategy() -> impl Strategy<Value = RelayKind> {
+    prop_oneof![Just(RelayKind::Full), Just(RelayKind::Half)]
+}
+
+proptest! {
+    /// Any chain of relay stations is a transparent FIFO under any sink
+    /// stop pattern and any source void pattern.
+    #[test]
+    fn relay_chain_preserves_streams(
+        kinds in proptest::collection::vec(relay_kind_strategy(), 0..6),
+        stop_bits in proptest::collection::vec(any::<bool>(), 1..24),
+        void_bits in proptest::collection::vec(any::<bool>(), 1..24),
+        cycles in 16usize..200,
+    ) {
+        let mut stations: Vec<RelayStation> =
+            kinds.iter().map(|&k| RelayStation::new(k)).collect();
+        let mut src = Source::with_void_pattern(Pattern::Cyclic(void_bits));
+        let mut sink = Sink::with_stop_pattern(Pattern::Cyclic(stop_bits));
+        run_chain(&mut stations, &mut src, &mut sink, cycles);
+        assert_in_order_prefix(sink.received());
+    }
+
+    /// With a free-flowing sink and no voids, a chain of full relay
+    /// stations delivers one token per cycle after its fill latency
+    /// (tree-topology claim: throughput 1, transient = path latency).
+    #[test]
+    fn full_chain_reaches_unit_throughput(
+        n_stations in 0usize..8,
+        cycles in 30usize..120,
+    ) {
+        let mut stations: Vec<RelayStation> =
+            (0..n_stations).map(|_| RelayStation::new(RelayKind::Full)).collect();
+        let mut src = Source::new();
+        let mut sink = Sink::new();
+        run_chain(&mut stations, &mut src, &mut sink, cycles);
+        assert_in_order_prefix(sink.received());
+        // Exactly the pipeline-fill voids are lost; every later cycle
+        // delivers data.
+        assert_eq!(sink.received().len(), cycles - n_stations);
+        assert_eq!(sink.voids_seen() as usize, n_stations);
+    }
+
+    /// Half relay stations are latency-transparent: they add no bubbles
+    /// at all when nothing stops.
+    #[test]
+    fn half_chain_is_latency_transparent(
+        n_stations in 0usize..8,
+        cycles in 10usize..80,
+    ) {
+        let mut stations: Vec<RelayStation> =
+            (0..n_stations).map(|_| RelayStation::new(RelayKind::Half)).collect();
+        let mut src = Source::new();
+        let mut sink = Sink::new();
+        run_chain(&mut stations, &mut src, &mut sink, cycles);
+        assert_eq!(sink.received().len(), cycles);
+        assert_eq!(sink.voids_seen(), 0);
+    }
+
+    /// A persistent stop must not lose the in-flight token, whatever the
+    /// station mix, and the system must resume cleanly afterwards.
+    #[test]
+    fn stop_burst_loses_nothing(
+        kinds in proptest::collection::vec(relay_kind_strategy(), 1..5),
+        burst_at in 1u32..10,
+        burst_len in 1u32..10,
+    ) {
+        let total = 60;
+        let stop_bits: Vec<bool> = (0..total)
+            .map(|c| (burst_at..burst_at + burst_len).contains(&(c as u32)))
+            .collect();
+        let mut stations: Vec<RelayStation> =
+            kinds.iter().map(|&k| RelayStation::new(k)).collect();
+        let mut src = Source::new();
+        let mut sink = Sink::with_stop_pattern(Pattern::Cyclic(stop_bits));
+        run_chain(&mut stations, &mut src, &mut sink, total);
+        assert_in_order_prefix(sink.received());
+        // Stalled cycles and fill bubbles are bounded; everything else
+        // must deliver data.
+        let full_fill: usize = kinds.iter().filter(|k| **k == RelayKind::Full).count();
+        let lost_bound = burst_len as usize + full_fill + kinds.len();
+        assert!(
+            sink.received().len() + lost_bound >= total,
+            "lost more tokens than stop burst + fill can explain: {} received of {}",
+            sink.received().len(),
+            total
+        );
+    }
+
+    /// A shell between relay stations computes its pearl over the
+    /// uncorrupted stream: an accumulator's outputs are exactly the
+    /// prefix sums of 0,1,2,...
+    #[test]
+    fn shell_computes_over_streams(
+        front in relay_kind_strategy(),
+        back in relay_kind_strategy(),
+        stop_bits in proptest::collection::vec(any::<bool>(), 1..16),
+        void_bits in proptest::collection::vec(any::<bool>(), 1..16),
+        cycles in 20usize..150,
+    ) {
+        let mut r_front = RelayStation::new(front);
+        let mut r_back = RelayStation::new(back);
+        let mut shell = Shell::new(AccumulatorPearl::new());
+        let mut src = Source::with_void_pattern(Pattern::Cyclic(void_bits));
+        let mut sink = Sink::with_stop_pattern(Pattern::Cyclic(stop_bits));
+
+        for _ in 0..cycles {
+            // Forward phase.
+            let src_out = src.output();
+            let shell_in = r_front.output(src_out);
+            let shell_out = shell.outputs()[0];
+            let sink_in = r_back.output(shell_out);
+            // Backward phase.
+            let stop_sink = sink.stop();
+            let stop_shell_out = r_back.stop_upstream();
+            let stop_front = shell.stop_upstream(0, &[shell_in], &[stop_shell_out]);
+            let stop_src = r_front.stop_upstream();
+            // Edge.
+            sink.clock(sink_in);
+            r_back.clock(shell_out, stop_sink);
+            shell.clock(&[shell_in], &[stop_shell_out]);
+            r_front.clock(src_out, stop_front);
+            src.clock(stop_src);
+        }
+
+        // Expected: initial output (accumulator fired once on zeros at
+        // init => 0), then prefix sums of 0,1,2,...
+        let received = sink.received();
+        let mut expect = vec![0u64];
+        let mut acc = 0u64;
+        for k in 0..received.len() {
+            acc += k as u64;
+            expect.push(acc);
+        }
+        assert_eq!(received, &expect[..received.len()], "pearl stream corrupted");
+    }
+
+    /// Clock gating: when its input stream starves, a shell's pearl state
+    /// freezes (paper: "a module waiting for new data and/or stopped
+    /// keeps its present state").
+    #[test]
+    fn gated_shell_freezes_state(starve_after in 1usize..20) {
+        let mut shell = Shell::new(AccumulatorPearl::new());
+        for i in 0..starve_after {
+            shell.clock(&[Token::valid(i as u64)], &[false]);
+        }
+        let frozen = shell.pearl_state();
+        for _ in 0..50 {
+            shell.clock(&[Token::VOID], &[false]);
+        }
+        assert_eq!(shell.pearl_state(), frozen);
+    }
+
+    /// The identity shell under arbitrary stop/void traffic still
+    /// delivers the exact input stream (end-to-end safety with a
+    /// stateless pearl).
+    #[test]
+    fn identity_shell_end_to_end(
+        stop_bits in proptest::collection::vec(any::<bool>(), 1..16),
+        void_bits in proptest::collection::vec(any::<bool>(), 1..16),
+        cycles in 20usize..150,
+    ) {
+        let mut r_back = RelayStation::new(RelayKind::Half);
+        let mut shell = Shell::new(IdentityPearl::new());
+        let mut src = Source::with_void_pattern(Pattern::Cyclic(void_bits));
+        let mut sink = Sink::with_stop_pattern(Pattern::Cyclic(stop_bits));
+
+        for _ in 0..cycles {
+            let src_out = src.output();
+            let shell_out = shell.outputs()[0];
+            let sink_in = r_back.output(shell_out);
+            let stop_sink = sink.stop();
+            let stop_shell_out = r_back.stop_upstream();
+            let stop_src = shell.stop_upstream(0, &[src_out], &[stop_shell_out]);
+            sink.clock(sink_in);
+            r_back.clock(shell_out, stop_sink);
+            shell.clock(&[src_out], &[stop_shell_out]);
+            src.clock(stop_src);
+        }
+
+        // Identity shell initialises its output to identity(0) = 0, then
+        // relays 0,1,2,...: so the sink sees 0, 0, 1, 2, 3, ...
+        let received = sink.received();
+        if !received.is_empty() {
+            assert_eq!(received[0], 0);
+            for (i, &v) in received[1..].iter().enumerate() {
+                assert_eq!(v, i as u64, "stream corrupted: {received:?}");
+            }
+        }
+    }
+}

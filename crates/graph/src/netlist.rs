@@ -1,0 +1,1004 @@
+//! The latency-insensitive netlist: nodes (sources, shells, relay
+//! stations, sinks) connected by point-to-point channels.
+//!
+//! Every channel has exactly one producer port and one consumer port; each
+//! port carries the protocol triple `data`/`valid` forward and `stop`
+//! backward. Fanout is expressed as a shell output *per consumer* (e.g.
+//! [`IdentityPearl::with_fanout`](lip_core::pearl::IdentityPearl::with_fanout)),
+//! because each copy of a datum needs its own valid/stop pair to be
+//! consumable independently.
+
+use std::fmt;
+
+use lip_core::pearl::Pearl;
+use lip_core::{Pattern, ProtocolVariant, RelayKind};
+
+use crate::error::NetlistError;
+
+/// Handle to a node of a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle to a channel of a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub(crate) u32);
+
+impl ChannelId {
+    /// Dense index of this channel.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone)]
+pub enum NodeKind {
+    /// Primary input, emitting sequence-numbered tokens with an optional
+    /// void pattern.
+    Source {
+        /// Cycles on which the source emits a void instead of data.
+        void_pattern: Pattern,
+    },
+    /// Primary output, with an optional back-pressure pattern.
+    Sink {
+        /// Cycles on which the sink refuses the offered token.
+        stop_pattern: Pattern,
+    },
+    /// A shell-wrapped pearl.
+    Shell {
+        /// The functional module.
+        pearl: Box<dyn Pearl>,
+        /// `true` for the buffered shell of earlier proposals (inputs
+        /// registered, stops saved inside the shell); `false` for the
+        /// paper's simplified shell.
+        buffered: bool,
+    },
+    /// A relay station of the given kind.
+    Relay {
+        /// Full (two registers) or half (one register).
+        kind: RelayKind,
+    },
+}
+
+impl NodeKind {
+    /// Number of input ports.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        match self {
+            NodeKind::Source { .. } => 0,
+            NodeKind::Sink { .. } | NodeKind::Relay { .. } => 1,
+            NodeKind::Shell { pearl, .. } => pearl.num_inputs(),
+        }
+    }
+
+    /// Number of output ports.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        match self {
+            NodeKind::Sink { .. } => 0,
+            NodeKind::Source { .. } | NodeKind::Relay { .. } => 1,
+            NodeKind::Shell { pearl, .. } => pearl.num_outputs(),
+        }
+    }
+
+    /// `true` for relay stations of either kind.
+    #[must_use]
+    pub fn is_relay(&self) -> bool {
+        matches!(self, NodeKind::Relay { .. })
+    }
+
+    /// `true` for shells of either flavour.
+    #[must_use]
+    pub fn is_shell(&self) -> bool {
+        matches!(self, NodeKind::Shell { .. })
+    }
+
+    /// `true` for buffered shells (registered inputs: the stop path is
+    /// cut inside the shell).
+    #[must_use]
+    pub fn is_buffered_shell(&self) -> bool {
+        matches!(self, NodeKind::Shell { buffered: true, .. })
+    }
+
+    /// `true` for the paper's simplified shells (stops traverse
+    /// combinationally).
+    #[must_use]
+    pub fn is_simple_shell(&self) -> bool {
+        matches!(self, NodeKind::Shell { buffered: false, .. })
+    }
+
+    /// Forward (data) latency contributed by the node when flowing:
+    /// shells and full relay stations register data (1); half stations
+    /// and endpoints are transparent (0 — source registers count as the
+    /// producer's).
+    #[must_use]
+    pub fn forward_latency(&self) -> u64 {
+        match self {
+            NodeKind::Shell { .. } => 1,
+            NodeKind::Relay { kind } => kind.forward_latency(),
+            NodeKind::Source { .. } | NodeKind::Sink { .. } => 0,
+        }
+    }
+}
+
+/// A node: kind plus a display name.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) kind: NodeKind,
+}
+
+impl Node {
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's kind.
+    #[must_use]
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+}
+
+/// One endpoint of a channel: a node and a port index on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Port {
+    /// The node.
+    pub node: NodeId,
+    /// Port index within the node's input or output ports.
+    pub index: usize,
+}
+
+/// A point-to-point channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Channel {
+    /// Producing output port.
+    pub producer: Port,
+    /// Consuming input port.
+    pub consumer: Port,
+}
+
+/// A latency-insensitive netlist.
+///
+/// # Example
+///
+/// ```
+/// use lip_graph::Netlist;
+/// use lip_core::pearl::IdentityPearl;
+/// use lip_core::RelayKind;
+///
+/// # fn main() -> Result<(), lip_graph::NetlistError> {
+/// let mut n = Netlist::new();
+/// let src = n.add_source("in");
+/// let rs = n.add_relay(RelayKind::Full);
+/// let a = n.add_shell("A", IdentityPearl::new());
+/// let out = n.add_sink("out");
+/// n.connect(src, 0, rs, 0)?;
+/// n.connect(rs, 0, a, 0)?;
+/// n.connect(a, 0, out, 0)?;
+/// n.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    nodes: Vec<Node>,
+    channels: Vec<Channel>,
+    /// Per node: channel driven by each output port.
+    out_ports: Vec<Vec<Option<ChannelId>>>,
+    /// Per node: channel feeding each input port.
+    in_ports: Vec<Vec<Option<ChannelId>>>,
+    variant: ProtocolVariant,
+}
+
+impl Netlist {
+    /// An empty netlist using the paper's refined protocol variant.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty netlist under an explicit protocol variant.
+    #[must_use]
+    pub fn with_variant(variant: ProtocolVariant) -> Self {
+        Netlist { variant, ..Self::default() }
+    }
+
+    /// The protocol variant shells of this netlist will follow.
+    #[must_use]
+    pub fn variant(&self) -> ProtocolVariant {
+        self.variant
+    }
+
+    /// Switch the protocol variant (used by the variant-comparison
+    /// experiment to re-elaborate the same topology both ways).
+    pub fn set_variant(&mut self, variant: ProtocolVariant) {
+        self.variant = variant;
+    }
+
+    fn add_node(&mut self, name: String, kind: NodeKind) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
+        self.out_ports.push(vec![None; kind.num_outputs()]);
+        self.in_ports.push(vec![None; kind.num_inputs()]);
+        self.nodes.push(Node { name, kind });
+        id
+    }
+
+    /// Add a free-flowing primary input.
+    pub fn add_source(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name.into(), NodeKind::Source { void_pattern: Pattern::Never })
+    }
+
+    /// Add a primary input that injects voids where `void_pattern`
+    /// asserts.
+    pub fn add_source_with_pattern(&mut self, name: impl Into<String>, void_pattern: Pattern) -> NodeId {
+        self.add_node(name.into(), NodeKind::Source { void_pattern })
+    }
+
+    /// Add a free-flowing primary output.
+    pub fn add_sink(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name.into(), NodeKind::Sink { stop_pattern: Pattern::Never })
+    }
+
+    /// Add a primary output that stops where `stop_pattern` asserts.
+    pub fn add_sink_with_pattern(&mut self, name: impl Into<String>, stop_pattern: Pattern) -> NodeId {
+        self.add_node(name.into(), NodeKind::Sink { stop_pattern })
+    }
+
+    /// Add a shell wrapping `pearl`.
+    pub fn add_shell(&mut self, name: impl Into<String>, pearl: impl Pearl + 'static) -> NodeId {
+        self.add_node(name.into(), NodeKind::Shell { pearl: Box::new(pearl), buffered: false })
+    }
+
+    /// Add a shell wrapping an already-boxed pearl.
+    pub fn add_shell_boxed(&mut self, name: impl Into<String>, pearl: Box<dyn Pearl>) -> NodeId {
+        self.add_node(name.into(), NodeKind::Shell { pearl, buffered: false })
+    }
+
+    /// Add a *buffered* shell (registered inputs, as in the proposals
+    /// the paper simplifies): no relay station is required on its input
+    /// channels, at the cost of one register per input.
+    pub fn add_buffered_shell(&mut self, name: impl Into<String>, pearl: impl Pearl + 'static) -> NodeId {
+        self.add_node(name.into(), NodeKind::Shell { pearl: Box::new(pearl), buffered: true })
+    }
+
+    /// Add a buffered shell wrapping an already-boxed pearl.
+    pub fn add_buffered_shell_boxed(&mut self, name: impl Into<String>, pearl: Box<dyn Pearl>) -> NodeId {
+        self.add_node(name.into(), NodeKind::Shell { pearl, buffered: true })
+    }
+
+    /// Add a relay station with an automatic name.
+    pub fn add_relay(&mut self, kind: RelayKind) -> NodeId {
+        let name = format!("{}_rs{}", kind, self.nodes.len());
+        self.add_node(name, NodeKind::Relay { kind })
+    }
+
+    /// Add a named relay station.
+    pub fn add_relay_named(&mut self, name: impl Into<String>, kind: RelayKind) -> NodeId {
+        self.add_node(name.into(), NodeKind::Relay { kind })
+    }
+
+    fn check_port(&self, node: NodeId, port: usize, output: bool) -> Result<(), NetlistError> {
+        let arity = if output {
+            self.nodes[node.index()].kind.num_outputs()
+        } else {
+            self.nodes[node.index()].kind.num_inputs()
+        };
+        if port >= arity {
+            return Err(NetlistError::PortOutOfRange { node, port, arity, output });
+        }
+        let busy = if output {
+            self.out_ports[node.index()][port].is_some()
+        } else {
+            self.in_ports[node.index()][port].is_some()
+        };
+        if busy {
+            return Err(NetlistError::PortAlreadyConnected { node, port, output });
+        }
+        Ok(())
+    }
+
+    /// Connect output port `from_port` of `from` to input port `to_port`
+    /// of `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] if either port is out of range or already
+    /// connected.
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        from_port: usize,
+        to: NodeId,
+        to_port: usize,
+    ) -> Result<ChannelId, NetlistError> {
+        self.check_port(from, from_port, true)?;
+        self.check_port(to, to_port, false)?;
+        let id = ChannelId(u32::try_from(self.channels.len()).expect("too many channels"));
+        self.channels.push(Channel {
+            producer: Port { node: from, index: from_port },
+            consumer: Port { node: to, index: to_port },
+        });
+        self.out_ports[from.index()][from_port] = Some(id);
+        self.in_ports[to.index()][to_port] = Some(id);
+        Ok(id)
+    }
+
+    /// Connect a linear chain through port 0 of each node:
+    /// `nodes[0] -> nodes[1] -> …`.
+    ///
+    /// # Errors
+    ///
+    /// As [`connect`](Self::connect).
+    pub fn chain(&mut self, nodes: &[NodeId]) -> Result<Vec<ChannelId>, NetlistError> {
+        let mut out = Vec::new();
+        for pair in nodes.windows(2) {
+            out.push(self.connect(pair[0], 0, pair[1], 0)?);
+        }
+        Ok(out)
+    }
+
+    /// Connect `from`/`from_port` to `to`/`to_port` through `n` freshly
+    /// created relay stations of `kind`.
+    ///
+    /// # Errors
+    ///
+    /// As [`connect`](Self::connect).
+    pub fn connect_via_relays(
+        &mut self,
+        from: NodeId,
+        from_port: usize,
+        to: NodeId,
+        to_port: usize,
+        n: usize,
+        kind: RelayKind,
+    ) -> Result<Vec<NodeId>, NetlistError> {
+        let mut relays = Vec::with_capacity(n);
+        let mut prev = (from, from_port);
+        for _ in 0..n {
+            let rs = self.add_relay(kind);
+            self.connect(prev.0, prev.1, rs, 0)?;
+            relays.push(rs);
+            prev = (rs, 0);
+        }
+        self.connect(prev.0, prev.1, to, to_port)?;
+        Ok(relays)
+    }
+
+    /// Split `channel` by inserting a relay station of `kind` on it,
+    /// returning the new node. Used by path equalization and deadlock
+    /// cures ("adding/substituting few relay stations").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is not a channel of this netlist.
+    pub fn insert_relay_on_channel(&mut self, channel: ChannelId, kind: RelayKind) -> NodeId {
+        let ch = self.channels[channel.index()];
+        let rs = self.add_relay(kind);
+        // Rewire: producer -> rs (reusing the existing channel record),
+        // rs -> consumer (new channel).
+        self.channels[channel.index()].consumer = Port { node: rs, index: 0 };
+        self.in_ports[rs.index()][0] = Some(channel);
+        let new_id = ChannelId(u32::try_from(self.channels.len()).expect("too many channels"));
+        self.channels.push(Channel {
+            producer: Port { node: rs, index: 0 },
+            consumer: ch.consumer,
+        });
+        self.out_ports[rs.index()][0] = Some(new_id);
+        self.in_ports[ch.consumer.node.index()][ch.consumer.index] = Some(new_id);
+        rs
+    }
+
+    /// Replace the kind of relay-station node `node` (used by deadlock
+    /// cures that substitute half stations with full ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a relay station.
+    pub fn set_relay_kind(&mut self, node: NodeId, kind: RelayKind) {
+        match &mut self.nodes[node.index()].kind {
+            NodeKind::Relay { kind: k } => *k = kind,
+            other => panic!("node {node} is not a relay station (found {other:?})"),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The node behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is from another netlist.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The channel behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is from another netlist.
+    #[must_use]
+    pub fn channel(&self, id: ChannelId) -> Channel {
+        self.channels[id.index()]
+    }
+
+    /// Iterate `(id, node)` in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(u32::try_from(i).expect("node index")), n))
+    }
+
+    /// Iterate `(id, channel)` in insertion order.
+    pub fn channels(&self) -> impl Iterator<Item = (ChannelId, Channel)> + '_ {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ChannelId(u32::try_from(i).expect("channel index")), *c))
+    }
+
+    /// Channel driven by output port `port` of `node`, if connected.
+    #[must_use]
+    pub fn out_channel(&self, node: NodeId, port: usize) -> Option<ChannelId> {
+        self.out_ports[node.index()].get(port).copied().flatten()
+    }
+
+    /// Channel feeding input port `port` of `node`, if connected.
+    #[must_use]
+    pub fn in_channel(&self, node: NodeId, port: usize) -> Option<ChannelId> {
+        self.in_ports[node.index()].get(port).copied().flatten()
+    }
+
+    /// Successor nodes of `node` (one per connected output port).
+    #[must_use]
+    pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
+        self.out_ports[node.index()]
+            .iter()
+            .flatten()
+            .map(|ch| self.channels[ch.index()].consumer.node)
+            .collect()
+    }
+
+    /// Predecessor nodes of `node` (one per connected input port).
+    #[must_use]
+    pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
+        self.in_ports[node.index()]
+            .iter()
+            .flatten()
+            .map(|ch| self.channels[ch.index()].producer.node)
+            .collect()
+    }
+
+    /// All node ids of a kind selected by `pred`.
+    fn nodes_where(&self, pred: impl Fn(&NodeKind) -> bool) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|(_, n)| pred(&n.kind))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// All sources.
+    #[must_use]
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.nodes_where(|k| matches!(k, NodeKind::Source { .. }))
+    }
+
+    /// All sinks.
+    #[must_use]
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.nodes_where(|k| matches!(k, NodeKind::Sink { .. }))
+    }
+
+    /// All shells.
+    #[must_use]
+    pub fn shells(&self) -> Vec<NodeId> {
+        self.nodes_where(NodeKind::is_shell)
+    }
+
+    /// All relay stations.
+    #[must_use]
+    pub fn relays(&self) -> Vec<NodeId> {
+        self.nodes_where(NodeKind::is_relay)
+    }
+
+    /// Channels connecting a shell output directly to a shell input —
+    /// legal but flagged, because the simplified shell stores no stops;
+    /// the paper inserts at least a half relay station on each.
+    #[must_use]
+    pub fn shell_to_shell_channels(&self) -> Vec<ChannelId> {
+        self.channels()
+            .filter(|(_, c)| {
+                self.nodes[c.producer.node.index()].kind.is_shell()
+                    && self.nodes[c.consumer.node.index()].kind.is_simple_shell()
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Validate connectivity and the combinational-loop rules.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::UnconnectedPort`] — some port is dangling.
+    /// * [`NetlistError::StopLoop`] — a cycle contains no relay station,
+    ///   so its backward stop path never meets a register (the
+    ///   minimum-memory theorem).
+    /// * [`NetlistError::DataLoop`] — a cycle contains neither a shell
+    ///   nor a full relay station, so its forward data path is purely
+    ///   combinational.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (id, node) in self.nodes() {
+            for port in 0..node.kind.num_outputs() {
+                if self.out_channel(id, port).is_none() {
+                    return Err(NetlistError::UnconnectedPort { node: id, port, output: true });
+                }
+            }
+            for port in 0..node.kind.num_inputs() {
+                if self.in_channel(id, port).is_none() {
+                    return Err(NetlistError::UnconnectedPort { node: id, port, output: false });
+                }
+            }
+        }
+        // Combinational loop rules: in the subgraph where "stop-cutting"
+        // nodes (relays) are removed, any remaining cycle is a stop loop;
+        // likewise removing "data-cutting" nodes (shells + full relays)
+        // must leave the graph acyclic.
+        if let Some(cycle) = self.cycle_avoiding(|k| k.is_relay() || k.is_buffered_shell()) {
+            return Err(NetlistError::StopLoop { cycle });
+        }
+        if let Some(cycle) = self.cycle_avoiding(|k| {
+            k.is_shell()
+                || matches!(
+                    k,
+                    NodeKind::Relay { kind: RelayKind::Full | RelayKind::Fifo(_) }
+                )
+        }) {
+            return Err(NetlistError::DataLoop { cycle });
+        }
+        Ok(())
+    }
+
+    /// Find a directed cycle in the subgraph of nodes **not** satisfying
+    /// `cut` (cut nodes break the path). Returns the cycle's nodes.
+    fn cycle_avoiding(&self, cut: impl Fn(&NodeKind) -> bool) -> Option<Vec<NodeId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let n = self.nodes.len();
+        let mut mark = vec![Mark::White; n];
+        let mut stack: Vec<NodeId> = Vec::new();
+
+        // Iterative DFS with an explicit path stack.
+        for start in 0..n {
+            let start_id = NodeId(u32::try_from(start).expect("node index"));
+            if mark[start] != Mark::White || cut(&self.nodes[start].kind) {
+                continue;
+            }
+            let mut work: Vec<(NodeId, usize)> = vec![(start_id, 0)];
+            mark[start] = Mark::Grey;
+            stack.push(start_id);
+            while let Some(&(node, next)) = work.last() {
+                let succs = self.successors(node);
+                if next < succs.len() {
+                    work.last_mut().expect("non-empty").1 += 1;
+                    let s = succs[next];
+                    if cut(&self.nodes[s.index()].kind) {
+                        continue;
+                    }
+                    match mark[s.index()] {
+                        Mark::White => {
+                            mark[s.index()] = Mark::Grey;
+                            stack.push(s);
+                            work.push((s, 0));
+                        }
+                        Mark::Grey => {
+                            // Found a cycle: slice the path stack.
+                            let pos = stack.iter().position(|&x| x == s).expect("grey on stack");
+                            return Some(stack[pos..].to_vec());
+                        }
+                        Mark::Black => {}
+                    }
+                } else {
+                    mark[node.index()] = Mark::Black;
+                    stack.pop();
+                    work.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// The zero-latency reference design: the same netlist with every
+    /// relay station removed and its channels short-circuited. This is
+    /// the design the latency-insensitive system must be observationally
+    /// equal to ("identity of behavior"); see
+    /// `lip-verify`'s equivalence checks.
+    ///
+    /// Returns the reference netlist and a map from old node ids to new
+    /// ones (`None` for removed relay stations).
+    ///
+    /// Note: stripping relays from a loop that has no buffered shells
+    /// yields a netlist that fails validation (a combinational stop
+    /// loop) — correctly so: the reference semantics of such a loop is
+    /// the original *synchronous* design whose shells cut the loop, and
+    /// its behaviour is compared per-stream, not elaborated.
+    #[must_use]
+    pub fn without_relays(&self) -> (Netlist, Vec<Option<NodeId>>) {
+        let mut out = Netlist::with_variant(self.variant);
+        let mut map: Vec<Option<NodeId>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            map.push(match &node.kind {
+                NodeKind::Relay { .. } => None,
+                kind => Some(out.add_node(node.name.clone(), kind.clone())),
+            });
+        }
+        // Re-connect: for every channel leaving a kept node, follow
+        // through relay stations to the next kept consumer.
+        for ch in &self.channels {
+            let Some(new_from) = map[ch.producer.node.index()] else {
+                continue;
+            };
+            let mut cursor = ch.consumer;
+            loop {
+                match map[cursor.node.index()] {
+                    Some(new_to) => {
+                        out.connect(new_from, ch.producer.index, new_to, cursor.index)
+                            .expect("reference ports are fresh");
+                        break;
+                    }
+                    None => {
+                        // A relay station: follow its single output.
+                        let next = self.out_ports[cursor.node.index()][0]
+                            .expect("relay output connected");
+                        cursor = self.channels[next.index()].consumer;
+                    }
+                }
+            }
+        }
+        (out, map)
+    }
+
+    /// Render the netlist as a Graphviz `dot` digraph: shells as boxes
+    /// (buffered ones double-bordered), relay stations as small
+    /// diamonds, endpoints as ellipses.
+    ///
+    /// ```
+    /// # use lip_graph::generate;
+    /// let dot = generate::fig1().netlist.to_dot();
+    /// assert!(dot.starts_with("digraph lid {"));
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph lid {\n  rankdir=LR;\n");
+        for (id, node) in self.nodes() {
+            let (shape, extra) = match node.kind() {
+                NodeKind::Source { .. } | NodeKind::Sink { .. } => ("ellipse", ""),
+                NodeKind::Shell { buffered: true, .. } => ("box", ", peripheries=2"),
+                NodeKind::Shell { .. } => ("box", ""),
+                NodeKind::Relay { .. } => ("diamond", ", height=0.3, width=0.5"),
+            };
+            let label = match node.kind() {
+                NodeKind::Relay { kind } => format!("{kind}"),
+                _ => node.name().to_owned(),
+            };
+            let _ = writeln!(out, "  {id} [label=\"{label}\", shape={shape}{extra}];");
+        }
+        for (_, ch) in self.channels() {
+            let _ = writeln!(out, "  {} -> {};", ch.producer.node, ch.consumer.node);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Count nodes per kind: `(sources, sinks, shells, full_relays,
+    /// half_relays)`.
+    #[must_use]
+    pub fn census(&self) -> NetlistCensus {
+        let mut c = NetlistCensus::default();
+        for (_, node) in self.nodes() {
+            match &node.kind {
+                NodeKind::Source { .. } => c.sources += 1,
+                NodeKind::Sink { .. } => c.sinks += 1,
+                NodeKind::Shell { buffered, .. } => {
+                    c.shells += 1;
+                    if *buffered {
+                        c.buffered_shells += 1;
+                    }
+                }
+                NodeKind::Relay { kind: RelayKind::Full } => c.full_relays += 1,
+                NodeKind::Relay { kind: RelayKind::Half } => c.half_relays += 1,
+                NodeKind::Relay { kind: RelayKind::Fifo(_) } => c.fifo_relays += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Node counts per kind (see [`Netlist::census`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetlistCensus {
+    /// Number of sources.
+    pub sources: usize,
+    /// Number of sinks.
+    pub sinks: usize,
+    /// Number of shells (simplified + buffered).
+    pub shells: usize,
+    /// Number of buffered shells (subset of `shells`).
+    pub buffered_shells: usize,
+    /// Number of full relay stations.
+    pub full_relays: usize,
+    /// Number of half relay stations.
+    pub half_relays: usize,
+    /// Number of sized FIFO stations.
+    pub fifo_relays: usize,
+}
+
+impl NetlistCensus {
+    /// Total relay stations of any kind.
+    #[must_use]
+    pub fn relays(&self) -> usize {
+        self.full_relays + self.half_relays + self.fifo_relays
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.census();
+        write!(
+            f,
+            "Netlist({} nodes, {} channels: {} src, {} sink, {} shell, {} full-rs, {} half-rs, {} fifo-rs)",
+            self.node_count(),
+            self.channel_count(),
+            c.sources,
+            c.sinks,
+            c.shells,
+            c.full_relays,
+            c.half_relays,
+            c.fifo_relays
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_core::pearl::{IdentityPearl, JoinPearl};
+
+    fn simple_pipeline() -> (Netlist, NodeId, NodeId) {
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let rs = n.add_relay(RelayKind::Full);
+        let a = n.add_shell("A", IdentityPearl::new());
+        let out = n.add_sink("out");
+        n.chain(&[src, rs, a, out]).unwrap();
+        (n, src, out)
+    }
+
+    #[test]
+    fn build_and_validate_pipeline() {
+        let (n, ..) = simple_pipeline();
+        n.validate().unwrap();
+        let c = n.census();
+        assert_eq!((c.sources, c.sinks, c.shells, c.full_relays), (1, 1, 1, 1));
+        assert_eq!(n.channel_count(), 3);
+    }
+
+    #[test]
+    fn unconnected_port_is_rejected() {
+        let mut n = Netlist::new();
+        let _ = n.add_source("in");
+        assert!(matches!(n.validate(), Err(NetlistError::UnconnectedPort { .. })));
+    }
+
+    #[test]
+    fn double_connect_is_rejected() {
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let s1 = n.add_sink("o1");
+        let s2 = n.add_sink("o2");
+        n.connect(src, 0, s1, 0).unwrap();
+        assert!(matches!(
+            n.connect(src, 0, s2, 0),
+            Err(NetlistError::PortAlreadyConnected { .. })
+        ));
+    }
+
+    #[test]
+    fn port_out_of_range_is_rejected() {
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let snk = n.add_sink("out");
+        assert!(matches!(
+            n.connect(src, 1, snk, 0),
+            Err(NetlistError::PortOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn shell_only_loop_is_a_stop_loop() {
+        // a -> b -> a with no relay station: the backward stop path is a
+        // combinational loop.
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let a = n.add_shell("A", JoinPearl::first(2));
+        let b = n.add_shell("B", IdentityPearl::new());
+        n.connect(src, 0, a, 0).unwrap();
+        n.connect(a, 0, b, 0).unwrap();
+        n.connect(b, 0, a, 1).unwrap();
+        assert!(matches!(n.validate(), Err(NetlistError::StopLoop { .. })));
+    }
+
+    #[test]
+    fn relay_in_loop_fixes_stop_loop() {
+        let mut n = Netlist::new();
+        let a = n.add_shell("A", JoinPearl::first(2));
+        let b = n.add_shell("B", IdentityPearl::new());
+        let rs = n.add_relay(RelayKind::Half);
+        let src = n.add_source("in");
+        n.connect(a, 0, b, 0).unwrap();
+        n.connect(b, 0, rs, 0).unwrap();
+        n.connect(rs, 0, a, 1).unwrap();
+        n.connect(src, 0, a, 0).unwrap();
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn half_relay_only_loop_is_a_data_loop() {
+        let mut n = Netlist::new();
+        let r1 = n.add_relay(RelayKind::Half);
+        let r2 = n.add_relay(RelayKind::Half);
+        n.connect(r1, 0, r2, 0).unwrap();
+        n.connect(r2, 0, r1, 0).unwrap();
+        assert!(matches!(n.validate(), Err(NetlistError::DataLoop { .. })));
+    }
+
+    #[test]
+    fn shell_to_shell_channels_are_flagged() {
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let a = n.add_shell("A", IdentityPearl::new());
+        let b = n.add_shell("B", IdentityPearl::new());
+        let out = n.add_sink("out");
+        let chans = n.chain(&[src, a, b, out]).unwrap();
+        assert_eq!(n.shell_to_shell_channels(), vec![chans[1]]);
+    }
+
+    #[test]
+    fn insert_relay_rewires_channel() {
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let a = n.add_shell("A", IdentityPearl::new());
+        let b = n.add_shell("B", IdentityPearl::new());
+        let out = n.add_sink("out");
+        let chans = n.chain(&[src, a, b, out]).unwrap();
+        let rs = n.insert_relay_on_channel(chans[1], RelayKind::Half);
+        n.validate().unwrap();
+        assert!(n.shell_to_shell_channels().is_empty());
+        assert_eq!(n.successors(a), vec![rs]);
+        assert_eq!(n.predecessors(b), vec![rs]);
+    }
+
+    #[test]
+    fn connect_via_relays_builds_pipeline() {
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let out = n.add_sink("out");
+        let relays = n.connect_via_relays(src, 0, out, 0, 3, RelayKind::Full).unwrap();
+        assert_eq!(relays.len(), 3);
+        n.validate().unwrap();
+        assert_eq!(n.census().full_relays, 3);
+    }
+
+    #[test]
+    fn set_relay_kind_substitutes() {
+        let mut n = Netlist::new();
+        let rs = n.add_relay(RelayKind::Half);
+        n.set_relay_kind(rs, RelayKind::Full);
+        assert!(matches!(n.node(rs).kind(), NodeKind::Relay { kind: RelayKind::Full }));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a relay station")]
+    fn set_relay_kind_rejects_non_relay() {
+        let mut n = Netlist::new();
+        let s = n.add_source("in");
+        n.set_relay_kind(s, RelayKind::Full);
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let (n, src, out) = simple_pipeline();
+        assert_eq!(n.successors(src).len(), 1);
+        assert_eq!(n.predecessors(out).len(), 1);
+        assert!(n.predecessors(src).is_empty());
+    }
+
+    #[test]
+    fn display_summarises() {
+        let (n, ..) = simple_pipeline();
+        let s = n.to_string();
+        assert!(s.contains("4 nodes"), "{s}");
+        assert!(s.contains("1 full-rs"), "{s}");
+    }
+
+    #[test]
+    fn dot_export_lists_all_nodes_and_edges() {
+        let (n, ..) = simple_pipeline();
+        let dot = n.to_dot();
+        assert!(dot.starts_with("digraph lid {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches("->").count(), n.channel_count());
+        assert_eq!(dot.matches("shape=").count(), n.node_count());
+        assert!(dot.contains("shape=diamond"), "{dot}");
+    }
+
+    #[test]
+    fn without_relays_short_circuits_stations() {
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let a = n.add_shell("A", IdentityPearl::new());
+        let out = n.add_sink("out");
+        n.connect(src, 0, a, 0).unwrap();
+        n.connect_via_relays(a, 0, out, 0, 3, RelayKind::Full).unwrap();
+        let (reference, map) = n.without_relays();
+        reference.validate().unwrap();
+        assert_eq!(reference.census().relays(), 0);
+        assert_eq!(reference.node_count(), 3);
+        assert_eq!(reference.channel_count(), 2);
+        // Kept nodes map; relays do not.
+        assert!(map[src.index()].is_some());
+        assert!(map.iter().filter(|m| m.is_none()).count() == 3);
+        // A's successor in the reference is the sink directly.
+        let new_a = map[a.index()].unwrap();
+        let new_out = map[out.index()].unwrap();
+        assert_eq!(reference.successors(new_a), vec![new_out]);
+    }
+
+    #[test]
+    fn census_relays_total() {
+        let mut n = Netlist::new();
+        n.add_relay(RelayKind::Full);
+        n.add_relay(RelayKind::Half);
+        assert_eq!(n.census().relays(), 2);
+    }
+}

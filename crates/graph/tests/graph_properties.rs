@@ -1,0 +1,135 @@
+//! Property tests over the netlist layer: structural invariants that
+//! must survive generation and transformation.
+
+use lip_core::RelayKind;
+use lip_graph::{generate, topology, NetlistError};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every channel's endpoints are mutually consistent with the port
+    /// maps, on every random instance.
+    #[test]
+    fn channel_port_maps_are_consistent(seed in 0u64..500) {
+        let (_, n) = generate::random_family(seed);
+        for (id, ch) in n.channels() {
+            prop_assert_eq!(n.out_channel(ch.producer.node, ch.producer.index), Some(id));
+            prop_assert_eq!(n.in_channel(ch.consumer.node, ch.consumer.index), Some(id));
+        }
+        // Successor/predecessor symmetry.
+        for (id, _) in n.nodes() {
+            for s in n.successors(id) {
+                prop_assert!(n.predecessors(s).contains(&id));
+            }
+        }
+    }
+
+    /// The census adds up to the node count.
+    #[test]
+    fn census_partitions_nodes(seed in 0u64..500) {
+        let (_, n) = generate::random_family(seed);
+        let c = n.census();
+        prop_assert_eq!(
+            c.sources + c.sinks + c.shells + c.full_relays + c.half_relays + c.fifo_relays,
+            n.node_count()
+        );
+        prop_assert!(c.buffered_shells <= c.shells);
+    }
+
+    /// SCCs partition the node set.
+    #[test]
+    fn sccs_partition_nodes(seed in 0u64..300) {
+        let (_, n) = generate::random_family(seed);
+        let comps = topology::sccs(&n);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n.node_count());
+        let mut seen = std::collections::HashSet::new();
+        for comp in &comps {
+            for id in comp {
+                prop_assert!(seen.insert(*id), "node {} in two SCCs", id);
+            }
+        }
+    }
+
+    /// Inserting a relay station on any channel of a valid netlist keeps
+    /// it valid and preserves the topology class.
+    #[test]
+    fn insertion_preserves_validity(seed in 0u64..300, pick in 0usize..64, half in any::<bool>()) {
+        let (_, mut n) = generate::random_family(seed);
+        if n.validate().is_err() {
+            return Ok(());
+        }
+        let class = topology::classify(&n);
+        let channels: Vec<_> = n.channels().map(|(id, _)| id).collect();
+        let ch = channels[pick % channels.len()];
+        let kind = if half { RelayKind::Half } else { RelayKind::Full };
+        n.insert_relay_on_channel(ch, kind);
+        prop_assert!(n.validate().is_ok());
+        prop_assert_eq!(topology::classify(&n), class);
+    }
+
+    /// Substituting every half station with a full one keeps validity
+    /// (the cure's building block can never break a netlist).
+    #[test]
+    fn substitution_preserves_validity(seed in 0u64..300) {
+        let (_, mut n) = generate::random_family(seed);
+        if n.validate().is_err() {
+            return Ok(());
+        }
+        for r in n.relays() {
+            n.set_relay_kind(r, RelayKind::Full);
+        }
+        prop_assert!(n.validate().is_ok());
+    }
+
+    /// Paths returned by simple_paths are genuinely simple and connect
+    /// the endpoints.
+    #[test]
+    fn simple_paths_are_simple(seed in 0u64..200) {
+        let (_, n) = generate::random_family(seed);
+        let sources = n.sources();
+        let sinks = n.sinks();
+        if sources.is_empty() || sinks.is_empty() {
+            return Ok(());
+        }
+        for path in topology::simple_paths(&n, sources[0], sinks[0], 16) {
+            prop_assert_eq!(path.first(), Some(&sources[0]));
+            prop_assert_eq!(path.last(), Some(&sinks[0]));
+            let set: std::collections::HashSet<_> = path.iter().collect();
+            prop_assert_eq!(set.len(), path.len(), "repeated node in {:?}", path);
+            // Consecutive nodes are actually connected.
+            for w in path.windows(2) {
+                prop_assert!(n.successors(w[0]).contains(&w[1]));
+            }
+        }
+    }
+
+    /// Classification is total and consistent with acyclicity.
+    #[test]
+    fn classification_matches_acyclicity(seed in 0u64..300) {
+        let (_, n) = generate::random_family(seed);
+        let class = topology::classify(&n);
+        match class {
+            topology::TopologyClass::Feedback => prop_assert!(!topology::is_acyclic(&n)),
+            _ => prop_assert!(topology::is_acyclic(&n)),
+        }
+    }
+}
+
+/// Validation failures always carry actionable structure (never panic,
+/// never an empty cycle).
+#[test]
+fn validation_errors_are_structured() {
+    for seed in 0..200u64 {
+        let (_, n) = generate::random_family(seed);
+        match n.validate() {
+            Ok(()) => {}
+            Err(NetlistError::StopLoop { cycle } | NetlistError::DataLoop { cycle }) => {
+                assert!(!cycle.is_empty());
+            }
+            Err(NetlistError::UnconnectedPort { .. }) => {
+                panic!("generators must produce fully connected netlists (seed {seed})")
+            }
+            Err(e) => panic!("unexpected error {e} (seed {seed})"),
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Declarative construction of circuits.
+
+use crate::circuit::Circuit;
+use crate::error::BuildCircuitError;
+use crate::process::{Behaviour, ProcessDecl, ProcessId};
+use crate::signal::{SignalId, SignalInfo, SignalKind};
+
+/// Evaluation context handed to combinational processes.
+///
+/// Reads return the settling value of the current cycle; writes drive wires
+/// (masked to their declared width).
+#[derive(Debug)]
+pub struct EvalCtx<'a> {
+    pub(crate) infos: &'a [SignalInfo],
+    pub(crate) values: &'a mut [u64],
+    /// Wires whose value changed during this evaluation (event engine).
+    pub(crate) changed: Vec<SignalId>,
+}
+
+impl EvalCtx<'_> {
+    /// Current value of `sig`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` belongs to a different circuit.
+    #[must_use]
+    pub fn get(&self, sig: SignalId) -> u64 {
+        self.values[sig.index()]
+    }
+
+    /// Drive wire `sig` with `value` (masked to the declared width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` belongs to a different circuit.
+    pub fn set(&mut self, sig: SignalId, value: u64) {
+        let masked = value & self.infos[sig.index()].mask();
+        if self.values[sig.index()] != masked {
+            self.values[sig.index()] = masked;
+            self.changed.push(sig);
+        }
+    }
+
+    /// Convenience: read a 1-bit signal as a boolean.
+    #[must_use]
+    pub fn get_bool(&self, sig: SignalId) -> bool {
+        self.get(sig) != 0
+    }
+
+    /// Convenience: drive a 1-bit signal from a boolean.
+    pub fn set_bool(&mut self, sig: SignalId, value: bool) {
+        self.set(sig, u64::from(value));
+    }
+}
+
+/// Edge context handed to sequential processes.
+///
+/// Reads return the pre-edge (current-cycle) value of any signal; writes
+/// schedule the post-edge value of registers.
+#[derive(Debug)]
+pub struct EdgeCtx<'a> {
+    pub(crate) infos: &'a [SignalInfo],
+    pub(crate) current: &'a [u64],
+    pub(crate) next: &'a mut [u64],
+}
+
+impl EdgeCtx<'_> {
+    /// Pre-edge value of `sig`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` belongs to a different circuit.
+    #[must_use]
+    pub fn get(&self, sig: SignalId) -> u64 {
+        self.current[sig.index()]
+    }
+
+    /// Convenience: read a 1-bit signal as a boolean.
+    #[must_use]
+    pub fn get_bool(&self, sig: SignalId) -> bool {
+        self.get(sig) != 0
+    }
+
+    /// Schedule the post-edge value of register `sig` (masked to width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` belongs to a different circuit.
+    pub fn set_next(&mut self, sig: SignalId, value: u64) {
+        self.next[sig.index()] = value & self.infos[sig.index()].mask();
+    }
+
+    /// Convenience: schedule a 1-bit register from a boolean.
+    pub fn set_next_bool(&mut self, sig: SignalId, value: bool) {
+        self.set_next(sig, u64::from(value));
+    }
+}
+
+/// Builder for [`Circuit`]s: declare signals and processes, then
+/// [`build`](CircuitBuilder::build).
+///
+/// # Example
+///
+/// ```
+/// use lip_kernel::{CircuitBuilder, CycleEngine, Engine};
+///
+/// # fn main() -> Result<(), lip_kernel::BuildCircuitError> {
+/// let mut b = CircuitBuilder::new();
+/// let a = b.wire("a", 8, 1);
+/// let twice = b.wire("twice", 8, 0);
+/// b.comb("double", &[a], &[twice], move |ctx| {
+///     let v = ctx.get(a);
+///     ctx.set(twice, v * 2);
+/// });
+/// let mut engine = CycleEngine::new(b.build()?);
+/// engine.step();
+/// assert_eq!(engine.value(twice), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    signals: Vec<SignalInfo>,
+    processes: Vec<ProcessDecl>,
+}
+
+impl CircuitBuilder {
+    /// Create an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add_signal(&mut self, name: impl Into<String>, width: u8, init: u64, kind: SignalKind) -> SignalId {
+        let id = SignalId(u32::try_from(self.signals.len()).expect("too many signals"));
+        let info = SignalInfo { name: name.into(), width, init, kind };
+        let init = init & info.mask();
+        self.signals.push(SignalInfo { init, ..info });
+        id
+    }
+
+    /// Declare a combinationally-driven wire.
+    ///
+    /// A wire with no driving process acts as an external input and can be
+    /// set through [`Engine::poke`](crate::Engine::poke).
+    pub fn wire(&mut self, name: impl Into<String>, width: u8, init: u64) -> SignalId {
+        self.add_signal(name, width, init, SignalKind::Wire)
+    }
+
+    /// Declare a clocked register initialised to `init`.
+    pub fn register(&mut self, name: impl Into<String>, width: u8, init: u64) -> SignalId {
+        self.add_signal(name, width, init, SignalKind::Register)
+    }
+
+    /// Declare a combinational process.
+    ///
+    /// `reads` is the sensitivity list, `writes` the set of wires the
+    /// closure may drive. Declaring a read or write the closure does not
+    /// perform is harmless; performing one that is not declared leads to
+    /// nondeterministic schedules and is rejected where detectable.
+    pub fn comb<F>(&mut self, name: impl Into<String>, reads: &[SignalId], writes: &[SignalId], f: F) -> ProcessId
+    where
+        F: FnMut(&mut EvalCtx<'_>) + 'static,
+    {
+        let id = ProcessId(u32::try_from(self.processes.len()).expect("too many processes"));
+        self.processes.push(ProcessDecl {
+            name: name.into(),
+            reads: reads.to_vec(),
+            writes: writes.to_vec(),
+            behaviour: Behaviour::Comb(Box::new(f)),
+        });
+        id
+    }
+
+    /// Declare a sequential (clock-edge) process.
+    ///
+    /// `reads` may mention any signal; `writes` must mention registers
+    /// only. All sequential processes observe the same pre-edge snapshot,
+    /// so their relative order is immaterial.
+    pub fn seq<F>(&mut self, name: impl Into<String>, reads: &[SignalId], writes: &[SignalId], f: F) -> ProcessId
+    where
+        F: FnMut(&mut EdgeCtx<'_>) + 'static,
+    {
+        let id = ProcessId(u32::try_from(self.processes.len()).expect("too many processes"));
+        self.processes.push(ProcessDecl {
+            name: name.into(),
+            reads: reads.to_vec(),
+            writes: writes.to_vec(),
+            behaviour: Behaviour::Seq(Box::new(f)),
+        });
+        id
+    }
+
+    /// Number of signals declared so far.
+    #[must_use]
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Number of processes declared so far.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Elaborate the declarations into a runnable [`Circuit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError`] if a signal width is invalid, a wire
+    /// has several combinational drivers, a combinational process drives a
+    /// register (or a sequential one drives a wire), or the combinational
+    /// dependency graph contains a cycle.
+    pub fn build(self) -> Result<Circuit, BuildCircuitError> {
+        Circuit::elaborate(self.signals, self.processes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CycleEngine, Engine};
+
+    #[test]
+    fn wire_values_are_masked() {
+        let mut b = CircuitBuilder::new();
+        let a = b.wire("a", 4, 0);
+        let y = b.wire("y", 4, 0);
+        b.comb("pass", &[a], &[y], move |ctx| {
+            let v = ctx.get(a);
+            ctx.set(y, v + 0xF0); // upper bits must be masked away
+        });
+        let mut e = CycleEngine::new(b.build().unwrap());
+        e.poke(a, 3);
+        e.step();
+        assert_eq!(e.value(y), 3);
+    }
+
+    #[test]
+    fn init_values_are_masked() {
+        let mut b = CircuitBuilder::new();
+        let r = b.register("r", 2, 0xFF);
+        let c = b.build().unwrap();
+        assert_eq!(c.signal_info(r).init(), 0b11);
+    }
+
+    #[test]
+    fn bool_helpers() {
+        let mut b = CircuitBuilder::new();
+        let a = b.wire("a", 1, 0);
+        let y = b.wire("y", 1, 0);
+        b.comb("not", &[a], &[y], move |ctx| {
+            let v = ctx.get_bool(a);
+            ctx.set_bool(y, !v);
+        });
+        let mut e = CycleEngine::new(b.build().unwrap());
+        e.step();
+        assert_eq!(e.value(y), 1);
+    }
+
+    #[test]
+    fn counts_track_declarations() {
+        let mut b = CircuitBuilder::new();
+        let a = b.wire("a", 1, 0);
+        b.register("r", 1, 0);
+        b.comb("p", &[a], &[], |_| {});
+        assert_eq!(b.signal_count(), 2);
+        assert_eq!(b.process_count(), 1);
+    }
+}

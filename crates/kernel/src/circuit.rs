@@ -1,0 +1,266 @@
+//! Elaborated circuits: validated netlists with a combinational schedule.
+
+use std::collections::HashMap;
+
+use crate::error::BuildCircuitError;
+use crate::process::{ProcessDecl, ProcessId};
+use crate::signal::{SignalId, SignalInfo, SignalKind};
+
+/// An elaborated, runnable circuit.
+///
+/// Produced by [`CircuitBuilder::build`](crate::CircuitBuilder::build);
+/// consumed by the engines in [`engine`](crate::engine). Elaboration
+/// validates driver rules and levelises the combinational processes, which
+/// rejects combinational loops — the kernel-level expression of the
+/// paper's requirement that every cyclic stop/valid path be cut by at
+/// least one register.
+#[derive(Debug)]
+pub struct Circuit {
+    pub(crate) signals: Vec<SignalInfo>,
+    pub(crate) processes: Vec<ProcessDecl>,
+    /// Combinational processes in dependency (topological) order.
+    pub(crate) comb_order: Vec<ProcessId>,
+    /// Sequential processes, in declaration order.
+    pub(crate) seq_order: Vec<ProcessId>,
+    /// For each signal, the combinational processes sensitive to it.
+    pub(crate) sensitivity: Vec<Vec<ProcessId>>,
+}
+
+impl Circuit {
+    pub(crate) fn elaborate(
+        signals: Vec<SignalInfo>,
+        processes: Vec<ProcessDecl>,
+    ) -> Result<Self, BuildCircuitError> {
+        for info in &signals {
+            if info.width == 0 || info.width > 64 {
+                return Err(BuildCircuitError::InvalidWidth {
+                    signal: info.name.clone(),
+                    width: info.width,
+                });
+            }
+        }
+
+        // Driver discipline.
+        let mut wire_driver: HashMap<usize, usize> = HashMap::new();
+        for (pi, p) in processes.iter().enumerate() {
+            for &w in &p.writes {
+                let kind = signals[w.index()].kind;
+                match (&p.behaviour, kind) {
+                    (crate::process::Behaviour::Comb(_), SignalKind::Register) => {
+                        return Err(BuildCircuitError::CombDrivesRegister {
+                            signal: signals[w.index()].name.clone(),
+                            process: p.name.clone(),
+                        });
+                    }
+                    (crate::process::Behaviour::Seq(_), SignalKind::Wire) => {
+                        return Err(BuildCircuitError::SeqDrivesWire {
+                            signal: signals[w.index()].name.clone(),
+                            process: p.name.clone(),
+                        });
+                    }
+                    (crate::process::Behaviour::Comb(_), SignalKind::Wire) => {
+                        if let Some(&prev) = wire_driver.get(&w.index()) {
+                            return Err(BuildCircuitError::MultipleDrivers {
+                                signal: signals[w.index()].name.clone(),
+                                drivers: (processes[prev].name.clone(), p.name.clone()),
+                            });
+                        }
+                        wire_driver.insert(w.index(), pi);
+                    }
+                    (crate::process::Behaviour::Seq(_), SignalKind::Register) => {}
+                }
+            }
+        }
+
+        // Levelise combinational processes: edge p -> q when p writes a
+        // wire q reads. Kahn's algorithm; leftovers mean a loop.
+        let comb_ids: Vec<usize> = processes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_comb())
+            .map(|(i, _)| i)
+            .collect();
+        let mut successors: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut indegree: HashMap<usize, usize> = comb_ids.iter().map(|&i| (i, 0)).collect();
+        for &pi in &comb_ids {
+            for &r in &processes[pi].reads {
+                if signals[r.index()].kind == SignalKind::Wire {
+                    if let Some(&src) = wire_driver.get(&r.index()) {
+                        if src != pi {
+                            successors.entry(src).or_default().push(pi);
+                            *indegree.get_mut(&pi).expect("comb process") += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let mut ready: Vec<usize> = comb_ids.iter().copied().filter(|i| indegree[i] == 0).collect();
+        // Deterministic schedule: lowest declaration index first.
+        ready.sort_unstable();
+        let mut comb_order = Vec::with_capacity(comb_ids.len());
+        let mut queue = std::collections::VecDeque::from(ready);
+        while let Some(pi) = queue.pop_front() {
+            comb_order.push(ProcessId(u32::try_from(pi).expect("process index")));
+            if let Some(succs) = successors.get(&pi) {
+                for &s in succs {
+                    let d = indegree.get_mut(&s).expect("comb process");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push_back(s);
+                    }
+                }
+            }
+        }
+        if comb_order.len() != comb_ids.len() {
+            let stuck: Vec<String> = comb_ids
+                .iter()
+                .filter(|i| indegree[i] > 0)
+                .map(|&i| processes[i].name.clone())
+                .collect();
+            return Err(BuildCircuitError::CombinationalLoop { processes: stuck });
+        }
+
+        let seq_order: Vec<ProcessId> = processes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_comb())
+            .map(|(i, _)| ProcessId(u32::try_from(i).expect("process index")))
+            .collect();
+
+        let mut sensitivity: Vec<Vec<ProcessId>> = vec![Vec::new(); signals.len()];
+        for (pi, p) in processes.iter().enumerate() {
+            if p.is_comb() {
+                for &r in &p.reads {
+                    sensitivity[r.index()].push(ProcessId(u32::try_from(pi).expect("process index")));
+                }
+            }
+        }
+
+        Ok(Circuit { signals, processes, comb_order, seq_order, sensitivity })
+    }
+
+    /// Number of declared signals.
+    #[must_use]
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Number of declared processes (combinational + sequential).
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Metadata for `sig`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` belongs to a different circuit.
+    #[must_use]
+    pub fn signal_info(&self, sig: SignalId) -> &SignalInfo {
+        &self.signals[sig.index()]
+    }
+
+    /// Iterate over `(id, info)` for every signal, in declaration order.
+    pub fn signals(&self) -> impl Iterator<Item = (SignalId, &SignalInfo)> {
+        self.signals
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (SignalId(u32::try_from(i).expect("signal index")), info))
+    }
+
+    /// Initial value vector (cycle-zero state).
+    #[must_use]
+    pub(crate) fn initial_values(&self) -> Vec<u64> {
+        self.signals.iter().map(SignalInfo::init).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn rejects_combinational_loop() {
+        let mut b = CircuitBuilder::new();
+        let a = b.wire("a", 1, 0);
+        let y = b.wire("y", 1, 0);
+        b.comb("p", &[a], &[y], |_| {});
+        b.comb("q", &[y], &[a], |_| {});
+        match b.build() {
+            Err(BuildCircuitError::CombinationalLoop { processes }) => {
+                assert_eq!(processes.len(), 2);
+            }
+            other => panic!("expected loop error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_breaks_loop() {
+        let mut b = CircuitBuilder::new();
+        let r = b.register("r", 1, 0);
+        let y = b.wire("y", 1, 0);
+        b.comb("p", &[r], &[y], |_| {});
+        b.seq("q", &[y], &[r], |_| {});
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_multiple_drivers() {
+        let mut b = CircuitBuilder::new();
+        let y = b.wire("y", 1, 0);
+        b.comb("p", &[], &[y], |_| {});
+        b.comb("q", &[], &[y], |_| {});
+        assert!(matches!(b.build(), Err(BuildCircuitError::MultipleDrivers { .. })));
+    }
+
+    #[test]
+    fn rejects_comb_driving_register() {
+        let mut b = CircuitBuilder::new();
+        let r = b.register("r", 1, 0);
+        b.comb("p", &[], &[r], |_| {});
+        assert!(matches!(b.build(), Err(BuildCircuitError::CombDrivesRegister { .. })));
+    }
+
+    #[test]
+    fn rejects_seq_driving_wire() {
+        let mut b = CircuitBuilder::new();
+        let w = b.wire("w", 1, 0);
+        b.seq("p", &[], &[w], |_| {});
+        assert!(matches!(b.build(), Err(BuildCircuitError::SeqDrivesWire { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_width() {
+        let mut b = CircuitBuilder::new();
+        b.wire("w", 0, 0);
+        assert!(matches!(b.build(), Err(BuildCircuitError::InvalidWidth { .. })));
+    }
+
+    #[test]
+    fn comb_order_respects_dependencies() {
+        let mut b = CircuitBuilder::new();
+        let a = b.wire("a", 1, 0);
+        let mid = b.wire("mid", 1, 0);
+        let out = b.wire("out", 1, 0);
+        // Declared consumer-first to force the scheduler to reorder.
+        let late = b.comb("late", &[mid], &[out], |_| {});
+        let early = b.comb("early", &[a], &[mid], |_| {});
+        let c = b.build().unwrap();
+        let pos = |p| c.comb_order.iter().position(|&q| q == p).unwrap();
+        assert!(pos(early) < pos(late));
+    }
+
+    #[test]
+    fn signal_iteration_matches_declarations() {
+        let mut b = CircuitBuilder::new();
+        b.wire("a", 1, 0);
+        b.register("r", 2, 1);
+        let c = b.build().unwrap();
+        let names: Vec<&str> = c.signals().map(|(_, info)| info.name()).collect();
+        assert_eq!(names, ["a", "r"]);
+        assert_eq!(c.signal_count(), 2);
+        assert_eq!(c.process_count(), 0);
+    }
+}

@@ -1,0 +1,482 @@
+//! Simulation engines: levelised cycle evaluation and event-driven deltas.
+//!
+//! Both engines implement [`Engine`] and produce identical cycle-level
+//! behaviour on any legal [`Circuit`]. [`CycleEngine`] evaluates every
+//! combinational process exactly once per clock in topological order;
+//! [`EventEngine`] mimics a VHDL event-driven simulator with delta cycles,
+//! evaluating only processes sensitised by actual signal changes. The
+//! `engine_ablation` experiment in `lip-bench` compares their costs, which
+//! backs the paper's remark that skeleton-level event-driven simulation is
+//! "absolutely negligible" in cost.
+
+use std::collections::VecDeque;
+
+use crate::builder::{EdgeCtx, EvalCtx};
+use crate::circuit::Circuit;
+use crate::process::Behaviour;
+use crate::signal::{SignalId, SignalKind};
+use crate::trace::Trace;
+
+/// Counters accumulated while simulating.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Clock cycles executed.
+    pub cycles: u64,
+    /// Combinational process evaluations performed.
+    pub comb_evals: u64,
+    /// Sequential process evaluations performed.
+    pub seq_evals: u64,
+    /// Delta iterations executed (event engine; one per cycle for the
+    /// cycle engine).
+    pub deltas: u64,
+    /// Signal value changes observed.
+    pub events: u64,
+}
+
+/// Common interface of the simulation engines.
+pub trait Engine {
+    /// Advance the simulation by one clock cycle.
+    fn step(&mut self);
+
+    /// Current value of `sig`.
+    fn value(&self, sig: SignalId) -> u64;
+
+    /// Externally drive an undriven wire before the next [`step`](Engine::step).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `sig` is not a wire.
+    fn poke(&mut self, sig: SignalId, value: u64);
+
+    /// Accumulated statistics.
+    fn stats(&self) -> EngineStats;
+
+    /// The circuit being simulated.
+    fn circuit(&self) -> &Circuit;
+
+    /// Current value of `sig` as a boolean (non-zero = `true`).
+    fn value_bool(&self, sig: SignalId) -> bool {
+        self.value(sig) != 0
+    }
+
+    /// Run `n` clock cycles.
+    fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+fn edge_phase(
+    circuit: &mut Circuit,
+    values: &mut [u64],
+    next: &mut Vec<u64>,
+    stats: &mut EngineStats,
+    changed_regs: &mut Vec<SignalId>,
+) {
+    next.clear();
+    next.extend_from_slice(values);
+    for i in 0..circuit.seq_order.len() {
+        let pid = circuit.seq_order[i];
+        let p = &mut circuit.processes[pid.index()];
+        if let Behaviour::Seq(f) = &mut p.behaviour {
+            let mut ctx = EdgeCtx { infos: &circuit.signals, current: values, next };
+            f(&mut ctx);
+            stats.seq_evals += 1;
+        }
+    }
+    changed_regs.clear();
+    for (i, info) in circuit.signals.iter().enumerate() {
+        if info.kind() == SignalKind::Register && values[i] != next[i] {
+            values[i] = next[i];
+            changed_regs.push(SignalId(u32::try_from(i).expect("signal index")));
+            stats.events += 1;
+        }
+    }
+}
+
+/// Levelised two-phase engine: one topological combinational pass per
+/// cycle, then the clock edge.
+///
+/// # Example
+///
+/// ```
+/// use lip_kernel::{CircuitBuilder, CycleEngine, Engine};
+///
+/// # fn main() -> Result<(), lip_kernel::BuildCircuitError> {
+/// let mut b = CircuitBuilder::new();
+/// let r = b.register("r", 8, 0);
+/// b.seq("inc", &[r], &[r], move |ctx| {
+///     let v = ctx.get(r);
+///     ctx.set_next(r, v + 1);
+/// });
+/// let mut e = CycleEngine::new(b.build()?);
+/// e.run(10);
+/// assert_eq!(e.value(r), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CycleEngine {
+    circuit: Circuit,
+    values: Vec<u64>,
+    next: Vec<u64>,
+    stats: EngineStats,
+    trace: Option<Trace>,
+    scratch_regs: Vec<SignalId>,
+}
+
+impl CycleEngine {
+    /// Create an engine over `circuit`, with all signals at their initial
+    /// values.
+    #[must_use]
+    pub fn new(circuit: Circuit) -> Self {
+        let values = circuit.initial_values();
+        Self {
+            circuit,
+            values,
+            next: Vec::new(),
+            stats: EngineStats::default(),
+            trace: None,
+            scratch_regs: Vec::new(),
+        }
+    }
+
+    /// Enable per-cycle change recording (see [`Trace`]).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn comb_phase(&mut self) {
+        for i in 0..self.circuit.comb_order.len() {
+            let pid = self.circuit.comb_order[i];
+            let p = &mut self.circuit.processes[pid.index()];
+            if let Behaviour::Comb(f) = &mut p.behaviour {
+                let mut ctx = EvalCtx {
+                    infos: &self.circuit.signals,
+                    values: &mut self.values,
+                    changed: Vec::new(),
+                };
+                f(&mut ctx);
+                self.stats.events += ctx.changed.len() as u64;
+                self.stats.comb_evals += 1;
+            }
+        }
+        self.stats.deltas += 1;
+    }
+
+    /// Settle combinational logic for the current cycle without advancing
+    /// the clock. Useful for inspecting mid-cycle wire values in tests.
+    pub fn settle(&mut self) {
+        self.comb_phase();
+    }
+}
+
+impl Engine for CycleEngine {
+    fn step(&mut self) {
+        self.comb_phase();
+        if let Some(t) = &mut self.trace {
+            t.record(self.stats.cycles, &self.circuit, &self.values);
+        }
+        edge_phase(
+            &mut self.circuit,
+            &mut self.values,
+            &mut self.next,
+            &mut self.stats,
+            &mut self.scratch_regs,
+        );
+        self.stats.cycles += 1;
+    }
+
+    fn value(&self, sig: SignalId) -> u64 {
+        self.values[sig.index()]
+    }
+
+    fn poke(&mut self, sig: SignalId, value: u64) {
+        assert_eq!(
+            self.circuit.signals[sig.index()].kind(),
+            SignalKind::Wire,
+            "poke targets must be wires"
+        );
+        let masked = value & self.circuit.signals[sig.index()].mask();
+        self.values[sig.index()] = masked;
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+}
+
+/// Event-driven engine with VHDL-style delta cycles.
+///
+/// Each cycle starts by waking the processes sensitive to registers (and
+/// pokes) that changed at the previous edge, then iterates: evaluate a
+/// woken process, propagate wakeups for every wire it actually changed,
+/// until quiescent. The clock edge then fires as usual.
+///
+/// Produces exactly the same per-cycle values as [`CycleEngine`]; its
+/// [`EngineStats::comb_evals`] measures real switching activity, which is
+/// what makes skeleton simulation cheap on mostly-idle systems.
+#[derive(Debug)]
+pub struct EventEngine {
+    circuit: Circuit,
+    values: Vec<u64>,
+    next: Vec<u64>,
+    stats: EngineStats,
+    trace: Option<Trace>,
+    /// Wakeup queue and membership flags for the current delta loop.
+    queue: VecDeque<u32>,
+    queued: Vec<bool>,
+    changed_regs: Vec<SignalId>,
+    first_cycle: bool,
+    /// Safety valve: an engine bug (or undeclared read/write) could
+    /// otherwise livelock the delta loop.
+    max_deltas_per_cycle: u64,
+}
+
+impl EventEngine {
+    /// Create an engine over `circuit`, with all signals at their initial
+    /// values.
+    #[must_use]
+    pub fn new(circuit: Circuit) -> Self {
+        let values = circuit.initial_values();
+        let nproc = circuit.process_count();
+        Self {
+            circuit,
+            values,
+            next: Vec::new(),
+            stats: EngineStats::default(),
+            trace: None,
+            queue: VecDeque::new(),
+            queued: vec![false; nproc],
+            changed_regs: Vec::new(),
+            first_cycle: true,
+            max_deltas_per_cycle: 1_000_000,
+        }
+    }
+
+    /// Enable per-cycle change recording (see [`Trace`]).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn wake_sensitive(&mut self, sig: SignalId) {
+        for &pid in &self.circuit.sensitivity[sig.index()] {
+            if !self.queued[pid.index()] {
+                self.queued[pid.index()] = true;
+                self.queue.push_back(pid.0);
+            }
+        }
+    }
+
+    fn delta_loop(&mut self) {
+        let mut deltas = 0u64;
+        while let Some(pi) = self.queue.pop_front() {
+            self.queued[pi as usize] = false;
+            let p = &mut self.circuit.processes[pi as usize];
+            let changed = if let Behaviour::Comb(f) = &mut p.behaviour {
+                let mut ctx = EvalCtx {
+                    infos: &self.circuit.signals,
+                    values: &mut self.values,
+                    changed: Vec::new(),
+                };
+                f(&mut ctx);
+                self.stats.comb_evals += 1;
+                ctx.changed
+            } else {
+                Vec::new()
+            };
+            self.stats.events += changed.len() as u64;
+            for sig in changed {
+                self.wake_sensitive(sig);
+            }
+            deltas += 1;
+            self.stats.deltas += 1;
+            assert!(
+                deltas <= self.max_deltas_per_cycle,
+                "delta-cycle livelock: combinational logic did not settle"
+            );
+        }
+    }
+}
+
+impl Engine for EventEngine {
+    fn step(&mut self) {
+        if self.first_cycle {
+            // Every combinational process runs once to establish wire
+            // values from the initial register state.
+            for i in 0..self.circuit.comb_order.len() {
+                let pid = self.circuit.comb_order[i];
+                if !self.queued[pid.index()] {
+                    self.queued[pid.index()] = true;
+                    self.queue.push_back(pid.0);
+                }
+            }
+            self.first_cycle = false;
+        }
+        self.delta_loop();
+        if let Some(t) = &mut self.trace {
+            t.record(self.stats.cycles, &self.circuit, &self.values);
+        }
+        edge_phase(
+            &mut self.circuit,
+            &mut self.values,
+            &mut self.next,
+            &mut self.stats,
+            &mut self.changed_regs,
+        );
+        let changed = std::mem::take(&mut self.changed_regs);
+        for sig in &changed {
+            self.wake_sensitive(*sig);
+        }
+        self.changed_regs = changed;
+        self.stats.cycles += 1;
+    }
+
+    fn value(&self, sig: SignalId) -> u64 {
+        self.values[sig.index()]
+    }
+
+    fn poke(&mut self, sig: SignalId, value: u64) {
+        assert_eq!(
+            self.circuit.signals[sig.index()].kind(),
+            SignalKind::Wire,
+            "poke targets must be wires"
+        );
+        let masked = value & self.circuit.signals[sig.index()].mask();
+        if self.values[sig.index()] != masked {
+            self.values[sig.index()] = masked;
+            self.wake_sensitive(sig);
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    /// A 3-stage pipeline: in -> r1 -> r2, with a comb inverter tap.
+    fn pipeline() -> (crate::Circuit, SignalId, SignalId, SignalId, SignalId) {
+        let mut b = CircuitBuilder::new();
+        let input = b.wire("in", 8, 0);
+        let r1 = b.register("r1", 8, 0);
+        let r2 = b.register("r2", 8, 0);
+        let inv = b.wire("inv", 8, 0);
+        b.seq("s1", &[input], &[r1], move |ctx| {
+            let v = ctx.get(input);
+            ctx.set_next(r1, v);
+        });
+        b.seq("s2", &[r1], &[r2], move |ctx| {
+            let v = ctx.get(r1);
+            ctx.set_next(r2, v);
+        });
+        b.comb("inv", &[r2], &[inv], move |ctx| {
+            let v = ctx.get(r2);
+            ctx.set(inv, !v);
+        });
+        (b.build().unwrap(), input, r1, r2, inv)
+    }
+
+    #[test]
+    fn cycle_engine_pipelines_data() {
+        let (c, input, _r1, r2, inv) = pipeline();
+        let mut e = CycleEngine::new(c);
+        e.poke(input, 0xAB);
+        e.step();
+        e.step();
+        assert_eq!(e.value(r2), 0xAB);
+        e.settle();
+        assert_eq!(e.value(inv), !0xABu64 & 0xFF);
+    }
+
+    #[test]
+    fn engines_agree_cycle_by_cycle() {
+        let (c1, in1, ..) = pipeline();
+        let (c2, in2, ..) = pipeline();
+        let mut a = CycleEngine::new(c1);
+        let mut b = EventEngine::new(c2);
+        for t in 0..20u64 {
+            a.poke(in1, t * 7);
+            b.poke(in2, t * 7);
+            a.step();
+            b.step();
+            for i in 0..a.circuit().signal_count() {
+                let sig = SignalId(u32::try_from(i).unwrap());
+                assert_eq!(a.value(sig), b.value(sig), "cycle {t}, signal {sig}");
+            }
+        }
+    }
+
+    #[test]
+    fn event_engine_skips_idle_logic() {
+        let (c, input, ..) = pipeline();
+        let mut e = EventEngine::new(c);
+        e.poke(input, 5);
+        e.run(3); // pipeline settles, nothing changes afterwards
+        let evals_after_settle = e.stats().comb_evals;
+        e.run(10);
+        // The inverter is the only comb process; with no input changes it
+        // must not be re-evaluated.
+        assert_eq!(e.stats().comb_evals, evals_after_settle);
+    }
+
+    #[test]
+    fn stats_count_cycles() {
+        let (c, ..) = pipeline();
+        let mut e = CycleEngine::new(c);
+        e.run(5);
+        assert_eq!(e.stats().cycles, 5);
+        assert_eq!(e.stats().seq_evals, 10); // two seq processes
+    }
+
+    #[test]
+    #[should_panic(expected = "poke targets must be wires")]
+    fn poke_register_panics() {
+        let mut b = CircuitBuilder::new();
+        let r = b.register("r", 1, 0);
+        let mut e = CycleEngine::new(b.build().unwrap());
+        e.poke(r, 1);
+    }
+
+    #[test]
+    fn run_helper_steps_n_times() {
+        let mut b = CircuitBuilder::new();
+        let r = b.register("r", 16, 0);
+        b.seq("inc", &[r], &[r], move |ctx| {
+            let v = ctx.get(r);
+            ctx.set_next(r, v + 1);
+        });
+        let mut e = EventEngine::new(b.build().unwrap());
+        e.run(100);
+        assert_eq!(e.value(r), 100);
+    }
+}

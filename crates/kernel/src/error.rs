@@ -1,0 +1,101 @@
+//! Elaboration-time errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`CircuitBuilder::build`](crate::CircuitBuilder::build)
+/// when the declared netlist cannot be elaborated into a runnable circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildCircuitError {
+    /// A combinational cycle was found: the named processes form a loop in
+    /// the wire-dependency graph. In latency-insensitive terms this is the
+    /// paper's minimum-memory violation — a stop/valid path that is not cut
+    /// by any relay-station register.
+    CombinationalLoop {
+        /// Names of the processes participating in the loop.
+        processes: Vec<String>,
+    },
+    /// Two combinational processes drive the same wire.
+    MultipleDrivers {
+        /// Name of the doubly-driven signal.
+        signal: String,
+        /// The two offending process names.
+        drivers: (String, String),
+    },
+    /// A combinational process drives a register (registers may only be
+    /// written by sequential processes).
+    CombDrivesRegister {
+        /// Name of the register.
+        signal: String,
+        /// Name of the offending combinational process.
+        process: String,
+    },
+    /// A sequential process writes a plain wire (wires may only be driven
+    /// combinationally or poked externally).
+    SeqDrivesWire {
+        /// Name of the wire.
+        signal: String,
+        /// Name of the offending sequential process.
+        process: String,
+    },
+    /// A signal was declared with a width outside `1..=64`.
+    InvalidWidth {
+        /// Name of the signal.
+        signal: String,
+        /// The rejected width.
+        width: u8,
+    },
+}
+
+impl fmt::Display for BuildCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildCircuitError::CombinationalLoop { processes } => {
+                write!(f, "combinational loop through processes: {}", processes.join(" -> "))
+            }
+            BuildCircuitError::MultipleDrivers { signal, drivers } => {
+                write!(
+                    f,
+                    "signal `{signal}` has multiple drivers: `{}` and `{}`",
+                    drivers.0, drivers.1
+                )
+            }
+            BuildCircuitError::CombDrivesRegister { signal, process } => {
+                write!(
+                    f,
+                    "combinational process `{process}` drives register `{signal}`"
+                )
+            }
+            BuildCircuitError::SeqDrivesWire { signal, process } => {
+                write!(f, "sequential process `{process}` drives wire `{signal}`")
+            }
+            BuildCircuitError::InvalidWidth { signal, width } => {
+                write!(f, "signal `{signal}` has invalid width {width} (expected 1..=64)")
+            }
+        }
+    }
+}
+
+impl Error for BuildCircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = BuildCircuitError::CombinationalLoop {
+            processes: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(err.to_string(), "combinational loop through processes: a -> b");
+
+        let err = BuildCircuitError::MultipleDrivers {
+            signal: "x".into(),
+            drivers: ("p".into(), "q".into()),
+        };
+        assert!(err.to_string().contains("multiple drivers"));
+
+        let err = BuildCircuitError::InvalidWidth { signal: "w".into(), width: 0 };
+        assert!(err.to_string().contains("invalid width 0"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Process declarations: the behavioural units of a circuit.
+
+use std::fmt;
+
+use crate::builder::{EdgeCtx, EvalCtx};
+use crate::signal::SignalId;
+
+/// Handle to a process declared on a
+/// [`CircuitBuilder`](crate::CircuitBuilder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub(crate) u32);
+
+impl ProcessId {
+    /// Dense index of this process inside its circuit.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Behaviour of a process: combinational (settles within a cycle) or
+/// sequential (fires on the clock edge).
+pub(crate) enum Behaviour {
+    Comb(Box<dyn FnMut(&mut EvalCtx<'_>)>),
+    Seq(Box<dyn FnMut(&mut EdgeCtx<'_>)>),
+}
+
+impl fmt::Debug for Behaviour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Behaviour::Comb(_) => f.write_str("Comb(..)"),
+            Behaviour::Seq(_) => f.write_str("Seq(..)"),
+        }
+    }
+}
+
+/// A declared process: name, sensitivity (reads), drive set (writes) and
+/// behaviour closure.
+#[derive(Debug)]
+pub(crate) struct ProcessDecl {
+    pub(crate) name: String,
+    pub(crate) reads: Vec<SignalId>,
+    pub(crate) writes: Vec<SignalId>,
+    pub(crate) behaviour: Behaviour,
+}
+
+impl ProcessDecl {
+    pub(crate) fn is_comb(&self) -> bool {
+        matches!(self.behaviour, Behaviour::Comb(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display_and_index() {
+        assert_eq!(ProcessId(3).to_string(), "p3");
+        assert_eq!(ProcessId(3).index(), 3);
+    }
+
+    #[test]
+    fn behaviour_debug_is_nonempty() {
+        let b = Behaviour::Comb(Box::new(|_| {}));
+        assert_eq!(format!("{b:?}"), "Comb(..)");
+        let b = Behaviour::Seq(Box::new(|_| {}));
+        assert_eq!(format!("{b:?}"), "Seq(..)");
+    }
+}

@@ -1,0 +1,129 @@
+//! Signal identities and metadata.
+
+use std::fmt;
+
+/// Handle to a signal declared on a [`CircuitBuilder`](crate::CircuitBuilder).
+///
+/// `SignalId`s are dense indices; they are only meaningful for the circuit
+/// they were created on. Using an id from a different circuit panics when
+/// first dereferenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// Dense index of this signal inside its circuit.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// How a signal obtains its value each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// Driven by exactly one combinational process (or poked externally if
+    /// no process drives it).
+    Wire,
+    /// Holds state across clock edges; sequential processes write its
+    /// next-cycle value.
+    Register,
+}
+
+impl fmt::Display for SignalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalKind::Wire => f.write_str("wire"),
+            SignalKind::Register => f.write_str("register"),
+        }
+    }
+}
+
+/// Declaration-time metadata of a signal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SignalInfo {
+    pub(crate) name: String,
+    pub(crate) width: u8,
+    pub(crate) init: u64,
+    pub(crate) kind: SignalKind,
+}
+
+impl SignalInfo {
+    /// Human-readable name given at declaration.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bit width (1..=64). Values are masked to this width on every write.
+    #[must_use]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Value the signal holds at cycle zero.
+    #[must_use]
+    pub fn init(&self) -> u64 {
+        self.init
+    }
+
+    /// Whether the signal is a wire or a register.
+    #[must_use]
+    pub fn kind(&self) -> SignalKind {
+        self.kind
+    }
+
+    /// Mask for this signal's width.
+    #[must_use]
+    pub(crate) fn mask(&self) -> u64 {
+        if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_covers_width() {
+        let info = SignalInfo {
+            name: "x".to_owned(),
+            width: 3,
+            init: 0,
+            kind: SignalKind::Wire,
+        };
+        assert_eq!(info.mask(), 0b111);
+    }
+
+    #[test]
+    fn mask_full_width() {
+        let info = SignalInfo {
+            name: "x".to_owned(),
+            width: 64,
+            init: 0,
+            kind: SignalKind::Register,
+        };
+        assert_eq!(info.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SignalId(7).to_string(), "s7");
+        assert_eq!(SignalKind::Wire.to_string(), "wire");
+        assert_eq!(SignalKind::Register.to_string(), "register");
+    }
+
+    #[test]
+    fn id_index_roundtrip() {
+        assert_eq!(SignalId(42).index(), 42);
+    }
+}

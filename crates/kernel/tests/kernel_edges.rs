@@ -1,0 +1,106 @@
+//! Edge-case coverage of the simulation kernel.
+
+use lip_kernel::{CircuitBuilder, CycleEngine, Engine, EventEngine};
+
+/// in -> (xor with register) -> out, with feedback.
+fn xor_loop() -> (lip_kernel::Circuit, lip_kernel::SignalId, lip_kernel::SignalId) {
+    let mut b = CircuitBuilder::new();
+    let input = b.wire("in", 8, 0);
+    let state = b.register("state", 8, 0);
+    let out = b.wire("out", 8, 0);
+    b.comb("mix", &[input, state], &[out], move |ctx| {
+        let v = ctx.get(input) ^ ctx.get(state);
+        ctx.set(out, v);
+    });
+    b.seq("latch", &[out], &[state], move |ctx| {
+        let v = ctx.get(out);
+        ctx.set_next(state, v);
+    });
+    (b.build().unwrap(), input, out)
+}
+
+#[test]
+fn poke_wakes_the_event_engine() {
+    let (c, input, out) = xor_loop();
+    let mut e = EventEngine::new(c);
+    e.step();
+    let evals = e.stats().comb_evals;
+    // No poke: the mixer output stabilises; further steps with a stable
+    // register cause no re-evaluation.
+    e.step();
+    let idle = e.stats().comb_evals;
+    assert_eq!(idle, evals, "idle cycle must not evaluate");
+    // A poke re-sensitises the mixer.
+    e.poke(input, 0xFF);
+    e.step();
+    assert!(e.stats().comb_evals > idle);
+    assert_ne!(e.value(out), 0);
+}
+
+#[test]
+fn settle_is_idempotent() {
+    let (c, input, out) = xor_loop();
+    let mut e = CycleEngine::new(c);
+    e.poke(input, 0x0F);
+    e.settle();
+    let v1 = e.value(out);
+    e.settle();
+    let v2 = e.value(out);
+    assert_eq!(v1, v2);
+    assert_eq!(v1, 0x0F);
+}
+
+#[test]
+fn stats_deltas_differ_between_engines() {
+    let (c1, ..) = xor_loop();
+    let (c2, ..) = xor_loop();
+    let mut cyc = CycleEngine::new(c1);
+    let mut evt = EventEngine::new(c2);
+    cyc.run(10);
+    evt.run(10);
+    // The cycle engine counts one delta per cycle; the event engine one
+    // per evaluation wave.
+    assert_eq!(cyc.stats().deltas, 10);
+    assert!(evt.stats().deltas >= 1);
+    assert_eq!(cyc.stats().cycles, evt.stats().cycles);
+}
+
+#[test]
+fn vcd_handles_multibit_and_singlebit() {
+    let mut b = CircuitBuilder::new();
+    let bit = b.register("bit", 1, 0);
+    let word = b.register("word", 16, 0);
+    b.seq("count", &[bit, word], &[bit, word], move |ctx| {
+        ctx.set_next(bit, ctx.get(bit) + 1);
+        ctx.set_next(word, ctx.get(word) + 3);
+    });
+    let mut e = CycleEngine::new(b.build().unwrap());
+    e.enable_trace();
+    e.run(4);
+    let vcd = e.trace().unwrap().to_vcd(e.circuit());
+    // Single-bit changes use the compact form, multi-bit the `b...` form.
+    assert!(vcd.lines().any(|l| l == "1!" || l == "0!"), "{vcd}");
+    assert!(vcd.lines().any(|l| l.starts_with("b11 ")), "{vcd}");
+}
+
+#[test]
+fn trace_iteration_yields_monotone_cycles() {
+    let (c, ..) = xor_loop();
+    let mut e = CycleEngine::new(c);
+    e.enable_trace();
+    e.run(5);
+    let cycles: Vec<u64> = e.trace().unwrap().iter().map(|(c, _)| c).collect();
+    assert_eq!(cycles, vec![0, 1, 2, 3, 4]);
+    // First record carries full initial values.
+    let (_, first) = e.trace().unwrap().iter().next().unwrap();
+    assert_eq!(first.len(), e.circuit().signal_count());
+}
+
+#[test]
+fn signals_iterator_matches_info() {
+    let (c, ..) = xor_loop();
+    for (id, info) in c.signals() {
+        assert_eq!(c.signal_info(id).name(), info.name());
+        assert!(info.width() >= 1);
+    }
+}

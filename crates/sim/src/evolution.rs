@@ -1,0 +1,195 @@
+//! Cycle-by-cycle evolution tables in the style of the paper's Fig. 1
+//! and Fig. 2.
+//!
+//! The figures show, for each clock cycle, the token held at each block's
+//! output ("N"/`n` for voids) and which channels carry a `stop` (dashed
+//! arrows in the paper, a `*` suffix here). [`Evolution::record`]
+//! captures that view from a running [`System`]; its [`Display`]
+//! implementation renders the ASCII table printed by the `fig1_*` and
+//! `fig2_*` experiment binaries.
+//!
+//! [`Display`]: std::fmt::Display
+
+use std::fmt;
+
+use lip_core::Token;
+use lip_graph::{Netlist, NetlistError, NodeId};
+
+use crate::system::System;
+
+/// One observed cycle: per selected node, its output tokens and whether
+/// each output channel was stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvolutionRow {
+    /// The cycle number.
+    pub cycle: u64,
+    /// Per selected node: `(tokens, stops)` for each output port.
+    pub outputs: Vec<(Vec<Token>, Vec<bool>)>,
+}
+
+/// A recorded evolution of selected nodes over consecutive cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evolution {
+    names: Vec<String>,
+    rows: Vec<EvolutionRow>,
+}
+
+impl Evolution {
+    /// Elaborate `netlist`, run it for `cycles` cycles and record the
+    /// outputs of `nodes` (typically the shells of interest — `A`, `B`,
+    /// `C` in Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from elaboration.
+    pub fn record(netlist: &Netlist, nodes: &[NodeId], cycles: u64) -> Result<Self, NetlistError> {
+        let mut sys = System::new(netlist)?;
+        Self::record_from(&mut sys, netlist, nodes, cycles)
+    }
+
+    /// As [`record`](Self::record), but continues an existing simulation
+    /// (useful to skip a transient first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] if a selected node does not exist.
+    pub fn record_from(
+        sys: &mut System,
+        netlist: &Netlist,
+        nodes: &[NodeId],
+        cycles: u64,
+    ) -> Result<Self, NetlistError> {
+        let names = nodes
+            .iter()
+            .map(|id| netlist.node(*id).name().to_owned())
+            .collect();
+        let mut rows = Vec::with_capacity(usize::try_from(cycles).unwrap_or(usize::MAX));
+        for _ in 0..cycles {
+            sys.settle();
+            let mut outputs = Vec::with_capacity(nodes.len());
+            for id in nodes {
+                let tokens = sys.node_outputs(*id);
+                let stops: Vec<bool> = (0..tokens.len())
+                    .map(|p| {
+                        netlist
+                            .out_channel(*id, p)
+                            .is_some_and(|ch| sys.channel_stop(ch))
+                    })
+                    .collect();
+                outputs.push((tokens, stops));
+            }
+            rows.push(EvolutionRow { cycle: sys.cycle(), outputs });
+            sys.step();
+        }
+        Ok(Evolution { names, rows })
+    }
+
+    /// The recorded rows.
+    #[must_use]
+    pub fn rows(&self) -> &[EvolutionRow] {
+        &self.rows
+    }
+
+    /// Node names, in column order.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The rendered cell for node column `col` at row `row`: tokens
+    /// joined by `,`, each stopped port marked `*` (e.g. `"3*"`, `"n"`).
+    #[must_use]
+    pub fn cell(&self, row: usize, col: usize) -> String {
+        let (tokens, stops) = &self.rows[row].outputs[col];
+        tokens
+            .iter()
+            .zip(stops)
+            .map(|(t, s)| format!("{t}{}", if *s { "*" } else { "" }))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl fmt::Display for Evolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column widths.
+        let mut widths: Vec<usize> = self.names.iter().map(String::len).collect();
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(self.rows.len());
+        for (r, row) in self.rows.iter().enumerate() {
+            let mut line = Vec::with_capacity(self.names.len());
+            for (c, w) in widths.iter_mut().enumerate().take(row.outputs.len()) {
+                let s = self.cell(r, c);
+                *w = (*w).max(s.len());
+                line.push(s);
+            }
+            cells.push(line);
+        }
+        write!(f, "{:>6} ", "cycle")?;
+        for (name, w) in self.names.iter().zip(&widths) {
+            write!(f, " {name:>w$}")?;
+        }
+        writeln!(f)?;
+        for (row, line) in self.rows.iter().zip(&cells) {
+            write!(f, "{:>6} ", row.cycle)?;
+            for (cell, w) in line.iter().zip(&widths) {
+                write!(f, " {cell:>w$}")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "(voids print as `n`; a trailing `*` marks a stopped channel)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_graph::generate;
+
+    #[test]
+    fn fig1_evolution_shows_periodic_void() {
+        let f = generate::fig1();
+        let nodes = [f.fork, f.mid, f.join];
+        let ev = Evolution::record(&f.netlist, &nodes, 25).unwrap();
+        assert_eq!(ev.names(), &["A", "B", "C"]);
+        assert_eq!(ev.rows().len(), 25);
+        // After the transient, C's output must be void exactly once
+        // every 5 cycles (the paper: "the output utters an invalid datum
+        // every 5 cycles").
+        let c_voids: Vec<usize> = (10..25)
+            .filter(|&r| ev.rows()[r].outputs[2].0[0].is_void())
+            .collect();
+        assert!(!c_voids.is_empty());
+        for w in c_voids.windows(2) {
+            assert_eq!(w[1] - w[0], 5, "void spacing {c_voids:?}");
+        }
+    }
+
+    #[test]
+    fn fig1_evolution_shows_stops_on_short_branch() {
+        let f = generate::fig1();
+        let nodes = [f.fork, f.mid, f.join];
+        let ev = Evolution::record(&f.netlist, &nodes, 25).unwrap();
+        // The fork's short-branch port (A port 1) must be stopped
+        // periodically — the reverse-flowing stop of Fig. 1.
+        let stopped = (10..25).filter(|&r| ev.rows()[r].outputs[0].1[1]).count();
+        assert!(stopped >= 2, "expected periodic stops, saw {stopped}");
+    }
+
+    #[test]
+    fn rendering_contains_voids_and_stops() {
+        let f = generate::fig1();
+        let ev = Evolution::record(&f.netlist, &[f.fork, f.join], 12).unwrap();
+        let s = ev.to_string();
+        assert!(s.contains("cycle"), "{s}");
+        assert!(s.contains('n'), "voids missing:\n{s}");
+        assert!(s.contains('*'), "stops missing:\n{s}");
+    }
+
+    #[test]
+    fn cells_join_multiple_ports() {
+        let f = generate::fig1();
+        let ev = Evolution::record(&f.netlist, &[f.fork], 3).unwrap();
+        // The fork has two output ports: cells contain a comma.
+        assert!(ev.cell(0, 0).contains(','), "{}", ev.cell(0, 0));
+    }
+}

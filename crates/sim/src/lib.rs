@@ -1,0 +1,47 @@
+//! System-level simulation of latency-insensitive designs.
+//!
+//! This crate turns a [`lip_graph::Netlist`] into an executable system
+//! and provides the measurement machinery behind every experiment in the
+//! reproduction:
+//!
+//! * [`System`] — full cycle-accurate simulation of tokens, stops, pearls
+//!   and clock gating;
+//! * [`SkeletonSystem`] — the paper's data-free valid/stop simulation,
+//!   control-equivalent to the full system but "absolutely negligible"
+//!   in cost, used for deadlock analysis;
+//! * [`measure`](mod@crate::measure) — periodicity detection (transient + period) via control
+//!   state hashing, exact rational steady-state throughput, and the
+//!   skeleton-based liveness check;
+//! * [`Evolution`] — cycle-by-cycle tables in the style of the paper's
+//!   Fig. 1 and Fig. 2.
+//!
+//! # Example
+//!
+//! Reproduce the headline number of Fig. 1 (`T = 4/5`, period 5):
+//!
+//! ```
+//! use lip_graph::generate;
+//! use lip_sim::measure::{measure, Ratio};
+//!
+//! # fn main() -> Result<(), lip_graph::NetlistError> {
+//! let fig1 = generate::fig1();
+//! let m = measure(&fig1.netlist)?;
+//! assert_eq!(m.periodicity.expect("periodic").period, 5);
+//! assert_eq!(m.system_throughput(), Some(Ratio::new(4, 5)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evolution;
+pub mod measure;
+pub mod rtl;
+mod skeleton;
+mod system;
+
+pub use evolution::Evolution;
+pub use measure::{measure, measure_activity, LivenessReport, Measurement, Periodicity, Ratio, ShellActivity};
+pub use skeleton::SkeletonSystem;
+pub use system::System;

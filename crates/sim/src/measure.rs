@@ -1,0 +1,426 @@
+//! Throughput, transient and liveness measurement.
+//!
+//! The paper's quantitative claims are about *steady state*: "after a
+//! number of clock cycles that are dependent on the system each part of
+//! it behaves in a periodic fashion". These helpers detect that periodic
+//! regime by hashing the system's control state every cycle, then measure
+//! throughput exactly — as a rational number of informative tokens per
+//! period — so the closed-form fractions (`4/5`, `S/(S+R)`) can be
+//! asserted without floating-point tolerance.
+
+use std::collections::HashMap;
+
+use lip_graph::{Netlist, NetlistError, NodeId};
+
+use crate::system::System;
+
+/// An exact non-negative rational (e.g. a throughput of `4/5`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    /// `num/den`, reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den != 0, "ratio denominator must be non-zero");
+        let g = gcd(num, den).max(1);
+        Ratio { num: num / g, den: den / g }
+    }
+
+    /// Reduced numerator.
+    #[must_use]
+    pub fn num(self) -> u64 {
+        self.num
+    }
+
+    /// Reduced denominator.
+    #[must_use]
+    pub fn den(self) -> u64 {
+        self.den
+    }
+
+    /// The ratio as a float.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.num as f64 / self.den as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// A detected periodic regime: after `transient` cycles, the control
+/// state repeats every `period` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Periodicity {
+    /// Cycles before the first state that recurs (the paper's "transient
+    /// duration").
+    pub transient: u64,
+    /// Length of the steady-state period.
+    pub period: u64,
+}
+
+/// Detect the periodic regime of `sys` by hashing control states, within
+/// `max_cycles`. Returns `None` when the environment is aperiodic or no
+/// repeat shows up in time. The system is left somewhere inside the
+/// steady-state regime.
+pub fn find_periodicity(sys: &mut System, max_cycles: u64) -> Option<Periodicity> {
+    let mut seen: HashMap<u64, (u64, Vec<u64>)> = HashMap::new();
+    for _ in 0..max_cycles {
+        sys.settle();
+        let state = sys.control_state()?;
+        let hash = sys.control_hash()?;
+        match seen.get(&hash) {
+            Some((first, prev_state)) if *prev_state == state => {
+                return Some(Periodicity { transient: *first, period: sys.cycle() - first });
+            }
+            Some(_) => { /* hash collision with different state: continue */ }
+            None => {
+                seen.insert(hash, (sys.cycle(), state));
+            }
+        }
+        sys.step();
+    }
+    None
+}
+
+/// Exact steady-state throughput of one sink, measured over whole
+/// periods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinkThroughput {
+    /// The sink node.
+    pub sink: NodeId,
+    /// Informative tokens per cycle in steady state.
+    pub throughput: Ratio,
+}
+
+/// Full measurement result of [`measure`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Detected periodicity, if any.
+    pub periodicity: Option<Periodicity>,
+    /// Per-sink exact (periodic) or estimated (aperiodic) throughput.
+    pub sinks: Vec<SinkThroughput>,
+    /// Total cycles simulated.
+    pub cycles: u64,
+}
+
+impl Measurement {
+    /// The minimum sink throughput — the paper's "system throughput"
+    /// (the slowest sub-topology dictates the speed).
+    #[must_use]
+    pub fn system_throughput(&self) -> Option<Ratio> {
+        self.sinks
+            .iter()
+            .map(|s| s.throughput)
+            .min_by(|a, b| {
+                (a.num() * b.den())
+                    .cmp(&(b.num() * a.den()))
+            })
+    }
+}
+
+/// Options for [`measure`].
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureOptions {
+    /// Cycle budget for periodicity detection.
+    pub max_transient: u64,
+    /// Periods (or cycles, for aperiodic systems) to average over.
+    pub measure_periods: u64,
+    /// Fallback cycle count when no periodicity is found.
+    pub fallback_cycles: u64,
+}
+
+impl Default for MeasureOptions {
+    fn default() -> Self {
+        MeasureOptions { max_transient: 10_000, measure_periods: 4, fallback_cycles: 10_000 }
+    }
+}
+
+/// Simulate `netlist` to steady state and measure every sink's exact
+/// throughput.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+pub fn measure(netlist: &Netlist) -> Result<Measurement, NetlistError> {
+    measure_with(netlist, MeasureOptions::default())
+}
+
+/// [`measure`] with explicit options.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+pub fn measure_with(netlist: &Netlist, opts: MeasureOptions) -> Result<Measurement, NetlistError> {
+    let mut sys = System::new(netlist)?;
+    let periodicity = find_periodicity(&mut sys, opts.max_transient);
+    let sinks = netlist.sinks();
+    let window = match periodicity {
+        Some(p) => p.period * opts.measure_periods,
+        None => opts.fallback_cycles,
+    };
+    let before: Vec<u64> = sinks
+        .iter()
+        .map(|s| sys.sink(*s).expect("sink").received().len() as u64)
+        .collect();
+    sys.run(window);
+    let mut out = Vec::with_capacity(sinks.len());
+    for (i, s) in sinks.iter().enumerate() {
+        let after = sys.sink(*s).expect("sink").received().len() as u64;
+        out.push(SinkThroughput { sink: *s, throughput: Ratio::new(after - before[i], window) });
+    }
+    Ok(Measurement { periodicity, sinks: out, cycles: sys.cycle() })
+}
+
+/// Steady-state activity of one shell: the fraction of cycles its pearl
+/// actually fired (the complement is clock-gated — the paper's power
+/// story: "a module waiting for new data and/or stopped keeps its
+/// present state").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShellActivity {
+    /// The shell node.
+    pub shell: NodeId,
+    /// Fires per cycle over the measured window.
+    pub utilisation: Ratio,
+}
+
+/// Measure every shell's steady-state firing rate over whole periods.
+///
+/// In a connected LID every shell settles to the *same* rate — the
+/// system throughput — because each firing consumes and produces exactly
+/// one token per channel; the gated fraction `1 − T` is the activity
+/// saved by the shell's clock gating.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+pub fn measure_activity(netlist: &Netlist) -> Result<Vec<ShellActivity>, NetlistError> {
+    let mut sys = System::new(netlist)?;
+    let periodicity = find_periodicity(&mut sys, 10_000);
+    let window = periodicity.map_or(10_000, |p| p.period * 4);
+    let shells = netlist.shells();
+    let before: Vec<u64> = shells
+        .iter()
+        .map(|s| sys.shell_stats(*s).expect("shell").fires)
+        .collect();
+    sys.run(window);
+    Ok(shells
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let fires = sys.shell_stats(*s).expect("shell").fires - before[i];
+            ShellActivity { shell: *s, utilisation: Ratio::new(fires, window) }
+        })
+        .collect())
+}
+
+/// Liveness verdict from skeleton-style simulation to the periodic
+/// regime — the paper's deadlock detection recipe: "if we simulate the
+/// system up to the transient's extinction, either the deadlock will
+/// show, or will be forever avoided".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivenessReport {
+    /// Shells that never fire within a steady-state period (starved or
+    /// deadlocked forever, by periodicity).
+    pub dead_shells: Vec<NodeId>,
+    /// The detected periodic regime, when one exists.
+    pub periodicity: Option<Periodicity>,
+}
+
+impl LivenessReport {
+    /// `true` when every shell keeps firing.
+    #[must_use]
+    pub fn is_live(&self) -> bool {
+        self.dead_shells.is_empty()
+    }
+}
+
+/// Check liveness of `netlist` by simulating past the transient and
+/// counting shell firings over one full period.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration. Returns an empty
+/// periodicity (and judges over `fallback` cycles) for aperiodic
+/// environments.
+pub fn check_liveness(netlist: &Netlist, max_transient: u64, fallback: u64) -> Result<LivenessReport, NetlistError> {
+    let mut sys = System::new(netlist)?;
+    let periodicity = find_periodicity(&mut sys, max_transient);
+    let window = periodicity.map_or(fallback, |p| p.period);
+    let shells = netlist.shells();
+    let before: Vec<u64> = shells
+        .iter()
+        .map(|s| sys.shell_stats(*s).expect("shell").fires)
+        .collect();
+    sys.run(window);
+    let dead_shells = shells
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| sys.shell_stats(**s).expect("shell").fires == before[*i])
+        .map(|(_, s)| *s)
+        .collect();
+    Ok(LivenessReport { dead_shells, periodicity })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_core::{Pattern, RelayKind};
+    use lip_graph::generate;
+
+    #[test]
+    fn ratio_reduces_and_displays() {
+        let r = Ratio::new(8, 10);
+        assert_eq!((r.num(), r.den()), (4, 5));
+        assert_eq!(r.to_string(), "4/5");
+        assert!((r.to_f64() - 0.8).abs() < 1e-12);
+        assert_eq!(Ratio::new(0, 7), Ratio::new(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be non-zero")]
+    fn ratio_rejects_zero_denominator() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn fig1_measures_exactly_four_fifths() {
+        let f = generate::fig1();
+        let m = measure(&f.netlist).unwrap();
+        let p = m.periodicity.expect("fig1 is periodic");
+        assert_eq!(p.period, 5, "paper: n = 5");
+        assert_eq!(m.system_throughput(), Some(Ratio::new(4, 5)));
+    }
+
+    #[test]
+    fn fig2_ring_measures_s_over_s_plus_r() {
+        for (s, r) in [(1usize, 1usize), (2, 1), (2, 2), (3, 1), (1, 3)] {
+            let ring = generate::ring(s, r, RelayKind::Full);
+            let m = measure(&ring.netlist).unwrap();
+            assert_eq!(
+                m.system_throughput(),
+                Some(Ratio::new(s as u64, (s + r) as u64)),
+                "ring S={s} R={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_measures_unit_throughput() {
+        let t = generate::tree(2, 2, 1);
+        let m = measure(&t.netlist).unwrap();
+        assert_eq!(m.system_throughput(), Some(Ratio::new(1, 1)));
+        for s in &m.sinks {
+            assert_eq!(s.throughput, Ratio::new(1, 1));
+        }
+    }
+
+    #[test]
+    fn transient_of_tree_is_bounded_by_longest_path() {
+        let t = generate::tree(2, 2, 2);
+        let mut sys = System::new(&t.netlist).unwrap();
+        let p = find_periodicity(&mut sys, 1000).unwrap();
+        let bound = lip_graph::topology::longest_latency(&t.netlist).unwrap();
+        assert!(
+            p.transient <= bound + 1,
+            "transient {} exceeds longest-path bound {}",
+            p.transient,
+            bound
+        );
+    }
+
+    #[test]
+    fn periodicity_none_for_aperiodic_environment() {
+        let mut n = Netlist::new();
+        let src = n.add_source_with_pattern("in", Pattern::Random { num: 1, denom: 2, seed: 1 });
+        let sink = n.add_sink("out");
+        n.connect(src, 0, sink, 0).unwrap();
+        let mut sys = System::new(&n).unwrap();
+        assert_eq!(find_periodicity(&mut sys, 100), None);
+        // measure still works via the fallback window.
+        let m = measure_with(
+            &n,
+            MeasureOptions { max_transient: 50, measure_periods: 1, fallback_cycles: 2000 },
+        )
+        .unwrap();
+        let t = m.system_throughput().unwrap().to_f64();
+        assert!((t - 0.5).abs() < 0.1, "estimated {t}");
+    }
+
+    #[test]
+    fn all_shells_fire_at_system_rate() {
+        // Connected LIDs: every shell's steady rate equals the system
+        // throughput (token conservation through each firing).
+        for netlist in [
+            generate::fig1().netlist,
+            generate::ring(2, 1, RelayKind::Full).netlist,
+            generate::composed_coupled(1, 1, 1, 2, 1).netlist,
+        ] {
+            let t = measure(&netlist).unwrap().system_throughput().unwrap();
+            for a in measure_activity(&netlist).unwrap() {
+                assert_eq!(a.utilisation, t, "shell {} off-rate", a.shell);
+            }
+        }
+    }
+
+    #[test]
+    fn gated_fraction_complements_throughput() {
+        let f = generate::fig1();
+        let acts = measure_activity(&f.netlist).unwrap();
+        assert_eq!(acts.len(), 3); // A, B, C
+        for a in &acts {
+            let gated = 1.0 - a.utilisation.to_f64();
+            assert!((gated - 0.2).abs() < 1e-12, "gated {gated}");
+        }
+    }
+
+    #[test]
+    fn liveness_holds_for_feedforward_and_full_rings() {
+        // Paper: any feed-forward LID is deadlock-free; any LID with only
+        // full relay stations is deadlock-free.
+        let f = generate::fig1();
+        assert!(check_liveness(&f.netlist, 1000, 1000).unwrap().is_live());
+        let r = generate::ring(2, 2, RelayKind::Full);
+        assert!(check_liveness(&r.netlist, 1000, 1000).unwrap().is_live());
+    }
+
+    #[test]
+    fn fully_stopped_sink_starves_the_system() {
+        // A sink that always stops makes every shell eventually dead —
+        // the liveness detector must report it.
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let a = n.add_shell("A", lip_core::pearl::IdentityPearl::new());
+        let sink = n.add_sink_with_pattern("out", Pattern::Always);
+        n.connect(src, 0, a, 0).unwrap();
+        n.connect(a, 0, sink, 0).unwrap();
+        let rep = check_liveness(&n, 100, 100).unwrap();
+        assert!(!rep.is_live());
+        assert_eq!(rep.dead_shells, vec![a]);
+    }
+
+    use lip_graph::Netlist;
+}

@@ -1,0 +1,649 @@
+//! RTL elaboration: the netlist as a register-transfer-level circuit on
+//! the [`lip_kernel`] substrate.
+//!
+//! The paper validated its blocks with "a VHDL description of all blocks
+//! and an event-driven simulator". [`elaborate_rtl`] plays the part of
+//! that VHDL: every channel becomes three signals (`valid`, `data`,
+//! `stop`), every block a handful of registers plus combinational and
+//! sequential processes, exactly as the FMGALS'03 FSMs describe. The
+//! result runs on either kernel engine — the levelised
+//! [`CycleEngine`](lip_kernel::CycleEngine) or the delta-cycle
+//! [`EventEngine`](lip_kernel::EventEngine) — and the test-suite checks
+//! it against the direct [`System`](crate::System) interpreter
+//! sink-for-sink, making three independent implementations of the
+//! protocol that must agree.
+
+use lip_core::{Pattern, ProtocolVariant, RelayKind};
+use lip_graph::{Netlist, NetlistError, NodeId, NodeKind};
+use lip_kernel::{Circuit, CircuitBuilder, Engine, SignalId};
+
+/// Probes into an elaborated RTL design.
+#[derive(Debug, Clone)]
+pub struct RtlProbes {
+    /// Per sink: `(valid_count, void_count)` counter registers.
+    sink_counts: Vec<(NodeId, SignalId, SignalId)>,
+    /// Per channel: `(valid, data, stop)` signals, indexed by channel.
+    channels: Vec<(SignalId, SignalId, SignalId)>,
+}
+
+impl RtlProbes {
+    /// Counter registers of the sink at `node`:
+    /// `(informative_tokens, voids)`.
+    #[must_use]
+    pub fn sink_counters(&self, node: NodeId) -> Option<(SignalId, SignalId)> {
+        self.sink_counts
+            .iter()
+            .find(|(id, _, _)| *id == node)
+            .map(|(_, v, n)| (*v, *n))
+    }
+
+    /// `(valid, data, stop)` signals of channel index `ch`.
+    #[must_use]
+    pub fn channel_signals(&self, ch: usize) -> Option<(SignalId, SignalId, SignalId)> {
+        self.channels.get(ch).copied()
+    }
+
+    /// Read a sink's informative-token count from a running engine.
+    #[must_use]
+    pub fn read_sink_valid(&self, engine: &dyn Engine, node: NodeId) -> Option<u64> {
+        let (v, _) = self.sink_counters(node)?;
+        Some(engine.value(v))
+    }
+
+    /// Read a sink's void count from a running engine.
+    #[must_use]
+    pub fn read_sink_voids(&self, engine: &dyn Engine, node: NodeId) -> Option<u64> {
+        let (_, n) = self.sink_counters(node)?;
+        Some(engine.value(n))
+    }
+}
+
+/// Elaborate `netlist` into a kernel [`Circuit`] plus probes.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from validation, or panics are avoided by
+/// the same structural guarantees the direct simulator relies on.
+pub fn elaborate_rtl(netlist: &Netlist) -> Result<(Circuit, RtlProbes), NetlistError> {
+    netlist.validate()?;
+    let mut b = CircuitBuilder::new();
+    let variant = netlist.variant();
+
+    // Channel signals.
+    let mut channels = Vec::with_capacity(netlist.channel_count());
+    for (id, _) in netlist.channels() {
+        let v = b.wire(format!("c{}_valid", id.index()), 1, 0);
+        let d = b.wire(format!("c{}_data", id.index()), 64, 0);
+        let s = b.wire(format!("c{}_stop", id.index()), 1, 0);
+        channels.push((v, d, s));
+    }
+
+    let mut sink_counts = Vec::new();
+
+    for (id, node) in netlist.nodes() {
+        let name = node.name().to_owned();
+        let in_sig: Vec<(SignalId, SignalId, SignalId)> = (0..node.kind().num_inputs())
+            .map(|p| channels[netlist.in_channel(id, p).expect("validated").index()])
+            .collect();
+        let out_sig: Vec<(SignalId, SignalId, SignalId)> = (0..node.kind().num_outputs())
+            .map(|p| channels[netlist.out_channel(id, p).expect("validated").index()])
+            .collect();
+
+        match node.kind() {
+            NodeKind::Source { void_pattern } => {
+                elaborate_source(&mut b, &name, void_pattern.clone(), out_sig[0]);
+            }
+            NodeKind::Sink { stop_pattern } => {
+                let counters =
+                    elaborate_sink(&mut b, &name, stop_pattern.clone(), in_sig[0]);
+                sink_counts.push((id, counters.0, counters.1));
+            }
+            NodeKind::Shell { pearl, buffered: false } => {
+                elaborate_shell(&mut b, &name, pearl.clone(), variant, &in_sig, &out_sig);
+            }
+            NodeKind::Shell { pearl, buffered: true } => {
+                elaborate_buffered_shell(&mut b, &name, pearl.clone(), variant, &in_sig, &out_sig);
+            }
+            NodeKind::Relay { kind: RelayKind::Full } => {
+                elaborate_full_relay(&mut b, &name, in_sig[0], out_sig[0]);
+            }
+            NodeKind::Relay { kind: RelayKind::Half } => {
+                elaborate_half_relay(&mut b, &name, in_sig[0], out_sig[0]);
+            }
+            NodeKind::Relay { kind: RelayKind::Fifo(k) } => {
+                elaborate_fifo_relay(&mut b, &name, *k as usize, in_sig[0], out_sig[0]);
+            }
+        }
+    }
+
+    let circuit = b.build().expect("LID elaboration is structurally sound");
+    Ok((circuit, RtlProbes { sink_counts, channels }))
+}
+
+type ChannelSignals = (SignalId, SignalId, SignalId);
+
+fn elaborate_source(b: &mut CircuitBuilder, name: &str, pattern: Pattern, out: ChannelSignals) {
+    let (ov, od, ostop) = out;
+    let first_valid = !pattern.at(0);
+    let valid_r = b.register(format!("{name}_valid"), 1, u64::from(first_valid));
+    let data_r = b.register(format!("{name}_data"), 64, 0);
+    let seq_r = b.register(format!("{name}_seq"), 64, u64::from(first_valid));
+    let cycle_r = b.register(format!("{name}_cycle"), 64, 0);
+    b.comb(
+        format!("{name}_drive"),
+        &[valid_r, data_r],
+        &[ov, od],
+        move |ctx| {
+            let v = ctx.get(valid_r);
+            let d = ctx.get(data_r);
+            ctx.set(ov, v);
+            ctx.set(od, d);
+        },
+    );
+    b.seq(
+        format!("{name}_clk"),
+        &[valid_r, data_r, seq_r, cycle_r, ostop],
+        &[valid_r, data_r, seq_r, cycle_r],
+        move |ctx| {
+            let next_cycle = ctx.get(cycle_r) + 1;
+            ctx.set_next(cycle_r, next_cycle);
+            let held = ctx.get_bool(valid_r) && ctx.get_bool(ostop);
+            if held {
+                return;
+            }
+            if pattern.at(next_cycle) {
+                ctx.set_next_bool(valid_r, false);
+            } else {
+                let seq = ctx.get(seq_r);
+                ctx.set_next_bool(valid_r, true);
+                ctx.set_next(data_r, seq);
+                ctx.set_next(seq_r, seq + 1);
+            }
+        },
+    );
+}
+
+/// Returns the `(valid_count, void_count)` registers.
+fn elaborate_sink(
+    b: &mut CircuitBuilder,
+    name: &str,
+    pattern: Pattern,
+    input: ChannelSignals,
+) -> (SignalId, SignalId) {
+    let (iv, _id, istop) = input;
+    let cycle_r = b.register(format!("{name}_cycle"), 64, 0);
+    let valid_c = b.register(format!("{name}_valid_count"), 64, 0);
+    let void_c = b.register(format!("{name}_void_count"), 64, 0);
+    let pat = pattern.clone();
+    b.comb(format!("{name}_stop"), &[cycle_r], &[istop], move |ctx| {
+        let c = ctx.get(cycle_r);
+        ctx.set_bool(istop, pat.at(c));
+    });
+    b.seq(
+        format!("{name}_clk"),
+        &[cycle_r, valid_c, void_c, iv],
+        &[cycle_r, valid_c, void_c],
+        move |ctx| {
+            let c = ctx.get(cycle_r);
+            ctx.set_next(cycle_r, c + 1);
+            if !pattern.at(c) {
+                if ctx.get_bool(iv) {
+                    ctx.set_next(valid_c, ctx.get(valid_c) + 1);
+                } else {
+                    ctx.set_next(void_c, ctx.get(void_c) + 1);
+                }
+            }
+        },
+    );
+    (valid_c, void_c)
+}
+
+fn elaborate_shell(
+    b: &mut CircuitBuilder,
+    name: &str,
+    mut pearl: Box<dyn lip_core::Pearl>,
+    variant: ProtocolVariant,
+    ins: &[ChannelSignals],
+    outs: &[ChannelSignals],
+) {
+    let n_in = ins.len();
+    let n_out = outs.len();
+    // Initial outputs: the pearl fired once over zeros (paper footnote:
+    // shell outputs initialise valid).
+    let mut init = vec![0u64; n_out];
+    pearl.eval(&vec![0u64; n_in], &mut init);
+
+    let ov_r: Vec<SignalId> = (0..n_out)
+        .map(|j| b.register(format!("{name}_ov{j}"), 1, 1))
+        .collect();
+    let od_r: Vec<SignalId> = (0..n_out)
+        .map(|j| b.register(format!("{name}_od{j}"), 64, init[j]))
+        .collect();
+
+    // Drive output wires from the registers.
+    for (j, out) in outs.iter().enumerate() {
+        let (wv, wd, _) = *out;
+        let rv = ov_r[j];
+        let rd = od_r[j];
+        b.comb(format!("{name}_drive{j}"), &[rv, rd], &[wv, wd], move |ctx| {
+            let v = ctx.get(rv);
+            let d = ctx.get(rd);
+            ctx.set(wv, v);
+            ctx.set(wd, d);
+        });
+    }
+
+    // Shared firing condition, used by the stop process and the edge.
+    let in_valid: Vec<SignalId> = ins.iter().map(|(v, _, _)| *v).collect();
+    let out_stop: Vec<SignalId> = outs.iter().map(|(_, _, s)| *s).collect();
+    let fire_of = {
+        let in_valid = in_valid.clone();
+        let out_stop = out_stop.clone();
+        let ov_r = ov_r.clone();
+        move |get: &dyn Fn(SignalId) -> u64| -> bool {
+            let all_valid = in_valid.iter().all(|s| get(*s) != 0);
+            let blocked = out_stop.iter().zip(&ov_r).any(|(s, ov)| {
+                get(*s) != 0 && (get(*ov) != 0 || !variant.discards_stop_on_void())
+            });
+            all_valid && !blocked
+        }
+    };
+
+    // Back-pressure: one combinational process drives every input stop.
+    {
+        let fire_of = fire_of.clone();
+        let in_valid = in_valid.clone();
+        let in_stop: Vec<SignalId> = ins.iter().map(|(_, _, s)| *s).collect();
+        let mut reads = in_valid.clone();
+        reads.extend(&out_stop);
+        reads.extend(&ov_r);
+        let writes = in_stop.clone();
+        b.comb(format!("{name}_backpressure"), &reads, &writes, move |ctx| {
+            let fire = fire_of(&|s| ctx.get(s));
+            for (i, stop) in in_stop.iter().enumerate() {
+                let asserted = if fire {
+                    false
+                } else if variant.discards_stop_on_void() {
+                    ctx.get(in_valid[i]) != 0
+                } else {
+                    true
+                };
+                ctx.set_bool(*stop, asserted);
+            }
+        });
+    }
+
+    // Clock edge: fire the pearl or gate it.
+    {
+        let in_data: Vec<SignalId> = ins.iter().map(|(_, d, _)| *d).collect();
+        let mut reads = in_valid.clone();
+        reads.extend(&in_data);
+        reads.extend(&out_stop);
+        reads.extend(&ov_r);
+        let mut writes = ov_r.clone();
+        writes.extend(&od_r);
+        let ov_r = ov_r.clone();
+        let od_r = od_r.clone();
+        let mut in_buf = vec![0u64; n_in];
+        let mut out_buf = vec![0u64; n_out];
+        b.seq(format!("{name}_clk"), &reads, &writes, move |ctx| {
+            let fire = fire_of(&|s| ctx.get(s));
+            if fire {
+                for (slot, d) in in_buf.iter_mut().zip(&in_data) {
+                    *slot = ctx.get(*d);
+                }
+                pearl.eval(&in_buf, &mut out_buf);
+                for j in 0..out_buf.len() {
+                    ctx.set_next_bool(ov_r[j], true);
+                    ctx.set_next(od_r[j], out_buf[j]);
+                }
+            } else {
+                for (j, ov) in ov_r.iter().enumerate() {
+                    let valid = ctx.get_bool(*ov);
+                    let stopped = ctx.get_bool(out_stop[j]);
+                    if valid && !stopped {
+                        ctx.set_next_bool(*ov, false);
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Buffered shell: like [`elaborate_shell`], plus a one-place skid
+/// buffer register pair per input whose occupancy drives the registered
+/// input stop (the "saved" stop of earlier proposals).
+fn elaborate_buffered_shell(
+    b: &mut CircuitBuilder,
+    name: &str,
+    mut pearl: Box<dyn lip_core::Pearl>,
+    variant: ProtocolVariant,
+    ins: &[ChannelSignals],
+    outs: &[ChannelSignals],
+) {
+    let n_in = ins.len();
+    let n_out = outs.len();
+    let mut init = vec![0u64; n_out];
+    pearl.eval(&vec![0u64; n_in], &mut init);
+
+    let ov_r: Vec<SignalId> = (0..n_out)
+        .map(|j| b.register(format!("{name}_ov{j}"), 1, 1))
+        .collect();
+    let od_r: Vec<SignalId> = (0..n_out)
+        .map(|j| b.register(format!("{name}_od{j}"), 64, init[j]))
+        .collect();
+    let bv_r: Vec<SignalId> = (0..n_in)
+        .map(|i| b.register(format!("{name}_bv{i}"), 1, 0))
+        .collect();
+    let bd_r: Vec<SignalId> = (0..n_in)
+        .map(|i| b.register(format!("{name}_bd{i}"), 64, 0))
+        .collect();
+
+    for (j, out) in outs.iter().enumerate() {
+        let (wv, wd, _) = *out;
+        let rv = ov_r[j];
+        let rd = od_r[j];
+        b.comb(format!("{name}_drive{j}"), &[rv, rd], &[wv, wd], move |ctx| {
+            let v = ctx.get(rv);
+            let d = ctx.get(rd);
+            ctx.set(wv, v);
+            ctx.set(wd, d);
+        });
+    }
+    // Registered input stops: one comb copy per input.
+    for (i, input) in ins.iter().enumerate() {
+        let (_, _, istop) = *input;
+        let bv = bv_r[i];
+        b.comb(format!("{name}_stop{i}"), &[bv], &[istop], move |ctx| {
+            let v = ctx.get(bv);
+            ctx.set(istop, v);
+        });
+    }
+
+    let in_valid: Vec<SignalId> = ins.iter().map(|(v, _, _)| *v).collect();
+    let in_data: Vec<SignalId> = ins.iter().map(|(_, d, _)| *d).collect();
+    let out_stop: Vec<SignalId> = outs.iter().map(|(_, _, s)| *s).collect();
+
+    let mut reads = in_valid.clone();
+    reads.extend(&in_data);
+    reads.extend(&out_stop);
+    reads.extend(&ov_r);
+    reads.extend(&bv_r);
+    reads.extend(&bd_r);
+    let mut writes = ov_r.clone();
+    writes.extend(&od_r);
+    writes.extend(&bv_r);
+    writes.extend(&bd_r);
+    let mut in_buf = vec![0u64; n_in];
+    let mut out_buf = vec![0u64; n_out];
+    b.seq(format!("{name}_clk"), &reads, &writes, move |ctx| {
+        // Effective inputs: buffer wins over channel.
+        let eff_valid: Vec<bool> = (0..in_buf.len())
+            .map(|i| ctx.get_bool(bv_r[i]) || ctx.get_bool(in_valid[i]))
+            .collect();
+        let all_valid = eff_valid.iter().all(|v| *v);
+        let blocked = out_stop.iter().zip(&ov_r).any(|(s, ov)| {
+            ctx.get_bool(*s) && (ctx.get_bool(*ov) || !variant.discards_stop_on_void())
+        });
+        let fire = all_valid && !blocked;
+        if fire {
+            for i in 0..in_buf.len() {
+                in_buf[i] = if ctx.get_bool(bv_r[i]) {
+                    ctx.get(bd_r[i])
+                } else {
+                    ctx.get(in_data[i])
+                };
+                ctx.set_next_bool(bv_r[i], false);
+            }
+            pearl.eval(&in_buf, &mut out_buf);
+            for j in 0..out_buf.len() {
+                ctx.set_next_bool(ov_r[j], true);
+                ctx.set_next(od_r[j], out_buf[j]);
+            }
+        } else {
+            for i in 0..in_buf.len() {
+                if !ctx.get_bool(bv_r[i]) && ctx.get_bool(in_valid[i]) {
+                    ctx.set_next_bool(bv_r[i], true);
+                    ctx.set_next(bd_r[i], ctx.get(in_data[i]));
+                }
+            }
+            for (j, ov) in ov_r.iter().enumerate() {
+                if ctx.get_bool(*ov) && !ctx.get_bool(out_stop[j]) {
+                    ctx.set_next_bool(*ov, false);
+                }
+            }
+        }
+    });
+}
+
+fn elaborate_full_relay(
+    b: &mut CircuitBuilder,
+    name: &str,
+    input: ChannelSignals,
+    output: ChannelSignals,
+) {
+    let (iv, idt, istop) = input;
+    let (ov, od, ostop) = output;
+    let mv = b.register(format!("{name}_mv"), 1, 0);
+    let md = b.register(format!("{name}_md"), 64, 0);
+    let av = b.register(format!("{name}_av"), 1, 0);
+    let ad = b.register(format!("{name}_ad"), 64, 0);
+    b.comb(format!("{name}_drive"), &[mv, md, av], &[ov, od, istop], move |ctx| {
+        let v = ctx.get(mv);
+        let d = ctx.get(md);
+        let full = ctx.get(av);
+        ctx.set(ov, v);
+        ctx.set(od, d);
+        ctx.set(istop, full);
+    });
+    b.seq(
+        format!("{name}_clk"),
+        &[mv, md, av, ad, iv, idt, ostop],
+        &[mv, md, av, ad],
+        move |ctx| {
+            let main_v = ctx.get_bool(mv);
+            let aux_v = ctx.get_bool(av);
+            let stop = ctx.get_bool(ostop);
+            let in_v = ctx.get_bool(iv);
+            let released = main_v && !stop;
+            if aux_v {
+                if released {
+                    ctx.set_next(md, ctx.get(ad));
+                    ctx.set_next_bool(mv, true);
+                    ctx.set_next_bool(av, false);
+                }
+            } else if main_v {
+                if released {
+                    ctx.set_next_bool(mv, in_v);
+                    ctx.set_next(md, ctx.get(idt));
+                } else if in_v {
+                    ctx.set_next_bool(av, true);
+                    ctx.set_next(ad, ctx.get(idt));
+                }
+            } else {
+                ctx.set_next_bool(mv, in_v);
+                ctx.set_next(md, ctx.get(idt));
+            }
+        },
+    );
+}
+
+fn elaborate_half_relay(
+    b: &mut CircuitBuilder,
+    name: &str,
+    input: ChannelSignals,
+    output: ChannelSignals,
+) {
+    let (iv, idt, istop) = input;
+    let (ov, od, ostop) = output;
+    let rv = b.register(format!("{name}_rv"), 1, 0);
+    let rd = b.register(format!("{name}_rd"), 64, 0);
+    // Bypass: out = occupied ? reg : in. The backward stop is registered.
+    b.comb(
+        format!("{name}_drive"),
+        &[rv, rd, iv, idt],
+        &[ov, od, istop],
+        move |ctx| {
+            let occ = ctx.get_bool(rv);
+            if occ {
+                ctx.set_bool(ov, true);
+                ctx.set(od, ctx.get(rd));
+            } else {
+                ctx.set(ov, ctx.get(iv));
+                ctx.set(od, ctx.get(idt));
+            }
+            ctx.set_bool(istop, occ);
+        },
+    );
+    b.seq(
+        format!("{name}_clk"),
+        &[rv, rd, iv, idt, ostop, ov],
+        &[rv, rd],
+        move |ctx| {
+            let occ = ctx.get_bool(rv);
+            let stop = ctx.get_bool(ostop);
+            if occ {
+                if !stop {
+                    ctx.set_next_bool(rv, false);
+                }
+            } else if stop && ctx.get_bool(iv) {
+                ctx.set_next_bool(rv, true);
+                ctx.set_next(rd, ctx.get(idt));
+            }
+        },
+    );
+}
+
+/// Sized FIFO station: `k` data registers managed as a shift queue,
+/// occupancy counter, registered stop while full.
+fn elaborate_fifo_relay(
+    b: &mut CircuitBuilder,
+    name: &str,
+    capacity: usize,
+    input: ChannelSignals,
+    output: ChannelSignals,
+) {
+    let (iv, idt, istop) = input;
+    let (ov, od, ostop) = output;
+    let occ = b.register(format!("{name}_occ"), 8, 0);
+    let slots: Vec<SignalId> = (0..capacity)
+        .map(|i| b.register(format!("{name}_q{i}"), 64, 0))
+        .collect();
+    {
+        let slots0 = slots[0];
+        b.comb(format!("{name}_drive"), &[occ, slots0], &[ov, od, istop], move |ctx| {
+            let n = ctx.get(occ);
+            ctx.set_bool(ov, n > 0);
+            ctx.set(od, ctx.get(slots0));
+            ctx.set_bool(istop, n as usize == capacity);
+        });
+    }
+    {
+        let slots = slots.clone();
+        let mut reads = vec![occ, iv, idt, ostop];
+        reads.extend(&slots);
+        let mut writes = vec![occ];
+        writes.extend(&slots);
+        b.seq(format!("{name}_clk"), &reads, &writes, move |ctx| {
+            let mut q: Vec<u64> = slots.iter().map(|s| ctx.get(*s)).collect();
+            let mut n = ctx.get(occ) as usize;
+            let was_full = n == capacity;
+            if !ctx.get_bool(ostop) && n > 0 {
+                q.rotate_left(1);
+                n -= 1;
+            }
+            if !was_full && ctx.get_bool(iv) {
+                q[n] = ctx.get(idt);
+                n += 1;
+            }
+            for (slot, v) in slots.iter().zip(&q) {
+                ctx.set_next(*slot, *v);
+            }
+            ctx.set_next(occ, n as u64);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::System;
+    use lip_graph::generate;
+    use lip_kernel::{CycleEngine, EventEngine};
+
+    /// Run the RTL on `engine` and the interpreter side by side; sink
+    /// counters must agree every cycle.
+    fn assert_rtl_matches(netlist: &Netlist, cycles: u64, event_driven: bool) {
+        let (circuit, probes) = elaborate_rtl(netlist).unwrap();
+        let mut engine: Box<dyn Engine> = if event_driven {
+            Box::new(EventEngine::new(circuit))
+        } else {
+            Box::new(CycleEngine::new(circuit))
+        };
+        let mut sys = System::new(netlist).unwrap();
+        for t in 0..cycles {
+            engine.step();
+            sys.step();
+            for sink in netlist.sinks() {
+                let rtl_valid = probes.read_sink_valid(engine.as_ref(), sink).unwrap();
+                let rtl_voids = probes.read_sink_voids(engine.as_ref(), sink).unwrap();
+                let s = sys.sink(sink).unwrap();
+                assert_eq!(rtl_valid, s.received().len() as u64, "cycle {t} valid");
+                assert_eq!(rtl_voids, s.voids_seen(), "cycle {t} voids");
+            }
+        }
+    }
+
+    #[test]
+    fn rtl_matches_interpreter_on_fig1() {
+        assert_rtl_matches(&generate::fig1().netlist, 40, false);
+        assert_rtl_matches(&generate::fig1().netlist, 40, true);
+    }
+
+    #[test]
+    fn rtl_matches_interpreter_on_rings() {
+        use lip_core::RelayKind;
+        for kind in [RelayKind::Full, RelayKind::Half] {
+            let r = generate::ring(2, 2, kind);
+            assert_rtl_matches(&r.netlist, 40, false);
+            assert_rtl_matches(&r.netlist, 40, true);
+        }
+    }
+
+    #[test]
+    fn rtl_matches_interpreter_on_corpus() {
+        let mut checked = 0;
+        for seed in 0..25u64 {
+            let (_, netlist) = generate::random_family(seed);
+            if netlist.validate().is_ok() {
+                assert_rtl_matches(&netlist, 30, seed % 2 == 0);
+                checked += 1;
+            }
+        }
+        assert!(checked >= 15);
+    }
+
+    #[test]
+    fn both_engines_agree_on_rtl() {
+        let f = generate::fig1();
+        let (c1, p1) = elaborate_rtl(&f.netlist).unwrap();
+        let (c2, p2) = elaborate_rtl(&f.netlist).unwrap();
+        let mut a = CycleEngine::new(c1);
+        let mut b = EventEngine::new(c2);
+        a.run(100);
+        b.run(100);
+        assert_eq!(
+            p1.read_sink_valid(&a, f.sink).unwrap(),
+            p2.read_sink_valid(&b, f.sink).unwrap()
+        );
+    }
+
+    #[test]
+    fn probes_expose_channels() {
+        let f = generate::fig1();
+        let (_, probes) = elaborate_rtl(&f.netlist).unwrap();
+        assert!(probes.channel_signals(0).is_some());
+        assert!(probes.channel_signals(999).is_none());
+        assert!(probes.sink_counters(f.fork).is_none());
+    }
+}

@@ -1,0 +1,659 @@
+//! Skeleton simulation: the data-free control simulation the paper uses
+//! for cheap deadlock analysis.
+//!
+//! *"We are allowed to simulate just the skeleton of the system
+//! consisting of stop and valid signals, thus the simulation cost is
+//! absolutely negligible."*
+//!
+//! A [`SkeletonSystem`] carries only validity bits and occupancies — no
+//! data words, no pearl evaluation, no token recording — yet its control
+//! behaviour is cycle-for-cycle identical to the full [`System`] (a
+//! property the test-suite asserts over a topology corpus). Deadlock and
+//! throughput questions only depend on control state, so this is the
+//! cheap tool to answer them, exactly as the paper prescribes.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use lip_core::{Pattern, ProtocolVariant, RelayKind};
+use lip_graph::{Netlist, NetlistError, NodeId, NodeKind};
+
+use crate::measure::Periodicity;
+
+#[derive(Debug, Clone)]
+enum SkelComp {
+    Source { valid: bool, pattern: Pattern },
+    Sink { pattern: Pattern, valid_seen: u64, voids_seen: u64 },
+    Shell { out_valid: Vec<bool>, fires: u64 },
+    Buffered { out_valid: Vec<bool>, in_buf: Vec<bool>, fires: u64 },
+    FullRelay { main: bool, aux: bool },
+    HalfRelay { occupied: bool },
+    FifoRelay { occupancy: usize, capacity: usize },
+}
+
+/// The valid/stop-only view of a latency-insensitive system.
+///
+/// # Example
+///
+/// ```
+/// use lip_graph::generate;
+/// use lip_sim::SkeletonSystem;
+///
+/// # fn main() -> Result<(), lip_graph::NetlistError> {
+/// let fig1 = generate::fig1();
+/// let mut sk = SkeletonSystem::new(&fig1.netlist)?;
+/// sk.run(500);
+/// // Steady state delivers 4 informative tokens per 5 cycles.
+/// let (valid, voids) = sk.sink_counts(fig1.sink).expect("sink");
+/// assert!(valid > 390 && valid + voids == 500);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkeletonSystem {
+    comps: Vec<SkelComp>,
+    in_chs: Vec<Vec<usize>>,
+    out_chs: Vec<Vec<usize>>,
+    producer: Vec<(usize, usize)>,
+    consumer: Vec<(usize, usize)>,
+    fwd_order: Vec<usize>,
+    bwd_order: Vec<usize>,
+    fwd: Vec<bool>,
+    stop: Vec<bool>,
+    cycle: u64,
+    variant: ProtocolVariant,
+    env_period: Option<u64>,
+    /// When set, overrides environment behaviour for the next cycle:
+    /// `(next source validities, current sink stops)`, each in node-id
+    /// order. Used by `step_with` for externally driven exploration.
+    env_override: Option<(Vec<bool>, Vec<bool>)>,
+    /// Per node: its ordinal among sources / sinks (usize::MAX if not).
+    source_ordinal: Vec<usize>,
+    sink_ordinal: Vec<usize>,
+}
+
+impl SkeletonSystem {
+    /// Validate `netlist` and elaborate its skeleton.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`NetlistError`] from [`Netlist::validate`].
+    pub fn new(netlist: &Netlist) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let mut comps = Vec::with_capacity(netlist.node_count());
+        let mut env_period: Option<u64> = Some(1);
+        let fold = |p: Option<u64>, acc: &mut Option<u64>| {
+            *acc = match (p, *acc) {
+                (Some(p), Some(a)) => Some(lcm(p, a)),
+                _ => None,
+            };
+        };
+        for (_, node) in netlist.nodes() {
+            comps.push(match node.kind() {
+                NodeKind::Source { void_pattern } => {
+                    fold(void_pattern.period(), &mut env_period);
+                    SkelComp::Source { valid: !void_pattern.at(0), pattern: void_pattern.clone() }
+                }
+                NodeKind::Sink { stop_pattern } => {
+                    fold(stop_pattern.period(), &mut env_period);
+                    SkelComp::Sink { pattern: stop_pattern.clone(), valid_seen: 0, voids_seen: 0 }
+                }
+                NodeKind::Shell { pearl, buffered: false } => SkelComp::Shell {
+                    out_valid: vec![true; pearl.num_outputs()],
+                    fires: 0,
+                },
+                NodeKind::Shell { pearl, buffered: true } => SkelComp::Buffered {
+                    out_valid: vec![true; pearl.num_outputs()],
+                    in_buf: vec![false; pearl.num_inputs()],
+                    fires: 0,
+                },
+                NodeKind::Relay { kind: RelayKind::Full } => {
+                    SkelComp::FullRelay { main: false, aux: false }
+                }
+                NodeKind::Relay { kind: RelayKind::Half } => SkelComp::HalfRelay { occupied: false },
+                NodeKind::Relay { kind: RelayKind::Fifo(k) } => {
+                    SkelComp::FifoRelay { occupancy: 0, capacity: *k as usize }
+                }
+            });
+        }
+
+        let n_nodes = netlist.node_count();
+        let n_ch = netlist.channel_count();
+        let mut in_chs = vec![Vec::new(); n_nodes];
+        let mut out_chs = vec![Vec::new(); n_nodes];
+        for (id, node) in netlist.nodes() {
+            for p in 0..node.kind().num_inputs() {
+                in_chs[id.index()].push(netlist.in_channel(id, p).expect("validated").index());
+            }
+            for p in 0..node.kind().num_outputs() {
+                out_chs[id.index()].push(netlist.out_channel(id, p).expect("validated").index());
+            }
+        }
+        let mut producer = Vec::with_capacity(n_ch);
+        let mut consumer = Vec::with_capacity(n_ch);
+        for (_, ch) in netlist.channels() {
+            producer.push((ch.producer.node.index(), ch.producer.index));
+            consumer.push((ch.consumer.node.index(), ch.consumer.index));
+        }
+
+        let is_half = |i: usize| matches!(comps[i], SkelComp::HalfRelay { .. });
+        let fwd_order = kahn(n_ch, |ch| {
+            let (p, _) = producer[ch];
+            if is_half(p) {
+                vec![in_chs[p][0]]
+            } else {
+                Vec::new()
+            }
+        })
+        .expect("validated: no combinational data loop");
+        let is_shell = |i: usize| matches!(comps[i], SkelComp::Shell { .. });
+        let bwd_order = kahn(n_ch, |ch| {
+            let (c, _) = consumer[ch];
+            if is_shell(c) {
+                out_chs[c].clone()
+            } else {
+                Vec::new()
+            }
+        })
+        .expect("validated: no combinational stop loop");
+
+        let mut source_ordinal = vec![usize::MAX; comps.len()];
+        let mut sink_ordinal = vec![usize::MAX; comps.len()];
+        let (mut si, mut ki) = (0usize, 0usize);
+        for (i, c) in comps.iter().enumerate() {
+            match c {
+                SkelComp::Source { .. } => {
+                    source_ordinal[i] = si;
+                    si += 1;
+                }
+                SkelComp::Sink { .. } => {
+                    sink_ordinal[i] = ki;
+                    ki += 1;
+                }
+                _ => {}
+            }
+        }
+        Ok(SkeletonSystem {
+            comps,
+            in_chs,
+            out_chs,
+            producer,
+            consumer,
+            fwd_order,
+            bwd_order,
+            fwd: vec![false; n_ch],
+            stop: vec![false; n_ch],
+            cycle: 0,
+            variant: netlist.variant(),
+            env_period,
+            env_override: None,
+            source_ordinal,
+            sink_ordinal,
+        })
+    }
+
+    fn shell_can_fire(&self, node: usize) -> bool {
+        let out_valid = match &self.comps[node] {
+            SkelComp::Shell { out_valid, .. } => out_valid,
+            SkelComp::Buffered { out_valid, .. } => out_valid,
+            _ => unreachable!("caller checks kind"),
+        };
+        let all_valid = match &self.comps[node] {
+            SkelComp::Buffered { in_buf, .. } => self.in_chs[node]
+                .iter()
+                .enumerate()
+                .all(|(i, &c)| in_buf[i] || self.fwd[c]),
+            _ => self.in_chs[node].iter().all(|&c| self.fwd[c]),
+        };
+        let blocked = self.out_chs[node].iter().zip(out_valid).any(|(&c, &v)| {
+            self.stop[c] && (v || !self.variant.discards_stop_on_void())
+        });
+        all_valid && !blocked
+    }
+
+    /// Settle this cycle's valid and stop bits.
+    pub fn settle(&mut self) {
+        for i in 0..self.fwd_order.len() {
+            let ch = self.fwd_order[i];
+            let (p, port) = self.producer[ch];
+            self.fwd[ch] = match &self.comps[p] {
+                SkelComp::Source { valid, .. } => *valid,
+                SkelComp::Shell { out_valid, .. } => out_valid[port],
+                SkelComp::Buffered { out_valid, .. } => out_valid[port],
+                SkelComp::FullRelay { main, .. } => *main,
+                SkelComp::HalfRelay { occupied } => *occupied || self.fwd[self.in_chs[p][0]],
+                SkelComp::FifoRelay { occupancy, .. } => *occupancy > 0,
+                SkelComp::Sink { .. } => unreachable!("sinks have no outputs"),
+            };
+        }
+        for i in 0..self.bwd_order.len() {
+            let ch = self.bwd_order[i];
+            let (c, _port) = self.consumer[ch];
+            self.stop[ch] = match &self.comps[c] {
+                SkelComp::Sink { pattern, .. } => match &self.env_override {
+                    Some((_, stops)) => stops[self.sink_ordinal[c]],
+                    None => pattern.at(self.cycle),
+                },
+                SkelComp::FullRelay { aux, .. } => *aux,
+                SkelComp::HalfRelay { occupied } => *occupied,
+                SkelComp::FifoRelay { occupancy, capacity } => *occupancy == *capacity,
+                SkelComp::Shell { .. } => {
+                    let fire = self.shell_can_fire(c);
+                    if fire {
+                        false
+                    } else if self.variant.discards_stop_on_void() {
+                        self.fwd[ch]
+                    } else {
+                        true
+                    }
+                }
+                SkelComp::Buffered { in_buf, .. } => in_buf[_port],
+                SkelComp::Source { .. } => unreachable!("sources have no inputs"),
+            };
+        }
+    }
+
+    /// Advance one clock cycle.
+    pub fn step(&mut self) {
+        self.settle();
+        for i in 0..self.comps.len() {
+            let fire = matches!(self.comps[i], SkelComp::Shell { .. } | SkelComp::Buffered { .. })
+                && self.shell_can_fire(i);
+            let in0 = self.in_chs[i].first().map(|&c| self.fwd[c]);
+            let stop0 = self.out_chs[i].first().map(|&c| self.stop[c]);
+            let stops: Vec<bool> = self.out_chs[i].iter().map(|&c| self.stop[c]).collect();
+            let in_vals: Vec<bool> = self.in_chs[i].iter().map(|&c| self.fwd[c]).collect();
+            match &mut self.comps[i] {
+                SkelComp::Source { valid, pattern } => {
+                    let stop = stop0.expect("source output connected");
+                    if !(*valid && stop) {
+                        *valid = match &self.env_override {
+                            Some((valids, _)) => valids[self.source_ordinal[i]],
+                            None => !pattern.at(self.cycle + 1),
+                        };
+                    }
+                }
+                SkelComp::Sink { pattern, valid_seen, voids_seen } => {
+                    let stopped = match &self.env_override {
+                        Some((_, stops)) => stops[self.sink_ordinal[i]],
+                        None => pattern.at(self.cycle),
+                    };
+                    if !stopped {
+                        if in0.expect("sink input connected") {
+                            *valid_seen += 1;
+                        } else {
+                            *voids_seen += 1;
+                        }
+                    }
+                }
+                SkelComp::Shell { out_valid, fires } => {
+                    if fire {
+                        out_valid.iter_mut().for_each(|v| *v = true);
+                        *fires += 1;
+                    } else {
+                        for (v, s) in out_valid.iter_mut().zip(&stops) {
+                            if *v && !s {
+                                *v = false;
+                            }
+                        }
+                    }
+                }
+                SkelComp::Buffered { out_valid, in_buf, fires } => {
+                    if fire {
+                        out_valid.iter_mut().for_each(|v| *v = true);
+                        in_buf.iter_mut().for_each(|b| *b = false);
+                        *fires += 1;
+                    } else {
+                        for (b, &c) in in_buf.iter_mut().zip(&in_vals) {
+                            if !*b && c {
+                                *b = true;
+                            }
+                        }
+                        for (v, s) in out_valid.iter_mut().zip(&stops) {
+                            if *v && !s {
+                                *v = false;
+                            }
+                        }
+                    }
+                }
+                SkelComp::FullRelay { main, aux } => {
+                    let input = in0.expect("relay input connected");
+                    let stop = stop0.expect("relay output connected");
+                    let released = *main && !stop;
+                    if *aux {
+                        if released {
+                            // aux shifts into main; value-wise main stays
+                            // informative.
+                            *aux = false;
+                        }
+                    } else if *main {
+                        if released {
+                            *main = input;
+                        } else if input {
+                            *aux = true;
+                        }
+                    } else {
+                        *main = input;
+                    }
+                }
+                SkelComp::HalfRelay { occupied } => {
+                    let input = in0.expect("relay input connected");
+                    let stop = stop0.expect("relay output connected");
+                    if *occupied {
+                        if !stop {
+                            *occupied = false;
+                        }
+                    } else if stop && input {
+                        *occupied = true;
+                    }
+                }
+                SkelComp::FifoRelay { occupancy, capacity } => {
+                    let input = in0.expect("relay input connected");
+                    let stop = stop0.expect("relay output connected");
+                    let was_full = *occupancy == *capacity;
+                    if !stop && *occupancy > 0 {
+                        *occupancy -= 1;
+                    }
+                    if !was_full && input {
+                        *occupancy += 1;
+                    }
+                }
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Run `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Settle and clock one cycle with the environment driven
+    /// *externally*: `sink_stop[j]` is the `j`-th sink's stop for this
+    /// cycle, and `source_valid[i]` the validity of the `i`-th source's
+    /// next offer (a held token stays held — the appropriate-environment
+    /// obligation). Indices follow
+    /// [`Netlist::sources`](lip_graph::Netlist::sources) /
+    /// [`Netlist::sinks`](lip_graph::Netlist::sinks) order.
+    ///
+    /// This is the hook the whole-system explorer uses to universally
+    /// quantify over environments instead of fixing a pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the source/sink counts.
+    pub fn step_with(&mut self, source_valid: &[bool], sink_stop: &[bool]) {
+        let n_src = self.source_ordinal.iter().filter(|o| **o != usize::MAX).count();
+        let n_snk = self.sink_ordinal.iter().filter(|o| **o != usize::MAX).count();
+        assert_eq!(source_valid.len(), n_src, "source override arity");
+        assert_eq!(sink_stop.len(), n_snk, "sink override arity");
+        self.env_override = Some((source_valid.to_vec(), sink_stop.to_vec()));
+        self.step();
+        self.env_override = None;
+    }
+
+    /// Component control state only — no environment phase — the state
+    /// the whole-system explorer keys on when the environment is
+    /// external.
+    #[must_use]
+    pub fn component_state(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.comps.len());
+        for comp in &self.comps {
+            match comp {
+                SkelComp::Source { valid, .. } => out.push(u64::from(*valid)),
+                SkelComp::Sink { .. } => {}
+                SkelComp::Shell { out_valid, .. } => out.push(pack_bits(out_valid, &[])),
+                SkelComp::Buffered { out_valid, in_buf, .. } => {
+                    out.push(pack_bits(out_valid, in_buf));
+                }
+                SkelComp::FullRelay { main, aux } => {
+                    out.push(u64::from(*main) + 2 * u64::from(*aux));
+                }
+                SkelComp::HalfRelay { occupied } => out.push(u64::from(*occupied)),
+                SkelComp::FifoRelay { occupancy, .. } => out.push(*occupancy as u64),
+            }
+        }
+        out
+    }
+
+    /// Total shell firings so far, summed over all shells.
+    #[must_use]
+    pub fn total_fires(&self) -> u64 {
+        self.comps
+            .iter()
+            .map(|c| match c {
+                SkelComp::Shell { fires, .. } | SkelComp::Buffered { fires, .. } => *fires,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Cycles executed so far.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// `(valid, voids)` consumed by the sink at `node`.
+    #[must_use]
+    pub fn sink_counts(&self, node: NodeId) -> Option<(u64, u64)> {
+        match &self.comps[node.index()] {
+            SkelComp::Sink { valid_seen, voids_seen, .. } => Some((*valid_seen, *voids_seen)),
+            _ => None,
+        }
+    }
+
+    /// Number of firings of the shell at `node`.
+    #[must_use]
+    pub fn shell_fires(&self, node: NodeId) -> Option<u64> {
+        match &self.comps[node.index()] {
+            SkelComp::Shell { fires, .. } => Some(*fires),
+            SkelComp::Buffered { fires, .. } => Some(*fires),
+            _ => None,
+        }
+    }
+
+    /// Control state (mirrors [`System::control_state`]); `None` for
+    /// aperiodic environments.
+    ///
+    /// [`System::control_state`]: crate::System::control_state
+    #[must_use]
+    pub fn control_state(&self) -> Option<Vec<u64>> {
+        let period = self.env_period?;
+        let mut out = vec![self.cycle % period];
+        for comp in &self.comps {
+            match comp {
+                SkelComp::Source { valid, .. } => out.push(u64::from(*valid)),
+                SkelComp::Sink { .. } => {}
+                SkelComp::Shell { out_valid, .. } => {
+                    let mut bits = 0u64;
+                    for (j, v) in out_valid.iter().enumerate() {
+                        if *v {
+                            bits |= 1 << (j % 64);
+                        }
+                    }
+                    out.push(bits);
+                }
+                SkelComp::Buffered { out_valid, in_buf, .. } => {
+                    let mut bits = 0u64;
+                    for (j, v) in out_valid.iter().enumerate() {
+                        if *v {
+                            bits |= 1 << (j % 64);
+                        }
+                    }
+                    for (i, b) in in_buf.iter().enumerate() {
+                        if *b {
+                            bits |= 1 << ((out_valid.len() + i) % 64);
+                        }
+                    }
+                    out.push(bits);
+                }
+                SkelComp::FullRelay { main, aux } => {
+                    out.push(u64::from(*main) + u64::from(*aux));
+                }
+                SkelComp::HalfRelay { occupied } => out.push(u64::from(*occupied)),
+                SkelComp::FifoRelay { occupancy, .. } => out.push(*occupancy as u64),
+            }
+        }
+        Some(out)
+    }
+
+    /// Hash of the control state.
+    #[must_use]
+    pub fn control_hash(&self) -> Option<u64> {
+        let state = self.control_state()?;
+        let mut h = DefaultHasher::new();
+        state.hash(&mut h);
+        Some(h.finish())
+    }
+
+    /// Detect the periodic regime (see
+    /// [`find_periodicity`](crate::measure::find_periodicity)).
+    pub fn find_periodicity(&mut self, max_cycles: u64) -> Option<Periodicity> {
+        let mut seen: HashMap<u64, (u64, Vec<u64>)> = HashMap::new();
+        for _ in 0..max_cycles {
+            self.settle();
+            let state = self.control_state()?;
+            let hash = self.control_hash()?;
+            match seen.get(&hash) {
+                Some((first, prev)) if *prev == state => {
+                    return Some(Periodicity { transient: *first, period: self.cycle - first });
+                }
+                Some(_) => {}
+                None => {
+                    seen.insert(hash, (self.cycle, state));
+                }
+            }
+            self.step();
+        }
+        None
+    }
+}
+
+fn pack_bits(a: &[bool], b: &[bool]) -> u64 {
+    let mut bits = 0u64;
+    for (j, v) in a.iter().chain(b).enumerate() {
+        if *v {
+            bits |= 1 << (j % 64);
+        }
+    }
+    bits
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    fn gcd(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+    if a == 0 || b == 0 {
+        return a.max(b).max(1);
+    }
+    (a / gcd(a, b)).saturating_mul(b)
+}
+
+fn kahn(n: usize, deps: impl Fn(usize) -> Vec<usize>) -> Option<Vec<usize>> {
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+    for (ch, slot) in indegree.iter_mut().enumerate() {
+        for d in deps(ch) {
+            dependents[d].push(ch);
+            *slot += 1;
+        }
+    }
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..n).filter(|&c| indegree[c] == 0).collect();
+    let mut out = Vec::with_capacity(n);
+    while let Some(c) = queue.pop_front() {
+        out.push(c);
+        for &d in &dependents[c] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                queue.push_back(d);
+            }
+        }
+    }
+    (out.len() == n).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::System;
+    use lip_core::RelayKind;
+    use lip_graph::generate;
+
+    /// The skeleton must follow the full simulation's control behaviour
+    /// cycle for cycle.
+    fn assert_skeleton_matches(netlist: &Netlist, cycles: u64) {
+        let mut full = System::new(netlist).unwrap();
+        let mut skel = SkeletonSystem::new(netlist).unwrap();
+        for t in 0..cycles {
+            full.settle();
+            skel.settle();
+            assert_eq!(
+                full.control_state(),
+                skel.control_state(),
+                "control states diverge at cycle {t}"
+            );
+            full.step();
+            skel.step();
+        }
+    }
+
+    #[test]
+    fn skeleton_equals_full_on_fig1() {
+        assert_skeleton_matches(&generate::fig1().netlist, 50);
+    }
+
+    #[test]
+    fn skeleton_equals_full_on_rings() {
+        for (s, r) in [(1usize, 1usize), (2, 1), (3, 2)] {
+            assert_skeleton_matches(&generate::ring(s, r, RelayKind::Full).netlist, 40);
+        }
+        assert_skeleton_matches(&generate::ring(2, 1, RelayKind::Half).netlist, 40);
+    }
+
+    #[test]
+    fn skeleton_equals_full_on_random_corpus() {
+        let mut checked = 0;
+        for seed in 0..40u64 {
+            let (_, netlist) = generate::random_family(seed);
+            if netlist.validate().is_ok() {
+                assert_skeleton_matches(&netlist, 30);
+                checked += 1;
+            }
+        }
+        assert!(checked >= 25, "only {checked} random instances checked");
+    }
+
+    #[test]
+    fn skeleton_measures_fig1_throughput() {
+        let f = generate::fig1();
+        let mut sk = SkeletonSystem::new(&f.netlist).unwrap();
+        let p = sk.find_periodicity(1000).unwrap();
+        assert_eq!(p.period, 5);
+        let (v0, n0) = sk.sink_counts(f.sink).unwrap();
+        sk.run(10 * p.period);
+        let (v1, n1) = sk.sink_counts(f.sink).unwrap();
+        assert_eq!(v1 - v0, 40); // 4 valid per 5-cycle period x 10
+        assert_eq!(n1 - n0, 10);
+    }
+
+    #[test]
+    fn skeleton_counts_fires() {
+        let f = generate::fig1();
+        let mut sk = SkeletonSystem::new(&f.netlist).unwrap();
+        sk.run(100);
+        assert!(sk.shell_fires(f.fork).unwrap() > 50);
+        assert!(sk.shell_fires(f.join).unwrap() > 50);
+        assert_eq!(sk.shell_fires(f.sink), None);
+        assert_eq!(sk.cycle(), 100);
+    }
+}

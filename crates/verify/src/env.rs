@@ -1,0 +1,123 @@
+//! Appropriate environments for block-level verification.
+//!
+//! The paper verifies each block "provided [it] works in an appropriate
+//! environment": upstream producers keep their values on asserted stops,
+//! and valid inputs arrive in order. [`UpstreamEnv`] is the most general
+//! such producer — every cycle it nondeterministically offers either a
+//! void or the next sequence-numbered token, but it re-offers a token the
+//! device stopped. Downstream consumers are pure nondeterministic stop
+//! choices, resolved by the explorer.
+
+use lip_core::Token;
+
+/// A nondeterministic, protocol-respecting producer on one channel.
+///
+/// Data are consecutive sequence numbers, so the observer can detect any
+/// loss, duplication or reorder by simple counting.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UpstreamEnv {
+    /// Next fresh sequence number.
+    next_seq: u64,
+    /// Token currently offered.
+    offered: Token,
+}
+
+impl UpstreamEnv {
+    /// An environment about to offer its first token; `first_valid`
+    /// resolves the initial nondeterministic choice.
+    #[must_use]
+    pub fn new(first_valid: bool) -> Self {
+        let mut env = UpstreamEnv { next_seq: 0, offered: Token::VOID };
+        env.offered = env.generate(first_valid);
+        env
+    }
+
+    fn generate(&mut self, valid: bool) -> Token {
+        if valid {
+            let t = Token::valid(self.next_seq);
+            self.next_seq += 1;
+            t
+        } else {
+            Token::VOID
+        }
+    }
+
+    /// Token offered this cycle.
+    #[must_use]
+    pub fn offered(&self) -> Token {
+        self.offered
+    }
+
+    /// Sequence numbers emitted so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Advance one cycle: if the device stopped a valid token, re-offer
+    /// it (the appropriate-environment obligation); otherwise offer a
+    /// fresh token whose validity is the explorer's nondeterministic
+    /// `choice`.
+    pub fn clock(&mut self, stopped: bool, choice: bool) {
+        if self.offered.is_valid() && stopped {
+            return;
+        }
+        self.offered = self.generate(choice);
+    }
+
+    /// Compact state encoding for the visited-set.
+    #[must_use]
+    pub fn encode(&self) -> [u64; 2] {
+        [
+            self.next_seq,
+            match self.offered.value() {
+                Some(v) => v + 1,
+                None => 0,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_ordered_sequence() {
+        let mut env = UpstreamEnv::new(true);
+        assert_eq!(env.offered(), Token::valid(0));
+        env.clock(false, true);
+        assert_eq!(env.offered(), Token::valid(1));
+        env.clock(false, false);
+        assert_eq!(env.offered(), Token::VOID);
+        env.clock(false, true);
+        assert_eq!(env.offered(), Token::valid(2));
+        assert_eq!(env.emitted(), 3);
+    }
+
+    #[test]
+    fn holds_valid_token_under_stop() {
+        let mut env = UpstreamEnv::new(true);
+        env.clock(true, false);
+        assert_eq!(env.offered(), Token::valid(0));
+        env.clock(true, true);
+        assert_eq!(env.offered(), Token::valid(0));
+        env.clock(false, true);
+        assert_eq!(env.offered(), Token::valid(1));
+    }
+
+    #[test]
+    fn voids_are_not_held() {
+        let mut env = UpstreamEnv::new(false);
+        assert_eq!(env.offered(), Token::VOID);
+        env.clock(true, true); // stop over a void: advance anyway
+        assert_eq!(env.offered(), Token::valid(0));
+    }
+
+    #[test]
+    fn encoding_distinguishes_states() {
+        let a = UpstreamEnv::new(true);
+        let b = UpstreamEnv::new(false);
+        assert_ne!(a.encode(), b.encode());
+    }
+}

@@ -1,0 +1,135 @@
+//! System-level latency insensitivity: the LID behaves "in a latency
+//! insensitive sense exactly as an equally connected system without ...
+//! shells and non/pipelined connections".
+//!
+//! The paper states this as its safety definition and discharges it
+//! block-by-block in SMV; [`check_latency_insensitivity`] checks it
+//! whole-system: simulate the pipelined design and its zero-latency
+//! reference (every relay station stripped), and compare every sink's
+//! informative stream — they must agree value-for-value, differing only
+//! in arrival times.
+
+use lip_graph::{Netlist, NetlistError, NodeId};
+use lip_sim::System;
+
+/// Result of a whole-system equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceReport {
+    /// Cycles simulated on each side.
+    pub cycles: u64,
+    /// Per sink: tokens delivered by the LID and by the reference.
+    pub delivered: Vec<(NodeId, usize, usize)>,
+    /// The first mismatch, if any: `(sink, index, lid_value,
+    /// reference_value)`.
+    pub mismatch: Option<(NodeId, usize, u64, u64)>,
+}
+
+impl EquivalenceReport {
+    /// `true` when every sink's stream is a value-exact prefix of the
+    /// reference's (or vice versa).
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.mismatch.is_none()
+    }
+}
+
+/// Compare `netlist` against its zero-latency reference for `cycles`
+/// cycles.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] when either design fails to elaborate —
+/// notably when stripping relays from a loop leaves a combinational
+/// stop path (such references are not directly executable; their loops
+/// must be compared against the paper's original synchronous semantics
+/// instead, which is outside this whole-system check).
+pub fn check_latency_insensitivity(
+    netlist: &Netlist,
+    cycles: u64,
+) -> Result<EquivalenceReport, NetlistError> {
+    let (reference, map) = netlist.without_relays();
+    let mut lid = System::new(netlist)?;
+    let mut refsys = System::new(&reference)?;
+    lid.run(cycles);
+    refsys.run(cycles);
+
+    let mut delivered = Vec::new();
+    let mut mismatch = None;
+    for sink in netlist.sinks() {
+        let new_sink = map[sink.index()].expect("sinks are kept");
+        let a = lid.sink(sink).expect("sink").received();
+        let b = refsys.sink(new_sink).expect("sink").received();
+        delivered.push((sink, a.len(), b.len()));
+        let n = a.len().min(b.len());
+        if mismatch.is_none() {
+            for i in 0..n {
+                if a[i] != b[i] {
+                    mismatch = Some((sink, i, a[i], b[i]));
+                    break;
+                }
+            }
+        }
+    }
+    Ok(EquivalenceReport { cycles, delivered, mismatch })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_graph::generate;
+
+    #[test]
+    fn fig1_is_latency_insensitive() {
+        let f = generate::fig1();
+        let report = check_latency_insensitivity(&f.netlist, 200).unwrap();
+        assert!(report.holds(), "{:?}", report.mismatch);
+        // The LID delivers fewer tokens (T = 4/5) but identical values.
+        let (_, lid, reference) = report.delivered[0];
+        assert!(lid <= reference);
+        assert!(lid > 150);
+    }
+
+    #[test]
+    fn pipelined_chains_are_latency_insensitive() {
+        use lip_core::RelayKind;
+        for (shells, relays, kind) in [
+            (2usize, 3usize, RelayKind::Full),
+            (3, 1, RelayKind::Half),
+            (1, 4, RelayKind::Full),
+        ] {
+            let c = generate::chain(shells, relays, kind);
+            let report = check_latency_insensitivity(&c.netlist, 150).unwrap();
+            assert!(report.holds(), "chain({shells},{relays},{kind}): {:?}", report.mismatch);
+        }
+    }
+
+    #[test]
+    fn feedforward_corpus_is_latency_insensitive() {
+        let mut checked = 0;
+        for seed in 0..120u64 {
+            let (_, netlist) = generate::random_family(seed);
+            if netlist.validate().is_err() {
+                continue;
+            }
+            // Only references that elaborate (relay-stripped loops with
+            // simplified shells cannot).
+            let (reference, _) = netlist.without_relays();
+            if reference.validate().is_err() {
+                continue;
+            }
+            let report = check_latency_insensitivity(&netlist, 80).unwrap();
+            assert!(report.holds(), "seed {seed}: {:?}", report.mismatch);
+            checked += 1;
+        }
+        assert!(checked >= 40, "only {checked} references elaborated");
+    }
+
+    #[test]
+    fn buffered_rings_strip_to_executable_references() {
+        // Buffered shells keep relay-free loops legal, so their
+        // references elaborate even when cyclic.
+        let r = generate::buffered_ring(3, 2);
+        let report = check_latency_insensitivity(&r.netlist, 150).unwrap();
+        assert!(report.holds(), "{:?}", report.mismatch);
+    }
+}

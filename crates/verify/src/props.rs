@@ -1,0 +1,117 @@
+//! The paper's six verification obligations, packaged as a reproducible
+//! report.
+//!
+//! > We used the tool SMV to verify that: any shell elaborates coherent
+//! > data; any shell produces outputs in the correct order; any shell
+//! > does not skip any valid output — provided the shell works in an
+//! > appropriate environment. Analogously, for relay stations: any relay
+//! > station produces outputs in the correct order; does not skip any
+//! > valid output; keeps its output on asserted stops — provided all its
+//! > valid inputs are ordered.
+//!
+//! [`verify_all`] runs the explorer over every block and both protocol
+//! variants, plus the two mutants whose counterexamples demonstrate the
+//! minimum-memory theorem. Experiment `EXP-V1` prints this table.
+
+use lip_core::ProtocolVariant;
+
+use crate::dut::{Dut, ShellSpec};
+use crate::explore::{explore, Verdict};
+
+/// One row of the verification report.
+#[derive(Debug, Clone)]
+pub struct PropertyResult {
+    /// Block verified.
+    pub block: String,
+    /// Properties checked (paper wording).
+    pub properties: &'static str,
+    /// Whether verification is *expected* to succeed (mutants are not).
+    pub expected_safe: bool,
+    /// The explorer's verdict.
+    pub verdict: Verdict,
+}
+
+impl PropertyResult {
+    /// `true` when the verdict matches the expectation (safe blocks
+    /// hold; mutants are caught).
+    #[must_use]
+    pub fn as_expected(&self) -> bool {
+        self.verdict.holds == self.expected_safe
+    }
+}
+
+/// Properties checked for relay stations (paper wording).
+pub const RELAY_PROPERTIES: &str =
+    "produces outputs in the correct order; does not skip any valid output; keeps its output on asserted stops";
+
+/// Properties checked for shells (paper wording).
+pub const SHELL_PROPERTIES: &str =
+    "elaborates coherent data; produces outputs in the correct order; does not skip any valid output";
+
+/// Verify every protocol block (and the instructive mutants) to `depth`
+/// emitted tokens per input.
+#[must_use]
+pub fn verify_all(depth: u64) -> Vec<PropertyResult> {
+    fn row(dut: Dut, depth: u64, properties: &'static str, expected_safe: bool) -> PropertyResult {
+        let block = dut.name().to_owned();
+        let verdict = explore(dut, depth);
+        PropertyResult { block, properties, expected_safe, verdict }
+    }
+
+    let mut rows = vec![
+        row(Dut::full_relay(), depth, RELAY_PROPERTIES, true),
+        row(Dut::half_relay(), depth, RELAY_PROPERTIES, true),
+        row(Dut::fifo_relay(3), depth, RELAY_PROPERTIES, true),
+        row(Dut::fifo_relay(4), depth, RELAY_PROPERTIES, true),
+    ];
+    for variant in ProtocolVariant::ALL {
+        for spec in [ShellSpec::Identity, ShellSpec::Accumulator, ShellSpec::Join2] {
+            for dut in [Dut::shell(spec, variant), Dut::buffered_shell(spec, variant)] {
+                let block = format!("{} ({variant})", dut.name());
+                let verdict = explore(dut, depth);
+                rows.push(PropertyResult {
+                    block,
+                    properties: SHELL_PROPERTIES,
+                    expected_safe: true,
+                    verdict,
+                });
+            }
+        }
+    }
+    // Mutants: the minimum-memory theorem made executable.
+    rows.push(row(Dut::naive_one_reg(), depth, RELAY_PROPERTIES, false));
+    rows.push(row(Dut::leaky_relay(), depth, RELAY_PROPERTIES, false));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_blocks_verify_as_expected() {
+        let rows = verify_all(5);
+        assert_eq!(rows.len(), 18); // 4 stations + 12 shells + 2 mutants
+        for row in &rows {
+            assert!(
+                row.as_expected(),
+                "{}: holds={} expected_safe={} ({:?})",
+                row.block,
+                row.verdict.holds,
+                row.expected_safe,
+                row.verdict.violation
+            );
+        }
+    }
+
+    #[test]
+    fn mutants_produce_counterexamples() {
+        let rows = verify_all(5);
+        let mutants: Vec<_> = rows.iter().filter(|r| !r.expected_safe).collect();
+        assert_eq!(mutants.len(), 2);
+        for m in mutants {
+            assert!(!m.verdict.holds);
+            assert!(!m.verdict.counterexample.is_empty(), "{} lacks a trace", m.block);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+# A relay-free loop: legal only because buffered shells register their
+# inputs (the minimum-memory registers live inside the shells).
+buffered-shell  a  router in=2 out=2
+buffered-shell  b  identity
+source  in
+sink    out
+
+connect a:0  -> b:0
+connect b:0  -> a:0
+connect in:0 -> a:1
+connect a:1  -> out:0

@@ -1,0 +1,27 @@
+# A small SoC datapath: splitter, two filter paths of unequal floorplan
+# distance, mixer, post-processing — the paper's motivating scenario.
+source  adc
+shell   split  identity fanout=2
+shell   fir    delay k=2
+shell   eq     accumulator
+shell   mix    join arity=2 op=sum
+shell   post   identity
+relay   w1 full
+relay   w2 full
+relay   w3 full
+relay   w4 full
+relay   w5 half
+sink    dac  stops=every:7:3
+
+connect adc:0   -> split:0
+connect split:0 -> w1:0
+connect w1:0    -> w2:0
+connect w2:0    -> fir:0
+connect split:1 -> w3:0
+connect w3:0    -> eq:0
+connect fir:0   -> mix:0
+connect eq:0    -> w4:0
+connect w4:0    -> mix:1
+connect mix:0   -> w5:0
+connect w5:0    -> post:0
+connect post:0  -> dac:0

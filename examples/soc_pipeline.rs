@@ -1,0 +1,117 @@
+//! A System-on-Chip scenario — the paper's motivation: "the performance
+//! of future Systems-on-Chip will be limited by the latency of long
+//! interconnects requiring more than one clock cycle".
+//!
+//! A DSP datapath (splitter, two filter banks of different physical
+//! distance, a mixer, a post-processor) is floorplanned so that its
+//! wires need 0–3 clock cycles. We wrap the modules in shells, pipeline
+//! each wire with as many relay stations as it needs, measure the
+//! throughput hit caused by the unbalanced fork, and recover full rate
+//! with the paper's path equalization.
+//!
+//! Run with: `cargo run --example soc_pipeline`
+
+use lip::analysis::{equalize, predict_throughput, transient_bound};
+use lip::graph::{topology, Netlist};
+use lip::protocol::pearl::{FnPearl, IdentityPearl, JoinPearl};
+use lip::protocol::RelayKind;
+use lip::sim::{measure, System};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut n = Netlist::new();
+    let adc = n.add_source("adc");
+    // The splitter fans the sample stream to both filter banks.
+    let split = n.add_shell("split", IdentityPearl::with_fanout(2));
+    // Filter banks: a cheap IIR-ish update and a scaler.
+    let fir = n.add_shell(
+        "fir",
+        FnPearl::new("fir", 1, 1, |i, o| o[0] = i[0].wrapping_mul(3) / 4),
+    );
+    let eq = n.add_shell(
+        "eq",
+        FnPearl::new("eq", 1, 1, |i, o| o[0] = i[0].wrapping_add(7)),
+    );
+    let mix = n.add_shell("mix", JoinPearl::sum(2));
+    let post = n.add_shell("post", IdentityPearl::new());
+    let dac = n.add_sink("dac");
+
+    // Floorplan: wire latencies in clock cycles.
+    n.connect(adc, 0, split, 0)?;
+    n.connect_via_relays(split, 0, fir, 0, 3, RelayKind::Full)?; // far corner
+    n.connect_via_relays(split, 1, eq, 0, 1, RelayKind::Full)?; // nearby
+    n.connect_via_relays(fir, 0, mix, 0, 1, RelayKind::Full)?;
+    n.connect_via_relays(eq, 0, mix, 1, 1, RelayKind::Full)?;
+    // mix and post are abutted: a half relay station satisfies the
+    // minimum-memory rule at zero latency cost.
+    n.connect_via_relays(mix, 0, post, 0, 1, RelayKind::Half)?;
+    n.connect(post, 0, dac, 0)?;
+    n.validate()?;
+
+    println!("SoC netlist: {n}");
+    println!("topology: {}", topology::classify(&n));
+    println!("predicted transient bound: {} cycles", transient_bound(&n));
+
+    let predicted = predict_throughput(&n).expect("periodic environment");
+    let m = measure(&n)?;
+    let measured = m.system_throughput().expect("measured");
+    println!("\nbefore equalization: predicted T = {predicted}, measured T = {measured}");
+    assert_eq!(predicted, measured);
+
+    // The 2-relay imbalance between the fir and eq paths costs
+    // throughput. Equalize with spare relay stations.
+    let report = equalize(&mut n)?;
+    println!(
+        "path equalization inserted {} spare relay station(s)",
+        report.total_inserted()
+    );
+    let m = measure(&n)?;
+    let after = m.system_throughput().expect("measured");
+    println!("after equalization:  measured T = {after}");
+    assert_eq!(after.to_string(), "1/1");
+
+    // Functional check: the DAC stream equals the zero-latency
+    // reference design's (same modules, no relay stations) — the
+    // protocol's "identity of behavior" guarantee.
+    let mut sys = System::new(&n)?;
+    sys.run(96);
+    let received = sys.sink(dac).expect("sink").received().to_vec();
+    assert!(!received.is_empty());
+
+    let reference = build_reference()?;
+    let mut ref_sys = System::new(&reference.0)?;
+    ref_sys.run(96);
+    let ref_stream = ref_sys.sink(reference.1).expect("sink").received();
+    assert_eq!(&received[..], &ref_stream[..received.len()]);
+    println!(
+        "\nfunctional check: {} DAC samples match the zero-latency reference exactly",
+        received.len()
+    );
+    println!("latency insensitivity: pipelining + equalization changed timing only");
+    Ok(())
+}
+
+/// The same datapath with zero-latency wires (no relay stations).
+fn build_reference() -> Result<(Netlist, lip::graph::NodeId), lip::graph::NetlistError> {
+    let mut n = Netlist::new();
+    let adc = n.add_source("adc");
+    let split = n.add_shell("split", IdentityPearl::with_fanout(2));
+    let fir = n.add_shell(
+        "fir",
+        FnPearl::new("fir", 1, 1, |i, o| o[0] = i[0].wrapping_mul(3) / 4),
+    );
+    let eq = n.add_shell(
+        "eq",
+        FnPearl::new("eq", 1, 1, |i, o| o[0] = i[0].wrapping_add(7)),
+    );
+    let mix = n.add_shell("mix", JoinPearl::sum(2));
+    let post = n.add_shell("post", IdentityPearl::new());
+    let dac = n.add_sink("dac");
+    n.connect(adc, 0, split, 0)?;
+    n.connect(split, 0, fir, 0)?;
+    n.connect(split, 1, eq, 0)?;
+    n.connect(fir, 0, mix, 0)?;
+    n.connect(eq, 0, mix, 1)?;
+    n.connect(mix, 0, post, 0)?;
+    n.connect(post, 0, dac, 0)?;
+    Ok((n, dac))
+}

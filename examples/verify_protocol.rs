@@ -1,0 +1,31 @@
+//! Re-run the paper's SMV verification: the three shell properties and
+//! three relay-station properties, under all appropriate environments —
+//! plus two mutants showing what the explorer catches.
+//!
+//! Run with: `cargo run --example verify_protocol`
+
+use lip::verify::verify_all;
+
+fn main() {
+    println!("exhaustive exploration, environments emitting up to 6 tokens per input\n");
+    println!(
+        "{:<38} {:>8} {:>12}  {:<8} properties",
+        "block", "states", "transitions", "verdict"
+    );
+    let rows = verify_all(6);
+    for row in &rows {
+        let verdict = if row.verdict.holds { "SAFE" } else { "VIOLATED" };
+        println!(
+            "{:<38} {:>8} {:>12}  {:<8} {}",
+            row.block, row.verdict.states, row.verdict.transitions, verdict, row.properties
+        );
+        assert!(row.as_expected(), "{} did not verify as expected", row.block);
+        if let Some(v) = &row.verdict.violation {
+            println!("    counterexample ({} steps): {v}", row.verdict.counterexample.len());
+        }
+    }
+    println!("\nall genuine blocks SAFE; both mutants caught with counterexamples");
+    println!("(the naive one-register station is exactly the design the paper's");
+    println!(" minimum-memory analysis rules out: it drops the in-flight token");
+    println!(" during the registered-stop lag)");
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerate every paper artefact (figures, claims, ablations) in order.
+# Criterion cost benches are separate: `cargo bench --workspace`.
+set -euo pipefail
+
+BINS=(
+  fig1_feedforward
+  fig2_feedback
+  exp_tree
+  exp_reconvergent
+  exp_feedback
+  exp_composition
+  exp_variant_speedup
+  exp_equalization
+  exp_transient
+  exp_verify_safety
+  exp_deadlock
+  exp_ablation_equalizer
+  exp_ablation_memory
+  exp_queue_sizing
+  exp_clock_gating
+)
+
+cargo build --release -p lip-bench --bins
+for bin in "${BINS[@]}"; do
+  echo
+  echo "################################################################"
+  echo "## $bin"
+  echo "################################################################"
+  cargo run --release -q -p lip-bench --bin "$bin"
+done

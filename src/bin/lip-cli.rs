@@ -1,0 +1,351 @@
+//! `lip-cli` — inspect, analyse, simulate and verify latency-insensitive
+//! designs from the command line.
+//!
+//! ```text
+//! lip-cli analyze  <family>              structure, closed form, prediction
+//! lip-cli simulate <family> [cycles]     measured throughput & periodicity
+//! lip-cli evolution <family> [cycles]    Fig. 1/2-style evolution table
+//! lip-cli liveness <family>              skeleton liveness + cure
+//! lip-cli verify [depth]                 the six SMV properties
+//! lip-cli dot <family>                   Graphviz export to stdout
+//! ```
+//!
+//! `<family>` is a compact spec:
+//!
+//! ```text
+//! fig1                      the paper's Fig. 1 instance
+//! fig2                      the paper's Fig. 2 instance (ring 2,1)
+//! chain:S,R[,half]          S shells, R relays per wire
+//! ring:S,R[,half]           loop of S shells, R relays
+//! fork-join:R1,R2,S         Fig. 1 family with explicit relay counts
+//! tree:DEPTH,FANOUT,R       fanout tree
+//! composed:R1,R2,S,RS,RR    coupled fork-join -> ring
+//! buffered-ring:S,R         loop of buffered shells
+//! path/to/design.lid        a textual netlist file (see lip_graph::text)
+//! ```
+
+use lip::analysis::{closed_form, predict_throughput, transient_bound, MarkedGraph};
+use lip::graph::{generate, topology, Netlist, NodeId};
+use lip::protocol::RelayKind;
+use lip::sim::measure::check_liveness;
+use lip::sim::{measure, Evolution};
+use lip::verify::verify_all;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    std::process::exit(code);
+}
+
+fn run(args: &[&str]) -> i32 {
+    match args {
+        ["analyze", spec] => with_family(spec, analyze),
+        ["simulate", spec] => with_family(spec, |f| simulate(f, 0)),
+        ["simulate", spec, cycles] => match cycles.parse() {
+            Ok(c) => with_family(spec, |f| simulate(f, c)),
+            Err(_) => usage("cycles must be a number"),
+        },
+        ["evolution", spec] => with_family(spec, |f| evolution(f, 20)),
+        ["evolution", spec, cycles] => match cycles.parse() {
+            Ok(c) => with_family(spec, |f| evolution(f, c)),
+            Err(_) => usage("cycles must be a number"),
+        },
+        ["liveness", spec] => with_family(spec, liveness),
+        ["dot", spec] => with_family(spec, |f| {
+            print!("{}", f.netlist.to_dot());
+            0
+        }),
+        ["verify"] => verify(6),
+        ["verify", depth] => match depth.parse() {
+            Ok(d) => verify(d),
+            Err(_) => usage("depth must be a number"),
+        },
+        _ => usage("unknown command"),
+    }
+}
+
+fn usage(err: &str) -> i32 {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: lip-cli <analyze|simulate|evolution|liveness> <family> [cycles]\n       lip-cli verify [depth]\n\nfamilies: fig1 | fig2 | chain:S,R[,half] | ring:S,R[,half] |\n          fork-join:R1,R2,S | tree:D,F,R | composed:R1,R2,S,RS,RR |\n          buffered-ring:S,R"
+    );
+    2
+}
+
+/// A parsed family: the netlist plus the shells worth displaying.
+struct FamilyInstance {
+    name: String,
+    netlist: Netlist,
+    display_nodes: Vec<NodeId>,
+}
+
+fn with_family(spec: &str, f: impl FnOnce(FamilyInstance) -> i32) -> i32 {
+    match parse_family(spec) {
+        Ok(fam) => f(fam),
+        Err(e) => usage(&e),
+    }
+}
+
+fn parse_family(spec: &str) -> Result<FamilyInstance, String> {
+    // A netlist file beats the built-in families.
+    if spec.ends_with(".lid") || std::path::Path::new(spec).is_file() {
+        let text = std::fs::read_to_string(spec)
+            .map_err(|e| format!("cannot read `{spec}`: {e}"))?;
+        let (netlist, _names) =
+            lip::graph::parse_netlist(&text).map_err(|e| format!("{spec}: {e}"))?;
+        let display_nodes = netlist.shells();
+        return Ok(FamilyInstance { name: spec.to_owned(), netlist, display_nodes });
+    }
+    let (head, tail) = match spec.split_once(':') {
+        Some((h, t)) => (h, t),
+        None => (spec, ""),
+    };
+    let nums: Vec<usize> = tail
+        .split(',')
+        .filter(|s| !s.is_empty() && *s != "half" && *s != "full")
+        .map(|s| s.parse().map_err(|_| format!("bad number `{s}` in `{spec}`")))
+        .collect::<Result<_, _>>()?;
+    let kind = if tail.ends_with("half") { RelayKind::Half } else { RelayKind::Full };
+    let need = |n: usize| -> Result<(), String> {
+        if nums.len() == n {
+            Ok(())
+        } else {
+            Err(format!("`{head}` needs {n} numeric parameters, got {}", nums.len()))
+        }
+    };
+    let inst = match head {
+        "fig1" => {
+            let f = generate::fig1();
+            FamilyInstance {
+                name: "fig1".into(),
+                display_nodes: vec![f.fork, f.mid, f.join],
+                netlist: f.netlist,
+            }
+        }
+        "fig2" => {
+            let r = generate::ring(2, 1, RelayKind::Full);
+            FamilyInstance {
+                name: "fig2".into(),
+                display_nodes: r.shells.clone(),
+                netlist: r.netlist,
+            }
+        }
+        "chain" => {
+            need(2)?;
+            let c = generate::chain(nums[0], nums[1], kind);
+            FamilyInstance {
+                name: format!("chain {nums:?} {kind}"),
+                display_nodes: c.shells.clone(),
+                netlist: c.netlist,
+            }
+        }
+        "ring" => {
+            need(2)?;
+            let r = generate::ring(nums[0], nums[1], kind);
+            FamilyInstance {
+                name: format!("ring {nums:?} {kind}"),
+                display_nodes: r.shells.clone(),
+                netlist: r.netlist,
+            }
+        }
+        "fork-join" => {
+            need(3)?;
+            let f = generate::fork_join(nums[0], nums[1], nums[2]);
+            FamilyInstance {
+                name: format!("fork-join {nums:?}"),
+                display_nodes: vec![f.fork, f.mid, f.join],
+                netlist: f.netlist,
+            }
+        }
+        "tree" => {
+            need(3)?;
+            let t = generate::tree(nums[0], nums[1], nums[2]);
+            let shells = t.netlist.shells();
+            FamilyInstance {
+                name: format!("tree {nums:?}"),
+                display_nodes: shells,
+                netlist: t.netlist,
+            }
+        }
+        "composed" => {
+            need(5)?;
+            let c = generate::composed_coupled(nums[0], nums[1], nums[2], nums[3], nums[4]);
+            FamilyInstance {
+                name: format!("composed {nums:?}"),
+                display_nodes: vec![c.fork, c.join, c.entry],
+                netlist: c.netlist,
+            }
+        }
+        "buffered-ring" => {
+            need(2)?;
+            let r = generate::buffered_ring(nums[0], nums[1]);
+            FamilyInstance {
+                name: format!("buffered-ring {nums:?}"),
+                display_nodes: r.shells.clone(),
+                netlist: r.netlist,
+            }
+        }
+        other => return Err(format!("unknown family `{other}`")),
+    };
+    Ok(inst)
+}
+
+fn analyze(f: FamilyInstance) -> i32 {
+    println!("family:        {}", f.name);
+    println!("netlist:       {}", f.netlist);
+    match f.netlist.validate() {
+        Ok(()) => println!("validation:    ok"),
+        Err(e) => {
+            println!("validation:    FAILED — {e}");
+            return 1;
+        }
+    }
+    println!("topology:      {}", topology::classify(&f.netlist));
+    println!("closed form:   {:?}", closed_form(&f.netlist));
+    match predict_throughput(&f.netlist) {
+        Some(t) => println!("predicted T:   {t} ({:.4})", t.to_f64()),
+        None => println!("predicted T:   n/a (aperiodic environment)"),
+    }
+    println!("transient <=   {} cycles", transient_bound(&f.netlist));
+    match MarkedGraph::new(&f.netlist).binding_cycle() {
+        Some((cycle, ratio)) => {
+            let path: Vec<String> = cycle
+                .iter()
+                .map(|e| f.netlist.node(e.from).name().to_owned())
+                .collect();
+            println!("bottleneck:    {} @ {}", path.join(" -> "), ratio);
+        }
+        None => println!("bottleneck:    none (full rate)"),
+    }
+    0
+}
+
+fn simulate(f: FamilyInstance, _cycles: u64) -> i32 {
+    if let Err(e) = f.netlist.validate() {
+        println!("validation FAILED — {e}");
+        return 1;
+    }
+    let m = measure(&f.netlist).expect("validated");
+    match m.periodicity {
+        Some(p) => println!("periodic: transient {} cycles, period {}", p.transient, p.period),
+        None => println!("no periodicity detected (aperiodic environment?)"),
+    }
+    for s in &m.sinks {
+        println!(
+            "sink {}: T = {} ({:.4})",
+            f.netlist.node(s.sink).name(),
+            s.throughput,
+            s.throughput.to_f64()
+        );
+    }
+    match m.system_throughput() {
+        Some(t) => println!("system throughput: {t}"),
+        None => println!("system throughput: n/a"),
+    }
+    0
+}
+
+fn evolution(f: FamilyInstance, cycles: u64) -> i32 {
+    if let Err(e) = f.netlist.validate() {
+        println!("validation FAILED — {e}");
+        return 1;
+    }
+    let ev = Evolution::record(&f.netlist, &f.display_nodes, cycles).expect("validated");
+    println!("{ev}");
+    0
+}
+
+fn liveness(f: FamilyInstance) -> i32 {
+    if let Err(e) = f.netlist.validate() {
+        println!("validation FAILED — {e}");
+        return 1;
+    }
+    let report = check_liveness(&f.netlist, 20_000, 5_000).expect("validated");
+    if report.is_live() {
+        println!("live: every shell keeps firing");
+        0
+    } else {
+        println!("STARVED shells:");
+        for s in &report.dead_shells {
+            println!("  {} ({})", s, f.netlist.node(*s).name());
+        }
+        let mut cured = f.netlist.clone();
+        let cure = lip::analysis::cure_deadlocks(&mut cured, 20_000, 5_000).expect("validated");
+        println!(
+            "cure: substituted {} station(s); live after cure: {}",
+            cure.substituted.len(),
+            cure.is_live()
+        );
+        1
+    }
+}
+
+fn verify(depth: u64) -> i32 {
+    let mut failures = 0;
+    for row in verify_all(depth) {
+        let status = if row.verdict.holds { "SAFE" } else { "VIOLATED" };
+        let expected = if row.as_expected() { "" } else { "  <-- UNEXPECTED" };
+        println!("{:<42} {status}{expected}", row.block);
+        if !row.as_expected() {
+            failures += 1;
+        }
+    }
+    i32::from(failures > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_family() {
+        for spec in [
+            "fig1",
+            "fig2",
+            "chain:2,1",
+            "chain:2,1,half",
+            "ring:2,1",
+            "ring:3,2,half",
+            "fork-join:1,1,1",
+            "tree:2,2,1",
+            "composed:1,1,1,2,1",
+            "buffered-ring:3,0",
+        ] {
+            let f = parse_family(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert!(f.netlist.node_count() > 0, "{spec}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(parse_family("nope").is_err());
+        assert!(parse_family("ring:2").is_err());
+        assert!(parse_family("ring:a,b").is_err());
+    }
+
+    #[test]
+    fn loads_netlist_files() {
+        let dir = std::env::temp_dir().join("lip_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mini.lid");
+        std::fs::write(
+            &path,
+            "source in\nshell a identity\nsink out\nconnect in:0 -> a:0\nconnect a:0 -> out:0\n",
+        )
+        .unwrap();
+        let spec = path.to_str().unwrap().to_owned();
+        let f = parse_family(&spec).unwrap();
+        assert_eq!(f.netlist.census().shells, 1);
+        assert_eq!(run(&["analyze", &spec]), 0);
+    }
+
+    #[test]
+    fn commands_run() {
+        assert_eq!(run(&["analyze", "fig1"]), 0);
+        assert_eq!(run(&["simulate", "fig2"]), 0);
+        assert_eq!(run(&["evolution", "fig1", "8"]), 0);
+        assert_eq!(run(&["liveness", "ring:2,1"]), 0);
+        assert_eq!(run(&["dot", "fig2"]), 0);
+        assert_eq!(run(&["bogus"]), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! The shipped `.lid` design files parse, validate, elaborate and
+//! behave; they are part of the public interface (the CLI points users
+//! at them).
+
+use lip::analysis::predict_throughput;
+use lip::graph::parse_netlist;
+use lip::sim::measure;
+
+fn load(name: &str) -> lip::graph::Netlist {
+    let text = std::fs::read_to_string(format!("designs/{name}")).expect("design file");
+    let (netlist, _) = parse_netlist(&text).expect("parses");
+    netlist.validate().expect("validates");
+    netlist
+}
+
+#[test]
+fn fig1_design_file_reproduces_the_paper() {
+    let n = load("fig1.lid");
+    let m = measure(&n).unwrap();
+    assert_eq!(m.periodicity.unwrap().period, 5);
+    assert_eq!(m.system_throughput().unwrap().to_string(), "4/5");
+}
+
+#[test]
+fn soc_design_file_is_bound_by_its_sink() {
+    let n = load("soc.lid");
+    // The sink accepts 6 of 7 cycles and the datapath is balanced
+    // enough to keep up: the environment is the binding constraint.
+    let predicted = predict_throughput(&n).unwrap();
+    assert_eq!(predicted.to_string(), "6/7");
+    assert_eq!(measure(&n).unwrap().system_throughput(), Some(predicted));
+}
+
+#[test]
+fn buffered_loop_design_file_runs_at_full_rate() {
+    let n = load("buffered_loop.lid");
+    assert_eq!(n.census().relays(), 0); // genuinely relay-free
+    let m = measure(&n).unwrap();
+    assert_eq!(m.system_throughput().unwrap().to_string(), "1/1");
+}

@@ -1,0 +1,185 @@
+//! Cross-crate end-to-end consistency over the generated corpus:
+//! netlist -> analysis -> simulation -> verification must tell one
+//! coherent story on every instance.
+
+use lip::analysis::{enforce_min_memory, predict_throughput, transient_bound, MarkedGraph};
+use lip::graph::{generate, topology, Netlist};
+use lip::protocol::pearl::IdentityPearl;
+use lip::protocol::RelayKind;
+use lip::sim::measure::{check_liveness, measure};
+use lip::sim::{SkeletonSystem, System};
+
+/// Analysis predicts simulation exactly, on every valid corpus instance
+/// with a periodic environment.
+#[test]
+fn prediction_equals_measurement_on_corpus() {
+    let mut checked = 0;
+    for seed in 0..60u64 {
+        let (fam, netlist) = generate::random_family(seed);
+        if netlist.validate().is_err() {
+            continue;
+        }
+        let predicted = predict_throughput(&netlist).expect("corpus is periodic");
+        let m = measure(&netlist).unwrap();
+        if m.periodicity.is_none() {
+            continue;
+        }
+        assert_eq!(
+            m.system_throughput(),
+            Some(predicted),
+            "seed {seed} ({fam:?}): prediction vs measurement"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 40, "only {checked} instances checked");
+}
+
+/// The marked-graph model is invariant under re-elaboration and agrees
+/// with the closed-form dispatcher.
+#[test]
+fn model_is_deterministic() {
+    for seed in 0..20u64 {
+        let (_, netlist) = generate::random_family(seed);
+        if netlist.validate().is_err() {
+            continue;
+        }
+        let a = MarkedGraph::new(&netlist).min_cycle_ratio();
+        let b = MarkedGraph::new(&netlist).min_cycle_ratio();
+        assert_eq!(a, b);
+    }
+}
+
+/// A raw shell-to-shell design becomes legal and correct after the
+/// minimum-memory pass, and still computes the same streams.
+#[test]
+fn min_memory_pass_preserves_behaviour() {
+    // Build a 4-stage shell pipeline with *no* relay stations at all.
+    let mut n = Netlist::new();
+    let src = n.add_source("in");
+    let shells: Vec<_> = (0..4)
+        .map(|i| n.add_shell(format!("s{i}"), IdentityPearl::new()))
+        .collect();
+    let out = n.add_sink("out");
+    let mut all = vec![src];
+    all.extend(&shells);
+    all.push(out);
+    n.chain(&all).unwrap();
+    assert_eq!(n.shell_to_shell_channels().len(), 3);
+
+    // Reference behaviour before the pass (legal: no loops).
+    let mut ref_sys = System::new(&n).unwrap();
+    ref_sys.run(60);
+    let reference = ref_sys.sink(out).unwrap().received().to_vec();
+
+    let inserted = enforce_min_memory(&mut n);
+    assert_eq!(inserted.len(), 3);
+    assert!(n.shell_to_shell_channels().is_empty());
+    n.validate().unwrap();
+
+    let mut sys = System::new(&n).unwrap();
+    sys.run(60);
+    let got = sys.sink(out).unwrap().received().to_vec();
+    // Half stations add no latency and no reordering: identical stream.
+    assert_eq!(got, reference);
+}
+
+/// Skeleton and full simulation agree on *measured* quantities, not
+/// just control states: sink counts and firing counts.
+#[test]
+fn skeleton_counts_match_full_counts() {
+    for seed in 0..30u64 {
+        let (_, netlist) = generate::random_family(seed);
+        if netlist.validate().is_err() {
+            continue;
+        }
+        let mut full = System::new(&netlist).unwrap();
+        let mut skel = SkeletonSystem::new(&netlist).unwrap();
+        full.run(200);
+        skel.run(200);
+        for sink in netlist.sinks() {
+            let f = full.sink(sink).unwrap();
+            let (valid, voids) = skel.sink_counts(sink).unwrap();
+            assert_eq!(f.received().len() as u64, valid, "seed {seed} sink counts");
+            assert_eq!(f.voids_seen(), voids, "seed {seed} void counts");
+        }
+        for shell in netlist.shells() {
+            assert_eq!(
+                full.shell_stats(shell).unwrap().fires,
+                skel.shell_fires(shell).unwrap(),
+                "seed {seed} fire counts"
+            );
+        }
+    }
+}
+
+/// Throughput is conserved across series composition: sinks of the same
+/// feed-forward system see the same steady rate.
+#[test]
+fn steady_rate_is_uniform_in_trees() {
+    let t = generate::tree(3, 2, 1);
+    let m = measure(&t.netlist).unwrap();
+    let rates: Vec<_> = m.sinks.iter().map(|s| s.throughput).collect();
+    assert!(rates.windows(2).all(|w| w[0] == w[1]), "{rates:?}");
+}
+
+/// Liveness decided by the skeleton matches liveness decided by full
+/// simulation.
+#[test]
+fn liveness_verdicts_are_engine_independent() {
+    for kind in [RelayKind::Full, RelayKind::Half] {
+        for (s, r) in [(1usize, 1usize), (2, 2)] {
+            let ring = generate::ring(s, r, kind);
+            if ring.netlist.validate().is_err() {
+                continue;
+            }
+            let via_full = check_liveness(&ring.netlist, 5_000, 1_000).unwrap().is_live();
+            // Skeleton: run well past the transient; all shells must
+            // keep firing if and only if the full engine says so.
+            let mut sk = SkeletonSystem::new(&ring.netlist).unwrap();
+            sk.run(500);
+            let before: Vec<_> = ring
+                .netlist
+                .shells()
+                .iter()
+                .map(|s| sk.shell_fires(*s).unwrap())
+                .collect();
+            sk.run(100);
+            let via_skel = ring
+                .netlist
+                .shells()
+                .iter()
+                .enumerate()
+                .all(|(i, s)| sk.shell_fires(*s).unwrap() > before[i]);
+            assert_eq!(via_full, via_skel, "{kind} ring({s},{r})");
+        }
+    }
+}
+
+/// Transient bound holds even with patterned environments.
+#[test]
+fn transient_bound_with_environment_patterns() {
+    use lip::protocol::Pattern;
+    let ring = generate::ring_with_entry(
+        2,
+        1,
+        RelayKind::Full,
+        Pattern::EveryNth { period: 3, phase: 0 },
+        Pattern::EveryNth { period: 4, phase: 2 },
+    );
+    let bound = transient_bound(&ring.netlist);
+    let m = measure(&ring.netlist).unwrap();
+    let p = m.periodicity.expect("periodic environment");
+    assert!(p.transient <= bound, "{} > {bound}", p.transient);
+    // The steady period divides a multiple of the environment lcm.
+    assert_eq!(p.period % 12, 0, "period {} vs env lcm 12", p.period);
+}
+
+/// Topology classification is stable under relay insertion.
+#[test]
+fn classification_stable_under_insertion() {
+    let mut f = generate::fig1();
+    let class = topology::classify(&f.netlist);
+    let chans: Vec<_> = f.netlist.channels().map(|(id, _)| id).collect();
+    f.netlist.insert_relay_on_channel(chans[0], RelayKind::Full);
+    assert_eq!(topology::classify(&f.netlist), class);
+}

@@ -1,0 +1,190 @@
+//! End-to-end coverage of the extension features — buffered shells,
+//! sized FIFO stations, queue sizing, wire pipelining and whole-system
+//! equivalence — across the whole stack (netlist → analysis → all three
+//! simulators → verification).
+
+use lip::analysis::{pipeline_wires, predict_throughput, WireLatency};
+use lip::graph::{generate, Netlist};
+use lip::kernel::{CycleEngine, Engine};
+use lip::protocol::pearl::{DelayPearl, IdentityPearl};
+use lip::protocol::RelayKind;
+use lip::sim::rtl::elaborate_rtl;
+use lip::sim::{measure, Ratio, SkeletonSystem, System};
+use lip::verify::check_latency_insensitivity;
+
+/// FIFO stations flow at unit throughput in pipelines, whatever the
+/// capacity, and preserve streams end to end across all simulators.
+#[test]
+fn fifo_pipelines_are_transparent_to_data() {
+    for cap in 2u8..=5 {
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let a = n.add_shell("a", IdentityPearl::new());
+        let out = n.add_sink("out");
+        n.connect(src, 0, a, 0).unwrap();
+        n.connect_via_relays(a, 0, out, 0, 2, RelayKind::Fifo(cap)).unwrap();
+        n.validate().unwrap();
+
+        assert_eq!(predict_throughput(&n), Some(Ratio::new(1, 1)));
+        let mut sys = System::new(&n).unwrap();
+        sys.run(60);
+        let got = sys.sink(out).unwrap().received();
+        // a's initial 0, then the source stream 0,1,2,...
+        assert_eq!(got[0], 0);
+        for (i, v) in got[1..].iter().enumerate() {
+            assert_eq!(*v, i as u64, "cap {cap}: {got:?}");
+        }
+
+        // Skeleton and RTL agree.
+        let mut sk = SkeletonSystem::new(&n).unwrap();
+        sk.run(60);
+        assert_eq!(sk.sink_counts(out).unwrap().0 as usize, got.len());
+        let (circuit, probes) = elaborate_rtl(&n).unwrap();
+        let mut engine = CycleEngine::new(circuit);
+        engine.run(60);
+        assert_eq!(
+            probes.read_sink_valid(&engine, out).unwrap() as usize,
+            got.len()
+        );
+    }
+}
+
+/// Queue sizing on the Fig. 1 short branch: `T = min(1, (k+2)/5)`,
+/// identical across model and all simulators.
+#[test]
+fn queue_sizing_formula_holds_everywhere() {
+    for k in 2u8..=5 {
+        let mut f = generate::fig1();
+        f.netlist.set_relay_kind(f.short_relays[0], RelayKind::Fifo(k));
+        let expected = Ratio::new(u64::from(k + 2).min(5), 5);
+        assert_eq!(predict_throughput(&f.netlist), Some(expected), "cap {k}");
+        assert_eq!(
+            measure(&f.netlist).unwrap().system_throughput(),
+            Some(expected),
+            "cap {k}"
+        );
+    }
+}
+
+/// Buffered shells keep the whole protocol contract under environment
+/// disturbances, matched against the memory-equivalent simplified
+/// design: same streams under the same voidy source and stopping sink.
+#[test]
+fn buffered_and_simple_realisations_stay_equivalent_under_pressure() {
+    use lip::protocol::Pattern;
+    let void = Pattern::Cyclic(vec![false, false, true]);
+    let stop = Pattern::Cyclic(vec![false, true, false, true, true]);
+
+    let build = |buffered: bool| {
+        let mut n = Netlist::new();
+        let src = n.add_source_with_pattern("in", void.clone());
+        let mut prev = (src, 0usize);
+        for i in 0..3 {
+            let sh = if buffered {
+                n.add_buffered_shell(format!("s{i}"), IdentityPearl::new())
+            } else {
+                let sh = n.add_shell(format!("s{i}"), IdentityPearl::new());
+                // Minimum-memory: a half station before each simple
+                // shell mirrors the buffered shell's input register.
+                let relays = n
+                    .connect_via_relays(prev.0, prev.1, sh, 0, 1, RelayKind::Half)
+                    .unwrap();
+                assert_eq!(relays.len(), 1);
+                prev = (sh, 0);
+                continue;
+            };
+            n.connect(prev.0, prev.1, sh, 0).unwrap();
+            prev = (sh, 0);
+        }
+        let out = n.add_sink_with_pattern("out", stop.clone());
+        n.connect(prev.0, prev.1, out, 0).unwrap();
+        n.validate().unwrap();
+        (n, out)
+    };
+
+    let (simple, s_out) = build(false);
+    let (buffered, b_out) = build(true);
+    let mut a = System::new(&simple).unwrap();
+    let mut b = System::new(&buffered).unwrap();
+    a.run(300);
+    b.run(300);
+    let sa = a.sink(s_out).unwrap();
+    let sb = b.sink(b_out).unwrap();
+    assert_eq!(sa.received(), sb.received());
+    assert_eq!(sa.voids_seen(), sb.voids_seen());
+}
+
+/// A pearl with an internal pipeline (DelayPearl) stays latency
+/// insensitive: relay insertion changes nothing about its output stream.
+#[test]
+fn internally_pipelined_pearls_are_latency_insensitive() {
+    let build = |relays: usize| {
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let a = n.add_shell("dsp", DelayPearl::new(3));
+        let out = n.add_sink("out");
+        n.connect(src, 0, a, 0).unwrap();
+        if relays == 0 {
+            n.connect(a, 0, out, 0).unwrap();
+        } else {
+            n.connect_via_relays(a, 0, out, 0, relays, RelayKind::Full).unwrap();
+        }
+        (n, out)
+    };
+    let (reference, r_out) = build(0);
+    let (pipelined, p_out) = build(3);
+    let mut a = System::new(&reference).unwrap();
+    let mut b = System::new(&pipelined).unwrap();
+    a.run(100);
+    b.run(100);
+    let ra = a.sink(r_out).unwrap().received();
+    let rb = b.sink(p_out).unwrap().received();
+    assert_eq!(&ra[..rb.len()], rb);
+}
+
+/// The wire-pipelining pass composes with equivalence checking: any
+/// annotation assignment leaves the design equivalent to its reference.
+#[test]
+fn wire_pipelining_preserves_latency_insensitivity() {
+    for (l1, l2, l3) in [(0u64, 2u64, 1u64), (3, 0, 0), (1, 1, 1), (4, 2, 3)] {
+        let mut n = Netlist::new();
+        let src = n.add_source("in");
+        let a = n.add_shell("a", IdentityPearl::with_fanout(2));
+        let b = n.add_shell("b", IdentityPearl::new());
+        let c = n.add_shell("c", lip::protocol::pearl::JoinPearl::sum(2));
+        let out = n.add_sink("out");
+        n.connect(src, 0, a, 0).unwrap();
+        let ch1 = n.connect(a, 0, b, 0).unwrap();
+        let ch2 = n.connect(a, 1, c, 1).unwrap();
+        let ch3 = n.connect(b, 0, c, 0).unwrap();
+        n.connect(c, 0, out, 0).unwrap();
+        pipeline_wires(
+            &mut n,
+            &[
+                WireLatency { channel: ch1, cycles: l1 },
+                WireLatency { channel: ch2, cycles: l2 },
+                WireLatency { channel: ch3, cycles: l3 },
+            ],
+        );
+        n.validate().unwrap();
+        let report = check_latency_insensitivity(&n, 150).unwrap();
+        assert!(report.holds(), "({l1},{l2},{l3}): {:?}", report.mismatch);
+    }
+}
+
+/// Fifo rings appear in the random corpus and behave per the model.
+#[test]
+fn fifo_rings_in_corpus_match_model() {
+    let mut found = 0;
+    for seed in 0..200u64 {
+        let (fam, netlist) = generate::random_family(seed);
+        if fam != generate::Family::FifoRing || netlist.validate().is_err() {
+            continue;
+        }
+        let predicted = predict_throughput(&netlist).unwrap();
+        let measured = measure(&netlist).unwrap().system_throughput().unwrap();
+        assert_eq!(predicted, measured, "seed {seed}");
+        found += 1;
+    }
+    assert!(found >= 10, "only {found} fifo rings in corpus");
+}

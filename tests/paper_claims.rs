@@ -1,0 +1,247 @@
+//! Every quantitative claim of Casu & Macchiarulo (DATE 2004), asserted
+//! end-to-end through the public API. These are the acceptance tests of
+//! the reproduction; `EXPERIMENTS.md` indexes each one.
+
+use lip::analysis::{
+    closed_form, equalize, loop_throughput, predict_throughput, transient_bound, ClosedForm,
+};
+use lip::graph::{generate, topology};
+use lip::protocol::{ProtocolVariant, RelayKind};
+use lip::sim::measure::{check_liveness, find_periodicity, measure};
+use lip::sim::{Evolution, Ratio, SkeletonSystem, System};
+use lip::verify::{explore, verify_all, Dut};
+
+/// Fig. 1: the reconvergent feed-forward evolution. "After the initial
+/// transient, the situation becomes periodic, and the output utters an
+/// invalid datum every 5 cycles ... the throughput is 4/5."
+#[test]
+fn fig1_period_five_one_void_throughput_four_fifths() {
+    let f = generate::fig1();
+    let m = measure(&f.netlist).unwrap();
+    let p = m.periodicity.expect("periodic after transient");
+    assert_eq!(p.period, 5);
+    assert_eq!(m.system_throughput(), Some(Ratio::new(4, 5)));
+
+    // One void at the output per period, i = 1 relay imbalance.
+    assert_eq!(topology::join_imbalance(&f.netlist, f.join), Some(1));
+    let ev = Evolution::record(&f.netlist, &[f.join], 30).unwrap();
+    let voids: Vec<usize> = (10..30)
+        .filter(|&r| ev.rows()[r].outputs[0].0[0].is_void())
+        .collect();
+    for w in voids.windows(2) {
+        assert_eq!(w[1] - w[0], 5);
+    }
+}
+
+/// Fig. 1 general formula: `T = (m − i)/m`.
+#[test]
+fn reconvergent_formula_holds_across_imbalances() {
+    for (r1, r2, s) in [
+        (1usize, 1usize, 1usize),
+        (2, 1, 1),
+        (1, 2, 1),
+        (2, 2, 1),
+        (2, 1, 2),
+        (3, 1, 1),
+        (1, 1, 3),
+    ] {
+        let f = generate::fork_join(r1, r2, s);
+        let loop_relays = (r1 + r2 + s) as u64;
+        // m adds the shells on the branch with the most relay stations
+        // (excluding the join): A and B when the B-branch is longer,
+        // only A when the direct branch is.
+        let (m, i) = if r1 + r2 >= s {
+            (loop_relays + 2, (r1 + r2 - s) as u64)
+        } else {
+            (loop_relays + 1, (s - r1 - r2) as u64)
+        };
+        let expected = if i == 0 { Ratio::new(1, 1) } else { Ratio::new(m - i, m) };
+        let measured = measure(&f.netlist).unwrap().system_throughput().unwrap();
+        assert_eq!(measured, expected, "fork_join({r1},{r2},{s})");
+    }
+}
+
+/// Fig. 2 / Carloni DAC'00: loops run at `S/(S+R)`.
+#[test]
+fn feedback_formula_holds() {
+    for s in 1..=4usize {
+        for r in 1..=4usize {
+            let ring = generate::ring(s, r, RelayKind::Full);
+            let measured = measure(&ring.netlist).unwrap().system_throughput().unwrap();
+            assert_eq!(measured, loop_throughput(s, r), "ring({s},{r})");
+            assert_eq!(
+                closed_form(&ring.netlist),
+                ClosedForm::Feedback { s: s as u64, r: r as u64 }
+            );
+        }
+    }
+}
+
+/// Trees: throughput 1; transient bounded by the longest path.
+#[test]
+fn tree_claims_hold() {
+    for (depth, fanout, relays) in [(1usize, 2usize, 1usize), (2, 2, 2), (3, 1, 3)] {
+        let t = generate::tree(depth, fanout, relays);
+        let m = measure(&t.netlist).unwrap();
+        assert_eq!(m.system_throughput(), Some(Ratio::new(1, 1)));
+        let p = m.periodicity.unwrap();
+        let longest = topology::longest_latency(&t.netlist).unwrap();
+        assert!(
+            p.transient <= longest + 1,
+            "tree({depth},{fanout},{relays}): transient {} vs longest path {longest}",
+            p.transient
+        );
+    }
+}
+
+/// "The slowest subtopology will force the system to slow down to its
+/// speed. The protocol itself will adapt ... without any need for path
+/// equalization."
+#[test]
+fn composition_is_bound_by_slowest_subtopology() {
+    // Ring 1/(1+2) = 1/3 is slower than the fork-join front-end (4/6).
+    let c = generate::composed(2, 1, 1, 2);
+    let measured = measure(&c.netlist).unwrap().system_throughput().unwrap();
+    assert_eq!(measured, Ratio::new(1, 3));
+
+    // Flip dominance: fast ring, slow front-end.
+    let c = generate::composed(3, 0, 2, 1);
+    let measured = measure(&c.netlist).unwrap().system_throughput().unwrap();
+    let predicted = predict_throughput(&c.netlist).unwrap();
+    assert_eq!(measured, predicted);
+    assert!(measured.to_f64() < 2.0 / 3.0 + 1e-9);
+}
+
+/// Path equalization restores `T = 1` on feed-forward systems.
+#[test]
+fn equalization_restores_unit_throughput() {
+    for (r1, r2, s) in [(2usize, 1usize, 1usize), (3, 1, 0), (0, 2, 1)] {
+        let mut f = generate::fork_join(r1, r2, s);
+        let before = measure(&f.netlist).unwrap().system_throughput().unwrap();
+        assert!(before.to_f64() < 1.0);
+        equalize(&mut f.netlist).unwrap();
+        let after = measure(&f.netlist).unwrap().system_throughput().unwrap();
+        assert_eq!(after, Ratio::new(1, 1), "fork_join({r1},{r2},{s})");
+    }
+}
+
+/// The protocol refinement (discarding stops over voids) never loses to
+/// the Carloni-style baseline, and wins strictly somewhere.
+#[test]
+fn refined_variant_dominates_baseline() {
+    let mut strict_win = false;
+    let mut compared = 0;
+    for seed in 0..30u64 {
+        let (_, mut netlist) = generate::random_family(seed);
+        if netlist.validate().is_err() {
+            continue;
+        }
+        netlist.set_variant(ProtocolVariant::Refined);
+        let Some(refined) = measure(&netlist).unwrap().system_throughput() else {
+            continue;
+        };
+        netlist.set_variant(ProtocolVariant::Carloni);
+        let Some(baseline) = measure(&netlist).unwrap().system_throughput() else {
+            continue;
+        };
+        assert!(
+            refined.to_f64() >= baseline.to_f64() - 1e-12,
+            "seed {seed}: refined {refined} < baseline {baseline}"
+        );
+        if refined.to_f64() > baseline.to_f64() + 1e-12 {
+            strict_win = true;
+        }
+        compared += 1;
+    }
+    assert!(compared >= 15, "compared only {compared} instances");
+    assert!(strict_win, "the refinement must show a speedup somewhere");
+}
+
+/// The two stop disciplines change *timing only*: both variants deliver
+/// the identical value stream at every sink (latency insensitivity is
+/// variant-independent).
+#[test]
+fn variants_agree_on_data() {
+    for seed in 0..25u64 {
+        let (_, mut netlist) = generate::random_family(seed);
+        if netlist.validate().is_err() {
+            continue;
+        }
+        netlist.set_variant(ProtocolVariant::Refined);
+        let mut a = System::new(&netlist).unwrap();
+        netlist.set_variant(ProtocolVariant::Carloni);
+        let mut b = System::new(&netlist).unwrap();
+        a.run(120);
+        b.run(120);
+        for sink in netlist.sinks() {
+            let sa = a.sink(sink).unwrap().received();
+            let sb = b.sink(sink).unwrap().received();
+            let n = sa.len().min(sb.len());
+            assert_eq!(&sa[..n], &sb[..n], "seed {seed}: variants diverge on data");
+        }
+    }
+}
+
+/// Skeleton simulation is exact on valid/stop behaviour (the basis of
+/// the "negligible cost" deadlock recipe).
+#[test]
+fn skeleton_control_behaviour_is_exact() {
+    for seed in 40..70u64 {
+        let (_, netlist) = generate::random_family(seed);
+        if netlist.validate().is_err() {
+            continue;
+        }
+        let mut full = System::new(&netlist).unwrap();
+        let mut skel = SkeletonSystem::new(&netlist).unwrap();
+        for _ in 0..40 {
+            full.settle();
+            skel.settle();
+            assert_eq!(full.control_state(), skel.control_state());
+            full.step();
+            skel.step();
+        }
+    }
+}
+
+/// The transient is predictable upfront from shell/relay counts.
+#[test]
+fn transient_is_predictable_upfront() {
+    for seed in 0..40u64 {
+        let (fam, netlist) = generate::random_family(seed);
+        if netlist.validate().is_err() {
+            continue;
+        }
+        let bound = transient_bound(&netlist);
+        let mut sys = System::new(&netlist).unwrap();
+        if let Some(p) = find_periodicity(&mut sys, 100_000) {
+            assert!(p.transient <= bound, "seed {seed} {fam:?}: {} > {bound}", p.transient);
+        }
+    }
+}
+
+/// The six SMV properties hold for the genuine blocks; the naive
+/// one-register station (what minimum-memory forbids) is refuted.
+#[test]
+fn smv_properties_reproduced() {
+    for row in verify_all(5) {
+        assert!(row.as_expected(), "{}", row.block);
+    }
+    let v = explore(Dut::naive_one_reg(), 5);
+    assert!(!v.holds);
+}
+
+/// Liveness statements: feed-forward and full-only LIDs never starve.
+#[test]
+fn liveness_statements_hold() {
+    assert!(check_liveness(&generate::fig1().netlist, 5_000, 2_000).unwrap().is_live());
+    assert!(check_liveness(&generate::tree(2, 2, 2).netlist, 5_000, 2_000)
+        .unwrap()
+        .is_live());
+    for (s, r) in [(1usize, 2usize), (2, 1), (3, 3)] {
+        let ring = generate::ring(s, r, RelayKind::Full);
+        assert!(
+            check_liveness(&ring.netlist, 5_000, 2_000).unwrap().is_live(),
+            "ring({s},{r})"
+        );
+    }
+}

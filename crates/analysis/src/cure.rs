@@ -45,7 +45,9 @@ pub fn half_relays_in_loops(netlist: &Netlist) -> Vec<NodeId> {
         for id in comp {
             if matches!(
                 netlist.node(id).kind(),
-                NodeKind::Relay { kind: RelayKind::Half }
+                NodeKind::Relay {
+                    kind: RelayKind::Half
+                }
             ) {
                 out.push(id);
             }
@@ -87,7 +89,10 @@ pub fn cure_deadlocks(
     loop {
         let liveness = check_liveness(netlist, max_transient, fallback)?;
         if liveness.is_live() {
-            return Ok(CureReport { substituted, liveness });
+            return Ok(CureReport {
+                substituted,
+                liveness,
+            });
         }
         let suspects = half_relays_in_loops(netlist);
         match suspects.first() {
@@ -95,7 +100,12 @@ pub fn cure_deadlocks(
                 netlist.set_relay_kind(id, RelayKind::Full);
                 substituted.push(id);
             }
-            None => return Ok(CureReport { substituted, liveness }),
+            None => {
+                return Ok(CureReport {
+                    substituted,
+                    liveness,
+                })
+            }
         }
     }
 }

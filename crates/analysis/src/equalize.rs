@@ -43,7 +43,9 @@ impl EqualizeReport {
 /// any need for path equalization").
 pub fn equalize(netlist: &mut Netlist) -> Result<EqualizeReport, NetlistError> {
     if !is_acyclic(netlist) {
-        return Err(NetlistError::Empty { what: "acyclic topology (equalization is feed-forward only)" });
+        return Err(NetlistError::Empty {
+            what: "acyclic topology (equalization is feed-forward only)",
+        });
     }
     let mut report = EqualizeReport::default();
     // Fixpoint: repeatedly find the first unbalanced join and fix it.
@@ -51,7 +53,11 @@ pub fn equalize(netlist: &mut Netlist) -> Result<EqualizeReport, NetlistError> {
     loop {
         let times = relay_debt(netlist);
         let mut fixed_any = false;
-        for (id, node) in netlist.nodes().map(|(i, n)| (i, n.kind().num_inputs())).collect::<Vec<_>>() {
+        for (id, node) in netlist
+            .nodes()
+            .map(|(i, n)| (i, n.kind().num_inputs()))
+            .collect::<Vec<_>>()
+        {
             if node < 2 {
                 continue;
             }
@@ -95,14 +101,19 @@ pub fn equalize(netlist: &mut Netlist) -> Result<EqualizeReport, NetlistError> {
 fn relay_debt(netlist: &Netlist) -> Vec<u64> {
     let n = netlist.node_count();
     let ids: Vec<NodeId> = netlist.nodes().map(|(id, _)| id).collect();
-    let mut indegree: Vec<usize> = ids.iter().map(|id| netlist.predecessors(*id).len()).collect();
+    let mut indegree: Vec<usize> = ids
+        .iter()
+        .map(|id| netlist.predecessors(*id).len())
+        .collect();
     let mut debt = vec![0u64; n];
     let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
     while let Some(i) = queue.pop_front() {
         let id = ids[i];
         let own = u64::from(matches!(
             netlist.node(id).kind(),
-            lip_graph::NodeKind::Relay { kind: RelayKind::Full }
+            lip_graph::NodeKind::Relay {
+                kind: RelayKind::Full
+            }
         ));
         let out = debt[i] + own;
         debt[i] = out;

@@ -122,7 +122,10 @@ pub fn closed_form(netlist: &Netlist) -> ClosedForm {
         TopologyClass::Tree => ClosedForm::Tree,
         TopologyClass::ReconvergentFeedForward => {
             let t = MarkedGraph::new(netlist).min_cycle_ratio();
-            ClosedForm::Reconvergent { m: t.den(), i: t.den() - t.num() }
+            ClosedForm::Reconvergent {
+                m: t.den(),
+                i: t.den() - t.num(),
+            }
         }
         TopologyClass::Feedback => {
             let profiles = lip_graph::topology::cycle_profiles(netlist, 256);
@@ -170,7 +173,13 @@ mod tests {
         // A plain wire limited by a sink that stops every 4th cycle.
         let mut n = Netlist::new();
         let src = n.add_source("in");
-        let sink = n.add_sink_with_pattern("out", Pattern::EveryNth { period: 4, phase: 0 });
+        let sink = n.add_sink_with_pattern(
+            "out",
+            Pattern::EveryNth {
+                period: 4,
+                phase: 0,
+            },
+        );
         n.connect(src, 0, sink, 0).unwrap();
         assert_eq!(predict_throughput(&n), Some(Ratio::new(3, 4)));
     }
@@ -178,7 +187,13 @@ mod tests {
     #[test]
     fn predictor_handles_void_sources() {
         let mut n = Netlist::new();
-        let src = n.add_source_with_pattern("in", Pattern::EveryNth { period: 3, phase: 1 });
+        let src = n.add_source_with_pattern(
+            "in",
+            Pattern::EveryNth {
+                period: 3,
+                phase: 1,
+            },
+        );
         let sink = n.add_sink("out");
         n.connect(src, 0, sink, 0).unwrap();
         assert_eq!(predict_throughput(&n), Some(Ratio::new(2, 3)));
@@ -187,7 +202,14 @@ mod tests {
     #[test]
     fn predictor_returns_none_for_aperiodic() {
         let mut n = Netlist::new();
-        let src = n.add_source_with_pattern("in", Pattern::Random { num: 1, denom: 2, seed: 3 });
+        let src = n.add_source_with_pattern(
+            "in",
+            Pattern::Random {
+                num: 1,
+                denom: 2,
+                seed: 3,
+            },
+        );
         let sink = n.add_sink("out");
         n.connect(src, 0, sink, 0).unwrap();
         assert_eq!(predict_throughput(&n), None);
@@ -195,7 +217,10 @@ mod tests {
 
     #[test]
     fn closed_forms_match_families() {
-        assert_eq!(closed_form(&generate::tree(2, 2, 1).netlist), ClosedForm::Tree);
+        assert_eq!(
+            closed_form(&generate::tree(2, 2, 1).netlist),
+            ClosedForm::Tree
+        );
 
         let f = generate::fig1();
         let cf = closed_form(&f.netlist);

@@ -45,7 +45,10 @@ pub mod transient;
 
 pub use cure::{cure_deadlocks, enforce_min_memory, half_relays_in_loops, CureReport};
 pub use equalize::{equalize, EqualizeReport};
-pub use formulas::{closed_form, loop_throughput, predict_throughput, reconvergent_throughput, tree_throughput, ClosedForm};
+pub use formulas::{
+    closed_form, loop_throughput, predict_throughput, reconvergent_throughput, tree_throughput,
+    ClosedForm,
+};
 pub use model::MarkedGraph;
 pub use pipeline::{pipeline_wires, PipelineReport, WireLatency};
 pub use transient::transient_bound;

@@ -61,13 +61,24 @@ impl MarkedGraph {
             // Storage parameters of the producer's output element.
             let (fwd_delay, tokens, capacity, bwd_delay) = match netlist.node(u).kind() {
                 NodeKind::Shell { .. } => (1u64, 1u64, 1u64, 0u64),
-                NodeKind::Relay { kind: RelayKind::Full } => (1, 0, 2, 1),
-                NodeKind::Relay { kind: RelayKind::Half } => (0, 0, 1, 1),
-                NodeKind::Relay { kind: RelayKind::Fifo(k) } => (1, 0, u64::from(*k), 1),
+                NodeKind::Relay {
+                    kind: RelayKind::Full,
+                } => (1, 0, 2, 1),
+                NodeKind::Relay {
+                    kind: RelayKind::Half,
+                } => (0, 0, 1, 1),
+                NodeKind::Relay {
+                    kind: RelayKind::Fifo(k),
+                } => (1, 0, u64::from(*k), 1),
                 NodeKind::Source { .. } => continue,
                 NodeKind::Sink { .. } => unreachable!("sinks have no outputs"),
             };
-            edges.push(ModelEdge { from: u, to: v, tokens, delay: fwd_delay });
+            edges.push(ModelEdge {
+                from: u,
+                to: v,
+                tokens,
+                delay: fwd_delay,
+            });
             // Sinks apply no sustained back-pressure in free flow.
             if !matches!(netlist.node(v).kind(), NodeKind::Sink { .. }) {
                 // A buffered-shell consumer fuses a one-place skid
@@ -82,7 +93,10 @@ impl MarkedGraph {
                 });
             }
         }
-        MarkedGraph { node_count: netlist.node_count(), edges }
+        MarkedGraph {
+            node_count: netlist.node_count(),
+            edges,
+        }
     }
 
     /// The constraint edges.
@@ -234,7 +248,13 @@ mod tests {
     fn fork_join_sweep_matches_formula() {
         // (m - i)/m with m = relays-in-loop + shells on the long branch
         // (A and B), i = imbalance.
-        for (r1, r2, s) in [(1usize, 1usize, 1usize), (2, 1, 1), (1, 2, 1), (2, 2, 1), (2, 1, 2)] {
+        for (r1, r2, s) in [
+            (1usize, 1usize, 1usize),
+            (2, 1, 1),
+            (1, 2, 1),
+            (2, 2, 1),
+            (2, 1, 2),
+        ] {
             let f = generate::fork_join(r1, r2, s);
             let m = (r1 + r2 + s + 2) as u64;
             let i = (r1 + r2 - s) as u64;
@@ -260,7 +280,10 @@ mod tests {
 
     #[test]
     fn trees_and_chains_are_unconstrained() {
-        assert_eq!(min_ratio(&generate::tree(2, 2, 1).netlist), Ratio::new(1, 1));
+        assert_eq!(
+            min_ratio(&generate::tree(2, 2, 1).netlist),
+            Ratio::new(1, 1)
+        );
         assert_eq!(
             min_ratio(&generate::chain(3, 2, RelayKind::Full).netlist),
             Ratio::new(1, 1)
@@ -328,7 +351,9 @@ mod tests {
 
         // Rings: the loop itself binds.
         let r = generate::ring(2, 3, RelayKind::Full);
-        let (_, ratio) = MarkedGraph::new(&r.netlist).binding_cycle().expect("constrained");
+        let (_, ratio) = MarkedGraph::new(&r.netlist)
+            .binding_cycle()
+            .expect("constrained");
         assert_eq!(ratio, Ratio::new(2, 5));
 
         // Trees: unconstrained.
@@ -342,10 +367,20 @@ mod tests {
         assert_eq!(pattern_data_rate(&Pattern::Never), Some(Ratio::new(1, 1)));
         assert_eq!(pattern_data_rate(&Pattern::Always), Some(Ratio::new(0, 1)));
         assert_eq!(
-            pattern_data_rate(&Pattern::EveryNth { period: 5, phase: 0 }),
+            pattern_data_rate(&Pattern::EveryNth {
+                period: 5,
+                phase: 0
+            }),
             Some(Ratio::new(4, 5))
         );
-        assert_eq!(pattern_data_rate(&Pattern::Random { num: 1, denom: 2, seed: 0 }), None);
+        assert_eq!(
+            pattern_data_rate(&Pattern::Random {
+                num: 1,
+                denom: 2,
+                seed: 0
+            }),
+            None
+        );
         assert_eq!(
             pattern_accept_rate(&Pattern::Cyclic(vec![true, false])),
             Some(Ratio::new(1, 2))

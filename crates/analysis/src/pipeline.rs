@@ -35,7 +35,11 @@ impl PipelineReport {
     /// Total stations inserted.
     #[must_use]
     pub fn total_inserted(&self) -> usize {
-        self.full_inserted.iter().map(|(_, v)| v.len()).sum::<usize>() + self.half_inserted.len()
+        self.full_inserted
+            .iter()
+            .map(|(_, v)| v.len())
+            .sum::<usize>()
+            + self.half_inserted.len()
     }
 }
 
@@ -88,7 +92,13 @@ mod tests {
     #[test]
     fn inserts_full_stations_per_annotation() {
         let (mut n, ab, _) = two_stage();
-        let report = pipeline_wires(&mut n, &[WireLatency { channel: ab, cycles: 3 }]);
+        let report = pipeline_wires(
+            &mut n,
+            &[WireLatency {
+                channel: ab,
+                cycles: 3,
+            }],
+        );
         assert_eq!(report.total_inserted(), 3);
         assert_eq!(n.census().full_relays, 3);
         assert!(n.shell_to_shell_channels().is_empty());
@@ -108,7 +118,13 @@ mod tests {
     #[test]
     fn zero_cycles_annotation_still_gets_minimum_memory() {
         let (mut n, ab, _) = two_stage();
-        let report = pipeline_wires(&mut n, &[WireLatency { channel: ab, cycles: 0 }]);
+        let report = pipeline_wires(
+            &mut n,
+            &[WireLatency {
+                channel: ab,
+                cycles: 0,
+            }],
+        );
         assert_eq!(report.half_inserted.len(), 1);
         assert_eq!(report.total_inserted(), 1);
     }
@@ -117,7 +133,13 @@ mod tests {
     fn pipelined_design_keeps_streams_and_throughput() {
         let (reference, _, r_out) = two_stage();
         let (mut n, ab, out) = two_stage();
-        pipeline_wires(&mut n, &[WireLatency { channel: ab, cycles: 4 }]);
+        pipeline_wires(
+            &mut n,
+            &[WireLatency {
+                channel: ab,
+                cycles: 4,
+            }],
+        );
 
         let mut a = System::new(&reference).unwrap();
         let mut b = System::new(&n).unwrap();

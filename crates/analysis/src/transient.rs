@@ -130,7 +130,10 @@ mod tests {
         assert!(measured <= bound);
         // Trees settle quickly: the measured transient is within the
         // longest-path order, far below pathological bounds.
-        assert!(measured <= longest + 2, "measured {measured}, longest {longest}");
+        assert!(
+            measured <= longest + 2,
+            "measured {measured}, longest {longest}"
+        );
     }
 
     use lip_graph::Netlist;

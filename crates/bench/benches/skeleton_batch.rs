@@ -1,0 +1,78 @@
+//! EXP-B1 bench — scalar-vs-batched skeleton cycles/sec.
+//!
+//! One [`BatchSkeleton`] pass settles 64 independent stall scenarios in
+//! word-parallel bitwise operations; the scalar baseline runs the same
+//! 64 scenarios as separate [`SkeletonSystem`] instances over the same
+//! compiled settle program. Both sides include engine construction so
+//! the comparison matches how a throughput sweep actually uses them.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lip_core::Pattern;
+use lip_graph::{generate, Netlist};
+use lip_sim::{BatchSkeleton, LanePatterns, SettleProgram, SkeletonSystem, LANES};
+
+const CYCLES: u64 = 256;
+
+/// Per-lane stall ramp: lane `l` stalls its sinks `l/64` of the time.
+fn sweep_patterns(prog: &SettleProgram) -> LanePatterns {
+    let mut pats = LanePatterns::broadcast(prog);
+    for lane in 0..LANES {
+        for j in 0..prog.sink_count() {
+            pats.set_sink(
+                j,
+                lane,
+                Pattern::Random {
+                    num: lane as u32,
+                    denom: LANES as u32,
+                    seed: 0xB0 ^ lane as u64,
+                },
+            );
+        }
+    }
+    pats
+}
+
+fn corpus() -> Vec<(String, Netlist)> {
+    let mut tops = vec![("fig1".to_string(), generate::fig1().netlist)];
+    let mut seed = 0u64;
+    while tops.len() < 4 {
+        let (family, netlist) = generate::random_family(seed);
+        if netlist.validate().is_ok() && netlist.shells().len() >= 2 {
+            tops.push((format!("rand{seed}_{family:?}"), netlist));
+        }
+        seed += 1;
+    }
+    tops
+}
+
+fn bench_skeleton_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skeleton_batch");
+    for (name, netlist) in corpus() {
+        let prog = Arc::new(SettleProgram::compile(&netlist).expect("compiles"));
+        let pats = sweep_patterns(&prog);
+        group.bench_with_input(BenchmarkId::new("scalar64", &name), &prog, |b, prog| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for _ in 0..LANES {
+                    let mut sk = SkeletonSystem::from_program(Arc::clone(prog));
+                    sk.run(CYCLES);
+                    total += sk.total_fires();
+                }
+                total
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batch", &name), &prog, |b, prog| {
+            b.iter(|| {
+                let mut bk = BatchSkeleton::from_patterns(Arc::clone(prog), &pats);
+                bk.run_patterns(&pats, CYCLES);
+                bk.total_fires_lane(0)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skeleton_batch);
+criterion_main!(benches);

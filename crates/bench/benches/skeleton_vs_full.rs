@@ -22,13 +22,17 @@ fn bench_skeleton_vs_full(c: &mut Criterion) {
                 sys.total_received()
             });
         });
-        group.bench_with_input(BenchmarkId::new("skeleton", shells), &chain.netlist, |b, n| {
-            let mut sk = SkeletonSystem::new(n).expect("elaborates");
-            b.iter(|| {
-                sk.run(100);
-                sk.cycle()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("skeleton", shells),
+            &chain.netlist,
+            |b, n| {
+                let mut sk = SkeletonSystem::new(n).expect("elaborates");
+                b.iter(|| {
+                    sk.run(100);
+                    sk.cycle()
+                });
+            },
+        );
     }
     // A cyclic system too: the deadlock-analysis use case.
     for (s, r) in [(4usize, 4usize), (8, 8)] {
@@ -41,13 +45,17 @@ fn bench_skeleton_vs_full(c: &mut Criterion) {
                 sys.total_fires()
             });
         });
-        group.bench_with_input(BenchmarkId::new("skeleton", &label), &ring.netlist, |b, n| {
-            let mut sk = SkeletonSystem::new(n).expect("elaborates");
-            b.iter(|| {
-                sk.run(100);
-                sk.cycle()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("skeleton", &label),
+            &ring.netlist,
+            |b, n| {
+                let mut sk = SkeletonSystem::new(n).expect("elaborates");
+                b.iter(|| {
+                    sk.run(100);
+                    sk.cycle()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -51,7 +51,10 @@ fn main() {
     }
     println!(
         "{}",
-        table(&["spares", "kind", "extra registers", "T", "T (dec)"], &rows)
+        table(
+            &["spares", "kind", "extra registers", "T", "T (dec)"],
+            &rows
+        )
     );
     println!("one full spare (2 registers) buys T = 1 exactly; half spares (1 register");
     println!("each) climb 4/5 -> 5/6 -> 6/7 -> ... and never close the gap — the");

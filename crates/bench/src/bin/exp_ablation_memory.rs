@@ -50,7 +50,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["stages", "regs (simple+half)", "regs (buffered)", "tokens A", "tokens B", "identical"],
+            &[
+                "stages",
+                "regs (simple+half)",
+                "regs (buffered)",
+                "tokens A",
+                "tokens B",
+                "identical"
+            ],
             &rows
         )
     );
@@ -75,7 +82,10 @@ fn main() {
     }
     println!(
         "{}",
-        table(&["buffered shells in loop", "relay stations", "T", "check"], &rows)
+        table(
+            &["buffered shells in loop", "relay stations", "T", "check"],
+            &rows
+        )
     );
     println!("a simplified-shell loop with zero relay stations is rejected by the");
     println!("validator (combinational stop loop) — the minimum-memory theorem; the");

@@ -1,0 +1,203 @@
+//! EXP-B1 — bit-parallel batched skeleton sweep.
+//!
+//! The paper's cost argument ("the simulation cost is absolutely
+//! negligible") invites sweeping *many* stall scenarios, not just one.
+//! The batched engine packs 64 independent scenarios into the bits of a
+//! `u64` and settles all of them per pass with word-wide boolean
+//! operations. This experiment runs a 64-lane throughput sweep both
+//! ways — 64 scalar [`SkeletonSystem`] runs versus one
+//! [`BatchSkeleton`] run — verifies the sink counts are bit-identical,
+//! and persists the measured rates to `BENCH_skeleton.json` so the
+//! perf trajectory is tracked across PRs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lip_bench::{banner, mark, table};
+use lip_core::Pattern;
+use lip_graph::{generate, Netlist, NodeId};
+use lip_sim::{measure_batch, LanePatterns, SettleProgram, SkeletonSystem, LANES};
+
+const CYCLES: u64 = 4096;
+const REPS: usize = 3;
+const CLAIMED_SPEEDUP: f64 = 8.0;
+
+/// Per-lane stall ramp: lane `l` stalls every sink `l/64` of the time,
+/// so the sweep spans free-running to almost-starved back-pressure.
+fn sweep_patterns(prog: &SettleProgram) -> LanePatterns {
+    let mut pats = LanePatterns::broadcast(prog);
+    for lane in 0..LANES {
+        for j in 0..prog.sink_count() {
+            pats.set_sink(
+                j,
+                lane,
+                Pattern::Random {
+                    num: lane as u32,
+                    denom: LANES as u32,
+                    seed: 0xB0 ^ lane as u64,
+                },
+            );
+        }
+    }
+    pats
+}
+
+/// fig1 plus the first few valid random-family netlists.
+fn corpus() -> Vec<(String, Netlist)> {
+    let mut tops = vec![
+        ("fig1".to_string(), generate::fig1().netlist),
+        (
+            "ring4x4_full".to_string(),
+            generate::ring(4, 4, lip_core::RelayKind::Full).netlist,
+        ),
+    ];
+    let mut seed = 0u64;
+    while tops.len() < 5 {
+        let (family, netlist) = generate::random_family(seed);
+        // At least two shells, so settle work (the bit-parallel part)
+        // dominates per-lane environment-pattern evaluation.
+        if netlist.validate().is_ok() && netlist.shells().len() >= 2 {
+            tops.push((format!("rand{seed}_{family:?}"), netlist));
+        }
+        seed += 1;
+    }
+    tops
+}
+
+/// The scalar baseline: one [`SkeletonSystem`] per lane, each over the
+/// netlist rebuilt with that lane's environment patterns.
+fn scalar_sweep(
+    netlist: &Netlist,
+    pats: &LanePatterns,
+    sources: &[NodeId],
+    sinks: &[NodeId],
+) -> Vec<Vec<(u64, u64)>> {
+    let mut counts = vec![vec![(0u64, 0u64); LANES]; sinks.len()];
+    // `lane` indexes the *inner* axis of `counts[j][lane]`, which
+    // needless_range_loop misreads as iterable.
+    #[allow(clippy::needless_range_loop)]
+    for lane in 0..LANES {
+        let mut reference = netlist.clone();
+        for (i, &s) in sources.iter().enumerate() {
+            assert!(reference.set_source_pattern(s, pats.source_pattern(i, lane).clone()));
+        }
+        for (j, &s) in sinks.iter().enumerate() {
+            assert!(reference.set_sink_pattern(s, pats.sink_pattern(j, lane).clone()));
+        }
+        let mut sys = SkeletonSystem::new(&reference).expect("elaborates");
+        sys.run(CYCLES);
+        for (j, &s) in sinks.iter().enumerate() {
+            counts[j][lane] = sys.sink_counts(s).expect("sink counts");
+        }
+    }
+    counts
+}
+
+struct Row {
+    name: String,
+    shells: usize,
+    scalar_rate: f64,
+    batch_rate: f64,
+    speedup: f64,
+}
+
+fn main() {
+    banner(
+        "EXP-B1",
+        "bit-parallel batched skeleton sweep",
+        "one 64-lane batch run is >= 8x faster than 64 scalar runs, bit-identically",
+    );
+
+    let mut rows = Vec::new();
+    for (name, netlist) in corpus() {
+        let prog = Arc::new(SettleProgram::compile(&netlist).expect("compiles"));
+        let pats = sweep_patterns(&prog);
+        let sources = netlist.sources();
+        let sinks = netlist.sinks();
+
+        // Bit-identity first: the speedup is worthless if the lanes drift.
+        let batch = measure_batch(&netlist, &pats, CYCLES).expect("batch sweep");
+        let scalar = scalar_sweep(&netlist, &pats, &sources, &sinks);
+        assert_eq!(
+            batch.counts, scalar,
+            "{name}: batch sink counts diverge from scalar runs"
+        );
+
+        // Lane-cycles per second, best of REPS; construction included on
+        // both sides since a sweep pays it either way.
+        let mut t_scalar = f64::INFINITY;
+        let mut t_batch = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            std::hint::black_box(scalar_sweep(&netlist, &pats, &sources, &sinks));
+            t_scalar = t_scalar.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            std::hint::black_box(measure_batch(&netlist, &pats, CYCLES).expect("batch sweep"));
+            t_batch = t_batch.min(t0.elapsed().as_secs_f64());
+        }
+        let lane_cycles = (LANES as u64 * CYCLES) as f64;
+        rows.push(Row {
+            name,
+            shells: netlist.shells().len(),
+            scalar_rate: lane_cycles / t_scalar,
+            batch_rate: lane_cycles / t_batch,
+            speedup: t_scalar / t_batch,
+        });
+    }
+
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.shells.to_string(),
+                format!("{:.3e}", r.scalar_rate),
+                format!("{:.3e}", r.batch_rate),
+                format!("{:.1}x", r.speedup),
+                mark(r.speedup >= CLAIMED_SPEEDUP).into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "topology",
+                "shells",
+                "scalar lane-cyc/s",
+                "batch lane-cyc/s",
+                "speedup",
+                ">=8x"
+            ],
+            &printable,
+        )
+    );
+    println!("(counts bit-identical across all {LANES} lanes on every topology)");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"exp_batch_sweep\",\n");
+    json.push_str(&format!("  \"lanes\": {LANES},\n"));
+    json.push_str(&format!("  \"cycles\": {CYCLES},\n"));
+    json.push_str(&format!("  \"claimed_speedup\": {CLAIMED_SPEEDUP},\n"));
+    json.push_str("  \"topologies\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"shells\": {}, \"scalar_lane_cycles_per_sec\": {:.1}, \
+             \"batch_lane_cycles_per_sec\": {:.1}, \"speedup\": {:.2}}}{comma}\n",
+            r.name, r.shells, r.scalar_rate, r.batch_rate, r.speedup
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_skeleton.json", json).expect("write BENCH_skeleton.json");
+    println!("wrote BENCH_skeleton.json");
+
+    if let Some(r) = rows.iter().find(|r| r.speedup < CLAIMED_SPEEDUP) {
+        eprintln!(
+            "speedup below {CLAIMED_SPEEDUP}x on {}: {:.1}x",
+            r.name, r.speedup
+        );
+        std::process::exit(1);
+    }
+}

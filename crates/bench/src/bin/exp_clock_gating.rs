@@ -39,7 +39,10 @@ fn main() {
 
     case("Fig. 1 fork-join".into(), &generate::fig1().netlist);
     for (s, r) in [(2usize, 1usize), (2, 2), (1, 3)] {
-        case(format!("ring({s},{r})"), &generate::ring(s, r, RelayKind::Full).netlist);
+        case(
+            format!("ring({s},{r})"),
+            &generate::ring(s, r, RelayKind::Full).netlist,
+        );
     }
     case("tree(2,2,1)".into(), &generate::tree(2, 2, 1).netlist);
     for (r1, r2, sh) in [(2usize, 1usize, 1usize), (3, 1, 1)] {
@@ -56,7 +59,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["system", "shells", "T (= per-shell rate)", "gated cycles", "uniform"],
+            &[
+                "system",
+                "shells",
+                "T (= per-shell rate)",
+                "gated cycles",
+                "uniform"
+            ],
             &rows
         )
     );

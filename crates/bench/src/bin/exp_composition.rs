@@ -37,7 +37,11 @@ fn main() {
             .expect("composition measures")
             .system_throughput()
             .expect("one sink");
-        let min_sub = if ring_t.to_f64() <= front_t.to_f64() { ring_t } else { front_t };
+        let min_sub = if ring_t.to_f64() <= front_t.to_f64() {
+            ring_t
+        } else {
+            front_t
+        };
         rows.push(vec![
             format!("fork({long},{short}) -> ring({ring_s},{ring_r})"),
             front_t.to_string(),
@@ -51,7 +55,15 @@ fn main() {
     println!(
         "{}",
         table(
-            &["composition", "front T", "loop T", "min", "model", "measured", "check"],
+            &[
+                "composition",
+                "front T",
+                "loop T",
+                "min",
+                "model",
+                "measured",
+                "check"
+            ],
             &rows
         )
     );
@@ -86,7 +98,11 @@ fn main() {
             )
         };
         let ring_t = loop_throughput(rs_, rr);
-        let min_sub = if ring_t.to_f64() <= front.to_f64() { ring_t } else { front };
+        let min_sub = if ring_t.to_f64() <= front.to_f64() {
+            ring_t
+        } else {
+            front
+        };
         let measured = measure(&c.netlist)
             .expect("measures")
             .system_throughput()
@@ -103,7 +119,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["coupled composition", "front T", "loop T", "min", "measured", "check"],
+            &[
+                "coupled composition",
+                "front T",
+                "loop T",
+                "min",
+                "measured",
+                "check"
+            ],
             &rows
         )
     );

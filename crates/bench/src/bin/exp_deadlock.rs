@@ -75,7 +75,10 @@ fn main() {
         let suspects = half_relays_in_loops(&netlist).len();
         let report = cure_deadlocks(&mut netlist, 10_000, 5_000).expect("elaborates");
         cure_rows.push(vec![
-            format!("half ring({s},{r}), stop duty {}", stop.iter().filter(|b| **b).count()),
+            format!(
+                "half ring({s},{r}), stop duty {}",
+                stop.iter().filter(|b| **b).count()
+            ),
             suspects.to_string(),
             report.substituted.len().to_string(),
             report.is_live().to_string(),
@@ -85,7 +88,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["system", "suspects", "substituted", "live after cure", "check"],
+            &[
+                "system",
+                "suspects",
+                "substituted",
+                "live after cure",
+                "check"
+            ],
             &cure_rows
         )
     );
@@ -99,8 +108,7 @@ fn main() {
     let mut rows = Vec::new();
     for kind in [RelayKind::Full, RelayKind::Half] {
         for (s, r) in [(1usize, 1usize), (2, 1), (2, 2)] {
-            let report = exhaustive_pattern_search(s, r, kind, 4)
-                .expect("rings elaborate");
+            let report = exhaustive_pattern_search(s, r, kind, 4).expect("rings elaborate");
             rows.push(vec![
                 format!("{kind} ring S={s} R={r}"),
                 report.environments.to_string(),
@@ -145,8 +153,14 @@ fn main() {
             generate::ring_with_entry(3, 3, RelayKind::Half, Pattern::Never, Pattern::Never)
                 .netlist,
         ),
-        ("buffered ring S=3 R=0", generate::buffered_ring(3, 0).netlist),
-        ("coupled composition", generate::composed_coupled(1, 1, 1, 2, 1).netlist),
+        (
+            "buffered ring S=3 R=0",
+            generate::buffered_ring(3, 0).netlist,
+        ),
+        (
+            "coupled composition",
+            generate::composed_coupled(1, 1, 1, 2, 1).netlist,
+        ),
     ] {
         let search = explore_system(&netlist, 500_000).expect("elaborates");
         rows.push(vec![
@@ -160,7 +174,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["system", "control states", "transitions", "exhausted", "deadlock free"],
+            &[
+                "system",
+                "control states",
+                "transitions",
+                "exhausted",
+                "deadlock free"
+            ],
             &rows
         )
     );

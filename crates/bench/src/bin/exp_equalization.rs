@@ -45,7 +45,10 @@ fn main() {
     }
     println!(
         "{}",
-        table(&["system", "T before", "spares inserted", "T after", "check"], &rows)
+        table(
+            &["system", "T before", "spares inserted", "T after", "check"],
+            &rows
+        )
     );
     println!("every unbalanced system reaches T = 1 after equalization");
 }

@@ -63,5 +63,8 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table(&["S", "R", "kind", "predicted", "measured", "check"], &rows));
+    println!(
+        "{}",
+        table(&["S", "R", "kind", "predicted", "measured", "check"], &rows)
+    );
 }

@@ -26,7 +26,8 @@ fn main() {
     let mut rows = Vec::new();
     for k in 2u8..=6 {
         let mut f = generate::fig1();
-        f.netlist.set_relay_kind(f.short_relays[0], RelayKind::Fifo(k));
+        f.netlist
+            .set_relay_kind(f.short_relays[0], RelayKind::Fifo(k));
         f.netlist.validate().expect("legal");
         let predicted = predict_throughput(&f.netlist).expect("periodic");
         let measured = measure(&f.netlist)
@@ -46,7 +47,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["short-branch capacity", "registers", "(k+2)/5 cap 1", "model", "measured", "check"],
+            &[
+                "short-branch capacity",
+                "registers",
+                "(k+2)/5 cap 1",
+                "model",
+                "measured",
+                "check"
+            ],
             &rows
         )
     );
@@ -78,7 +86,10 @@ fn main() {
     }
     println!(
         "{}",
-        table(&["loop", "queue capacity", "S/(S+R)", "measured", "check"], &rows)
+        table(
+            &["loop", "queue capacity", "S/(S+R)", "measured", "check"],
+            &rows
+        )
     );
     println!("loop throughput is set by tokens/latency, not by capacity — deepening");
     println!("queues cannot beat S/(S+R); only removing latency (or adding tokens)");

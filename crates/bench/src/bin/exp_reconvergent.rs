@@ -36,7 +36,11 @@ fn main() {
                     } else {
                         (loop_relays + 1, (s - long) as u64)
                     };
-                    Some(if i == 0 { Ratio::new(1, 1) } else { Ratio::new(m - i, m) })
+                    Some(if i == 0 {
+                        Ratio::new(1, 1)
+                    } else {
+                        Ratio::new(m - i, m)
+                    })
                 } else {
                     None
                 };
@@ -60,7 +64,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["(r1,r2,s)", "imbalance", "(m-i)/m", "model", "measured", "check"],
+            &[
+                "(r1,r2,s)",
+                "imbalance",
+                "(m-i)/m",
+                "model",
+                "measured",
+                "check"
+            ],
             &rows
         )
     );

@@ -35,10 +35,16 @@ fn main() {
 
     case("Fig. 1 fork-join".into(), &generate::fig1().netlist);
     for (s, r) in [(2usize, 1usize), (3, 2), (4, 4)] {
-        case(format!("ring({s},{r})"), &generate::ring(s, r, RelayKind::Full).netlist);
+        case(
+            format!("ring({s},{r})"),
+            &generate::ring(s, r, RelayKind::Full).netlist,
+        );
     }
     for (d, f, r) in [(2usize, 2usize, 1usize), (3, 2, 2)] {
-        case(format!("tree({d},{f},{r})"), &generate::tree(d, f, r).netlist);
+        case(
+            format!("tree({d},{f},{r})"),
+            &generate::tree(d, f, r).netlist,
+        );
     }
     for (l, s, rs, rr) in [(2usize, 1usize, 2usize, 1usize), (3, 1, 1, 2)] {
         case(
@@ -56,7 +62,15 @@ fn main() {
     println!(
         "{}",
         table(
-            &["system", "shells", "relays", "transient", "period", "bound", "check"],
+            &[
+                "system",
+                "shells",
+                "relays",
+                "transient",
+                "period",
+                "bound",
+                "check"
+            ],
             &rows
         )
     );

@@ -45,7 +45,15 @@ fn main() {
     println!(
         "{}",
         table(
-            &["depth", "fanout", "RS/edge", "T", "longest path", "transient", "check"],
+            &[
+                "depth",
+                "fanout",
+                "RS/edge",
+                "T",
+                "longest path",
+                "transient",
+                "check"
+            ],
             &rows
         )
     );

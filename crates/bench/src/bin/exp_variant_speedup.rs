@@ -12,7 +12,11 @@ use lip_graph::{generate, Netlist};
 use lip_sim::measure::{measure_with, MeasureOptions};
 
 fn throughput(netlist: &Netlist) -> Option<f64> {
-    let opts = MeasureOptions { max_transient: 5_000, measure_periods: 4, fallback_cycles: 20_000 };
+    let opts = MeasureOptions {
+        max_transient: 5_000,
+        measure_periods: 4,
+        fallback_cycles: 20_000,
+    };
     measure_with(netlist, opts)
         .ok()?
         .system_throughput()
@@ -29,10 +33,18 @@ fn main() {
     let mut rows = Vec::new();
     let mut add_case = |name: String, mut netlist: Netlist| {
         netlist.set_variant(ProtocolVariant::Refined);
-        let Some(refined) = throughput(&netlist) else { return };
+        let Some(refined) = throughput(&netlist) else {
+            return;
+        };
         netlist.set_variant(ProtocolVariant::Carloni);
-        let Some(baseline) = throughput(&netlist) else { return };
-        let speedup = if baseline > 0.0 { refined / baseline } else { f64::INFINITY };
+        let Some(baseline) = throughput(&netlist) else {
+            return;
+        };
+        let speedup = if baseline > 0.0 {
+            refined / baseline
+        } else {
+            f64::INFINITY
+        };
         rows.push(vec![
             name,
             format!("{baseline:.4}"),
@@ -51,13 +63,22 @@ fn main() {
                 r,
                 RelayKind::Full,
                 Pattern::EveryNth { period, phase: 0 },
-                Pattern::EveryNth { period: period + 1, phase: 1 },
+                Pattern::EveryNth {
+                    period: period + 1,
+                    phase: 1,
+                },
             );
-            add_case(format!("ring({s},{r}) voids 1/{period}, stops 1/{}", period + 1), ring.netlist);
+            add_case(
+                format!("ring({s},{r}) voids 1/{period}, stops 1/{}", period + 1),
+                ring.netlist,
+            );
         }
     }
     for (r1, r2, s) in [(1usize, 1usize, 1usize), (2, 1, 1), (2, 2, 1)] {
-        add_case(format!("fork_join({r1},{r2},{s})"), generate::fork_join(r1, r2, s).netlist);
+        add_case(
+            format!("fork_join({r1},{r2},{s})"),
+            generate::fork_join(r1, r2, s).netlist,
+        );
     }
     // Random corpus.
     for seed in 0..20u64 {
@@ -69,11 +90,17 @@ fn main() {
 
     println!(
         "{}",
-        table(&["system", "carloni T", "refined T", "speedup", "check"], &rows)
+        table(
+            &["system", "carloni T", "refined T", "speedup", "check"],
+            &rows
+        )
     );
     let wins = rows
         .iter()
         .filter(|r| r[3].trim_end_matches('x').parse::<f64>().unwrap_or(1.0) > 1.0 + 1e-9)
         .count();
-    println!("strict speedups: {wins}/{} systems; no slowdowns anywhere", rows.len());
+    println!(
+        "strict speedups: {wins}/{} systems; no slowdowns anywhere",
+        rows.len()
+    );
 }

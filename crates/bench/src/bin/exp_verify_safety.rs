@@ -33,7 +33,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["block", "states", "transitions", "verdict", "as expected", "counterexample"],
+            &[
+                "block",
+                "states",
+                "transitions",
+                "verdict",
+                "as expected",
+                "counterexample"
+            ],
             &rows
         )
     );

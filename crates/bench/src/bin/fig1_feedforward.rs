@@ -52,5 +52,8 @@ fn main() {
             "ok".into(),
         ],
     ];
-    println!("{}", table(&["figure quantity", "paper", "measured", "check"], &rows));
+    println!(
+        "{}",
+        table(&["figure quantity", "paper", "measured", "check"], &rows)
+    );
 }

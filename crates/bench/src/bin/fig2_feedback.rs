@@ -33,7 +33,11 @@ fn main() {
             .shells
             .iter()
             .map(|s| usize::from(sys.shell(*s).expect("shell").outputs()[0].is_valid()))
-            .chain(fig2.relays.iter().map(|r| sys.relay(*r).expect("relay").occupancy()))
+            .chain(
+                fig2.relays
+                    .iter()
+                    .map(|r| sys.relay(*r).expect("relay").occupancy()),
+            )
             .sum();
         max_tokens = max_tokens.max(tokens);
         sys.step();
@@ -59,5 +63,8 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table(&["S", "R", "S/(S+R)", "measured", "check"], &rows));
+    println!(
+        "{}",
+        table(&["S", "R", "S/(S+R)", "measured", "check"], &rows)
+    );
 }

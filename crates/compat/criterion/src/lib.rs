@@ -1,0 +1,284 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion's API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: every benchmark gets a fixed warm-up, then timed
+//! batches until a wall-clock budget is spent; the reported figure is
+//! the median batch time per iteration. No statistics, plots or HTML
+//! reports — results print as `name  time: [median ns]` lines, and the
+//! raw samples are available to callers through
+//! [`Criterion::take_results`] so experiment binaries can persist them.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier `group/function/parameter` for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+
+    fn render(&self, group: &str) -> String {
+        match (self.function.is_empty(), self.parameter.is_empty()) {
+            (true, true) => group.to_string(),
+            (true, false) => format!("{group}/{}", self.parameter),
+            (false, true) => format!("{group}/{}", self.function),
+            (false, false) => format!("{group}/{}/{}", self.function, self.parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { function: s.to_string(), parameter: String::new() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { function: s, parameter: String::new() }
+    }
+}
+
+/// One measured benchmark: id and median nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Rendered `group/function/parameter` name.
+    pub name: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Number of timed iterations behind the estimate.
+    pub iterations: u64,
+}
+
+/// Top-level driver handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(150),
+            measurement: Duration::from_millis(600),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the per-benchmark warm-up budget.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = id.render("");
+        let name = name.trim_start_matches('/').to_string();
+        self.run_one(name, f);
+        self
+    }
+
+    /// Drain all results measured so far (for persisting to disk).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    fn run_one<F>(&mut self, name: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: Vec::new(),
+            iterations: 0,
+        };
+        f(&mut b);
+        let mut samples = b.samples;
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median_ns = if samples.is_empty() {
+            f64::NAN
+        } else {
+            samples[samples.len() / 2]
+        };
+        println!("{name:<55} time: [{median_ns:>12.1} ns/iter]  ({} iters)", b.iterations);
+        self.results.push(BenchResult { name, median_ns, iterations: b.iterations });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.render(&self.name);
+        self.criterion.run_one(name, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into().render(&self.name);
+        self.criterion.run_one(name, |b| f(b));
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: Vec<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly until the measurement budget is
+    /// spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Choose a batch size targeting ~1ms per batch.
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((1_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_nanos() as f64;
+            self.samples.push(dt / batch as f64);
+            self.iterations += batch;
+        }
+    }
+}
+
+/// Declare a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| x * x);
+        });
+        group.finish();
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "g/square/7");
+        assert!(results[0].median_ns >= 0.0);
+        assert!(results[0].iterations > 0);
+    }
+
+    #[test]
+    fn ids_render_all_forms() {
+        assert_eq!(BenchmarkId::new("f", "p").render("g"), "g/f/p");
+        assert_eq!(BenchmarkId::from_parameter(3).render("g"), "g/3");
+        assert_eq!(BenchmarkId::from("f").render("g"), "g/f");
+    }
+}

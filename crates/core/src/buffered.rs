@@ -152,7 +152,8 @@ impl BufferedShell {
     /// Panics if the slice lengths do not match the port counts.
     #[must_use]
     pub fn can_fire(&self, inputs: &[Token], output_stops: &[bool]) -> bool {
-        self.inner.can_fire(&self.effective_inputs(inputs), output_stops)
+        self.inner
+            .can_fire(&self.effective_inputs(inputs), output_stops)
     }
 
     /// Advance one clock cycle.
@@ -194,9 +195,9 @@ impl fmt::Display for BufferedShell {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::endpoint::{Pattern, Sink, Source};
     use crate::pearl::{AccumulatorPearl, IdentityPearl, JoinPearl};
     use crate::relay::HalfRelayStation;
-    use crate::endpoint::{Pattern, Sink, Source};
 
     #[test]
     fn outputs_initialise_valid() {

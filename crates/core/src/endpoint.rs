@@ -226,7 +226,12 @@ impl Sink {
     /// A sink asserting stop where `stop_pattern` asserts.
     #[must_use]
     pub fn with_stop_pattern(stop_pattern: Pattern) -> Self {
-        Sink { stop_pattern, cycle: 0, received: Vec::new(), voids_seen: 0 }
+        Sink {
+            stop_pattern,
+            cycle: 0,
+            received: Vec::new(),
+            voids_seen: 0,
+        }
     }
 
     /// The back-pressure this sink asserts in the current cycle.
@@ -290,7 +295,12 @@ impl Default for Sink {
 
 impl fmt::Display for Sink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Sink[{} valid, {} void]", self.received.len(), self.voids_seen)
+        write!(
+            f,
+            "Sink[{} valid, {} void]",
+            self.received.len(),
+            self.voids_seen
+        )
     }
 }
 
@@ -302,7 +312,10 @@ mod tests {
     fn pattern_shapes() {
         assert!(!Pattern::Never.at(0));
         assert!(Pattern::Always.at(123));
-        let p = Pattern::EveryNth { period: 4, phase: 1 };
+        let p = Pattern::EveryNth {
+            period: 4,
+            phase: 1,
+        };
         assert!(!p.at(0));
         assert!(p.at(1));
         assert!(p.at(5));
@@ -316,14 +329,33 @@ mod tests {
     fn pattern_periods() {
         assert_eq!(Pattern::Never.period(), Some(1));
         assert_eq!(Pattern::Always.period(), Some(1));
-        assert_eq!(Pattern::EveryNth { period: 5, phase: 2 }.period(), Some(5));
+        assert_eq!(
+            Pattern::EveryNth {
+                period: 5,
+                phase: 2
+            }
+            .period(),
+            Some(5)
+        );
         assert_eq!(Pattern::Cyclic(vec![true, false, true]).period(), Some(3));
-        assert_eq!(Pattern::Random { num: 1, denom: 2, seed: 0 }.period(), None);
+        assert_eq!(
+            Pattern::Random {
+                num: 1,
+                denom: 2,
+                seed: 0
+            }
+            .period(),
+            None
+        );
     }
 
     #[test]
     fn random_pattern_is_deterministic_and_plausible() {
-        let p = Pattern::Random { num: 1, denom: 2, seed: 42 };
+        let p = Pattern::Random {
+            num: 1,
+            denom: 2,
+            seed: 42,
+        };
         let a: Vec<bool> = (0..1000).map(|c| p.at(c)).collect();
         let b: Vec<bool> = (0..1000).map(|c| p.at(c)).collect();
         assert_eq!(a, b);
@@ -345,7 +377,10 @@ mod tests {
 
     #[test]
     fn source_injects_voids() {
-        let mut s = Source::with_void_pattern(Pattern::EveryNth { period: 2, phase: 0 });
+        let mut s = Source::with_void_pattern(Pattern::EveryNth {
+            period: 2,
+            phase: 0,
+        });
         assert_eq!(s.output(), Token::VOID); // cycle 0 voided
         s.clock(false);
         assert_eq!(s.output(), Token::valid(0));
@@ -364,7 +399,12 @@ mod tests {
     #[test]
     fn sink_records_and_measures() {
         let mut k = Sink::new();
-        for t in [Token::valid(0), Token::VOID, Token::valid(1), Token::valid(2)] {
+        for t in [
+            Token::valid(0),
+            Token::VOID,
+            Token::valid(1),
+            Token::valid(2),
+        ] {
             k.clock(t);
         }
         assert_eq!(k.received(), &[0, 1, 2]);

@@ -96,7 +96,12 @@ where
 {
     /// Wrap `f` as a pearl with the given port counts.
     pub fn new(name: impl Into<String>, inputs: usize, outputs: usize, f: F) -> Self {
-        FnPearl { name: name.into(), inputs, outputs, f }
+        FnPearl {
+            name: name.into(),
+            inputs,
+            outputs,
+            f,
+        }
     }
 }
 
@@ -212,7 +217,10 @@ impl JoinPearl {
     #[must_use]
     pub fn first(arity: usize) -> Self {
         assert!(arity > 0, "join arity must be at least 1");
-        JoinPearl { arity, op: JoinOp::First }
+        JoinPearl {
+            arity,
+            op: JoinOp::First,
+        }
     }
 
     /// A join computing the wrapping sum of its inputs.
@@ -223,7 +231,10 @@ impl JoinPearl {
     #[must_use]
     pub fn sum(arity: usize) -> Self {
         assert!(arity > 0, "join arity must be at least 1");
-        JoinPearl { arity, op: JoinOp::Sum }
+        JoinPearl {
+            arity,
+            op: JoinOp::Sum,
+        }
     }
 
     /// A join computing the maximum of its inputs.
@@ -234,7 +245,10 @@ impl JoinPearl {
     #[must_use]
     pub fn max(arity: usize) -> Self {
         assert!(arity > 0, "join arity must be at least 1");
-        JoinPearl { arity, op: JoinOp::Max }
+        JoinPearl {
+            arity,
+            op: JoinOp::Max,
+        }
     }
 }
 
@@ -470,7 +484,9 @@ impl DelayPearl {
     #[must_use]
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "a delay pearl needs at least one stage");
-        DelayPearl { stages: std::collections::VecDeque::from(vec![0; k]) }
+        DelayPearl {
+            stages: std::collections::VecDeque::from(vec![0; k]),
+        }
     }
 
     /// Number of internal stages.

@@ -109,7 +109,10 @@ impl FifoStation {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 2, "fifo stations need capacity >= 2");
-        FifoStation { queue: std::collections::VecDeque::new(), capacity }
+        FifoStation {
+            queue: std::collections::VecDeque::new(),
+            capacity,
+        }
     }
 
     /// Token currently presented downstream.
@@ -199,7 +202,10 @@ impl FullRelayStation {
     /// retiming moves initialisation, and by tests).
     #[must_use]
     pub fn with_initial(token: Token) -> Self {
-        FullRelayStation { main: token, aux: Token::VOID }
+        FullRelayStation {
+            main: token,
+            aux: Token::VOID,
+        }
     }
 
     /// Token currently presented downstream.
@@ -633,7 +639,10 @@ mod tests {
         let rs = RelayStation::new(RelayKind::Fifo(3));
         assert_eq!(rs.kind(), RelayKind::Fifo(3));
         assert_eq!(rs.capacity(), 3);
-        assert_eq!(RelayStation::new(RelayKind::Fifo(3)).to_string(), "FIFO[0/3]");
+        assert_eq!(
+            RelayStation::new(RelayKind::Fifo(3)).to_string(),
+            "FIFO[0/3]"
+        );
     }
 
     #[test]

@@ -169,13 +169,16 @@ impl Shell {
     #[must_use]
     pub fn can_fire(&self, inputs: &[Token], output_stops: &[bool]) -> bool {
         assert_eq!(inputs.len(), self.num_inputs(), "input arity mismatch");
-        assert_eq!(output_stops.len(), self.num_outputs(), "output arity mismatch");
+        assert_eq!(
+            output_stops.len(),
+            self.num_outputs(),
+            "output arity mismatch"
+        );
         let all_valid = inputs.iter().all(|t| t.is_valid());
-        let blocked = self
-            .outputs
-            .iter()
-            .zip(output_stops)
-            .any(|(out, &stop)| stop && (out.is_valid() || !self.variant.discards_stop_on_void()));
+        let blocked =
+            self.outputs.iter().zip(output_stops).any(|(out, &stop)| {
+                stop && (out.is_valid() || !self.variant.discards_stop_on_void())
+            });
         all_valid && !blocked
     }
 

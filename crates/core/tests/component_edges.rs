@@ -20,7 +20,11 @@ fn tokens_order_voids_first() {
 #[test]
 #[should_panic(expected = "pattern period must be at least 1")]
 fn zero_period_pattern_panics() {
-    let _ = Pattern::EveryNth { period: 0, phase: 0 }.at(3);
+    let _ = Pattern::EveryNth {
+        period: 0,
+        phase: 0,
+    }
+    .at(3);
 }
 
 #[test]
@@ -89,8 +93,16 @@ fn half_relay_capture_release_cycle_is_stable() {
 
 #[test]
 fn fifo_station_equivalence_to_full_holds_under_random_traffic() {
-    let stop = Pattern::Random { num: 2, denom: 5, seed: 99 };
-    let voids = Pattern::Random { num: 1, denom: 4, seed: 7 };
+    let stop = Pattern::Random {
+        num: 2,
+        denom: 5,
+        seed: 99,
+    };
+    let voids = Pattern::Random {
+        num: 1,
+        denom: 4,
+        seed: 7,
+    };
     let mut full = FullRelayStation::new();
     let mut fifo = FifoStation::new(2);
     let mut src_a = Source::with_void_pattern(voids.clone());
@@ -116,7 +128,11 @@ fn carloni_shell_blocks_on_any_stop() {
     shell.clock(&[], &[false]);
     let before = shell.stats().fires;
     shell.clock(&[], &[true]);
-    assert_eq!(shell.stats().fires, before, "carloni must respect stop over void");
+    assert_eq!(
+        shell.stats().fires,
+        before,
+        "carloni must respect stop over void"
+    );
 }
 
 #[test]

@@ -47,7 +47,10 @@ fn run_chain(stations: &mut [RelayStation], src: &mut Source, sink: &mut Sink, c
 /// duplicate-free.
 fn assert_in_order_prefix(received: &[u64]) {
     for (i, &v) in received.iter().enumerate() {
-        assert_eq!(v, i as u64, "stream corrupted at position {i}: {received:?}");
+        assert_eq!(
+            v, i as u64,
+            "stream corrupted at position {i}: {received:?}"
+        );
     }
 }
 

@@ -69,16 +69,29 @@ impl fmt::Display for NetlistError {
             }
         }
         match self {
-            NetlistError::PortOutOfRange { node, port, arity, output } => write!(
+            NetlistError::PortOutOfRange {
+                node,
+                port,
+                arity,
+                output,
+            } => write!(
                 f,
                 "{} port {port} of node {node} out of range (arity {arity})",
                 dir(*output)
             ),
             NetlistError::PortAlreadyConnected { node, port, output } => {
-                write!(f, "{} port {port} of node {node} is already connected", dir(*output))
+                write!(
+                    f,
+                    "{} port {port} of node {node} is already connected",
+                    dir(*output)
+                )
             }
             NetlistError::UnconnectedPort { node, port, output } => {
-                write!(f, "{} port {port} of node {node} is not connected", dir(*output))
+                write!(
+                    f,
+                    "{} port {port} of node {node} is not connected",
+                    dir(*output)
+                )
             }
             NetlistError::StopLoop { cycle } => write!(
                 f,
@@ -96,7 +109,11 @@ impl fmt::Display for NetlistError {
 }
 
 fn fmt_cycle(cycle: &[NodeId]) -> String {
-    cycle.iter().map(ToString::to_string).collect::<Vec<_>>().join(" -> ")
+    cycle
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(" -> ")
 }
 
 impl Error for NetlistError {}
@@ -107,9 +124,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = NetlistError::StopLoop { cycle: vec![NodeId(0), NodeId(1)] };
+        let e = NetlistError::StopLoop {
+            cycle: vec![NodeId(0), NodeId(1)],
+        };
         assert!(e.to_string().contains("combinational stop loop"));
-        let e = NetlistError::UnconnectedPort { node: NodeId(3), port: 1, output: false };
+        let e = NetlistError::UnconnectedPort {
+            node: NodeId(3),
+            port: 1,
+            output: false,
+        };
         assert_eq!(e.to_string(), "input port 1 of node n3 is not connected");
         let e = NetlistError::Empty { what: "sink" };
         assert_eq!(e.to_string(), "netlist has no sink");

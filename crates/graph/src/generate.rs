@@ -57,7 +57,12 @@ pub fn chain(shells: usize, relays_between: usize, kind: RelayKind) -> Chain {
     let sink = n.add_sink("out");
     n.connect_via_relays(prev.0, prev.1, sink, 0, relays_between, kind)
         .expect("fresh ports");
-    Chain { netlist: n, source, shells: shell_ids, sink }
+    Chain {
+        netlist: n,
+        source,
+        shells: shell_ids,
+        sink,
+    }
 }
 
 /// A generated fanout tree.
@@ -104,7 +109,11 @@ pub fn tree(depth: usize, fanout: usize, relays_per_edge: usize) -> Tree {
             .expect("fresh ports");
         sinks.push(sink);
     }
-    Tree { netlist: n, source, sinks }
+    Tree {
+        netlist: n,
+        source,
+        sinks,
+    }
 }
 
 /// The Fig. 1 family: two sources reconverging at a join shell.
@@ -207,7 +216,16 @@ pub fn fork_join(r1: usize, r2: usize, s: usize) -> ForkJoin {
     long_relays.extend(segment(&mut n, mid, 0, join, 0, r2));
     let short_relays = segment(&mut n, fork, 1, join, 1, s);
     n.connect(join, 0, sink, 0).expect("fresh ports");
-    ForkJoin { netlist: n, source, fork, mid, join, sink, long_relays, short_relays }
+    ForkJoin {
+        netlist: n,
+        source,
+        fork,
+        mid,
+        join,
+        sink,
+        long_relays,
+        short_relays,
+    }
 }
 
 /// Connect through `count` full relay stations, or one half station when
@@ -283,10 +301,16 @@ pub fn ring(shells: usize, relays: usize, kind: RelayKind) -> Ring {
         n.connect(prev.0, prev.1, *sh, 0).expect("fresh ports");
         prev = (*sh, 0);
     }
-    n.connect(prev.0, prev.1, shell_ids[0], 0).expect("fresh ports");
+    n.connect(prev.0, prev.1, shell_ids[0], 0)
+        .expect("fresh ports");
     let sink = n.add_sink("out");
     n.connect(shell_ids[0], 1, sink, 0).expect("fresh ports");
-    Ring { netlist: n, shells: shell_ids, relays: relay_ids, sink }
+    Ring {
+        netlist: n,
+        shells: shell_ids,
+        relays: relay_ids,
+        sink,
+    }
 }
 
 /// A ring fed and drained through an entry shell, so that external void
@@ -351,7 +375,14 @@ pub fn ring_with_entry(
     let sink = n.add_sink_with_pattern("out", stop_pattern);
     n.connect(source, 0, entry, 1).expect("fresh ports");
     n.connect(entry, 1, sink, 0).expect("fresh ports");
-    RingWithEntry { netlist: n, entry, source, sink, shells: shell_ids, relays: relay_ids }
+    RingWithEntry {
+        netlist: n,
+        entry,
+        source,
+        sink,
+        shells: shell_ids,
+        relays: relay_ids,
+    }
 }
 
 /// A reconvergent front-end feeding a ring: the paper's "feed-forward
@@ -411,7 +442,12 @@ pub fn composed(
         .expect("fresh ports");
     let sink = n.add_sink("out");
     n.connect(entry, 1, sink, 0).expect("fresh ports");
-    Composed { netlist: n, join, entry, sink }
+    Composed {
+        netlist: n,
+        join,
+        entry,
+        sink,
+    }
 }
 
 /// A coupled composition: a fork-join front-end (a *binding*
@@ -474,7 +510,13 @@ pub fn composed_coupled(
         .expect("fresh ports");
     let sink = n.add_sink("out");
     n.connect(entry, 1, sink, 0).expect("fresh ports");
-    ComposedCoupled { netlist: n, fork, join, entry, sink }
+    ComposedCoupled {
+        netlist: n,
+        fork,
+        join,
+        entry,
+        sink,
+    }
 }
 
 /// A closed loop of *buffered* shells — legal with no relay stations at
@@ -521,10 +563,15 @@ pub fn buffered_ring(shells: usize, relays: usize) -> BufferedRing {
         n.connect(prev.0, prev.1, *sh, 0).expect("fresh ports");
         prev = (*sh, 0);
     }
-    n.connect(prev.0, prev.1, shell_ids[0], 0).expect("fresh ports");
+    n.connect(prev.0, prev.1, shell_ids[0], 0)
+        .expect("fresh ports");
     let sink = n.add_sink("out");
     n.connect(shell_ids[0], 1, sink, 0).expect("fresh ports");
-    BufferedRing { netlist: n, shells: shell_ids, sink }
+    BufferedRing {
+        netlist: n,
+        shells: shell_ids,
+        sink,
+    }
 }
 
 /// The two memory-equivalent realisations of the same `shells`-stage
@@ -547,7 +594,12 @@ pub fn memory_equivalent_chains(shells: usize) -> (Chain, Chain) {
     }
     let sink = n.add_sink("out");
     n.connect(prev.0, prev.1, sink, 0).expect("fresh ports");
-    let simple = Chain { netlist: n, source, shells: shell_ids, sink };
+    let simple = Chain {
+        netlist: n,
+        source,
+        shells: shell_ids,
+        sink,
+    };
 
     // Buffered: same pipeline, the stations fused into the shells.
     let mut n = Netlist::new();
@@ -562,7 +614,12 @@ pub fn memory_equivalent_chains(shells: usize) -> (Chain, Chain) {
     }
     let sink = n.add_sink("out");
     n.connect(prev.0, prev.1, sink, 0).expect("fresh ports");
-    let buffered = Chain { netlist: n, source, shells: shell_ids, sink };
+    let buffered = Chain {
+        netlist: n,
+        source,
+        shells: shell_ids,
+        sink,
+    };
     (simple, buffered)
 }
 
@@ -599,15 +656,27 @@ pub fn random_family(seed: u64) -> (Family, Netlist) {
         }
         7 => {
             let cap = rng.gen_range(2..5u8);
-            let r = ring(rng.gen_range(1..4), rng.gen_range(1..4), RelayKind::Fifo(cap));
+            let r = ring(
+                rng.gen_range(1..4),
+                rng.gen_range(1..4),
+                RelayKind::Fifo(cap),
+            );
             (Family::FifoRing, r.netlist)
         }
         0 => {
-            let c = chain(rng.gen_range(1..5), rng.gen_range(0..3), pick_kind(&mut rng));
+            let c = chain(
+                rng.gen_range(1..5),
+                rng.gen_range(0..3),
+                pick_kind(&mut rng),
+            );
             (Family::Chain, c.netlist)
         }
         1 => {
-            let t = tree(rng.gen_range(1..4), rng.gen_range(1..3), rng.gen_range(0..3));
+            let t = tree(
+                rng.gen_range(1..4),
+                rng.gen_range(1..3),
+                rng.gen_range(0..3),
+            );
             (Family::Tree, t.netlist)
         }
         2 => {
@@ -620,7 +689,11 @@ pub fn random_family(seed: u64) -> (Family, Netlist) {
             (Family::Ring, r.netlist)
         }
         4 => {
-            let f = fork_join(rng.gen_range(0..3), rng.gen_range(0..3), rng.gen_range(0..3));
+            let f = fork_join(
+                rng.gen_range(0..3),
+                rng.gen_range(0..3),
+                rng.gen_range(0..3),
+            );
             (Family::ForkJoin, f.netlist)
         }
         _ => {
@@ -729,7 +802,10 @@ mod tests {
             1,
             RelayKind::Half,
             Pattern::Never,
-            Pattern::EveryNth { period: 3, phase: 0 },
+            Pattern::EveryNth {
+                period: 3,
+                phase: 0,
+            },
         );
         r.netlist.validate().unwrap();
         assert_eq!(classify(&r.netlist), TopologyClass::Feedback);

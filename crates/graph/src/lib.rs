@@ -43,5 +43,5 @@ pub mod text;
 pub mod topology;
 
 pub use error::NetlistError;
-pub use text::{parse_netlist, write_netlist, ParseNetlistError};
 pub use netlist::{Channel, ChannelId, Netlist, NetlistCensus, Node, NodeId, NodeKind, Port};
+pub use text::{parse_netlist, write_netlist, ParseNetlistError};

@@ -125,7 +125,13 @@ impl NodeKind {
     /// combinationally).
     #[must_use]
     pub fn is_simple_shell(&self) -> bool {
-        matches!(self, NodeKind::Shell { buffered: false, .. })
+        matches!(
+            self,
+            NodeKind::Shell {
+                buffered: false,
+                ..
+            }
+        )
     }
 
     /// Forward (data) latency contributed by the node when flowing:
@@ -224,7 +230,10 @@ impl Netlist {
     /// An empty netlist under an explicit protocol variant.
     #[must_use]
     pub fn with_variant(variant: ProtocolVariant) -> Self {
-        Netlist { variant, ..Self::default() }
+        Netlist {
+            variant,
+            ..Self::default()
+        }
     }
 
     /// The protocol variant shells of this netlist will follow.
@@ -249,45 +258,123 @@ impl Netlist {
 
     /// Add a free-flowing primary input.
     pub fn add_source(&mut self, name: impl Into<String>) -> NodeId {
-        self.add_node(name.into(), NodeKind::Source { void_pattern: Pattern::Never })
+        self.add_node(
+            name.into(),
+            NodeKind::Source {
+                void_pattern: Pattern::Never,
+            },
+        )
     }
 
     /// Add a primary input that injects voids where `void_pattern`
     /// asserts.
-    pub fn add_source_with_pattern(&mut self, name: impl Into<String>, void_pattern: Pattern) -> NodeId {
+    pub fn add_source_with_pattern(
+        &mut self,
+        name: impl Into<String>,
+        void_pattern: Pattern,
+    ) -> NodeId {
         self.add_node(name.into(), NodeKind::Source { void_pattern })
     }
 
     /// Add a free-flowing primary output.
     pub fn add_sink(&mut self, name: impl Into<String>) -> NodeId {
-        self.add_node(name.into(), NodeKind::Sink { stop_pattern: Pattern::Never })
+        self.add_node(
+            name.into(),
+            NodeKind::Sink {
+                stop_pattern: Pattern::Never,
+            },
+        )
     }
 
     /// Add a primary output that stops where `stop_pattern` asserts.
-    pub fn add_sink_with_pattern(&mut self, name: impl Into<String>, stop_pattern: Pattern) -> NodeId {
+    pub fn add_sink_with_pattern(
+        &mut self,
+        name: impl Into<String>,
+        stop_pattern: Pattern,
+    ) -> NodeId {
         self.add_node(name.into(), NodeKind::Sink { stop_pattern })
+    }
+
+    /// Replace the void pattern of the source at `node`; returns `false`
+    /// (and changes nothing) if `node` is not a source.
+    ///
+    /// Patterns are environment, not structure — swapping one never
+    /// invalidates a validated netlist, so parameter sweeps can reuse a
+    /// single topology.
+    pub fn set_source_pattern(&mut self, node: NodeId, pattern: Pattern) -> bool {
+        match &mut self.nodes[node.index()].kind {
+            NodeKind::Source { void_pattern } => {
+                *void_pattern = pattern;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Replace the stop pattern of the sink at `node`; returns `false`
+    /// (and changes nothing) if `node` is not a sink.
+    pub fn set_sink_pattern(&mut self, node: NodeId, pattern: Pattern) -> bool {
+        match &mut self.nodes[node.index()].kind {
+            NodeKind::Sink { stop_pattern } => {
+                *stop_pattern = pattern;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Add a shell wrapping `pearl`.
     pub fn add_shell(&mut self, name: impl Into<String>, pearl: impl Pearl + 'static) -> NodeId {
-        self.add_node(name.into(), NodeKind::Shell { pearl: Box::new(pearl), buffered: false })
+        self.add_node(
+            name.into(),
+            NodeKind::Shell {
+                pearl: Box::new(pearl),
+                buffered: false,
+            },
+        )
     }
 
     /// Add a shell wrapping an already-boxed pearl.
     pub fn add_shell_boxed(&mut self, name: impl Into<String>, pearl: Box<dyn Pearl>) -> NodeId {
-        self.add_node(name.into(), NodeKind::Shell { pearl, buffered: false })
+        self.add_node(
+            name.into(),
+            NodeKind::Shell {
+                pearl,
+                buffered: false,
+            },
+        )
     }
 
     /// Add a *buffered* shell (registered inputs, as in the proposals
     /// the paper simplifies): no relay station is required on its input
     /// channels, at the cost of one register per input.
-    pub fn add_buffered_shell(&mut self, name: impl Into<String>, pearl: impl Pearl + 'static) -> NodeId {
-        self.add_node(name.into(), NodeKind::Shell { pearl: Box::new(pearl), buffered: true })
+    pub fn add_buffered_shell(
+        &mut self,
+        name: impl Into<String>,
+        pearl: impl Pearl + 'static,
+    ) -> NodeId {
+        self.add_node(
+            name.into(),
+            NodeKind::Shell {
+                pearl: Box::new(pearl),
+                buffered: true,
+            },
+        )
     }
 
     /// Add a buffered shell wrapping an already-boxed pearl.
-    pub fn add_buffered_shell_boxed(&mut self, name: impl Into<String>, pearl: Box<dyn Pearl>) -> NodeId {
-        self.add_node(name.into(), NodeKind::Shell { pearl, buffered: true })
+    pub fn add_buffered_shell_boxed(
+        &mut self,
+        name: impl Into<String>,
+        pearl: Box<dyn Pearl>,
+    ) -> NodeId {
+        self.add_node(
+            name.into(),
+            NodeKind::Shell {
+                pearl,
+                buffered: true,
+            },
+        )
     }
 
     /// Add a relay station with an automatic name.
@@ -308,7 +395,12 @@ impl Netlist {
             self.nodes[node.index()].kind.num_inputs()
         };
         if port >= arity {
-            return Err(NetlistError::PortOutOfRange { node, port, arity, output });
+            return Err(NetlistError::PortOutOfRange {
+                node,
+                port,
+                arity,
+                output,
+            });
         }
         let busy = if output {
             self.out_ports[node.index()][port].is_some()
@@ -339,8 +431,14 @@ impl Netlist {
         self.check_port(to, to_port, false)?;
         let id = ChannelId(u32::try_from(self.channels.len()).expect("too many channels"));
         self.channels.push(Channel {
-            producer: Port { node: from, index: from_port },
-            consumer: Port { node: to, index: to_port },
+            producer: Port {
+                node: from,
+                index: from_port,
+            },
+            consumer: Port {
+                node: to,
+                index: to_port,
+            },
         });
         self.out_ports[from.index()][from_port] = Some(id);
         self.in_ports[to.index()][to_port] = Some(id);
@@ -566,12 +664,20 @@ impl Netlist {
         for (id, node) in self.nodes() {
             for port in 0..node.kind.num_outputs() {
                 if self.out_channel(id, port).is_none() {
-                    return Err(NetlistError::UnconnectedPort { node: id, port, output: true });
+                    return Err(NetlistError::UnconnectedPort {
+                        node: id,
+                        port,
+                        output: true,
+                    });
                 }
             }
             for port in 0..node.kind.num_inputs() {
                 if self.in_channel(id, port).is_none() {
-                    return Err(NetlistError::UnconnectedPort { node: id, port, output: false });
+                    return Err(NetlistError::UnconnectedPort {
+                        node: id,
+                        port,
+                        output: false,
+                    });
                 }
             }
         }
@@ -586,7 +692,9 @@ impl Netlist {
             k.is_shell()
                 || matches!(
                     k,
-                    NodeKind::Relay { kind: RelayKind::Full | RelayKind::Fifo(_) }
+                    NodeKind::Relay {
+                        kind: RelayKind::Full | RelayKind::Fifo(_)
+                    }
                 )
         }) {
             return Err(NetlistError::DataLoop { cycle });
@@ -687,8 +795,8 @@ impl Netlist {
                     }
                     None => {
                         // A relay station: follow its single output.
-                        let next = self.out_ports[cursor.node.index()][0]
-                            .expect("relay output connected");
+                        let next =
+                            self.out_ports[cursor.node.index()][0].expect("relay output connected");
                         cursor = self.channels[next.index()].consumer;
                     }
                 }
@@ -745,9 +853,15 @@ impl Netlist {
                         c.buffered_shells += 1;
                     }
                 }
-                NodeKind::Relay { kind: RelayKind::Full } => c.full_relays += 1,
-                NodeKind::Relay { kind: RelayKind::Half } => c.half_relays += 1,
-                NodeKind::Relay { kind: RelayKind::Fifo(_) } => c.fifo_relays += 1,
+                NodeKind::Relay {
+                    kind: RelayKind::Full,
+                } => c.full_relays += 1,
+                NodeKind::Relay {
+                    kind: RelayKind::Half,
+                } => c.half_relays += 1,
+                NodeKind::Relay {
+                    kind: RelayKind::Fifo(_),
+                } => c.fifo_relays += 1,
             }
         }
         c
@@ -827,7 +941,10 @@ mod tests {
     fn unconnected_port_is_rejected() {
         let mut n = Netlist::new();
         let _ = n.add_source("in");
-        assert!(matches!(n.validate(), Err(NetlistError::UnconnectedPort { .. })));
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::UnconnectedPort { .. })
+        ));
     }
 
     #[test]
@@ -923,7 +1040,9 @@ mod tests {
         let mut n = Netlist::new();
         let src = n.add_source("in");
         let out = n.add_sink("out");
-        let relays = n.connect_via_relays(src, 0, out, 0, 3, RelayKind::Full).unwrap();
+        let relays = n
+            .connect_via_relays(src, 0, out, 0, 3, RelayKind::Full)
+            .unwrap();
         assert_eq!(relays.len(), 3);
         n.validate().unwrap();
         assert_eq!(n.census().full_relays, 3);
@@ -934,7 +1053,12 @@ mod tests {
         let mut n = Netlist::new();
         let rs = n.add_relay(RelayKind::Half);
         n.set_relay_kind(rs, RelayKind::Full);
-        assert!(matches!(n.node(rs).kind(), NodeKind::Relay { kind: RelayKind::Full }));
+        assert!(matches!(
+            n.node(rs).kind(),
+            NodeKind::Relay {
+                kind: RelayKind::Full
+            }
+        ));
     }
 
     #[test]
@@ -979,7 +1103,8 @@ mod tests {
         let a = n.add_shell("A", IdentityPearl::new());
         let out = n.add_sink("out");
         n.connect(src, 0, a, 0).unwrap();
-        n.connect_via_relays(a, 0, out, 0, 3, RelayKind::Full).unwrap();
+        n.connect_via_relays(a, 0, out, 0, 3, RelayKind::Full)
+            .unwrap();
         let (reference, map) = n.without_relays();
         reference.validate().unwrap();
         assert_eq!(reference.census().relays(), 0);

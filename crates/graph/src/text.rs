@@ -59,7 +59,10 @@ impl fmt::Display for ParseNetlistError {
 impl Error for ParseNetlistError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseNetlistError {
-    ParseNetlistError { line, message: message.into() }
+    ParseNetlistError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parse the textual format into a [`Netlist`] plus a name → node map.
@@ -74,9 +77,9 @@ pub fn parse_netlist(text: &str) -> Result<(Netlist, HashMap<String, NodeId>), P
     let mut n = Netlist::new();
     let mut names: HashMap<String, NodeId> = HashMap::new();
     let declare = |names: &mut HashMap<String, NodeId>,
-                       line: usize,
-                       name: &str,
-                       id: NodeId|
+                   line: usize,
+                   name: &str,
+                   id: NodeId|
      -> Result<(), ParseNetlistError> {
         if names.insert(name.to_owned(), id).is_some() {
             return Err(err(line, format!("duplicate node name `{name}`")));
@@ -93,25 +96,35 @@ pub fn parse_netlist(text: &str) -> Result<(Netlist, HashMap<String, NodeId>), P
         let tokens: Vec<&str> = stmt.split_whitespace().collect();
         match tokens[0] {
             "source" => {
-                let name = *tokens.get(1).ok_or_else(|| err(line, "source needs a name"))?;
+                let name = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(line, "source needs a name"))?;
                 let pattern = parse_pattern(line, &tokens[2..], "voids")?;
                 let id = n.add_source_with_pattern(name, pattern);
                 declare(&mut names, line, name, id)?;
             }
             "sink" => {
-                let name = *tokens.get(1).ok_or_else(|| err(line, "sink needs a name"))?;
+                let name = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(line, "sink needs a name"))?;
                 let pattern = parse_pattern(line, &tokens[2..], "stops")?;
                 let id = n.add_sink_with_pattern(name, pattern);
                 declare(&mut names, line, name, id)?;
             }
             "relay" => {
-                let name = *tokens.get(1).ok_or_else(|| err(line, "relay needs a name"))?;
-                let kind = match *tokens.get(2).ok_or_else(|| err(line, "relay needs a kind"))? {
+                let name = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(line, "relay needs a name"))?;
+                let kind = match *tokens
+                    .get(2)
+                    .ok_or_else(|| err(line, "relay needs a kind"))?
+                {
                     "full" => RelayKind::Full,
                     "half" => RelayKind::Half,
                     other => match other.strip_prefix("fifo:") {
                         Some(k) => RelayKind::Fifo(
-                            k.parse().map_err(|_| err(line, format!("bad capacity `{k}`")))?,
+                            k.parse()
+                                .map_err(|_| err(line, format!("bad capacity `{k}`")))?,
                         ),
                         None => return Err(err(line, format!("unknown relay kind `{other}`"))),
                     },
@@ -120,7 +133,9 @@ pub fn parse_netlist(text: &str) -> Result<(Netlist, HashMap<String, NodeId>), P
                 declare(&mut names, line, name, id)?;
             }
             "shell" | "buffered-shell" => {
-                let name = *tokens.get(1).ok_or_else(|| err(line, "shell needs a name"))?;
+                let name = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(line, "shell needs a name"))?;
                 let pearl = parse_pearl(line, &tokens[2..])?;
                 let id = if tokens[0] == "shell" {
                     n.add_shell_boxed(name, pearl)
@@ -131,8 +146,7 @@ pub fn parse_netlist(text: &str) -> Result<(Netlist, HashMap<String, NodeId>), P
             }
             "connect" => {
                 // connect a:0 -> b:1   (the arrow is optional)
-                let parts: Vec<&str> =
-                    tokens[1..].iter().copied().filter(|t| *t != "->").collect();
+                let parts: Vec<&str> = tokens[1..].iter().copied().filter(|t| *t != "->").collect();
                 if parts.len() != 2 {
                     return Err(err(line, "connect needs `from:port -> to:port`"));
                 }
@@ -164,16 +178,10 @@ fn parse_port(line: usize, s: &str) -> Result<(&str, usize), ParseNetlistError> 
 }
 
 fn kv<'a>(args: &'a [&'a str]) -> HashMap<&'a str, &'a str> {
-    args.iter()
-        .filter_map(|a| a.split_once('='))
-        .collect()
+    args.iter().filter_map(|a| a.split_once('=')).collect()
 }
 
-fn parse_pattern(
-    line: usize,
-    args: &[&str],
-    key: &str,
-) -> Result<Pattern, ParseNetlistError> {
+fn parse_pattern(line: usize, args: &[&str], key: &str) -> Result<Pattern, ParseNetlistError> {
     match kv(args).get(key) {
         None => Ok(Pattern::Never),
         Some(v) => {
@@ -188,14 +196,19 @@ fn parse_pattern(
                     .map_err(|_| err(line, format!("bad phase in `{v}`")))?;
                 Ok(Pattern::EveryNth { period, phase })
             } else {
-                Err(err(line, format!("pattern must be `every:P:PHASE`, got `{v}`")))
+                Err(err(
+                    line,
+                    format!("pattern must be `every:P:PHASE`, got `{v}`"),
+                ))
             }
         }
     }
 }
 
 fn parse_pearl(line: usize, args: &[&str]) -> Result<Box<dyn Pearl>, ParseNetlistError> {
-    let kind = *args.first().ok_or_else(|| err(line, "shell needs a pearl"))?;
+    let kind = *args
+        .first()
+        .ok_or_else(|| err(line, "shell needs a pearl"))?;
     let kv = kv(&args[1..]);
     let get_num = |key: &str, default: usize| -> Result<usize, ParseNetlistError> {
         match kv.get(key) {
@@ -274,7 +287,13 @@ pub fn write_netlist(netlist: &Netlist) -> String {
 fn sanitize(name: &str, id: NodeId) -> String {
     let base: String = name
         .chars()
-        .map(|c| if c.is_whitespace() || c == ':' || c == '#' { '_' } else { c })
+        .map(|c| {
+            if c.is_whitespace() || c == ':' || c == '#' {
+                '_'
+            } else {
+                c
+            }
+        })
         .collect();
     format!("{base}_{id}")
 }
@@ -291,7 +310,11 @@ fn pearl_spec(pearl: &dyn Pearl) -> String {
     match pearl.name() {
         "identity" => format!("identity fanout={}", pearl.num_outputs()),
         "join" => format!("join arity={}", pearl.num_inputs()),
-        "router" => format!("router in={} out={}", pearl.num_inputs(), pearl.num_outputs()),
+        "router" => format!(
+            "router in={} out={}",
+            pearl.num_inputs(),
+            pearl.num_outputs()
+        ),
         "accumulator" => "accumulator".to_owned(),
         "counter" => "counter".to_owned(),
         "delay" => format!("delay k={}", pearl.state().len()),
@@ -355,10 +378,22 @@ mod tests {
 
     #[test]
     fn rejects_duplicates_and_unknowns() {
-        assert!(parse_netlist("source a\nsource a\n").unwrap_err().message.contains("duplicate"));
-        assert!(parse_netlist("connect a:0 -> b:0\n").unwrap_err().message.contains("unknown node"));
-        assert!(parse_netlist("shell s mystery\n").unwrap_err().message.contains("unknown pearl"));
-        assert!(parse_netlist("relay r bogus\n").unwrap_err().message.contains("relay kind"));
+        assert!(parse_netlist("source a\nsource a\n")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+        assert!(parse_netlist("connect a:0 -> b:0\n")
+            .unwrap_err()
+            .message
+            .contains("unknown node"));
+        assert!(parse_netlist("shell s mystery\n")
+            .unwrap_err()
+            .message
+            .contains("unknown pearl"));
+        assert!(parse_netlist("relay r bogus\n")
+            .unwrap_err()
+            .message
+            .contains("relay kind"));
         assert!(parse_netlist("source s voids=sometimes\n")
             .unwrap_err()
             .message

@@ -215,12 +215,21 @@ pub fn cycle_profiles(netlist: &Netlist, limit: usize) -> Vec<CycleProfile> {
     simple_cycles(netlist, limit)
         .into_iter()
         .map(|nodes| {
-            let mut p = CycleProfile { nodes, shells: 0, full_relays: 0, half_relays: 0 };
+            let mut p = CycleProfile {
+                nodes,
+                shells: 0,
+                full_relays: 0,
+                half_relays: 0,
+            };
             for id in &p.nodes.clone() {
                 match netlist.node(*id).kind() {
                     NodeKind::Shell { .. } => p.shells += 1,
-                    NodeKind::Relay { kind: RelayKind::Full } => p.full_relays += 1,
-                    NodeKind::Relay { kind: RelayKind::Half } => p.half_relays += 1,
+                    NodeKind::Relay {
+                        kind: RelayKind::Full,
+                    } => p.full_relays += 1,
+                    NodeKind::Relay {
+                        kind: RelayKind::Half,
+                    } => p.half_relays += 1,
                     _ => {}
                 }
             }
@@ -391,8 +400,10 @@ mod tests {
         let b = n.add_source("B");
         let c = n.add_shell("C", JoinPearl::first(2));
         let out = n.add_sink("out");
-        n.connect_via_relays(a, 0, c, 0, r_long, RelayKind::Full).unwrap();
-        n.connect_via_relays(b, 0, c, 1, r_short, RelayKind::Full).unwrap();
+        n.connect_via_relays(a, 0, c, 0, r_long, RelayKind::Full)
+            .unwrap();
+        n.connect_via_relays(b, 0, c, 1, r_short, RelayKind::Full)
+            .unwrap();
         n.connect(c, 0, out, 0).unwrap();
         (n, c)
     }

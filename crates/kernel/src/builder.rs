@@ -131,9 +131,20 @@ impl CircuitBuilder {
         Self::default()
     }
 
-    fn add_signal(&mut self, name: impl Into<String>, width: u8, init: u64, kind: SignalKind) -> SignalId {
+    fn add_signal(
+        &mut self,
+        name: impl Into<String>,
+        width: u8,
+        init: u64,
+        kind: SignalKind,
+    ) -> SignalId {
         let id = SignalId(u32::try_from(self.signals.len()).expect("too many signals"));
-        let info = SignalInfo { name: name.into(), width, init, kind };
+        let info = SignalInfo {
+            name: name.into(),
+            width,
+            init,
+            kind,
+        };
         let init = init & info.mask();
         self.signals.push(SignalInfo { init, ..info });
         id
@@ -158,7 +169,13 @@ impl CircuitBuilder {
     /// closure may drive. Declaring a read or write the closure does not
     /// perform is harmless; performing one that is not declared leads to
     /// nondeterministic schedules and is rejected where detectable.
-    pub fn comb<F>(&mut self, name: impl Into<String>, reads: &[SignalId], writes: &[SignalId], f: F) -> ProcessId
+    pub fn comb<F>(
+        &mut self,
+        name: impl Into<String>,
+        reads: &[SignalId],
+        writes: &[SignalId],
+        f: F,
+    ) -> ProcessId
     where
         F: FnMut(&mut EvalCtx<'_>) + 'static,
     {
@@ -177,7 +194,13 @@ impl CircuitBuilder {
     /// `reads` may mention any signal; `writes` must mention registers
     /// only. All sequential processes observe the same pre-edge snapshot,
     /// so their relative order is immaterial.
-    pub fn seq<F>(&mut self, name: impl Into<String>, reads: &[SignalId], writes: &[SignalId], f: F) -> ProcessId
+    pub fn seq<F>(
+        &mut self,
+        name: impl Into<String>,
+        reads: &[SignalId],
+        writes: &[SignalId],
+        f: F,
+    ) -> ProcessId
     where
         F: FnMut(&mut EdgeCtx<'_>) + 'static,
     {

@@ -94,7 +94,11 @@ impl Circuit {
                 }
             }
         }
-        let mut ready: Vec<usize> = comb_ids.iter().copied().filter(|i| indegree[i] == 0).collect();
+        let mut ready: Vec<usize> = comb_ids
+            .iter()
+            .copied()
+            .filter(|i| indegree[i] == 0)
+            .collect();
         // Deterministic schedule: lowest declaration index first.
         ready.sort_unstable();
         let mut comb_order = Vec::with_capacity(comb_ids.len());
@@ -131,12 +135,19 @@ impl Circuit {
         for (pi, p) in processes.iter().enumerate() {
             if p.is_comb() {
                 for &r in &p.reads {
-                    sensitivity[r.index()].push(ProcessId(u32::try_from(pi).expect("process index")));
+                    sensitivity[r.index()]
+                        .push(ProcessId(u32::try_from(pi).expect("process index")));
                 }
             }
         }
 
-        Ok(Circuit { signals, processes, comb_order, seq_order, sensitivity })
+        Ok(Circuit {
+            signals,
+            processes,
+            comb_order,
+            seq_order,
+            sensitivity,
+        })
     }
 
     /// Number of declared signals.
@@ -212,7 +223,10 @@ mod tests {
         let y = b.wire("y", 1, 0);
         b.comb("p", &[], &[y], |_| {});
         b.comb("q", &[], &[y], |_| {});
-        assert!(matches!(b.build(), Err(BuildCircuitError::MultipleDrivers { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(BuildCircuitError::MultipleDrivers { .. })
+        ));
     }
 
     #[test]
@@ -220,7 +234,10 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let r = b.register("r", 1, 0);
         b.comb("p", &[], &[r], |_| {});
-        assert!(matches!(b.build(), Err(BuildCircuitError::CombDrivesRegister { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(BuildCircuitError::CombDrivesRegister { .. })
+        ));
     }
 
     #[test]
@@ -228,14 +245,20 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let w = b.wire("w", 1, 0);
         b.seq("p", &[], &[w], |_| {});
-        assert!(matches!(b.build(), Err(BuildCircuitError::SeqDrivesWire { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(BuildCircuitError::SeqDrivesWire { .. })
+        ));
     }
 
     #[test]
     fn rejects_zero_width() {
         let mut b = CircuitBuilder::new();
         b.wire("w", 0, 0);
-        assert!(matches!(b.build(), Err(BuildCircuitError::InvalidWidth { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(BuildCircuitError::InvalidWidth { .. })
+        ));
     }
 
     #[test]

@@ -80,7 +80,11 @@ fn edge_phase(
         let pid = circuit.seq_order[i];
         let p = &mut circuit.processes[pid.index()];
         if let Behaviour::Seq(f) = &mut p.behaviour {
-            let mut ctx = EdgeCtx { infos: &circuit.signals, current: values, next };
+            let mut ctx = EdgeCtx {
+                infos: &circuit.signals,
+                current: values,
+                next,
+            };
             f(&mut ctx);
             stats.seq_evals += 1;
         }

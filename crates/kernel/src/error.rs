@@ -51,7 +51,11 @@ impl fmt::Display for BuildCircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildCircuitError::CombinationalLoop { processes } => {
-                write!(f, "combinational loop through processes: {}", processes.join(" -> "))
+                write!(
+                    f,
+                    "combinational loop through processes: {}",
+                    processes.join(" -> ")
+                )
             }
             BuildCircuitError::MultipleDrivers { signal, drivers } => {
                 write!(
@@ -70,7 +74,10 @@ impl fmt::Display for BuildCircuitError {
                 write!(f, "sequential process `{process}` drives wire `{signal}`")
             }
             BuildCircuitError::InvalidWidth { signal, width } => {
-                write!(f, "signal `{signal}` has invalid width {width} (expected 1..=64)")
+                write!(
+                    f,
+                    "signal `{signal}` has invalid width {width} (expected 1..=64)"
+                )
             }
         }
     }
@@ -87,7 +94,10 @@ mod tests {
         let err = BuildCircuitError::CombinationalLoop {
             processes: vec!["a".into(), "b".into()],
         };
-        assert_eq!(err.to_string(), "combinational loop through processes: a -> b");
+        assert_eq!(
+            err.to_string(),
+            "combinational loop through processes: a -> b"
+        );
 
         let err = BuildCircuitError::MultipleDrivers {
             signal: "x".into(),
@@ -95,7 +105,10 @@ mod tests {
         };
         assert!(err.to_string().contains("multiple drivers"));
 
-        let err = BuildCircuitError::InvalidWidth { signal: "w".into(), width: 0 };
+        let err = BuildCircuitError::InvalidWidth {
+            signal: "w".into(),
+            width: 0,
+        };
         assert!(err.to_string().contains("invalid width 0"));
     }
 }

@@ -148,7 +148,9 @@ fn vcd_ident(sig: SignalId) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect()
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
 }
 
 #[cfg(test)]

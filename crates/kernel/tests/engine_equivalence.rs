@@ -18,14 +18,16 @@ struct CircuitSpec {
 
 fn spec_strategy() -> impl Strategy<Value = CircuitSpec> {
     (1usize..5, 0usize..8).prop_flat_map(|(n_regs, n_gates)| {
-        let gates = proptest::collection::vec(
-            (0usize..64, 0usize..64, 0u8..4),
-            n_gates..=n_gates,
-        );
+        let gates = proptest::collection::vec((0usize..64, 0usize..64, 0u8..4), n_gates..=n_gates);
         let feedback = proptest::collection::vec((0usize..64, 0u8..4), n_regs..=n_regs);
         let init = proptest::collection::vec(0u64..16, n_regs..=n_regs);
         (Just(n_regs), gates, feedback, init).prop_map(|(n_regs, gates, feedback, init)| {
-            CircuitSpec { n_regs, gates, feedback, init }
+            CircuitSpec {
+                n_regs,
+                gates,
+                feedback,
+                init,
+            }
         })
     })
 }

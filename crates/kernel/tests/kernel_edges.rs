@@ -3,7 +3,11 @@
 use lip_kernel::{CircuitBuilder, CycleEngine, Engine, EventEngine};
 
 /// in -> (xor with register) -> out, with feedback.
-fn xor_loop() -> (lip_kernel::Circuit, lip_kernel::SignalId, lip_kernel::SignalId) {
+fn xor_loop() -> (
+    lip_kernel::Circuit,
+    lip_kernel::SignalId,
+    lip_kernel::SignalId,
+) {
     let mut b = CircuitBuilder::new();
     let input = b.wire("in", 8, 0);
     let state = b.register("state", 8, 0);

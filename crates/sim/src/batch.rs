@@ -1,0 +1,794 @@
+//! Bit-parallel batched skeleton simulation: 64 independent scenarios
+//! per step.
+//!
+//! The skeleton carries one bit of state per signal (validities,
+//! occupancies) plus small counters — which makes it a perfect fit for
+//! SWAR evaluation: a [`BatchSkeleton`] packs the valid/stop state of 64
+//! *independent* scenarios (lanes) into `u64` words, one bit per lane,
+//! and settles all 64 per pass using pure bitwise transfer functions.
+//! Every lane is bit-identical to a scalar
+//! [`SkeletonSystem`](crate::SkeletonSystem) run of the same scenario (a
+//! property test asserts this over the topology corpus).
+//!
+//! Lanes may differ only in their *environment* — source void patterns,
+//! sink stop patterns, or externally driven stall schedules — the
+//! netlist and protocol variant are shared, as is the compiled
+//! [`SettleProgram`] the engine executes. That is exactly the shape of
+//! the paper's experiments: sweep many stall probabilities / schedules
+//! over one topology and measure sustained throughput, or universally
+//! quantify over environments when hunting deadlocks.
+//!
+//! Non-boolean state is bit-sliced: FIFO occupancies live as little-
+//! endian bit-planes with masked ripple-carry increment/decrement, and
+//! per-lane token/firing counters use the same plane representation
+//! ([`LaneCounters`]-style, internal) so counting costs O(1) amortised
+//! word ops per cycle.
+
+use std::sync::Arc;
+
+use lip_core::Pattern;
+use lip_graph::{Netlist, NetlistError, NodeId};
+
+use crate::program::{CompSlot, SettleProgram};
+
+/// Number of scenarios a [`BatchSkeleton`] advances per step.
+pub const LANES: usize = 64;
+
+/// Per-lane unsigned counters stored as little-endian bit-planes.
+///
+/// `planes[b]` holds bit `b` of every lane's count. Incrementing a
+/// subset of lanes is a masked ripple-carry: O(live planes) word ops,
+/// and the carry chain dies out after the first zero plane, so the
+/// amortised cost per increment is ~2 word ops.
+#[derive(Debug, Clone, Default)]
+struct LaneCounters {
+    planes: Vec<u64>,
+}
+
+impl LaneCounters {
+    /// Add 1 to every lane set in `mask`.
+    fn add(&mut self, mask: u64) {
+        let mut carry = mask;
+        let mut b = 0;
+        while carry != 0 {
+            if b == self.planes.len() {
+                self.planes.push(0);
+            }
+            let p = self.planes[b];
+            self.planes[b] = p ^ carry;
+            carry &= p;
+            b += 1;
+        }
+    }
+
+    /// Current count of `lane`.
+    fn get(&self, lane: usize) -> u64 {
+        let mut v = 0u64;
+        for (b, &p) in self.planes.iter().enumerate() {
+            v |= ((p >> lane) & 1) << b;
+        }
+        v
+    }
+}
+
+/// One row of 64 per-lane environment patterns (for a single source or
+/// sink), with a fast path when every lane shares the same pattern.
+#[derive(Debug, Clone)]
+struct PatternRow {
+    lanes: Vec<Pattern>,
+    /// All lanes identical — evaluate once, broadcast.
+    uniform: bool,
+}
+
+impl PatternRow {
+    fn broadcast(p: &Pattern) -> Self {
+        PatternRow {
+            lanes: vec![p.clone(); LANES],
+            uniform: true,
+        }
+    }
+
+    fn set(&mut self, lane: usize, p: Pattern) {
+        self.lanes[lane] = p;
+        self.uniform = false;
+    }
+
+    /// Word with bit `l` set iff lane `l`'s pattern is high at `cycle`.
+    fn word(&self, cycle: u64) -> u64 {
+        if self.uniform {
+            if self.lanes[0].at(cycle) {
+                !0
+            } else {
+                0
+            }
+        } else {
+            let mut w = 0u64;
+            for (l, p) in self.lanes.iter().enumerate() {
+                if p.at(cycle) {
+                    w |= 1 << l;
+                }
+            }
+            w
+        }
+    }
+}
+
+/// Per-lane environment for a [`BatchSkeleton`]: one void pattern per
+/// source per lane, one stop pattern per sink per lane.
+///
+/// Start from [`LanePatterns::broadcast`] (every lane gets the
+/// netlist's own patterns) and specialise individual lanes with
+/// [`set_source`](LanePatterns::set_source) /
+/// [`set_sink`](LanePatterns::set_sink) — the natural shape for a
+/// 64-point parameter sweep.
+#[derive(Debug, Clone)]
+pub struct LanePatterns {
+    src: Vec<PatternRow>,
+    snk: Vec<PatternRow>,
+}
+
+impl LanePatterns {
+    /// Every lane runs the environment compiled into `prog` (the
+    /// netlist's own patterns).
+    #[must_use]
+    pub fn broadcast(prog: &SettleProgram) -> Self {
+        LanePatterns {
+            src: prog.src_pattern.iter().map(PatternRow::broadcast).collect(),
+            snk: prog.snk_pattern.iter().map(PatternRow::broadcast).collect(),
+        }
+    }
+
+    /// Number of sources per lane.
+    #[must_use]
+    pub fn source_count(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Number of sinks per lane.
+    #[must_use]
+    pub fn sink_count(&self) -> usize {
+        self.snk.len()
+    }
+
+    /// Give `lane`'s `source`-th source (in
+    /// [`Netlist::sources`](lip_graph::Netlist::sources) order) the void
+    /// pattern `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` or `lane` is out of range.
+    pub fn set_source(&mut self, source: usize, lane: usize, p: Pattern) {
+        self.src[source].set(lane, p);
+    }
+
+    /// Give `lane`'s `sink`-th sink (in
+    /// [`Netlist::sinks`](lip_graph::Netlist::sinks) order) the stop
+    /// pattern `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` or `lane` is out of range.
+    pub fn set_sink(&mut self, sink: usize, lane: usize, p: Pattern) {
+        self.snk[sink].set(lane, p);
+    }
+
+    /// The void pattern of `lane`'s `source`-th source.
+    #[must_use]
+    pub fn source_pattern(&self, source: usize, lane: usize) -> &Pattern {
+        &self.src[source].lanes[lane]
+    }
+
+    /// The stop pattern of `lane`'s `sink`-th sink.
+    #[must_use]
+    pub fn sink_pattern(&self, sink: usize, lane: usize) -> &Pattern {
+        &self.snk[sink].lanes[lane]
+    }
+}
+
+/// 64 independent skeleton simulations advancing in lock-step, one bit
+/// per lane per signal.
+///
+/// # Example
+///
+/// Sweep is the typical use: run the same netlist under 64 different
+/// environments at once.
+///
+/// ```
+/// use lip_graph::generate;
+/// use lip_sim::{BatchSkeleton, LanePatterns};
+///
+/// # fn main() -> Result<(), lip_graph::NetlistError> {
+/// let fig1 = generate::fig1();
+/// let mut batch = BatchSkeleton::new(&fig1.netlist)?;
+/// let pats = LanePatterns::broadcast(batch.program());
+/// batch.run_patterns(&pats, 500);
+/// // Every lane ran the same environment here, so every lane sees the
+/// // steady-state 4-of-5 throughput.
+/// let (valid, voids) = batch.sink_counts_lane(fig1.sink, 17).expect("sink");
+/// assert!(valid > 390 && valid + voids == 500);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchSkeleton {
+    prog: Arc<SettleProgram>,
+    /// Settled valid bits per channel (bit = lane).
+    fwd: Vec<u64>,
+    /// Settled stop bits per channel.
+    stop: Vec<u64>,
+    /// Validity currently offered by each source.
+    src_valid: Vec<u64>,
+    /// Output-register validity, flat by the program's shell CSR.
+    shell_out: Vec<u64>,
+    /// Input-buffer occupancy, flat by the program's shell CSR.
+    in_buf: Vec<u64>,
+    /// Per shell: fire condition of the last settle.
+    fire: Vec<u64>,
+    /// Per shell: per-lane firing counters.
+    fires: Vec<LaneCounters>,
+    /// Full relay register validities.
+    full_main: Vec<u64>,
+    full_aux: Vec<u64>,
+    /// Half relay occupancy.
+    half_occ: Vec<u64>,
+    /// FIFO occupancies, bit-sliced: FIFO `i` owns planes
+    /// `fifo_planes[fifo_off[i]..fifo_off[i + 1]]` (little-endian).
+    fifo_off: Vec<u32>,
+    fifo_planes: Vec<u64>,
+    /// Per sink: per-lane informative / void token counters.
+    snk_valid: Vec<LaneCounters>,
+    snk_voids: Vec<LaneCounters>,
+    /// Lanes in which any shell fired since the last
+    /// [`reset_fired_mask`](Self::reset_fired_mask).
+    fired: u64,
+    cycle: u64,
+}
+
+impl BatchSkeleton {
+    /// Validate `netlist`, compile its settle program and reset all 64
+    /// lanes to the netlist's own initial state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`NetlistError`] from [`Netlist::validate`].
+    pub fn new(netlist: &Netlist) -> Result<Self, NetlistError> {
+        Ok(Self::from_program(Arc::new(SettleProgram::compile(
+            netlist,
+        )?)))
+    }
+
+    /// All 64 lanes reset under the program's own environment patterns
+    /// (each source initially offers `!pattern.at(0)`, broadcast).
+    #[must_use]
+    pub fn from_program(prog: Arc<SettleProgram>) -> Self {
+        let src_valid = prog
+            .src_pattern
+            .iter()
+            .map(|p| if p.at(0) { 0 } else { !0 })
+            .collect();
+        Self::with_initial(prog, src_valid)
+    }
+
+    /// Lanes reset under *per-lane* environments: each source initially
+    /// offers `!pats.source_pattern(i, lane).at(0)` in its lane — the
+    /// batched equivalent of building 64 netlists with different
+    /// patterns and constructing a scalar skeleton for each.
+    #[must_use]
+    pub fn from_patterns(prog: Arc<SettleProgram>, pats: &LanePatterns) -> Self {
+        let src_valid = (0..prog.src_pattern.len())
+            .map(|i| {
+                let mut w = 0u64;
+                for lane in 0..LANES {
+                    if !pats.source_pattern(i, lane).at(0) {
+                        w |= 1 << lane;
+                    }
+                }
+                w
+            })
+            .collect();
+        Self::with_initial(prog, src_valid)
+    }
+
+    fn with_initial(prog: Arc<SettleProgram>, src_valid: Vec<u64>) -> Self {
+        let mut fifo_off = vec![0u32];
+        for &cap in &prog.fifo_cap {
+            let bits = 64 - u64::from(cap).leading_zeros();
+            fifo_off.push(fifo_off.last().unwrap() + bits.max(1));
+        }
+        BatchSkeleton {
+            fwd: vec![0; prog.n_channels],
+            stop: vec![0; prog.n_channels],
+            src_valid,
+            shell_out: vec![!0; prog.shell_out_ch.len()],
+            in_buf: vec![0; prog.shell_in_ch.len()],
+            fire: vec![0; prog.shell_buffered.len()],
+            fires: vec![LaneCounters::default(); prog.shell_buffered.len()],
+            full_main: vec![0; prog.full_in_ch.len()],
+            full_aux: vec![0; prog.full_in_ch.len()],
+            half_occ: vec![0; prog.half_in_ch.len()],
+            fifo_planes: vec![0; *fifo_off.last().unwrap() as usize],
+            fifo_off,
+            snk_valid: vec![LaneCounters::default(); prog.snk_in_ch.len()],
+            snk_voids: vec![LaneCounters::default(); prog.snk_in_ch.len()],
+            fired: 0,
+            cycle: 0,
+            prog,
+        }
+    }
+
+    /// The compiled settle program all lanes execute.
+    #[must_use]
+    pub fn program(&self) -> &Arc<SettleProgram> {
+        &self.prog
+    }
+
+    /// Cycles executed so far (identical across lanes).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Settle all 64 lanes' valid/stop bits against this cycle's sink
+    /// stop words (`sink_stop[j]` bit `l` = lane `l`'s stop on sink
+    /// `j`).
+    fn settle(&mut self, sink_stop: &[u64]) {
+        let Self {
+            prog,
+            fwd,
+            stop,
+            src_valid,
+            shell_out,
+            in_buf,
+            fire,
+            full_main,
+            full_aux,
+            half_occ,
+            fifo_off,
+            fifo_planes,
+            ..
+        } = self;
+        let p: &SettleProgram = prog;
+
+        // Forward pass 1: registered producers, any order.
+        for (i, &ch) in p.src_out_ch.iter().enumerate() {
+            fwd[ch as usize] = src_valid[i];
+        }
+        for (k, &ch) in p.shell_out_ch.iter().enumerate() {
+            fwd[ch as usize] = shell_out[k];
+        }
+        for (i, &ch) in p.full_out_ch.iter().enumerate() {
+            fwd[ch as usize] = full_main[i];
+        }
+        for (i, &ch) in p.fifo_out_ch.iter().enumerate() {
+            let planes = &fifo_planes[fifo_off[i] as usize..fifo_off[i + 1] as usize];
+            fwd[ch as usize] = planes.iter().fold(0u64, |acc, &w| acc | w);
+        }
+        // Forward pass 2: half-relay chains, upstream first.
+        for &h in &p.fwd_half_order {
+            let h = h as usize;
+            fwd[p.half_out_ch[h] as usize] = half_occ[h] | fwd[p.half_in_ch[h] as usize];
+        }
+
+        // Backward pass 1: registered stops, any order.
+        for (j, &ch) in p.snk_in_ch.iter().enumerate() {
+            stop[ch as usize] = sink_stop[j];
+        }
+        for (i, &ch) in p.full_in_ch.iter().enumerate() {
+            stop[ch as usize] = full_aux[i];
+        }
+        for (h, &ch) in p.half_in_ch.iter().enumerate() {
+            stop[ch as usize] = half_occ[h];
+        }
+        for (i, &ch) in p.fifo_in_ch.iter().enumerate() {
+            stop[ch as usize] = fifo_full(p, fifo_off, fifo_planes, i);
+        }
+        for &s in &p.buffered_shells {
+            for k in p.shell_in_range(s as usize) {
+                stop[p.shell_in_ch[k] as usize] = in_buf[k];
+            }
+        }
+        // Backward pass 2: unbuffered shells, downstream first.
+        for &s in &p.bwd_shell_order {
+            let s = s as usize;
+            let f = shell_fire_word(p, fwd, stop, shell_out, in_buf, s);
+            fire[s] = f;
+            for k in p.shell_in_range(s) {
+                let ch = p.shell_in_ch[k] as usize;
+                stop[ch] = !f & if p.discards { fwd[ch] } else { !0 };
+            }
+        }
+        // Pass 3: buffered shells fire once every stop has settled.
+        for &s in &p.buffered_shells {
+            let s = s as usize;
+            fire[s] = shell_fire_word(p, fwd, stop, shell_out, in_buf, s);
+        }
+    }
+
+    /// Settle and clock one cycle with the environment driven by masks:
+    /// `sink_stop[j]` is sink `j`'s stop word for this cycle and
+    /// `source_next[i]` the validity word of source `i`'s next offer (a
+    /// held token stays held, per lane). Bit `l` of each word belongs to
+    /// lane `l`; indices follow
+    /// [`Netlist::sources`](lip_graph::Netlist::sources) /
+    /// [`Netlist::sinks`](lip_graph::Netlist::sinks) order.
+    ///
+    /// Lane `l` of this call is bit-identical to
+    /// [`SkeletonSystem::step_with`](crate::SkeletonSystem::step_with)
+    /// invoked with bit `l` of every word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the source/sink counts.
+    pub fn step_with_masks(&mut self, source_next: &[u64], sink_stop: &[u64]) {
+        assert_eq!(
+            source_next.len(),
+            self.prog.source_count(),
+            "source mask arity"
+        );
+        assert_eq!(sink_stop.len(), self.prog.sink_count(), "sink mask arity");
+        self.settle(sink_stop);
+        let Self {
+            prog,
+            fwd,
+            stop,
+            src_valid,
+            shell_out,
+            in_buf,
+            fire,
+            fires,
+            full_main,
+            full_aux,
+            half_occ,
+            fifo_off,
+            fifo_planes,
+            snk_valid,
+            snk_voids,
+            fired,
+            cycle,
+            ..
+        } = self;
+        let p: &SettleProgram = prog;
+
+        // Sources: a stopped valid offer is held; everyone else loads
+        // the next offer.
+        for i in 0..src_valid.len() {
+            let held = src_valid[i] & stop[p.src_out_ch[i] as usize];
+            src_valid[i] = held | (source_next[i] & !held);
+        }
+        // Sinks: lanes not stopping consume; count informative vs void.
+        for j in 0..snk_valid.len() {
+            let consumed = !sink_stop[j];
+            let v = fwd[p.snk_in_ch[j] as usize];
+            snk_valid[j].add(consumed & v);
+            snk_voids[j].add(consumed & !v);
+        }
+        // Shells: firing lanes revalidate every output register and
+        // drain buffers; stalled lanes latch arrivals and deassert
+        // unheld outputs.
+        for s in 0..p.shell_buffered.len() {
+            let f = fire[s];
+            *fired |= f;
+            fires[s].add(f);
+            if p.shell_buffered[s] {
+                for k in p.shell_in_range(s) {
+                    in_buf[k] = !f & (in_buf[k] | fwd[p.shell_in_ch[k] as usize]);
+                }
+            }
+            for k in p.shell_out_range(s) {
+                shell_out[k] = f | (shell_out[k] & stop[p.shell_out_ch[k] as usize]);
+            }
+        }
+        // Full relays: two registers, aux absorbs one token under stop.
+        for i in 0..full_main.len() {
+            let input = fwd[p.full_in_ch[i] as usize];
+            let stopped = stop[p.full_out_ch[i] as usize];
+            let main = full_main[i];
+            let aux = full_aux[i];
+            let released = main & !stopped;
+            full_main[i] = aux | (main & !released) | (input & (!main | released));
+            full_aux[i] = !released & (aux | (main & input));
+        }
+        // Half relays: occupied while stopped.
+        for h in 0..half_occ.len() {
+            let input = fwd[p.half_in_ch[h] as usize];
+            let stopped = stop[p.half_out_ch[h] as usize];
+            half_occ[h] = stopped & (half_occ[h] | input);
+        }
+        // FIFOs: masked ripple-carry decrement (drain) then increment
+        // (accept); a full FIFO refuses the arrival.
+        for i in 0..fifo_off.len() - 1 {
+            let input = fwd[p.fifo_in_ch[i] as usize];
+            let stopped = stop[p.fifo_out_ch[i] as usize];
+            let planes = &mut fifo_planes[fifo_off[i] as usize..fifo_off[i + 1] as usize];
+            let mut nonzero = 0u64;
+            for &pl in planes.iter() {
+                nonzero |= pl;
+            }
+            let was_full = {
+                let cap = u64::from(p.fifo_cap[i]);
+                let mut eq = !0u64;
+                for (b, &pl) in planes.iter().enumerate() {
+                    let cap_bit = if (cap >> b) & 1 == 1 { !0 } else { 0 };
+                    eq &= !(pl ^ cap_bit);
+                }
+                eq
+            };
+            let mut borrow = !stopped & nonzero;
+            for pl in planes.iter_mut() {
+                let next = *pl ^ borrow;
+                borrow &= !*pl;
+                *pl = next;
+            }
+            let mut carry = !was_full & input;
+            for pl in planes.iter_mut() {
+                let next = *pl ^ carry;
+                carry &= *pl;
+                *pl = next;
+            }
+        }
+        *cycle += 1;
+    }
+
+    /// Settle and clock one cycle with each lane's environment drawn
+    /// from `pats` — lane `l` is bit-identical to a scalar
+    /// [`SkeletonSystem::step`](crate::SkeletonSystem::step) under lane
+    /// `l`'s patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pats` arity does not match the netlist.
+    pub fn step_patterns(&mut self, pats: &LanePatterns) {
+        let cycle = self.cycle;
+        let sink_stop: Vec<u64> = pats.snk.iter().map(|row| row.word(cycle)).collect();
+        let source_next: Vec<u64> = pats.src.iter().map(|row| !row.word(cycle + 1)).collect();
+        self.step_with_masks(&source_next, &sink_stop);
+    }
+
+    /// Run `n` cycles under `pats`.
+    pub fn run_patterns(&mut self, pats: &LanePatterns, n: u64) {
+        for _ in 0..n {
+            self.step_patterns(pats);
+        }
+    }
+
+    /// Settled valid word of channel `ch` (bit = lane). Reflects the
+    /// last settle; call after a step.
+    #[must_use]
+    pub fn channel_valid(&self, ch: usize) -> u64 {
+        self.fwd[ch]
+    }
+
+    /// Settled stop word of channel `ch` (bit = lane).
+    #[must_use]
+    pub fn channel_stop(&self, ch: usize) -> u64 {
+        self.stop[ch]
+    }
+
+    /// Lanes in which at least one shell fired since the last
+    /// [`reset_fired_mask`](Self::reset_fired_mask) — the batched wedge
+    /// probe: a lane still clear after a deep run has made no progress
+    /// anywhere in the system.
+    #[must_use]
+    pub fn fired_mask(&self) -> u64 {
+        self.fired
+    }
+
+    /// Clear the fired mask (start a new progress observation window).
+    pub fn reset_fired_mask(&mut self) {
+        self.fired = 0;
+    }
+
+    /// `(valid, voids)` consumed so far by the sink at `node` in `lane`.
+    #[must_use]
+    pub fn sink_counts_lane(&self, node: NodeId, lane: usize) -> Option<(u64, u64)> {
+        match self.prog.comp_slots[node.index()] {
+            CompSlot::Sink(j) => Some((
+                self.snk_valid[j as usize].get(lane),
+                self.snk_voids[j as usize].get(lane),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Firings so far of the shell at `node` in `lane`.
+    #[must_use]
+    pub fn shell_fires_lane(&self, node: NodeId, lane: usize) -> Option<u64> {
+        match self.prog.comp_slots[node.index()] {
+            CompSlot::Shell(s) => Some(self.fires[s as usize].get(lane)),
+            _ => None,
+        }
+    }
+
+    /// Total shell firings so far in `lane`, summed over all shells.
+    #[must_use]
+    pub fn total_fires_lane(&self, lane: usize) -> u64 {
+        self.fires.iter().map(|c| c.get(lane)).sum()
+    }
+
+    /// Lane `lane`'s component control state, in exactly the format of
+    /// [`SkeletonSystem::component_state`](crate::SkeletonSystem::component_state)
+    /// — the explorer's state key.
+    #[must_use]
+    pub fn lane_component_state(&self, lane: usize) -> Vec<u64> {
+        let p = &*self.prog;
+        let bit = |w: u64| (w >> lane) & 1;
+        let mut out = Vec::with_capacity(p.comp_slots.len());
+        for slot in &p.comp_slots {
+            match *slot {
+                CompSlot::Source(i) => out.push(bit(self.src_valid[i as usize])),
+                CompSlot::Sink(_) => {}
+                CompSlot::Shell(s) => {
+                    let s = s as usize;
+                    let mut bits = 0u64;
+                    let mut j = 0;
+                    for k in p.shell_out_range(s) {
+                        bits |= bit(self.shell_out[k]) << (j % 64);
+                        j += 1;
+                    }
+                    if p.shell_buffered[s] {
+                        for k in p.shell_in_range(s) {
+                            bits |= bit(self.in_buf[k]) << (j % 64);
+                            j += 1;
+                        }
+                    }
+                    out.push(bits);
+                }
+                CompSlot::Full(i) => {
+                    let i = i as usize;
+                    out.push(bit(self.full_main[i]) + 2 * bit(self.full_aux[i]));
+                }
+                CompSlot::Half(h) => out.push(bit(self.half_occ[h as usize])),
+                CompSlot::Fifo(i) => {
+                    let i = i as usize;
+                    let mut v = 0u64;
+                    for (b, plane) in (self.fifo_off[i]..self.fifo_off[i + 1]).enumerate() {
+                        v |= bit(self.fifo_planes[plane as usize]) << b;
+                    }
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Word-wide fire condition of shell `s` (see the scalar
+/// `shell_fire` in `skeleton.rs`): lanes where every input is available
+/// and no output port is blocked.
+#[inline]
+fn shell_fire_word(
+    p: &SettleProgram,
+    fwd: &[u64],
+    stop: &[u64],
+    shell_out: &[u64],
+    in_buf: &[u64],
+    s: usize,
+) -> u64 {
+    let buffered = p.shell_buffered[s];
+    let mut all_valid = !0u64;
+    for k in p.shell_in_range(s) {
+        let v = fwd[p.shell_in_ch[k] as usize];
+        all_valid &= if buffered { in_buf[k] | v } else { v };
+    }
+    let mut blocked = 0u64;
+    for k in p.shell_out_range(s) {
+        let stp = stop[p.shell_out_ch[k] as usize];
+        blocked |= stp & if p.discards { shell_out[k] } else { !0 };
+    }
+    all_valid & !blocked
+}
+
+/// Lanes where FIFO `i` is at capacity: bit-plane equality against the
+/// capacity's binary encoding.
+#[inline]
+fn fifo_full(p: &SettleProgram, fifo_off: &[u32], fifo_planes: &[u64], i: usize) -> u64 {
+    let cap = u64::from(p.fifo_cap[i]);
+    let mut eq = !0u64;
+    for (b, plane) in (fifo_off[i]..fifo_off[i + 1]).enumerate() {
+        let cap_bit = if (cap >> b) & 1 == 1 { !0 } else { 0 };
+        eq &= !(fifo_planes[plane as usize] ^ cap_bit);
+    }
+    eq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SkeletonSystem;
+    use lip_core::RelayKind;
+    use lip_graph::generate;
+
+    #[test]
+    fn lane_counters_count() {
+        let mut c = LaneCounters::default();
+        for i in 0..137u64 {
+            // Lane 0 every time, lane 3 on even rounds, lane 63 never.
+            let mask = 1 | (u64::from(i % 2 == 0) << 3);
+            c.add(mask);
+        }
+        assert_eq!(c.get(0), 137);
+        assert_eq!(c.get(3), 69);
+        assert_eq!(c.get(63), 0);
+    }
+
+    #[test]
+    fn broadcast_lanes_match_scalar_run_on_fig1() {
+        let f = generate::fig1();
+        let mut batch = BatchSkeleton::new(&f.netlist).unwrap();
+        let pats = LanePatterns::broadcast(batch.program());
+        let mut scalar = SkeletonSystem::new(&f.netlist).unwrap();
+        for _ in 0..200 {
+            batch.step_patterns(&pats);
+            scalar.step();
+        }
+        let scalar_state = scalar.component_state();
+        for lane in [0, 1, 31, 63] {
+            assert_eq!(
+                batch.lane_component_state(lane),
+                scalar_state,
+                "lane {lane}"
+            );
+            assert_eq!(
+                batch.sink_counts_lane(f.sink, lane),
+                scalar.sink_counts(f.sink),
+                "lane {lane}"
+            );
+            assert_eq!(batch.total_fires_lane(lane), scalar.total_fires());
+        }
+    }
+
+    #[test]
+    fn fifo_bitslice_matches_scalar_on_fifo_ring() {
+        let r = generate::ring(2, 2, RelayKind::Fifo(3));
+        let mut batch = BatchSkeleton::new(&r.netlist).unwrap();
+        let pats = LanePatterns::broadcast(batch.program());
+        let mut scalar = SkeletonSystem::new(&r.netlist).unwrap();
+        for _ in 0..100 {
+            batch.step_patterns(&pats);
+            scalar.step();
+        }
+        let scalar_state = scalar.component_state();
+        for lane in [0, 42, 63] {
+            assert_eq!(
+                batch.lane_component_state(lane),
+                scalar_state,
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn fired_mask_tracks_progress() {
+        let f = generate::fig1();
+        let mut batch = BatchSkeleton::new(&f.netlist).unwrap();
+        let pats = LanePatterns::broadcast(batch.program());
+        assert_eq!(batch.fired_mask(), 0);
+        batch.run_patterns(&pats, 20);
+        assert_eq!(batch.fired_mask(), !0, "all lanes progress on fig1");
+        batch.reset_fired_mask();
+        assert_eq!(batch.fired_mask(), 0);
+    }
+
+    #[test]
+    fn per_lane_patterns_diverge() {
+        use lip_core::Pattern;
+        let f = generate::fig1();
+        let mut batch = BatchSkeleton::new(&f.netlist).unwrap();
+        let mut pats = LanePatterns::broadcast(batch.program());
+        // Lane 7's sink stops every other cycle; lane 0 never stops.
+        pats.set_sink(
+            0,
+            7,
+            Pattern::EveryNth {
+                period: 2,
+                phase: 0,
+            },
+        );
+        batch.run_patterns(&pats, 400);
+        let (v0, n0) = batch.sink_counts_lane(f.sink, 0).unwrap();
+        let (v7, n7) = batch.sink_counts_lane(f.sink, 7).unwrap();
+        assert_eq!(v0 + n0, 400);
+        assert!(v7 + n7 <= 200, "stopped lane consumes at most half");
+        assert!(v0 > v7, "throttled sink sees fewer tokens");
+    }
+}

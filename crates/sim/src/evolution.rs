@@ -78,7 +78,10 @@ impl Evolution {
                     .collect();
                 outputs.push((tokens, stops));
             }
-            rows.push(EvolutionRow { cycle: sys.cycle(), outputs });
+            rows.push(EvolutionRow {
+                cycle: sys.cycle(),
+                outputs,
+            });
             sys.step();
         }
         Ok(Evolution { names, rows })
@@ -136,7 +139,10 @@ impl fmt::Display for Evolution {
             }
             writeln!(f)?;
         }
-        writeln!(f, "(voids print as `n`; a trailing `*` marks a stopped channel)")
+        writeln!(
+            f,
+            "(voids print as `n`; a trailing `*` marks a stopped channel)"
+        )
     }
 }
 

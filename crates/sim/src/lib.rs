@@ -35,13 +35,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod evolution;
 pub mod measure;
+pub mod program;
 pub mod rtl;
 mod skeleton;
 mod system;
 
+pub use batch::{BatchSkeleton, LanePatterns, LANES};
 pub use evolution::Evolution;
-pub use measure::{measure, measure_activity, LivenessReport, Measurement, Periodicity, Ratio, ShellActivity};
+pub use measure::{
+    measure, measure_activity, measure_batch, BatchMeasurement, LivenessReport, Measurement,
+    Periodicity, Ratio, ShellActivity,
+};
+pub use program::SettleProgram;
 pub use skeleton::SkeletonSystem;
 pub use system::System;

@@ -9,9 +9,12 @@
 //! asserted without floating-point tolerance.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use lip_graph::{Netlist, NetlistError, NodeId};
 
+use crate::batch::{BatchSkeleton, LanePatterns, LANES};
+use crate::program::SettleProgram;
 use crate::system::System;
 
 /// An exact non-negative rational (e.g. a throughput of `4/5`).
@@ -31,7 +34,10 @@ impl Ratio {
     pub fn new(num: u64, den: u64) -> Self {
         assert!(den != 0, "ratio denominator must be non-zero");
         let g = gcd(num, den).max(1);
-        Ratio { num: num / g, den: den / g }
+        Ratio {
+            num: num / g,
+            den: den / g,
+        }
     }
 
     /// Reduced numerator.
@@ -94,7 +100,10 @@ pub fn find_periodicity(sys: &mut System, max_cycles: u64) -> Option<Periodicity
         let hash = sys.control_hash()?;
         match seen.get(&hash) {
             Some((first, prev_state)) if *prev_state == state => {
-                return Some(Periodicity { transient: *first, period: sys.cycle() - first });
+                return Some(Periodicity {
+                    transient: *first,
+                    period: sys.cycle() - first,
+                });
             }
             Some(_) => { /* hash collision with different state: continue */ }
             None => {
@@ -135,10 +144,7 @@ impl Measurement {
         self.sinks
             .iter()
             .map(|s| s.throughput)
-            .min_by(|a, b| {
-                (a.num() * b.den())
-                    .cmp(&(b.num() * a.den()))
-            })
+            .min_by(|a, b| (a.num() * b.den()).cmp(&(b.num() * a.den())))
     }
 }
 
@@ -155,7 +161,11 @@ pub struct MeasureOptions {
 
 impl Default for MeasureOptions {
     fn default() -> Self {
-        MeasureOptions { max_transient: 10_000, measure_periods: 4, fallback_cycles: 10_000 }
+        MeasureOptions {
+            max_transient: 10_000,
+            measure_periods: 4,
+            fallback_cycles: 10_000,
+        }
     }
 }
 
@@ -190,9 +200,16 @@ pub fn measure_with(netlist: &Netlist, opts: MeasureOptions) -> Result<Measureme
     let mut out = Vec::with_capacity(sinks.len());
     for (i, s) in sinks.iter().enumerate() {
         let after = sys.sink(*s).expect("sink").received().len() as u64;
-        out.push(SinkThroughput { sink: *s, throughput: Ratio::new(after - before[i], window) });
+        out.push(SinkThroughput {
+            sink: *s,
+            throughput: Ratio::new(after - before[i], window),
+        });
     }
-    Ok(Measurement { periodicity, sinks: out, cycles: sys.cycle() })
+    Ok(Measurement {
+        periodicity,
+        sinks: out,
+        cycles: sys.cycle(),
+    })
 }
 
 /// Steady-state activity of one shell: the fraction of cycles its pearl
@@ -232,9 +249,83 @@ pub fn measure_activity(netlist: &Netlist) -> Result<Vec<ShellActivity>, Netlist
         .enumerate()
         .map(|(i, s)| {
             let fires = sys.shell_stats(*s).expect("shell").fires - before[i];
-            ShellActivity { shell: *s, utilisation: Ratio::new(fires, window) }
+            ShellActivity {
+                shell: *s,
+                utilisation: Ratio::new(fires, window),
+            }
         })
         .collect())
+}
+
+/// Result of a 64-lane batched throughput sweep ([`measure_batch`]).
+///
+/// Lane `l` holds the outcome of simulating the netlist under lane `l`'s
+/// environment patterns for the full cycle window.
+#[derive(Debug, Clone)]
+pub struct BatchMeasurement {
+    /// Sinks measured, in [`Netlist::sinks`] order.
+    pub sinks: Vec<NodeId>,
+    /// `counts[sink][lane] = (informative, voids)` consumed.
+    pub counts: Vec<Vec<(u64, u64)>>,
+    /// Cycles simulated (identical across lanes).
+    pub cycles: u64,
+}
+
+impl BatchMeasurement {
+    /// Measured throughput of sink `sink` (index into
+    /// [`sinks`](Self::sinks)) in `lane`: informative tokens per cycle
+    /// over the whole window.
+    #[must_use]
+    pub fn throughput(&self, sink: usize, lane: usize) -> Ratio {
+        Ratio::new(self.counts[sink][lane].0, self.cycles)
+    }
+
+    /// Minimum sink throughput of `lane` — the lane's system throughput.
+    #[must_use]
+    pub fn system_throughput(&self, lane: usize) -> Option<Ratio> {
+        (0..self.sinks.len())
+            .map(|s| self.throughput(s, lane))
+            .min_by(|a, b| (a.num() * b.den()).cmp(&(b.num() * a.den())))
+    }
+}
+
+/// Measure 64 environment scenarios of `netlist` in one pass: lane `l`
+/// simulates the netlist under `pats`' lane-`l` patterns for `cycles`
+/// cycles on the bit-parallel [`BatchSkeleton`], and every sink's token
+/// counts are read back per lane.
+///
+/// This is the batched replacement for running [`measure`] (or a scalar
+/// skeleton) 64 times in a throughput sweep; counts are bit-identical
+/// to 64 scalar runs. Unlike [`measure`] there is no periodicity
+/// detection — pick `cycles` comfortably past the transient (e.g. via
+/// [`lip_graph::topology::longest_latency`]) so the window average
+/// converges on the steady-state rate.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+pub fn measure_batch(
+    netlist: &Netlist,
+    pats: &LanePatterns,
+    cycles: u64,
+) -> Result<BatchMeasurement, NetlistError> {
+    let prog = Arc::new(SettleProgram::compile(netlist)?);
+    let mut batch = BatchSkeleton::from_patterns(prog, pats);
+    batch.run_patterns(pats, cycles);
+    let sinks = netlist.sinks();
+    let counts = sinks
+        .iter()
+        .map(|&s| {
+            (0..LANES)
+                .map(|lane| batch.sink_counts_lane(s, lane).expect("sink"))
+                .collect()
+        })
+        .collect();
+    Ok(BatchMeasurement {
+        sinks,
+        counts,
+        cycles,
+    })
 }
 
 /// Liveness verdict from skeleton-style simulation to the periodic
@@ -266,7 +357,11 @@ impl LivenessReport {
 /// Propagates [`NetlistError`] from elaboration. Returns an empty
 /// periodicity (and judges over `fallback` cycles) for aperiodic
 /// environments.
-pub fn check_liveness(netlist: &Netlist, max_transient: u64, fallback: u64) -> Result<LivenessReport, NetlistError> {
+pub fn check_liveness(
+    netlist: &Netlist,
+    max_transient: u64,
+    fallback: u64,
+) -> Result<LivenessReport, NetlistError> {
     let mut sys = System::new(netlist)?;
     let periodicity = find_periodicity(&mut sys, max_transient);
     let window = periodicity.map_or(fallback, |p| p.period);
@@ -282,7 +377,10 @@ pub fn check_liveness(netlist: &Netlist, max_transient: u64, fallback: u64) -> R
         .filter(|(i, s)| sys.shell_stats(**s).expect("shell").fires == before[*i])
         .map(|(_, s)| *s)
         .collect();
-    Ok(LivenessReport { dead_shells, periodicity })
+    Ok(LivenessReport {
+        dead_shells,
+        periodicity,
+    })
 }
 
 #[cfg(test)]
@@ -355,7 +453,14 @@ mod tests {
     #[test]
     fn periodicity_none_for_aperiodic_environment() {
         let mut n = Netlist::new();
-        let src = n.add_source_with_pattern("in", Pattern::Random { num: 1, denom: 2, seed: 1 });
+        let src = n.add_source_with_pattern(
+            "in",
+            Pattern::Random {
+                num: 1,
+                denom: 2,
+                seed: 1,
+            },
+        );
         let sink = n.add_sink("out");
         n.connect(src, 0, sink, 0).unwrap();
         let mut sys = System::new(&n).unwrap();
@@ -363,7 +468,11 @@ mod tests {
         // measure still works via the fallback window.
         let m = measure_with(
             &n,
-            MeasureOptions { max_transient: 50, measure_periods: 1, fallback_cycles: 2000 },
+            MeasureOptions {
+                max_transient: 50,
+                measure_periods: 1,
+                fallback_cycles: 2000,
+            },
         )
         .unwrap();
         let t = m.system_throughput().unwrap().to_f64();
@@ -395,6 +504,40 @@ mod tests {
             let gated = 1.0 - a.utilisation.to_f64();
             assert!((gated - 0.2).abs() < 1e-12, "gated {gated}");
         }
+    }
+
+    #[test]
+    fn batch_sweep_matches_scalar_measure_on_fig1() {
+        let f = generate::fig1();
+        let prog = SettleProgram::compile(&f.netlist).unwrap();
+        let mut pats = LanePatterns::broadcast(&prog);
+        // Lane l's sink stops l cycles out of every 64 (lane 0 free-runs).
+        for lane in 1..LANES {
+            pats.set_sink(
+                0,
+                lane,
+                Pattern::Cyclic((0..64).map(|c| c < lane).collect()),
+            );
+        }
+        let m = measure_batch(&f.netlist, &pats, 6400).unwrap();
+        // Lane 0 is the plain fig1 environment: identical counts to a
+        // scalar skeleton run, and within one transient token of 4/5.
+        let mut sk = crate::SkeletonSystem::new(&f.netlist).unwrap();
+        sk.run(6400);
+        assert_eq!(m.counts[0][0], sk.sink_counts(f.sink).unwrap());
+        assert!((m.throughput(0, 0).to_f64() - 0.8).abs() < 1e-3);
+        // Heavier stalling never increases throughput.
+        let t: Vec<f64> = (0..LANES).map(|l| m.throughput(0, l).to_f64()).collect();
+        for l in 1..LANES {
+            assert!(
+                t[l] <= t[l - 1] + 1e-12,
+                "lane {l}: {} > {}",
+                t[l],
+                t[l - 1]
+            );
+        }
+        // A sink stopped 32/64 of the time consumes at most half.
+        assert!(t[32] <= 0.5 + 1e-12);
     }
 
     #[test]

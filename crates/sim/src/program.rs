@@ -1,0 +1,460 @@
+//! Compiled settle programs: a netlist elaborated once into flat,
+//! structure-of-arrays op lists.
+//!
+//! The skeleton engines spend essentially all their time in the per-cycle
+//! settle/clock loop. Walking a `Vec<enum>` component list there costs an
+//! unpredictable branch per component per pass. A [`SettleProgram`]
+//! removes that: compilation groups every component by kind into parallel
+//! index arrays (source → output channel, relay → in/out channel pair,
+//! shell → CSR ranges over flat channel lists) and precomputes the two
+//! topological orders the settle phases need — half-relay chains for the
+//! forward (valid) pass and simple-shell stop propagation for the
+//! backward (stop) pass. The per-cycle loop then becomes a handful of
+//! tight homogeneous loops over integer arrays, with no enum dispatch.
+//!
+//! Both the scalar [`SkeletonSystem`](crate::SkeletonSystem) and the
+//! 64-lane [`BatchSkeleton`](crate::BatchSkeleton) execute the same
+//! program; the program is immutable after compilation and shared via
+//! `Arc`, so cloning a simulator (the explorer does this per transition)
+//! copies only the mutable state vectors.
+
+use std::collections::VecDeque;
+
+use lip_core::{Pattern, ProtocolVariant, RelayKind};
+use lip_graph::{Netlist, NetlistError, NodeKind};
+
+/// Which compiled table a netlist node landed in, and its row there.
+///
+/// Kept in node-id order so engines can rebuild observation vectors
+/// (`control_state`, `component_state`) in exactly the order the full
+/// [`System`](crate::System) produces them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompSlot {
+    /// Row in the source tables.
+    Source(u32),
+    /// Row in the sink tables.
+    Sink(u32),
+    /// Row in the shell tables (buffered or not).
+    Shell(u32),
+    /// Row in the full-relay tables.
+    Full(u32),
+    /// Row in the half-relay tables.
+    Half(u32),
+    /// Row in the FIFO-relay tables.
+    Fifo(u32),
+}
+
+/// A netlist compiled to flat per-kind op lists (see the module docs).
+///
+/// All indices are `u32`: channel ids in `*_ch` arrays, table rows in
+/// order vectors. Shell geometry is CSR: shell `s` owns input channels
+/// `shell_in_ch[shell_in_off[s]..shell_in_off[s+1]]` and output channels
+/// `shell_out_ch[shell_out_off[s]..shell_out_off[s+1]]`; flat per-port
+/// state (output validity, input buffers) uses the same offsets.
+#[derive(Debug)]
+pub struct SettleProgram {
+    /// Number of channels in the netlist.
+    pub(crate) n_channels: usize,
+    /// Protocol variant the netlist was built for.
+    pub(crate) variant: ProtocolVariant,
+    /// Cached `variant.discards_stop_on_void()`.
+    pub(crate) discards: bool,
+    /// LCM of all environment pattern periods (`None` if any aperiodic).
+    pub(crate) env_period: Option<u64>,
+    /// Per netlist node: kind table + row, in node-id order.
+    pub(crate) comp_slots: Vec<CompSlot>,
+
+    // Sources.
+    /// Source row → its single output channel.
+    pub(crate) src_out_ch: Vec<u32>,
+    /// Source row → its void pattern.
+    pub(crate) src_pattern: Vec<Pattern>,
+
+    // Sinks.
+    /// Sink row → its single input channel.
+    pub(crate) snk_in_ch: Vec<u32>,
+    /// Sink row → its stop pattern.
+    pub(crate) snk_pattern: Vec<Pattern>,
+
+    // Relay stations.
+    /// Full-relay row → input channel.
+    pub(crate) full_in_ch: Vec<u32>,
+    /// Full-relay row → output channel.
+    pub(crate) full_out_ch: Vec<u32>,
+    /// Half-relay row → input channel.
+    pub(crate) half_in_ch: Vec<u32>,
+    /// Half-relay row → output channel.
+    pub(crate) half_out_ch: Vec<u32>,
+    /// Half-relay rows in forward-pass order: a half relay combinationally
+    /// forwards its input validity, so chains of them must settle
+    /// upstream-first.
+    pub(crate) fwd_half_order: Vec<u32>,
+    /// FIFO-relay row → input channel.
+    pub(crate) fifo_in_ch: Vec<u32>,
+    /// FIFO-relay row → output channel.
+    pub(crate) fifo_out_ch: Vec<u32>,
+    /// FIFO-relay row → capacity.
+    pub(crate) fifo_cap: Vec<u32>,
+
+    // Shells (CSR geometry; buffered shells flagged).
+    /// Shell row → `true` if it has input buffers.
+    pub(crate) shell_buffered: Vec<bool>,
+    /// Shell row → start of its input-channel run (`len = shells + 1`).
+    pub(crate) shell_in_off: Vec<u32>,
+    /// Flat input channels of all shells.
+    pub(crate) shell_in_ch: Vec<u32>,
+    /// Shell row → start of its output-channel run (`len = shells + 1`).
+    pub(crate) shell_out_off: Vec<u32>,
+    /// Flat output channels of all shells.
+    pub(crate) shell_out_ch: Vec<u32>,
+    /// Unbuffered shell rows in backward-pass order: a simple shell's
+    /// input stop depends on its fire condition, which reads the stops on
+    /// its output channels — written by downstream consumers, so
+    /// downstream shells settle first.
+    pub(crate) bwd_shell_order: Vec<u32>,
+    /// Buffered shell rows (their stops are registered; only the fire
+    /// condition is evaluated, after every stop has settled).
+    pub(crate) buffered_shells: Vec<u32>,
+}
+
+impl SettleProgram {
+    /// Validate `netlist` and compile it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`NetlistError`] from [`Netlist::validate`].
+    pub fn compile(netlist: &Netlist) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+
+        let mut env_period: Option<u64> = Some(1);
+        let fold = |p: Option<u64>, acc: &mut Option<u64>| {
+            *acc = match (p, *acc) {
+                (Some(p), Some(a)) => Some(lcm(p, a)),
+                _ => None,
+            };
+        };
+
+        let mut comp_slots = Vec::with_capacity(netlist.node_count());
+        let mut src_out_ch = Vec::new();
+        let mut src_pattern = Vec::new();
+        let mut snk_in_ch = Vec::new();
+        let mut snk_pattern = Vec::new();
+        let mut full_in_ch = Vec::new();
+        let mut full_out_ch = Vec::new();
+        let mut half_in_ch = Vec::new();
+        let mut half_out_ch = Vec::new();
+        let mut fifo_in_ch = Vec::new();
+        let mut fifo_out_ch = Vec::new();
+        let mut fifo_cap = Vec::new();
+        let mut shell_buffered = Vec::new();
+        let mut shell_in_off = vec![0u32];
+        let mut shell_in_ch = Vec::new();
+        let mut shell_out_off = vec![0u32];
+        let mut shell_out_ch = Vec::new();
+
+        let in_ch = |id, p| netlist.in_channel(id, p).expect("validated").index() as u32;
+        let out_ch = |id, p| netlist.out_channel(id, p).expect("validated").index() as u32;
+
+        for (id, node) in netlist.nodes() {
+            comp_slots.push(match node.kind() {
+                NodeKind::Source { void_pattern } => {
+                    fold(void_pattern.period(), &mut env_period);
+                    src_out_ch.push(out_ch(id, 0));
+                    src_pattern.push(void_pattern.clone());
+                    CompSlot::Source(src_out_ch.len() as u32 - 1)
+                }
+                NodeKind::Sink { stop_pattern } => {
+                    fold(stop_pattern.period(), &mut env_period);
+                    snk_in_ch.push(in_ch(id, 0));
+                    snk_pattern.push(stop_pattern.clone());
+                    CompSlot::Sink(snk_in_ch.len() as u32 - 1)
+                }
+                NodeKind::Shell { pearl, buffered } => {
+                    shell_buffered.push(*buffered);
+                    for p in 0..pearl.num_inputs() {
+                        shell_in_ch.push(in_ch(id, p));
+                    }
+                    shell_in_off.push(shell_in_ch.len() as u32);
+                    for p in 0..pearl.num_outputs() {
+                        shell_out_ch.push(out_ch(id, p));
+                    }
+                    shell_out_off.push(shell_out_ch.len() as u32);
+                    CompSlot::Shell(shell_buffered.len() as u32 - 1)
+                }
+                NodeKind::Relay {
+                    kind: RelayKind::Full,
+                } => {
+                    full_in_ch.push(in_ch(id, 0));
+                    full_out_ch.push(out_ch(id, 0));
+                    CompSlot::Full(full_in_ch.len() as u32 - 1)
+                }
+                NodeKind::Relay {
+                    kind: RelayKind::Half,
+                } => {
+                    half_in_ch.push(in_ch(id, 0));
+                    half_out_ch.push(out_ch(id, 0));
+                    CompSlot::Half(half_in_ch.len() as u32 - 1)
+                }
+                NodeKind::Relay {
+                    kind: RelayKind::Fifo(k),
+                } => {
+                    fifo_in_ch.push(in_ch(id, 0));
+                    fifo_out_ch.push(out_ch(id, 0));
+                    fifo_cap.push(u32::from(*k));
+                    CompSlot::Fifo(fifo_in_ch.len() as u32 - 1)
+                }
+            });
+        }
+
+        // Forward order over half relays: relay `h` depends on the
+        // producer of its input channel; only another half relay makes
+        // that dependency combinational.
+        let n_ch = netlist.channel_count();
+        let mut ch_half_producer = vec![u32::MAX; n_ch];
+        for (h, &ch) in half_out_ch.iter().enumerate() {
+            ch_half_producer[ch as usize] = h as u32;
+        }
+        let fwd_half_order = kahn(half_in_ch.len(), |h| {
+            let p = ch_half_producer[half_in_ch[h] as usize];
+            if p == u32::MAX {
+                Vec::new()
+            } else {
+                vec![p as usize]
+            }
+        })
+        .expect("validated: no combinational data loop")
+        .into_iter()
+        .map(|h| h as u32)
+        .collect();
+
+        // Backward order over unbuffered shells: shell `s`'s fire reads
+        // the stop on each of its output channels; if that stop is
+        // written by another simple shell `t` (as consumer), `t` settles
+        // first.
+        let mut ch_shell_consumer = vec![u32::MAX; n_ch];
+        for s in 0..shell_buffered.len() {
+            if shell_buffered[s] {
+                continue;
+            }
+            for k in shell_in_off[s] as usize..shell_in_off[s + 1] as usize {
+                ch_shell_consumer[shell_in_ch[k] as usize] = s as u32;
+            }
+        }
+        let bwd_shell_order = kahn(shell_buffered.len(), |s| {
+            if shell_buffered[s] {
+                return Vec::new();
+            }
+            let mut deps = Vec::new();
+            for k in shell_out_off[s] as usize..shell_out_off[s + 1] as usize {
+                let t = ch_shell_consumer[shell_out_ch[k] as usize];
+                if t != u32::MAX {
+                    deps.push(t as usize);
+                }
+            }
+            deps
+        })
+        .expect("validated: no combinational stop loop");
+        let bwd_shell_order: Vec<u32> = bwd_shell_order
+            .into_iter()
+            .filter(|&s| !shell_buffered[s])
+            .map(|s| s as u32)
+            .collect();
+        let buffered_shells: Vec<u32> = (0..shell_buffered.len() as u32)
+            .filter(|&s| shell_buffered[s as usize])
+            .collect();
+
+        Ok(SettleProgram {
+            n_channels: n_ch,
+            variant: netlist.variant(),
+            discards: netlist.variant().discards_stop_on_void(),
+            env_period,
+            comp_slots,
+            src_out_ch,
+            src_pattern,
+            snk_in_ch,
+            snk_pattern,
+            full_in_ch,
+            full_out_ch,
+            half_in_ch,
+            half_out_ch,
+            fwd_half_order,
+            fifo_in_ch,
+            fifo_out_ch,
+            fifo_cap,
+            shell_buffered,
+            shell_in_off,
+            shell_in_ch,
+            shell_out_off,
+            shell_out_ch,
+            bwd_shell_order,
+            buffered_shells,
+        })
+    }
+
+    /// Number of channels in the compiled netlist.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.n_channels
+    }
+
+    /// Number of sources.
+    #[must_use]
+    pub fn source_count(&self) -> usize {
+        self.src_out_ch.len()
+    }
+
+    /// Number of sinks.
+    #[must_use]
+    pub fn sink_count(&self) -> usize {
+        self.snk_in_ch.len()
+    }
+
+    /// Number of shells (buffered or not).
+    #[must_use]
+    pub fn shell_count(&self) -> usize {
+        self.shell_buffered.len()
+    }
+
+    /// Protocol variant the program was compiled for.
+    #[must_use]
+    pub fn variant(&self) -> ProtocolVariant {
+        self.variant
+    }
+
+    /// LCM of all environment pattern periods, `None` if any pattern is
+    /// aperiodic.
+    #[must_use]
+    pub fn env_period(&self) -> Option<u64> {
+        self.env_period
+    }
+
+    /// Input-channel run of shell `s` (indices into the flat arrays).
+    #[inline]
+    pub(crate) fn shell_in_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.shell_in_off[s] as usize..self.shell_in_off[s + 1] as usize
+    }
+
+    /// Output-channel run of shell `s` (indices into the flat arrays).
+    #[inline]
+    pub(crate) fn shell_out_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.shell_out_off[s] as usize..self.shell_out_off[s + 1] as usize
+    }
+}
+
+/// Least common multiple with the conventions the environment-period
+/// fold needs (`lcm(0, x)` behaves like `max`, never returns 0).
+pub(crate) fn lcm(a: u64, b: u64) -> u64 {
+    fn gcd(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+    if a == 0 || b == 0 {
+        return a.max(b).max(1);
+    }
+    (a / gcd(a, b)).saturating_mul(b)
+}
+
+/// Kahn topological sort of `0..n` under `deps` (`deps(i)` must settle
+/// before `i`). `None` if cyclic.
+pub(crate) fn kahn(n: usize, deps: impl Fn(usize) -> Vec<usize>) -> Option<Vec<usize>> {
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+    for (i, slot) in indegree.iter_mut().enumerate() {
+        for d in deps(i) {
+            dependents[d].push(i);
+            *slot += 1;
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut out = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        out.push(i);
+        for &d in &dependents[i] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                queue.push_back(d);
+            }
+        }
+    }
+    (out.len() == n).then(|| out.into_iter().collect())
+}
+
+/// FNV-1a over a word slice: a stable hash for control states.
+///
+/// Periodicity detection compares hashes across runs and (via persisted
+/// experiment output) across processes; `DefaultHasher` is explicitly
+/// unstable between releases, so the engines use this fixed function
+/// instead. Length is folded in first so prefixes don't collide.
+#[must_use]
+pub fn stable_hash(words: &[u64]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |w: u64| {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(words.len() as u64);
+    for &w in words {
+        mix(w);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_graph::generate;
+
+    #[test]
+    fn compiles_fig1() {
+        let f = generate::fig1();
+        let p = SettleProgram::compile(&f.netlist).unwrap();
+        assert_eq!(p.source_count(), 1);
+        assert_eq!(p.sink_count(), 1);
+        assert_eq!(p.shell_count(), 3);
+        assert_eq!(p.comp_slots.len(), f.netlist.node_count());
+        assert_eq!(p.env_period(), Some(1));
+    }
+
+    #[test]
+    fn half_chains_settle_upstream_first() {
+        use lip_core::RelayKind;
+        let r = generate::ring(2, 3, RelayKind::Half);
+        let p = SettleProgram::compile(&r.netlist).unwrap();
+        // Every half relay fed by another half relay must come later.
+        let mut pos = vec![0usize; p.half_in_ch.len()];
+        for (i, &h) in p.fwd_half_order.iter().enumerate() {
+            pos[h as usize] = i;
+        }
+        let mut producer_of = vec![u32::MAX; p.n_channels];
+        for (h, &ch) in p.half_out_ch.iter().enumerate() {
+            producer_of[ch as usize] = h as u32;
+        }
+        for h in 0..p.half_in_ch.len() {
+            let up = producer_of[p.half_in_ch[h] as usize];
+            if up != u32::MAX {
+                assert!(
+                    pos[up as usize] < pos[h],
+                    "half {h} settled before feeder {up}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stable_hash_is_stable_and_length_aware() {
+        // Golden values: these must never change across releases.
+        assert_eq!(stable_hash(&[]), stable_hash(&[]));
+        assert_ne!(stable_hash(&[0]), stable_hash(&[0, 0]));
+        assert_ne!(stable_hash(&[1, 2]), stable_hash(&[2, 1]));
+        let h = stable_hash(&[0xdead_beef, 42]);
+        assert_eq!(h, stable_hash(&[0xdead_beef, 42]));
+    }
+}

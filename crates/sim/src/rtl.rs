@@ -94,30 +94,47 @@ pub fn elaborate_rtl(netlist: &Netlist) -> Result<(Circuit, RtlProbes), NetlistE
                 elaborate_source(&mut b, &name, void_pattern.clone(), out_sig[0]);
             }
             NodeKind::Sink { stop_pattern } => {
-                let counters =
-                    elaborate_sink(&mut b, &name, stop_pattern.clone(), in_sig[0]);
+                let counters = elaborate_sink(&mut b, &name, stop_pattern.clone(), in_sig[0]);
                 sink_counts.push((id, counters.0, counters.1));
             }
-            NodeKind::Shell { pearl, buffered: false } => {
+            NodeKind::Shell {
+                pearl,
+                buffered: false,
+            } => {
                 elaborate_shell(&mut b, &name, pearl.clone(), variant, &in_sig, &out_sig);
             }
-            NodeKind::Shell { pearl, buffered: true } => {
+            NodeKind::Shell {
+                pearl,
+                buffered: true,
+            } => {
                 elaborate_buffered_shell(&mut b, &name, pearl.clone(), variant, &in_sig, &out_sig);
             }
-            NodeKind::Relay { kind: RelayKind::Full } => {
+            NodeKind::Relay {
+                kind: RelayKind::Full,
+            } => {
                 elaborate_full_relay(&mut b, &name, in_sig[0], out_sig[0]);
             }
-            NodeKind::Relay { kind: RelayKind::Half } => {
+            NodeKind::Relay {
+                kind: RelayKind::Half,
+            } => {
                 elaborate_half_relay(&mut b, &name, in_sig[0], out_sig[0]);
             }
-            NodeKind::Relay { kind: RelayKind::Fifo(k) } => {
+            NodeKind::Relay {
+                kind: RelayKind::Fifo(k),
+            } => {
                 elaborate_fifo_relay(&mut b, &name, *k as usize, in_sig[0], out_sig[0]);
             }
         }
     }
 
     let circuit = b.build().expect("LID elaboration is structurally sound");
-    Ok((circuit, RtlProbes { sink_counts, channels }))
+    Ok((
+        circuit,
+        RtlProbes {
+            sink_counts,
+            channels,
+        },
+    ))
 }
 
 type ChannelSignals = (SignalId, SignalId, SignalId);
@@ -225,12 +242,17 @@ fn elaborate_shell(
         let (wv, wd, _) = *out;
         let rv = ov_r[j];
         let rd = od_r[j];
-        b.comb(format!("{name}_drive{j}"), &[rv, rd], &[wv, wd], move |ctx| {
-            let v = ctx.get(rv);
-            let d = ctx.get(rd);
-            ctx.set(wv, v);
-            ctx.set(wd, d);
-        });
+        b.comb(
+            format!("{name}_drive{j}"),
+            &[rv, rd],
+            &[wv, wd],
+            move |ctx| {
+                let v = ctx.get(rv);
+                let d = ctx.get(rd);
+                ctx.set(wv, v);
+                ctx.set(wd, d);
+            },
+        );
     }
 
     // Shared firing condition, used by the stop process and the edge.
@@ -242,9 +264,10 @@ fn elaborate_shell(
         let ov_r = ov_r.clone();
         move |get: &dyn Fn(SignalId) -> u64| -> bool {
             let all_valid = in_valid.iter().all(|s| get(*s) != 0);
-            let blocked = out_stop.iter().zip(&ov_r).any(|(s, ov)| {
-                get(*s) != 0 && (get(*ov) != 0 || !variant.discards_stop_on_void())
-            });
+            let blocked = out_stop
+                .iter()
+                .zip(&ov_r)
+                .any(|(s, ov)| get(*s) != 0 && (get(*ov) != 0 || !variant.discards_stop_on_void()));
             all_valid && !blocked
         }
     };
@@ -258,19 +281,24 @@ fn elaborate_shell(
         reads.extend(&out_stop);
         reads.extend(&ov_r);
         let writes = in_stop.clone();
-        b.comb(format!("{name}_backpressure"), &reads, &writes, move |ctx| {
-            let fire = fire_of(&|s| ctx.get(s));
-            for (i, stop) in in_stop.iter().enumerate() {
-                let asserted = if fire {
-                    false
-                } else if variant.discards_stop_on_void() {
-                    ctx.get(in_valid[i]) != 0
-                } else {
-                    true
-                };
-                ctx.set_bool(*stop, asserted);
-            }
-        });
+        b.comb(
+            format!("{name}_backpressure"),
+            &reads,
+            &writes,
+            move |ctx| {
+                let fire = fire_of(&|s| ctx.get(s));
+                for (i, stop) in in_stop.iter().enumerate() {
+                    let asserted = if fire {
+                        false
+                    } else if variant.discards_stop_on_void() {
+                        ctx.get(in_valid[i]) != 0
+                    } else {
+                        true
+                    };
+                    ctx.set_bool(*stop, asserted);
+                }
+            },
+        );
     }
 
     // Clock edge: fire the pearl or gate it.
@@ -343,12 +371,17 @@ fn elaborate_buffered_shell(
         let (wv, wd, _) = *out;
         let rv = ov_r[j];
         let rd = od_r[j];
-        b.comb(format!("{name}_drive{j}"), &[rv, rd], &[wv, wd], move |ctx| {
-            let v = ctx.get(rv);
-            let d = ctx.get(rd);
-            ctx.set(wv, v);
-            ctx.set(wd, d);
-        });
+        b.comb(
+            format!("{name}_drive{j}"),
+            &[rv, rd],
+            &[wv, wd],
+            move |ctx| {
+                let v = ctx.get(rv);
+                let d = ctx.get(rd);
+                ctx.set(wv, v);
+                ctx.set(wd, d);
+            },
+        );
     }
     // Registered input stops: one comb copy per input.
     for (i, input) in ins.iter().enumerate() {
@@ -428,14 +461,19 @@ fn elaborate_full_relay(
     let md = b.register(format!("{name}_md"), 64, 0);
     let av = b.register(format!("{name}_av"), 1, 0);
     let ad = b.register(format!("{name}_ad"), 64, 0);
-    b.comb(format!("{name}_drive"), &[mv, md, av], &[ov, od, istop], move |ctx| {
-        let v = ctx.get(mv);
-        let d = ctx.get(md);
-        let full = ctx.get(av);
-        ctx.set(ov, v);
-        ctx.set(od, d);
-        ctx.set(istop, full);
-    });
+    b.comb(
+        format!("{name}_drive"),
+        &[mv, md, av],
+        &[ov, od, istop],
+        move |ctx| {
+            let v = ctx.get(mv);
+            let d = ctx.get(md);
+            let full = ctx.get(av);
+            ctx.set(ov, v);
+            ctx.set(od, d);
+            ctx.set(istop, full);
+        },
+    );
     b.seq(
         format!("{name}_clk"),
         &[mv, md, av, ad, iv, idt, ostop],
@@ -531,12 +569,17 @@ fn elaborate_fifo_relay(
         .collect();
     {
         let slots0 = slots[0];
-        b.comb(format!("{name}_drive"), &[occ, slots0], &[ov, od, istop], move |ctx| {
-            let n = ctx.get(occ);
-            ctx.set_bool(ov, n > 0);
-            ctx.set(od, ctx.get(slots0));
-            ctx.set_bool(istop, n as usize == capacity);
-        });
+        b.comb(
+            format!("{name}_drive"),
+            &[occ, slots0],
+            &[ov, od, istop],
+            move |ctx| {
+                let n = ctx.get(occ);
+                ctx.set_bool(ov, n > 0);
+                ctx.set(od, ctx.get(slots0));
+                ctx.set_bool(istop, n as usize == capacity);
+            },
+        );
     }
     {
         let slots = slots.clone();

@@ -11,26 +11,22 @@
 //! property the test-suite asserts over a topology corpus). Deadlock and
 //! throughput questions only depend on control state, so this is the
 //! cheap tool to answer them, exactly as the paper prescribes.
+//!
+//! The per-cycle loop executes a compiled
+//! [`SettleProgram`](crate::program::SettleProgram): state lives in flat
+//! per-kind vectors and each settle phase is a homogeneous loop over
+//! integer index arrays, with no per-component enum dispatch. The same
+//! program drives the 64-lane [`BatchSkeleton`](crate::BatchSkeleton).
+//!
+//! [`System`]: crate::System
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-use lip_core::{Pattern, ProtocolVariant, RelayKind};
-use lip_graph::{Netlist, NetlistError, NodeId, NodeKind};
+use lip_graph::{Netlist, NetlistError, NodeId};
 
 use crate::measure::Periodicity;
-
-#[derive(Debug, Clone)]
-enum SkelComp {
-    Source { valid: bool, pattern: Pattern },
-    Sink { pattern: Pattern, valid_seen: u64, voids_seen: u64 },
-    Shell { out_valid: Vec<bool>, fires: u64 },
-    Buffered { out_valid: Vec<bool>, in_buf: Vec<bool>, fires: u64 },
-    FullRelay { main: bool, aux: bool },
-    HalfRelay { occupied: bool },
-    FifoRelay { occupancy: usize, capacity: usize },
-}
+use crate::program::{stable_hash, CompSlot, SettleProgram};
 
 /// The valid/stop-only view of a latency-insensitive system.
 ///
@@ -52,25 +48,37 @@ enum SkelComp {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SkeletonSystem {
-    comps: Vec<SkelComp>,
-    in_chs: Vec<Vec<usize>>,
-    out_chs: Vec<Vec<usize>>,
-    producer: Vec<(usize, usize)>,
-    consumer: Vec<(usize, usize)>,
-    fwd_order: Vec<usize>,
-    bwd_order: Vec<usize>,
+    prog: Arc<SettleProgram>,
+    /// Settled valid bit per channel.
     fwd: Vec<bool>,
+    /// Settled stop bit per channel.
     stop: Vec<bool>,
+    /// Current validity offered by each source.
+    src_valid: Vec<bool>,
+    /// Output-register validity, flat by `shell_out_off`.
+    shell_out: Vec<bool>,
+    /// Input-buffer occupancy, flat by `shell_in_off` (unbuffered shells
+    /// never set theirs).
+    in_buf: Vec<bool>,
+    /// Per shell: fire condition of the last settle.
+    fire: Vec<bool>,
+    /// Per shell: firings so far.
+    fires: Vec<u64>,
+    /// Full relay main/aux register validity.
+    full_main: Vec<bool>,
+    full_aux: Vec<bool>,
+    /// Half relay occupancy.
+    half_occ: Vec<bool>,
+    /// FIFO relay occupancy.
+    fifo_occ: Vec<u32>,
+    /// Per sink: informative / void tokens consumed.
+    snk_valid: Vec<u64>,
+    snk_voids: Vec<u64>,
     cycle: u64,
-    variant: ProtocolVariant,
-    env_period: Option<u64>,
     /// When set, overrides environment behaviour for the next cycle:
     /// `(next source validities, current sink stops)`, each in node-id
     /// order. Used by `step_with` for externally driven exploration.
     env_override: Option<(Vec<bool>, Vec<bool>)>,
-    /// Per node: its ordinal among sources / sinks (usize::MAX if not).
-    source_ordinal: Vec<usize>,
-    sink_ordinal: Vec<usize>,
 }
 
 impl SkeletonSystem {
@@ -80,288 +88,240 @@ impl SkeletonSystem {
     ///
     /// Propagates any [`NetlistError`] from [`Netlist::validate`].
     pub fn new(netlist: &Netlist) -> Result<Self, NetlistError> {
-        netlist.validate()?;
-        let mut comps = Vec::with_capacity(netlist.node_count());
-        let mut env_period: Option<u64> = Some(1);
-        let fold = |p: Option<u64>, acc: &mut Option<u64>| {
-            *acc = match (p, *acc) {
-                (Some(p), Some(a)) => Some(lcm(p, a)),
-                _ => None,
-            };
-        };
-        for (_, node) in netlist.nodes() {
-            comps.push(match node.kind() {
-                NodeKind::Source { void_pattern } => {
-                    fold(void_pattern.period(), &mut env_period);
-                    SkelComp::Source { valid: !void_pattern.at(0), pattern: void_pattern.clone() }
-                }
-                NodeKind::Sink { stop_pattern } => {
-                    fold(stop_pattern.period(), &mut env_period);
-                    SkelComp::Sink { pattern: stop_pattern.clone(), valid_seen: 0, voids_seen: 0 }
-                }
-                NodeKind::Shell { pearl, buffered: false } => SkelComp::Shell {
-                    out_valid: vec![true; pearl.num_outputs()],
-                    fires: 0,
-                },
-                NodeKind::Shell { pearl, buffered: true } => SkelComp::Buffered {
-                    out_valid: vec![true; pearl.num_outputs()],
-                    in_buf: vec![false; pearl.num_inputs()],
-                    fires: 0,
-                },
-                NodeKind::Relay { kind: RelayKind::Full } => {
-                    SkelComp::FullRelay { main: false, aux: false }
-                }
-                NodeKind::Relay { kind: RelayKind::Half } => SkelComp::HalfRelay { occupied: false },
-                NodeKind::Relay { kind: RelayKind::Fifo(k) } => {
-                    SkelComp::FifoRelay { occupancy: 0, capacity: *k as usize }
-                }
-            });
-        }
-
-        let n_nodes = netlist.node_count();
-        let n_ch = netlist.channel_count();
-        let mut in_chs = vec![Vec::new(); n_nodes];
-        let mut out_chs = vec![Vec::new(); n_nodes];
-        for (id, node) in netlist.nodes() {
-            for p in 0..node.kind().num_inputs() {
-                in_chs[id.index()].push(netlist.in_channel(id, p).expect("validated").index());
-            }
-            for p in 0..node.kind().num_outputs() {
-                out_chs[id.index()].push(netlist.out_channel(id, p).expect("validated").index());
-            }
-        }
-        let mut producer = Vec::with_capacity(n_ch);
-        let mut consumer = Vec::with_capacity(n_ch);
-        for (_, ch) in netlist.channels() {
-            producer.push((ch.producer.node.index(), ch.producer.index));
-            consumer.push((ch.consumer.node.index(), ch.consumer.index));
-        }
-
-        let is_half = |i: usize| matches!(comps[i], SkelComp::HalfRelay { .. });
-        let fwd_order = kahn(n_ch, |ch| {
-            let (p, _) = producer[ch];
-            if is_half(p) {
-                vec![in_chs[p][0]]
-            } else {
-                Vec::new()
-            }
-        })
-        .expect("validated: no combinational data loop");
-        let is_shell = |i: usize| matches!(comps[i], SkelComp::Shell { .. });
-        let bwd_order = kahn(n_ch, |ch| {
-            let (c, _) = consumer[ch];
-            if is_shell(c) {
-                out_chs[c].clone()
-            } else {
-                Vec::new()
-            }
-        })
-        .expect("validated: no combinational stop loop");
-
-        let mut source_ordinal = vec![usize::MAX; comps.len()];
-        let mut sink_ordinal = vec![usize::MAX; comps.len()];
-        let (mut si, mut ki) = (0usize, 0usize);
-        for (i, c) in comps.iter().enumerate() {
-            match c {
-                SkelComp::Source { .. } => {
-                    source_ordinal[i] = si;
-                    si += 1;
-                }
-                SkelComp::Sink { .. } => {
-                    sink_ordinal[i] = ki;
-                    ki += 1;
-                }
-                _ => {}
-            }
-        }
-        Ok(SkeletonSystem {
-            comps,
-            in_chs,
-            out_chs,
-            producer,
-            consumer,
-            fwd_order,
-            bwd_order,
-            fwd: vec![false; n_ch],
-            stop: vec![false; n_ch],
-            cycle: 0,
-            variant: netlist.variant(),
-            env_period,
-            env_override: None,
-            source_ordinal,
-            sink_ordinal,
-        })
+        Ok(Self::from_program(Arc::new(SettleProgram::compile(
+            netlist,
+        )?)))
     }
 
-    fn shell_can_fire(&self, node: usize) -> bool {
-        let out_valid = match &self.comps[node] {
-            SkelComp::Shell { out_valid, .. } => out_valid,
-            SkelComp::Buffered { out_valid, .. } => out_valid,
-            _ => unreachable!("caller checks kind"),
-        };
-        let all_valid = match &self.comps[node] {
-            SkelComp::Buffered { in_buf, .. } => self.in_chs[node]
-                .iter()
-                .enumerate()
-                .all(|(i, &c)| in_buf[i] || self.fwd[c]),
-            _ => self.in_chs[node].iter().all(|&c| self.fwd[c]),
-        };
-        let blocked = self.out_chs[node].iter().zip(out_valid).any(|(&c, &v)| {
-            self.stop[c] && (v || !self.variant.discards_stop_on_void())
-        });
-        all_valid && !blocked
+    /// Build a skeleton over an already compiled (possibly shared)
+    /// settle program. State starts at reset, cycle 0.
+    #[must_use]
+    pub fn from_program(prog: Arc<SettleProgram>) -> Self {
+        let src_valid: Vec<bool> = prog.src_pattern.iter().map(|p| !p.at(0)).collect();
+        SkeletonSystem {
+            fwd: vec![false; prog.n_channels],
+            stop: vec![false; prog.n_channels],
+            src_valid,
+            shell_out: vec![true; prog.shell_out_ch.len()],
+            in_buf: vec![false; prog.shell_in_ch.len()],
+            fire: vec![false; prog.shell_buffered.len()],
+            fires: vec![0; prog.shell_buffered.len()],
+            full_main: vec![false; prog.full_in_ch.len()],
+            full_aux: vec![false; prog.full_in_ch.len()],
+            half_occ: vec![false; prog.half_in_ch.len()],
+            fifo_occ: vec![0; prog.fifo_in_ch.len()],
+            snk_valid: vec![0; prog.snk_in_ch.len()],
+            snk_voids: vec![0; prog.snk_in_ch.len()],
+            cycle: 0,
+            env_override: None,
+            prog,
+        }
+    }
+
+    /// The compiled settle program this skeleton executes.
+    #[must_use]
+    pub fn program(&self) -> &Arc<SettleProgram> {
+        &self.prog
     }
 
     /// Settle this cycle's valid and stop bits.
     pub fn settle(&mut self) {
-        for i in 0..self.fwd_order.len() {
-            let ch = self.fwd_order[i];
-            let (p, port) = self.producer[ch];
-            self.fwd[ch] = match &self.comps[p] {
-                SkelComp::Source { valid, .. } => *valid,
-                SkelComp::Shell { out_valid, .. } => out_valid[port],
-                SkelComp::Buffered { out_valid, .. } => out_valid[port],
-                SkelComp::FullRelay { main, .. } => *main,
-                SkelComp::HalfRelay { occupied } => *occupied || self.fwd[self.in_chs[p][0]],
-                SkelComp::FifoRelay { occupancy, .. } => *occupancy > 0,
-                SkelComp::Sink { .. } => unreachable!("sinks have no outputs"),
+        let Self {
+            prog,
+            fwd,
+            stop,
+            src_valid,
+            shell_out,
+            in_buf,
+            fire,
+            full_main,
+            full_aux,
+            half_occ,
+            fifo_occ,
+            cycle,
+            env_override,
+            ..
+        } = self;
+        let p: &SettleProgram = prog;
+
+        // Forward pass 1: registered producers, any order.
+        for (i, &ch) in p.src_out_ch.iter().enumerate() {
+            fwd[ch as usize] = src_valid[i];
+        }
+        for (k, &ch) in p.shell_out_ch.iter().enumerate() {
+            fwd[ch as usize] = shell_out[k];
+        }
+        for (i, &ch) in p.full_out_ch.iter().enumerate() {
+            fwd[ch as usize] = full_main[i];
+        }
+        for (i, &ch) in p.fifo_out_ch.iter().enumerate() {
+            fwd[ch as usize] = fifo_occ[i] > 0;
+        }
+        // Forward pass 2: half-relay chains, upstream first.
+        for &h in &p.fwd_half_order {
+            let h = h as usize;
+            fwd[p.half_out_ch[h] as usize] = half_occ[h] || fwd[p.half_in_ch[h] as usize];
+        }
+
+        // Backward pass 1: registered stops, any order.
+        for (i, &ch) in p.snk_in_ch.iter().enumerate() {
+            stop[ch as usize] = match env_override {
+                Some((_, stops)) => stops[i],
+                None => p.snk_pattern[i].at(*cycle),
             };
         }
-        for i in 0..self.bwd_order.len() {
-            let ch = self.bwd_order[i];
-            let (c, _port) = self.consumer[ch];
-            self.stop[ch] = match &self.comps[c] {
-                SkelComp::Sink { pattern, .. } => match &self.env_override {
-                    Some((_, stops)) => stops[self.sink_ordinal[c]],
-                    None => pattern.at(self.cycle),
-                },
-                SkelComp::FullRelay { aux, .. } => *aux,
-                SkelComp::HalfRelay { occupied } => *occupied,
-                SkelComp::FifoRelay { occupancy, capacity } => *occupancy == *capacity,
-                SkelComp::Shell { .. } => {
-                    let fire = self.shell_can_fire(c);
-                    if fire {
-                        false
-                    } else if self.variant.discards_stop_on_void() {
-                        self.fwd[ch]
-                    } else {
-                        true
-                    }
-                }
-                SkelComp::Buffered { in_buf, .. } => in_buf[_port],
-                SkelComp::Source { .. } => unreachable!("sources have no inputs"),
-            };
+        for (i, &ch) in p.full_in_ch.iter().enumerate() {
+            stop[ch as usize] = full_aux[i];
+        }
+        for (h, &ch) in p.half_in_ch.iter().enumerate() {
+            stop[ch as usize] = half_occ[h];
+        }
+        for (i, &ch) in p.fifo_in_ch.iter().enumerate() {
+            stop[ch as usize] = fifo_occ[i] == p.fifo_cap[i];
+        }
+        for &s in &p.buffered_shells {
+            for k in p.shell_in_range(s as usize) {
+                stop[p.shell_in_ch[k] as usize] = in_buf[k];
+            }
+        }
+        // Backward pass 2: unbuffered shells, downstream first. Each
+        // shell's fire is final here (its output stops are settled), so
+        // it is recorded for the clock phase.
+        for &s in &p.bwd_shell_order {
+            let s = s as usize;
+            let f = shell_fire(p, fwd, stop, shell_out, in_buf, s);
+            fire[s] = f;
+            for k in p.shell_in_range(s) {
+                let ch = p.shell_in_ch[k] as usize;
+                stop[ch] = if f {
+                    false
+                } else if p.discards {
+                    fwd[ch]
+                } else {
+                    true
+                };
+            }
+        }
+        // Pass 3: buffered shells fire once every stop has settled (their
+        // own input stops are registered, so nothing downstream waits).
+        for &s in &p.buffered_shells {
+            let s = s as usize;
+            fire[s] = shell_fire(p, fwd, stop, shell_out, in_buf, s);
         }
     }
 
     /// Advance one clock cycle.
     pub fn step(&mut self) {
         self.settle();
-        for i in 0..self.comps.len() {
-            let fire = matches!(self.comps[i], SkelComp::Shell { .. } | SkelComp::Buffered { .. })
-                && self.shell_can_fire(i);
-            let in0 = self.in_chs[i].first().map(|&c| self.fwd[c]);
-            let stop0 = self.out_chs[i].first().map(|&c| self.stop[c]);
-            let stops: Vec<bool> = self.out_chs[i].iter().map(|&c| self.stop[c]).collect();
-            let in_vals: Vec<bool> = self.in_chs[i].iter().map(|&c| self.fwd[c]).collect();
-            match &mut self.comps[i] {
-                SkelComp::Source { valid, pattern } => {
-                    let stop = stop0.expect("source output connected");
-                    if !(*valid && stop) {
-                        *valid = match &self.env_override {
-                            Some((valids, _)) => valids[self.source_ordinal[i]],
-                            None => !pattern.at(self.cycle + 1),
-                        };
+        let Self {
+            prog,
+            fwd,
+            stop,
+            src_valid,
+            shell_out,
+            in_buf,
+            fire,
+            fires,
+            full_main,
+            full_aux,
+            half_occ,
+            fifo_occ,
+            snk_valid,
+            snk_voids,
+            cycle,
+            env_override,
+        } = self;
+        let p: &SettleProgram = prog;
+
+        for i in 0..src_valid.len() {
+            let stopped = stop[p.src_out_ch[i] as usize];
+            if !(src_valid[i] && stopped) {
+                src_valid[i] = match env_override {
+                    Some((valids, _)) => valids[i],
+                    None => !p.src_pattern[i].at(*cycle + 1),
+                };
+            }
+        }
+        for i in 0..snk_valid.len() {
+            let stopped = match env_override {
+                Some((_, stops)) => stops[i],
+                None => p.snk_pattern[i].at(*cycle),
+            };
+            if !stopped {
+                if fwd[p.snk_in_ch[i] as usize] {
+                    snk_valid[i] += 1;
+                } else {
+                    snk_voids[i] += 1;
+                }
+            }
+        }
+        for s in 0..p.shell_buffered.len() {
+            if fire[s] {
+                for k in p.shell_out_range(s) {
+                    shell_out[k] = true;
+                }
+                if p.shell_buffered[s] {
+                    for k in p.shell_in_range(s) {
+                        in_buf[k] = false;
                     }
                 }
-                SkelComp::Sink { pattern, valid_seen, voids_seen } => {
-                    let stopped = match &self.env_override {
-                        Some((_, stops)) => stops[self.sink_ordinal[i]],
-                        None => pattern.at(self.cycle),
-                    };
-                    if !stopped {
-                        if in0.expect("sink input connected") {
-                            *valid_seen += 1;
-                        } else {
-                            *voids_seen += 1;
-                        }
+                fires[s] += 1;
+            } else {
+                if p.shell_buffered[s] {
+                    for k in p.shell_in_range(s) {
+                        in_buf[k] = in_buf[k] || fwd[p.shell_in_ch[k] as usize];
                     }
                 }
-                SkelComp::Shell { out_valid, fires } => {
-                    if fire {
-                        out_valid.iter_mut().for_each(|v| *v = true);
-                        *fires += 1;
-                    } else {
-                        for (v, s) in out_valid.iter_mut().zip(&stops) {
-                            if *v && !s {
-                                *v = false;
-                            }
-                        }
-                    }
-                }
-                SkelComp::Buffered { out_valid, in_buf, fires } => {
-                    if fire {
-                        out_valid.iter_mut().for_each(|v| *v = true);
-                        in_buf.iter_mut().for_each(|b| *b = false);
-                        *fires += 1;
-                    } else {
-                        for (b, &c) in in_buf.iter_mut().zip(&in_vals) {
-                            if !*b && c {
-                                *b = true;
-                            }
-                        }
-                        for (v, s) in out_valid.iter_mut().zip(&stops) {
-                            if *v && !s {
-                                *v = false;
-                            }
-                        }
-                    }
-                }
-                SkelComp::FullRelay { main, aux } => {
-                    let input = in0.expect("relay input connected");
-                    let stop = stop0.expect("relay output connected");
-                    let released = *main && !stop;
-                    if *aux {
-                        if released {
-                            // aux shifts into main; value-wise main stays
-                            // informative.
-                            *aux = false;
-                        }
-                    } else if *main {
-                        if released {
-                            *main = input;
-                        } else if input {
-                            *aux = true;
-                        }
-                    } else {
-                        *main = input;
-                    }
-                }
-                SkelComp::HalfRelay { occupied } => {
-                    let input = in0.expect("relay input connected");
-                    let stop = stop0.expect("relay output connected");
-                    if *occupied {
-                        if !stop {
-                            *occupied = false;
-                        }
-                    } else if stop && input {
-                        *occupied = true;
-                    }
-                }
-                SkelComp::FifoRelay { occupancy, capacity } => {
-                    let input = in0.expect("relay input connected");
-                    let stop = stop0.expect("relay output connected");
-                    let was_full = *occupancy == *capacity;
-                    if !stop && *occupancy > 0 {
-                        *occupancy -= 1;
-                    }
-                    if !was_full && input {
-                        *occupancy += 1;
+                for k in p.shell_out_range(s) {
+                    if shell_out[k] && !stop[p.shell_out_ch[k] as usize] {
+                        shell_out[k] = false;
                     }
                 }
             }
         }
-        self.cycle += 1;
+        for i in 0..full_main.len() {
+            let input = fwd[p.full_in_ch[i] as usize];
+            let stopped = stop[p.full_out_ch[i] as usize];
+            let released = full_main[i] && !stopped;
+            if full_aux[i] {
+                if released {
+                    // aux shifts into main; value-wise main stays
+                    // informative.
+                    full_aux[i] = false;
+                }
+            } else if full_main[i] {
+                if released {
+                    full_main[i] = input;
+                } else if input {
+                    full_aux[i] = true;
+                }
+            } else {
+                full_main[i] = input;
+            }
+        }
+        for h in 0..half_occ.len() {
+            let input = fwd[p.half_in_ch[h] as usize];
+            let stopped = stop[p.half_out_ch[h] as usize];
+            if half_occ[h] {
+                if !stopped {
+                    half_occ[h] = false;
+                }
+            } else if stopped && input {
+                half_occ[h] = true;
+            }
+        }
+        for i in 0..fifo_occ.len() {
+            let input = fwd[p.fifo_in_ch[i] as usize];
+            let stopped = stop[p.fifo_out_ch[i] as usize];
+            let was_full = fifo_occ[i] == p.fifo_cap[i];
+            if !stopped && fifo_occ[i] > 0 {
+                fifo_occ[i] -= 1;
+            }
+            if !was_full && input {
+                fifo_occ[i] += 1;
+            }
+        }
+        *cycle += 1;
     }
 
     /// Run `n` cycles.
@@ -386,10 +346,16 @@ impl SkeletonSystem {
     ///
     /// Panics if the slice lengths do not match the source/sink counts.
     pub fn step_with(&mut self, source_valid: &[bool], sink_stop: &[bool]) {
-        let n_src = self.source_ordinal.iter().filter(|o| **o != usize::MAX).count();
-        let n_snk = self.sink_ordinal.iter().filter(|o| **o != usize::MAX).count();
-        assert_eq!(source_valid.len(), n_src, "source override arity");
-        assert_eq!(sink_stop.len(), n_snk, "sink override arity");
+        assert_eq!(
+            source_valid.len(),
+            self.prog.source_count(),
+            "source override arity"
+        );
+        assert_eq!(
+            sink_stop.len(),
+            self.prog.sink_count(),
+            "sink override arity"
+        );
         self.env_override = Some((source_valid.to_vec(), sink_stop.to_vec()));
         self.step();
         self.env_override = None;
@@ -400,20 +366,28 @@ impl SkeletonSystem {
     /// external.
     #[must_use]
     pub fn component_state(&self) -> Vec<u64> {
-        let mut out = Vec::with_capacity(self.comps.len());
-        for comp in &self.comps {
-            match comp {
-                SkelComp::Source { valid, .. } => out.push(u64::from(*valid)),
-                SkelComp::Sink { .. } => {}
-                SkelComp::Shell { out_valid, .. } => out.push(pack_bits(out_valid, &[])),
-                SkelComp::Buffered { out_valid, in_buf, .. } => {
-                    out.push(pack_bits(out_valid, in_buf));
+        let p = &*self.prog;
+        let mut out = Vec::with_capacity(p.comp_slots.len());
+        for slot in &p.comp_slots {
+            match *slot {
+                CompSlot::Source(i) => out.push(u64::from(self.src_valid[i as usize])),
+                CompSlot::Sink(_) => {}
+                CompSlot::Shell(s) => {
+                    let s = s as usize;
+                    let outs = &self.shell_out[p.shell_out_range(s)];
+                    let bufs = if p.shell_buffered[s] {
+                        &self.in_buf[p.shell_in_range(s)]
+                    } else {
+                        &[][..]
+                    };
+                    out.push(pack_bits(outs, bufs));
                 }
-                SkelComp::FullRelay { main, aux } => {
-                    out.push(u64::from(*main) + 2 * u64::from(*aux));
+                CompSlot::Full(i) => {
+                    let i = i as usize;
+                    out.push(u64::from(self.full_main[i]) + 2 * u64::from(self.full_aux[i]));
                 }
-                SkelComp::HalfRelay { occupied } => out.push(u64::from(*occupied)),
-                SkelComp::FifoRelay { occupancy, .. } => out.push(*occupancy as u64),
+                CompSlot::Half(h) => out.push(u64::from(self.half_occ[h as usize])),
+                CompSlot::Fifo(i) => out.push(u64::from(self.fifo_occ[i as usize])),
             }
         }
         out
@@ -422,13 +396,7 @@ impl SkeletonSystem {
     /// Total shell firings so far, summed over all shells.
     #[must_use]
     pub fn total_fires(&self) -> u64 {
-        self.comps
-            .iter()
-            .map(|c| match c {
-                SkelComp::Shell { fires, .. } | SkelComp::Buffered { fires, .. } => *fires,
-                _ => 0,
-            })
-            .sum()
+        self.fires.iter().sum()
     }
 
     /// Cycles executed so far.
@@ -440,8 +408,8 @@ impl SkeletonSystem {
     /// `(valid, voids)` consumed by the sink at `node`.
     #[must_use]
     pub fn sink_counts(&self, node: NodeId) -> Option<(u64, u64)> {
-        match &self.comps[node.index()] {
-            SkelComp::Sink { valid_seen, voids_seen, .. } => Some((*valid_seen, *voids_seen)),
+        match self.prog.comp_slots[node.index()] {
+            CompSlot::Sink(i) => Some((self.snk_valid[i as usize], self.snk_voids[i as usize])),
             _ => None,
         }
     }
@@ -449,9 +417,8 @@ impl SkeletonSystem {
     /// Number of firings of the shell at `node`.
     #[must_use]
     pub fn shell_fires(&self, node: NodeId) -> Option<u64> {
-        match &self.comps[node.index()] {
-            SkelComp::Shell { fires, .. } => Some(*fires),
-            SkelComp::Buffered { fires, .. } => Some(*fires),
+        match self.prog.comp_slots[node.index()] {
+            CompSlot::Shell(s) => Some(self.fires[s as usize]),
             _ => None,
         }
     }
@@ -462,52 +429,39 @@ impl SkeletonSystem {
     /// [`System::control_state`]: crate::System::control_state
     #[must_use]
     pub fn control_state(&self) -> Option<Vec<u64>> {
-        let period = self.env_period?;
+        let p = &*self.prog;
+        let period = p.env_period?;
         let mut out = vec![self.cycle % period];
-        for comp in &self.comps {
-            match comp {
-                SkelComp::Source { valid, .. } => out.push(u64::from(*valid)),
-                SkelComp::Sink { .. } => {}
-                SkelComp::Shell { out_valid, .. } => {
-                    let mut bits = 0u64;
-                    for (j, v) in out_valid.iter().enumerate() {
-                        if *v {
-                            bits |= 1 << (j % 64);
-                        }
-                    }
-                    out.push(bits);
+        for slot in &p.comp_slots {
+            match *slot {
+                CompSlot::Source(i) => out.push(u64::from(self.src_valid[i as usize])),
+                CompSlot::Sink(_) => {}
+                CompSlot::Shell(s) => {
+                    let s = s as usize;
+                    let outs = &self.shell_out[p.shell_out_range(s)];
+                    let bufs = if p.shell_buffered[s] {
+                        &self.in_buf[p.shell_in_range(s)]
+                    } else {
+                        &[][..]
+                    };
+                    out.push(pack_bits(outs, bufs));
                 }
-                SkelComp::Buffered { out_valid, in_buf, .. } => {
-                    let mut bits = 0u64;
-                    for (j, v) in out_valid.iter().enumerate() {
-                        if *v {
-                            bits |= 1 << (j % 64);
-                        }
-                    }
-                    for (i, b) in in_buf.iter().enumerate() {
-                        if *b {
-                            bits |= 1 << ((out_valid.len() + i) % 64);
-                        }
-                    }
-                    out.push(bits);
+                CompSlot::Full(i) => {
+                    let i = i as usize;
+                    out.push(u64::from(self.full_main[i]) + u64::from(self.full_aux[i]));
                 }
-                SkelComp::FullRelay { main, aux } => {
-                    out.push(u64::from(*main) + u64::from(*aux));
-                }
-                SkelComp::HalfRelay { occupied } => out.push(u64::from(*occupied)),
-                SkelComp::FifoRelay { occupancy, .. } => out.push(*occupancy as u64),
+                CompSlot::Half(h) => out.push(u64::from(self.half_occ[h as usize])),
+                CompSlot::Fifo(i) => out.push(u64::from(self.fifo_occ[i as usize])),
             }
         }
         Some(out)
     }
 
-    /// Hash of the control state.
+    /// Stable hash of the control state (see
+    /// [`stable_hash`](crate::program::stable_hash)).
     #[must_use]
     pub fn control_hash(&self) -> Option<u64> {
-        let state = self.control_state()?;
-        let mut h = DefaultHasher::new();
-        state.hash(&mut h);
-        Some(h.finish())
+        Some(stable_hash(&self.control_state()?))
     }
 
     /// Detect the periodic regime (see
@@ -520,7 +474,10 @@ impl SkeletonSystem {
             let hash = self.control_hash()?;
             match seen.get(&hash) {
                 Some((first, prev)) if *prev == state => {
-                    return Some(Periodicity { transient: *first, period: self.cycle - first });
+                    return Some(Periodicity {
+                        transient: *first,
+                        period: self.cycle - first,
+                    });
                 }
                 Some(_) => {}
                 None => {
@@ -533,6 +490,32 @@ impl SkeletonSystem {
     }
 }
 
+/// Fire condition of shell `s` against settled `fwd`/`stop` bits: every
+/// input available (buffered shells may satisfy an input from its
+/// buffer) and no output port blocked — where under the refined variant
+/// a stop against a void output register does not block.
+#[inline]
+fn shell_fire(
+    p: &SettleProgram,
+    fwd: &[bool],
+    stop: &[bool],
+    shell_out: &[bool],
+    in_buf: &[bool],
+    s: usize,
+) -> bool {
+    let buffered = p.shell_buffered[s];
+    let mut all_valid = true;
+    for k in p.shell_in_range(s) {
+        let v = fwd[p.shell_in_ch[k] as usize];
+        all_valid &= if buffered { in_buf[k] || v } else { v };
+    }
+    let mut blocked = false;
+    for k in p.shell_out_range(s) {
+        blocked |= stop[p.shell_out_ch[k] as usize] && (shell_out[k] || !p.discards);
+    }
+    all_valid && !blocked
+}
+
 fn pack_bits(a: &[bool], b: &[bool]) -> u64 {
     let mut bits = 0u64;
     for (j, v) in a.iter().chain(b).enumerate() {
@@ -541,45 +524,6 @@ fn pack_bits(a: &[bool], b: &[bool]) -> u64 {
         }
     }
     bits
-}
-
-fn lcm(a: u64, b: u64) -> u64 {
-    fn gcd(mut a: u64, mut b: u64) -> u64 {
-        while b != 0 {
-            let t = a % b;
-            a = b;
-            b = t;
-        }
-        a
-    }
-    if a == 0 || b == 0 {
-        return a.max(b).max(1);
-    }
-    (a / gcd(a, b)).saturating_mul(b)
-}
-
-fn kahn(n: usize, deps: impl Fn(usize) -> Vec<usize>) -> Option<Vec<usize>> {
-    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut indegree = vec![0usize; n];
-    for (ch, slot) in indegree.iter_mut().enumerate() {
-        for d in deps(ch) {
-            dependents[d].push(ch);
-            *slot += 1;
-        }
-    }
-    let mut queue: std::collections::VecDeque<usize> =
-        (0..n).filter(|&c| indegree[c] == 0).collect();
-    let mut out = Vec::with_capacity(n);
-    while let Some(c) = queue.pop_front() {
-        out.push(c);
-        for &d in &dependents[c] {
-            indegree[d] -= 1;
-            if indegree[d] == 0 {
-                queue.push_back(d);
-            }
-        }
-    }
-    (out.len() == n).then_some(out)
 }
 
 #[cfg(test)]

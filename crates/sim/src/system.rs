@@ -17,9 +17,7 @@
 //! directed cycle contains a relay station (stop cut) and a shell or full
 //! relay station (data cut).
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::VecDeque;
-use std::hash::{Hash, Hasher};
 
 use lip_core::{BufferedShell, RelayStation, Shell, Sink, Source, Token};
 use lip_graph::{ChannelId, Netlist, NetlistError, NodeId, NodeKind};
@@ -105,12 +103,14 @@ impl System {
                     fold_period(stop_pattern.period(), &mut env_period);
                     Comp::Sink(Sink::with_stop_pattern(stop_pattern.clone()))
                 }
-                NodeKind::Shell { pearl, buffered: false } => {
-                    Comp::Shell(Shell::from_box(pearl.clone(), netlist.variant()))
-                }
-                NodeKind::Shell { pearl, buffered: true } => {
-                    Comp::Buffered(BufferedShell::from_box(pearl.clone(), netlist.variant()))
-                }
+                NodeKind::Shell {
+                    pearl,
+                    buffered: false,
+                } => Comp::Shell(Shell::from_box(pearl.clone(), netlist.variant())),
+                NodeKind::Shell {
+                    pearl,
+                    buffered: true,
+                } => Comp::Buffered(BufferedShell::from_box(pearl.clone(), netlist.variant())),
                 NodeKind::Relay { kind } => Comp::Relay(RelayStation::new(*kind)),
             });
         }
@@ -139,7 +139,9 @@ impl System {
         let is_half = |node: NodeId| {
             matches!(
                 netlist.node(node).kind(),
-                NodeKind::Relay { kind: lip_core::RelayKind::Half }
+                NodeKind::Relay {
+                    kind: lip_core::RelayKind::Half
+                }
             )
         };
         let fwd_order = kahn_order(n_ch, |ch| {
@@ -233,7 +235,10 @@ impl System {
         self.settle();
         for i in 0..self.comps.len() {
             let inputs: Vec<Token> = self.in_chs[i].iter().map(|x| self.fwd[x.index()]).collect();
-            let stops: Vec<bool> = self.out_chs[i].iter().map(|x| self.stop[x.index()]).collect();
+            let stops: Vec<bool> = self.out_chs[i]
+                .iter()
+                .map(|x| self.stop[x.index()])
+                .collect();
             match &mut self.comps[i] {
                 Comp::Source(s) => s.clock(stops[0]),
                 Comp::Sink(k) => k.clock(inputs[0]),
@@ -389,14 +394,13 @@ impl System {
         Some(out)
     }
 
-    /// Hash of [`control_state`](Self::control_state), or `None` for
-    /// aperiodic environments.
+    /// Stable hash of [`control_state`](Self::control_state), or `None`
+    /// for aperiodic environments. Uses
+    /// [`stable_hash`](crate::program::stable_hash) so hashes are
+    /// reproducible across runs, processes and toolchain releases.
     #[must_use]
     pub fn control_hash(&self) -> Option<u64> {
-        let state = self.control_state()?;
-        let mut h = DefaultHasher::new();
-        state.hash(&mut h);
-        Some(h.finish())
+        Some(crate::program::stable_hash(&self.control_state()?))
     }
 
     /// Total informative tokens delivered to all sinks.
@@ -564,7 +568,11 @@ mod tests {
         let mut n = Netlist::new();
         let src = n.add_source_with_pattern(
             "in",
-            Pattern::Random { num: 1, denom: 2, seed: 7 },
+            Pattern::Random {
+                num: 1,
+                denom: 2,
+                seed: 7,
+            },
         );
         let sink = n.add_sink("out");
         n.connect(src, 0, sink, 0).unwrap();

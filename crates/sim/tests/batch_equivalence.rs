@@ -1,0 +1,217 @@
+//! Lane-equivalence property tests: every lane of the 64-wide
+//! [`BatchSkeleton`] must be cycle-for-cycle bit-identical to a scalar
+//! [`SkeletonSystem`] run of the same scenario — over the topology
+//! corpus (fig1 fork/join, fig2 feedback rings of every relay kind,
+//! random netlists), under both protocol variants, driven both by
+//! external stall schedules and by per-lane environment patterns.
+
+use std::sync::Arc;
+
+use lip_core::{Pattern, ProtocolVariant, RelayKind};
+use lip_graph::{generate, Netlist};
+use lip_sim::{measure_batch, BatchSkeleton, LanePatterns, SettleProgram, SkeletonSystem, LANES};
+use proptest::prelude::*;
+
+/// Deterministic schedule words from a splitmix64 stream.
+fn schedule_words(seed: u64, n: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+/// Drive the batch engine with random external schedules and check the
+/// sampled lanes against scalar replicas every cycle.
+fn assert_lanes_match_scalar(netlist: &Netlist, cycles: u64, seed: u64) {
+    let prog = Arc::new(SettleProgram::compile(netlist).unwrap());
+    let n_src = prog.source_count();
+    let n_snk = prog.sink_count();
+    let mut batch = BatchSkeleton::from_program(Arc::clone(&prog));
+    let check_lanes = [0usize, 1, 31, 62, 63];
+    let mut scalars: Vec<SkeletonSystem> = check_lanes
+        .iter()
+        .map(|_| SkeletonSystem::from_program(Arc::clone(&prog)))
+        .collect();
+
+    for t in 0..cycles {
+        let srcs = schedule_words(seed ^ (t << 1), n_src);
+        let snks = schedule_words(seed ^ (t << 1) ^ 1, n_snk);
+        batch.step_with_masks(&srcs, &snks);
+        for (scalar, &lane) in scalars.iter_mut().zip(&check_lanes) {
+            let valids: Vec<bool> = srcs.iter().map(|w| (w >> lane) & 1 == 1).collect();
+            let stops: Vec<bool> = snks.iter().map(|w| (w >> lane) & 1 == 1).collect();
+            scalar.step_with(&valids, &stops);
+            assert_eq!(
+                batch.lane_component_state(lane),
+                scalar.component_state(),
+                "lane {lane} diverged at cycle {t}"
+            );
+        }
+    }
+    for (scalar, &lane) in scalars.iter().zip(&check_lanes) {
+        assert_eq!(
+            batch.total_fires_lane(lane),
+            scalar.total_fires(),
+            "lane {lane} fires"
+        );
+        for s in netlist.sinks() {
+            assert_eq!(
+                batch.sink_counts_lane(s, lane),
+                scalar.sink_counts(s),
+                "lane {lane} sink {s}"
+            );
+        }
+        for sh in netlist.shells() {
+            assert_eq!(
+                batch.shell_fires_lane(sh, lane),
+                scalar.shell_fires(sh),
+                "lane {lane} shell {sh}"
+            );
+        }
+    }
+}
+
+/// Per-lane *pattern* environments: the batch run must produce exactly
+/// the counts of 64 scalar runs over netlists rebuilt with each lane's
+/// patterns (exercising `from_patterns` and the pattern mutators).
+fn assert_pattern_lanes_match_scalar(netlist: &Netlist, cycles: u64, seed: u64) {
+    let prog = Arc::new(SettleProgram::compile(netlist).unwrap());
+    let sources = netlist.sources();
+    let sinks = netlist.sinks();
+    let mut pats = LanePatterns::broadcast(&prog);
+    for lane in 0..LANES {
+        for (j, _) in sinks.iter().enumerate() {
+            let denom = 4 + (lane as u32 % 5);
+            pats.set_sink(
+                j,
+                lane,
+                Pattern::Random {
+                    num: lane as u32 % denom,
+                    denom,
+                    seed: seed ^ lane as u64,
+                },
+            );
+        }
+        if lane % 3 == 0 {
+            for (i, _) in sources.iter().enumerate() {
+                pats.set_source(
+                    i,
+                    lane,
+                    Pattern::EveryNth {
+                        period: 2 + lane as u32 % 4,
+                        phase: 0,
+                    },
+                );
+            }
+        }
+    }
+    let m = measure_batch(netlist, &pats, cycles).unwrap();
+    for lane in [0usize, 3, 17, 63] {
+        let mut reference = netlist.clone();
+        for (i, &s) in sources.iter().enumerate() {
+            assert!(reference.set_source_pattern(s, pats.source_pattern(i, lane).clone()));
+        }
+        for (j, &s) in sinks.iter().enumerate() {
+            assert!(reference.set_sink_pattern(s, pats.sink_pattern(j, lane).clone()));
+        }
+        let mut scalar = SkeletonSystem::new(&reference).unwrap();
+        scalar.run(cycles);
+        for (j, &s) in sinks.iter().enumerate() {
+            assert_eq!(
+                Some(m.counts[j][lane]),
+                scalar.sink_counts(s),
+                "lane {lane} sink {s} counts"
+            );
+        }
+    }
+}
+
+/// Every topology in the deterministic corpus, under both variants.
+fn corpus() -> Vec<Netlist> {
+    let mut out = Vec::new();
+    let base: Vec<Netlist> = vec![
+        generate::fig1().netlist,
+        generate::tree(2, 2, 1).netlist,
+        generate::reconvergent(2, 3).netlist,
+        generate::ring(2, 1, RelayKind::Full).netlist,
+        generate::ring(2, 2, RelayKind::Half).netlist,
+        generate::ring(2, 2, RelayKind::Fifo(3)).netlist,
+        generate::buffered_ring(2, 0).netlist,
+        generate::composed_coupled(1, 1, 1, 2, 1).netlist,
+    ];
+    for n in base {
+        for variant in ProtocolVariant::ALL {
+            let mut m = n.clone();
+            m.set_variant(variant);
+            out.push(m);
+        }
+    }
+    out
+}
+
+#[test]
+fn lanes_match_scalar_over_corpus_both_variants() {
+    for (i, netlist) in corpus().iter().enumerate() {
+        assert_lanes_match_scalar(netlist, 60, 0xC0FFEE ^ (i as u64) << 8);
+    }
+}
+
+#[test]
+fn pattern_lanes_match_scalar_on_fig1_and_ring() {
+    for netlist in [
+        generate::fig1().netlist,
+        generate::ring(2, 1, RelayKind::Full).netlist,
+        generate::ring(2, 2, RelayKind::Fifo(2)).netlist,
+    ] {
+        assert_pattern_lanes_match_scalar(&netlist, 300, 99);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random netlist family x random schedule seed: every sampled lane
+    /// bit-identical to its scalar replica, in whichever variant the
+    /// family generator picked.
+    #[test]
+    fn lanes_match_scalar_on_random_netlists(family_seed in 0u64..200, seed in any::<u64>()) {
+        let (_, netlist) = generate::random_family(family_seed);
+        if netlist.validate().is_ok() {
+            assert_lanes_match_scalar(&netlist, 40, seed);
+        }
+    }
+
+    /// Random netlists, opposite variant forced: the discard-on-void
+    /// refinement must stay lane-exact too.
+    #[test]
+    fn lanes_match_scalar_on_random_netlists_flipped_variant(
+        family_seed in 0u64..120,
+        seed in any::<u64>(),
+    ) {
+        let (_, mut netlist) = generate::random_family(family_seed);
+        let flipped = match netlist.variant() {
+            ProtocolVariant::Refined => ProtocolVariant::Carloni,
+            ProtocolVariant::Carloni => ProtocolVariant::Refined,
+        };
+        netlist.set_variant(flipped);
+        if netlist.validate().is_ok() {
+            assert_lanes_match_scalar(&netlist, 40, seed);
+        }
+    }
+
+    /// Batched throughput sweep equals 64 scalar pattern runs on random
+    /// feed-forward netlists.
+    #[test]
+    fn batched_throughput_matches_scalar_on_random_netlists(family_seed in 0u64..60) {
+        let (_, netlist) = generate::random_family(family_seed);
+        if netlist.validate().is_ok() {
+            assert_pattern_lanes_match_scalar(&netlist, 120, family_seed);
+        }
+    }
+}

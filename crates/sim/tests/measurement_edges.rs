@@ -24,7 +24,11 @@ fn record_from_skips_the_transient() {
 #[test]
 fn measure_options_control_the_window() {
     let ring = generate::ring(2, 1, RelayKind::Full);
-    let opts = MeasureOptions { max_transient: 100, measure_periods: 7, fallback_cycles: 1 };
+    let opts = MeasureOptions {
+        max_transient: 100,
+        measure_periods: 7,
+        fallback_cycles: 1,
+    };
     let m = measure_with(&ring.netlist, opts).unwrap();
     let p = m.periodicity.unwrap();
     // cycles = transient-search cycles + 7 periods.
@@ -71,10 +75,18 @@ fn aperiodic_ring_still_measures_by_fallback() {
         2,
         1,
         RelayKind::Full,
-        Pattern::Random { num: 1, denom: 3, seed: 5 },
+        Pattern::Random {
+            num: 1,
+            denom: 3,
+            seed: 5,
+        },
         Pattern::Never,
     );
-    let opts = MeasureOptions { max_transient: 50, measure_periods: 1, fallback_cycles: 3000 };
+    let opts = MeasureOptions {
+        max_transient: 50,
+        measure_periods: 1,
+        fallback_cycles: 3000,
+    };
     let m = measure_with(&ring.netlist, opts).unwrap();
     assert!(m.periodicity.is_none());
     let t = m.system_throughput().unwrap().to_f64();

@@ -2,7 +2,9 @@
 //! broken mutants that demonstrate the paper's minimum-memory theorem.
 
 use lip_core::pearl::{AccumulatorPearl, IdentityPearl, JoinPearl};
-use lip_core::{BufferedShell, FifoStation, FullRelayStation, HalfRelayStation, ProtocolVariant, Shell, Token};
+use lip_core::{
+    BufferedShell, FifoStation, FullRelayStation, HalfRelayStation, ProtocolVariant, Shell, Token,
+};
 
 /// The pearl wrapped by a shell under verification. Restricted to an
 /// enumerable set so device states can be encoded exactly.
@@ -96,7 +98,10 @@ impl Dut {
     /// The naive one-register station mutant.
     #[must_use]
     pub fn naive_one_reg() -> Self {
-        Dut::NaiveOneReg { reg: Token::VOID, stop_reg: false }
+        Dut::NaiveOneReg {
+            reg: Token::VOID,
+            stop_reg: false,
+        }
     }
 
     /// The hold-violating relay mutant.

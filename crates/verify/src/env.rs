@@ -27,7 +27,10 @@ impl UpstreamEnv {
     /// resolves the initial nondeterministic choice.
     #[must_use]
     pub fn new(first_valid: bool) -> Self {
-        let mut env = UpstreamEnv { next_seq: 0, offered: Token::VOID };
+        let mut env = UpstreamEnv {
+            next_seq: 0,
+            offered: Token::VOID,
+        };
         env.offered = env.generate(first_valid);
         env
     }

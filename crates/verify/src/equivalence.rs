@@ -70,7 +70,11 @@ pub fn check_latency_insensitivity(
             }
         }
     }
-    Ok(EquivalenceReport { cycles, delivered, mismatch })
+    Ok(EquivalenceReport {
+        cycles,
+        delivered,
+        mismatch,
+    })
 }
 
 #[cfg(test)]
@@ -99,7 +103,11 @@ mod tests {
         ] {
             let c = generate::chain(shells, relays, kind);
             let report = check_latency_insensitivity(&c.netlist, 150).unwrap();
-            assert!(report.holds(), "chain({shells},{relays},{kind}): {:?}", report.mismatch);
+            assert!(
+                report.holds(),
+                "chain({shells},{relays},{kind}): {:?}",
+                report.mismatch
+            );
         }
     }
 

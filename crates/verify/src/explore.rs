@@ -51,13 +51,19 @@ impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Violation::OrderOrSkip { expected, saw } => {
-                write!(f, "output order/skip violation: expected {expected}, saw {saw}")
+                write!(
+                    f,
+                    "output order/skip violation: expected {expected}, saw {saw}"
+                )
             }
             Violation::Incoherent { expected, saw } => {
                 write!(f, "incoherent data: expected {expected}, saw {saw}")
             }
             Violation::DroppedUnderStop { held } => {
-                write!(f, "stopped output dropped: token {held} vanished while held")
+                write!(
+                    f,
+                    "stopped output dropped: token {held} vanished while held"
+                )
             }
         }
     }
@@ -231,7 +237,11 @@ pub fn explore(dut: Dut, depth: u64) -> Verdict {
         let envs: Vec<UpstreamEnv> = (0..n_in)
             .map(|i| UpstreamEnv::new(mask & (1 << i) != 0))
             .collect();
-        let c = Composed { dut: dut.clone(), envs, observer: observer.clone() };
+        let c = Composed {
+            dut: dut.clone(),
+            envs,
+            observer: observer.clone(),
+        };
         if visited.insert(c.encode()) {
             queue.push_back(c);
         }
@@ -299,6 +309,104 @@ pub fn explore(dut: Dut, depth: u64) -> Verdict {
     }
 }
 
+/// Randomized pre-pass over `dut`: [`lip_sim::LANES`] (64) independent
+/// random stall schedules advance in lock-step, each drawing fresh
+/// input-validity and output-stop choices every round and running the
+/// same safety observer as [`explore`]. Each schedule ends once its
+/// environments have emitted `depth` tokens.
+///
+/// Token-level devices carry data words, so unlike the skeleton this
+/// cannot be bit-packed — the batching here is over schedules, trading
+/// exhaustiveness for linear cost. A `holds == false` verdict carries a
+/// genuine counterexample trace; `holds == true` only means the 64
+/// sampled schedules found nothing, so run [`explore`] for the proof.
+#[must_use]
+pub fn explore_random(dut: Dut, depth: u64, seed: u64) -> Verdict {
+    let n_in = dut.num_inputs();
+    let n_out = dut.num_outputs();
+    let observer = Observer::new(&dut);
+    let mut rng = seed;
+
+    struct Walker {
+        state: Composed,
+        trace: Vec<TraceStep>,
+        done: bool,
+    }
+    let mut walkers: Vec<Walker> = (0..lip_sim::LANES)
+        .map(|_| {
+            let mask = crate::system_explore::splitmix64(&mut rng);
+            let envs: Vec<UpstreamEnv> = (0..n_in)
+                .map(|i| UpstreamEnv::new(mask & (1 << i) != 0))
+                .collect();
+            Walker {
+                state: Composed {
+                    dut: dut.clone(),
+                    envs,
+                    observer: observer.clone(),
+                },
+                trace: Vec::new(),
+                done: false,
+            }
+        })
+        .collect();
+
+    let mut visited: HashSet<Vec<u64>> = HashSet::new();
+    let mut transitions = 0usize;
+    loop {
+        let mut progressed = false;
+        for w in &mut walkers {
+            if w.done {
+                continue;
+            }
+            progressed = true;
+            let choice = crate::system_explore::splitmix64(&mut rng);
+            let stops: Vec<bool> = (0..n_out).map(|j| choice & (1 << j) != 0).collect();
+            let choices: Vec<bool> = (0..n_in)
+                .map(|i| choice & (1 << (n_out + i)) != 0)
+                .collect();
+            let inputs: Vec<Token> = w.state.envs.iter().map(UpstreamEnv::offered).collect();
+            let outputs = w.state.dut.outputs(&inputs);
+            transitions += 1;
+            let step = TraceStep {
+                input_valid: choices.clone(),
+                output_stop: stops.clone(),
+                outputs: outputs.clone(),
+            };
+            w.trace.push(step);
+            if let Err(violation) = w.state.observer.observe(&outputs, &stops) {
+                return Verdict {
+                    holds: false,
+                    states: visited.len(),
+                    transitions,
+                    violation: Some(violation),
+                    counterexample: std::mem::take(&mut w.trace),
+                };
+            }
+            let dut_stops: Vec<bool> = (0..n_in)
+                .map(|i| w.state.dut.stop_upstream(i, &inputs, &stops))
+                .collect();
+            w.state.dut.clock(&inputs, &stops);
+            for (i, env) in w.state.envs.iter_mut().enumerate() {
+                env.clock(dut_stops[i], choices[i]);
+            }
+            visited.insert(w.state.encode());
+            if w.state.envs.iter().any(|e| e.emitted() > depth) {
+                w.done = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Verdict {
+        holds: true,
+        states: visited.len(),
+        transitions,
+        violation: None,
+        counterexample: Vec::new(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,7 +435,10 @@ mod tests {
 
     #[test]
     fn accumulator_shell_is_coherent() {
-        let v = explore(Dut::shell(ShellSpec::Accumulator, ProtocolVariant::Refined), 6);
+        let v = explore(
+            Dut::shell(ShellSpec::Accumulator, ProtocolVariant::Refined),
+            6,
+        );
         assert!(v.holds, "violation: {:?}", v.violation);
     }
 
@@ -359,9 +470,34 @@ mod tests {
     }
 
     #[test]
+    fn random_prepass_passes_safe_devices_and_catches_mutants() {
+        // Safe devices survive all 64 sampled schedules.
+        let v = explore_random(Dut::full_relay(), 6, 11);
+        assert!(v.holds, "violation: {:?}", v.violation);
+        assert!(v.transitions > 0 && v.states > 0);
+        // The leaky relay drops a held token under stop — random stalls
+        // hit that quickly; the returned trace must be non-empty.
+        let v = explore_random(Dut::leaky_relay(), 8, 11);
+        assert!(!v.holds, "mutant survived the random pre-pass");
+        assert!(!v.counterexample.is_empty());
+    }
+
+    #[test]
     fn violation_display_forms() {
-        assert!(Violation::OrderOrSkip { expected: 1, saw: 3 }.to_string().contains("expected 1"));
-        assert!(Violation::Incoherent { expected: 2, saw: 0 }.to_string().contains("incoherent"));
-        assert!(Violation::DroppedUnderStop { held: 4 }.to_string().contains("vanished"));
+        assert!(Violation::OrderOrSkip {
+            expected: 1,
+            saw: 3
+        }
+        .to_string()
+        .contains("expected 1"));
+        assert!(Violation::Incoherent {
+            expected: 2,
+            saw: 0
+        }
+        .to_string()
+        .contains("incoherent"));
+        assert!(Violation::DroppedUnderStop { held: 4 }
+            .to_string()
+            .contains("vanished"));
     }
 }

@@ -42,8 +42,8 @@ pub mod props;
 pub mod system_explore;
 
 pub use dut::{Dut, ShellSpec};
-pub use equivalence::{check_latency_insensitivity, EquivalenceReport};
 pub use env::UpstreamEnv;
-pub use explore::{explore, TraceStep, Verdict, Violation};
+pub use equivalence::{check_latency_insensitivity, EquivalenceReport};
+pub use explore::{explore, explore_random, TraceStep, Verdict, Violation};
 pub use props::{verify_all, PropertyResult, RELAY_PROPERTIES, SHELL_PROPERTIES};
-pub use system_explore::{explore_system, SystemSearch};
+pub use system_explore::{explore_system, random_explore_system, RandomSystemSearch, SystemSearch};

@@ -74,7 +74,10 @@ pub struct LivenessCase {
 /// # Errors
 ///
 /// Propagates [`NetlistError`] from elaboration.
-pub fn check_case(netlist: &Netlist, description: impl Into<String>) -> Result<LivenessCase, NetlistError> {
+pub fn check_case(
+    netlist: &Netlist,
+    description: impl Into<String>,
+) -> Result<LivenessCase, NetlistError> {
     let class = liveness_class(netlist);
     let report = check_liveness(netlist, 20_000, 5_000)?;
     let live = report.is_live();
@@ -82,7 +85,12 @@ pub fn check_case(netlist: &Netlist, description: impl Into<String>) -> Result<L
         LivenessClass::FeedForward | LivenessClass::FullOnlyLoops => live,
         LivenessClass::HalfInLoops => true, // "potential": either verdict is consistent
     };
-    Ok(LivenessCase { description: description.into(), class, live, consistent })
+    Ok(LivenessCase {
+        description: description.into(),
+        class,
+        live,
+        consistent,
+    })
 }
 
 /// Run the liveness recipe over a seeded corpus covering all three
@@ -99,7 +107,10 @@ pub fn theorem_sweep(seeds: u64) -> Result<Vec<LivenessCase>, NetlistError> {
         if netlist.validate().is_err() {
             continue;
         }
-        cases.push(check_case(&netlist, format!("random {family:?} (seed {seed})"))?);
+        cases.push(check_case(
+            &netlist,
+            format!("random {family:?} (seed {seed})"),
+        )?);
     }
     // Disturbed rings, the deadlock-prone configurations: external stop
     // bursts and void streams hitting loops of each relay kind.
@@ -111,7 +122,10 @@ pub fn theorem_sweep(seeds: u64) -> Result<Vec<LivenessCase>, NetlistError> {
                     r,
                     kind,
                     Pattern::EveryNth { period, phase: 0 },
-                    Pattern::EveryNth { period: period + 1, phase: 1 },
+                    Pattern::EveryNth {
+                        period: period + 1,
+                        phase: 1,
+                    },
                 );
                 if ring.netlist.validate().is_err() {
                     continue;
@@ -177,7 +191,11 @@ pub fn exhaustive_pattern_search(
             patterns.push(v);
         }
     }
-    let mut report = PatternSearchReport { environments: 0, live: 0, starving: Vec::new() };
+    let mut report = PatternSearchReport {
+        environments: 0,
+        live: 0,
+        starving: Vec::new(),
+    };
     for void_bits in &patterns {
         for stop_bits in &patterns {
             let ring = generate::ring_with_entry(
@@ -236,7 +254,9 @@ mod tests {
         // Both guaranteed-live classes must actually appear in the
         // corpus, or the sweep proves nothing.
         assert!(cases.iter().any(|c| c.class == LivenessClass::FeedForward));
-        assert!(cases.iter().any(|c| c.class == LivenessClass::FullOnlyLoops));
+        assert!(cases
+            .iter()
+            .any(|c| c.class == LivenessClass::FullOnlyLoops));
         assert!(cases.iter().any(|c| c.class == LivenessClass::HalfInLoops));
     }
 

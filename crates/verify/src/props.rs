@@ -55,7 +55,12 @@ pub fn verify_all(depth: u64) -> Vec<PropertyResult> {
     fn row(dut: Dut, depth: u64, properties: &'static str, expected_safe: bool) -> PropertyResult {
         let block = dut.name().to_owned();
         let verdict = explore(dut, depth);
-        PropertyResult { block, properties, expected_safe, verdict }
+        PropertyResult {
+            block,
+            properties,
+            expected_safe,
+            verdict,
+        }
     }
 
     let mut rows = vec![
@@ -65,8 +70,15 @@ pub fn verify_all(depth: u64) -> Vec<PropertyResult> {
         row(Dut::fifo_relay(4), depth, RELAY_PROPERTIES, true),
     ];
     for variant in ProtocolVariant::ALL {
-        for spec in [ShellSpec::Identity, ShellSpec::Accumulator, ShellSpec::Join2] {
-            for dut in [Dut::shell(spec, variant), Dut::buffered_shell(spec, variant)] {
+        for spec in [
+            ShellSpec::Identity,
+            ShellSpec::Accumulator,
+            ShellSpec::Join2,
+        ] {
+            for dut in [
+                Dut::shell(spec, variant),
+                Dut::buffered_shell(spec, variant),
+            ] {
                 let block = format!("{} ({variant})", dut.name());
                 let verdict = explore(dut, depth);
                 rows.push(PropertyResult {
@@ -111,7 +123,11 @@ mod tests {
         assert_eq!(mutants.len(), 2);
         for m in mutants {
             assert!(!m.verdict.holds);
-            assert!(!m.verdict.counterexample.is_empty(), "{} lacks a trace", m.block);
+            assert!(
+                !m.verdict.counterexample.is_empty(),
+                "{} lacks a trace",
+                m.block
+            );
         }
     }
 }

@@ -13,9 +13,10 @@
 //! free against every environment, adversarial or not.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use lip_graph::{Netlist, NetlistError};
-use lip_sim::SkeletonSystem;
+use lip_sim::{BatchSkeleton, SettleProgram, SkeletonSystem, LANES};
 
 use lip_analysis::transient_bound;
 
@@ -98,13 +99,146 @@ pub fn explore_system(netlist: &Netlist, max_states: usize) -> Result<SystemSear
                 transitions += 1;
                 let key = next.component_state();
                 if visited.insert(key.clone()) {
-                    parents.insert(key, (state.component_state(), (valids.clone(), stops.clone())));
+                    parents.insert(
+                        key,
+                        (state.component_state(), (valids.clone(), stops.clone())),
+                    );
                     queue.push_back(next);
                 }
             }
         }
     }
-    Ok(SystemSearch { states: visited.len(), transitions, complete, wedged: None })
+    Ok(SystemSearch {
+        states: visited.len(),
+        transitions,
+        complete,
+        wedged: None,
+    })
+}
+
+/// Result of [`random_explore_system`]: a randomized (incomplete but
+/// fast) hunt for wedged states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomSystemSearch {
+    /// Cycles each schedule ran.
+    pub cycles: u64,
+    /// Independent random stall schedules tried (always [`LANES`]).
+    pub schedules: usize,
+    /// A scalar-confirmed environment trace into a wedged state, if any
+    /// lane found one.
+    pub wedged: Option<Vec<EnvChoice>>,
+}
+
+impl RandomSystemSearch {
+    /// `true` when no sampled schedule reached a wedged state. Unlike
+    /// [`SystemSearch::deadlock_free`] this is *not* a proof — it is the
+    /// cheap pre-pass to run before the exhaustive search.
+    #[must_use]
+    pub fn deadlock_free(&self) -> bool {
+        self.wedged.is_none()
+    }
+}
+
+/// Randomized whole-system deadlock hunt: drive 64 independent random
+/// stall schedules in lock-step on the bit-parallel [`BatchSkeleton`]
+/// (each cycle, every lane draws fresh source-offer and sink-stop
+/// choices), and periodically probe all 64 lanes at once for wedged
+/// states using the batched permissive continuation. A hit is replayed
+/// and confirmed on the scalar [`SkeletonSystem`] before it is reported,
+/// so a returned trace is always genuine.
+///
+/// This samples schedules instead of enumerating them — linear cost per
+/// cycle versus the exponential branching of [`explore_system`] — which
+/// makes it the right first pass on systems whose exhaustive state space
+/// is out of budget.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+pub fn random_explore_system(
+    netlist: &Netlist,
+    cycles: u64,
+    seed: u64,
+) -> Result<RandomSystemSearch, NetlistError> {
+    let prog = Arc::new(SettleProgram::compile(netlist)?);
+    let n_src = prog.source_count();
+    let n_snk = prog.sink_count();
+    let has_shells = prog.shell_count() > 0;
+    let horizon = transient_bound(netlist) + 4;
+    let probe_every = horizon.max(8);
+
+    let mut batch = BatchSkeleton::from_program(Arc::clone(&prog));
+    let mut rng = seed;
+    let mut schedule: Vec<(Vec<u64>, Vec<u64>)> = Vec::with_capacity(cycles as usize);
+    for t in 0..cycles {
+        let srcs: Vec<u64> = (0..n_src).map(|_| splitmix64(&mut rng)).collect();
+        let snks: Vec<u64> = (0..n_snk).map(|_| splitmix64(&mut rng)).collect();
+        batch.step_with_masks(&srcs, &snks);
+        schedule.push((srcs, snks));
+        if has_shells && ((t + 1) % probe_every == 0 || t + 1 == cycles) {
+            let mut wedged_lanes = batch_wedged_mask(&batch, n_src, n_snk, horizon);
+            while wedged_lanes != 0 {
+                let lane = wedged_lanes.trailing_zeros() as usize;
+                wedged_lanes &= wedged_lanes - 1;
+                if let Some(trace) = confirm_lane(&prog, &schedule, lane, n_src, n_snk, horizon) {
+                    return Ok(RandomSystemSearch {
+                        cycles: t + 1,
+                        schedules: LANES,
+                        wedged: Some(trace),
+                    });
+                }
+            }
+        }
+    }
+    Ok(RandomSystemSearch {
+        cycles,
+        schedules: LANES,
+        wedged: None,
+    })
+}
+
+/// Lanes that fail to fire any shell within `horizon` permissive cycles
+/// — the batched form of [`is_wedged`], all 64 lanes probed at once.
+fn batch_wedged_mask(batch: &BatchSkeleton, n_src: usize, n_snk: usize, horizon: u64) -> u64 {
+    let mut probe = batch.clone();
+    probe.reset_fired_mask();
+    let all_valid = vec![!0u64; n_src];
+    let no_stop = vec![0u64; n_snk];
+    for _ in 0..horizon {
+        probe.step_with_masks(&all_valid, &no_stop);
+    }
+    !probe.fired_mask()
+}
+
+/// Replay `lane`'s bits of the recorded schedule on a scalar skeleton
+/// and re-check the wedge verdict; returns the per-cycle environment
+/// trace when confirmed.
+fn confirm_lane(
+    prog: &Arc<SettleProgram>,
+    schedule: &[(Vec<u64>, Vec<u64>)],
+    lane: usize,
+    n_src: usize,
+    n_snk: usize,
+    horizon: u64,
+) -> Option<Vec<EnvChoice>> {
+    let mut scalar = SkeletonSystem::from_program(Arc::clone(prog));
+    let mut trace = Vec::with_capacity(schedule.len());
+    for (srcs, snks) in schedule {
+        let valids: Vec<bool> = (0..n_src).map(|i| (srcs[i] >> lane) & 1 == 1).collect();
+        let stops: Vec<bool> = (0..n_snk).map(|j| (snks[j] >> lane) & 1 == 1).collect();
+        scalar.step_with(&valids, &stops);
+        trace.push((valids, stops));
+    }
+    is_wedged(&scalar, n_src, n_snk, horizon).then_some(trace)
+}
+
+/// The splitmix64 step: cheap, well-mixed, and dependency-free.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Under the fully permissive environment, does the system fail to fire
@@ -192,6 +326,52 @@ mod tests {
         let r = generate::buffered_ring(2, 0);
         let search = explore_system(&r.netlist, 100_000).unwrap();
         assert!(search.complete);
+        assert!(search.deadlock_free());
+    }
+
+    #[test]
+    fn random_prepass_agrees_with_exhaustive_on_safe_systems() {
+        // The randomized 64-schedule pre-pass samples the same space the
+        // exhaustive search enumerates; on systems proven safe it must
+        // never report a wedge (a report would be scalar-confirmed, so a
+        // failure here is a genuine engine bug, not sampling noise).
+        for netlist in [
+            generate::fig1().netlist,
+            generate::ring_with_entry(
+                2,
+                1,
+                RelayKind::Full,
+                lip_core::Pattern::Never,
+                lip_core::Pattern::Never,
+            )
+            .netlist,
+            generate::ring_with_entry(
+                2,
+                2,
+                RelayKind::Half,
+                lip_core::Pattern::Never,
+                lip_core::Pattern::Never,
+            )
+            .netlist,
+        ] {
+            let exhaustive = explore_system(&netlist, 200_000).unwrap();
+            assert!(exhaustive.deadlock_free());
+            for seed in 0..3 {
+                let random = random_explore_system(&netlist, 500, seed).unwrap();
+                assert!(random.deadlock_free(), "seed {seed}: {:?}", random.wedged);
+                assert_eq!(random.schedules, LANES);
+                assert_eq!(random.cycles, 500);
+            }
+        }
+    }
+
+    #[test]
+    fn random_prepass_handles_shell_free_systems() {
+        let mut n = lip_graph::Netlist::new();
+        let src = n.add_source("in");
+        let out = n.add_sink("out");
+        n.connect(src, 0, out, 0).unwrap();
+        let search = random_explore_system(&n, 200, 7).unwrap();
         assert!(search.deadlock_free());
     }
 }

@@ -16,8 +16,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== liveness classes ==");
     for (name, netlist) in [
         ("Fig. 1 fork-join (feed-forward)", generate::fig1().netlist),
-        ("ring S=2 R=2, full stations", generate::ring(2, 2, RelayKind::Full).netlist),
-        ("ring S=2 R=2, half stations", generate::ring(2, 2, RelayKind::Half).netlist),
+        (
+            "ring S=2 R=2, full stations",
+            generate::ring(2, 2, RelayKind::Full).netlist,
+        ),
+        (
+            "ring S=2 R=2, half stations",
+            generate::ring(2, 2, RelayKind::Half).netlist,
+        ),
     ] {
         let class = liveness_class(&netlist);
         let live = check_liveness(&netlist, 10_000, 5_000)?.is_live();
@@ -36,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut netlist = ring.netlist;
     let suspects = half_relays_in_loops(&netlist);
-    println!("half relay stations in loops (deadlock suspects): {}", suspects.len());
+    println!(
+        "half relay stations in loops (deadlock suspects): {}",
+        suspects.len()
+    );
     let before = check_liveness(&netlist, 10_000, 5_000)?;
     println!(
         "before cure: live = {} (dead shells: {})",
@@ -57,8 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cases = theorem_sweep(40)?;
     let mut by_class = std::collections::BTreeMap::new();
     for case in &cases {
-        assert!(case.consistent, "{}: contradicts the paper", case.description);
-        let e = by_class.entry(format!("{}", case.class)).or_insert((0u32, 0u32));
+        assert!(
+            case.consistent,
+            "{}: contradicts the paper",
+            case.description
+        );
+        let e = by_class
+            .entry(format!("{}", case.class))
+            .or_insert((0u32, 0u32));
         e.0 += 1;
         if case.live {
             e.1 += 1;
@@ -68,6 +83,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (class, (cases, live)) in &by_class {
         println!("{class:<45} {cases:>6} {live:>6}");
     }
-    println!("\nall {} instances consistent with the paper's three statements", cases.len());
+    println!(
+        "\nall {} instances consistent with the paper's three statements",
+        cases.len()
+    );
     Ok(())
 }

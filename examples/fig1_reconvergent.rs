@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let measured = m.system_throughput().expect("measured");
     let p = m.periodicity.expect("periodic");
     println!("predicted T = {predicted}");
-    println!("measured  T = {measured}   (period {} cycles, transient {})", p.period, p.transient);
+    println!(
+        "measured  T = {measured}   (period {} cycles, transient {})",
+        p.period, p.transient
+    );
     assert_eq!(predicted, measured);
     assert_eq!(measured.to_string(), "4/5");
     assert_eq!(p.period, 5);

@@ -22,7 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cf = closed_form(&fig2.netlist);
     println!("closed form: {cf:?} -> T = {}", cf.throughput());
-    let measured = measure(&fig2.netlist)?.system_throughput().expect("measured");
+    let measured = measure(&fig2.netlist)?
+        .system_throughput()
+        .expect("measured");
     println!("measured:   T = {measured}");
     assert_eq!(measured, loop_throughput(2, 1));
     println!();
@@ -36,11 +38,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 continue; // S-only loops need a relay station
             }
             let formula = loop_throughput(s, r);
-            let measured = measure(&ring.netlist)?.system_throughput().expect("measured");
+            let measured = measure(&ring.netlist)?
+                .system_throughput()
+                .expect("measured");
             assert_eq!(formula, measured);
             println!("{s:>3} {r:>3} {formula:>9} {measured:>9}");
         }
     }
-    println!("\npaper: \"this justifies the number S/(S+R) for the maximum throughput\" -> reproduced");
+    println!(
+        "\npaper: \"this justifies the number S/(S+R) for the maximum throughput\" -> reproduced"
+    );
     Ok(())
 }

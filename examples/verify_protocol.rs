@@ -14,14 +14,25 @@ fn main() {
     );
     let rows = verify_all(6);
     for row in &rows {
-        let verdict = if row.verdict.holds { "SAFE" } else { "VIOLATED" };
+        let verdict = if row.verdict.holds {
+            "SAFE"
+        } else {
+            "VIOLATED"
+        };
         println!(
             "{:<38} {:>8} {:>12}  {:<8} {}",
             row.block, row.verdict.states, row.verdict.transitions, verdict, row.properties
         );
-        assert!(row.as_expected(), "{} did not verify as expected", row.block);
+        assert!(
+            row.as_expected(),
+            "{} did not verify as expected",
+            row.block
+        );
         if let Some(v) = &row.verdict.violation {
-            println!("    counterexample ({} steps): {v}", row.verdict.counterexample.len());
+            println!(
+                "    counterexample ({} steps): {v}",
+                row.verdict.counterexample.len()
+            );
         }
     }
     println!("\nall genuine blocks SAFE; both mutants caught with counterexamples");

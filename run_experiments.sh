@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Regenerate every paper artefact (figures, claims, ablations) in order.
 # Criterion cost benches are separate: `cargo bench --workspace`.
-set -euo pipefail
+set -uo pipefail
 
 BINS=(
   fig1_feedforward
@@ -19,13 +19,28 @@ BINS=(
   exp_ablation_memory
   exp_queue_sizing
   exp_clock_gating
+  exp_batch_sweep
 )
 
-cargo build --release -p lip-bench --bins
+cargo build --release -p lip-bench --bins || exit 1
+
+FAILED=()
 for bin in "${BINS[@]}"; do
   echo
   echo "################################################################"
   echo "## $bin"
   echo "################################################################"
-  cargo run --release -q -p lip-bench --bin "$bin"
+  if ! cargo run --release -q -p lip-bench --bin "$bin"; then
+    echo "!! $bin exited non-zero" >&2
+    FAILED+=("$bin")
+  fi
 done
+
+echo
+if [ "${#FAILED[@]}" -ne 0 ]; then
+  echo "################################################################" >&2
+  echo "## FAILED experiments: ${FAILED[*]}" >&2
+  echo "################################################################" >&2
+  exit 1
+fi
+echo "All ${#BINS[@]} experiments completed successfully."

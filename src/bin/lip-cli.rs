@@ -89,12 +89,16 @@ fn with_family(spec: &str, f: impl FnOnce(FamilyInstance) -> i32) -> i32 {
 fn parse_family(spec: &str) -> Result<FamilyInstance, String> {
     // A netlist file beats the built-in families.
     if spec.ends_with(".lid") || std::path::Path::new(spec).is_file() {
-        let text = std::fs::read_to_string(spec)
-            .map_err(|e| format!("cannot read `{spec}`: {e}"))?;
+        let text =
+            std::fs::read_to_string(spec).map_err(|e| format!("cannot read `{spec}`: {e}"))?;
         let (netlist, _names) =
             lip::graph::parse_netlist(&text).map_err(|e| format!("{spec}: {e}"))?;
         let display_nodes = netlist.shells();
-        return Ok(FamilyInstance { name: spec.to_owned(), netlist, display_nodes });
+        return Ok(FamilyInstance {
+            name: spec.to_owned(),
+            netlist,
+            display_nodes,
+        });
     }
     let (head, tail) = match spec.split_once(':') {
         Some((h, t)) => (h, t),
@@ -103,14 +107,24 @@ fn parse_family(spec: &str) -> Result<FamilyInstance, String> {
     let nums: Vec<usize> = tail
         .split(',')
         .filter(|s| !s.is_empty() && *s != "half" && *s != "full")
-        .map(|s| s.parse().map_err(|_| format!("bad number `{s}` in `{spec}`")))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("bad number `{s}` in `{spec}`"))
+        })
         .collect::<Result<_, _>>()?;
-    let kind = if tail.ends_with("half") { RelayKind::Half } else { RelayKind::Full };
+    let kind = if tail.ends_with("half") {
+        RelayKind::Half
+    } else {
+        RelayKind::Full
+    };
     let need = |n: usize| -> Result<(), String> {
         if nums.len() == n {
             Ok(())
         } else {
-            Err(format!("`{head}` needs {n} numeric parameters, got {}", nums.len()))
+            Err(format!(
+                "`{head}` needs {n} numeric parameters, got {}",
+                nums.len()
+            ))
         }
     };
     let inst = match head {
@@ -227,7 +241,10 @@ fn simulate(f: FamilyInstance, _cycles: u64) -> i32 {
     }
     let m = measure(&f.netlist).expect("validated");
     match m.periodicity {
-        Some(p) => println!("periodic: transient {} cycles, period {}", p.transient, p.period),
+        Some(p) => println!(
+            "periodic: transient {} cycles, period {}",
+            p.transient, p.period
+        ),
         None => println!("no periodicity detected (aperiodic environment?)"),
     }
     for s in &m.sinks {
@@ -283,8 +300,16 @@ fn liveness(f: FamilyInstance) -> i32 {
 fn verify(depth: u64) -> i32 {
     let mut failures = 0;
     for row in verify_all(depth) {
-        let status = if row.verdict.holds { "SAFE" } else { "VIOLATED" };
-        let expected = if row.as_expected() { "" } else { "  <-- UNEXPECTED" };
+        let status = if row.verdict.holds {
+            "SAFE"
+        } else {
+            "VIOLATED"
+        };
+        let expected = if row.as_expected() {
+            ""
+        } else {
+            "  <-- UNEXPECTED"
+        };
         println!("{:<42} {status}{expected}", row.block);
         if !row.as_expected() {
             failures += 1;

@@ -132,7 +132,9 @@ fn liveness_verdicts_are_engine_independent() {
             if ring.netlist.validate().is_err() {
                 continue;
             }
-            let via_full = check_liveness(&ring.netlist, 5_000, 1_000).unwrap().is_live();
+            let via_full = check_liveness(&ring.netlist, 5_000, 1_000)
+                .unwrap()
+                .is_live();
             // Skeleton: run well past the transient; all shells must
             // keep firing if and only if the full engine says so.
             let mut sk = SkeletonSystem::new(&ring.netlist).unwrap();
@@ -163,8 +165,14 @@ fn transient_bound_with_environment_patterns() {
         2,
         1,
         RelayKind::Full,
-        Pattern::EveryNth { period: 3, phase: 0 },
-        Pattern::EveryNth { period: 4, phase: 2 },
+        Pattern::EveryNth {
+            period: 3,
+            phase: 0,
+        },
+        Pattern::EveryNth {
+            period: 4,
+            phase: 2,
+        },
     );
     let bound = transient_bound(&ring.netlist);
     let m = measure(&ring.netlist).unwrap();

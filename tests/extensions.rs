@@ -22,7 +22,8 @@ fn fifo_pipelines_are_transparent_to_data() {
         let a = n.add_shell("a", IdentityPearl::new());
         let out = n.add_sink("out");
         n.connect(src, 0, a, 0).unwrap();
-        n.connect_via_relays(a, 0, out, 0, 2, RelayKind::Fifo(cap)).unwrap();
+        n.connect_via_relays(a, 0, out, 0, 2, RelayKind::Fifo(cap))
+            .unwrap();
         n.validate().unwrap();
 
         assert_eq!(predict_throughput(&n), Some(Ratio::new(1, 1)));
@@ -55,7 +56,8 @@ fn fifo_pipelines_are_transparent_to_data() {
 fn queue_sizing_formula_holds_everywhere() {
     for k in 2u8..=5 {
         let mut f = generate::fig1();
-        f.netlist.set_relay_kind(f.short_relays[0], RelayKind::Fifo(k));
+        f.netlist
+            .set_relay_kind(f.short_relays[0], RelayKind::Fifo(k));
         let expected = Ratio::new(u64::from(k + 2).min(5), 5);
         assert_eq!(predict_throughput(&f.netlist), Some(expected), "cap {k}");
         assert_eq!(
@@ -127,7 +129,8 @@ fn internally_pipelined_pearls_are_latency_insensitive() {
         if relays == 0 {
             n.connect(a, 0, out, 0).unwrap();
         } else {
-            n.connect_via_relays(a, 0, out, 0, relays, RelayKind::Full).unwrap();
+            n.connect_via_relays(a, 0, out, 0, relays, RelayKind::Full)
+                .unwrap();
         }
         (n, out)
     };
@@ -161,9 +164,18 @@ fn wire_pipelining_preserves_latency_insensitivity() {
         pipeline_wires(
             &mut n,
             &[
-                WireLatency { channel: ch1, cycles: l1 },
-                WireLatency { channel: ch2, cycles: l2 },
-                WireLatency { channel: ch3, cycles: l3 },
+                WireLatency {
+                    channel: ch1,
+                    cycles: l1,
+                },
+                WireLatency {
+                    channel: ch2,
+                    cycles: l2,
+                },
+                WireLatency {
+                    channel: ch3,
+                    cycles: l3,
+                },
             ],
         );
         n.validate().unwrap();

@@ -55,7 +55,11 @@ fn reconvergent_formula_holds_across_imbalances() {
         } else {
             (loop_relays + 1, (s - r1 - r2) as u64)
         };
-        let expected = if i == 0 { Ratio::new(1, 1) } else { Ratio::new(m - i, m) };
+        let expected = if i == 0 {
+            Ratio::new(1, 1)
+        } else {
+            Ratio::new(m - i, m)
+        };
         let measured = measure(&f.netlist).unwrap().system_throughput().unwrap();
         assert_eq!(measured, expected, "fork_join({r1},{r2},{s})");
     }
@@ -71,7 +75,10 @@ fn feedback_formula_holds() {
             assert_eq!(measured, loop_throughput(s, r), "ring({s},{r})");
             assert_eq!(
                 closed_form(&ring.netlist),
-                ClosedForm::Feedback { s: s as u64, r: r as u64 }
+                ClosedForm::Feedback {
+                    s: s as u64,
+                    r: r as u64
+                }
             );
         }
     }
@@ -214,7 +221,11 @@ fn transient_is_predictable_upfront() {
         let bound = transient_bound(&netlist);
         let mut sys = System::new(&netlist).unwrap();
         if let Some(p) = find_periodicity(&mut sys, 100_000) {
-            assert!(p.transient <= bound, "seed {seed} {fam:?}: {} > {bound}", p.transient);
+            assert!(
+                p.transient <= bound,
+                "seed {seed} {fam:?}: {} > {bound}",
+                p.transient
+            );
         }
     }
 }
@@ -233,14 +244,20 @@ fn smv_properties_reproduced() {
 /// Liveness statements: feed-forward and full-only LIDs never starve.
 #[test]
 fn liveness_statements_hold() {
-    assert!(check_liveness(&generate::fig1().netlist, 5_000, 2_000).unwrap().is_live());
-    assert!(check_liveness(&generate::tree(2, 2, 2).netlist, 5_000, 2_000)
+    assert!(check_liveness(&generate::fig1().netlist, 5_000, 2_000)
         .unwrap()
         .is_live());
+    assert!(
+        check_liveness(&generate::tree(2, 2, 2).netlist, 5_000, 2_000)
+            .unwrap()
+            .is_live()
+    );
     for (s, r) in [(1usize, 2usize), (2, 1), (3, 3)] {
         let ring = generate::ring(s, r, RelayKind::Full);
         assert!(
-            check_liveness(&ring.netlist, 5_000, 2_000).unwrap().is_live(),
+            check_liveness(&ring.netlist, 5_000, 2_000)
+                .unwrap()
+                .is_live(),
             "ring({s},{r})"
         );
     }

@@ -8,7 +8,7 @@
 //! towards 1 without reaching it. This table quantifies the trade-off
 //! the paper's "spare relay stations" remark leaves open.
 
-use lip_bench::{banner, table};
+use lip_bench::{banner, emit_report, table, Report};
 use lip_core::RelayKind;
 use lip_graph::generate;
 use lip_sim::measure;
@@ -21,6 +21,8 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut full_reaches_unit = false;
+    let mut best_half = 0.0f64;
     for spares in 0..=4usize {
         for kind in [RelayKind::Full, RelayKind::Half] {
             // Fig. 1 instance with `spares` extra stations appended to
@@ -40,6 +42,11 @@ fn main() {
                 .system_throughput()
                 .expect("one sink");
             let registers = spares * kind.capacity();
+            match kind {
+                RelayKind::Full if t.to_f64() == 1.0 => full_reaches_unit = true,
+                RelayKind::Half => best_half = best_half.max(t.to_f64()),
+                _ => {}
+            }
             rows.push(vec![
                 spares.to_string(),
                 kind.to_string(),
@@ -60,4 +67,12 @@ fn main() {
     println!("each) climb 4/5 -> 5/6 -> 6/7 -> ... and never close the gap — the");
     println!("paper's full relay station is the right equalizer, the half station the");
     println!("right minimum-memory insert");
+
+    let mut report = Report::new("exp_ablation_equalizer");
+    report
+        .push_int("configurations", rows.len() as u64)
+        .push_bool("full_spare_reaches_unit", full_reaches_unit)
+        .push_f64("best_half_spare_throughput", best_half)
+        .push_bool("ok", full_reaches_unit && best_half < 1.0);
+    emit_report(&report);
 }

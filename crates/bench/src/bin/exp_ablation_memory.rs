@@ -8,7 +8,7 @@
 //! register budget, and one structural freedom the simplified shell
 //! lacks (relay-free loops).
 
-use lip_bench::{banner, mark, table};
+use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_graph::generate;
 use lip_sim::{measure, Ratio, System};
 
@@ -21,6 +21,7 @@ fn main() {
 
     // 1. Memory + behaviour equivalence on pipelines.
     let mut rows = Vec::new();
+    let mut all_identical = true;
     for shells in [1usize, 2, 4, 8] {
         let (simple, buffered) = generate::memory_equivalent_chains(shells);
         let cs = simple.netlist.census();
@@ -38,6 +39,7 @@ fn main() {
         let sa = a.sink(simple.sink).expect("sink");
         let sb = b.sink(buffered.sink).expect("sink");
         let identical = sa.received() == sb.received() && sa.voids_seen() == sb.voids_seen();
+        all_identical &= identical && regs_simple == regs_buffered;
         rows.push(vec![
             shells.to_string(),
             regs_simple.to_string(),
@@ -64,6 +66,7 @@ fn main() {
 
     // 2. The structural freedom: loops with no relay stations at all.
     let mut rows = Vec::new();
+    let mut loops_at_unit = 0u64;
     for s in 1..=5usize {
         let ring = generate::buffered_ring(s, 0);
         ring.netlist.validate().expect("buffered loops are legal");
@@ -73,6 +76,7 @@ fn main() {
             .expect("one sink");
         // Buffered shells fuse a half station per input: zero added
         // latency, so the relay-free loop runs at full rate.
+        loops_at_unit += u64::from(t == Ratio::new(1, 1));
         rows.push(vec![
             s.to_string(),
             "0".into(),
@@ -90,4 +94,11 @@ fn main() {
     println!("a simplified-shell loop with zero relay stations is rejected by the");
     println!("validator (combinational stop loop) — the minimum-memory theorem; the");
     println!("buffered shell pays the same registers inside the shell instead");
+
+    let mut report = Report::new("exp_ablation_memory");
+    report
+        .push_bool("chains_identical", all_identical)
+        .push_int("relay_free_loops_at_unit_throughput", loops_at_unit)
+        .push_bool("ok", all_identical && loops_at_unit == 5);
+    emit_report(&report);
 }

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use lip_bench::{banner, mark, table};
+use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_core::Pattern;
 use lip_graph::{generate, Netlist, NodeId};
 use lip_sim::{measure_batch, LanePatterns, SettleProgram, SkeletonSystem, LANES};
@@ -176,6 +176,10 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"schema_version\": {},\n",
+        lip_obs::SCHEMA_VERSION
+    ));
     json.push_str("  \"experiment\": \"exp_batch_sweep\",\n");
     json.push_str(&format!("  \"lanes\": {LANES},\n"));
     json.push_str(&format!("  \"cycles\": {CYCLES},\n"));
@@ -192,6 +196,19 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_skeleton.json", json).expect("write BENCH_skeleton.json");
     println!("wrote BENCH_skeleton.json");
+
+    let mut report = Report::new("exp_batch_sweep");
+    report
+        .push_int("lanes", LANES as u64)
+        .push_int("cycles", CYCLES)
+        .push_f64("claimed_speedup", CLAIMED_SPEEDUP)
+        .push_f64(
+            "min_speedup",
+            rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min),
+        )
+        .push_int("topologies", rows.len() as u64)
+        .push_bool("ok", rows.iter().all(|r| r.speedup >= CLAIMED_SPEEDUP));
+    emit_report(&report);
 
     if let Some(r) = rows.iter().find(|r| r.speedup < CLAIMED_SPEEDUP) {
         eprintln!(

@@ -7,7 +7,7 @@
 //! the same firing rate, the system throughput `T`; the gated fraction
 //! is exactly `1 − T`.
 
-use lip_bench::{banner, mark, table};
+use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_core::RelayKind;
 use lip_graph::generate;
 use lip_sim::measure::{measure, measure_activity};
@@ -20,6 +20,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut uniform_systems = 0u64;
     let mut case = |name: String, netlist: &lip_graph::Netlist| {
         let t = measure(netlist)
             .expect("measures")
@@ -27,6 +28,7 @@ fn main() {
             .expect("one sink");
         let acts = measure_activity(netlist).expect("measures");
         let uniform = acts.iter().all(|a| a.utilisation == t);
+        uniform_systems += u64::from(uniform);
         let gated = 1.0 - t.to_f64();
         rows.push(vec![
             name,
@@ -71,4 +73,12 @@ fn main() {
     );
     println!("the protocol's throughput loss is symmetric power savings: a ring at");
     println!("T = 1/4 clock-gates 75% of every shell's cycles with zero extra control");
+
+    let systems = rows.len() as u64;
+    let mut report = Report::new("exp_clock_gating");
+    report
+        .push_int("systems", systems)
+        .push_int("uniform_systems", uniform_systems)
+        .push_bool("ok", uniform_systems == systems);
+    emit_report(&report);
 }

@@ -5,7 +5,7 @@
 //! need for path equalization."
 
 use lip_analysis::{loop_throughput, predict_throughput, reconvergent_throughput};
-use lip_bench::{banner, mark, table};
+use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_graph::generate;
 use lip_sim::measure;
 
@@ -17,6 +17,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut model_mismatches = 0u64;
     for (long, short, ring_s, ring_r) in [
         (2usize, 1usize, 1usize, 2usize), // slow ring dominates
         (2, 1, 2, 1),                     // comparable
@@ -42,6 +43,7 @@ fn main() {
         } else {
             front_t
         };
+        model_mismatches += u64::from(measured != predicted);
         rows.push(vec![
             format!("fork({long},{short}) -> ring({ring_s},{ring_r})"),
             front_t.to_string(),
@@ -75,7 +77,9 @@ fn main() {
 
     // Coupled compositions: a *binding* fork-join front-end. Now the
     // min() of the two closed forms is exact.
+    let decoupled = rows.len() as u64;
     let mut rows = Vec::new();
+    let mut min_mismatches = 0u64;
     for (r1, r2, s, rs_, rr) in [
         (1usize, 1usize, 1usize, 1usize, 2usize), // ring 1/3 slowest
         (2, 2, 1, 2, 1),                          // front 4/7 vs ring 2/3
@@ -107,6 +111,7 @@ fn main() {
             .expect("measures")
             .system_throughput()
             .expect("one sink");
+        min_mismatches += u64::from(measured != min_sub);
         rows.push(vec![
             format!("forkjoin({r1},{r2},{s}) -> ring({rs_},{rr})"),
             front.to_string(),
@@ -133,4 +138,13 @@ fn main() {
     println!("with a binding (fork-join) front-end, min(sub-topology throughputs) is");
     println!("exact — the slowest sub-topology dictates the system speed, with no");
     println!("equalization applied anywhere");
+
+    let mut report = Report::new("exp_composition");
+    report
+        .push_int("decoupled_compositions", decoupled)
+        .push_int("coupled_compositions", rows.len() as u64)
+        .push_int("model_mismatches", model_mismatches)
+        .push_int("min_bound_mismatches", min_mismatches)
+        .push_bool("ok", model_mismatches == 0 && min_mismatches == 0);
+    emit_report(&report);
 }

@@ -8,7 +8,7 @@
 //! can be cured by low intrusive changes."
 
 use lip_analysis::{cure_deadlocks, half_relays_in_loops};
-use lip_bench::{banner, mark, table};
+use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_core::{Pattern, RelayKind};
 use lip_graph::generate;
 use lip_verify::explore_system;
@@ -54,8 +54,11 @@ fn main() {
         .count();
     println!("({half_cases} half-in-loop cases decided individually by skeleton simulation)\n");
 
+    let theorems_consistent = cases.iter().all(|c| c.consistent);
+
     // 2. Cure demonstration on starving configurations.
     let mut cure_rows = Vec::new();
+    let mut cured = 0u64;
     for (s, r, stop) in [
         (2usize, 2usize, vec![true, false]),
         (1, 2, vec![true, true, false]),
@@ -74,6 +77,7 @@ fn main() {
         }
         let suspects = half_relays_in_loops(&netlist).len();
         let report = cure_deadlocks(&mut netlist, 10_000, 5_000).expect("elaborates");
+        cured += u64::from(report.is_live());
         cure_rows.push(vec![
             format!(
                 "half ring({s},{r}), stop duty {}",
@@ -135,7 +139,9 @@ fn main() {
     //    periodic ones) — a wedged state is one from which no shell can
     //    ever fire again.
     println!("\n== universal environment exploration (model checking) ==");
+    let cure_count = cure_rows.len() as u64;
     let mut rows = Vec::new();
+    let mut deadlock_free = 0u64;
     for (name, netlist) in [
         ("Fig. 1 fork-join", generate::fig1().netlist),
         (
@@ -163,6 +169,7 @@ fn main() {
         ),
     ] {
         let search = explore_system(&netlist, 500_000).expect("elaborates");
+        deadlock_free += u64::from(search.deadlock_free());
         rows.push(vec![
             name.to_owned(),
             search.states.to_string(),
@@ -187,4 +194,19 @@ fn main() {
     println!("every reachable control state was enumerated under every environment");
     println!("choice sequence: within these systems, deadlock is impossible — not");
     println!("merely unobserved");
+
+    let explored = rows.len() as u64;
+    let mut report = Report::new("exp_deadlock");
+    report
+        .push_int("theorem_cases", cases.len() as u64)
+        .push_bool("theorems_consistent", theorems_consistent)
+        .push_int("cures_attempted", cure_count)
+        .push_int("cures_live", cured)
+        .push_int("systems_explored", explored)
+        .push_int("systems_deadlock_free", deadlock_free)
+        .push_bool(
+            "ok",
+            theorems_consistent && cured == cure_count && deadlock_free == explored,
+        );
+    emit_report(&report);
 }

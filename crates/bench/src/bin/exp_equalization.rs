@@ -3,7 +3,7 @@
 //! make all converging paths of the same length."
 
 use lip_analysis::equalize;
-use lip_bench::{banner, mark, table};
+use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_graph::generate;
 use lip_sim::measure;
 
@@ -15,6 +15,8 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut restored = 0u64;
+    let mut inserted_total = 0u64;
     for (r1, r2, s) in [
         (1usize, 1usize, 1usize),
         (2, 1, 1),
@@ -35,6 +37,8 @@ fn main() {
             .expect("measures")
             .system_throughput()
             .expect("one sink");
+        restored += u64::from(after.to_string() == "1/1");
+        inserted_total += report.total_inserted() as u64;
         rows.push(vec![
             format!("fork_join({r1},{r2},{s})"),
             before.to_string(),
@@ -51,4 +55,11 @@ fn main() {
         )
     );
     println!("every unbalanced system reaches T = 1 after equalization");
+
+    let mut json = Report::new("exp_equalization");
+    json.push_int("systems", rows.len() as u64)
+        .push_int("restored_to_unit_throughput", restored)
+        .push_int("spares_inserted_total", inserted_total)
+        .push_bool("ok", restored == rows.len() as u64);
+    emit_report(&json);
 }

@@ -6,7 +6,7 @@
 //! valid data can be present at a time, out of S+R positions."
 
 use lip_analysis::predict_throughput;
-use lip_bench::{banner, mark, table};
+use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_core::RelayKind;
 use lip_graph::generate;
 use lip_sim::{measure, Ratio};
@@ -19,6 +19,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut mismatches = 0u64;
     for s in 1..=8usize {
         for r in 0..=8usize {
             let ring = generate::ring(s, r, RelayKind::Full);
@@ -30,6 +31,7 @@ fn main() {
                 .expect("ring measures")
                 .system_throughput()
                 .expect("one sink");
+            mismatches += u64::from(measured != formula);
             rows.push(vec![
                 s.to_string(),
                 r.to_string(),
@@ -53,6 +55,7 @@ fn main() {
                 .expect("ring measures")
                 .system_throughput()
                 .expect("one sink");
+            mismatches += u64::from(measured != predicted);
             rows.push(vec![
                 s.to_string(),
                 r.to_string(),
@@ -67,4 +70,11 @@ fn main() {
         "{}",
         table(&["S", "R", "kind", "predicted", "measured", "check"], &rows)
     );
+
+    let mut report = Report::new("exp_feedback");
+    report
+        .push_int("rings_checked", rows.len() as u64)
+        .push_int("mismatches", mismatches)
+        .push_bool("ok", mismatches == 0);
+    emit_report(&report);
 }

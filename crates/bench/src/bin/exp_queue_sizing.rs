@@ -10,7 +10,7 @@
 //! exactly as `S/(S+R)` predicts.
 
 use lip_analysis::predict_throughput;
-use lip_bench::{banner, mark, table};
+use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_core::RelayKind;
 use lip_graph::generate;
 use lip_sim::{measure, Ratio};
@@ -24,6 +24,7 @@ fn main() {
 
     // 1. Fig. 1 with the short-branch station resized.
     let mut rows = Vec::new();
+    let mut fifo_mismatches = 0u64;
     for k in 2u8..=6 {
         let mut f = generate::fig1();
         f.netlist
@@ -35,6 +36,7 @@ fn main() {
             .system_throughput()
             .expect("one sink");
         let formula = Ratio::new(u64::from(k + 2).min(5), 5);
+        fifo_mismatches += u64::from(measured != predicted || measured != formula);
         rows.push(vec![
             k.to_string(),
             k.to_string(),
@@ -62,7 +64,9 @@ fn main() {
     println!("register fewer than inserting a second full station\n");
 
     // 2. Loops are latency-bound: queue depth is irrelevant.
+    let fifo_rows = rows.len() as u64;
     let mut rows = Vec::new();
+    let mut loop_mismatches = 0u64;
     for (s, r) in [(2usize, 1usize), (2, 2), (3, 2)] {
         for k in 2u8..=5 {
             let mut ring = generate::ring(s, r, RelayKind::Full);
@@ -75,6 +79,7 @@ fn main() {
                 .system_throughput()
                 .expect("one sink");
             let formula = Ratio::new(s as u64, (s + r) as u64);
+            loop_mismatches += u64::from(measured != formula);
             rows.push(vec![
                 format!("ring({s},{r})"),
                 k.to_string(),
@@ -94,4 +99,13 @@ fn main() {
     println!("loop throughput is set by tokens/latency, not by capacity — deepening");
     println!("queues cannot beat S/(S+R); only removing latency (or adding tokens)");
     println!("can, which is the content of the paper's feedback formula");
+
+    let mut report = Report::new("exp_queue_sizing");
+    report
+        .push_int("fifo_configurations", fifo_rows)
+        .push_int("loop_configurations", rows.len() as u64)
+        .push_int("fifo_mismatches", fifo_mismatches)
+        .push_int("loop_mismatches", loop_mismatches)
+        .push_bool("ok", fifo_mismatches == 0 && loop_mismatches == 0);
+    emit_report(&report);
 }

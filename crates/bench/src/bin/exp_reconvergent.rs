@@ -11,7 +11,7 @@
 //! the marked-graph model instead, which subsumes the formula.
 
 use lip_analysis::predict_throughput;
-use lip_bench::{banner, mark, table};
+use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_graph::generate;
 use lip_sim::{measure, Ratio};
 
@@ -23,6 +23,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut mismatches = 0u64;
     for r1 in 0..=3usize {
         for r2 in 0..=3usize {
             for s in 0..=3usize {
@@ -50,6 +51,7 @@ fn main() {
                     .system_throughput()
                     .expect("one sink");
                 let ok = measured == predicted && formula.is_none_or(|f| f == measured);
+                mismatches += u64::from(!ok);
                 rows.push(vec![
                     format!("({r1},{r2},{s})"),
                     (long as i64 - s as i64).to_string(),
@@ -78,4 +80,11 @@ fn main() {
     println!("the Fig. 1 instance is (1,1,1): m = 5, i = 1, T = 4/5");
     println!("(the marked-graph model agrees with simulation on every row, including");
     println!(" half-station segments the closed form does not address)");
+
+    let mut report = Report::new("exp_reconvergent");
+    report
+        .push_int("fork_joins_checked", rows.len() as u64)
+        .push_int("mismatches", mismatches)
+        .push_bool("ok", mismatches == 0);
+    emit_report(&report);
 }

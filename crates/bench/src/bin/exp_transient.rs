@@ -4,7 +4,7 @@
 //! stations and shells, and can be predicted upfront."
 
 use lip_analysis::transient_bound;
-use lip_bench::{banner, mark, table};
+use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_core::RelayKind;
 use lip_graph::generate;
 use lip_sim::measure::find_periodicity;
@@ -18,10 +18,12 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut within_bound = 0u64;
     let mut case = |name: String, netlist: &lip_graph::Netlist| {
         let bound = transient_bound(netlist);
         let mut sys = System::new(netlist).expect("elaborates");
         let p = find_periodicity(&mut sys, 100_000).expect("periodic environment");
+        within_bound += u64::from(p.transient <= bound);
         rows.push(vec![
             name,
             netlist.census().shells.to_string(),
@@ -75,4 +77,12 @@ fn main() {
         )
     );
     println!("every system goes periodic within the upfront bound");
+
+    let systems = rows.len() as u64;
+    let mut report = Report::new("exp_transient");
+    report
+        .push_int("systems", systems)
+        .push_int("within_bound", within_bound)
+        .push_bool("ok", within_bound == systems);
+    emit_report(&report);
 }

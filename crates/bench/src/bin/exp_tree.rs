@@ -7,7 +7,7 @@
 //! speed can be as much as the longest path in the tree (transient
 //! duration)."
 
-use lip_bench::{banner, mark, table};
+use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_graph::{generate, topology};
 use lip_sim::{measure, Ratio};
 
@@ -19,6 +19,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut ok_rows = 0u64;
     for depth in 1..=4usize {
         for fanout in 1..=3usize {
             for relays in 0..=3usize {
@@ -30,6 +31,7 @@ fn main() {
                 let m = measure(&t.netlist).expect("tree measures");
                 let throughput = m.system_throughput().expect("has sinks");
                 let p = m.periodicity.expect("tree is periodic");
+                ok_rows += u64::from(throughput == Ratio::new(1, 1) && p.transient <= longest + 1);
                 rows.push(vec![
                     depth.to_string(),
                     fanout.to_string(),
@@ -58,4 +60,11 @@ fn main() {
         )
     );
     println!("every tree reaches T = 1 with transient <= longest path (+1 measurement grain)");
+
+    let mut report = Report::new("exp_tree");
+    report
+        .push_int("trees_checked", rows.len() as u64)
+        .push_int("trees_ok", ok_rows)
+        .push_bool("ok", ok_rows == rows.len() as u64);
+    emit_report(&report);
 }

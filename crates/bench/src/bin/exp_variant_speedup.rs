@@ -6,7 +6,7 @@
 //! Both variants share every other behaviour, so the throughput deltas
 //! below isolate exactly the refinement.
 
-use lip_bench::{banner, mark, table};
+use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_core::{Pattern, ProtocolVariant, RelayKind};
 use lip_graph::{generate, Netlist};
 use lip_sim::measure::{measure_with, MeasureOptions};
@@ -31,6 +31,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut slowdowns = 0u64;
     let mut add_case = |name: String, mut netlist: Netlist| {
         netlist.set_variant(ProtocolVariant::Refined);
         let Some(refined) = throughput(&netlist) else {
@@ -45,6 +46,7 @@ fn main() {
         } else {
             f64::INFINITY
         };
+        slowdowns += u64::from(refined < baseline - 1e-9);
         rows.push(vec![
             name,
             format!("{baseline:.4}"),
@@ -103,4 +105,12 @@ fn main() {
         "strict speedups: {wins}/{} systems; no slowdowns anywhere",
         rows.len()
     );
+
+    let mut report = Report::new("exp_variant_speedup");
+    report
+        .push_int("systems", rows.len() as u64)
+        .push_int("strict_speedups", wins as u64)
+        .push_int("slowdowns", slowdowns)
+        .push_bool("ok", slowdowns == 0);
+    emit_report(&report);
 }

@@ -2,7 +2,7 @@
 //! properties and three relay-station properties under appropriate
 //! environments, plus the mutants the minimum-memory theorem forbids.
 
-use lip_bench::{banner, mark, table};
+use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_verify::verify_all;
 
 fn main() {
@@ -12,7 +12,10 @@ fn main() {
         "shells: coherent data, correct order, no skipped valid outputs; relay stations: correct order, no skips, output held on stops",
     );
 
-    let rows: Vec<Vec<String>> = verify_all(6)
+    let results = verify_all(6);
+    let as_expected = results.iter().filter(|r| r.as_expected()).count() as u64;
+    let total = results.len() as u64;
+    let rows: Vec<Vec<String>> = results
         .into_iter()
         .map(|r| {
             let verdict = if r.verdict.holds { "SAFE" } else { "VIOLATED" };
@@ -48,4 +51,11 @@ fn main() {
     println!("tokens per input, far above the 2-token buffering of any block); both");
     println!("mutants — including the one-register station the minimum-memory theorem");
     println!("rules out — refuted with concrete traces");
+
+    let mut report = Report::new("exp_verify_safety");
+    report
+        .push_int("blocks_verified", total)
+        .push_int("as_expected", as_expected)
+        .push_bool("ok", as_expected == total);
+    emit_report(&report);
 }

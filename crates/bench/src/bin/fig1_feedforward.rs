@@ -5,9 +5,31 @@
 //! present case, n = 5, while i = 1. The number of valid data every 4
 //! periods is 4 and the throughput is 4/5."
 
-use lip_bench::{banner, mark, table};
-use lip_graph::generate;
-use lip_sim::{measure, Evolution, Ratio};
+use lip_bench::{banner, emit_report, mark, table, Report};
+use lip_graph::{generate, topology};
+use lip_obs::{MetricsRegistry, Probe, Tee, TransientDetector};
+use lip_sim::{measure, Evolution, Ratio, SkeletonSystem};
+
+/// Feeds the sink's per-cycle informative/void stream into a
+/// [`TransientDetector`]: a [`Probe::consume`] marks the cycle
+/// informative, a [`Probe::void_in`] leaves it void.
+struct SinkTransient {
+    det: TransientDetector,
+    informative: bool,
+}
+
+impl Probe for SinkTransient {
+    fn event(&mut self, _ev: lip_obs::Event) {}
+
+    fn consume(&mut self, _cycle: u64, _ch: u32, _lane: u8) {
+        self.informative = true;
+    }
+
+    fn end_cycle(&mut self, _cycle: u64) {
+        self.det.push(self.informative);
+        self.informative = false;
+    }
+}
 
 fn main() {
     banner(
@@ -56,4 +78,55 @@ fn main() {
         "{}",
         table(&["figure quantity", "paper", "measured", "check"], &rows)
     );
+
+    // Probed re-run: count the same numbers from the observability
+    // layer instead of the measurement machinery, as a cross-check.
+    const CYCLES: u64 = 100;
+    let mut sys = SkeletonSystem::new(&fig1.netlist).expect("fig1 elaborates");
+    let prog = sys.program().clone();
+    let mut probe = Tee(
+        MetricsRegistry::new(prog.topology()),
+        SinkTransient {
+            det: TransientDetector::new(4, 5),
+            informative: false,
+        },
+    );
+    sys.run_probed(CYCLES, &mut probe);
+    let Tee(metrics, transient) = probe;
+
+    let sink_ch = prog.sink_input_channel(0) as usize;
+    let (consumed, cycles) = metrics.sink_throughput(sink_ch).expect("sink channel");
+    let voids = metrics.void_ins(sink_ch);
+    let settle = transient.det.transient().expect("fig1 settles");
+    let (st_num, st_den) = transient.det.steady_measured().expect("fig1 settles");
+    let bound = topology::longest_latency(&fig1.netlist).expect("fig1 is acyclic");
+    println!("probed over {cycles} cycles: {consumed} informative, {voids} voids at the sink");
+    println!("steady state: {st_num}/{st_den} informative — one void per 5 cycles");
+    println!("observed transient: {settle} cycles (relay-path bound: {bound})\n");
+    assert_eq!(consumed + voids, cycles, "sink sees a token every cycle");
+    assert_eq!(
+        st_num * 5,
+        st_den * 4,
+        "steady-state throughput must be 4/5"
+    );
+    assert_eq!((st_den - st_num) * 5, st_den, "one void every 5 cycles");
+    assert!(settle <= bound, "transient exceeds longest relay path");
+
+    let mut report = Report::new("fig1_feedforward");
+    report
+        .push_int("period", p.period)
+        .push_int("transient", p.transient)
+        .push_ratio("throughput", t.num(), t.den())
+        .push_int("probed_cycles", cycles)
+        .push_int("probed_consumed", consumed)
+        .push_int("probed_voids", voids)
+        .push_ratio("probed_steady_throughput", st_num, st_den)
+        .push_int("probed_transient", settle)
+        .push_int("transient_bound", bound)
+        .push_int("total_fires", metrics.total_fires())
+        .push_bool(
+            "ok",
+            p.period == 5 && t == Ratio::new(4, 5) && st_num * 5 == st_den * 4,
+        );
+    emit_report(&report);
 }

@@ -4,7 +4,7 @@
 //! S + R positions. This justifies the number S/(S+R) for the maximum
 //! throughput."
 
-use lip_bench::{banner, mark, table};
+use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_core::RelayKind;
 use lip_graph::generate;
 use lip_sim::{measure, Evolution, Ratio, System};
@@ -46,6 +46,7 @@ fn main() {
     assert!(max_tokens <= 2);
 
     let mut rows = Vec::new();
+    let mut mismatches = 0u64;
     for s in 1..=6usize {
         for r in 1..=6usize {
             let ring = generate::ring(s, r, RelayKind::Full);
@@ -54,6 +55,7 @@ fn main() {
                 .system_throughput()
                 .expect("one sink");
             let formula = Ratio::new(s as u64, (s + r) as u64);
+            mismatches += u64::from(measured != formula);
             rows.push(vec![
                 s.to_string(),
                 r.to_string(),
@@ -67,4 +69,12 @@ fn main() {
         "{}",
         table(&["S", "R", "S/(S+R)", "measured", "check"], &rows)
     );
+
+    let mut report = Report::new("fig2_feedback");
+    report
+        .push_int("max_loop_tokens", max_tokens as u64)
+        .push_int("rings_checked", rows.len() as u64)
+        .push_int("formula_mismatches", mismatches)
+        .push_bool("ok", max_tokens <= 2 && mismatches == 0);
+    emit_report(&report);
 }

@@ -10,6 +10,9 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
+
+pub use lip_obs::Report;
 
 /// Render a fixed-width text table: a header row, a rule, then rows.
 /// Column widths adapt to content.
@@ -55,6 +58,31 @@ pub fn mark(ok: bool) -> &'static str {
         "ok"
     } else {
         "MISMATCH"
+    }
+}
+
+/// Directory where experiment [`Report`] JSON lands: `$LIP_REPORT_DIR`
+/// if set, otherwise `target/reports` relative to the working
+/// directory.
+#[must_use]
+pub fn report_dir() -> PathBuf {
+    std::env::var_os("LIP_REPORT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/reports"))
+}
+
+/// Write `report` into [`report_dir`] (creating it) and print the
+/// path, so `run_experiments.sh` and CI can pick the JSON up. Exits the
+/// binary with a message on I/O failure — an experiment whose artefact
+/// cannot be written has failed.
+pub fn emit_report(report: &Report) {
+    let dir = report_dir();
+    match report.write_to(&dir) {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write report to {}: {e}", dir.display());
+            std::process::exit(1);
+        }
     }
 }
 

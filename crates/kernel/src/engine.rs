@@ -188,7 +188,8 @@ impl Engine for CycleEngine {
     fn step(&mut self) {
         self.comb_phase();
         if let Some(t) = &mut self.trace {
-            t.record(self.stats.cycles, &self.circuit, &self.values);
+            t.record(self.stats.cycles, &self.circuit, &self.values)
+                .expect("engine captures are sized and ordered by construction");
         }
         edge_phase(
             &mut self.circuit,
@@ -340,7 +341,8 @@ impl Engine for EventEngine {
         }
         self.delta_loop();
         if let Some(t) = &mut self.trace {
-            t.record(self.stats.cycles, &self.circuit, &self.values);
+            t.record(self.stats.cycles, &self.circuit, &self.values)
+                .expect("engine captures are sized and ordered by construction");
         }
         edge_phase(
             &mut self.circuit,

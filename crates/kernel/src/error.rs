@@ -85,6 +85,49 @@ impl fmt::Display for BuildCircuitError {
 
 impl Error for BuildCircuitError {}
 
+/// Error returned by [`Trace::record`](crate::Trace::record) when a
+/// capture would corrupt the recorded waveform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// The capture's signal count differs from the one the trace was
+    /// started with. The change-detection shadow vector is sized at the
+    /// first capture, so signals registered after recording starts (or a
+    /// `values` slice from a different circuit) cannot be folded into an
+    /// in-progress trace — previously this silently mis-indexed.
+    ShadowSizeMismatch {
+        /// Signal count the trace was started with.
+        expected: usize,
+        /// Signal count of the rejected capture.
+        got: usize,
+    },
+    /// The capture's cycle is not strictly after the last recorded one,
+    /// which would break `value_at`'s ordered-replay invariant.
+    NonMonotonicCycle {
+        /// Last recorded cycle.
+        last: u64,
+        /// The rejected capture's cycle.
+        got: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::ShadowSizeMismatch { expected, got } => write!(
+                f,
+                "trace capture has {got} signals but recording started with {expected}; \
+                 signals must be registered before recording starts"
+            ),
+            TraceError::NonMonotonicCycle { last, got } => write!(
+                f,
+                "trace capture at cycle {got} is not after last recorded cycle {last}"
+            ),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

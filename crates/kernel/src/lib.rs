@@ -62,6 +62,7 @@ pub mod trace;
 pub use builder::{CircuitBuilder, EdgeCtx, EvalCtx};
 pub use circuit::Circuit;
 pub use engine::{CycleEngine, Engine, EngineStats, EventEngine};
-pub use error::BuildCircuitError;
+pub use error::{BuildCircuitError, TraceError};
 pub use process::ProcessId;
 pub use signal::{SignalId, SignalInfo, SignalKind};
+pub use trace::{Change, Trace};

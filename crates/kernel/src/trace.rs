@@ -9,6 +9,7 @@
 use std::fmt::Write as _;
 
 use crate::circuit::Circuit;
+use crate::error::TraceError;
 use crate::signal::SignalId;
 
 /// One recorded change: at the captured cycle, `signal` became `value`.
@@ -38,11 +39,45 @@ impl Trace {
     }
 
     /// Record the state of `circuit` at `cycle`. Called by the engines
-    /// once per cycle, after combinational settling and before the edge.
-    pub(crate) fn record(&mut self, cycle: u64, circuit: &Circuit, values: &[u64]) {
+    /// once per cycle, after combinational settling and before the edge;
+    /// external recorders (e.g. event sinks driving an observer circuit)
+    /// may call it directly.
+    ///
+    /// # Errors
+    ///
+    /// The shadow vector that de-duplicates unchanged values is sized at
+    /// the first capture, so the signal population must stay fixed while
+    /// recording. A capture with a different signal count — a signal
+    /// registered after recording started, or a `values` slice from a
+    /// different circuit — previously mis-indexed the shadow silently;
+    /// it now returns [`TraceError::ShadowSizeMismatch`]. A capture at a
+    /// cycle not strictly after the previous one breaks `value_at`'s
+    /// replay invariant and returns [`TraceError::NonMonotonicCycle`].
+    pub fn record(
+        &mut self,
+        cycle: u64,
+        circuit: &Circuit,
+        values: &[u64],
+    ) -> Result<(), TraceError> {
+        if values.len() != circuit.signal_count() {
+            return Err(TraceError::ShadowSizeMismatch {
+                expected: circuit.signal_count(),
+                got: values.len(),
+            });
+        }
         if !self.started {
             self.shadow = vec![u64::MAX; circuit.signal_count()];
             self.started = true;
+        } else if values.len() != self.shadow.len() {
+            return Err(TraceError::ShadowSizeMismatch {
+                expected: self.shadow.len(),
+                got: values.len(),
+            });
+        }
+        if let Some(&(last, _)) = self.cycles.last() {
+            if cycle <= last {
+                return Err(TraceError::NonMonotonicCycle { last, got: cycle });
+            }
         }
         let mut changes = Vec::new();
         for (i, &v) in values.iter().enumerate() {
@@ -55,6 +90,7 @@ impl Trace {
             }
         }
         self.cycles.push((cycle, changes));
+        Ok(())
     }
 
     /// Number of recorded cycles.

@@ -1,0 +1,152 @@
+//! Edge cases of per-cycle change recording: empty traces, rejected
+//! captures, and circuits wider than one base-94 VCD identifier digit.
+
+use lip_kernel::{Circuit, CircuitBuilder, CycleEngine, Engine, SignalId, Trace, TraceError};
+
+/// A wires-only circuit with `n` one-bit signals.
+fn wires(n: usize) -> (Circuit, Vec<SignalId>) {
+    let mut b = CircuitBuilder::new();
+    let sigs: Vec<SignalId> = (0..n).map(|i| b.wire(format!("w{i}"), 1, 0)).collect();
+    (b.build().expect("wires-only circuit"), sigs)
+}
+
+#[test]
+fn empty_trace_serialises_to_valid_vcd() {
+    let (circuit, _) = wires(3);
+    let trace = Trace::new();
+    assert!(trace.is_empty());
+    assert_eq!(trace.len(), 0);
+    let vcd = trace.to_vcd(&circuit);
+    // Header and definitions are present even with no recorded cycles.
+    assert!(vcd.contains("$enddefinitions $end"));
+    assert!(vcd.contains("$var wire 1 ! w0 $end"));
+    // No timestamp records follow the definitions.
+    assert!(!vcd.lines().any(|l| l.starts_with('#')));
+}
+
+#[test]
+fn empty_trace_has_no_values() {
+    let (_, sigs) = wires(1);
+    let trace = Trace::new();
+    assert_eq!(trace.value_at(sigs[0], 0), None);
+    assert_eq!(trace.iter().count(), 0);
+}
+
+#[test]
+fn non_monotonic_capture_is_rejected() {
+    let (circuit, _) = wires(2);
+    let mut trace = Trace::new();
+    trace.record(5, &circuit, &[0, 1]).unwrap();
+    // Same cycle again.
+    assert_eq!(
+        trace.record(5, &circuit, &[1, 1]),
+        Err(TraceError::NonMonotonicCycle { last: 5, got: 5 })
+    );
+    // Earlier cycle.
+    assert_eq!(
+        trace.record(3, &circuit, &[1, 1]),
+        Err(TraceError::NonMonotonicCycle { last: 5, got: 3 })
+    );
+    // The rejected captures must not have been recorded.
+    assert_eq!(trace.len(), 1);
+    // Recording resumes at a later cycle.
+    trace.record(6, &circuit, &[1, 1]).unwrap();
+    assert_eq!(trace.len(), 2);
+}
+
+#[test]
+fn late_registered_signal_is_rejected_not_misindexed() {
+    // Record against a 2-signal circuit first …
+    let (small, _) = wires(2);
+    let mut trace = Trace::new();
+    trace.record(0, &small, &[0, 0]).unwrap();
+    // … then pretend a signal was registered afterwards: captures from
+    // the grown circuit must be rejected, not silently mis-indexed.
+    let (grown, _) = wires(3);
+    assert_eq!(
+        trace.record(1, &grown, &[0, 0, 1]),
+        Err(TraceError::ShadowSizeMismatch {
+            expected: 2,
+            got: 3
+        })
+    );
+    assert_eq!(trace.len(), 1);
+}
+
+#[test]
+fn values_from_wrong_circuit_are_rejected() {
+    let (circuit, _) = wires(4);
+    let mut trace = Trace::new();
+    // Too-short and too-long value slices both fail, even on the very
+    // first capture.
+    assert_eq!(
+        trace.record(0, &circuit, &[0, 0]),
+        Err(TraceError::ShadowSizeMismatch {
+            expected: 4,
+            got: 2
+        })
+    );
+    assert!(trace.is_empty());
+}
+
+#[test]
+fn trace_error_display_is_informative() {
+    let e = TraceError::ShadowSizeMismatch {
+        expected: 2,
+        got: 3,
+    };
+    assert!(e.to_string().contains("registered before recording"));
+    let e = TraceError::NonMonotonicCycle { last: 7, got: 7 };
+    assert!(e.to_string().contains("cycle 7"));
+}
+
+#[test]
+fn circuit_with_more_than_64_signals_traces_every_signal() {
+    // 100 signals crosses both the u64-bitmask boundary (64) and the
+    // single-digit base-94 VCD identifier boundary (94).
+    const N: usize = 100;
+    let (circuit, sigs) = wires(N);
+    let mut trace = Trace::new();
+    let mut values = vec![0u64; N];
+    trace.record(0, &circuit, &values).unwrap();
+    // Flip one signal per cycle.
+    for (cycle, i) in (1..).zip(0..N) {
+        values[i] = 1;
+        trace.record(cycle as u64, &circuit, &values).unwrap();
+    }
+    // Every signal's flip landed at its own cycle.
+    for (i, &sig) in sigs.iter().enumerate() {
+        let flip_cycle = i as u64 + 1;
+        assert_eq!(trace.value_at(sig, flip_cycle - 1), Some(0), "w{i} before");
+        assert_eq!(trace.value_at(sig, flip_cycle), Some(1), "w{i} after");
+    }
+    // The VCD names all 100 signals with unique identifiers.
+    let vcd = trace.to_vcd(&circuit);
+    for i in 0..N {
+        assert!(vcd.contains(&format!(" w{i} $end")), "w{i} declared");
+    }
+    let idents: Vec<&str> = vcd
+        .lines()
+        .filter(|l| l.starts_with("$var"))
+        .map(|l| l.split_whitespace().nth(3).expect("ident column"))
+        .collect();
+    assert_eq!(idents.len(), N);
+    let unique: std::collections::HashSet<&&str> = idents.iter().collect();
+    assert_eq!(unique.len(), N, "VCD identifiers must be unique");
+}
+
+#[test]
+fn engine_tracing_still_works_after_api_change() {
+    let mut b = CircuitBuilder::new();
+    let r = b.register("count", 8, 0);
+    b.seq("inc", &[r], &[r], move |ctx| {
+        let v = ctx.get(r);
+        ctx.set_next(r, v + 1);
+    });
+    let mut e = CycleEngine::new(b.build().unwrap());
+    e.enable_trace();
+    e.run(10);
+    let t = e.trace().unwrap();
+    assert_eq!(t.len(), 10);
+    assert_eq!(t.value_at(r, 9), Some(9));
+}

@@ -1,0 +1,47 @@
+//! Unified protocol observability for latency-insensitive designs:
+//! zero-cost probes, structured cycle events, counters and throughput
+//! telemetry.
+//!
+//! The paper's results are quantitative — closed-form steady-state
+//! throughput and bounded transients — but checking them requires
+//! *seeing* protocol activity: where stop bits originate, where void
+//! tokens enter and get discarded, how relay-station occupancy evolves.
+//! This crate is the one observability seam shared by every engine in
+//! the workspace (the scalar skeleton interpreter, the 64-lane batch
+//! engine, and the RTL-on-kernel path):
+//!
+//! * [`Probe`] — the instrumentation trait engines call from their
+//!   settle/clock loops. [`NullProbe`] has `ENABLED = false` and
+//!   monomorphizes to nothing: unprobed simulation compiles to exactly
+//!   the code it was before this crate existed.
+//! * [`Event`] / [`EventKind`] — the six-kind structured event
+//!   vocabulary (`fire`, `stall`, `void_in`, `void_discard`,
+//!   `relay_fill`, `relay_drain`), streamed through [`EventSink`]s: an
+//!   in-memory [`RingBufferSink`], a newline-delimited-JSON
+//!   [`JsonlSink`], or a [`TraceSink`] rendering onto the kernel's VCD
+//!   [`Trace`](lip_kernel::Trace).
+//! * [`MetricsRegistry`] — per-channel / per-shell / per-relay counters
+//!   and occupancy histograms over a declared [`Topology`].
+//! * [`RollingThroughput`], [`TransientDetector`], [`Report`] — derived
+//!   telemetry and the versioned JSON document ([`SCHEMA_VERSION`])
+//!   every `exp_*` bench bin emits.
+//!
+//! Layering: this crate depends only on `lip-kernel` (for the VCD
+//! trace). The engines in `lip-sim` depend on it; analytic targets from
+//! `lip-analysis` are passed in as plain `(num, den)` ratios by the
+//! caller, keeping the dependency graph acyclic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod probe;
+pub mod sink;
+pub mod telemetry;
+
+pub use event::{Event, EventKind};
+pub use metrics::{MetricsRegistry, Topology};
+pub use probe::{for_each_lane, EventStreamProbe, NullProbe, Probe, Tee};
+pub use sink::{EventSink, JsonlSink, RingBufferSink, TraceSink};
+pub use telemetry::{Report, RollingThroughput, TransientDetector, SCHEMA_VERSION};

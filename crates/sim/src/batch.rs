@@ -28,6 +28,7 @@ use std::sync::Arc;
 
 use lip_core::Pattern;
 use lip_graph::{Netlist, NetlistError, NodeId};
+use lip_obs::{NullProbe, Probe};
 
 use crate::program::{CompSlot, SettleProgram};
 
@@ -330,8 +331,9 @@ impl BatchSkeleton {
 
     /// Settle all 64 lanes' valid/stop bits against this cycle's sink
     /// stop words (`sink_stop[j]` bit `l` = lane `l`'s stop on sink
-    /// `j`).
-    fn settle(&mut self, sink_stop: &[u64]) {
+    /// `j`). Probe hooks receive the word-wide `*_mask` form — one call
+    /// covers all 64 lanes — and are guarded by [`Probe::ENABLED`].
+    fn settle_probed<P: Probe>(&mut self, sink_stop: &[u64], probe: &mut P) {
         let Self {
             prog,
             fwd,
@@ -345,6 +347,7 @@ impl BatchSkeleton {
             half_occ,
             fifo_off,
             fifo_planes,
+            cycle,
             ..
         } = self;
         let p: &SettleProgram = prog;
@@ -394,6 +397,14 @@ impl BatchSkeleton {
             fire[s] = f;
             for k in p.shell_in_range(s) {
                 let ch = p.shell_in_ch[k] as usize;
+                if P::ENABLED && p.discards {
+                    // Lanes where the baseline stop is suppressed
+                    // against a void input (the refinement).
+                    let discarded = !f & !fwd[ch];
+                    if discarded != 0 {
+                        probe.void_discard_mask(*cycle, ch as u32, discarded);
+                    }
+                }
                 stop[ch] = !f & if p.discards { fwd[ch] } else { !0 };
             }
         }
@@ -401,6 +412,16 @@ impl BatchSkeleton {
         for &s in &p.buffered_shells {
             let s = s as usize;
             fire[s] = shell_fire_word(p, fwd, stop, shell_out, in_buf, s);
+        }
+        if P::ENABLED {
+            for ch in 0..p.n_channels {
+                if stop[ch] != 0 {
+                    probe.stall_mask(*cycle, ch as u32, stop[ch]);
+                }
+                if fwd[ch] != !0 {
+                    probe.channel_void_mask(*cycle, ch as u32, !fwd[ch]);
+                }
+            }
         }
     }
 
@@ -420,13 +441,33 @@ impl BatchSkeleton {
     ///
     /// Panics if the slice lengths do not match the source/sink counts.
     pub fn step_with_masks(&mut self, source_next: &[u64], sink_stop: &[u64]) {
+        self.step_with_masks_probed(source_next, sink_stop, &mut NullProbe);
+    }
+
+    /// [`step_with_masks`](Self::step_with_masks) with observation: the
+    /// word-wide analogue of
+    /// [`SkeletonSystem::step_probed`](crate::SkeletonSystem::step_probed),
+    /// delivering `*_mask` hooks (bit `l` = lane `l`) for stalls, voids,
+    /// discards, sink consumption, shell firings and relay traffic, then
+    /// [`end_cycle`](Probe::end_cycle). With [`NullProbe`] this
+    /// monomorphizes to the unobserved step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the source/sink counts.
+    pub fn step_with_masks_probed<P: Probe>(
+        &mut self,
+        source_next: &[u64],
+        sink_stop: &[u64],
+        probe: &mut P,
+    ) {
         assert_eq!(
             source_next.len(),
             self.prog.source_count(),
             "source mask arity"
         );
         assert_eq!(sink_stop.len(), self.prog.sink_count(), "sink mask arity");
-        self.settle(sink_stop);
+        self.settle_probed(sink_stop, probe);
         let Self {
             prog,
             fwd,
@@ -461,6 +502,14 @@ impl BatchSkeleton {
             let v = fwd[p.snk_in_ch[j] as usize];
             snk_valid[j].add(consumed & v);
             snk_voids[j].add(consumed & !v);
+            if P::ENABLED {
+                if consumed & v != 0 {
+                    probe.consume_mask(*cycle, p.snk_in_ch[j], consumed & v);
+                }
+                if consumed & !v != 0 {
+                    probe.void_in_mask(*cycle, p.snk_in_ch[j], consumed & !v);
+                }
+            }
         }
         // Shells: firing lanes revalidate every output register and
         // drain buffers; stalled lanes latch arrivals and deassert
@@ -469,6 +518,9 @@ impl BatchSkeleton {
             let f = fire[s];
             *fired |= f;
             fires[s].add(f);
+            if P::ENABLED && f != 0 {
+                probe.fire_mask(*cycle, s as u32, f);
+            }
             if p.shell_buffered[s] {
                 for k in p.shell_in_range(s) {
                     in_buf[k] = !f & (in_buf[k] | fwd[p.shell_in_ch[k] as usize]);
@@ -485,6 +537,18 @@ impl BatchSkeleton {
             let main = full_main[i];
             let aux = full_aux[i];
             let released = main & !stopped;
+            if P::ENABLED {
+                // Token movement (see the scalar step for the rationale):
+                // enters where offered and aux free, leaves where main
+                // releases.
+                let fill = input & !aux;
+                if fill != 0 {
+                    probe.relay_fill_mask(*cycle, p.full_relay_row(i), fill);
+                }
+                if released != 0 {
+                    probe.relay_drain_mask(*cycle, p.full_relay_row(i), released);
+                }
+            }
             full_main[i] = aux | (main & !released) | (input & (!main | released));
             full_aux[i] = !released & (aux | (main & input));
         }
@@ -492,6 +556,16 @@ impl BatchSkeleton {
         for h in 0..half_occ.len() {
             let input = fwd[p.half_in_ch[h] as usize];
             let stopped = stop[p.half_out_ch[h] as usize];
+            if P::ENABLED {
+                let fill = stopped & input & !half_occ[h];
+                let drain = half_occ[h] & !stopped;
+                if fill != 0 {
+                    probe.relay_fill_mask(*cycle, p.half_relay_row(h), fill);
+                }
+                if drain != 0 {
+                    probe.relay_drain_mask(*cycle, p.half_relay_row(h), drain);
+                }
+            }
             half_occ[h] = stopped & (half_occ[h] | input);
         }
         // FIFOs: masked ripple-carry decrement (drain) then increment
@@ -513,18 +587,31 @@ impl BatchSkeleton {
                 }
                 eq
             };
-            let mut borrow = !stopped & nonzero;
+            let drain = !stopped & nonzero;
+            let fill = !was_full & input;
+            if P::ENABLED {
+                if fill != 0 {
+                    probe.relay_fill_mask(*cycle, p.fifo_relay_row(i), fill);
+                }
+                if drain != 0 {
+                    probe.relay_drain_mask(*cycle, p.fifo_relay_row(i), drain);
+                }
+            }
+            let mut borrow = drain;
             for pl in planes.iter_mut() {
                 let next = *pl ^ borrow;
                 borrow &= !*pl;
                 *pl = next;
             }
-            let mut carry = !was_full & input;
+            let mut carry = fill;
             for pl in planes.iter_mut() {
                 let next = *pl ^ carry;
                 carry &= *pl;
                 *pl = next;
             }
+        }
+        if P::ENABLED {
+            probe.end_cycle(*cycle);
         }
         *cycle += 1;
     }
@@ -538,16 +625,33 @@ impl BatchSkeleton {
     ///
     /// Panics if `pats` arity does not match the netlist.
     pub fn step_patterns(&mut self, pats: &LanePatterns) {
+        self.step_patterns_probed(pats, &mut NullProbe);
+    }
+
+    /// [`step_patterns`](Self::step_patterns) with observation (see
+    /// [`step_with_masks_probed`](Self::step_with_masks_probed)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pats` arity does not match the netlist.
+    pub fn step_patterns_probed<P: Probe>(&mut self, pats: &LanePatterns, probe: &mut P) {
         let cycle = self.cycle;
         let sink_stop: Vec<u64> = pats.snk.iter().map(|row| row.word(cycle)).collect();
         let source_next: Vec<u64> = pats.src.iter().map(|row| !row.word(cycle + 1)).collect();
-        self.step_with_masks(&source_next, &sink_stop);
+        self.step_with_masks_probed(&source_next, &sink_stop, probe);
     }
 
     /// Run `n` cycles under `pats`.
     pub fn run_patterns(&mut self, pats: &LanePatterns, n: u64) {
         for _ in 0..n {
             self.step_patterns(pats);
+        }
+    }
+
+    /// Run `n` cycles under `pats` with observation.
+    pub fn run_patterns_probed<P: Probe>(&mut self, pats: &LanePatterns, n: u64, probe: &mut P) {
+        for _ in 0..n {
+            self.step_patterns_probed(pats, probe);
         }
     }
 

@@ -15,6 +15,10 @@
 //! * [`Evolution`] — cycle-by-cycle tables in the style of the paper's
 //!   Fig. 1 and Fig. 2.
 //!
+//! Every engine also has `*_probed` entry points taking a
+//! [`lip_obs::Probe`] — counters, event streams and telemetry hook in
+//! there at zero cost to the unprobed paths (see the [`lip_obs`] crate).
+//!
 //! # Example
 //!
 //! Reproduce the headline number of Fig. 1 (`T = 4/5`, period 5):
@@ -46,8 +50,8 @@ mod system;
 pub use batch::{BatchSkeleton, LanePatterns, LANES};
 pub use evolution::Evolution;
 pub use measure::{
-    measure, measure_activity, measure_batch, BatchMeasurement, LivenessReport, Measurement,
-    Periodicity, Ratio, ShellActivity,
+    measure, measure_activity, measure_batch, measure_batch_probed, BatchMeasurement,
+    LivenessReport, Measurement, Periodicity, Ratio, ShellActivity,
 };
 pub use program::SettleProgram;
 pub use skeleton::SkeletonSystem;

@@ -309,9 +309,28 @@ pub fn measure_batch(
     pats: &LanePatterns,
     cycles: u64,
 ) -> Result<BatchMeasurement, NetlistError> {
+    measure_batch_probed(netlist, pats, cycles, &mut lip_obs::NullProbe)
+}
+
+/// [`measure_batch`] with a [`lip_obs::Probe`] observing every lane.
+///
+/// Counters aggregated by a probe (e.g. [`lip_obs::MetricsRegistry`]
+/// built over the program's [`SettleProgram::topology`]) sum across all
+/// 64 lanes; pass `with_lanes(topology, 64)` so per-lane rates divide
+/// out correctly.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+pub fn measure_batch_probed<P: lip_obs::Probe>(
+    netlist: &Netlist,
+    pats: &LanePatterns,
+    cycles: u64,
+    probe: &mut P,
+) -> Result<BatchMeasurement, NetlistError> {
     let prog = Arc::new(SettleProgram::compile(netlist)?);
     let mut batch = BatchSkeleton::from_patterns(prog, pats);
-    batch.run_patterns(pats, cycles);
+    batch.run_patterns_probed(pats, cycles, probe);
     let sinks = netlist.sinks();
     let counts = sinks
         .iter()

@@ -309,6 +309,16 @@ impl SettleProgram {
         self.snk_in_ch.len()
     }
 
+    /// Input channel of sink `i` — the entity id of its
+    /// [`consume`](lip_obs::Probe::consume) /
+    /// [`void_in`](lip_obs::Probe::void_in) events, and the channel to
+    /// query in
+    /// [`sink_throughput`](lip_obs::MetricsRegistry::sink_throughput).
+    #[must_use]
+    pub fn sink_input_channel(&self, i: usize) -> u32 {
+        self.snk_in_ch[i]
+    }
+
     /// Number of shells (buffered or not).
     #[must_use]
     pub fn shell_count(&self) -> usize {
@@ -326,6 +336,56 @@ impl SettleProgram {
     #[must_use]
     pub fn env_period(&self) -> Option<u64> {
         self.env_period
+    }
+
+    /// Number of relay rows of every kind (full + half + FIFO).
+    #[must_use]
+    pub fn relay_count(&self) -> usize {
+        self.full_in_ch.len() + self.half_in_ch.len() + self.fifo_in_ch.len()
+    }
+
+    /// The observable shape of the compiled netlist, for sizing a
+    /// [`lip_obs::MetricsRegistry`](lip_obs::MetricsRegistry) or
+    /// [`lip_obs::TraceSink`](lip_obs::TraceSink).
+    ///
+    /// Relay rows are numbered full relays first, then half, then FIFO,
+    /// each in compiled-table order — the same numbering the engines use
+    /// for [`RelayFill`](lip_obs::EventKind::RelayFill) /
+    /// [`RelayDrain`](lip_obs::EventKind::RelayDrain) event entities
+    /// (see [`full_relay_row`](Self::full_relay_row) and friends).
+    #[must_use]
+    pub fn topology(&self) -> lip_obs::Topology {
+        let mut relay_capacities =
+            Vec::with_capacity(self.full_in_ch.len() + self.half_in_ch.len() + self.fifo_cap.len());
+        relay_capacities.extend(std::iter::repeat_n(2, self.full_in_ch.len()));
+        relay_capacities.extend(std::iter::repeat_n(1, self.half_in_ch.len()));
+        relay_capacities.extend(self.fifo_cap.iter().copied());
+        lip_obs::Topology {
+            channels: self.n_channels as u32,
+            shells: self.shell_buffered.len() as u32,
+            relay_capacities,
+        }
+    }
+
+    /// Relay row of the `i`-th full relay (event entity numbering).
+    #[inline]
+    #[must_use]
+    pub fn full_relay_row(&self, i: usize) -> u32 {
+        i as u32
+    }
+
+    /// Relay row of the `h`-th half relay (event entity numbering).
+    #[inline]
+    #[must_use]
+    pub fn half_relay_row(&self, h: usize) -> u32 {
+        (self.full_in_ch.len() + h) as u32
+    }
+
+    /// Relay row of the `i`-th FIFO relay (event entity numbering).
+    #[inline]
+    #[must_use]
+    pub fn fifo_relay_row(&self, i: usize) -> u32 {
+        (self.full_in_ch.len() + self.half_in_ch.len() + i) as u32
     }
 
     /// Input-channel run of shell `s` (indices into the flat arrays).

@@ -13,9 +13,12 @@
 //! sink-for-sink, making three independent implementations of the
 //! protocol that must agree.
 
+use std::collections::HashMap;
+
 use lip_core::{Pattern, ProtocolVariant, RelayKind};
 use lip_graph::{Netlist, NetlistError, NodeId, NodeKind};
-use lip_kernel::{Circuit, CircuitBuilder, Engine, SignalId};
+use lip_kernel::{Circuit, CircuitBuilder, Engine, SignalId, Trace};
+use lip_obs::Probe;
 
 /// Probes into an elaborated RTL design.
 #[derive(Debug, Clone)]
@@ -43,6 +46,12 @@ impl RtlProbes {
         self.channels.get(ch).copied()
     }
 
+    /// Number of probed channels.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
     /// Read a sink's informative-token count from a running engine.
     #[must_use]
     pub fn read_sink_valid(&self, engine: &dyn Engine, node: NodeId) -> Option<u64> {
@@ -55,6 +64,36 @@ impl RtlProbes {
     pub fn read_sink_voids(&self, engine: &dyn Engine, node: NodeId) -> Option<u64> {
         let (_, n) = self.sink_counters(node)?;
         Some(engine.value(n))
+    }
+}
+
+/// Replay a recorded RTL [`Trace`] into protocol events on `probe`.
+///
+/// The kernel engines clock plain circuits and know nothing of the
+/// valid/stop protocol, so RTL observability hooks the recorded waveform
+/// rather than the clock loop: for every recorded cycle, each channel
+/// whose `stop` signal settled high yields a [`Probe::stall`] and each
+/// whose `valid` signal settled low a [`Probe::channel_void`] (lane 0),
+/// followed by [`Probe::end_cycle`]. Run the engine with
+/// `enable_trace()` and feed the resulting trace here together with the
+/// [`RtlProbes`] from [`elaborate_rtl`]; the per-channel stall/void
+/// counters match the skeleton engine's settle sweep cycle for cycle.
+pub fn replay_trace_events<P: Probe>(trace: &Trace, probes: &RtlProbes, probe: &mut P) {
+    let mut values: HashMap<SignalId, u64> = HashMap::new();
+    for (cycle, changes) in trace.iter() {
+        for c in changes {
+            values.insert(c.signal, c.value);
+        }
+        for ch in 0..probes.channel_count() {
+            let (valid, _, stop) = probes.channel_signals(ch).expect("indexed channel");
+            if values.get(&stop).copied().unwrap_or(0) != 0 {
+                probe.stall(cycle, ch as u32, 0);
+            }
+            if values.get(&valid).copied().unwrap_or(0) == 0 {
+                probe.channel_void(cycle, ch as u32, 0);
+            }
+        }
+        probe.end_cycle(cycle);
     }
 }
 

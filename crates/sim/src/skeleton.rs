@@ -24,6 +24,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use lip_graph::{Netlist, NetlistError, NodeId};
+use lip_obs::{NullProbe, Probe};
 
 use crate::measure::Periodicity;
 use crate::program::{stable_hash, CompSlot, SettleProgram};
@@ -126,6 +127,17 @@ impl SkeletonSystem {
 
     /// Settle this cycle's valid and stop bits.
     pub fn settle(&mut self) {
+        self.settle_probed(&mut NullProbe);
+    }
+
+    /// [`settle`](Self::settle) with observation: emits
+    /// [`void_discard`](Probe::void_discard) as the refined variant
+    /// suppresses stops, then per-channel [`stall`](Probe::stall) /
+    /// [`channel_void`](Probe::channel_void) for the settled state.
+    /// Every hook (and its argument computation) is guarded by
+    /// [`Probe::ENABLED`], so `settle_probed::<NullProbe>` compiles to
+    /// the unobserved loop.
+    pub fn settle_probed<P: Probe>(&mut self, probe: &mut P) {
         let Self {
             prog,
             fwd,
@@ -196,6 +208,11 @@ impl SkeletonSystem {
                 stop[ch] = if f {
                     false
                 } else if p.discards {
+                    if P::ENABLED && !fwd[ch] {
+                        // The baseline variant would assert this stop;
+                        // the refinement discards it against the void.
+                        probe.void_discard(*cycle, ch as u32, 0);
+                    }
                     fwd[ch]
                 } else {
                     true
@@ -208,11 +225,33 @@ impl SkeletonSystem {
             let s = s as usize;
             fire[s] = shell_fire(p, fwd, stop, shell_out, in_buf, s);
         }
+        if P::ENABLED {
+            for ch in 0..p.n_channels {
+                if stop[ch] {
+                    probe.stall(*cycle, ch as u32, 0);
+                }
+                if !fwd[ch] {
+                    probe.channel_void(*cycle, ch as u32, 0);
+                }
+            }
+        }
     }
 
     /// Advance one clock cycle.
     pub fn step(&mut self) {
-        self.settle();
+        self.step_probed(&mut NullProbe);
+    }
+
+    /// [`step`](Self::step) with observation: settles via
+    /// [`settle_probed`](Self::settle_probed), then emits
+    /// [`consume`](Probe::consume) / [`void_in`](Probe::void_in) at the
+    /// sinks, [`fire`](Probe::fire) per firing shell,
+    /// [`relay_fill`](Probe::relay_fill) /
+    /// [`relay_drain`](Probe::relay_drain) per relay token movement
+    /// (rows numbered full, then half, then FIFO), and finally
+    /// [`end_cycle`](Probe::end_cycle).
+    pub fn step_probed<P: Probe>(&mut self, probe: &mut P) {
+        self.settle_probed(probe);
         let Self {
             prog,
             fwd,
@@ -250,13 +289,22 @@ impl SkeletonSystem {
             if !stopped {
                 if fwd[p.snk_in_ch[i] as usize] {
                     snk_valid[i] += 1;
+                    if P::ENABLED {
+                        probe.consume(*cycle, p.snk_in_ch[i], 0);
+                    }
                 } else {
                     snk_voids[i] += 1;
+                    if P::ENABLED {
+                        probe.void_in(*cycle, p.snk_in_ch[i], 0);
+                    }
                 }
             }
         }
         for s in 0..p.shell_buffered.len() {
             if fire[s] {
+                if P::ENABLED {
+                    probe.fire(*cycle, s as u32, 0);
+                }
                 for k in p.shell_out_range(s) {
                     shell_out[k] = true;
                 }
@@ -283,6 +331,17 @@ impl SkeletonSystem {
             let input = fwd[p.full_in_ch[i] as usize];
             let stopped = stop[p.full_out_ch[i] as usize];
             let released = full_main[i] && !stopped;
+            if P::ENABLED {
+                // A token enters whenever the input is offered and aux is
+                // free (aux occupied ⇒ the registered stop held it
+                // upstream); a token leaves whenever main releases.
+                if input && !full_aux[i] {
+                    probe.relay_fill(*cycle, p.full_relay_row(i), 0);
+                }
+                if released {
+                    probe.relay_drain(*cycle, p.full_relay_row(i), 0);
+                }
+            }
             if full_aux[i] {
                 if released {
                     // aux shifts into main; value-wise main stays
@@ -305,9 +364,15 @@ impl SkeletonSystem {
             if half_occ[h] {
                 if !stopped {
                     half_occ[h] = false;
+                    if P::ENABLED {
+                        probe.relay_drain(*cycle, p.half_relay_row(h), 0);
+                    }
                 }
             } else if stopped && input {
                 half_occ[h] = true;
+                if P::ENABLED {
+                    probe.relay_fill(*cycle, p.half_relay_row(h), 0);
+                }
             }
         }
         for i in 0..fifo_occ.len() {
@@ -316,10 +381,19 @@ impl SkeletonSystem {
             let was_full = fifo_occ[i] == p.fifo_cap[i];
             if !stopped && fifo_occ[i] > 0 {
                 fifo_occ[i] -= 1;
+                if P::ENABLED {
+                    probe.relay_drain(*cycle, p.fifo_relay_row(i), 0);
+                }
             }
             if !was_full && input {
                 fifo_occ[i] += 1;
+                if P::ENABLED {
+                    probe.relay_fill(*cycle, p.fifo_relay_row(i), 0);
+                }
             }
+        }
+        if P::ENABLED {
+            probe.end_cycle(*cycle);
         }
         *cycle += 1;
     }
@@ -328,6 +402,14 @@ impl SkeletonSystem {
     pub fn run(&mut self, n: u64) {
         for _ in 0..n {
             self.step();
+        }
+    }
+
+    /// Run `n` cycles under observation (see
+    /// [`step_probed`](Self::step_probed)).
+    pub fn run_probed<P: Probe>(&mut self, n: u64, probe: &mut P) {
+        for _ in 0..n {
+            self.step_probed(probe);
         }
     }
 

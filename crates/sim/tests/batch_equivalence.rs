@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use lip_core::{Pattern, ProtocolVariant, RelayKind};
 use lip_graph::{generate, Netlist};
+use lip_obs::{MetricsRegistry, NullProbe, Probe};
 use lip_sim::{measure_batch, BatchSkeleton, LanePatterns, SettleProgram, SkeletonSystem, LANES};
 use proptest::prelude::*;
 
@@ -29,6 +30,17 @@ fn schedule_words(seed: u64, n: usize) -> Vec<u64> {
 /// Drive the batch engine with random external schedules and check the
 /// sampled lanes against scalar replicas every cycle.
 fn assert_lanes_match_scalar(netlist: &Netlist, cycles: u64, seed: u64) {
+    assert_lanes_match_scalar_probed(netlist, cycles, seed, &mut NullProbe);
+}
+
+/// [`assert_lanes_match_scalar`], with the batch engine additionally
+/// driving `probe` — probing must never change behaviour.
+fn assert_lanes_match_scalar_probed<P: Probe>(
+    netlist: &Netlist,
+    cycles: u64,
+    seed: u64,
+    probe: &mut P,
+) {
     let prog = Arc::new(SettleProgram::compile(netlist).unwrap());
     let n_src = prog.source_count();
     let n_snk = prog.sink_count();
@@ -42,7 +54,7 @@ fn assert_lanes_match_scalar(netlist: &Netlist, cycles: u64, seed: u64) {
     for t in 0..cycles {
         let srcs = schedule_words(seed ^ (t << 1), n_src);
         let snks = schedule_words(seed ^ (t << 1) ^ 1, n_snk);
-        batch.step_with_masks(&srcs, &snks);
+        batch.step_with_masks_probed(&srcs, &snks, probe);
         for (scalar, &lane) in scalars.iter_mut().zip(&check_lanes) {
             let valids: Vec<bool> = srcs.iter().map(|w| (w >> lane) & 1 == 1).collect();
             let stops: Vec<bool> = snks.iter().map(|w| (w >> lane) & 1 == 1).collect();
@@ -159,6 +171,29 @@ fn corpus() -> Vec<Netlist> {
 fn lanes_match_scalar_over_corpus_both_variants() {
     for (i, netlist) in corpus().iter().enumerate() {
         assert_lanes_match_scalar(netlist, 60, 0xC0FFEE ^ (i as u64) << 8);
+    }
+}
+
+#[test]
+fn probed_lanes_still_match_scalar_over_corpus() {
+    // A live MetricsRegistry on the batch engine must not perturb any
+    // lane, and its popcount totals must agree with the per-lane reads.
+    for (i, netlist) in corpus().iter().enumerate() {
+        let prog = SettleProgram::compile(netlist).unwrap();
+        let mut metrics = MetricsRegistry::with_lanes(prog.topology(), LANES as u32);
+        assert_lanes_match_scalar_probed(netlist, 60, 0xC0FFEE ^ (i as u64) << 8, &mut metrics);
+        assert_eq!(metrics.cycles(), 60, "one end_cycle per step");
+
+        // Replay unprobed and compare the aggregate fire count.
+        let prog = Arc::new(prog);
+        let mut batch = BatchSkeleton::from_program(Arc::clone(&prog));
+        for t in 0..60u64 {
+            let srcs = schedule_words(0xC0FFEE ^ (i as u64) << 8 ^ (t << 1), prog.source_count());
+            let snks = schedule_words(0xC0FFEE ^ (i as u64) << 8 ^ (t << 1) ^ 1, prog.sink_count());
+            batch.step_with_masks(&srcs, &snks);
+        }
+        let all_lanes: u64 = (0..LANES).map(|l| batch.total_fires_lane(l)).sum();
+        assert_eq!(metrics.total_fires(), all_lanes, "netlist {i} fire totals");
     }
 }
 

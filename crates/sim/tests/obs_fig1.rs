@@ -1,0 +1,190 @@
+//! Observability-layer integration tests on the paper's Fig. 1: counter
+//! correctness (one void per 5 cycles, T = 4/5), probed/unprobed
+//! equivalence, event streams, and RTL trace replay.
+
+use std::sync::Arc;
+
+use lip_graph::{generate, topology};
+use lip_kernel::{CycleEngine, Engine};
+use lip_obs::{
+    EventKind, EventStreamProbe, JsonlSink, MetricsRegistry, RingBufferSink, Tee, TraceSink,
+    TransientDetector,
+};
+use lip_sim::rtl::{elaborate_rtl, replay_trace_events};
+use lip_sim::{SettleProgram, SkeletonSystem};
+
+const CYCLES: u64 = 100;
+
+/// Run Fig. 1 on the scalar skeleton with a [`MetricsRegistry`].
+fn fig1_metrics() -> (MetricsRegistry, Arc<SettleProgram>) {
+    let fig1 = generate::fig1();
+    let mut sys = SkeletonSystem::new(&fig1.netlist).unwrap();
+    let prog = sys.program().clone();
+    let mut metrics = MetricsRegistry::new(prog.topology());
+    sys.run_probed(CYCLES, &mut metrics);
+    (metrics, prog)
+}
+
+#[test]
+fn fig1_sink_counters_show_one_void_per_period() {
+    let (metrics, prog) = fig1_metrics();
+    let sink_ch = prog.sink_input_channel(0) as usize;
+    let consumed = metrics.consumed(sink_ch);
+    let voids = metrics.void_ins(sink_ch);
+    // The sink sees a token every cycle; after the 2-cycle transient
+    // exactly one in five is void (T = 4/5).
+    assert_eq!(consumed + voids, CYCLES);
+    assert_eq!(consumed, 79);
+    assert_eq!(voids, 21);
+    assert_eq!(metrics.sink_throughput(sink_ch), Some((79, CYCLES)));
+    assert_eq!(metrics.cycles(), CYCLES);
+}
+
+#[test]
+fn fig1_transient_settles_within_relay_path_bound() {
+    let fig1 = generate::fig1();
+    let mut sys = SkeletonSystem::new(&fig1.netlist).unwrap();
+    let prog = sys.program().clone();
+    let sink_ch = prog.sink_input_channel(0);
+
+    struct Det {
+        det: TransientDetector,
+        informative: bool,
+        sink_ch: u32,
+    }
+    impl lip_obs::Probe for Det {
+        fn event(&mut self, _ev: lip_obs::Event) {}
+        fn consume(&mut self, _cycle: u64, ch: u32, _lane: u8) {
+            if ch == self.sink_ch {
+                self.informative = true;
+            }
+        }
+        fn end_cycle(&mut self, _cycle: u64) {
+            self.det.push(self.informative);
+            self.informative = false;
+        }
+    }
+    let mut probe = Det {
+        det: TransientDetector::new(4, 5),
+        informative: false,
+        sink_ch,
+    };
+    sys.run_probed(CYCLES, &mut probe);
+
+    let settle = probe.det.transient().expect("fig1 settles");
+    let bound = topology::longest_latency(&fig1.netlist).expect("fig1 is acyclic");
+    assert!(settle <= bound, "transient {settle} > bound {bound}");
+    let (num, den) = probe.det.steady_measured().expect("settled");
+    assert_eq!(num * 5, den * 4, "steady state is exactly 4/5");
+}
+
+#[test]
+fn probing_does_not_change_skeleton_behaviour() {
+    let fig1 = generate::fig1();
+    let mut probed = SkeletonSystem::new(&fig1.netlist).unwrap();
+    let mut plain = SkeletonSystem::new(&fig1.netlist).unwrap();
+    let mut metrics = MetricsRegistry::new(probed.program().topology());
+    for _ in 0..CYCLES {
+        probed.step_probed(&mut metrics);
+        plain.step();
+        assert_eq!(probed.component_state(), plain.component_state());
+    }
+    assert_eq!(probed.total_fires(), plain.total_fires());
+    assert_eq!(metrics.total_fires(), plain.total_fires());
+    for s in fig1.netlist.sinks() {
+        assert_eq!(probed.sink_counts(s), plain.sink_counts(s));
+    }
+}
+
+#[test]
+fn event_stream_agrees_with_counters() {
+    let fig1 = generate::fig1();
+    let mut sys = SkeletonSystem::new(&fig1.netlist).unwrap();
+    let topo = sys.program().topology();
+    let mut probe = Tee(
+        MetricsRegistry::new(topo),
+        EventStreamProbe::new(RingBufferSink::new(100_000)),
+    );
+    sys.run_probed(CYCLES, &mut probe);
+    let Tee(metrics, stream) = probe;
+    let ring = stream.into_sink();
+    assert_eq!(ring.dropped(), 0, "buffer sized for the whole run");
+
+    let count = |kind: EventKind| ring.events().filter(|e| e.kind == kind).count() as u64;
+    assert_eq!(count(EventKind::Fire), metrics.total_fires());
+    let void_ins: u64 = (0..metrics.topology().channels as usize)
+        .map(|ch| metrics.void_ins(ch))
+        .sum();
+    assert_eq!(count(EventKind::VoidIn), void_ins);
+    let fills: u64 = (0..metrics.topology().relays())
+        .map(|r| metrics.relay_traffic(r).0)
+        .sum();
+    assert_eq!(count(EventKind::RelayFill), fills);
+}
+
+#[test]
+fn jsonl_sink_writes_one_object_per_event() {
+    let fig1 = generate::fig1();
+    let mut sys = SkeletonSystem::new(&fig1.netlist).unwrap();
+    let mut probe = EventStreamProbe::new(JsonlSink::new(Vec::new()));
+    sys.run_probed(20, &mut probe);
+    let mut sink = probe.into_sink();
+    assert!(sink.take_error().is_none());
+    let written = sink.written();
+    let buf = sink.finish().unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len() as u64, written);
+    assert!(!lines.is_empty());
+    for line in lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"kind\":"), "{line}");
+        assert!(line.contains("\"cycle\":"), "{line}");
+    }
+}
+
+#[test]
+fn trace_sink_captures_protocol_waveform() {
+    let fig1 = generate::fig1();
+    let mut sys = SkeletonSystem::new(&fig1.netlist).unwrap();
+    let topo = sys.program().topology();
+    let mut probe = EventStreamProbe::new(TraceSink::new(&topo));
+    sys.run_probed(30, &mut probe);
+    let sink = probe.into_sink();
+    assert_eq!(sink.trace().len(), 30, "one capture per cycle");
+    let vcd = sink.to_vcd();
+    assert!(vcd.contains("ch0_void_in"));
+    assert!(vcd.contains("shell0_fire"));
+    assert!(vcd.contains("relay0_occ"));
+}
+
+#[test]
+fn rtl_trace_replay_matches_skeleton_stall_void_counts() {
+    let fig1 = generate::fig1();
+
+    // Skeleton side: per-channel stall/void counters from the probed
+    // settle sweep.
+    let mut sys = SkeletonSystem::new(&fig1.netlist).unwrap();
+    let topo = sys.program().topology();
+    let mut skel = MetricsRegistry::new(topo.clone());
+    sys.run_probed(CYCLES, &mut skel);
+
+    // RTL side: run the elaborated circuit with tracing, then replay
+    // the waveform into the same counters.
+    let (circuit, probes) = elaborate_rtl(&fig1.netlist).unwrap();
+    let mut engine = CycleEngine::new(circuit);
+    engine.enable_trace();
+    engine.run(CYCLES);
+    let mut rtl = MetricsRegistry::new(topo);
+    replay_trace_events(engine.trace().unwrap(), &probes, &mut rtl);
+
+    assert_eq!(rtl.cycles(), CYCLES);
+    for ch in 0..probes.channel_count() {
+        assert_eq!(
+            skel.voids(ch),
+            rtl.voids(ch),
+            "channel {ch} void-cycle count"
+        );
+        assert_eq!(skel.stalls(ch), rtl.stalls(ch), "channel {ch} stall count");
+    }
+}

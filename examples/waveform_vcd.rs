@@ -1,15 +1,19 @@
 //! Dump a VCD waveform of the Fig. 1 system, as one would inspect in a
 //! wave viewer — the RTL-on-kernel path end to end: netlist → RTL
-//! elaboration → cycle engine → trace → `fig1.vcd`.
+//! elaboration → cycle engine → trace → `fig1.vcd` — plus the same
+//! run's protocol events as `fig1_events.jsonl` via the observability
+//! layer's trace replay.
 //!
 //! Run with: `cargo run --example waveform_vcd`
-//! Then open `target/fig1.vcd` in GTKWave (or any VCD viewer).
+//! Then open `target/fig1.vcd` in GTKWave (or any VCD viewer), and
+//! `target/fig1_events.jsonl` with jq or any log tool.
 
 use std::fs;
 
 use lip::graph::generate;
 use lip::kernel::{CycleEngine, Engine};
-use lip::sim::rtl::elaborate_rtl;
+use lip::obs::{EventStreamProbe, JsonlSink};
+use lip::sim::rtl::{elaborate_rtl, replay_trace_events};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fig1 = generate::fig1();
@@ -46,5 +50,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sanity: the waveform really contains periodic stop activity.
     let stop_lines = vcd.lines().filter(|l| l.contains("_stop")).count();
     assert!(stop_lines >= 1, "stop signals missing from the VCD header");
+
+    // The same waveform as a structured event stream: replay the trace
+    // through the observability layer and dump one JSON object per
+    // stall/void event.
+    let mut probe = EventStreamProbe::new(JsonlSink::new(Vec::new()));
+    replay_trace_events(
+        engine.trace().expect("tracing enabled"),
+        &probes,
+        &mut probe,
+    );
+    let mut sink = probe.into_sink();
+    if let Some(e) = sink.take_error() {
+        return Err(e.into());
+    }
+    let events = sink.written();
+    let jsonl = sink.finish()?;
+    let events_path = "target/fig1_events.jsonl";
+    fs::write(events_path, &jsonl)?;
+    println!("wrote {events_path} ({events} events)");
+    assert!(events > 0, "Fig. 1 produces stall events every period");
     Ok(())
 }

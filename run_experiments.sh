@@ -22,7 +22,33 @@ BINS=(
   exp_batch_sweep
 )
 
+REPORT_DIR="${LIP_REPORT_DIR:-target/reports}"
+EXPECTED_SCHEMA=1
+
 cargo build --release -p lip-bench --bins || exit 1
+
+# Validate one report JSON: present, and carrying the expected
+# schema_version. Uses jq when available, grep otherwise.
+check_report() {
+  local file="$1"
+  if [ ! -f "$file" ]; then
+    echo "!! missing report: $file" >&2
+    return 1
+  fi
+  if command -v jq >/dev/null 2>&1; then
+    local v
+    v=$(jq -r '.schema_version' "$file") || return 1
+    [ "$v" = "$EXPECTED_SCHEMA" ] || {
+      echo "!! $file: schema_version $v != $EXPECTED_SCHEMA" >&2
+      return 1
+    }
+  else
+    grep -q "\"schema_version\": $EXPECTED_SCHEMA" "$file" || {
+      echo "!! $file: schema_version $EXPECTED_SCHEMA not found" >&2
+      return 1
+    }
+  fi
+}
 
 FAILED=()
 for bin in "${BINS[@]}"; do
@@ -33,8 +59,13 @@ for bin in "${BINS[@]}"; do
   if ! cargo run --release -q -p lip-bench --bin "$bin"; then
     echo "!! $bin exited non-zero" >&2
     FAILED+=("$bin")
+  elif ! check_report "$REPORT_DIR/$bin.json"; then
+    FAILED+=("$bin (report)")
   fi
 done
+
+# The perf-trajectory artefact carries the same schema version.
+check_report BENCH_skeleton.json || FAILED+=("BENCH_skeleton.json (schema)")
 
 echo
 if [ "${#FAILED[@]}" -ne 0 ]; then

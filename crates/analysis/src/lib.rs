@@ -41,6 +41,7 @@ pub mod equalize;
 pub mod formulas;
 pub mod model;
 pub mod pipeline;
+pub mod search;
 pub mod transient;
 
 pub use cure::{cure_deadlocks, enforce_min_memory, half_relays_in_loops, CureReport};
@@ -51,4 +52,5 @@ pub use formulas::{
 };
 pub use model::MarkedGraph;
 pub use pipeline::{pipeline_wires, PipelineReport, WireLatency};
+pub use search::{minimal_equalizing_capacity, size_each_relay, CapacityChoice};
 pub use transient::transient_bound;

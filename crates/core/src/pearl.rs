@@ -20,7 +20,12 @@ use std::fmt;
 /// fired in the original zero-delay design. Implementations may hold
 /// state; the shell never calls `eval` on a gated cycle, which is the
 /// protocol's "clock gating" obligation.
-pub trait Pearl {
+///
+/// `Send + Sync` is required so whole systems (whose shells box pearls)
+/// can be shared across the deterministic sweep executor's threads;
+/// pearls are plain data plus pure functions, so this costs nothing in
+/// practice.
+pub trait Pearl: Send + Sync {
     /// Number of input ports.
     fn num_inputs(&self) -> usize;
 
@@ -92,7 +97,7 @@ pub struct FnPearl<F> {
 
 impl<F> FnPearl<F>
 where
-    F: FnMut(&[u64], &mut [u64]) + Clone + 'static,
+    F: FnMut(&[u64], &mut [u64]) + Clone + Send + Sync + 'static,
 {
     /// Wrap `f` as a pearl with the given port counts.
     pub fn new(name: impl Into<String>, inputs: usize, outputs: usize, f: F) -> Self {
@@ -107,7 +112,7 @@ where
 
 impl<F> Pearl for FnPearl<F>
 where
-    F: FnMut(&[u64], &mut [u64]) + Clone + 'static,
+    F: FnMut(&[u64], &mut [u64]) + Clone + Send + Sync + 'static,
 {
     fn num_inputs(&self) -> usize {
         self.inputs

@@ -1,0 +1,179 @@
+//! Memoized throughput measurement for analysis searches.
+//!
+//! Equalization and queue-sizing searches (see `lip-analysis`) evaluate
+//! many candidate netlists, and different candidates frequently
+//! elaborate to the *same* compiled structure — inserting a relay on a
+//! channel that already has one, or re-visiting a capacity assignment
+//! reached along two search paths. [`ThroughputCache`] keys full
+//! [`Measurement`]s by the compiled program's
+//! [structural fingerprint](SettleProgram::stable_structural_hash)
+//! (plus the measurement options), so each distinct structure is
+//! simulated exactly once per search.
+//!
+//! The fingerprint covers everything observable behaviour depends on —
+//! channel wiring, relay kinds and capacities, shell geometry, protocol
+//! variant, and source/sink environment patterns — so a cache hit is
+//! guaranteed to return the measurement the simulator would have
+//! produced. Compiling the fingerprint is linear in netlist size and
+//! orders of magnitude cheaper than simulating to steady state.
+
+use std::collections::HashMap;
+
+use lip_graph::{Netlist, NetlistError};
+
+use crate::measure::{measure_with, MeasureOptions, Measurement};
+use crate::program::SettleProgram;
+
+/// Key: structural fingerprint + the three measurement knobs (different
+/// budgets can legitimately produce different fallback estimates for
+/// aperiodic systems, so they must not alias).
+type Key = (u64, u64, u64, u64);
+
+/// A memo table of [`Measurement`]s keyed by compiled-netlist structure.
+///
+/// # Example
+///
+/// ```
+/// use lip_graph::generate;
+/// use lip_sim::{Ratio, ThroughputCache};
+///
+/// # fn main() -> Result<(), lip_graph::NetlistError> {
+/// let mut cache = ThroughputCache::new();
+/// let fig1 = generate::fig1();
+/// let a = cache.measure(&fig1.netlist)?;
+/// let b = cache.measure(&fig1.netlist)?; // memoized: no simulation
+/// assert_eq!(a, b);
+/// assert_eq!(a.system_throughput(), Some(Ratio::new(4, 5)));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ThroughputCache {
+    map: HashMap<Key, Measurement>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ThroughputCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`measure`](crate::measure::measure) (default options).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from elaboration.
+    pub fn measure(&mut self, netlist: &Netlist) -> Result<Measurement, NetlistError> {
+        self.measure_with(netlist, MeasureOptions::default())
+    }
+
+    /// Memoized [`measure_with`]: on a structural hit the stored
+    /// [`Measurement`] is cloned back without any simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from elaboration (a failing netlist
+    /// is never cached).
+    pub fn measure_with(
+        &mut self,
+        netlist: &Netlist,
+        opts: MeasureOptions,
+    ) -> Result<Measurement, NetlistError> {
+        let program = SettleProgram::compile(netlist)?;
+        let key = (
+            program.stable_structural_hash(),
+            opts.max_transient,
+            opts.measure_periods,
+            opts.fallback_cycles,
+        );
+        if let Some(m) = self.map.get(&key) {
+            self.hits += 1;
+            return Ok(m.clone());
+        }
+        let m = measure_with(netlist, opts)?;
+        self.misses += 1;
+        self.map.insert(key, m.clone());
+        Ok(m)
+    }
+
+    /// Lookups answered from the memo table.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to simulation.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct structures measured so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been measured yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::Ratio;
+    use lip_graph::generate;
+
+    #[test]
+    fn hit_returns_identical_measurement() {
+        let mut cache = ThroughputCache::new();
+        let fig1 = generate::fig1();
+        let cold = cache.measure(&fig1.netlist).expect("measure");
+        let warm = cache.measure(&fig1.netlist).expect("measure");
+        assert_eq!(cold, warm);
+        assert_eq!(cold.system_throughput(), Some(Ratio::new(4, 5)));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_structures_do_not_alias() {
+        let mut cache = ThroughputCache::new();
+        let fig1 = generate::fig1();
+        let ring = generate::ring(4, 2, lip_core::RelayKind::Full);
+        let a = cache.measure(&fig1.netlist).expect("measure");
+        let b = cache.measure(&ring.netlist).expect("measure");
+        assert_ne!(a.system_throughput(), b.system_throughput());
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn options_are_part_of_the_key() {
+        let mut cache = ThroughputCache::new();
+        let fig1 = generate::fig1();
+        let _ = cache.measure(&fig1.netlist).expect("measure");
+        let opts = MeasureOptions {
+            measure_periods: 8,
+            ..MeasureOptions::default()
+        };
+        let _ = cache.measure_with(&fig1.netlist, opts).expect("measure");
+        assert_eq!(cache.misses(), 2, "different options must re-measure");
+    }
+
+    #[test]
+    fn structural_hash_is_stable_across_compiles() {
+        let fig1 = generate::fig1();
+        let a = SettleProgram::compile(&fig1.netlist).expect("compile");
+        let b = SettleProgram::compile(&fig1.netlist).expect("compile");
+        assert_eq!(a.stable_structural_hash(), b.stable_structural_hash());
+    }
+}

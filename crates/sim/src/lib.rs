@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cache;
 pub mod evolution;
 pub mod measure;
 pub mod program;
@@ -48,10 +49,12 @@ mod skeleton;
 mod system;
 
 pub use batch::{BatchSkeleton, LanePatterns, LANES};
+pub use cache::ThroughputCache;
 pub use evolution::Evolution;
 pub use measure::{
-    measure, measure_activity, measure_batch, measure_batch_probed, BatchMeasurement,
-    LivenessReport, Measurement, Periodicity, Ratio, ShellActivity,
+    measure, measure_activity, measure_batch, measure_batch_periodic, measure_batch_probed,
+    BatchMeasurement, BatchPeriodicMeasurement, LivenessReport, Measurement, PeriodDetector,
+    Periodicity, Ratio, ShellActivity,
 };
 pub use program::SettleProgram;
 pub use skeleton::SkeletonSystem;

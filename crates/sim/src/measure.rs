@@ -88,27 +88,88 @@ pub struct Periodicity {
     pub period: u64,
 }
 
+/// Incremental recurrence detector over hashed control states, with a
+/// caller-chosen payload snapshotted at each state's first occurrence.
+///
+/// Each distinct hash keeps a *bucket* of every distinct state seen
+/// under it, so two different states colliding on a hash cannot shadow
+/// each other: the recurrence check compares full states, and a state
+/// whose hash collides is still recorded and still recognised when it
+/// genuinely recurs. (The previous single-slot map dropped the colliding
+/// state entirely, so its later recurrence was missed and detection
+/// could spuriously return `None` — see the forced-collision regression
+/// test.)
+///
+/// The payload is returned alongside the [`Periodicity`] on a hit: the
+/// batched measurement path stores per-sink token counts there, turning
+/// the first-occurrence/recurrence pair into an exact tokens-per-period
+/// reading with no extra simulation.
+#[derive(Debug, Clone)]
+pub struct PeriodDetector<T = ()> {
+    seen: HashMap<u64, Vec<(u64, Vec<u64>, T)>>,
+}
+
+impl<T> Default for PeriodDetector<T> {
+    fn default() -> Self {
+        PeriodDetector {
+            seen: HashMap::new(),
+        }
+    }
+}
+
+impl<T: Clone> PeriodDetector<T> {
+    /// An empty detector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct states recorded so far.
+    #[must_use]
+    pub fn states(&self) -> usize {
+        self.seen.values().map(Vec::len).sum()
+    }
+
+    /// Observe the control `state` (pre-hashed as `hash`) at `cycle`.
+    /// On the first recurrence, returns the periodicity — transient =
+    /// the state's first cycle, period = the gap — together with the
+    /// payload recorded at that first occurrence.
+    pub fn observe(
+        &mut self,
+        cycle: u64,
+        hash: u64,
+        state: &[u64],
+        payload: T,
+    ) -> Option<(Periodicity, T)> {
+        let bucket = self.seen.entry(hash).or_default();
+        for (first, prev, prev_payload) in bucket.iter() {
+            if prev == state {
+                return Some((
+                    Periodicity {
+                        transient: *first,
+                        period: cycle - first,
+                    },
+                    prev_payload.clone(),
+                ));
+            }
+        }
+        bucket.push((cycle, state.to_vec(), payload));
+        None
+    }
+}
+
 /// Detect the periodic regime of `sys` by hashing control states, within
 /// `max_cycles`. Returns `None` when the environment is aperiodic or no
 /// repeat shows up in time. The system is left somewhere inside the
 /// steady-state regime.
 pub fn find_periodicity(sys: &mut System, max_cycles: u64) -> Option<Periodicity> {
-    let mut seen: HashMap<u64, (u64, Vec<u64>)> = HashMap::new();
+    let mut detector = PeriodDetector::new();
     for _ in 0..max_cycles {
         sys.settle();
         let state = sys.control_state()?;
         let hash = sys.control_hash()?;
-        match seen.get(&hash) {
-            Some((first, prev_state)) if *prev_state == state => {
-                return Some(Periodicity {
-                    transient: *first,
-                    period: sys.cycle() - first,
-                });
-            }
-            Some(_) => { /* hash collision with different state: continue */ }
-            None => {
-                seen.insert(hash, (sys.cycle(), state));
-            }
+        if let Some((p, ())) = detector.observe(sys.cycle(), hash, &state, ()) {
+            return Some(p);
         }
         sys.step();
     }
@@ -347,6 +408,174 @@ pub fn measure_batch_probed<P: lip_obs::Probe>(
     })
 }
 
+/// Result of a 64-lane periodicity-aware sweep
+/// ([`measure_batch_periodic`]): exact per-lane steady-state
+/// throughputs with the cycle budget actually spent.
+#[derive(Debug, Clone)]
+pub struct BatchPeriodicMeasurement {
+    /// Sinks measured, in [`Netlist::sinks`] order.
+    pub sinks: Vec<NodeId>,
+    /// `throughput[sink][lane]`: exact steady-state rate for converged
+    /// lanes (tokens per period over one detected period), whole-window
+    /// estimate for lanes that never converged within the budget.
+    pub throughput: Vec<Vec<Ratio>>,
+    /// Per lane: the detected periodic regime, `None` when the lane's
+    /// environment is aperiodic or no recurrence fit the budget.
+    pub periodicity: Vec<Option<Periodicity>>,
+    /// Cycles actually simulated (`<= budget` — the early exit).
+    pub cycles: u64,
+    /// The full cycle budget a fixed-window sweep would have spent.
+    pub budget: u64,
+    /// Bit `l` set iff lane `l` converged (got an exact reading).
+    pub converged: u64,
+}
+
+impl BatchPeriodicMeasurement {
+    /// Minimum sink throughput of `lane` — the lane's system throughput.
+    #[must_use]
+    pub fn system_throughput(&self, lane: usize) -> Option<Ratio> {
+        (0..self.sinks.len())
+            .map(|s| self.throughput[s][lane])
+            .min_by(|a, b| (a.num() * b.den()).cmp(&(b.num() * a.den())))
+    }
+
+    /// `true` when every lane converged to an exact periodic reading.
+    #[must_use]
+    pub fn all_converged(&self) -> bool {
+        self.converged == !0
+    }
+
+    /// Cycles the periodicity early-exit saved against the full budget.
+    #[must_use]
+    pub fn cycles_saved(&self) -> u64 {
+        self.budget - self.cycles
+    }
+}
+
+/// Periodicity-aware replacement for [`measure_batch`]: sweep 64
+/// environment scenarios at once, but track each lane's control-state
+/// recurrence (via [`PeriodDetector`] over
+/// [`stable_hash`](crate::program::stable_hash) of the bit-sliced lane
+/// state) and *retire* a lane the moment it proves periodic — its exact
+/// throughput is already decided, so it needs no further bookkeeping.
+/// Once the converged-lane mask is full the sweep returns early instead
+/// of burning the rest of `budget`; the paper's bounded-transient
+/// result makes that the common case, cutting most of the simulated
+/// cycles on settled corpora.
+///
+/// Converged lanes report the **same exact rational throughput the
+/// scalar path does** (tokens over one whole period, e.g. Fig. 1 is
+/// exactly `4/5`): the detector snapshots per-sink counts at each
+/// state's first occurrence, so recurrence yields tokens-per-period
+/// with no window truncation error. Lanes with aperiodic (random)
+/// environments never converge; they run to the full budget and report
+/// the whole-window estimate, exactly like [`measure_batch`].
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+pub fn measure_batch_periodic(
+    netlist: &Netlist,
+    pats: &LanePatterns,
+    budget: u64,
+) -> Result<BatchPeriodicMeasurement, NetlistError> {
+    let prog = Arc::new(SettleProgram::compile(netlist)?);
+    let mut batch = BatchSkeleton::from_patterns(Arc::clone(&prog), pats);
+    let sinks = netlist.sinks();
+    let n_snk = sinks.len();
+
+    // Per-lane environment period: the lcm of that lane's pattern
+    // periods. Aperiodic lanes can never be declared periodic.
+    let lane_env_period: Vec<Option<u64>> = (0..LANES)
+        .map(|lane| {
+            let mut acc = Some(1u64);
+            let mut fold = |p: Option<u64>| {
+                acc = match (p, acc) {
+                    (Some(p), Some(a)) => Some(crate::program::lcm(p, a)),
+                    _ => None,
+                };
+            };
+            for i in 0..pats.source_count() {
+                fold(pats.source_pattern(i, lane).period());
+            }
+            for j in 0..pats.sink_count() {
+                fold(pats.sink_pattern(j, lane).period());
+            }
+            acc
+        })
+        .collect();
+    let candidates: u64 = lane_env_period
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_some())
+        .fold(0u64, |m, (l, _)| m | (1 << l));
+
+    let mut detectors: Vec<PeriodDetector<Vec<(u64, u64)>>> =
+        (0..LANES).map(|_| PeriodDetector::new()).collect();
+    let mut periodicity: Vec<Option<Periodicity>> = vec![None; LANES];
+    let mut throughput = vec![vec![Ratio::new(0, 1); LANES]; n_snk];
+    let mut converged = 0u64;
+    let mut executed = 0u64;
+
+    for t in 0..budget {
+        // Observe the registered lane states *before* stepping, exactly
+        // where the scalar detector samples; converged lanes are
+        // retired from this bookkeeping entirely.
+        let mut live = candidates & !converged;
+        while live != 0 {
+            let lane = live.trailing_zeros() as usize;
+            live &= live - 1;
+            let env_period = lane_env_period[lane].expect("candidate lanes are periodic");
+            let mut state = Vec::with_capacity(1 + prog.comp_slots.len());
+            state.push(t % env_period);
+            state.extend(batch.lane_component_state(lane));
+            let hash = crate::program::stable_hash(&state);
+            let counts: Vec<(u64, u64)> = sinks
+                .iter()
+                .map(|&s| batch.sink_counts_lane(s, lane).expect("sink"))
+                .collect();
+            if let Some((p, first_counts)) =
+                detectors[lane].observe(t, hash, &state, counts.clone())
+            {
+                periodicity[lane] = Some(p);
+                converged |= 1 << lane;
+                for j in 0..n_snk {
+                    throughput[j][lane] = Ratio::new(counts[j].0 - first_counts[j].0, p.period);
+                }
+            }
+        }
+        if converged == !0 {
+            // Every lane has an exact reading: the remaining budget is
+            // pure waste — exit early.
+            executed = t;
+            break;
+        }
+        batch.step_patterns(pats);
+        executed = t + 1;
+    }
+
+    // Unconverged lanes fall back to the whole-window estimate.
+    let window = executed.max(1);
+    for (j, &s) in sinks.iter().enumerate() {
+        for (lane, slot) in throughput[j].iter_mut().enumerate() {
+            if converged & (1 << lane) != 0 {
+                continue;
+            }
+            let (valid, _) = batch.sink_counts_lane(s, lane).expect("sink");
+            *slot = Ratio::new(valid, window);
+        }
+    }
+
+    Ok(BatchPeriodicMeasurement {
+        sinks,
+        throughput,
+        periodicity,
+        cycles: executed,
+        budget,
+        converged,
+    })
+}
+
 /// Liveness verdict from skeleton-style simulation to the periodic
 /// regime — the paper's deadlock detection recipe: "if we simulate the
 /// system up to the transient's extinction, either the deadlock will
@@ -582,6 +811,148 @@ mod tests {
         let rep = check_liveness(&n, 100, 100).unwrap();
         assert!(!rep.is_live());
         assert_eq!(rep.dead_shells, vec![a]);
+    }
+
+    #[test]
+    fn period_detector_survives_forced_hash_collision() {
+        // Regression: the previous detector kept one state per hash, so
+        // a colliding state *replaced* the earlier one and the earlier
+        // state's genuine recurrence was never recognised. Force the
+        // collision by feeding distinct states under one hash value.
+        let mut d: PeriodDetector = PeriodDetector::new();
+        let a = [1u64, 2, 3];
+        let b = [9u64, 9, 9]; // different state, same (forced) hash
+        assert_eq!(d.observe(0, 42, &a, ()), None);
+        assert_eq!(
+            d.observe(1, 42, &b, ()),
+            None,
+            "collision must record, not shadow"
+        );
+        assert_eq!(d.states(), 2, "both states must survive under one hash");
+        let (p, ()) = d
+            .observe(2, 42, &a, ())
+            .expect("recurrence of the shadowed state");
+        assert_eq!(
+            p,
+            Periodicity {
+                transient: 0,
+                period: 2
+            }
+        );
+        // And the collided state's own recurrence is found too.
+        let (p, ()) = d
+            .observe(5, 42, &b, ())
+            .expect("recurrence of the colliding state");
+        assert_eq!(
+            p,
+            Periodicity {
+                transient: 1,
+                period: 4
+            }
+        );
+    }
+
+    #[test]
+    fn period_detector_payload_returns_first_occurrence_snapshot() {
+        let mut d: PeriodDetector<u64> = PeriodDetector::new();
+        assert_eq!(d.observe(3, 7, &[1], 100), None);
+        let (p, payload) = d.observe(8, 7, &[1], 999).expect("recurrence");
+        assert_eq!(
+            p,
+            Periodicity {
+                transient: 3,
+                period: 5
+            }
+        );
+        assert_eq!(
+            payload, 100,
+            "payload must be the first-occurrence snapshot"
+        );
+    }
+
+    #[test]
+    fn batch_periodic_early_exit_keeps_exact_fig1_throughput() {
+        let f = generate::fig1();
+        let prog = SettleProgram::compile(&f.netlist).unwrap();
+        let pats = LanePatterns::broadcast(&prog);
+        let budget = 10_000;
+        let m = measure_batch_periodic(&f.netlist, &pats, budget).unwrap();
+        assert!(m.all_converged(), "fig1 lanes are all periodic");
+        // Early exit must save the bulk of the budget…
+        assert!(
+            m.cycles_saved() * 100 >= budget * 40,
+            "saved only {} of {budget}",
+            m.cycles_saved()
+        );
+        // …at unchanged exact throughputs and periodicity.
+        let scalar = measure(&f.netlist).unwrap();
+        let sp = scalar.periodicity.expect("fig1 periodic");
+        for lane in 0..LANES {
+            assert_eq!(
+                m.system_throughput(lane),
+                Some(Ratio::new(4, 5)),
+                "lane {lane}"
+            );
+            assert_eq!(m.periodicity[lane].expect("converged").period, sp.period);
+        }
+    }
+
+    #[test]
+    fn batch_periodic_lanes_match_scalar_measure_exactly() {
+        // Lane l stops fig1's sink every (l % 6 + 2)-th cycle; the same
+        // pattern applied to a scalar netlist must yield the *same exact
+        // rational* steady-state throughput as the early-exiting batch.
+        let f = generate::fig1();
+        let prog = SettleProgram::compile(&f.netlist).unwrap();
+        let mut pats = LanePatterns::broadcast(&prog);
+        let lane_pattern = |lane: usize| Pattern::EveryNth {
+            period: (lane % 6 + 2) as u32,
+            phase: 0,
+        };
+        for lane in 0..LANES {
+            pats.set_sink(0, lane, lane_pattern(lane));
+        }
+        let m = measure_batch_periodic(&f.netlist, &pats, 20_000).unwrap();
+        assert!(m.all_converged());
+        for lane in [0, 1, 3, 5, 17, 40, 63] {
+            let mut scalar_net = f.netlist.clone();
+            assert!(scalar_net.set_sink_pattern(f.sink, lane_pattern(lane)));
+            let scalar = measure(&scalar_net).unwrap();
+            assert_eq!(
+                m.system_throughput(lane),
+                scalar.system_throughput(),
+                "lane {lane} diverged from the scalar path"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_periodic_aperiodic_lanes_fall_back_to_estimates() {
+        let f = generate::fig1();
+        let prog = SettleProgram::compile(&f.netlist).unwrap();
+        let mut pats = LanePatterns::broadcast(&prog);
+        // Lane 1 gets an aperiodic environment: it can never converge.
+        pats.set_sink(
+            0,
+            1,
+            Pattern::Random {
+                num: 1,
+                denom: 4,
+                seed: 7,
+            },
+        );
+        let budget = 2_000;
+        let m = measure_batch_periodic(&f.netlist, &pats, budget).unwrap();
+        assert!(!m.all_converged());
+        assert_eq!(m.converged & 0b10, 0, "random lane must not converge");
+        assert_ne!(m.converged & 0b01, 0, "periodic lane must converge");
+        assert_eq!(m.cycles, budget, "an unconverged lane disables early exit");
+        assert_eq!(m.periodicity[1], None);
+        // Lane 0 still reports the exact figure.
+        assert_eq!(m.system_throughput(0), Some(Ratio::new(4, 5)));
+        // Lane 1's estimate is plausible (sink admits 3/4 of cycles).
+        let est = m.system_throughput(1).unwrap().to_f64();
+        assert!((0.55..0.95).contains(&est), "estimate {est}");
     }
 
     use lip_graph::Netlist;

@@ -388,6 +388,109 @@ impl SettleProgram {
         (self.full_in_ch.len() + self.half_in_ch.len() + i) as u32
     }
 
+    /// Stable structural fingerprint of the compiled netlist: a
+    /// [`stable_hash`] over every compiled table — channel wiring, shell
+    /// CSR geometry, relay kinds and capacities, settle orders, protocol
+    /// variant — **and** the source/sink environment patterns. Two
+    /// netlists with equal fingerprints elaborate to simulations with
+    /// identical observable behaviour, so the fingerprint is a sound
+    /// memoization key for [`Measurement`](crate::Measurement)s
+    /// (see [`ThroughputCache`](crate::ThroughputCache)); it is stable
+    /// across processes and releases, so persisted experiment caches
+    /// stay valid.
+    #[must_use]
+    pub fn stable_structural_hash(&self) -> u64 {
+        fn section(words: &mut Vec<u64>, tag: u64, it: &mut dyn Iterator<Item = u64>) {
+            words.push(tag);
+            let start = words.len();
+            words.extend(it);
+            let len = (words.len() - start) as u64;
+            words.insert(start, len);
+        }
+        let mut words: Vec<u64> = Vec::new();
+        words.push(self.n_channels as u64);
+        words.push(match self.variant {
+            ProtocolVariant::Refined => 0,
+            ProtocolVariant::Carloni => 1,
+        });
+        section(
+            &mut words,
+            1,
+            &mut self.src_out_ch.iter().map(|&c| u64::from(c)),
+        );
+        section(
+            &mut words,
+            2,
+            &mut self.snk_in_ch.iter().map(|&c| u64::from(c)),
+        );
+        section(
+            &mut words,
+            3,
+            &mut self.full_in_ch.iter().map(|&c| u64::from(c)),
+        );
+        section(
+            &mut words,
+            4,
+            &mut self.full_out_ch.iter().map(|&c| u64::from(c)),
+        );
+        section(
+            &mut words,
+            5,
+            &mut self.half_in_ch.iter().map(|&c| u64::from(c)),
+        );
+        section(
+            &mut words,
+            6,
+            &mut self.half_out_ch.iter().map(|&c| u64::from(c)),
+        );
+        section(
+            &mut words,
+            7,
+            &mut self.fifo_in_ch.iter().map(|&c| u64::from(c)),
+        );
+        section(
+            &mut words,
+            8,
+            &mut self.fifo_out_ch.iter().map(|&c| u64::from(c)),
+        );
+        section(
+            &mut words,
+            9,
+            &mut self.fifo_cap.iter().map(|&c| u64::from(c)),
+        );
+        section(
+            &mut words,
+            10,
+            &mut self.shell_buffered.iter().map(|&b| u64::from(b)),
+        );
+        section(
+            &mut words,
+            11,
+            &mut self.shell_in_off.iter().map(|&c| u64::from(c)),
+        );
+        section(
+            &mut words,
+            12,
+            &mut self.shell_in_ch.iter().map(|&c| u64::from(c)),
+        );
+        section(
+            &mut words,
+            13,
+            &mut self.shell_out_off.iter().map(|&c| u64::from(c)),
+        );
+        section(
+            &mut words,
+            14,
+            &mut self.shell_out_ch.iter().map(|&c| u64::from(c)),
+        );
+        let mut pat_words = Vec::new();
+        for p in self.src_pattern.iter().chain(self.snk_pattern.iter()) {
+            pattern_words(p, &mut pat_words);
+        }
+        section(&mut words, 15, &mut pat_words.into_iter());
+        stable_hash(&words)
+    }
+
     /// Input-channel run of shell `s` (indices into the flat arrays).
     #[inline]
     pub(crate) fn shell_in_range(&self, s: usize) -> std::ops::Range<usize> {
@@ -416,6 +519,33 @@ pub(crate) fn lcm(a: u64, b: u64) -> u64 {
         return a.max(b).max(1);
     }
     (a / gcd(a, b)).saturating_mul(b)
+}
+
+/// Injective word encoding of a [`Pattern`] for
+/// [`SettleProgram::stable_structural_hash`]: discriminant, then the
+/// variant's fields (cyclic bits length-prefixed so `[true]` and
+/// `[true, false]` stay distinct from field-count coincidences).
+fn pattern_words(p: &Pattern, out: &mut Vec<u64>) {
+    match p {
+        Pattern::Never => out.push(0),
+        Pattern::Always => out.push(1),
+        Pattern::EveryNth { period, phase } => {
+            out.push(2);
+            out.push(u64::from(*period));
+            out.push(u64::from(*phase));
+        }
+        Pattern::Random { num, denom, seed } => {
+            out.push(3);
+            out.push(u64::from(*num));
+            out.push(u64::from(*denom));
+            out.push(*seed);
+        }
+        Pattern::Cyclic(bits) => {
+            out.push(4);
+            out.push(bits.len() as u64);
+            out.extend(bits.iter().map(|&b| u64::from(b)));
+        }
+    }
 }
 
 /// Kahn topological sort of `0..n` under `deps` (`deps(i)` must settle

@@ -20,7 +20,6 @@
 //!
 //! [`System`]: crate::System
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use lip_graph::{Netlist, NetlistError, NodeId};
@@ -547,24 +546,17 @@ impl SkeletonSystem {
     }
 
     /// Detect the periodic regime (see
-    /// [`find_periodicity`](crate::measure::find_periodicity)).
+    /// [`find_periodicity`](crate::measure::find_periodicity)); hash
+    /// collisions are disambiguated by full-state comparison via
+    /// [`PeriodDetector`](crate::measure::PeriodDetector).
     pub fn find_periodicity(&mut self, max_cycles: u64) -> Option<Periodicity> {
-        let mut seen: HashMap<u64, (u64, Vec<u64>)> = HashMap::new();
+        let mut detector = crate::measure::PeriodDetector::new();
         for _ in 0..max_cycles {
             self.settle();
             let state = self.control_state()?;
             let hash = self.control_hash()?;
-            match seen.get(&hash) {
-                Some((first, prev)) if *prev == state => {
-                    return Some(Periodicity {
-                        transient: *first,
-                        period: self.cycle - first,
-                    });
-                }
-                Some(_) => {}
-                None => {
-                    seen.insert(hash, (self.cycle, state));
-                }
+            if let Some((p, ())) = detector.observe(self.cycle, hash, &state, ()) {
+                return Some(p);
             }
             self.step();
         }

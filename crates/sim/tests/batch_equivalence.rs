@@ -169,16 +169,21 @@ fn corpus() -> Vec<Netlist> {
 
 #[test]
 fn lanes_match_scalar_over_corpus_both_variants() {
-    for (i, netlist) in corpus().iter().enumerate() {
+    // The corpus items are independent, so they fan out over the
+    // deterministic executor (per-item seeds derive from the corpus
+    // index, never from scheduling).
+    lip_par::par_map_indexed(&corpus(), |i, netlist| {
         assert_lanes_match_scalar(netlist, 60, 0xC0FFEE ^ (i as u64) << 8);
-    }
+    });
 }
 
 #[test]
 fn probed_lanes_still_match_scalar_over_corpus() {
     // A live MetricsRegistry on the batch engine must not perturb any
     // lane, and its popcount totals must agree with the per-lane reads.
-    for (i, netlist) in corpus().iter().enumerate() {
+    // Each corpus item owns its registry, so the fan-out needs no
+    // shared mutable state.
+    lip_par::par_map_indexed(&corpus(), |i, netlist| {
         let prog = SettleProgram::compile(netlist).unwrap();
         let mut metrics = MetricsRegistry::with_lanes(prog.topology(), LANES as u32);
         assert_lanes_match_scalar_probed(netlist, 60, 0xC0FFEE ^ (i as u64) << 8, &mut metrics);
@@ -194,7 +199,43 @@ fn probed_lanes_still_match_scalar_over_corpus() {
         }
         let all_lanes: u64 = (0..LANES).map(|l| batch.total_fires_lane(l)).sum();
         assert_eq!(metrics.total_fires(), all_lanes, "netlist {i} fire totals");
+    });
+}
+
+#[test]
+fn early_exit_matches_full_budget_over_random_corpus() {
+    // The periodicity early-exit must be invisible in the *numbers*: a
+    // converged sweep reports the same exact rational throughputs as
+    // burning the whole (here, doubled) budget, and the same exact
+    // rationals as the scalar measurement path, over a random topology
+    // corpus. Items fan out over the deterministic executor.
+    let mut items: Vec<Netlist> = Vec::new();
+    let mut seed = 0u64;
+    while items.len() < 12 {
+        let (_, netlist) = generate::random_family(seed);
+        if netlist.validate().is_ok() && !netlist.shells().is_empty() {
+            items.push(netlist);
+        }
+        seed += 1;
     }
+    lip_par::par_map_indexed(&items, |i, netlist| {
+        let prog = SettleProgram::compile(netlist).unwrap();
+        let pats = LanePatterns::broadcast(&prog);
+        let short = lip_sim::measure_batch_periodic(netlist, &pats, 4096).unwrap();
+        let long = lip_sim::measure_batch_periodic(netlist, &pats, 8192).unwrap();
+        assert!(short.all_converged(), "netlist {i} did not converge");
+        assert!(
+            short.cycles_saved() > 0,
+            "netlist {i}: no cycles saved on a converged corpus"
+        );
+        let scalar = lip_sim::measure(netlist).unwrap();
+        let scalar_t = scalar.system_throughput().unwrap();
+        for lane in 0..LANES {
+            let t = short.system_throughput(lane);
+            assert_eq!(t, long.system_throughput(lane), "netlist {i} lane {lane}");
+            assert_eq!(t, Some(scalar_t), "netlist {i} lane {lane} vs scalar");
+        }
+    });
 }
 
 #[test]

@@ -197,6 +197,48 @@ pub fn random_explore_system(
     })
 }
 
+/// [`random_explore_system`] fanned out over `shards` independent
+/// 64-lane batches via [`lip_par::par_map_indexed`] — `shards * 64`
+/// sampled schedules for the wall-clock price of the slowest shard.
+///
+/// Shard `k` runs exactly `random_explore_system(netlist, cycles,
+/// derive(seed, k))`, so its behaviour is a pure function of its index:
+/// the merged result (first wedged shard by index wins; `schedules`
+/// sums) is byte-identical for every worker count, including serial.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+pub fn random_explore_system_sharded(
+    netlist: &Netlist,
+    cycles: u64,
+    seed: u64,
+    shards: usize,
+) -> Result<RandomSystemSearch, NetlistError> {
+    // Elaborate once up front so a bad netlist fails before fan-out.
+    SettleProgram::compile(netlist)?;
+    let shard_ids: Vec<usize> = (0..shards.max(1)).collect();
+    let results = lip_par::par_map_indexed(&shard_ids, |_, &k| {
+        let shard_seed = seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        random_explore_system(netlist, cycles, shard_seed)
+            .expect("netlist compiled above; elaboration is deterministic")
+    });
+    let schedules: usize = results.iter().map(|r| r.schedules).sum();
+    let first_wedged = results.iter().find(|r| r.wedged.is_some());
+    Ok(match first_wedged {
+        Some(hit) => RandomSystemSearch {
+            cycles: hit.cycles,
+            schedules,
+            wedged: hit.wedged.clone(),
+        },
+        None => RandomSystemSearch {
+            cycles,
+            schedules,
+            wedged: None,
+        },
+    })
+}
+
 /// Lanes that fail to fire any shell within `horizon` permissive cycles
 /// — the batched form of [`is_wedged`], all 64 lanes probed at once.
 fn batch_wedged_mask(batch: &BatchSkeleton, n_src: usize, n_snk: usize, horizon: u64) -> u64 {
@@ -363,6 +405,21 @@ mod tests {
                 assert_eq!(random.cycles, 500);
             }
         }
+    }
+
+    #[test]
+    fn sharded_prepass_covers_more_schedules_deterministically() {
+        let f = generate::fig1();
+        let sharded = random_explore_system_sharded(&f.netlist, 200, 3, 4).unwrap();
+        assert!(sharded.deadlock_free());
+        assert_eq!(sharded.schedules, 4 * LANES);
+        assert_eq!(sharded.cycles, 200);
+        // Shard 0 is exactly the unsharded run with the same seed, and
+        // the merged verdict is independent of worker count.
+        let single = random_explore_system(&f.netlist, 200, 3).unwrap();
+        assert_eq!(single.wedged, sharded.wedged);
+        let again = random_explore_system_sharded(&f.netlist, 200, 3, 4).unwrap();
+        assert_eq!(sharded, again);
     }
 
     #[test]

@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
-# Regenerate every paper artefact (figures, claims, ablations) in order.
+# Regenerate every paper artefact (figures, claims, ablations).
 # Criterion cost benches are separate: `cargo bench --workspace`.
+#
+# Independent experiment bins run concurrently, bounded by LIP_JOBS
+# (default: nproc). Timing-gated bins (the ones asserting wall-clock
+# speedups) run serially afterwards so the concurrent batch cannot
+# distort their measurements. Per-bin output is captured to a log file
+# and replayed in declaration order, so the summary is stable and
+# byte-comparable no matter how the concurrent phase interleaved.
 set -uo pipefail
 
-BINS=(
+# Bins safe to run concurrently: pure result-correctness checks.
+CONCURRENT_BINS=(
   fig1_feedforward
   fig2_feedback
   exp_tree
@@ -19,12 +27,24 @@ BINS=(
   exp_ablation_memory
   exp_queue_sizing
   exp_clock_gating
+)
+
+# Bins that assert wall-clock gates: must own the machine.
+TIMED_BINS=(
   exp_batch_sweep
+  exp_parallel_sweep
 )
 
 REPORT_DIR="${LIP_REPORT_DIR:-target/reports}"
+LOG_DIR="$REPORT_DIR/logs"
+TARGET_DIR="${CARGO_TARGET_DIR:-target}"
 EXPECTED_SCHEMA=1
+JOBS="${LIP_JOBS:-$(nproc 2>/dev/null || echo 1)}"
+case "$JOBS" in
+  ''|*[!0-9]*|0) echo "!! LIP_JOBS must be a positive integer, got '$JOBS'" >&2; exit 1 ;;
+esac
 
+mkdir -p "$LOG_DIR"
 cargo build --release -p lip-bench --bins || exit 1
 
 # Validate one report JSON: present, and carrying the expected
@@ -50,13 +70,46 @@ check_report() {
   fi
 }
 
+# Run one bin (pre-built, invoked directly so concurrent runs do not
+# contend on cargo's target-dir lock), capturing output and exit status.
+run_bin() {
+  local bin="$1"
+  if "$TARGET_DIR/release/$bin" >"$LOG_DIR/$bin.log" 2>&1; then
+    echo ok >"$LOG_DIR/$bin.status"
+  else
+    echo fail >"$LOG_DIR/$bin.status"
+  fi
+}
+
+# ---- Phase 1: concurrent batch, bounded by $JOBS in-flight jobs. ----
+echo "running ${#CONCURRENT_BINS[@]} experiments with up to $JOBS concurrent job(s)..."
+active=0
+for bin in "${CONCURRENT_BINS[@]}"; do
+  run_bin "$bin" &
+  active=$((active + 1))
+  if [ "$active" -ge "$JOBS" ]; then
+    wait -n
+    active=$((active - 1))
+  fi
+done
+wait
+
+# ---- Phase 2: timing-gated bins, serial on a quiet machine. ----
+for bin in "${TIMED_BINS[@]}"; do
+  echo "running $bin (serial: wall-clock gated)..."
+  run_bin "$bin"
+done
+
+# ---- Phase 3: replay logs and validate, in stable declaration order. ----
 FAILED=()
-for bin in "${BINS[@]}"; do
+for bin in "${CONCURRENT_BINS[@]}" "${TIMED_BINS[@]}"; do
   echo
   echo "################################################################"
   echo "## $bin"
   echo "################################################################"
-  if ! cargo run --release -q -p lip-bench --bin "$bin"; then
+  cat "$LOG_DIR/$bin.log"
+  status=$(cat "$LOG_DIR/$bin.status" 2>/dev/null || echo missing)
+  if [ "$status" != ok ]; then
     echo "!! $bin exited non-zero" >&2
     FAILED+=("$bin")
   elif ! check_report "$REPORT_DIR/$bin.json"; then
@@ -64,8 +117,9 @@ for bin in "${BINS[@]}"; do
   fi
 done
 
-# The perf-trajectory artefact carries the same schema version.
+# The perf-trajectory artefacts carry the same schema version.
 check_report BENCH_skeleton.json || FAILED+=("BENCH_skeleton.json (schema)")
+check_report BENCH_parallel.json || FAILED+=("BENCH_parallel.json (schema)")
 
 echo
 if [ "${#FAILED[@]}" -ne 0 ]; then
@@ -74,4 +128,4 @@ if [ "${#FAILED[@]}" -ne 0 ]; then
   echo "################################################################" >&2
   exit 1
 fi
-echo "All ${#BINS[@]} experiments completed successfully."
+echo "All $((${#CONCURRENT_BINS[@]} + ${#TIMED_BINS[@]})) experiments completed successfully."

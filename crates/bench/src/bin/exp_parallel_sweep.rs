@@ -127,9 +127,8 @@ fn main() {
     );
     if !speedup_gated {
         println!(
-            "({}x gate waived: needs >= {MIN_CORES_FOR_SPEEDUP_GATE} cores and \
-             LIP_JOBS >= {MIN_CORES_FOR_SPEEDUP_GATE}; determinism still asserted)",
-            CLAIMED_SPEEDUP
+            "({CLAIMED_SPEEDUP}x gate waived: needs >= {MIN_CORES_FOR_SPEEDUP_GATE} cores and \
+             LIP_JOBS >= {MIN_CORES_FOR_SPEEDUP_GATE}; determinism still asserted)"
         );
     }
     println!();

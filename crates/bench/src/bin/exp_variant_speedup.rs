@@ -20,7 +20,7 @@ fn throughput(netlist: &Netlist) -> Option<f64> {
     measure_with(netlist, opts)
         .ok()?
         .system_throughput()
-        .map(|r| r.to_f64())
+        .map(lip_sim::Ratio::to_f64)
 }
 
 fn main() {

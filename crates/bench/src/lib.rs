@@ -6,7 +6,6 @@
 //! `benches/` cover the cost claims. These helpers keep the output
 //! format uniform.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
@@ -67,8 +66,7 @@ pub fn mark(ok: bool) -> &'static str {
 #[must_use]
 pub fn report_dir() -> PathBuf {
     std::env::var_os("LIP_REPORT_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target/reports"))
+        .map_or_else(|| PathBuf::from("target/reports"), PathBuf::from)
 }
 
 /// Write `report` into [`report_dir`] (creating it) and print the

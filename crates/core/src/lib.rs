@@ -56,7 +56,6 @@
 //! `lip-analysis` (throughput/transient formulas) and `lip-verify`
 //! (model checking of the properties the paper verified with SMV).
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod buffered;

@@ -95,6 +95,16 @@ pub struct FnPearl<F> {
     f: F,
 }
 
+impl<F> core::fmt::Debug for FnPearl<F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FnPearl")
+            .field("name", &self.name)
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<F> FnPearl<F>
 where
     F: FnMut(&[u64], &mut [u64]) + Clone + Send + Sync + 'static,

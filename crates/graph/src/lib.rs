@@ -33,15 +33,19 @@
 //!
 //! [`Shell`]: lip_core::Shell
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 pub mod generate;
 mod netlist;
+pub mod span;
 pub mod text;
 pub mod topology;
 
 pub use error::NetlistError;
 pub use netlist::{Channel, ChannelId, Netlist, NetlistCensus, Node, NodeId, NodeKind, Port};
-pub use text::{parse_netlist, write_netlist, ParseNetlistError};
+pub use span::{SourceMap, Span};
+pub use text::{
+    parse_netlist, parse_netlist_spanned, write_netlist, ParseErrorKind, ParseNetlistError,
+    ParsedNetlist,
+};

@@ -28,6 +28,12 @@
 //! Pearls: `identity [fanout=N]`, `join arity=N [op=first|sum|max]`,
 //! `router in=N out=M`, `accumulator`, `counter`, `delay k=N`,
 //! `const value=V`.
+//!
+//! [`parse_netlist_spanned`] additionally returns a [`SourceMap`]
+//! recording the line/column every node and channel was declared at, so
+//! downstream diagnostics (notably the `lip-lint` rules) can point back
+//! into the file. Parse errors carry the same [`Span`] machinery plus a
+//! structured [`ParseErrorKind`].
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -40,194 +46,370 @@ use lip_core::pearl::{
 use lip_core::{Pattern, RelayKind};
 
 use crate::netlist::{Netlist, NodeId, NodeKind};
+use crate::span::{SourceMap, Span};
+use crate::NetlistError;
 
-/// Error parsing a textual netlist.
+/// What went wrong while parsing a textual netlist, without the
+/// position (see [`ParseNetlistError`] for the spanned wrapper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// A node statement is missing its name token.
+    MissingName {
+        /// The statement keyword (`source`, `relay`, …).
+        statement: &'static str,
+    },
+    /// `relay NAME` without a kind token.
+    MissingRelayKind,
+    /// A relay kind other than `full`, `half` or `fifo:K`.
+    UnknownRelayKind(String),
+    /// `fifo:K` whose capacity is not an integer ≥ 2 (a fifo relay
+    /// station needs at least the two places of a full relay station).
+    BadFifoCapacity(String),
+    /// `shell NAME` without a pearl token.
+    MissingPearl,
+    /// An unrecognised pearl name.
+    UnknownPearl(String),
+    /// An unrecognised `op=` value on a join pearl.
+    UnknownJoinOp(String),
+    /// A `key=value` argument whose value is not a number.
+    BadNumber {
+        /// The argument key.
+        key: String,
+        /// The offending value.
+        value: String,
+    },
+    /// A `voids=`/`stops=` pattern that is not `every:P:PHASE`.
+    BadPattern(String),
+    /// A connect endpoint that is not `node:index`.
+    BadPort(String),
+    /// A `connect` statement without exactly two endpoints.
+    MalformedConnect,
+    /// An unknown statement keyword.
+    UnknownStatement(String),
+    /// A node name declared twice.
+    DuplicateName(String),
+    /// A connect endpoint naming an undeclared node.
+    UnknownNode(String),
+    /// The underlying [`Netlist::connect`] rejected the channel.
+    Connect(NetlistError),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingName { statement } => write!(f, "{statement} needs a name"),
+            Self::MissingRelayKind => {
+                write!(f, "relay needs a kind: `full`, `half` or `fifo:K`")
+            }
+            Self::UnknownRelayKind(k) => write!(f, "unknown relay kind `{k}`"),
+            Self::BadFifoCapacity(k) => {
+                write!(f, "bad fifo capacity `{k}` (must be an integer >= 2)")
+            }
+            Self::MissingPearl => write!(f, "shell needs a pearl"),
+            Self::UnknownPearl(p) => write!(f, "unknown pearl `{p}`"),
+            Self::UnknownJoinOp(op) => write!(f, "unknown join op `{op}`"),
+            Self::BadNumber { key, value } => write!(f, "bad `{key}={value}`"),
+            Self::BadPattern(p) => write!(f, "pattern must be `every:P:PHASE`, got `{p}`"),
+            Self::BadPort(p) => write!(f, "port must be `node:index`, got `{p}`"),
+            Self::MalformedConnect => write!(f, "connect needs `from:port -> to:port`"),
+            Self::UnknownStatement(s) => write!(f, "unknown statement `{s}`"),
+            Self::DuplicateName(n) => write!(f, "duplicate node name `{n}`"),
+            Self::UnknownNode(n) => write!(f, "unknown node `{n}`"),
+            Self::Connect(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Error parsing a textual netlist: a structured [`ParseErrorKind`]
+/// plus the [`Span`] of the offending token.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseNetlistError {
-    /// 1-based line of the offending statement.
-    pub line: usize,
+    /// Position of the offending token (1-based line and column).
+    pub span: Span,
     /// What went wrong.
-    pub message: String,
+    pub kind: ParseErrorKind,
+}
+
+impl ParseNetlistError {
+    /// The human-readable description, without the position prefix.
+    #[must_use]
+    pub fn message(&self) -> String {
+        self.kind.to_string()
+    }
 }
 
 impl fmt::Display for ParseNetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.span.line, self.span.col, self.kind
+        )
     }
 }
 
 impl Error for ParseNetlistError {}
 
-fn err(line: usize, message: impl Into<String>) -> ParseNetlistError {
-    ParseNetlistError {
-        line,
-        message: message.into(),
+fn err(span: Span, kind: ParseErrorKind) -> ParseNetlistError {
+    ParseNetlistError { span, kind }
+}
+
+/// A parsed textual netlist: the graph, the name → node map, and the
+/// source map locating every node and channel in the input text.
+#[derive(Debug)]
+pub struct ParsedNetlist {
+    /// The parsed (not yet validated) netlist.
+    pub netlist: Netlist,
+    /// Declared name → node id.
+    pub names: HashMap<String, NodeId>,
+    /// Where each node/channel was declared.
+    pub source_map: SourceMap,
+}
+
+/// A whitespace-delimited token with its position.
+#[derive(Debug, Clone, Copy)]
+struct Tok<'a> {
+    span: Span,
+    text: &'a str,
+}
+
+fn tokenize(line_no: u32, raw: &str) -> Vec<Tok<'_>> {
+    let code = raw.split('#').next().unwrap_or("");
+    let bytes = code.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let col = u32::try_from(start).map_or(u32::MAX, |c| c + 1);
+        toks.push(Tok {
+            span: Span::new(line_no, col),
+            text: &code[start..i],
+        });
     }
+    toks
 }
 
 /// Parse the textual format into a [`Netlist`] plus a name → node map.
 ///
+/// Convenience wrapper around [`parse_netlist_spanned`] for callers
+/// that do not need the source map.
+///
 /// # Errors
 ///
-/// Returns [`ParseNetlistError`] with the offending line on any syntax
+/// Returns [`ParseNetlistError`] with the offending span on any syntax
 /// or connectivity problem. The returned netlist is *not* validated;
 /// call [`Netlist::validate`] separately so structural errors carry
 /// their own diagnostics.
 pub fn parse_netlist(text: &str) -> Result<(Netlist, HashMap<String, NodeId>), ParseNetlistError> {
+    let parsed = parse_netlist_spanned(text)?;
+    Ok((parsed.netlist, parsed.names))
+}
+
+/// Parse the textual format, keeping the [`SourceMap`] that locates
+/// every node and channel in the input.
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] with the offending span on any syntax
+/// or connectivity problem. The returned netlist is *not* validated.
+pub fn parse_netlist_spanned(text: &str) -> Result<ParsedNetlist, ParseNetlistError> {
     let mut n = Netlist::new();
     let mut names: HashMap<String, NodeId> = HashMap::new();
+    let mut source_map = SourceMap::new();
     let declare = |names: &mut HashMap<String, NodeId>,
-                   line: usize,
-                   name: &str,
+                   source_map: &mut SourceMap,
+                   tok: Tok<'_>,
                    id: NodeId|
      -> Result<(), ParseNetlistError> {
-        if names.insert(name.to_owned(), id).is_some() {
-            return Err(err(line, format!("duplicate node name `{name}`")));
+        if names.insert(tok.text.to_owned(), id).is_some() {
+            return Err(err(
+                tok.span,
+                ParseErrorKind::DuplicateName(tok.text.to_owned()),
+            ));
         }
+        source_map.record_node(id, tok.span);
         Ok(())
     };
 
     for (li, raw) in text.lines().enumerate() {
-        let line = li + 1;
-        let stmt = raw.split('#').next().unwrap_or("").trim();
-        if stmt.is_empty() {
-            continue;
-        }
-        let tokens: Vec<&str> = stmt.split_whitespace().collect();
-        match tokens[0] {
+        let line_no = u32::try_from(li).map_or(u32::MAX, |l| l + 1);
+        let toks = tokenize(line_no, raw);
+        let Some(&head) = toks.first() else { continue };
+        let name_tok = |statement: &'static str| -> Result<Tok<'_>, ParseNetlistError> {
+            toks.get(1)
+                .copied()
+                .ok_or_else(|| err(head.span, ParseErrorKind::MissingName { statement }))
+        };
+        match head.text {
             "source" => {
-                let name = *tokens
-                    .get(1)
-                    .ok_or_else(|| err(line, "source needs a name"))?;
-                let pattern = parse_pattern(line, &tokens[2..], "voids")?;
-                let id = n.add_source_with_pattern(name, pattern);
-                declare(&mut names, line, name, id)?;
+                let name = name_tok("source")?;
+                let pattern = parse_pattern(&toks[2..], "voids")?;
+                let id = n.add_source_with_pattern(name.text, pattern);
+                declare(&mut names, &mut source_map, name, id)?;
             }
             "sink" => {
-                let name = *tokens
-                    .get(1)
-                    .ok_or_else(|| err(line, "sink needs a name"))?;
-                let pattern = parse_pattern(line, &tokens[2..], "stops")?;
-                let id = n.add_sink_with_pattern(name, pattern);
-                declare(&mut names, line, name, id)?;
+                let name = name_tok("sink")?;
+                let pattern = parse_pattern(&toks[2..], "stops")?;
+                let id = n.add_sink_with_pattern(name.text, pattern);
+                declare(&mut names, &mut source_map, name, id)?;
             }
             "relay" => {
-                let name = *tokens
-                    .get(1)
-                    .ok_or_else(|| err(line, "relay needs a name"))?;
-                let kind = match *tokens
+                let name = name_tok("relay")?;
+                let kind_tok = toks
                     .get(2)
-                    .ok_or_else(|| err(line, "relay needs a kind"))?
-                {
-                    "full" => RelayKind::Full,
-                    "half" => RelayKind::Half,
-                    other => match other.strip_prefix("fifo:") {
-                        Some(k) => RelayKind::Fifo(
-                            k.parse()
-                                .map_err(|_| err(line, format!("bad capacity `{k}`")))?,
-                        ),
-                        None => return Err(err(line, format!("unknown relay kind `{other}`"))),
-                    },
-                };
-                let id = n.add_relay_named(name, kind);
-                declare(&mut names, line, name, id)?;
+                    .copied()
+                    .ok_or_else(|| err(name.span, ParseErrorKind::MissingRelayKind))?;
+                let kind = parse_relay_kind(kind_tok)?;
+                let id = n.add_relay_named(name.text, kind);
+                declare(&mut names, &mut source_map, name, id)?;
             }
             "shell" | "buffered-shell" => {
-                let name = *tokens
-                    .get(1)
-                    .ok_or_else(|| err(line, "shell needs a name"))?;
-                let pearl = parse_pearl(line, &tokens[2..])?;
-                let id = if tokens[0] == "shell" {
-                    n.add_shell_boxed(name, pearl)
+                let name = name_tok("shell")?;
+                let pearl = parse_pearl(name.span, &toks[2..])?;
+                let id = if head.text == "shell" {
+                    n.add_shell_boxed(name.text, pearl)
                 } else {
-                    n.add_buffered_shell_boxed(name, pearl)
+                    n.add_buffered_shell_boxed(name.text, pearl)
                 };
-                declare(&mut names, line, name, id)?;
+                declare(&mut names, &mut source_map, name, id)?;
             }
             "connect" => {
                 // connect a:0 -> b:1   (the arrow is optional)
-                let parts: Vec<&str> = tokens[1..].iter().copied().filter(|t| *t != "->").collect();
+                let parts: Vec<Tok<'_>> = toks[1..]
+                    .iter()
+                    .copied()
+                    .filter(|t| t.text != "->")
+                    .collect();
                 if parts.len() != 2 {
-                    return Err(err(line, "connect needs `from:port -> to:port`"));
+                    return Err(err(head.span, ParseErrorKind::MalformedConnect));
                 }
-                let (fa, fp) = parse_port(line, parts[0])?;
-                let (ta, tp) = parse_port(line, parts[1])?;
-                let from = *names
-                    .get(fa)
-                    .ok_or_else(|| err(line, format!("unknown node `{fa}`")))?;
-                let to = *names
-                    .get(ta)
-                    .ok_or_else(|| err(line, format!("unknown node `{ta}`")))?;
-                n.connect(from, fp, to, tp)
-                    .map_err(|e| err(line, e.to_string()))?;
+                let (fa, fp) = parse_port(parts[0])?;
+                let (ta, tp) = parse_port(parts[1])?;
+                let from = *names.get(fa).ok_or_else(|| {
+                    err(parts[0].span, ParseErrorKind::UnknownNode(fa.to_owned()))
+                })?;
+                let to = *names.get(ta).ok_or_else(|| {
+                    err(parts[1].span, ParseErrorKind::UnknownNode(ta.to_owned()))
+                })?;
+                let channel = n
+                    .connect(from, fp, to, tp)
+                    .map_err(|e| err(head.span, ParseErrorKind::Connect(e)))?;
+                source_map.record_channel(channel, parts[0].span);
             }
-            other => return Err(err(line, format!("unknown statement `{other}`"))),
-        }
-    }
-    Ok((n, names))
-}
-
-fn parse_port(line: usize, s: &str) -> Result<(&str, usize), ParseNetlistError> {
-    let (name, port) = s
-        .split_once(':')
-        .ok_or_else(|| err(line, format!("port must be `node:index`, got `{s}`")))?;
-    let port = port
-        .parse()
-        .map_err(|_| err(line, format!("bad port index in `{s}`")))?;
-    Ok((name, port))
-}
-
-fn kv<'a>(args: &'a [&'a str]) -> HashMap<&'a str, &'a str> {
-    args.iter().filter_map(|a| a.split_once('=')).collect()
-}
-
-fn parse_pattern(line: usize, args: &[&str], key: &str) -> Result<Pattern, ParseNetlistError> {
-    match kv(args).get(key) {
-        None => Ok(Pattern::Never),
-        Some(v) => {
-            // every:P:PH
-            let parts: Vec<&str> = v.split(':').collect();
-            if parts.len() == 3 && parts[0] == "every" {
-                let period = parts[1]
-                    .parse()
-                    .map_err(|_| err(line, format!("bad period in `{v}`")))?;
-                let phase = parts[2]
-                    .parse()
-                    .map_err(|_| err(line, format!("bad phase in `{v}`")))?;
-                Ok(Pattern::EveryNth { period, phase })
-            } else {
-                Err(err(
-                    line,
-                    format!("pattern must be `every:P:PHASE`, got `{v}`"),
+            other => {
+                return Err(err(
+                    head.span,
+                    ParseErrorKind::UnknownStatement(other.to_owned()),
                 ))
             }
         }
     }
+    Ok(ParsedNetlist {
+        netlist: n,
+        names,
+        source_map,
+    })
 }
 
-fn parse_pearl(line: usize, args: &[&str]) -> Result<Box<dyn Pearl>, ParseNetlistError> {
+fn parse_relay_kind(tok: Tok<'_>) -> Result<RelayKind, ParseNetlistError> {
+    match tok.text {
+        "full" => Ok(RelayKind::Full),
+        "half" => Ok(RelayKind::Half),
+        other => match other.strip_prefix("fifo:") {
+            Some(k) => {
+                let bad = || err(tok.span, ParseErrorKind::BadFifoCapacity(k.to_owned()));
+                let cap: u8 = k.parse().map_err(|_| bad())?;
+                // RelayKind::Fifo(k).capacity() requires k >= 2; reject
+                // here so the panic can never be reached from text.
+                if cap < 2 {
+                    return Err(bad());
+                }
+                Ok(RelayKind::Fifo(cap))
+            }
+            None => Err(err(
+                tok.span,
+                ParseErrorKind::UnknownRelayKind(other.to_owned()),
+            )),
+        },
+    }
+}
+
+fn parse_port(tok: Tok<'_>) -> Result<(&str, usize), ParseNetlistError> {
+    let bad = || err(tok.span, ParseErrorKind::BadPort(tok.text.to_owned()));
+    let (name, port) = tok.text.split_once(':').ok_or_else(bad)?;
+    let port = port.parse().map_err(|_| bad())?;
+    Ok((name, port))
+}
+
+/// `key=value` arguments with the span of each value's token.
+fn kv<'a>(args: &[Tok<'a>]) -> HashMap<&'a str, (&'a str, Span)> {
+    args.iter()
+        .filter_map(|t| t.text.split_once('=').map(|(k, v)| (k, (v, t.span))))
+        .collect()
+}
+
+fn parse_pattern(args: &[Tok<'_>], key: &str) -> Result<Pattern, ParseNetlistError> {
+    match kv(args).get(key) {
+        None => Ok(Pattern::Never),
+        Some(&(v, span)) => {
+            // every:P:PH
+            let bad_pattern = || err(span, ParseErrorKind::BadPattern(v.to_owned()));
+            let parts: Vec<&str> = v.split(':').collect();
+            if parts.len() == 3 && parts[0] == "every" {
+                let period = parts[1].parse().map_err(|_| bad_pattern())?;
+                let phase = parts[2].parse().map_err(|_| bad_pattern())?;
+                Ok(Pattern::EveryNth { period, phase })
+            } else {
+                Err(bad_pattern())
+            }
+        }
+    }
+}
+
+fn parse_pearl(name_span: Span, args: &[Tok<'_>]) -> Result<Box<dyn Pearl>, ParseNetlistError> {
     let kind = *args
         .first()
-        .ok_or_else(|| err(line, "shell needs a pearl"))?;
+        .ok_or_else(|| err(name_span, ParseErrorKind::MissingPearl))?;
     let kv = kv(&args[1..]);
     let get_num = |key: &str, default: usize| -> Result<usize, ParseNetlistError> {
         match kv.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| err(line, format!("bad `{key}={v}`"))),
+            Some(&(v, span)) => v.parse().map_err(|_| {
+                err(
+                    span,
+                    ParseErrorKind::BadNumber {
+                        key: key.to_owned(),
+                        value: v.to_owned(),
+                    },
+                )
+            }),
         }
     };
-    Ok(match kind {
+    Ok(match kind.text {
         "identity" => {
             let fanout = get_num("fanout", 1)?;
             Box::new(IdentityPearl::with_fanout(fanout))
         }
         "join" => {
             let arity = get_num("arity", 2)?;
-            match kv.get("op").copied().unwrap_or("first") {
-                "first" => Box::new(JoinPearl::first(arity)),
-                "sum" => Box::new(JoinPearl::sum(arity)),
-                "max" => Box::new(JoinPearl::max(arity)),
-                other => return Err(err(line, format!("unknown join op `{other}`"))),
+            match kv.get("op") {
+                None => Box::new(JoinPearl::first(arity)),
+                Some(&(op, span)) => match op {
+                    "first" => Box::new(JoinPearl::first(arity)),
+                    "sum" => Box::new(JoinPearl::sum(arity)),
+                    "max" => Box::new(JoinPearl::max(arity)),
+                    other => {
+                        return Err(err(span, ParseErrorKind::UnknownJoinOp(other.to_owned())))
+                    }
+                },
             }
         }
         "router" => Box::new(RouterPearl::new(get_num("in", 1)?, get_num("out", 1)?)),
@@ -235,19 +417,30 @@ fn parse_pearl(line: usize, args: &[&str]) -> Result<Box<dyn Pearl>, ParseNetlis
         "counter" => Box::new(CounterPearl::new()),
         "delay" => Box::new(DelayPearl::new(get_num("k", 1)?)),
         "const" => Box::new(ConstPearl::new(get_num("value", 0)? as u64)),
-        other => return Err(err(line, format!("unknown pearl `{other}`"))),
+        other => {
+            return Err(err(
+                kind.span,
+                ParseErrorKind::UnknownPearl(other.to_owned()),
+            ))
+        }
     })
 }
 
 /// Serialise `netlist` back into the textual format (patterns other than
 /// `Never`/`EveryNth` are emitted as comments, since the format cannot
 /// express them).
+///
+/// When every node's (sanitised) name is unique and non-empty — always
+/// the case for netlists parsed from this format — names are preserved
+/// verbatim, so a parse → fix → write round trip stays readable.
+/// Otherwise every name gets a `_nID` suffix to stay unambiguous.
 #[must_use]
 pub fn write_netlist(netlist: &Netlist) -> String {
     use std::fmt::Write as _;
+    let names = display_names(netlist);
     let mut out = String::new();
     for (id, node) in netlist.nodes() {
-        let name = sanitize(node.name(), id);
+        let name = &names[id.index()];
         match node.kind() {
             NodeKind::Source { void_pattern } => {
                 let _ = writeln!(out, "source {name}{}", fmt_pattern(void_pattern, "voids"));
@@ -272,8 +465,8 @@ pub fn write_netlist(netlist: &Netlist) -> String {
     }
     out.push('\n');
     for (_, ch) in netlist.channels() {
-        let from = sanitize(netlist.node(ch.producer.node).name(), ch.producer.node);
-        let to = sanitize(netlist.node(ch.consumer.node).name(), ch.consumer.node);
+        let from = &names[ch.producer.node.index()];
+        let to = &names[ch.consumer.node.index()];
         let _ = writeln!(
             out,
             "connect {from}:{} -> {to}:{}",
@@ -283,10 +476,29 @@ pub fn write_netlist(netlist: &Netlist) -> String {
     out
 }
 
-/// Unique, whitespace-free name for serialisation.
-fn sanitize(name: &str, id: NodeId) -> String {
-    let base: String = name
-        .chars()
+/// One serialisable name per node: the sanitised originals when they
+/// are all unique and non-empty, else `{base}_nID` for every node.
+fn display_names(netlist: &Netlist) -> Vec<String> {
+    let bases: Vec<String> = netlist
+        .nodes()
+        .map(|(_, node)| sanitize_base(node.name()))
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let all_usable = bases.iter().all(|b| !b.is_empty() && seen.insert(b));
+    if all_usable {
+        bases
+    } else {
+        netlist
+            .nodes()
+            .zip(&bases)
+            .map(|((id, _), base)| format!("{base}_{id}"))
+            .collect()
+    }
+}
+
+/// Whitespace-free rendering of a node name.
+fn sanitize_base(name: &str) -> String {
+    name.chars()
         .map(|c| {
             if c.is_whitespace() || c == ':' || c == '#' {
                 '_'
@@ -294,8 +506,7 @@ fn sanitize(name: &str, id: NodeId) -> String {
                 c
             }
         })
-        .collect();
-    format!("{base}_{id}")
+        .collect()
 }
 
 fn fmt_pattern(p: &Pattern, key: &str) -> String {
@@ -370,34 +581,53 @@ mod tests {
     }
 
     #[test]
-    fn reports_line_numbers() {
-        let e = parse_netlist("source in\nbogus x\n").unwrap_err();
-        assert_eq!(e.line, 2);
+    fn reports_line_and_column() {
+        let e = parse_netlist("source in\n  bogus x\n").unwrap_err();
+        assert_eq!(e.span, Span::new(2, 3));
+        assert_eq!(e.kind, ParseErrorKind::UnknownStatement("bogus".into()));
+        assert!(e.to_string().contains("line 2, column 3"));
         assert!(e.to_string().contains("bogus"));
     }
 
     #[test]
     fn rejects_duplicates_and_unknowns() {
-        assert!(parse_netlist("source a\nsource a\n")
-            .unwrap_err()
-            .message
-            .contains("duplicate"));
-        assert!(parse_netlist("connect a:0 -> b:0\n")
-            .unwrap_err()
-            .message
-            .contains("unknown node"));
-        assert!(parse_netlist("shell s mystery\n")
-            .unwrap_err()
-            .message
-            .contains("unknown pearl"));
-        assert!(parse_netlist("relay r bogus\n")
-            .unwrap_err()
-            .message
-            .contains("relay kind"));
-        assert!(parse_netlist("source s voids=sometimes\n")
-            .unwrap_err()
-            .message
-            .contains("pattern"));
+        assert!(matches!(
+            parse_netlist("source a\nsource a\n").unwrap_err().kind,
+            ParseErrorKind::DuplicateName(_)
+        ));
+        assert!(matches!(
+            parse_netlist("connect a:0 -> b:0\n").unwrap_err().kind,
+            ParseErrorKind::UnknownNode(_)
+        ));
+        assert!(matches!(
+            parse_netlist("shell s mystery\n").unwrap_err().kind,
+            ParseErrorKind::UnknownPearl(_)
+        ));
+        assert!(matches!(
+            parse_netlist("relay r bogus\n").unwrap_err().kind,
+            ParseErrorKind::UnknownRelayKind(_)
+        ));
+        assert!(matches!(
+            parse_netlist("source s voids=sometimes\n")
+                .unwrap_err()
+                .kind,
+            ParseErrorKind::BadPattern(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_undersized_fifos() {
+        // fifo:0 and fifo:1 used to parse and only panic later inside
+        // RelayKind::capacity(); the parser now rejects them up front.
+        for text in ["relay q fifo:0\n", "relay q fifo:1\n", "relay q fifo:x\n"] {
+            let e = parse_netlist(text).unwrap_err();
+            assert!(
+                matches!(e.kind, ParseErrorKind::BadFifoCapacity(_)),
+                "{text}: {e}"
+            );
+            assert_eq!(e.span, Span::new(1, 9));
+        }
+        assert!(parse_netlist("relay q fifo:2\n").is_ok());
     }
 
     #[test]
@@ -413,6 +643,34 @@ mod tests {
         n.validate().unwrap();
         assert_eq!(n.census().fifo_relays, 1);
         let _ = names["q"];
+    }
+
+    #[test]
+    fn source_map_locates_nodes_and_channels() {
+        let parsed = parse_netlist_spanned(FIG1_TEXT).unwrap();
+        let a = parsed.names["A"];
+        // `shell   A …` is on line 4; the name token starts at col 17.
+        assert_eq!(parsed.source_map.node(a), Some(Span::new(4, 17)));
+        // Every node and channel has a span.
+        for (id, _) in parsed.netlist.nodes() {
+            assert!(parsed.source_map.node(id).is_some(), "{id} has no span");
+        }
+        for (id, _) in parsed.netlist.channels() {
+            let span = parsed.source_map.channel(id);
+            assert!(span.is_some(), "{id} has no span");
+            assert!(span.unwrap().line >= 12, "{id} span {span:?}");
+        }
+    }
+
+    #[test]
+    fn write_preserves_unique_names() {
+        let parsed = parse_netlist_spanned(FIG1_TEXT).unwrap();
+        let text = write_netlist(&parsed.netlist);
+        assert!(text.contains("shell A identity fanout=2"), "{text}");
+        assert!(text.contains("connect A:1 -> r3:0"), "{text}");
+        let (reparsed, names) = parse_netlist(&text).unwrap();
+        assert_eq!(reparsed.census(), parsed.netlist.census());
+        assert!(names.contains_key("A"));
     }
 
     #[test]

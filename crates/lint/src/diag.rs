@@ -1,0 +1,204 @@
+//! The diagnostic data model: rule identifiers, severities, and the
+//! structured findings the rule engine emits.
+//!
+//! A [`Diagnostic`] is self-contained — node names, channel endpoints
+//! and source spans are resolved at emission time — so renderers and
+//! the JSON encoder never need the netlist back.
+
+use std::fmt;
+
+use lip_graph::{ChannelId, NodeId, Span};
+use lip_sim::Ratio;
+
+use crate::fix::FixIt;
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Minimum-memory violation: two simplified shells back-to-back
+    /// with no stop-saving element between them.
+    Lip001,
+    /// Shell-free cycle: a closed loop of relay stations only.
+    Lip002,
+    /// Guaranteed deadlock: the declared environment statically
+    /// starves or stalls one or more shells forever.
+    Lip003,
+    /// Reconvergent relay imbalance `i > 0` on a feed-forward join.
+    Lip004,
+    /// Global throughput bottleneck: a cycle with minimum cycle ratio
+    /// below 1 dictates the design's steady-state throughput.
+    Lip005,
+}
+
+impl RuleId {
+    /// Every rule, in code order.
+    pub const ALL: [RuleId; 5] = [
+        RuleId::Lip001,
+        RuleId::Lip002,
+        RuleId::Lip003,
+        RuleId::Lip004,
+        RuleId::Lip005,
+    ];
+
+    /// Stable rule code, e.g. `"LIP001"`.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Self::Lip001 => "LIP001",
+            Self::Lip002 => "LIP002",
+            Self::Lip003 => "LIP003",
+            Self::Lip004 => "LIP004",
+            Self::Lip005 => "LIP005",
+        }
+    }
+
+    /// Parse a rule code (case-insensitive): `"LIP001"`, `"lip005"`.
+    #[must_use]
+    pub fn from_code(code: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|r| r.code().eq_ignore_ascii_case(code))
+    }
+
+    /// One-line description, for `--help` and the rule table.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Self::Lip001 => "combinational stop chain: simplified shells back-to-back",
+            Self::Lip002 => "shell-free cycle of relay stations",
+            Self::Lip003 => "guaranteed deadlock under the declared environment",
+            Self::Lip004 => "reconvergent relay imbalance i > 0",
+            Self::Lip005 => "global throughput bottleneck cycle",
+        }
+    }
+
+    /// Default severity of this rule's diagnostics.
+    #[must_use]
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Self::Lip001 | Self::Lip004 => Severity::Warning,
+            Self::Lip002 | Self::Lip003 => Severity::Error,
+            Self::Lip005 => Severity::Info,
+        }
+    }
+
+    /// Dense index into per-rule tables (`0..RuleId::ALL.len()`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// How bad a finding is. `Error` makes the CLI exit non-zero even
+/// without `--deny`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: legal design, quantified performance fact.
+    Info,
+    /// Suspicious: legal but violates the paper's design guidance.
+    Warning,
+    /// Broken: the design cannot work as a latency-insensitive system.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Info => "info",
+            Self::Warning => "warning",
+            Self::Error => "error",
+        })
+    }
+}
+
+/// A node involved in a diagnostic, with its name and declaration span
+/// resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagNode {
+    /// The node in the linted netlist.
+    pub id: NodeId,
+    /// Display name (falls back to the node id when unnamed).
+    pub name: String,
+    /// Where the node was declared, if the netlist came from text.
+    pub span: Option<Span>,
+}
+
+/// A channel involved in a diagnostic, with endpoints resolved to
+/// `producer:port -> consumer:port` form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagChannel {
+    /// The channel in the linted netlist.
+    pub id: ChannelId,
+    /// Human-readable endpoints, e.g. `"A:0 -> B:1"`.
+    pub endpoints: String,
+    /// Span of the `connect` statement, if the netlist came from text.
+    pub span: Option<Span>,
+}
+
+/// One structured finding from the rule engine.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Severity (the rule's default unless a renderer overrides it).
+    pub severity: Severity,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Primary source position (first involved span, when available).
+    pub primary: Option<Span>,
+    /// Nodes involved, most significant first.
+    pub nodes: Vec<DiagNode>,
+    /// Channels involved.
+    pub channels: Vec<DiagChannel>,
+    /// Statically predicted steady-state throughput, where the rule
+    /// computes one (LIP004/LIP005).
+    pub predicted_throughput: Option<Ratio>,
+    /// Machine-applicable fix, if the rule has one.
+    pub fix: Option<FixIt>,
+    /// Human description of `fix`.
+    pub fix_label: Option<String>,
+}
+
+impl Diagnostic {
+    /// Count diagnostics per severity: `(errors, warnings, infos)`.
+    #[must_use]
+    pub fn tally(diags: &[Diagnostic]) -> (usize, usize, usize) {
+        let mut t = (0, 0, 0);
+        for d in diags {
+            match d.severity {
+                Severity::Error => t.0 += 1,
+                Severity::Warning => t.1 += 1,
+                Severity::Info => t.2 += 1,
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for rule in RuleId::ALL {
+            assert_eq!(RuleId::from_code(rule.code()), Some(rule));
+            assert_eq!(RuleId::from_code(&rule.code().to_lowercase()), Some(rule));
+        }
+        assert_eq!(RuleId::from_code("LIP999"), None);
+        assert_eq!(RuleId::from_code(""), None);
+    }
+
+    #[test]
+    fn severity_orders_and_displays() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Warning.to_string(), "warning");
+    }
+}

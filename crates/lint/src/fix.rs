@@ -1,0 +1,128 @@
+//! Machine-applicable fixes, and the batch applier behind `--fix`.
+//!
+//! Channel ids are stable under [`Netlist::insert_relay_on_channel`]
+//! (the producer keeps the original channel record), so a batch of
+//! insertion fix-its collected from one lint pass can be applied
+//! sequentially without re-linting in between.
+
+use lip_analysis::{equalize, EqualizeReport};
+use lip_core::RelayKind;
+use lip_graph::{ChannelId, Netlist, NetlistError, NodeId};
+
+use crate::diag::Diagnostic;
+
+/// A machine-applicable fix attached to a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixIt {
+    /// Insert a relay station of `kind` on `channel` (LIP001: a half
+    /// relay station restores the minimum stop-saving memory).
+    InsertRelay {
+        /// The channel to break.
+        channel: ChannelId,
+        /// The relay station kind to insert.
+        kind: RelayKind,
+    },
+    /// Equalize reconvergent path lengths with spare relay stations
+    /// (LIP004), via [`lip_analysis::equalize`].
+    Equalize,
+}
+
+/// What [`apply_fixits`] did to the netlist.
+#[derive(Debug, Clone, Default)]
+pub struct FixReport {
+    /// Relay stations inserted by [`FixIt::InsertRelay`] fixes.
+    pub inserted: Vec<NodeId>,
+    /// Result of the equalization pass, if any fix requested one.
+    pub equalized: Option<EqualizeReport>,
+}
+
+impl FixReport {
+    /// Total number of relay stations added by all fixes.
+    #[must_use]
+    pub fn total_inserted(&self) -> usize {
+        self.inserted.len()
+            + self
+                .equalized
+                .as_ref()
+                .map_or(0, EqualizeReport::total_inserted)
+    }
+}
+
+/// Apply every fix carried by `diags` to `netlist`.
+///
+/// Relay insertions are applied first (channel ids are stable under
+/// insertion), then at most one equalization pass — [`FixIt::Equalize`]
+/// operates on the whole netlist, so duplicates collapse.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from the equalization pass (it refuses
+/// cyclic netlists); insertions themselves cannot fail.
+pub fn apply_fixits(
+    netlist: &mut Netlist,
+    diags: &[Diagnostic],
+) -> Result<FixReport, NetlistError> {
+    let mut report = FixReport::default();
+    let mut want_equalize = false;
+    for diag in diags {
+        match diag.fix {
+            Some(FixIt::InsertRelay { channel, kind }) => {
+                report
+                    .inserted
+                    .push(netlist.insert_relay_on_channel(channel, kind));
+            }
+            Some(FixIt::Equalize) => want_equalize = true,
+            None => {}
+        }
+    }
+    if want_equalize {
+        report.equalized = Some(equalize(netlist)?);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{RuleId, Severity};
+    use lip_graph::generate;
+
+    fn dummy_diag(fix: Option<FixIt>) -> Diagnostic {
+        Diagnostic {
+            rule: RuleId::Lip001,
+            severity: Severity::Warning,
+            message: String::new(),
+            primary: None,
+            nodes: Vec::new(),
+            channels: Vec::new(),
+            predicted_throughput: None,
+            fix,
+            fix_label: None,
+        }
+    }
+
+    #[test]
+    fn inserts_then_equalizes_once() {
+        let fig1 = generate::fig1();
+        let mut n = fig1.netlist;
+        let first_channel = n.channels().next().unwrap().0;
+        let diags = vec![
+            dummy_diag(Some(FixIt::InsertRelay {
+                channel: first_channel,
+                kind: RelayKind::Half,
+            })),
+            dummy_diag(Some(FixIt::Equalize)),
+            dummy_diag(Some(FixIt::Equalize)),
+            dummy_diag(None),
+        ];
+        let before = n.node_count();
+        let report = apply_fixits(&mut n, &diags).unwrap();
+        assert_eq!(report.inserted.len(), 1);
+        // Fig. 1 has imbalance 1, so equalization adds exactly one
+        // spare relay station — once, not twice.
+        assert_eq!(report.equalized.as_ref().unwrap().total_inserted(), 1);
+        assert_eq!(report.total_inserted(), 2);
+        assert_eq!(n.node_count(), before + 2);
+        n.validate().unwrap();
+    }
+}

@@ -1,0 +1,260 @@
+//! Diagnostic renderers: a human-readable text form and a versioned
+//! JSON document (hand-rolled, mirroring `lip_obs`'s report encoder —
+//! the workspace takes no serialisation dependency).
+
+use std::fmt::Write as _;
+
+use lip_graph::Span;
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Version of the JSON diagnostics schema emitted by [`render_json`].
+/// Bump on any backwards-incompatible change to the document shape.
+pub const LINT_SCHEMA_VERSION: u32 = 1;
+
+fn position(file: &str, span: Option<Span>) -> String {
+    match span {
+        Some(s) => format!("{file}:{s}"),
+        None => file.to_owned(),
+    }
+}
+
+/// Render `diags` for humans: one block per diagnostic, then a
+/// one-line tally (or `clean`).
+#[must_use]
+pub fn render_human(file: &str, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(
+            out,
+            "{}: {}[{}]: {}",
+            position(file, d.primary),
+            d.severity,
+            d.rule,
+            d.message
+        );
+        for n in &d.nodes {
+            let _ = writeln!(out, "  --> node `{}` at {}", n.name, position(file, n.span));
+        }
+        for c in &d.channels {
+            let _ = writeln!(
+                out,
+                "  --> channel `{}` at {}",
+                c.endpoints,
+                position(file, c.span)
+            );
+        }
+        if let Some(t) = d.predicted_throughput {
+            let _ = writeln!(out, "  = predicted steady-state throughput: {t}");
+        }
+        if let Some(fix) = &d.fix_label {
+            let _ = writeln!(out, "  = fix: {fix}");
+        }
+    }
+    if diags.is_empty() {
+        let _ = writeln!(out, "{file}: clean");
+    } else {
+        let (e, w, i) = Diagnostic::tally(diags);
+        let _ = writeln!(
+            out,
+            "{file}: {} diagnostic(s): {e} error(s), {w} warning(s), {i} info(s)",
+            diags.len()
+        );
+    }
+    out
+}
+
+/// Render diagnostics for one or more files as a single versioned JSON
+/// document:
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "files": [
+///     { "file": "...", "diagnostics": [...],
+///       "counts": { "error": 0, "warning": 1, "info": 0 } }
+///   ]
+/// }
+/// ```
+#[must_use]
+pub fn render_json(files: &[(String, Vec<Diagnostic>)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {LINT_SCHEMA_VERSION},");
+    out.push_str("  \"files\": [");
+    for (fi, (file, diags)) in files.iter().enumerate() {
+        if fi > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        let _ = writeln!(out, "      \"file\": {},", json_str(file));
+        out.push_str("      \"diagnostics\": [");
+        for (di, d) in diags.iter().enumerate() {
+            if di > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(&diag_json(d, "        "));
+        }
+        if diags.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n      ],\n");
+        }
+        let (e, w, i) = Diagnostic::tally(diags);
+        let _ = writeln!(
+            out,
+            "      \"counts\": {{ \"error\": {e}, \"warning\": {w}, \"info\": {i} }}"
+        );
+        out.push_str("    }");
+    }
+    if files.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn diag_json(d: &Diagnostic, indent: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{indent}{{");
+    let _ = writeln!(out, "{indent}  \"rule\": {},", json_str(d.rule.code()));
+    let _ = writeln!(
+        out,
+        "{indent}  \"severity\": {},",
+        json_str(&d.severity.to_string())
+    );
+    let _ = writeln!(out, "{indent}  \"message\": {},", json_str(&d.message));
+    let _ = writeln!(out, "{indent}  \"span\": {},", span_json(d.primary));
+    let nodes: Vec<String> = d
+        .nodes
+        .iter()
+        .map(|n| {
+            format!(
+                "{{ \"name\": {}, \"span\": {} }}",
+                json_str(&n.name),
+                span_json(n.span)
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "{indent}  \"nodes\": [{}],", nodes.join(", "));
+    let channels: Vec<String> = d
+        .channels
+        .iter()
+        .map(|c| {
+            format!(
+                "{{ \"endpoints\": {}, \"span\": {} }}",
+                json_str(&c.endpoints),
+                span_json(c.span)
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "{indent}  \"channels\": [{}],", channels.join(", "));
+    match d.predicted_throughput {
+        Some(t) => {
+            let _ = writeln!(
+                out,
+                "{indent}  \"predicted_throughput\": {{ \"num\": {}, \"den\": {} }},",
+                t.num(),
+                t.den()
+            );
+        }
+        None => {
+            let _ = writeln!(out, "{indent}  \"predicted_throughput\": null,");
+        }
+    }
+    match &d.fix_label {
+        Some(fix) => {
+            let _ = writeln!(out, "{indent}  \"fix\": {}", json_str(fix));
+        }
+        None => {
+            let _ = writeln!(out, "{indent}  \"fix\": null");
+        }
+    }
+    let _ = write!(out, "{indent}}}");
+    out
+}
+
+fn span_json(span: Option<Span>) -> String {
+    match span {
+        Some(s) => format!("{{ \"line\": {}, \"col\": {} }}", s.line, s.col),
+        None => "null".to_owned(),
+    }
+}
+
+/// Minimal JSON string escaping (mirrors the `lip_obs` encoder).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `true` when a diagnostic of `severity` should fail the build on its
+/// own (without an explicit `--deny`).
+#[must_use]
+pub fn fails_by_default(severity: Severity) -> bool {
+    severity == Severity::Error
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::lint;
+    use lip_graph::{generate, SourceMap};
+
+    #[test]
+    fn human_render_mentions_rule_and_prediction() {
+        let fig1 = generate::fig1();
+        let diags = lint(&fig1.netlist, &SourceMap::new());
+        let text = render_human("fig1", &diags);
+        assert!(text.contains("warning[LIP004]"), "{text}");
+        assert!(text.contains("info[LIP005]"), "{text}");
+        assert!(text.contains("predicted steady-state throughput: 4/5"));
+        assert!(text.contains("2 diagnostic(s)"));
+    }
+
+    #[test]
+    fn clean_render_says_clean() {
+        assert_eq!(render_human("x", &[]), "x: clean\n");
+    }
+
+    #[test]
+    fn json_has_schema_version_and_balanced_braces() {
+        let fig1 = generate::fig1();
+        let diags = lint(&fig1.netlist, &SourceMap::new());
+        let json = render_json(&[("fig1".to_owned(), diags)]);
+        assert!(json.starts_with("{\n  \"schema_version\": 1,"), "{json}");
+        assert!(json.contains("\"rule\": \"LIP004\""));
+        assert!(json.contains("\"predicted_throughput\": { \"num\": 4, \"den\": 5 }"));
+        let opens = json.chars().filter(|c| "{[".contains(*c)).count();
+        let closes = json.chars().filter(|c| "}]".contains(*c)).count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_file_list_renders() {
+        let json = render_json(&[]);
+        assert!(json.contains("\"files\": []"));
+    }
+}

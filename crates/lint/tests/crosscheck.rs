@@ -1,0 +1,178 @@
+//! Cross-validation of the static rules against the simulator.
+//!
+//! * LIP005's predicted steady-state ratio must equal
+//!   `measure_batch_periodic`'s measured throughput *exactly* (as a
+//!   [`Ratio`] equality) on the fig1/tree/ring corpus and on the
+//!   random-netlist corpus;
+//! * LIP003 must agree with `lip_sim`'s liveness verdict (the oracle
+//!   behind `verify::liveness`) on every corpus netlist, both pristine
+//!   (free-flowing, live) and with a blocking environment injected
+//!   (dead).
+
+use lip_core::RelayKind;
+use lip_graph::{generate, Netlist, SourceMap};
+use lip_lint::{lint, RuleId};
+use lip_sim::measure::check_liveness;
+use lip_sim::{measure_batch_periodic, LanePatterns, Ratio, SettleProgram};
+use proptest::prelude::*;
+
+/// The linter's throughput verdict: LIP005's attached prediction, or
+/// full rate when the bottleneck rule stays silent.
+fn lint_prediction(netlist: &Netlist) -> Ratio {
+    lint(netlist, &SourceMap::new())
+        .iter()
+        .find(|d| d.rule == RuleId::Lip005)
+        .and_then(|d| d.predicted_throughput)
+        .unwrap_or(Ratio::new(1, 1))
+}
+
+/// Lane-0 steady state from the batched periodic simulator, or `None`
+/// when the lane never converged within the budget.
+fn batch_measured(netlist: &Netlist) -> Option<Ratio> {
+    let prog = SettleProgram::compile(netlist).ok()?;
+    let pats = LanePatterns::broadcast(&prog);
+    let m = measure_batch_periodic(netlist, &pats, 8192).ok()?;
+    m.periodicity[0].as_ref()?;
+    m.system_throughput(0)
+}
+
+fn lip003_fires(netlist: &Netlist) -> bool {
+    lint(netlist, &SourceMap::new())
+        .iter()
+        .any(|d| d.rule == RuleId::Lip003)
+}
+
+fn assert_lip003_matches_liveness(netlist: &Netlist, context: &str) {
+    let report = check_liveness(netlist, 20_000, 5_000).expect("valid netlist");
+    assert_eq!(
+        lip003_fires(netlist),
+        !report.is_live(),
+        "{context}: LIP003 vs liveness disagree (dead shells: {:?})",
+        report.dead_shells
+    );
+}
+
+/// Rewrite the first `source NAME` statement to void on every cycle —
+/// a statically dead environment — and reparse.
+fn kill_first_source(netlist: &Netlist) -> Option<Netlist> {
+    let text = lip_graph::write_netlist(netlist);
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    let line = lines
+        .iter_mut()
+        .find(|l| l.starts_with("source ") && !l.contains("voids="))?;
+    line.push_str(" voids=every:1:0");
+    let (mutated, _) = lip_graph::parse_netlist(&lines.join("\n")).ok()?;
+    Some(mutated)
+}
+
+/// Same, stalling the first sink with a permanent stop.
+fn kill_first_sink(netlist: &Netlist) -> Option<Netlist> {
+    let text = lip_graph::write_netlist(netlist);
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    let line = lines
+        .iter_mut()
+        .find(|l| l.starts_with("sink ") && !l.contains("stops="))?;
+    line.push_str(" stops=every:1:0");
+    let (mutated, _) = lip_graph::parse_netlist(&lines.join("\n")).ok()?;
+    Some(mutated)
+}
+
+#[test]
+fn lip005_matches_batched_simulation_on_named_corpus() {
+    let corpus: Vec<(&str, Netlist)> = vec![
+        ("fig1", generate::fig1().netlist),
+        ("tree(2,2,1)", generate::tree(2, 2, 1).netlist),
+        ("tree(3,2,2)", generate::tree(3, 2, 2).netlist),
+        (
+            "ring(2,1,full)",
+            generate::ring(2, 1, RelayKind::Full).netlist,
+        ),
+        (
+            "ring(2,3,full)",
+            generate::ring(2, 3, RelayKind::Full).netlist,
+        ),
+        (
+            "ring(3,2,half)",
+            generate::ring(3, 2, RelayKind::Half).netlist,
+        ),
+        (
+            "chain(3,2,full)",
+            generate::chain(3, 2, RelayKind::Full).netlist,
+        ),
+        ("fork_join(3,0,2)", generate::fork_join(3, 0, 2).netlist),
+        (
+            "composed(1,1,1,2,1)",
+            generate::composed_coupled(1, 1, 1, 2, 1).netlist,
+        ),
+        ("buffered_ring(3,1)", generate::buffered_ring(3, 1).netlist),
+    ];
+    for (name, netlist) in corpus {
+        netlist.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let measured =
+            batch_measured(&netlist).unwrap_or_else(|| panic!("{name}: lane 0 did not converge"));
+        assert_eq!(lint_prediction(&netlist), measured, "{name}");
+    }
+}
+
+#[test]
+fn lip005_matches_batched_simulation_on_random_corpus() {
+    let mut checked = 0;
+    for seed in 0..60u64 {
+        let (family, netlist) = generate::random_family(seed);
+        if netlist.validate().is_err() {
+            continue;
+        }
+        let Some(measured) = batch_measured(&netlist) else {
+            continue;
+        };
+        assert_eq!(
+            lint_prediction(&netlist),
+            measured,
+            "seed {seed} family {family:?}"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 30, "random corpus mostly skipped: {checked}");
+}
+
+#[test]
+fn lip003_agrees_with_liveness_on_random_corpus() {
+    for seed in 0..40u64 {
+        let (family, netlist) = generate::random_family(seed);
+        if netlist.validate().is_err() {
+            continue;
+        }
+        // Pristine corpus: free-flowing environments, so liveness must
+        // hold and LIP003 must stay silent.
+        assert_lip003_matches_liveness(&netlist, &format!("seed {seed} {family:?}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// LIP003 iff dead, on corpus netlists with a blocking environment
+    /// injected: a never-presenting source (or never-accepting sink)
+    /// must make both the static rule and the simulated liveness check
+    /// report deadlock — or neither, when no shell is affected.
+    #[test]
+    fn lip003_iff_liveness_under_injected_blockers(seed in 0u64..200) {
+        let (family, netlist) = generate::random_family(seed);
+        if netlist.validate().is_err() {
+            return Ok(());
+        }
+        for (what, mutated) in [
+            ("dead source", kill_first_source(&netlist)),
+            ("dead sink", kill_first_sink(&netlist)),
+        ] {
+            let Some(mutated) = mutated else { continue };
+            if mutated.validate().is_err() {
+                continue;
+            }
+            assert_lip003_matches_liveness(
+                &mutated,
+                &format!("seed {seed} {family:?} with {what}"),
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Fix-it round trip: applying every emitted fix-it yields a netlist
+//! on which the fixed rule no longer fires and whose simulated
+//! throughput is no worse than before.
+
+use lip_core::pearl::IdentityPearl;
+use lip_core::RelayKind;
+use lip_graph::{generate, Netlist, SourceMap};
+use lip_lint::{apply_fixits, lint, RuleId};
+use lip_sim::{measure, Ratio};
+
+/// Simulated system throughput (all corpus environments are periodic).
+fn throughput(netlist: &Netlist) -> Ratio {
+    measure(netlist)
+        .expect("valid netlist")
+        .system_throughput()
+        .expect("has sinks")
+}
+
+fn assert_roundtrip(name: &str, netlist: &Netlist) {
+    let diags = lint(netlist, &SourceMap::new());
+    let fixed_rules: Vec<RuleId> = diags
+        .iter()
+        .filter(|d| d.fix.is_some())
+        .map(|d| d.rule)
+        .collect();
+    if fixed_rules.is_empty() {
+        return;
+    }
+    let mut fixed = netlist.clone();
+    let report = apply_fixits(&mut fixed, &diags).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert!(report.total_inserted() > 0, "{name}: fix did nothing");
+    fixed.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+
+    let after = lint(&fixed, &SourceMap::new());
+    for rule in &fixed_rules {
+        assert!(
+            !after.iter().any(|d| d.rule == *rule),
+            "{name}: {rule} still fires after its fix"
+        );
+    }
+
+    let (before_t, after_t) = (throughput(netlist), throughput(&fixed));
+    assert!(
+        after_t.num() * before_t.den() >= before_t.num() * after_t.den(),
+        "{name}: throughput regressed {before_t} -> {after_t}"
+    );
+}
+
+#[test]
+fn named_corpus_roundtrips() {
+    let mut back_to_back = Netlist::new();
+    let s = back_to_back.add_source("in");
+    let a = back_to_back.add_shell("a", IdentityPearl::new());
+    let b = back_to_back.add_shell("b", IdentityPearl::new());
+    let c = back_to_back.add_shell("c", IdentityPearl::new());
+    let t = back_to_back.add_sink("out");
+    back_to_back.connect(s, 0, a, 0).unwrap();
+    back_to_back.connect(a, 0, b, 0).unwrap();
+    back_to_back.connect(b, 0, c, 0).unwrap();
+    back_to_back.connect(c, 0, t, 0).unwrap();
+
+    let corpus: Vec<(&str, Netlist)> = vec![
+        ("back_to_back_chain", back_to_back),
+        ("fig1", generate::fig1().netlist),
+        ("fork_join(3,0,2)", generate::fork_join(3, 0, 2).netlist),
+        ("tree_no_relays", generate::tree(2, 2, 0).netlist),
+        (
+            "ring(2,3,full)",
+            generate::ring(2, 3, RelayKind::Full).netlist,
+        ),
+        (
+            "chain(4,0,full)",
+            generate::chain(4, 0, RelayKind::Full).netlist,
+        ),
+    ];
+    for (name, netlist) in &corpus {
+        assert_roundtrip(name, netlist);
+    }
+}
+
+#[test]
+fn random_corpus_roundtrips() {
+    let mut fixed_any = 0;
+    for seed in 0..40u64 {
+        let (family, netlist) = generate::random_family(seed);
+        if netlist.validate().is_err() {
+            continue;
+        }
+        let diags = lint(&netlist, &SourceMap::new());
+        if diags.iter().any(|d| d.fix.is_some()) {
+            assert_roundtrip(&format!("seed {seed} {family:?}"), &netlist);
+            fixed_any += 1;
+        }
+    }
+    assert!(fixed_any >= 3, "corpus produced too few fixable designs");
+}
+
+/// Fig. 1's equalize fix lifts it from 4/5 to the tree optimum T = 1.
+#[test]
+fn equalizing_fig1_reaches_full_rate() {
+    let mut n = generate::fig1().netlist;
+    let diags = lint(&n, &SourceMap::new());
+    apply_fixits(&mut n, &diags).unwrap();
+    assert_eq!(throughput(&n), Ratio::new(1, 1));
+    assert!(lint(&n, &SourceMap::new()).is_empty());
+}

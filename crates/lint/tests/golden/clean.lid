@@ -1,0 +1,15 @@
+# A well-formed pipeline: relays between shells, balanced, free-flowing.
+source  in
+shell   a   identity
+relay   r1  full
+shell   b   identity
+relay   r2  full
+shell   c   identity
+sink    out
+
+connect in:0 -> a:0
+connect a:0  -> r1:0
+connect r1:0 -> b:0
+connect b:0  -> r2:0
+connect r2:0 -> c:0
+connect c:0  -> out:0

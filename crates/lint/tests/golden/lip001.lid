@@ -1,0 +1,9 @@
+# LIP001: two simplified shells back-to-back, no stop-saving element.
+source  in
+shell   a   identity
+shell   b   identity
+sink    out
+
+connect in:0 -> a:0
+connect a:0  -> b:0
+connect b:0  -> out:0

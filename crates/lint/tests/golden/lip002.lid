@@ -1,0 +1,8 @@
+# LIP002: a sealed ring of relay stations with no shell.
+relay r1 full
+relay r2 full
+relay r3 half
+
+connect r1:0 -> r2:0
+connect r2:0 -> r3:0
+connect r3:0 -> r1:0

@@ -1,0 +1,11 @@
+# LIP003: the source never presents data — guaranteed deadlock.
+source  in   voids=every:1:0
+shell   a    identity
+relay   r    full
+shell   b    identity
+sink    out
+
+connect in:0 -> a:0
+connect a:0  -> r:0
+connect r:0  -> b:0
+connect b:0  -> out:0

@@ -1,0 +1,18 @@
+# LIP004: reconvergent paths with relay imbalance i = 1 (paper Fig. 1).
+source  in
+shell   A   identity fanout=2
+shell   B   identity
+shell   C   join arity=2
+relay   r1  full
+relay   r2  full
+relay   r3  full
+sink    out
+
+connect in:0  -> A:0
+connect A:0   -> r1:0
+connect r1:0  -> B:0
+connect B:0   -> r2:0
+connect r2:0  -> C:0
+connect A:1   -> r3:0
+connect r3:0  -> C:1
+connect C:0   -> out:0

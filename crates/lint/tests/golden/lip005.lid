@@ -1,0 +1,10 @@
+# LIP005: a feedback loop binds global throughput to S/(S+R) = 2/4.
+shell a  identity
+shell b  identity
+relay r1 full
+relay r2 full
+
+connect a:0  -> r1:0
+connect r1:0 -> b:0
+connect b:0  -> r2:0
+connect r2:0 -> a:0

@@ -31,7 +31,6 @@
 //! `lip-analysis` are passed in as plain `(num, den)` ratios by the
 //! caller, keeping the dependency graph acyclic.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;

@@ -29,7 +29,6 @@
 //! after all workers have unwound (the scope joins them), so a failing
 //! sweep item fails the sweep loudly instead of being dropped.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};

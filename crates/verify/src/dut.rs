@@ -135,13 +135,12 @@ impl Dut {
     #[must_use]
     pub fn outputs(&self, inputs: &[Token]) -> Vec<Token> {
         match self {
-            Dut::FullRelay(rs) => vec![rs.output()],
+            Dut::FullRelay(rs) | Dut::LeakyRelay(rs) => vec![rs.output()],
             Dut::HalfRelay(rs) => vec![rs.output(inputs[0])],
             Dut::FifoRelay(q) => vec![q.output()],
             Dut::Shell(s, _) => s.outputs().to_vec(),
             Dut::Buffered(s, _) => s.outputs().to_vec(),
             Dut::NaiveOneReg { reg, .. } => vec![*reg],
-            Dut::LeakyRelay(rs) => vec![rs.output()],
         }
     }
 
@@ -149,13 +148,12 @@ impl Dut {
     #[must_use]
     pub fn stop_upstream(&self, index: usize, inputs: &[Token], output_stops: &[bool]) -> bool {
         match self {
-            Dut::FullRelay(rs) => rs.stop_upstream(),
+            Dut::FullRelay(rs) | Dut::LeakyRelay(rs) => rs.stop_upstream(),
             Dut::HalfRelay(rs) => rs.stop_upstream(),
             Dut::FifoRelay(q) => q.stop_upstream(),
             Dut::Shell(s, _) => s.stop_upstream(index, inputs, output_stops),
             Dut::Buffered(s, _) => s.stop_upstream(index),
             Dut::NaiveOneReg { stop_reg, .. } => *stop_reg,
-            Dut::LeakyRelay(rs) => rs.stop_upstream(),
         }
     }
 

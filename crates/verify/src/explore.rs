@@ -124,12 +124,11 @@ impl StreamSpec {
             StreamSpec::RelayFifo => k,
             // Shell outputs: index 0 is the initialisation firing over
             // zero inputs; index j >= 1 corresponds to input j-1.
-            StreamSpec::Shell(ShellSpec::Identity) => k.saturating_sub(1),
+            StreamSpec::Shell(ShellSpec::Identity | ShellSpec::Join2) => k.saturating_sub(1),
             StreamSpec::Shell(ShellSpec::Accumulator) => {
                 // sum of 0..k (inputs 0..=k-1), and 0 at init.
                 (k.saturating_sub(1)) * k / 2
             }
-            StreamSpec::Shell(ShellSpec::Join2) => k.saturating_sub(1),
         }
     }
 

@@ -30,7 +30,6 @@
 //! assert!(!verdict.counterexample.is_empty());
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod dut;

@@ -11,6 +11,7 @@ relay   w2 full
 relay   w3 full
 relay   w4 full
 relay   w5 half
+relay   w6 half
 sink    dac  stops=every:7:3
 
 connect adc:0   -> split:0
@@ -19,7 +20,8 @@ connect w1:0    -> w2:0
 connect w2:0    -> fir:0
 connect split:1 -> w3:0
 connect w3:0    -> eq:0
-connect fir:0   -> mix:0
+connect fir:0   -> w6:0
+connect w6:0    -> mix:0
 connect eq:0    -> w4:0
 connect w4:0    -> mix:1
 connect mix:0   -> w5:0

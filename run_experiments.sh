@@ -27,6 +27,7 @@ CONCURRENT_BINS=(
   exp_ablation_memory
   exp_queue_sizing
   exp_clock_gating
+  exp_static_analysis
 )
 
 # Bins that assert wall-clock gates: must own the machine.

@@ -25,6 +25,12 @@
 //! * [`RollingThroughput`], [`TransientDetector`], [`Report`] — derived
 //!   telemetry and the versioned JSON document ([`SCHEMA_VERSION`])
 //!   every `exp_*` bench bin emits.
+//! * [`CausalProfiler`] / [`BlameReport`] — causal stall profiling:
+//!   classifies every stalled shell-cycle, charges lost cycles to their
+//!   originating channel endpoint over a [`ChannelGraph`], and traces
+//!   tokens end-to-end (sequence latency, relay residency, occupancy).
+//!   [`chrome_trace_json`] renders the retained spans for
+//!   `chrome://tracing` / Perfetto.
 //!
 //! Layering: this crate depends only on `lip-kernel` (for the VCD
 //! trace). The engines in `lip-sim` depend on it; analytic targets from
@@ -36,11 +42,18 @@
 pub mod event;
 pub mod metrics;
 pub mod probe;
+pub mod profile;
 pub mod sink;
 pub mod telemetry;
+pub mod trace_export;
 
 pub use event::{Event, EventKind};
 pub use metrics::{MetricsRegistry, Topology};
 pub use probe::{for_each_lane, EventStreamProbe, NullProbe, Probe, Tee};
+pub use profile::{
+    BlameEdge, BlameEntry, BlameReport, CausalProfiler, ChannelGraph, Entity, Histogram,
+    PairLatency, StallCause, BLAME_SCHEMA_VERSION,
+};
 pub use sink::{EventSink, JsonlSink, RingBufferSink, TraceSink};
 pub use telemetry::{Report, RollingThroughput, TransientDetector, SCHEMA_VERSION};
+pub use trace_export::chrome_trace_json;

@@ -310,6 +310,83 @@ mod tests {
     }
 
     #[test]
+    fn ring_buffer_wraparound_over_many_laps() {
+        let mut s = RingBufferSink::new(3);
+        for c in 0..10 {
+            s.accept(&ev(c, EventKind::Stall, 0));
+        }
+        // Capacity holds, eviction count is exact, and the survivors
+        // are the newest three in oldest-first order.
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 7);
+        let cycles: Vec<u64> = s.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+        // Draining empties the buffer but keeps the eviction history;
+        // the sink then refills from scratch without further drops.
+        let drained = s.drain();
+        assert_eq!(drained.len(), 3);
+        assert!(s.is_empty());
+        assert_eq!(s.dropped(), 7);
+        s.accept(&ev(10, EventKind::Fire, 1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.dropped(), 7);
+    }
+
+    /// A writer that fails after accepting a fixed number of bytes.
+    struct FailAfter {
+        remaining: usize,
+    }
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.remaining < buf.len() {
+                return Err(io::Error::other("disk full"));
+            }
+            self.remaining -= buf.len();
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_latches_the_first_io_error() {
+        let first = ev(0, EventKind::Fire, 0).to_json();
+        let mut s = JsonlSink::new(FailAfter {
+            remaining: first.len() + 1, // exactly one record + newline
+        });
+        s.accept(&ev(0, EventKind::Fire, 0));
+        s.accept(&ev(1, EventKind::Fire, 0)); // hits the error
+        s.accept(&ev(2, EventKind::Fire, 0)); // silently skipped
+        assert_eq!(s.written(), 1);
+        assert!(s.finish().is_err());
+    }
+
+    #[test]
+    fn json_string_escaping_of_unusual_netlist_names() {
+        // Netlist names flow into JSON documents (telemetry reports,
+        // blame reports, Chrome-trace track names) through one shared
+        // escaper; quotes, backslashes, control characters and
+        // non-ASCII must all survive as valid JSON string content.
+        let escape = crate::telemetry::escape;
+        assert_eq!(escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape(r"a\b"), r"a\\b");
+        assert_eq!(escape("a\nb\tc"), r"a\nb\tc");
+        assert_eq!(escape("\u{1}"), r"\u0001");
+        // Non-ASCII passes through unescaped (JSON is UTF-8).
+        assert_eq!(escape("fifo·π→Ω"), "fifo·π→Ω");
+        // End to end: a report field with a hostile name round-trips
+        // into a syntactically balanced JSON document.
+        let mut report = crate::Report::new("escape_test");
+        report.push_str("name", "w\\6\"\n·π");
+        let json = report.to_json();
+        assert!(json.contains(r#""w\\6\"\n·π""#));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
     fn jsonl_sink_writes_one_record_per_line() {
         let mut s = JsonlSink::new(Vec::new());
         s.accept(&ev(3, EventKind::VoidIn, 1));

@@ -192,8 +192,9 @@ impl TransientDetector {
     }
 }
 
-/// Escape `s` for embedding in a JSON string literal.
-fn escape(s: &str) -> String {
+/// Escape `s` for embedding in a JSON string literal (shared with the
+/// profiler's and trace exporter's hand-rolled serialisers).
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

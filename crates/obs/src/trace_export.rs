@@ -1,0 +1,198 @@
+//! Chrome-trace-format export of a profiled run.
+//!
+//! Renders the spans retained by a [`CausalProfiler`] as a Trace Event
+//! Format JSON document (`{"traceEvents":[...]}`) loadable in
+//! `chrome://tracing` and Perfetto, next to the existing VCD and JSONL
+//! sinks:
+//!
+//! * one named track (`tid` = dense entity id) per shell, relay, source
+//!   and sink, via `"M"` metadata events;
+//! * a complete (`"X"`) *stall* slice per maximal run of consecutive
+//!   cycles a shell did not fire;
+//! * a complete (`"X"`) *resident* slice per token's stay in a relay
+//!   station (fill → drain, FIFO-matched);
+//! * an async `"b"`/`"e"` span pair per delivered token, one per
+//!   source→sink pair, carrying the token's sequence id — load the
+//!   trace and the protocol's end-to-end latency is the visible span
+//!   length.
+//!
+//! Timestamps are protocol cycles written as microseconds (1 cycle =
+//! 1 µs), so viewer zoom levels stay sane. All strings pass through the
+//! shared JSON escaper, and the document is plain hand-rolled JSON like
+//! every other artefact in the crate (no serde in the offline
+//! workspace).
+
+use std::fmt::Write as _;
+
+use crate::profile::{CausalProfiler, Entity};
+use crate::telemetry::escape;
+
+/// Render `profiler`'s retained spans as a Chrome-trace JSON document.
+///
+/// `end_cycle` closes any still-open stall runs (pass the cycle the run
+/// stopped at — e.g. `system.cycle()` — so trailing deadlocked
+/// intervals render with their true extent).
+#[must_use]
+pub fn chrome_trace_json(profiler: &CausalProfiler, end_cycle: u64) -> String {
+    let g = profiler.graph();
+    let mut events: Vec<String> = Vec::new();
+
+    // Track metadata: one process, one named thread per entity.
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"lip\"}}"
+            .to_owned(),
+    );
+    for id in 0..g.entity_count() {
+        let e = g.entity(id);
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{id},\
+             \"args\":{{\"name\":\"{} {}\"}}}}",
+            e.label(),
+            escape(g.name(e))
+        ));
+    }
+
+    // Shell stall slices (closed runs, then runs still open at the end
+    // of the window).
+    let mut stall_slice = |shell: u32, start: u64, end: u64| {
+        let tid = g.dense(Entity::Shell(shell));
+        events.push(format!(
+            "{{\"name\":\"stall\",\"cat\":\"stall\",\"ph\":\"X\",\
+             \"ts\":{start},\"dur\":{},\"pid\":1,\"tid\":{tid}}}",
+            end.saturating_sub(start).max(1)
+        ));
+    };
+    for span in profiler.stall_spans() {
+        stall_slice(span.shell, span.start, span.end);
+    }
+    for (shell, run) in profiler.open_stall_runs().iter().enumerate() {
+        if let Some(start) = run {
+            stall_slice(shell as u32, *start, end_cycle.max(*start + 1));
+        }
+    }
+
+    // Relay residency slices.
+    for hop in profiler.hop_spans() {
+        let tid = g.dense(Entity::Relay(hop.relay));
+        events.push(format!(
+            "{{\"name\":\"resident\",\"cat\":\"relay\",\"ph\":\"X\",\
+             \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{tid}}}",
+            hop.enter,
+            hop.exit.saturating_sub(hop.enter).max(1)
+        ));
+    }
+
+    // Async token spans: the k-th informative consumption at a sink
+    // closes the span the k-th emission of each reaching source opened
+    // (order preservation is the protocol's invariant). Ids are unique
+    // per (pair, sequence).
+    let mut pair = 0u64;
+    for i in 0..g.source_count() {
+        for j in 0..g.sink_count() {
+            if !g.source_reaches_sink(i, j) {
+                continue;
+            }
+            let name = format!(
+                "token {}\u{2192}{}",
+                escape(g.name(Entity::Source(i as u32))),
+                escape(g.name(Entity::Sink(j as u32)))
+            );
+            let tid = g.dense(Entity::Sink(j as u32));
+            let emits = &profiler.emissions()[i];
+            let consumes = &profiler.consumptions()[j];
+            for (k, (em, co)) in emits.iter().zip(consumes).enumerate() {
+                if co < em {
+                    continue; // initial in-flight token, not ours
+                }
+                let id = (pair << 32) | k as u64;
+                events.push(format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"token\",\"ph\":\"b\",\
+                     \"ts\":{em},\"pid\":1,\"tid\":{tid},\"id\":{id},\
+                     \"args\":{{\"seq\":{k}}}}}"
+                ));
+                events.push(format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"token\",\"ph\":\"e\",\
+                     \"ts\":{co},\"pid\":1,\"tid\":{tid},\"id\":{id}}}"
+                ));
+            }
+            pair += 1;
+        }
+    }
+
+    let mut out = String::with_capacity(events.iter().map(String::len).sum::<usize>() + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str(ev);
+        if i + 1 != events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "]}}");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::Probe;
+    use crate::profile::ChannelGraph;
+
+    fn relay_pipeline() -> ChannelGraph {
+        // source -> c0 -> shell -> c1 -> relay -> c2 -> sink
+        ChannelGraph {
+            producer: vec![Entity::Source(0), Entity::Shell(0), Entity::Relay(0)],
+            consumer: vec![Entity::Shell(0), Entity::Relay(0), Entity::Sink(0)],
+            source_out: vec![0],
+            sink_in: vec![2],
+            relay_in: vec![1],
+            relay_out: vec![2],
+            relay_capacity: vec![2],
+            shell_in_off: vec![0, 1],
+            shell_in_ch: vec![0],
+            shell_out_off: vec![0, 1],
+            shell_out_ch: vec![1],
+            nodes: vec![1, 2, 0, 3],
+            names: vec!["A".into(), "r\"1".into(), "in".into(), "out".into()],
+        }
+    }
+
+    #[test]
+    fn trace_has_tracks_slices_and_token_spans() {
+        let mut p = CausalProfiler::new(relay_pipeline());
+        // Cycle 0: source emits, relay fills, shell stalls (stopped).
+        p.stall(0, 1, 0);
+        p.relay_fill(0, 0, 0);
+        p.end_cycle(0);
+        // Cycle 1: relay drains, sink consumes.
+        p.relay_drain(1, 0, 0);
+        p.consume(1, 2, 0);
+        p.end_cycle(1);
+        let json = chrome_trace_json(&p, 2);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"traceEvents\""));
+        // One named track per entity (4), plus process_name.
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 5);
+        // The quote in the relay name is escaped.
+        assert!(json.contains("relay:0 r\\\"1"));
+        // The shell's open stall run is closed at end_cycle.
+        assert!(json.contains("\"cat\":\"stall\""));
+        // Relay residency slice.
+        assert!(json.contains("\"cat\":\"resident\"") || json.contains("\"name\":\"resident\""));
+        // Exactly one async begin/end pair for the delivered token.
+        assert_eq!(json.matches("\"ph\":\"b\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"e\"").count(), 1);
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn empty_profiler_renders_valid_skeleton() {
+        let p = CausalProfiler::new(relay_pipeline());
+        let json = chrome_trace_json(&p, 0);
+        assert!(json.contains("\"traceEvents\""));
+        assert_eq!(json.matches("\"ph\":\"b\"").count(), 0);
+    }
+}

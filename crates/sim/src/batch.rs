@@ -291,10 +291,13 @@ impl BatchSkeleton {
     }
 
     fn with_initial(prog: Arc<SettleProgram>, src_valid: Vec<u64>) -> Self {
-        let mut fifo_off = vec![0u32];
+        let mut fifo_off = Vec::with_capacity(prog.fifo_cap.len() + 1);
+        let mut plane_words = 0u32;
+        fifo_off.push(plane_words);
         for &cap in &prog.fifo_cap {
             let bits = 64 - u64::from(cap).leading_zeros();
-            fifo_off.push(fifo_off.last().unwrap() + bits.max(1));
+            plane_words += bits.max(1);
+            fifo_off.push(plane_words);
         }
         BatchSkeleton {
             fwd: vec![0; prog.n_channels],
@@ -307,7 +310,7 @@ impl BatchSkeleton {
             full_main: vec![0; prog.full_in_ch.len()],
             full_aux: vec![0; prog.full_in_ch.len()],
             half_occ: vec![0; prog.half_in_ch.len()],
-            fifo_planes: vec![0; *fifo_off.last().unwrap() as usize],
+            fifo_planes: vec![0; plane_words as usize],
             fifo_off,
             snk_valid: vec![LaneCounters::default(); prog.snk_in_ch.len()],
             snk_voids: vec![LaneCounters::default(); prog.snk_in_ch.len()],

@@ -42,6 +42,7 @@ pub mod batch;
 pub mod cache;
 pub mod evolution;
 pub mod measure;
+pub mod profiling;
 pub mod program;
 pub mod rtl;
 mod skeleton;
@@ -55,6 +56,7 @@ pub use measure::{
     BatchMeasurement, BatchPeriodicMeasurement, LivenessReport, Measurement, PeriodDetector,
     Periodicity, Ratio, ShellActivity,
 };
+pub use profiling::{profile_netlist, ProfileOptions, ProfiledRun};
 pub use program::SettleProgram;
 pub use skeleton::SkeletonSystem;
 pub use system::System;

@@ -367,6 +367,95 @@ impl SettleProgram {
         }
     }
 
+    /// The channel-level wiring of the compiled netlist, for causal
+    /// profiling: per-channel producer/consumer entities, shell port
+    /// geometry, relay rows (same full/half/FIFO numbering as
+    /// [`topology`](Self::topology)), and the mapping from dense entity
+    /// ids back to `netlist` node ids and display names.
+    ///
+    /// `netlist` must be the netlist this program was compiled from
+    /// (checked by node/channel counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `netlist`'s node or channel count disagrees with the
+    /// compiled program.
+    #[must_use]
+    pub fn channel_graph(&self, netlist: &Netlist) -> lip_obs::ChannelGraph {
+        use lip_obs::Entity;
+        assert_eq!(
+            netlist.node_count(),
+            self.comp_slots.len(),
+            "netlist does not match this program"
+        );
+        assert_eq!(netlist.channel_count(), self.n_channels);
+
+        let entity_of = |slot: CompSlot| match slot {
+            CompSlot::Shell(s) => Entity::Shell(s),
+            CompSlot::Full(i) => Entity::Relay(self.full_relay_row(i as usize)),
+            CompSlot::Half(h) => Entity::Relay(self.half_relay_row(h as usize)),
+            CompSlot::Fifo(i) => Entity::Relay(self.fifo_relay_row(i as usize)),
+            CompSlot::Source(i) => Entity::Source(i),
+            CompSlot::Sink(i) => Entity::Sink(i),
+        };
+
+        let mut producer = vec![Entity::Source(0); self.n_channels];
+        let mut consumer = vec![Entity::Sink(0); self.n_channels];
+        for (cid, ch) in netlist.channels() {
+            producer[cid.index()] = entity_of(self.comp_slots[ch.producer.node.index()]);
+            consumer[cid.index()] = entity_of(self.comp_slots[ch.consumer.node.index()]);
+        }
+
+        let relays = self.relay_count();
+        let mut relay_in = vec![0u32; relays];
+        let mut relay_out = vec![0u32; relays];
+        let mut relay_capacity = vec![0u32; relays];
+        for (i, (&in_ch, &out_ch)) in self.full_in_ch.iter().zip(&self.full_out_ch).enumerate() {
+            let r = self.full_relay_row(i) as usize;
+            (relay_in[r], relay_out[r], relay_capacity[r]) = (in_ch, out_ch, 2);
+        }
+        for (h, (&in_ch, &out_ch)) in self.half_in_ch.iter().zip(&self.half_out_ch).enumerate() {
+            let r = self.half_relay_row(h) as usize;
+            (relay_in[r], relay_out[r], relay_capacity[r]) = (in_ch, out_ch, 1);
+        }
+        for (i, (&in_ch, &out_ch)) in self.fifo_in_ch.iter().zip(&self.fifo_out_ch).enumerate() {
+            let r = self.fifo_relay_row(i) as usize;
+            (relay_in[r], relay_out[r], relay_capacity[r]) = (in_ch, out_ch, self.fifo_cap[i]);
+        }
+
+        // Dense entity order: shells, relays, sources, sinks.
+        let n_ent = self.shell_count() + relays + self.source_count() + self.sink_count();
+        let mut nodes = vec![0u32; n_ent];
+        let mut names = vec![String::new(); n_ent];
+        for (id, node) in netlist.nodes() {
+            let e = entity_of(self.comp_slots[id.index()]);
+            let dense = match e {
+                Entity::Shell(s) => s as usize,
+                Entity::Relay(r) => self.shell_count() + r as usize,
+                Entity::Source(i) => self.shell_count() + relays + i as usize,
+                Entity::Sink(i) => self.shell_count() + relays + self.source_count() + i as usize,
+            };
+            nodes[dense] = id.index() as u32;
+            names[dense] = node.name().to_owned();
+        }
+
+        lip_obs::ChannelGraph {
+            producer,
+            consumer,
+            source_out: self.src_out_ch.clone(),
+            sink_in: self.snk_in_ch.clone(),
+            relay_in,
+            relay_out,
+            relay_capacity,
+            shell_in_off: self.shell_in_off.clone(),
+            shell_in_ch: self.shell_in_ch.clone(),
+            shell_out_off: self.shell_out_off.clone(),
+            shell_out_ch: self.shell_out_ch.clone(),
+            nodes,
+            names,
+        }
+    }
+
     /// Relay row of the `i`-th full relay (event entity numbering).
     #[inline]
     #[must_use]

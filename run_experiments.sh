@@ -28,6 +28,7 @@ CONCURRENT_BINS=(
   exp_queue_sizing
   exp_clock_gating
   exp_static_analysis
+  exp_profile
 )
 
 # Bins that assert wall-clock gates: must own the machine.
@@ -121,6 +122,13 @@ done
 # The perf-trajectory artefacts carry the same schema version.
 check_report BENCH_skeleton.json || FAILED+=("BENCH_skeleton.json (schema)")
 check_report BENCH_parallel.json || FAILED+=("BENCH_parallel.json (schema)")
+
+# The causal-profiling artefacts (written by exp_profile) too.
+check_report "$REPORT_DIR/BLAME_fig1.json" || FAILED+=("BLAME_fig1.json (schema)")
+if [ ! -s "$REPORT_DIR/TRACE_fig1.json" ]; then
+  echo "!! missing or empty trace: $REPORT_DIR/TRACE_fig1.json" >&2
+  FAILED+=("TRACE_fig1.json")
+fi
 
 echo
 if [ "${#FAILED[@]}" -ne 0 ]; then

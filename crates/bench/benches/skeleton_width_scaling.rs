@@ -1,0 +1,86 @@
+//! EXP-B2 bench — lane-width scaling of the many-lane engine.
+//!
+//! One benchmark per lane-word shape, W ∈ {1, 2, 4, 8, 16} words (64 to
+//! 1024 lanes), on fig1 and the 4x4 full-relay ring. Throughput is
+//! reported in elements = lane-cycles, so the per-width numbers compare
+//! directly: a wider word wins exactly when its lane-cycles/sec beats
+//! the narrower shapes. Engine construction is included, matching how a
+//! throughput sweep actually uses the engine.
+
+use std::sync::Arc;
+
+use criterion::{
+    criterion_group, criterion_main, BenchmarkGroup, BenchmarkId, Criterion, Throughput,
+};
+use lip_core::Pattern;
+use lip_graph::{generate, Netlist};
+use lip_sim::{
+    BatchEngine, LanePatterns, LaneWord, Lanes1024, Lanes128, Lanes256, Lanes512, SettleProgram,
+    LANES,
+};
+
+const CYCLES: u64 = 256;
+
+/// Duty-ramp stall pattern for base lane `b`: a period-64 cyclic word
+/// stalling `b` of every 64 cycles, spread evenly. Lane `l` of any
+/// width replicates base scenario `l % 64`, so every width runs the
+/// same work per lane.
+fn duty_pattern(base: usize) -> Pattern {
+    let bits: Vec<bool> = (0..64)
+        .map(|c| (c + 1) * base / 64 > c * base / 64)
+        .collect();
+    Pattern::Cyclic(bits)
+}
+
+fn sweep_patterns(prog: &SettleProgram, lanes: usize) -> LanePatterns {
+    let mut pats = LanePatterns::broadcast_wide(prog, lanes);
+    for lane in 0..lanes {
+        for j in 0..prog.sink_count() {
+            pats.set_sink(j, lane, duty_pattern(lane % LANES));
+        }
+    }
+    pats
+}
+
+fn corpus() -> Vec<(String, Netlist)> {
+    vec![
+        ("fig1".to_string(), generate::fig1().netlist),
+        (
+            "ring4x4_full".to_string(),
+            generate::ring(4, 4, lip_core::RelayKind::Full).netlist,
+        ),
+    ]
+}
+
+/// Register the sweep at word shape `W` (one `w{words}x64` bench).
+fn bench_width<W: LaneWord>(group: &mut BenchmarkGroup<'_>, name: &str, prog: &Arc<SettleProgram>) {
+    let pats = sweep_patterns(prog, W::LANES);
+    group.throughput(Throughput::Elements(W::LANES as u64 * CYCLES));
+    group.bench_with_input(
+        BenchmarkId::new(format!("w{}x64", W::WORDS), name),
+        prog,
+        |b, prog| {
+            b.iter(|| {
+                let mut engine = BatchEngine::<W>::from_patterns(Arc::clone(prog), &pats);
+                engine.run_patterns(&pats, CYCLES);
+                engine.total_fires_lane(0)
+            });
+        },
+    );
+}
+
+fn bench_width_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skeleton_width_scaling");
+    for (name, netlist) in corpus() {
+        let prog = Arc::new(SettleProgram::compile(&netlist).expect("compiles"));
+        bench_width::<u64>(&mut group, &name, &prog);
+        bench_width::<Lanes128>(&mut group, &name, &prog);
+        bench_width::<Lanes256>(&mut group, &name, &prog);
+        bench_width::<Lanes512>(&mut group, &name, &prog);
+        bench_width::<Lanes1024>(&mut group, &name, &prog);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_width_scaling);
+criterion_main!(benches);

@@ -1,14 +1,18 @@
-//! EXP-B1 — bit-parallel batched skeleton sweep.
+//! EXP-B1 — many-lane bit-parallel batched skeleton sweep.
 //!
 //! The paper's cost argument ("the simulation cost is absolutely
 //! negligible") invites sweeping *many* stall scenarios, not just one.
-//! The batched engine packs 64 independent scenarios into the bits of a
-//! `u64` and settles all of them per pass with word-wide boolean
-//! operations. This experiment runs a 64-lane throughput sweep both
-//! ways — 64 scalar [`SkeletonSystem`] runs versus one
-//! [`BatchSkeleton`] run — verifies the sink counts are bit-identical,
-//! and persists the measured rates to `BENCH_skeleton.json` so the
-//! perf trajectory is tracked across PRs.
+//! The batched engine packs independent scenarios into the bits of a
+//! lane word — `u64` up to `[u64; 16]` (64 to 1024 lanes) — and settles
+//! all of them per pass with word-wide boolean operations over the
+//! streaming op tape. This experiment runs the throughput sweep at
+//! every supported width against a scalar [`SkeletonSystem`] baseline,
+//! verifies the sink counts are bit-identical lane for lane across all
+//! widths, and persists the measured per-width rates to
+//! `BENCH_skeleton.json` so the perf trajectory is tracked across PRs.
+//!
+//! Gates: the classic 64-lane engine must stay `>= 8x` scalar (the
+//! historical floor), and the widest word must reach `>= 100x`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -16,27 +20,39 @@ use std::time::Instant;
 use lip_bench::{banner, emit_report, mark, table, Report};
 use lip_core::Pattern;
 use lip_graph::{generate, Netlist, NodeId};
-use lip_sim::{measure_batch, LanePatterns, SettleProgram, SkeletonSystem, LANES};
+use lip_sim::{
+    dispatch_lane_width, measure_batch_wide, BatchMeasurement, LanePatterns, LaneWidthVisitor,
+    LaneWord, SettleProgram, SkeletonSystem, LANES, LANE_WIDTHS,
+};
 
 const CYCLES: u64 = 4096;
 const REPS: usize = 3;
+/// W = 1 floor: the historical 64-lane gate.
 const CLAIMED_SPEEDUP: f64 = 8.0;
+/// Widest-word gate: 1024 lanes must beat scalar by two orders.
+const WIDE_SPEEDUP: f64 = 100.0;
 
-/// Per-lane stall ramp: lane `l` stalls every sink `l/64` of the time,
-/// so the sweep spans free-running to almost-starved back-pressure.
-fn sweep_patterns(prog: &SettleProgram) -> LanePatterns {
-    let mut pats = LanePatterns::broadcast(prog);
-    for lane in 0..LANES {
+/// Duty-ramp stall pattern for base lane `b`: a period-64 cyclic word
+/// asserting stop on exactly `b` of every 64 cycles, spread evenly
+/// (Bresenham), so the sweep spans free-running to almost-starved
+/// back-pressure. Periodic with lcm 64 across all lanes, so the
+/// engine's compiled pattern tables stay in play at every width.
+fn duty_pattern(base: usize) -> Pattern {
+    let bits: Vec<bool> = (0..64)
+        .map(|c| (c + 1) * base / 64 > c * base / 64)
+        .collect();
+    Pattern::Cyclic(bits)
+}
+
+/// Per-lane stall ramp at `lanes` lanes: lane `l` replicates base lane
+/// `l % 64`, so every width runs *exact copies* of the 64 base
+/// scenarios and cross-width equivalence is `counts[l] ==
+/// counts64[l % 64]`, bit for bit.
+fn sweep_patterns(prog: &SettleProgram, lanes: usize) -> LanePatterns {
+    let mut pats = LanePatterns::broadcast_wide(prog, lanes);
+    for lane in 0..lanes {
         for j in 0..prog.sink_count() {
-            pats.set_sink(
-                j,
-                lane,
-                Pattern::Random {
-                    num: lane as u32,
-                    denom: LANES as u32,
-                    seed: 0xB0 ^ lane as u64,
-                },
-            );
+            pats.set_sink(j, lane, duty_pattern(lane % LANES));
         }
     }
     pats
@@ -64,8 +80,8 @@ fn corpus() -> Vec<(String, Netlist)> {
     tops
 }
 
-/// The scalar baseline: one [`SkeletonSystem`] per lane, each over the
-/// netlist rebuilt with that lane's environment patterns.
+/// The scalar baseline: one [`SkeletonSystem`] per base lane, each over
+/// the netlist rebuilt with that lane's environment patterns.
 fn scalar_sweep(
     netlist: &Netlist,
     pats: &LanePatterns,
@@ -93,86 +109,160 @@ fn scalar_sweep(
     counts
 }
 
+/// Run the batch sweep at word shape `W` and time it: construction
+/// included on both sides since a sweep pays it either way.
+struct WidthRun<'a> {
+    netlist: &'a Netlist,
+    pats: &'a LanePatterns,
+}
+
+impl LaneWidthVisitor for WidthRun<'_> {
+    type Out = (BatchMeasurement, f64);
+
+    fn visit<W: LaneWord>(&mut self) -> Self::Out {
+        let m = measure_batch_wide::<W>(self.netlist, self.pats, CYCLES).expect("batch sweep");
+        let mut t = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            std::hint::black_box(
+                measure_batch_wide::<W>(self.netlist, self.pats, CYCLES).expect("batch sweep"),
+            );
+            t = t.min(t0.elapsed().as_secs_f64());
+        }
+        (m, t)
+    }
+}
+
+struct WidthRow {
+    lanes: usize,
+    rate: f64,
+    speedup: f64,
+}
+
 struct Row {
     name: String,
     shells: usize,
     scalar_rate: f64,
-    batch_rate: f64,
-    speedup: f64,
+    widths: Vec<WidthRow>,
+}
+
+impl Row {
+    /// Speedup of the width carrying `lanes` lanes.
+    fn speedup_at(&self, lanes: usize) -> f64 {
+        self.widths
+            .iter()
+            .find(|w| w.lanes == lanes)
+            .expect("width measured")
+            .speedup
+    }
 }
 
 fn main() {
     banner(
         "EXP-B1",
-        "bit-parallel batched skeleton sweep",
-        "one 64-lane batch run is >= 8x faster than 64 scalar runs, bit-identically",
+        "many-lane bit-parallel batched skeleton sweep",
+        "64-lane batch >= 8x scalar; 1024-lane batch >= 100x; all widths bit-identical",
     );
 
+    let widest = *LANE_WIDTHS.last().expect("widths non-empty");
     let mut rows = Vec::new();
     for (name, netlist) in corpus() {
         let prog = Arc::new(SettleProgram::compile(&netlist).expect("compiles"));
-        let pats = sweep_patterns(&prog);
         let sources = netlist.sources();
         let sinks = netlist.sinks();
+        let base_pats = sweep_patterns(&prog, LANES);
 
-        // Bit-identity first: the speedup is worthless if the lanes drift.
-        let batch = measure_batch(&netlist, &pats, CYCLES).expect("batch sweep");
-        let scalar = scalar_sweep(&netlist, &pats, &sources, &sinks);
-        assert_eq!(
-            batch.counts, scalar,
-            "{name}: batch sink counts diverge from scalar runs"
-        );
+        // Bit-identity first: the speedup is worthless if lanes drift.
+        // The 64-lane engine is checked against 64 scalar runs, then
+        // every wider word is checked lane-for-lane against the 64-lane
+        // counts (lane `l` replicates base scenario `l % 64`).
+        let scalar = scalar_sweep(&netlist, &base_pats, &sources, &sinks);
 
-        // Lane-cycles per second, best of REPS; construction included on
-        // both sides since a sweep pays it either way.
         let mut t_scalar = f64::INFINITY;
-        let mut t_batch = f64::INFINITY;
         for _ in 0..REPS {
             let t0 = Instant::now();
-            std::hint::black_box(scalar_sweep(&netlist, &pats, &sources, &sinks));
+            std::hint::black_box(scalar_sweep(&netlist, &base_pats, &sources, &sinks));
             t_scalar = t_scalar.min(t0.elapsed().as_secs_f64());
-            let t0 = Instant::now();
-            std::hint::black_box(measure_batch(&netlist, &pats, CYCLES).expect("batch sweep"));
-            t_batch = t_batch.min(t0.elapsed().as_secs_f64());
         }
-        let lane_cycles = (LANES as u64 * CYCLES) as f64;
+        let scalar_rate = (LANES as u64 * CYCLES) as f64 / t_scalar;
+
+        let mut widths = Vec::new();
+        let mut counts64: Option<Vec<Vec<(u64, u64)>>> = None;
+        for lanes in LANE_WIDTHS {
+            let pats = sweep_patterns(&prog, lanes);
+            let (m, t) = dispatch_lane_width(
+                lanes,
+                &mut WidthRun {
+                    netlist: &netlist,
+                    pats: &pats,
+                },
+            );
+            assert_eq!(m.lanes, lanes);
+            if lanes == LANES {
+                assert_eq!(
+                    m.counts, scalar,
+                    "{name}: 64-lane batch sink counts diverge from scalar runs"
+                );
+                counts64 = Some(m.counts.clone());
+            } else {
+                let base = counts64.as_ref().expect("64-lane sweep runs first");
+                for (j, per_lane) in m.counts.iter().enumerate() {
+                    for (l, &c) in per_lane.iter().enumerate() {
+                        assert_eq!(
+                            c,
+                            base[j][l % LANES],
+                            "{name}: width {lanes} lane {l} diverges from base lane {}",
+                            l % LANES
+                        );
+                    }
+                }
+            }
+            let rate = (lanes as u64 * CYCLES) as f64 / t;
+            widths.push(WidthRow {
+                lanes,
+                rate,
+                speedup: rate / scalar_rate,
+            });
+        }
         rows.push(Row {
             name,
             shells: netlist.shells().len(),
-            scalar_rate: lane_cycles / t_scalar,
-            batch_rate: lane_cycles / t_batch,
-            speedup: t_scalar / t_batch,
+            scalar_rate,
+            widths,
         });
     }
 
     let printable: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            vec![
+            let mut row = vec![
                 r.name.clone(),
                 r.shells.to_string(),
                 format!("{:.3e}", r.scalar_rate),
-                format!("{:.3e}", r.batch_rate),
-                format!("{:.1}x", r.speedup),
-                mark(r.speedup >= CLAIMED_SPEEDUP).into(),
-            ]
+            ];
+            for w in &r.widths {
+                row.push(format!("{:.1}x", w.speedup));
+            }
+            row.push(mark(r.speedup_at(LANES) >= CLAIMED_SPEEDUP).into());
+            row.push(mark(r.speedup_at(widest) >= WIDE_SPEEDUP).into());
+            row
         })
         .collect();
-    println!(
-        "{}",
-        table(
-            &[
-                "topology",
-                "shells",
-                "scalar lane-cyc/s",
-                "batch lane-cyc/s",
-                "speedup",
-                ">=8x"
-            ],
-            &printable,
-        )
-    );
-    println!("(counts bit-identical across all {LANES} lanes on every topology)");
+    let headers: Vec<String> = ["topology", "shells", "scalar lane-cyc/s"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .chain(LANE_WIDTHS.iter().map(|l| format!("{l}L")))
+        .chain([">=8x @64".to_string(), ">=100x @widest".to_string()])
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("{}", table(&header_refs, &printable));
+    println!("(counts bit-identical lane-for-lane across all widths on every topology)");
+
+    let min_at = |lanes: usize| {
+        rows.iter()
+            .map(|r| r.speedup_at(lanes))
+            .fold(f64::INFINITY, f64::min)
+    };
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -184,36 +274,79 @@ fn main() {
     json.push_str(&format!("  \"lanes\": {LANES},\n"));
     json.push_str(&format!("  \"cycles\": {CYCLES},\n"));
     json.push_str(&format!("  \"claimed_speedup\": {CLAIMED_SPEEDUP},\n"));
+    json.push_str(&format!("  \"wide_speedup\": {WIDE_SPEEDUP},\n"));
+    json.push_str("  \"lane_widths\": [\n");
+    for (i, lanes) in LANE_WIDTHS.iter().enumerate() {
+        let comma = if i + 1 < LANE_WIDTHS.len() { "," } else { "" };
+        let claimed = if *lanes == LANES {
+            CLAIMED_SPEEDUP
+        } else if *lanes == widest {
+            WIDE_SPEEDUP
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "    {{\"lanes\": {lanes}, \"words\": {}, \"min_speedup\": {:.2}, \
+             \"claimed_speedup\": {claimed}, \"ok\": {}}}{comma}\n",
+            lanes / 64,
+            min_at(*lanes),
+            min_at(*lanes) >= claimed
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"topologies\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        let widths: Vec<String> = r
+            .widths
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"lanes\": {}, \"batch_lane_cycles_per_sec\": {:.1}, \"speedup\": {:.2}}}",
+                    w.lanes, w.rate, w.speedup
+                )
+            })
+            .collect();
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"shells\": {}, \"scalar_lane_cycles_per_sec\": {:.1}, \
-             \"batch_lane_cycles_per_sec\": {:.1}, \"speedup\": {:.2}}}{comma}\n",
-            r.name, r.shells, r.scalar_rate, r.batch_rate, r.speedup
+             \"batch_lane_cycles_per_sec\": {:.1}, \"speedup\": {:.2}, \"widths\": [{}]}}{comma}\n",
+            r.name,
+            r.shells,
+            r.scalar_rate,
+            r.widths[0].rate,
+            r.widths[0].speedup,
+            widths.join(", ")
         ));
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_skeleton.json", json).expect("write BENCH_skeleton.json");
     println!("wrote BENCH_skeleton.json");
 
+    let ok = min_at(LANES) >= CLAIMED_SPEEDUP && min_at(widest) >= WIDE_SPEEDUP;
     let mut report = Report::new("exp_batch_sweep");
     report
         .push_int("lanes", LANES as u64)
+        .push_int("widest_lanes", widest as u64)
         .push_int("cycles", CYCLES)
         .push_f64("claimed_speedup", CLAIMED_SPEEDUP)
-        .push_f64(
-            "min_speedup",
-            rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min),
-        )
+        .push_f64("wide_speedup", WIDE_SPEEDUP)
+        .push_f64("min_speedup", min_at(LANES))
+        .push_f64("widest_min_speedup", min_at(widest))
         .push_int("topologies", rows.len() as u64)
-        .push_bool("ok", rows.iter().all(|r| r.speedup >= CLAIMED_SPEEDUP));
+        .push_bool("ok", ok);
     emit_report(&report);
 
-    if let Some(r) = rows.iter().find(|r| r.speedup < CLAIMED_SPEEDUP) {
+    if min_at(LANES) < CLAIMED_SPEEDUP {
         eprintln!(
-            "speedup below {CLAIMED_SPEEDUP}x on {}: {:.1}x",
-            r.name, r.speedup
+            "64-lane speedup below {CLAIMED_SPEEDUP}x: {:.1}x",
+            min_at(LANES)
+        );
+        std::process::exit(1);
+    }
+    if min_at(widest) < WIDE_SPEEDUP {
+        eprintln!(
+            "{widest}-lane speedup below {WIDE_SPEEDUP}x: {:.1}x",
+            min_at(widest)
         );
         std::process::exit(1);
     }

@@ -115,6 +115,16 @@ fn main() {
     let speedup = t_serial / t_parallel;
     let speedup_gated =
         threads >= MIN_CORES_FOR_SPEEDUP_GATE && cores >= MIN_CORES_FOR_SPEEDUP_GATE;
+    // An un-gated run is recorded explicitly, never passed silently: the
+    // JSON carries the machine-readable reason so log replay (and
+    // `run_experiments.sh`) can surface which gate was skipped and why.
+    let gate_skipped: Option<&str> = if speedup_gated {
+        None
+    } else if cores < MIN_CORES_FOR_SPEEDUP_GATE {
+        Some("insufficient_cores")
+    } else {
+        Some("insufficient_workers")
+    };
     println!(
         "corpus sweep: {} measurements, {} thread(s) on {} core(s): \
          {:.1} ms serial vs {:.1} ms parallel ({:.2}x), results byte-identical",
@@ -125,10 +135,11 @@ fn main() {
         t_parallel * 1e3,
         speedup,
     );
-    if !speedup_gated {
+    if let Some(reason) = gate_skipped {
         println!(
-            "({CLAIMED_SPEEDUP}x gate waived: needs >= {MIN_CORES_FOR_SPEEDUP_GATE} cores and \
-             LIP_JOBS >= {MIN_CORES_FOR_SPEEDUP_GATE}; determinism still asserted)"
+            "({CLAIMED_SPEEDUP}x gate SKIPPED [{reason}]: needs >= \
+             {MIN_CORES_FOR_SPEEDUP_GATE} cores and LIP_JOBS >= \
+             {MIN_CORES_FOR_SPEEDUP_GATE}; determinism still asserted)"
         );
     }
     println!();
@@ -235,6 +246,10 @@ fn main() {
     json.push_str(&format!("  \"wall_time_parallel_sec\": {t_parallel:.6},\n"));
     json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
     json.push_str(&format!("  \"speedup_gated\": {speedup_gated},\n"));
+    json.push_str(&format!(
+        "  \"gate_skipped\": {},\n",
+        gate_skipped.map_or("null".to_string(), |r| format!("\"{r}\""))
+    ));
     json.push_str(&format!("  \"early_exit_budget\": {total_budget},\n"));
     json.push_str(&format!("  \"cycles_saved\": {total_saved},\n"));
     json.push_str(&format!("  \"saved_fraction\": {saved_fraction:.4},\n"));
@@ -264,6 +279,7 @@ fn main() {
         .push_f64("wall_time_parallel_sec", t_parallel)
         .push_f64("speedup", speedup)
         .push_bool("speedup_gated", speedup_gated)
+        .push_str("gate_skipped", gate_skipped.unwrap_or("none"))
         .push_int("early_exit_budget", total_budget)
         .push_int("cycles_saved", total_saved)
         .push_f64("saved_fraction", saved_fraction)

@@ -21,7 +21,7 @@ struct SinkTransient {
 impl Probe for SinkTransient {
     fn event(&mut self, _ev: lip_obs::Event) {}
 
-    fn consume(&mut self, _cycle: u64, _ch: u32, _lane: u8) {
+    fn consume(&mut self, _cycle: u64, _ch: u32, _lane: u16) {
         self.informative = true;
     }
 

@@ -3,8 +3,9 @@
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the slice of criterion's API its benches use:
 //! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
-//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Bencher::iter`]
-//! and the `criterion_group!`/`criterion_main!` macros.
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::throughput`],
+//! [`BenchmarkId`], [`Bencher::iter`] and the
+//! `criterion_group!`/`criterion_main!` macros.
 //!
 //! Measurement model: every benchmark gets a fixed warm-up, then timed
 //! batches until a wall-clock budget is spent; the reported figure is
@@ -59,6 +60,16 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Work performed per iteration, for rate reporting — mirrors
+/// criterion's `Throughput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements (e.g. lane-cycles).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
 /// One measured benchmark: id and median nanoseconds per iteration.
 #[derive(Debug, Clone)]
 pub struct BenchResult {
@@ -68,6 +79,8 @@ pub struct BenchResult {
     pub median_ns: f64,
     /// Number of timed iterations behind the estimate.
     pub iterations: u64,
+    /// Declared per-iteration throughput, if the group set one.
+    pub throughput: Option<Throughput>,
 }
 
 /// Top-level driver handed to `criterion_group!` targets.
@@ -105,7 +118,7 @@ impl Criterion {
 
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into() }
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
     }
 
     /// Run a single benchmark outside any group.
@@ -116,7 +129,7 @@ impl Criterion {
         let id = id.into();
         let name = id.render("");
         let name = name.trim_start_matches('/').to_string();
-        self.run_one(name, f);
+        self.run_one(name, None, f);
         self
     }
 
@@ -125,7 +138,7 @@ impl Criterion {
         std::mem::take(&mut self.results)
     }
 
-    fn run_one<F>(&mut self, name: String, mut f: F)
+    fn run_one<F>(&mut self, name: String, throughput: Option<Throughput>, mut f: F)
     where
         F: FnMut(&mut Bencher),
     {
@@ -143,8 +156,19 @@ impl Criterion {
         } else {
             samples[samples.len() / 2]
         };
-        println!("{name:<55} time: [{median_ns:>12.1} ns/iter]  ({} iters)", b.iterations);
-        self.results.push(BenchResult { name, median_ns, iterations: b.iterations });
+        let rate = throughput.map(|t| {
+            let (n, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            format!("  thrpt: [{:.3e} {unit}]", n as f64 / (median_ns / 1e9))
+        });
+        println!(
+            "{name:<55} time: [{median_ns:>12.1} ns/iter]{}  ({} iters)",
+            rate.unwrap_or_default(),
+            b.iterations
+        );
+        self.results.push(BenchResult { name, median_ns, iterations: b.iterations, throughput });
     }
 }
 
@@ -152,6 +176,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -166,7 +191,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let name = id.render(&self.name);
-        self.criterion.run_one(name, |b| f(b, input));
+        let throughput = self.throughput;
+        self.criterion.run_one(name, throughput, |b| f(b, input));
         self
     }
 
@@ -176,7 +202,16 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let name = id.into().render(&self.name);
-        self.criterion.run_one(name, |b| f(b));
+        let throughput = self.throughput;
+        self.criterion.run_one(name, throughput, |b| f(b));
+        self
+    }
+
+    /// Declare the work each iteration performs; subsequent benchmarks
+    /// in the group report an `elem/s` (or `B/s`) rate next to the
+    /// time, mirroring criterion's rate lines.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 

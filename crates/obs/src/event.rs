@@ -1,7 +1,8 @@
 //! Structured cycle events: the one vocabulary every engine speaks.
 //!
-//! The scalar skeleton, the 64-lane batch engine and the RTL-on-kernel
-//! path all describe protocol activity with the same six [`EventKind`]s.
+//! The scalar skeleton, the many-lane batch engine and the
+//! RTL-on-kernel path all describe protocol activity with the same
+//! eight [`EventKind`]s.
 //! An [`Event`] stamps a kind with the cycle it happened in, the entity
 //! it happened to (a channel, shell or relay row — see the kind's
 //! documentation) and, for the batch engine, the lane it happened in.
@@ -35,6 +36,14 @@ pub enum EventKind {
     RelayFill,
     /// A relay station's occupancy decreased. `entity` = relay row.
     RelayDrain,
+    /// A channel's settled valid bit was low this cycle — it carried a
+    /// void token. `entity` = channel id. Streamed since schema
+    /// version 2 so post-hoc replay blame matches live blame.
+    ChannelVoid,
+    /// A sink consumed an informative token. `entity` = the sink's
+    /// input channel id. Streamed since schema version 2 (the
+    /// throughput numerator, previously counter-only).
+    Consume,
 }
 
 impl EventKind {
@@ -48,6 +57,8 @@ impl EventKind {
             EventKind::VoidDiscard => "void_discard",
             EventKind::RelayFill => "relay_fill",
             EventKind::RelayDrain => "relay_drain",
+            EventKind::ChannelVoid => "channel_void",
+            EventKind::Consume => "consume",
         }
     }
 }
@@ -61,7 +72,8 @@ impl fmt::Display for EventKind {
 /// One cycle event: at `cycle`, `kind` happened to `entity` in `lane`.
 ///
 /// Scalar engines always report lane 0; the batch engine reports the
-/// lane the event occurred in (0..64).
+/// lane the event occurred in (`0..lanes`, up to 1024 with the widest
+/// lane word).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// Cycle the event occurred in (pre-clock-edge numbering — the same
@@ -71,14 +83,15 @@ pub struct Event {
     pub kind: EventKind,
     /// Which channel / shell / relay it happened to (see [`EventKind`]).
     pub entity: u32,
-    /// Which batch lane it happened in (0 for scalar engines).
-    pub lane: u8,
+    /// Which batch lane it happened in (0 for scalar engines; `u16`
+    /// because the widest batch engine runs 1024 lanes).
+    pub lane: u16,
 }
 
 impl Event {
     /// Construct an event.
     #[must_use]
-    pub fn new(cycle: u64, kind: EventKind, entity: u32, lane: u8) -> Self {
+    pub fn new(cycle: u64, kind: EventKind, entity: u32, lane: u16) -> Self {
         Event {
             cycle,
             kind,
@@ -133,6 +146,8 @@ mod tests {
             EventKind::VoidDiscard,
             EventKind::RelayFill,
             EventKind::RelayDrain,
+            EventKind::ChannelVoid,
+            EventKind::Consume,
         ];
         for (i, a) in kinds.iter().enumerate() {
             for b in &kinds[i + 1..] {

@@ -7,16 +7,19 @@
 //! *seeing* protocol activity: where stop bits originate, where void
 //! tokens enter and get discarded, how relay-station occupancy evolves.
 //! This crate is the one observability seam shared by every engine in
-//! the workspace (the scalar skeleton interpreter, the 64-lane batch
+//! the workspace (the scalar skeleton interpreter, the many-lane batch
 //! engine, and the RTL-on-kernel path):
 //!
 //! * [`Probe`] — the instrumentation trait engines call from their
 //!   settle/clock loops. [`NullProbe`] has `ENABLED = false` and
 //!   monomorphizes to nothing: unprobed simulation compiles to exactly
-//!   the code it was before this crate existed.
-//! * [`Event`] / [`EventKind`] — the six-kind structured event
+//!   the code it was before this crate existed. Mask hooks carry lane
+//!   words as `&[u64]` slices, so probes observe any lane width (64 up
+//!   to 1024 lanes) through one signature.
+//! * [`Event`] / [`EventKind`] — the eight-kind structured event
 //!   vocabulary (`fire`, `stall`, `void_in`, `void_discard`,
-//!   `relay_fill`, `relay_drain`), streamed through [`EventSink`]s: an
+//!   `relay_fill`, `relay_drain`, `channel_void`, `consume`),
+//!   streamed through [`EventSink`]s: an
 //!   in-memory [`RingBufferSink`], a newline-delimited-JSON
 //!   [`JsonlSink`], or a [`TraceSink`] rendering onto the kernel's VCD
 //!   [`Trace`](lip_kernel::Trace).
@@ -49,7 +52,10 @@ pub mod trace_export;
 
 pub use event::{Event, EventKind};
 pub use metrics::{MetricsRegistry, Topology};
-pub use probe::{for_each_lane, EventStreamProbe, NullProbe, Probe, Tee};
+pub use probe::{
+    for_each_lane, for_each_lane_word, mask_count, mask_lane, EventStreamProbe, NullProbe, Probe,
+    Tee,
+};
 pub use profile::{
     BlameEdge, BlameEntry, BlameReport, CausalProfiler, ChannelGraph, Entity, Histogram,
     PairLatency, StallCause, BLAME_SCHEMA_VERSION,

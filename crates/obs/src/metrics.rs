@@ -12,10 +12,11 @@
 //!
 //! The registry aggregates over lanes: counters sum events from all
 //! lanes (a scalar run only ever reports lane 0). The `*_mask` hooks are
-//! overridden with popcounts, so 64-lane counting costs one word op.
+//! overridden with popcounts, so counting a lane word costs one word op
+//! per 64 lanes regardless of width.
 
 use crate::event::Event;
-use crate::probe::{for_each_lane, Probe};
+use crate::probe::{for_each_lane_word, mask_count, Probe};
 
 /// The shape of the observed system: how many channels, shells and
 /// relays there are, and each relay's capacity (histogram range).
@@ -88,10 +89,11 @@ impl MetricsRegistry {
     ///
     /// # Panics
     ///
-    /// Panics if `lanes` is 0 or greater than 64.
+    /// Panics if `lanes` is 0 or greater than 1024 (the widest lane
+    /// word).
     #[must_use]
     pub fn with_lanes(topo: Topology, lanes: u32) -> Self {
-        assert!((1..=64).contains(&lanes), "lanes must be in 1..=64");
+        assert!((1..=1024).contains(&lanes), "lanes must be in 1..=1024");
         let nch = topo.channels as usize;
         let nsh = topo.shells as usize;
         let nre = topo.relays();
@@ -266,7 +268,7 @@ impl MetricsRegistry {
     }
 
     #[inline]
-    fn occ_slot(&mut self, relay: u32, lane: u8) -> &mut u32 {
+    fn occ_slot(&mut self, relay: u32, lane: u16) -> &mut u32 {
         &mut self.cur_occ[relay as usize * self.lanes as usize + lane as usize]
     }
 }
@@ -289,16 +291,18 @@ impl Probe for MetricsRegistry {
                 let slot = self.occ_slot(ev.entity, ev.lane);
                 *slot = slot.saturating_sub(1);
             }
+            K::ChannelVoid => self.voids[ev.entity as usize] += 1,
+            K::Consume => self.consumed[ev.entity as usize] += 1,
         }
     }
 
     #[inline]
-    fn channel_void(&mut self, _cycle: u64, ch: u32, _lane: u8) {
+    fn channel_void(&mut self, _cycle: u64, ch: u32, _lane: u16) {
         self.voids[ch as usize] += 1;
     }
 
     #[inline]
-    fn consume(&mut self, _cycle: u64, ch: u32, _lane: u8) {
+    fn consume(&mut self, _cycle: u64, ch: u32, _lane: u16) {
         self.consumed[ch as usize] += 1;
     }
 
@@ -318,45 +322,45 @@ impl Probe for MetricsRegistry {
     // hooks still need per-lane decomposition for the occupancy model.
 
     #[inline]
-    fn fire_mask(&mut self, _cycle: u64, shell: u32, mask: u64) {
-        self.fires[shell as usize] += u64::from(mask.count_ones());
+    fn fire_mask(&mut self, _cycle: u64, shell: u32, masks: &[u64]) {
+        self.fires[shell as usize] += mask_count(masks);
     }
 
     #[inline]
-    fn stall_mask(&mut self, _cycle: u64, ch: u32, mask: u64) {
-        self.stalls[ch as usize] += u64::from(mask.count_ones());
+    fn stall_mask(&mut self, _cycle: u64, ch: u32, masks: &[u64]) {
+        self.stalls[ch as usize] += mask_count(masks);
     }
 
     #[inline]
-    fn channel_void_mask(&mut self, _cycle: u64, ch: u32, mask: u64) {
-        self.voids[ch as usize] += u64::from(mask.count_ones());
+    fn channel_void_mask(&mut self, _cycle: u64, ch: u32, masks: &[u64]) {
+        self.voids[ch as usize] += mask_count(masks);
     }
 
     #[inline]
-    fn consume_mask(&mut self, _cycle: u64, ch: u32, mask: u64) {
-        self.consumed[ch as usize] += u64::from(mask.count_ones());
+    fn consume_mask(&mut self, _cycle: u64, ch: u32, masks: &[u64]) {
+        self.consumed[ch as usize] += mask_count(masks);
     }
 
     #[inline]
-    fn void_in_mask(&mut self, _cycle: u64, ch: u32, mask: u64) {
-        self.void_ins[ch as usize] += u64::from(mask.count_ones());
+    fn void_in_mask(&mut self, _cycle: u64, ch: u32, masks: &[u64]) {
+        self.void_ins[ch as usize] += mask_count(masks);
     }
 
     #[inline]
-    fn void_discard_mask(&mut self, _cycle: u64, ch: u32, mask: u64) {
-        self.stall_discards[ch as usize] += u64::from(mask.count_ones());
+    fn void_discard_mask(&mut self, _cycle: u64, ch: u32, masks: &[u64]) {
+        self.stall_discards[ch as usize] += mask_count(masks);
     }
 
     #[inline]
-    fn relay_fill_mask(&mut self, _cycle: u64, relay: u32, mask: u64) {
-        self.relay_fills[relay as usize] += u64::from(mask.count_ones());
-        for_each_lane(mask, |lane| *self.occ_slot(relay, lane) += 1);
+    fn relay_fill_mask(&mut self, _cycle: u64, relay: u32, masks: &[u64]) {
+        self.relay_fills[relay as usize] += mask_count(masks);
+        for_each_lane_word(masks, |lane| *self.occ_slot(relay, lane) += 1);
     }
 
     #[inline]
-    fn relay_drain_mask(&mut self, _cycle: u64, relay: u32, mask: u64) {
-        self.relay_drains[relay as usize] += u64::from(mask.count_ones());
-        for_each_lane(mask, |lane| {
+    fn relay_drain_mask(&mut self, _cycle: u64, relay: u32, masks: &[u64]) {
+        self.relay_drains[relay as usize] += mask_count(masks);
+        for_each_lane_word(masks, |lane| {
             let slot = self.occ_slot(relay, lane);
             *slot = slot.saturating_sub(1);
         });
@@ -400,12 +404,25 @@ mod tests {
     #[test]
     fn mask_hooks_count_lanes() {
         let mut m = MetricsRegistry::with_lanes(topo(), 64);
-        m.fire_mask(0, 0, 0xFF);
-        m.stall_mask(0, 2, !0);
-        m.consume_mask(0, 1, 0b111);
+        m.fire_mask(0, 0, &[0xFF]);
+        m.stall_mask(0, 2, &[!0]);
+        m.consume_mask(0, 1, &[0b111]);
         assert_eq!(m.fires(0), 8);
         assert_eq!(m.stalls(2), 64);
         assert_eq!(m.consumed(1), 3);
+    }
+
+    #[test]
+    fn multi_word_mask_hooks_count_all_words() {
+        let mut m = MetricsRegistry::with_lanes(topo(), 256);
+        m.fire_mask(0, 1, &[!0, 0, 0b11, 1 << 63]);
+        m.relay_fill_mask(0, 1, &[0, 0, 0, 1 << 10]);
+        m.end_cycle(0);
+        assert_eq!(m.fires(1), 64 + 2 + 1);
+        assert_eq!(m.relay_traffic(1), (1, 0));
+        // Lane 202 (word 3, bit 10) is at occupancy 1; the other 255
+        // lanes are empty.
+        assert_eq!(m.occupancy_histogram(1), &[255, 1]);
     }
 
     #[test]

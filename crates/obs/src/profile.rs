@@ -51,7 +51,7 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 use crate::event::{Event, EventKind};
-use crate::probe::Probe;
+use crate::probe::{mask_lane, Probe};
 use crate::telemetry::escape;
 
 /// Version of the [`BlameReport`] JSON layout. Bump on breaking
@@ -387,7 +387,7 @@ pub struct BlameReport {
     /// Cycles observed (after any [`CausalProfiler::rebase`]).
     pub cycles: u64,
     /// The batch lane observed (0 for scalar engines).
-    pub lane: u8,
+    pub lane: u16,
     /// Void tokens consumed by sinks — the lost cycles.
     pub lost_cycles: u64,
     /// Informative tokens consumed by sinks.
@@ -595,11 +595,11 @@ pub struct StallSpan {
 /// Observes exactly one lane: lane 0 by default (the scalar engines),
 /// or any batch lane via [`CausalProfiler::for_lane`] — the `*_mask`
 /// hooks filter the configured lane's bit, so attaching the profiler to
-/// a 64-lane run profiles that lane alone.
+/// a many-lane run profiles that lane alone.
 #[derive(Debug, Clone)]
 pub struct CausalProfiler {
     graph: ChannelGraph,
-    lane: u8,
+    lane: u16,
     cycles: u64,
     // Per-cycle scratch, cleared at end_cycle.
     cur_stall: Vec<bool>,
@@ -638,10 +638,10 @@ impl CausalProfiler {
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= 64`.
+    /// Panics if `lane >= 1024` (the widest lane word).
     #[must_use]
-    pub fn for_lane(graph: ChannelGraph, lane: u8) -> Self {
-        assert!(lane < 64, "lane must be in 0..64");
+    pub fn for_lane(graph: ChannelGraph, lane: u16) -> Self {
+        assert!(lane < 1024, "lane must be in 0..1024");
         let nch = graph.channel_count();
         let nsh = graph.shell_count();
         let nre = graph.relay_count();
@@ -892,17 +892,14 @@ impl CausalProfiler {
             graph: self.graph.clone(),
         }
     }
-
-    #[inline]
-    fn lane_bit(&self) -> u64 {
-        1u64 << self.lane
-    }
 }
 
 impl Probe for CausalProfiler {
     /// Replayed event streams route to the same handlers as direct
-    /// hooks (streams carry no `channel_void`/`consume` information, so
-    /// void-side attribution needs a live engine attachment).
+    /// hooks. Since schema version 2 the stream carries
+    /// `channel_void`/`consume` records, so a recorded JSONL stream
+    /// replays into the same blame a live engine attachment produces —
+    /// void-side attribution included.
     fn event(&mut self, ev: Event) {
         match ev.kind {
             EventKind::Fire => self.fire(ev.cycle, ev.entity, ev.lane),
@@ -910,33 +907,35 @@ impl Probe for CausalProfiler {
             EventKind::VoidIn => self.void_in(ev.cycle, ev.entity, ev.lane),
             EventKind::RelayFill => self.relay_fill(ev.cycle, ev.entity, ev.lane),
             EventKind::RelayDrain => self.relay_drain(ev.cycle, ev.entity, ev.lane),
+            EventKind::ChannelVoid => self.channel_void(ev.cycle, ev.entity, ev.lane),
+            EventKind::Consume => self.consume(ev.cycle, ev.entity, ev.lane),
             EventKind::VoidDiscard => {}
         }
     }
 
     #[inline]
-    fn fire(&mut self, _cycle: u64, shell: u32, lane: u8) {
+    fn fire(&mut self, _cycle: u64, shell: u32, lane: u16) {
         if lane == self.lane {
             self.cur_fired[shell as usize] = true;
         }
     }
 
     #[inline]
-    fn stall(&mut self, _cycle: u64, ch: u32, lane: u8) {
+    fn stall(&mut self, _cycle: u64, ch: u32, lane: u16) {
         if lane == self.lane {
             self.cur_stall[ch as usize] = true;
         }
     }
 
     #[inline]
-    fn channel_void(&mut self, _cycle: u64, ch: u32, lane: u8) {
+    fn channel_void(&mut self, _cycle: u64, ch: u32, lane: u16) {
         if lane == self.lane {
             self.cur_void[ch as usize] = true;
         }
     }
 
     #[inline]
-    fn consume(&mut self, cycle: u64, ch: u32, lane: u8) {
+    fn consume(&mut self, cycle: u64, ch: u32, lane: u16) {
         if lane == self.lane {
             self.consumed += 1;
             if let Entity::Sink(j) = self.graph.consumer[ch as usize] {
@@ -946,14 +945,14 @@ impl Probe for CausalProfiler {
     }
 
     #[inline]
-    fn void_in(&mut self, _cycle: u64, _ch: u32, lane: u8) {
+    fn void_in(&mut self, _cycle: u64, _ch: u32, lane: u16) {
         if lane == self.lane {
             self.lost_cycles += 1;
         }
     }
 
     #[inline]
-    fn relay_fill(&mut self, cycle: u64, relay: u32, lane: u8) {
+    fn relay_fill(&mut self, cycle: u64, relay: u32, lane: u16) {
         if lane == self.lane {
             self.relay_queue[relay as usize].push_back(cycle);
             self.cur_occ[relay as usize] += 1;
@@ -961,7 +960,7 @@ impl Probe for CausalProfiler {
     }
 
     #[inline]
-    fn relay_drain(&mut self, cycle: u64, relay: u32, lane: u8) {
+    fn relay_drain(&mut self, cycle: u64, relay: u32, lane: u16) {
         if lane == self.lane {
             if let Some(enter) = self.relay_queue[relay as usize].pop_front() {
                 self.relay_residency[relay as usize].record(cycle.saturating_sub(enter));
@@ -1038,53 +1037,53 @@ impl Probe for CausalProfiler {
     }
 
     #[inline]
-    fn fire_mask(&mut self, cycle: u64, shell: u32, mask: u64) {
-        if mask & self.lane_bit() != 0 {
+    fn fire_mask(&mut self, cycle: u64, shell: u32, masks: &[u64]) {
+        if mask_lane(masks, self.lane) {
             self.fire(cycle, shell, self.lane);
         }
     }
 
     #[inline]
-    fn stall_mask(&mut self, cycle: u64, ch: u32, mask: u64) {
-        if mask & self.lane_bit() != 0 {
+    fn stall_mask(&mut self, cycle: u64, ch: u32, masks: &[u64]) {
+        if mask_lane(masks, self.lane) {
             self.stall(cycle, ch, self.lane);
         }
     }
 
     #[inline]
-    fn channel_void_mask(&mut self, cycle: u64, ch: u32, mask: u64) {
-        if mask & self.lane_bit() != 0 {
+    fn channel_void_mask(&mut self, cycle: u64, ch: u32, masks: &[u64]) {
+        if mask_lane(masks, self.lane) {
             self.channel_void(cycle, ch, self.lane);
         }
     }
 
     #[inline]
-    fn consume_mask(&mut self, cycle: u64, ch: u32, mask: u64) {
-        if mask & self.lane_bit() != 0 {
+    fn consume_mask(&mut self, cycle: u64, ch: u32, masks: &[u64]) {
+        if mask_lane(masks, self.lane) {
             self.consume(cycle, ch, self.lane);
         }
     }
 
     #[inline]
-    fn void_in_mask(&mut self, cycle: u64, ch: u32, mask: u64) {
-        if mask & self.lane_bit() != 0 {
+    fn void_in_mask(&mut self, cycle: u64, ch: u32, masks: &[u64]) {
+        if mask_lane(masks, self.lane) {
             self.void_in(cycle, ch, self.lane);
         }
     }
 
     #[inline]
-    fn void_discard_mask(&mut self, _cycle: u64, _ch: u32, _mask: u64) {}
+    fn void_discard_mask(&mut self, _cycle: u64, _ch: u32, _masks: &[u64]) {}
 
     #[inline]
-    fn relay_fill_mask(&mut self, cycle: u64, relay: u32, mask: u64) {
-        if mask & self.lane_bit() != 0 {
+    fn relay_fill_mask(&mut self, cycle: u64, relay: u32, masks: &[u64]) {
+        if mask_lane(masks, self.lane) {
             self.relay_fill(cycle, relay, self.lane);
         }
     }
 
     #[inline]
-    fn relay_drain_mask(&mut self, cycle: u64, relay: u32, mask: u64) {
-        if mask & self.lane_bit() != 0 {
+    fn relay_drain_mask(&mut self, cycle: u64, relay: u32, masks: &[u64]) {
+        if mask_lane(masks, self.lane) {
             self.relay_drain(cycle, relay, self.lane);
         }
     }
@@ -1172,12 +1171,44 @@ mod tests {
     fn other_lanes_are_filtered() {
         let g = pipeline_graph();
         let mut p = CausalProfiler::for_lane(g, 3);
-        p.stall_mask(0, 1, 0b0001); // lane 0 only: ignored
-        p.stall_mask(0, 0, 0b1000); // lane 3: observed
+        p.stall_mask(0, 1, &[0b0001]); // lane 0 only: ignored
+        p.stall_mask(0, 0, &[0b1000]); // lane 3: observed
         p.end_cycle(0);
         let r = p.report();
         assert_eq!(r.channel_stalls, vec![1, 0]);
         assert_eq!(r.lane, 3);
+    }
+
+    #[test]
+    fn high_lanes_filter_across_words() {
+        let g = pipeline_graph();
+        // Lane 130 lives in word 2, bit 2 of a multi-word mask.
+        let mut p = CausalProfiler::for_lane(g, 130);
+        p.stall_mask(0, 0, &[!0, !0, 0b001, 0]); // bit 0 of word 2: lane 128
+        p.stall_mask(0, 1, &[0, 0, 0b100, 0]); // bit 2 of word 2: lane 130
+        p.end_cycle(0);
+        let r = p.report();
+        assert_eq!(r.channel_stalls, vec![0, 1]);
+        assert_eq!(r.lane, 130);
+    }
+
+    #[test]
+    fn replayed_stream_reproduces_void_side_blame() {
+        // Schema v2: channel_void/consume arrive as events, so feeding
+        // a recorded stream through `event()` must match live hooks.
+        let mut live = CausalProfiler::new(pipeline_graph());
+        live.channel_void(0, 0, 0);
+        live.consume(0, 1, 0);
+        live.end_cycle(0);
+        let mut replay = CausalProfiler::new(pipeline_graph());
+        replay.event(Event::new(0, EventKind::ChannelVoid, 0, 0));
+        replay.event(Event::new(0, EventKind::Consume, 1, 0));
+        replay.end_cycle(0);
+        let (a, b) = (live.report(), replay.report());
+        assert_eq!(a.channel_voids, b.channel_voids);
+        assert_eq!(a.consumed, b.consumed);
+        assert_eq!(a.upstream_void, b.upstream_void);
+        assert_eq!(a.to_json(), b.to_json());
     }
 
     #[test]

@@ -169,11 +169,12 @@ impl<W: Write> EventSink for JsonlSink<W> {
 ///
 /// The sink elaborates a wires-only [`Circuit`] from the observed
 /// [`Topology`] — per channel `chN_stall` / `chN_void_in` /
-/// `chN_void_discard` pulse bits, per shell `shellN_fire` pulse bits,
-/// per relay an occupancy level `relayN_occ` — and records one trace
-/// entry per `end_cycle`. Pulse wires read 1 exactly in the cycles the
-/// event occurred; occupancy wires integrate fill/drain events. Other
-/// lanes are ignored: a multi-lane run traces its lane-0 "scalar twin".
+/// `chN_void_discard` / `chN_void` / `chN_consume` pulse bits, per
+/// shell `shellN_fire` pulse bits, per relay an occupancy level
+/// `relayN_occ` — and records one trace entry per `end_cycle`. Pulse
+/// wires read 1 exactly in the cycles the event occurred; occupancy
+/// wires integrate fill/drain events. Other lanes are ignored: a
+/// multi-lane run traces its lane-0 "scalar twin".
 #[derive(Debug)]
 pub struct TraceSink {
     circuit: Circuit,
@@ -184,6 +185,8 @@ pub struct TraceSink {
     stall: Vec<SignalId>,
     void_in: Vec<SignalId>,
     void_discard: Vec<SignalId>,
+    void: Vec<SignalId>,
+    consume: Vec<SignalId>,
     fire: Vec<SignalId>,
     occ: Vec<SignalId>,
 }
@@ -207,10 +210,14 @@ impl TraceSink {
         let mut stall = Vec::new();
         let mut void_in = Vec::new();
         let mut void_discard = Vec::new();
+        let mut void = Vec::new();
+        let mut consume = Vec::new();
         for ch in 0..topo.channels {
             stall.push(pulse(&mut b, format!("ch{ch}_stall")));
             void_in.push(pulse(&mut b, format!("ch{ch}_void_in")));
             void_discard.push(pulse(&mut b, format!("ch{ch}_void_discard")));
+            void.push(pulse(&mut b, format!("ch{ch}_void")));
+            consume.push(pulse(&mut b, format!("ch{ch}_consume")));
         }
         let mut fire = Vec::new();
         for sh in 0..topo.shells {
@@ -231,6 +238,8 @@ impl TraceSink {
             stall,
             void_in,
             void_discard,
+            void,
+            consume,
             fire,
             occ,
         }
@@ -266,6 +275,8 @@ impl EventSink for TraceSink {
             EventKind::Stall => self.values[self.stall[entity].index()] = 1,
             EventKind::VoidIn => self.values[self.void_in[entity].index()] = 1,
             EventKind::VoidDiscard => self.values[self.void_discard[entity].index()] = 1,
+            EventKind::ChannelVoid => self.values[self.void[entity].index()] = 1,
+            EventKind::Consume => self.values[self.consume[entity].index()] = 1,
             EventKind::RelayFill => {
                 let v = &mut self.values[self.occ[entity].index()];
                 *v = (*v + 1).min(255);
@@ -429,6 +440,27 @@ mod tests {
         let vcd = s.to_vcd();
         assert!(vcd.contains("shell0_fire"));
         assert!(vcd.contains("relay0_occ"));
+    }
+
+    #[test]
+    fn trace_sink_pulses_void_and_consume_wires() {
+        let topo = Topology {
+            channels: 2,
+            shells: 1,
+            relay_capacities: vec![],
+        };
+        let mut s = TraceSink::new(&topo);
+        s.accept(&ev(0, EventKind::ChannelVoid, 1));
+        s.accept(&ev(0, EventKind::Consume, 0));
+        s.end_cycle(0);
+        s.end_cycle(1);
+        assert_eq!(s.trace().value_at(s.void[1], 0), Some(1));
+        assert_eq!(s.trace().value_at(s.void[1], 1), Some(0));
+        assert_eq!(s.trace().value_at(s.consume[0], 0), Some(1));
+        assert_eq!(s.trace().value_at(s.consume[0], 1), Some(0));
+        let vcd = s.to_vcd();
+        assert!(vcd.contains("ch1_void"));
+        assert!(vcd.contains("ch0_consume"));
     }
 
     #[test]

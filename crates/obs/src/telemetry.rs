@@ -18,7 +18,11 @@ use std::path::{Path, PathBuf};
 
 /// Version of the `Report` JSON layout (and of the `schema_version`
 /// field in `BENCH_skeleton.json`). Bump on breaking changes.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version 2: the JSONL cycle-event stream gained `channel_void` and
+/// `consume` records (post-hoc replay blame now equals live blame) and
+/// batch reports may carry per-width `lane_widths` arrays.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Rolling per-channel throughput: informative tokens consumed over the
 /// last `window` cycles.
@@ -399,7 +403,7 @@ mod tests {
             .push_bool("ok", true)
             .push_raw("nested", "{\"x\":1}");
         let j = r.to_json();
-        assert!(j.starts_with("{\n  \"schema_version\": 1,\n  \"experiment\": \"unit_test\""));
+        assert!(j.starts_with("{\n  \"schema_version\": 2,\n  \"experiment\": \"unit_test\""));
         assert!(j.contains("\"throughput\": {\"num\":4,\"den\":5,\"value\":0.8}"));
         assert!(j.contains("\"note\": \"a \\\"quoted\\\" line\""));
         let cy = j.find("\"cycles\"").unwrap();
@@ -433,7 +437,7 @@ mod tests {
         r.push_int("n", 1);
         let path = r.write_to(&dir).unwrap();
         let body = fs::read_to_string(&path).unwrap();
-        assert!(body.contains("\"schema_version\": 1"));
+        assert!(body.contains("\"schema_version\": 2"));
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -1,14 +1,18 @@
-//! Bit-parallel batched skeleton simulation: 64 independent scenarios
-//! per step.
+//! Bit-parallel batched skeleton simulation: up to 1024 independent
+//! scenarios per step.
 //!
 //! The skeleton carries one bit of state per signal (validities,
 //! occupancies) plus small counters — which makes it a perfect fit for
-//! SWAR evaluation: a [`BatchSkeleton`] packs the valid/stop state of 64
-//! *independent* scenarios (lanes) into `u64` words, one bit per lane,
-//! and settles all 64 per pass using pure bitwise transfer functions.
-//! Every lane is bit-identical to a scalar
-//! [`SkeletonSystem`](crate::SkeletonSystem) run of the same scenario (a
-//! property test asserts this over the topology corpus).
+//! SWAR evaluation: a [`BatchEngine`] packs the valid/stop state of
+//! `W::LANES` *independent* scenarios (lanes) into [`LaneWord`]s, one
+//! bit per lane, and settles all of them per pass using pure bitwise
+//! transfer functions. [`BatchSkeleton`] is the 64-lane `u64`
+//! instantiation — exactly the engine this module always had — and the
+//! wider shapes (`[u64; 2]` … `[u64; 16]`, 128–1024 lanes) run the same
+//! code over multi-word lane words. Every lane of every width is
+//! bit-identical to a scalar [`SkeletonSystem`](crate::SkeletonSystem)
+//! run of the same scenario (property tests assert this over the
+//! topology corpus and across widths).
 //!
 //! Lanes may differ only in their *environment* — source void patterns,
 //! sink stop patterns, or externally driven stall schedules — the
@@ -17,6 +21,12 @@
 //! the paper's experiments: sweep many stall probabilities / schedules
 //! over one topology and measure sustained throughput, or universally
 //! quantify over environments when hunting deadlocks.
+//!
+//! The settle phase runs on the program's streaming kernel (see
+//! [`crate::stream`]): the engine's entire bit-state lives in one flat
+//! cell arena and each settle is a branch-free pass over a precompiled
+//! op tape — no per-component dispatch, and the homogeneous inner loops
+//! auto-vectorize across the `u64` sub-words of wide lane words.
 //!
 //! Non-boolean state is bit-sliced: FIFO occupancies live as little-
 //! endian bit-planes with masked ripple-carry increment/decrement, and
@@ -30,10 +40,17 @@ use lip_core::Pattern;
 use lip_graph::{Netlist, NetlistError, NodeId};
 use lip_obs::{NullProbe, Probe};
 
-use crate::program::{CompSlot, SettleProgram};
+use crate::lane::LaneWord;
+use crate::program::{lcm, CompSlot, SettleProgram};
+use crate::stream::CELL_ONES;
 
-/// Number of scenarios a [`BatchSkeleton`] advances per step.
+/// Number of scenarios the default-width [`BatchSkeleton`] advances per
+/// step (wider engines advance [`LaneWord::LANES`]).
 pub const LANES: usize = 64;
+
+/// Environment tables longer than this fall back to per-lane pattern
+/// evaluation instead of a precomputed word table.
+const MAX_TABLE_PERIOD: u64 = 16_384;
 
 /// Per-lane unsigned counters stored as little-endian bit-planes.
 ///
@@ -41,23 +58,29 @@ pub const LANES: usize = 64;
 /// subset of lanes is a masked ripple-carry: O(live planes) word ops,
 /// and the carry chain dies out after the first zero plane, so the
 /// amortised cost per increment is ~2 word ops.
-#[derive(Debug, Clone, Default)]
-struct LaneCounters {
-    planes: Vec<u64>,
+#[derive(Debug, Clone)]
+struct LaneCounters<W> {
+    planes: Vec<W>,
 }
 
-impl LaneCounters {
+impl<W> Default for LaneCounters<W> {
+    fn default() -> Self {
+        LaneCounters { planes: Vec::new() }
+    }
+}
+
+impl<W: LaneWord> LaneCounters<W> {
     /// Add 1 to every lane set in `mask`.
-    fn add(&mut self, mask: u64) {
+    fn add(&mut self, mask: W) {
         let mut carry = mask;
         let mut b = 0;
-        while carry != 0 {
+        while carry.any() {
             if b == self.planes.len() {
-                self.planes.push(0);
+                self.planes.push(W::ZERO);
             }
             let p = self.planes[b];
-            self.planes[b] = p ^ carry;
-            carry &= p;
+            self.planes[b] = p.xor(carry);
+            carry = carry.and(p);
             b += 1;
         }
     }
@@ -66,13 +89,13 @@ impl LaneCounters {
     fn get(&self, lane: usize) -> u64 {
         let mut v = 0u64;
         for (b, &p) in self.planes.iter().enumerate() {
-            v |= ((p >> lane) & 1) << b;
+            v |= u64::from(p.lane(lane)) << b;
         }
         v
     }
 }
 
-/// One row of 64 per-lane environment patterns (for a single source or
+/// One row of per-lane environment patterns (for a single source or
 /// sink), with a fast path when every lane shares the same pattern.
 #[derive(Debug, Clone)]
 struct PatternRow {
@@ -82,9 +105,9 @@ struct PatternRow {
 }
 
 impl PatternRow {
-    fn broadcast(p: &Pattern) -> Self {
+    fn broadcast(p: &Pattern, width: usize) -> Self {
         PatternRow {
-            lanes: vec![p.clone(); LANES],
+            lanes: vec![p.clone(); width],
             uniform: true,
         }
     }
@@ -94,49 +117,65 @@ impl PatternRow {
         self.uniform = false;
     }
 
-    /// Word with bit `l` set iff lane `l`'s pattern is high at `cycle`.
-    fn word(&self, cycle: u64) -> u64 {
+    /// Word with lane `l` set iff lane `l`'s pattern is high at `cycle`.
+    fn word<W: LaneWord>(&self, cycle: u64) -> W {
         if self.uniform {
-            if self.lanes[0].at(cycle) {
-                !0
-            } else {
-                0
-            }
+            W::splat(self.lanes[0].at(cycle))
         } else {
-            let mut w = 0u64;
-            for (l, p) in self.lanes.iter().enumerate() {
-                if p.at(cycle) {
-                    w |= 1 << l;
-                }
-            }
-            w
+            W::from_fn(|l| self.lanes[l].at(cycle))
         }
     }
 }
 
-/// Per-lane environment for a [`BatchSkeleton`]: one void pattern per
+/// Per-lane environment for a [`BatchEngine`]: one void pattern per
 /// source per lane, one stop pattern per sink per lane.
 ///
-/// Start from [`LanePatterns::broadcast`] (every lane gets the
-/// netlist's own patterns) and specialise individual lanes with
+/// Start from [`LanePatterns::broadcast`] (64 lanes, every lane running
+/// the netlist's own patterns) or
+/// [`broadcast_wide`](LanePatterns::broadcast_wide) for another width,
+/// then specialise individual lanes with
 /// [`set_source`](LanePatterns::set_source) /
 /// [`set_sink`](LanePatterns::set_sink) — the natural shape for a
-/// 64-point parameter sweep.
+/// many-point parameter sweep.
 #[derive(Debug, Clone)]
 pub struct LanePatterns {
     src: Vec<PatternRow>,
     snk: Vec<PatternRow>,
+    width: usize,
 }
 
 impl LanePatterns {
-    /// Every lane runs the environment compiled into `prog` (the
-    /// netlist's own patterns).
+    /// Every one of 64 lanes runs the environment compiled into `prog`
+    /// (the netlist's own patterns).
     #[must_use]
     pub fn broadcast(prog: &SettleProgram) -> Self {
+        Self::broadcast_wide(prog, LANES)
+    }
+
+    /// Every one of `width` lanes runs the environment compiled into
+    /// `prog`. `width` must match the engine's [`LaneWord::LANES`] when
+    /// the patterns are used.
+    #[must_use]
+    pub fn broadcast_wide(prog: &SettleProgram, width: usize) -> Self {
         LanePatterns {
-            src: prog.src_pattern.iter().map(PatternRow::broadcast).collect(),
-            snk: prog.snk_pattern.iter().map(PatternRow::broadcast).collect(),
+            src: prog
+                .src_pattern
+                .iter()
+                .map(|p| PatternRow::broadcast(p, width))
+                .collect(),
+            snk: prog
+                .snk_pattern
+                .iter()
+                .map(|p| PatternRow::broadcast(p, width))
+                .collect(),
+            width,
         }
+    }
+
+    /// Number of lanes these patterns drive.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
     }
 
     /// Number of sources per lane.
@@ -186,12 +225,86 @@ impl LanePatterns {
     }
 }
 
-/// 64 independent skeleton simulations advancing in lock-step, one bit
-/// per lane per signal.
+/// One compiled environment row: the cheapest faithful evaluation
+/// strategy for a [`PatternRow`] in the per-cycle hot loop.
+#[derive(Debug, Clone)]
+enum CompiledRow<W> {
+    /// All lanes share one pattern: one scalar `at()` per cycle, splat.
+    Uniform(Pattern),
+    /// All lanes periodic with a small joint period: precomputed word
+    /// table indexed by `cycle % len`.
+    Table(Vec<W>),
+    /// Mixed/aperiodic lanes: gather lane by lane.
+    PerLane(Vec<Pattern>),
+}
+
+impl<W: LaneWord> CompiledRow<W> {
+    fn compile(row: &PatternRow) -> Self {
+        if row.uniform {
+            return CompiledRow::Uniform(row.lanes[0].clone());
+        }
+        let mut period = 1u64;
+        for p in &row.lanes {
+            match p.period() {
+                Some(pp) => period = lcm(period, pp),
+                None => return CompiledRow::PerLane(row.lanes.clone()),
+            }
+            if period > MAX_TABLE_PERIOD {
+                return CompiledRow::PerLane(row.lanes.clone());
+            }
+        }
+        let words = (0..period)
+            .map(|c| W::from_fn(|l| row.lanes[l].at(c)))
+            .collect();
+        CompiledRow::Table(words)
+    }
+
+    fn word(&self, cycle: u64) -> W {
+        match self {
+            CompiledRow::Uniform(p) => W::splat(p.at(cycle)),
+            CompiledRow::Table(words) => {
+                let idx = cycle % words.len() as u64;
+                words[usize::try_from(idx).expect("table index fits usize")]
+            }
+            CompiledRow::PerLane(ps) => W::from_fn(|l| ps[l].at(cycle)),
+        }
+    }
+}
+
+/// [`LanePatterns`] compiled for the per-cycle hot loop: uniform rows
+/// splat one scalar evaluation, fully periodic rows become precomputed
+/// word tables, and only genuinely irregular rows pay the per-lane
+/// gather. Compile once per run ([`BatchEngine::run_patterns`] does),
+/// not per cycle.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledPatterns<W> {
+    src: Vec<CompiledRow<W>>,
+    snk: Vec<CompiledRow<W>>,
+    width: usize,
+}
+
+impl<W: LaneWord> CompiledPatterns<W> {
+    pub(crate) fn compile(pats: &LanePatterns) -> Self {
+        assert_eq!(
+            pats.width(),
+            W::LANES,
+            "pattern width must match the engine's lane count"
+        );
+        CompiledPatterns {
+            src: pats.src.iter().map(CompiledRow::compile).collect(),
+            snk: pats.snk.iter().map(CompiledRow::compile).collect(),
+            width: pats.width,
+        }
+    }
+}
+
+/// `W::LANES` independent skeleton simulations advancing in lock-step,
+/// one bit per lane per signal. See the [module docs](self); the
+/// 64-lane `u64` instantiation is [`BatchSkeleton`].
 ///
 /// # Example
 ///
-/// Sweep is the typical use: run the same netlist under 64 different
+/// Sweep is the typical use: run the same netlist under many different
 /// environments at once.
 ///
 /// ```
@@ -211,42 +324,35 @@ impl LanePatterns {
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct BatchSkeleton {
+pub struct BatchEngine<W: LaneWord> {
     prog: Arc<SettleProgram>,
-    /// Settled valid bits per channel (bit = lane).
-    fwd: Vec<u64>,
-    /// Settled stop bits per channel.
-    stop: Vec<u64>,
-    /// Validity currently offered by each source.
-    src_valid: Vec<u64>,
-    /// Output-register validity, flat by the program's shell CSR.
-    shell_out: Vec<u64>,
-    /// Input-buffer occupancy, flat by the program's shell CSR.
-    in_buf: Vec<u64>,
-    /// Per shell: fire condition of the last settle.
-    fire: Vec<u64>,
+    /// The streaming kernel's cell arena — all per-lane bit-state
+    /// (settled valids/stops, source offers, shell registers and
+    /// buffers, relay occupancies, FIFO bit-planes) lives here, laid out
+    /// per [`crate::stream::StreamKernel`].
+    arena: Vec<W>,
     /// Per shell: per-lane firing counters.
-    fires: Vec<LaneCounters>,
-    /// Full relay register validities.
-    full_main: Vec<u64>,
-    full_aux: Vec<u64>,
-    /// Half relay occupancy.
-    half_occ: Vec<u64>,
-    /// FIFO occupancies, bit-sliced: FIFO `i` owns planes
-    /// `fifo_planes[fifo_off[i]..fifo_off[i + 1]]` (little-endian).
-    fifo_off: Vec<u32>,
-    fifo_planes: Vec<u64>,
+    fires: Vec<LaneCounters<W>>,
     /// Per sink: per-lane informative / void token counters.
-    snk_valid: Vec<LaneCounters>,
-    snk_voids: Vec<LaneCounters>,
+    snk_valid: Vec<LaneCounters<W>>,
+    snk_voids: Vec<LaneCounters<W>>,
     /// Lanes in which any shell fired since the last
     /// [`reset_fired_mask`](Self::reset_fired_mask).
-    fired: u64,
+    fired: W,
     cycle: u64,
+    /// Reused environment-word buffers (sources / sinks), so pattern
+    /// stepping never allocates per cycle.
+    src_scratch: Vec<W>,
+    snk_scratch: Vec<W>,
 }
 
-impl BatchSkeleton {
-    /// Validate `netlist`, compile its settle program and reset all 64
+/// The 64-lane batch engine: [`BatchEngine`] over `u64` lane words.
+/// Compiles to exactly the code the dedicated 64-lane engine had before
+/// the width generalisation.
+pub type BatchSkeleton = BatchEngine<u64>;
+
+impl<W: LaneWord> BatchEngine<W> {
+    /// Validate `netlist`, compile its settle program and reset all
     /// lanes to the netlist's own initial state.
     ///
     /// # Errors
@@ -258,64 +364,60 @@ impl BatchSkeleton {
         )?)))
     }
 
-    /// All 64 lanes reset under the program's own environment patterns
+    /// All lanes reset under the program's own environment patterns
     /// (each source initially offers `!pattern.at(0)`, broadcast).
     #[must_use]
     pub fn from_program(prog: Arc<SettleProgram>) -> Self {
         let src_valid = prog
             .src_pattern
             .iter()
-            .map(|p| if p.at(0) { 0 } else { !0 })
+            .map(|p| W::splat(!p.at(0)))
             .collect();
         Self::with_initial(prog, src_valid)
     }
 
     /// Lanes reset under *per-lane* environments: each source initially
     /// offers `!pats.source_pattern(i, lane).at(0)` in its lane — the
-    /// batched equivalent of building 64 netlists with different
+    /// batched equivalent of building `W::LANES` netlists with different
     /// patterns and constructing a scalar skeleton for each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pats` was built for a different lane width.
     #[must_use]
     pub fn from_patterns(prog: Arc<SettleProgram>, pats: &LanePatterns) -> Self {
+        assert_eq!(
+            pats.width(),
+            W::LANES,
+            "pattern width must match the engine's lane count"
+        );
         let src_valid = (0..prog.src_pattern.len())
-            .map(|i| {
-                let mut w = 0u64;
-                for lane in 0..LANES {
-                    if !pats.source_pattern(i, lane).at(0) {
-                        w |= 1 << lane;
-                    }
-                }
-                w
-            })
+            .map(|i| W::from_fn(|lane| !pats.source_pattern(i, lane).at(0)))
             .collect();
         Self::with_initial(prog, src_valid)
     }
 
-    fn with_initial(prog: Arc<SettleProgram>, src_valid: Vec<u64>) -> Self {
-        let mut fifo_off = Vec::with_capacity(prog.fifo_cap.len() + 1);
-        let mut plane_words = 0u32;
-        fifo_off.push(plane_words);
-        for &cap in &prog.fifo_cap {
-            let bits = 64 - u64::from(cap).leading_zeros();
-            plane_words += bits.max(1);
-            fifo_off.push(plane_words);
+    fn with_initial(prog: Arc<SettleProgram>, src_valid: Vec<W>) -> Self {
+        let k = &prog.kernel;
+        let mut arena = vec![W::ZERO; k.cells];
+        arena[CELL_ONES as usize] = W::ONES;
+        for (i, v) in src_valid.into_iter().enumerate() {
+            arena[k.src_valid as usize + i] = v;
         }
-        BatchSkeleton {
-            fwd: vec![0; prog.n_channels],
-            stop: vec![0; prog.n_channels],
-            src_valid,
-            shell_out: vec![!0; prog.shell_out_ch.len()],
-            in_buf: vec![0; prog.shell_in_ch.len()],
-            fire: vec![0; prog.shell_buffered.len()],
+        // Shell output registers start valid (they hold the reset
+        // token), exactly as the scalar skeleton resets them.
+        for j in 0..prog.shell_out_ch.len() {
+            arena[k.shell_out as usize + j] = W::ONES;
+        }
+        BatchEngine {
+            arena,
             fires: vec![LaneCounters::default(); prog.shell_buffered.len()],
-            full_main: vec![0; prog.full_in_ch.len()],
-            full_aux: vec![0; prog.full_in_ch.len()],
-            half_occ: vec![0; prog.half_in_ch.len()],
-            fifo_planes: vec![0; plane_words as usize],
-            fifo_off,
             snk_valid: vec![LaneCounters::default(); prog.snk_in_ch.len()],
             snk_voids: vec![LaneCounters::default(); prog.snk_in_ch.len()],
-            fired: 0,
+            fired: W::ZERO,
             cycle: 0,
+            src_scratch: Vec::new(),
+            snk_scratch: Vec::new(),
             prog,
         }
     }
@@ -332,97 +434,56 @@ impl BatchSkeleton {
         self.cycle
     }
 
-    /// Settle all 64 lanes' valid/stop bits against this cycle's sink
-    /// stop words (`sink_stop[j]` bit `l` = lane `l`'s stop on sink
-    /// `j`). Probe hooks receive the word-wide `*_mask` form — one call
-    /// covers all 64 lanes — and are guarded by [`Probe::ENABLED`].
-    fn settle_probed<P: Probe>(&mut self, sink_stop: &[u64], probe: &mut P) {
-        let Self {
-            prog,
-            fwd,
-            stop,
-            src_valid,
-            shell_out,
-            in_buf,
-            fire,
-            full_main,
-            full_aux,
-            half_occ,
-            fifo_off,
-            fifo_planes,
-            cycle,
-            ..
-        } = self;
-        let p: &SettleProgram = prog;
+    /// Lanes this engine advances per step.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        W::LANES
+    }
 
-        // Forward pass 1: registered producers, any order.
-        for (i, &ch) in p.src_out_ch.iter().enumerate() {
-            fwd[ch as usize] = src_valid[i];
+    /// Settle every lane's valid/stop bits against this cycle's sink
+    /// stop words (`sink_stop[j]` lane `l` = lane `l`'s stop on sink
+    /// `j`): stage the sink stops into the arena and run the streaming
+    /// op tape. Probe hooks receive the word-wide `*_mask` form — one
+    /// call covers all lanes — and are guarded by [`Probe::ENABLED`].
+    fn settle_probed<P: Probe>(&mut self, sink_stop: &[W], probe: &mut P) {
+        let k = &self.prog.kernel;
+        for (j, &s) in sink_stop.iter().enumerate() {
+            self.arena[k.snk_stop as usize + j] = s;
         }
-        for (k, &ch) in p.shell_out_ch.iter().enumerate() {
-            fwd[ch as usize] = shell_out[k];
-        }
-        for (i, &ch) in p.full_out_ch.iter().enumerate() {
-            fwd[ch as usize] = full_main[i];
-        }
-        for (i, &ch) in p.fifo_out_ch.iter().enumerate() {
-            let planes = &fifo_planes[fifo_off[i] as usize..fifo_off[i + 1] as usize];
-            fwd[ch as usize] = planes.iter().fold(0u64, |acc, &w| acc | w);
-        }
-        // Forward pass 2: half-relay chains, upstream first.
-        for &h in &p.fwd_half_order {
-            let h = h as usize;
-            fwd[p.half_out_ch[h] as usize] = half_occ[h] | fwd[p.half_in_ch[h] as usize];
-        }
+        k.execute(&mut self.arena);
 
-        // Backward pass 1: registered stops, any order.
-        for (j, &ch) in p.snk_in_ch.iter().enumerate() {
-            stop[ch as usize] = sink_stop[j];
-        }
-        for (i, &ch) in p.full_in_ch.iter().enumerate() {
-            stop[ch as usize] = full_aux[i];
-        }
-        for (h, &ch) in p.half_in_ch.iter().enumerate() {
-            stop[ch as usize] = half_occ[h];
-        }
-        for (i, &ch) in p.fifo_in_ch.iter().enumerate() {
-            stop[ch as usize] = fifo_full(p, fifo_off, fifo_planes, i);
-        }
-        for &s in &p.buffered_shells {
-            for k in p.shell_in_range(s as usize) {
-                stop[p.shell_in_ch[k] as usize] = in_buf[k];
-            }
-        }
-        // Backward pass 2: unbuffered shells, downstream first.
-        for &s in &p.bwd_shell_order {
-            let s = s as usize;
-            let f = shell_fire_word(p, fwd, stop, shell_out, in_buf, s);
-            fire[s] = f;
-            for k in p.shell_in_range(s) {
-                let ch = p.shell_in_ch[k] as usize;
-                if P::ENABLED && p.discards {
-                    // Lanes where the baseline stop is suppressed
-                    // against a void input (the refinement).
-                    let discarded = !f & !fwd[ch];
-                    if discarded != 0 {
-                        probe.void_discard_mask(*cycle, ch as u32, discarded);
+        if P::ENABLED {
+            let p = &*self.prog;
+            let arena = &self.arena;
+            let cycle = self.cycle;
+            let mut buf = [0u64; 16];
+            if p.discards {
+                for &s in &p.bwd_shell_order {
+                    let s = s as usize;
+                    let f = arena[k.fire as usize + s];
+                    for kk in p.shell_in_range(s) {
+                        let ch = p.shell_in_ch[kk] as usize;
+                        // Lanes where the baseline stop is suppressed
+                        // against a void input (the refinement):
+                        // `!fire & !fwd`.
+                        let discarded = f.or(arena[k.fwd as usize + ch]).not();
+                        if discarded.any() {
+                            discarded.write_words(&mut buf[..W::WORDS]);
+                            probe.void_discard_mask(cycle, ch as u32, &buf[..W::WORDS]);
+                        }
                     }
                 }
-                stop[ch] = !f & if p.discards { fwd[ch] } else { !0 };
             }
-        }
-        // Pass 3: buffered shells fire once every stop has settled.
-        for &s in &p.buffered_shells {
-            let s = s as usize;
-            fire[s] = shell_fire_word(p, fwd, stop, shell_out, in_buf, s);
-        }
-        if P::ENABLED {
             for ch in 0..p.n_channels {
-                if stop[ch] != 0 {
-                    probe.stall_mask(*cycle, ch as u32, stop[ch]);
+                let stop = arena[k.stop as usize + ch];
+                if stop.any() {
+                    stop.write_words(&mut buf[..W::WORDS]);
+                    probe.stall_mask(cycle, ch as u32, &buf[..W::WORDS]);
                 }
-                if fwd[ch] != !0 {
-                    probe.channel_void_mask(*cycle, ch as u32, !fwd[ch]);
+                let fwd = arena[k.fwd as usize + ch];
+                if fwd != W::ONES {
+                    fwd.not().write_words(&mut buf[..W::WORDS]);
+                    probe.channel_void_mask(cycle, ch as u32, &buf[..W::WORDS]);
                 }
             }
         }
@@ -431,27 +492,28 @@ impl BatchSkeleton {
     /// Settle and clock one cycle with the environment driven by masks:
     /// `sink_stop[j]` is sink `j`'s stop word for this cycle and
     /// `source_next[i]` the validity word of source `i`'s next offer (a
-    /// held token stays held, per lane). Bit `l` of each word belongs to
-    /// lane `l`; indices follow
+    /// held token stays held, per lane). Lane `l` of each word belongs
+    /// to lane `l`; indices follow
     /// [`Netlist::sources`](lip_graph::Netlist::sources) /
     /// [`Netlist::sinks`](lip_graph::Netlist::sinks) order.
     ///
     /// Lane `l` of this call is bit-identical to
     /// [`SkeletonSystem::step_with`](crate::SkeletonSystem::step_with)
-    /// invoked with bit `l` of every word.
+    /// invoked with lane `l` of every word.
     ///
     /// # Panics
     ///
     /// Panics if the slice lengths do not match the source/sink counts.
-    pub fn step_with_masks(&mut self, source_next: &[u64], sink_stop: &[u64]) {
+    pub fn step_with_masks(&mut self, source_next: &[W], sink_stop: &[W]) {
         self.step_with_masks_probed(source_next, sink_stop, &mut NullProbe);
     }
 
     /// [`step_with_masks`](Self::step_with_masks) with observation: the
     /// word-wide analogue of
     /// [`SkeletonSystem::step_probed`](crate::SkeletonSystem::step_probed),
-    /// delivering `*_mask` hooks (bit `l` = lane `l`) for stalls, voids,
-    /// discards, sink consumption, shell firings and relay traffic, then
+    /// delivering `*_mask` hooks (`&[u64]` sub-word slices, bit `l` of
+    /// word `w` = lane `64·w + l`) for stalls, voids, discards, sink
+    /// consumption, shell firings and relay traffic, then
     /// [`end_cycle`](Probe::end_cycle). With [`NullProbe`] this
     /// monomorphizes to the unobserved step.
     ///
@@ -460,8 +522,8 @@ impl BatchSkeleton {
     /// Panics if the slice lengths do not match the source/sink counts.
     pub fn step_with_masks_probed<P: Probe>(
         &mut self,
-        source_next: &[u64],
-        sink_stop: &[u64],
+        source_next: &[W],
+        sink_stop: &[W],
         probe: &mut P,
     ) {
         assert_eq!(
@@ -473,18 +535,8 @@ impl BatchSkeleton {
         self.settle_probed(sink_stop, probe);
         let Self {
             prog,
-            fwd,
-            stop,
-            src_valid,
-            shell_out,
-            in_buf,
-            fire,
+            arena,
             fires,
-            full_main,
-            full_aux,
-            half_occ,
-            fifo_off,
-            fifo_planes,
             snk_valid,
             snk_voids,
             fired,
@@ -492,25 +544,32 @@ impl BatchSkeleton {
             ..
         } = self;
         let p: &SettleProgram = prog;
+        let k = &p.kernel;
+        let mut buf = [0u64; 16];
 
         // Sources: a stopped valid offer is held; everyone else loads
         // the next offer.
-        for i in 0..src_valid.len() {
-            let held = src_valid[i] & stop[p.src_out_ch[i] as usize];
-            src_valid[i] = held | (source_next[i] & !held);
+        for (i, &next) in source_next.iter().enumerate() {
+            let sv = arena[k.src_valid as usize + i];
+            let held = sv.and(arena[k.stop as usize + p.src_out_ch[i] as usize]);
+            arena[k.src_valid as usize + i] = held.or(next.andnot(held));
         }
         // Sinks: lanes not stopping consume; count informative vs void.
-        for j in 0..snk_valid.len() {
-            let consumed = !sink_stop[j];
-            let v = fwd[p.snk_in_ch[j] as usize];
-            snk_valid[j].add(consumed & v);
-            snk_voids[j].add(consumed & !v);
+        for (j, &stopping) in sink_stop.iter().enumerate() {
+            let consumed = stopping.not();
+            let v = arena[k.fwd as usize + p.snk_in_ch[j] as usize];
+            snk_valid[j].add(consumed.and(v));
+            snk_voids[j].add(consumed.andnot(v));
             if P::ENABLED {
-                if consumed & v != 0 {
-                    probe.consume_mask(*cycle, p.snk_in_ch[j], consumed & v);
+                let informative = consumed.and(v);
+                if informative.any() {
+                    informative.write_words(&mut buf[..W::WORDS]);
+                    probe.consume_mask(*cycle, p.snk_in_ch[j], &buf[..W::WORDS]);
                 }
-                if consumed & !v != 0 {
-                    probe.void_in_mask(*cycle, p.snk_in_ch[j], consumed & !v);
+                let void = consumed.andnot(v);
+                if void.any() {
+                    void.write_words(&mut buf[..W::WORDS]);
+                    probe.void_in_mask(*cycle, p.snk_in_ch[j], &buf[..W::WORDS]);
                 }
             }
         }
@@ -518,99 +577,104 @@ impl BatchSkeleton {
         // drain buffers; stalled lanes latch arrivals and deassert
         // unheld outputs.
         for s in 0..p.shell_buffered.len() {
-            let f = fire[s];
-            *fired |= f;
+            let f = arena[k.fire as usize + s];
+            *fired = fired.or(f);
             fires[s].add(f);
-            if P::ENABLED && f != 0 {
-                probe.fire_mask(*cycle, s as u32, f);
+            if P::ENABLED && f.any() {
+                f.write_words(&mut buf[..W::WORDS]);
+                probe.fire_mask(*cycle, s as u32, &buf[..W::WORDS]);
             }
             if p.shell_buffered[s] {
-                for k in p.shell_in_range(s) {
-                    in_buf[k] = !f & (in_buf[k] | fwd[p.shell_in_ch[k] as usize]);
+                for kk in p.shell_in_range(s) {
+                    let v = arena[k.fwd as usize + p.shell_in_ch[kk] as usize];
+                    let ib = arena[k.in_buf as usize + kk];
+                    arena[k.in_buf as usize + kk] = ib.or(v).andnot(f);
                 }
             }
-            for k in p.shell_out_range(s) {
-                shell_out[k] = f | (shell_out[k] & stop[p.shell_out_ch[k] as usize]);
+            for kk in p.shell_out_range(s) {
+                let stp = arena[k.stop as usize + p.shell_out_ch[kk] as usize];
+                let so = arena[k.shell_out as usize + kk];
+                arena[k.shell_out as usize + kk] = f.or(so.and(stp));
             }
         }
         // Full relays: two registers, aux absorbs one token under stop.
-        for i in 0..full_main.len() {
-            let input = fwd[p.full_in_ch[i] as usize];
-            let stopped = stop[p.full_out_ch[i] as usize];
-            let main = full_main[i];
-            let aux = full_aux[i];
-            let released = main & !stopped;
+        for i in 0..p.full_in_ch.len() {
+            let input = arena[k.fwd as usize + p.full_in_ch[i] as usize];
+            let stopped = arena[k.stop as usize + p.full_out_ch[i] as usize];
+            let main = arena[k.full_main as usize + i];
+            let aux = arena[k.full_aux as usize + i];
+            let released = main.andnot(stopped);
             if P::ENABLED {
                 // Token movement (see the scalar step for the rationale):
                 // enters where offered and aux free, leaves where main
                 // releases.
-                let fill = input & !aux;
-                if fill != 0 {
-                    probe.relay_fill_mask(*cycle, p.full_relay_row(i), fill);
+                let fill = input.andnot(aux);
+                if fill.any() {
+                    fill.write_words(&mut buf[..W::WORDS]);
+                    probe.relay_fill_mask(*cycle, p.full_relay_row(i), &buf[..W::WORDS]);
                 }
-                if released != 0 {
-                    probe.relay_drain_mask(*cycle, p.full_relay_row(i), released);
+                if released.any() {
+                    released.write_words(&mut buf[..W::WORDS]);
+                    probe.relay_drain_mask(*cycle, p.full_relay_row(i), &buf[..W::WORDS]);
                 }
             }
-            full_main[i] = aux | (main & !released) | (input & (!main | released));
-            full_aux[i] = !released & (aux | (main & input));
+            arena[k.full_main as usize + i] = aux
+                .or(main.andnot(released))
+                .or(input.and(main.not().or(released)));
+            arena[k.full_aux as usize + i] = aux.or(main.and(input)).andnot(released);
         }
         // Half relays: occupied while stopped.
-        for h in 0..half_occ.len() {
-            let input = fwd[p.half_in_ch[h] as usize];
-            let stopped = stop[p.half_out_ch[h] as usize];
+        for h in 0..p.half_in_ch.len() {
+            let input = arena[k.fwd as usize + p.half_in_ch[h] as usize];
+            let stopped = arena[k.stop as usize + p.half_out_ch[h] as usize];
+            let occ = arena[k.half_occ as usize + h];
             if P::ENABLED {
-                let fill = stopped & input & !half_occ[h];
-                let drain = half_occ[h] & !stopped;
-                if fill != 0 {
-                    probe.relay_fill_mask(*cycle, p.half_relay_row(h), fill);
+                let fill = stopped.and(input).andnot(occ);
+                let drain = occ.andnot(stopped);
+                if fill.any() {
+                    fill.write_words(&mut buf[..W::WORDS]);
+                    probe.relay_fill_mask(*cycle, p.half_relay_row(h), &buf[..W::WORDS]);
                 }
-                if drain != 0 {
-                    probe.relay_drain_mask(*cycle, p.half_relay_row(h), drain);
+                if drain.any() {
+                    drain.write_words(&mut buf[..W::WORDS]);
+                    probe.relay_drain_mask(*cycle, p.half_relay_row(h), &buf[..W::WORDS]);
                 }
             }
-            half_occ[h] = stopped & (half_occ[h] | input);
+            arena[k.half_occ as usize + h] = stopped.and(occ.or(input));
         }
         // FIFOs: masked ripple-carry decrement (drain) then increment
-        // (accept); a full FIFO refuses the arrival.
-        for i in 0..fifo_off.len() - 1 {
-            let input = fwd[p.fifo_in_ch[i] as usize];
-            let stopped = stop[p.fifo_out_ch[i] as usize];
-            let planes = &mut fifo_planes[fifo_off[i] as usize..fifo_off[i + 1] as usize];
-            let mut nonzero = 0u64;
-            for &pl in planes.iter() {
-                nonzero |= pl;
-            }
-            let was_full = {
-                let cap = u64::from(p.fifo_cap[i]);
-                let mut eq = !0u64;
-                for (b, &pl) in planes.iter().enumerate() {
-                    let cap_bit = if (cap >> b) & 1 == 1 { !0 } else { 0 };
-                    eq &= !(pl ^ cap_bit);
-                }
-                eq
-            };
-            let drain = !stopped & nonzero;
-            let fill = !was_full & input;
+        // (accept); a full FIFO refuses the arrival. The settle already
+        // computed emptiness (the forwarded valid) and fullness (the
+        // backward stop on the input channel) — reuse both.
+        for i in 0..p.fifo_in_ch.len() {
+            let input = arena[k.fwd as usize + p.fifo_in_ch[i] as usize];
+            let stopped = arena[k.stop as usize + p.fifo_out_ch[i] as usize];
+            let nonzero = arena[k.fwd as usize + p.fifo_out_ch[i] as usize];
+            let was_full = arena[k.stop as usize + p.fifo_in_ch[i] as usize];
+            let drain = nonzero.andnot(stopped);
+            let fill = input.andnot(was_full);
             if P::ENABLED {
-                if fill != 0 {
-                    probe.relay_fill_mask(*cycle, p.fifo_relay_row(i), fill);
+                if fill.any() {
+                    fill.write_words(&mut buf[..W::WORDS]);
+                    probe.relay_fill_mask(*cycle, p.fifo_relay_row(i), &buf[..W::WORDS]);
                 }
-                if drain != 0 {
-                    probe.relay_drain_mask(*cycle, p.fifo_relay_row(i), drain);
+                if drain.any() {
+                    drain.write_words(&mut buf[..W::WORDS]);
+                    probe.relay_drain_mask(*cycle, p.fifo_relay_row(i), &buf[..W::WORDS]);
                 }
             }
+            let planes = (k.fifo + k.fifo_off[i]) as usize..(k.fifo + k.fifo_off[i + 1]) as usize;
             let mut borrow = drain;
-            for pl in planes.iter_mut() {
-                let next = *pl ^ borrow;
-                borrow &= !*pl;
-                *pl = next;
+            for c in planes.clone() {
+                let pl = arena[c];
+                arena[c] = pl.xor(borrow);
+                borrow = borrow.andnot(pl);
             }
             let mut carry = fill;
-            for pl in planes.iter_mut() {
-                let next = *pl ^ carry;
-                carry &= *pl;
-                *pl = next;
+            for c in planes {
+                let pl = arena[c];
+                arena[c] = pl.xor(carry);
+                carry = carry.and(pl);
             }
         }
         if P::ENABLED {
@@ -626,7 +690,7 @@ impl BatchSkeleton {
     ///
     /// # Panics
     ///
-    /// Panics if `pats` arity does not match the netlist.
+    /// Panics if `pats` arity or width does not match.
     pub fn step_patterns(&mut self, pats: &LanePatterns) {
         self.step_patterns_probed(pats, &mut NullProbe);
     }
@@ -636,39 +700,82 @@ impl BatchSkeleton {
     ///
     /// # Panics
     ///
-    /// Panics if `pats` arity does not match the netlist.
+    /// Panics if `pats` arity or width does not match.
     pub fn step_patterns_probed<P: Probe>(&mut self, pats: &LanePatterns, probe: &mut P) {
+        assert_eq!(
+            pats.width(),
+            W::LANES,
+            "pattern width must match the engine's lane count"
+        );
         let cycle = self.cycle;
-        let sink_stop: Vec<u64> = pats.snk.iter().map(|row| row.word(cycle)).collect();
-        let source_next: Vec<u64> = pats.src.iter().map(|row| !row.word(cycle + 1)).collect();
-        self.step_with_masks_probed(&source_next, &sink_stop, probe);
+        let mut src = std::mem::take(&mut self.src_scratch);
+        let mut snk = std::mem::take(&mut self.snk_scratch);
+        src.clear();
+        snk.clear();
+        snk.extend(pats.snk.iter().map(|row| row.word::<W>(cycle)));
+        src.extend(pats.src.iter().map(|row| row.word::<W>(cycle + 1).not()));
+        self.step_with_masks_probed(&src, &snk, probe);
+        self.src_scratch = src;
+        self.snk_scratch = snk;
+    }
+
+    /// One cycle under a precompiled environment (see
+    /// [`CompiledPatterns`]): the hot-loop form `run_patterns` and the
+    /// measurement drivers use — word tables instead of per-lane
+    /// pattern evaluation.
+    pub(crate) fn step_compiled_probed<P: Probe>(
+        &mut self,
+        pats: &CompiledPatterns<W>,
+        probe: &mut P,
+    ) {
+        debug_assert_eq!(pats.width, W::LANES);
+        let cycle = self.cycle;
+        let mut src = std::mem::take(&mut self.src_scratch);
+        let mut snk = std::mem::take(&mut self.snk_scratch);
+        src.clear();
+        snk.clear();
+        snk.extend(pats.snk.iter().map(|row| row.word(cycle)));
+        src.extend(pats.src.iter().map(|row| row.word(cycle + 1).not()));
+        self.step_with_masks_probed(&src, &snk, probe);
+        self.src_scratch = src;
+        self.snk_scratch = snk;
     }
 
     /// Run `n` cycles under `pats`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pats` arity or width does not match.
     pub fn run_patterns(&mut self, pats: &LanePatterns, n: u64) {
-        for _ in 0..n {
-            self.step_patterns(pats);
-        }
+        self.run_patterns_probed(pats, n, &mut NullProbe);
     }
 
-    /// Run `n` cycles under `pats` with observation.
+    /// Run `n` cycles under `pats` with observation. The environment is
+    /// compiled once up front (uniform rows splat, periodic rows become
+    /// word tables), so the per-cycle cost is a handful of word ops even
+    /// at 1024 lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pats` arity or width does not match.
     pub fn run_patterns_probed<P: Probe>(&mut self, pats: &LanePatterns, n: u64, probe: &mut P) {
+        let compiled = CompiledPatterns::compile(pats);
         for _ in 0..n {
-            self.step_patterns_probed(pats, probe);
+            self.step_compiled_probed(&compiled, probe);
         }
     }
 
-    /// Settled valid word of channel `ch` (bit = lane). Reflects the
-    /// last settle; call after a step.
+    /// Settled valid word of channel `ch` (one bit per lane). Reflects
+    /// the last settle; call after a step.
     #[must_use]
-    pub fn channel_valid(&self, ch: usize) -> u64 {
-        self.fwd[ch]
+    pub fn channel_valid(&self, ch: usize) -> W {
+        self.arena[self.prog.kernel.fwd as usize + ch]
     }
 
-    /// Settled stop word of channel `ch` (bit = lane).
+    /// Settled stop word of channel `ch` (one bit per lane).
     #[must_use]
-    pub fn channel_stop(&self, ch: usize) -> u64 {
-        self.stop[ch]
+    pub fn channel_stop(&self, ch: usize) -> W {
+        self.arena[self.prog.kernel.stop as usize + ch]
     }
 
     /// Lanes in which at least one shell fired since the last
@@ -676,13 +783,13 @@ impl BatchSkeleton {
     /// probe: a lane still clear after a deep run has made no progress
     /// anywhere in the system.
     #[must_use]
-    pub fn fired_mask(&self) -> u64 {
+    pub fn fired_mask(&self) -> W {
         self.fired
     }
 
     /// Clear the fired mask (start a new progress observation window).
     pub fn reset_fired_mask(&mut self) {
-        self.fired = 0;
+        self.fired = W::ZERO;
     }
 
     /// `(valid, voids)` consumed so far by the sink at `node` in `lane`.
@@ -718,23 +825,24 @@ impl BatchSkeleton {
     #[must_use]
     pub fn lane_component_state(&self, lane: usize) -> Vec<u64> {
         let p = &*self.prog;
-        let bit = |w: u64| (w >> lane) & 1;
+        let k = &p.kernel;
+        let bit = |base: u32, i: usize| u64::from(self.arena[base as usize + i].lane(lane));
         let mut out = Vec::with_capacity(p.comp_slots.len());
         for slot in &p.comp_slots {
             match *slot {
-                CompSlot::Source(i) => out.push(bit(self.src_valid[i as usize])),
+                CompSlot::Source(i) => out.push(bit(k.src_valid, i as usize)),
                 CompSlot::Sink(_) => {}
                 CompSlot::Shell(s) => {
                     let s = s as usize;
                     let mut bits = 0u64;
                     let mut j = 0;
-                    for k in p.shell_out_range(s) {
-                        bits |= bit(self.shell_out[k]) << (j % 64);
+                    for kk in p.shell_out_range(s) {
+                        bits |= bit(k.shell_out, kk) << (j % 64);
                         j += 1;
                     }
                     if p.shell_buffered[s] {
-                        for k in p.shell_in_range(s) {
-                            bits |= bit(self.in_buf[k]) << (j % 64);
+                        for kk in p.shell_in_range(s) {
+                            bits |= bit(k.in_buf, kk) << (j % 64);
                             j += 1;
                         }
                     }
@@ -742,14 +850,14 @@ impl BatchSkeleton {
                 }
                 CompSlot::Full(i) => {
                     let i = i as usize;
-                    out.push(bit(self.full_main[i]) + 2 * bit(self.full_aux[i]));
+                    out.push(bit(k.full_main, i) + 2 * bit(k.full_aux, i));
                 }
-                CompSlot::Half(h) => out.push(bit(self.half_occ[h as usize])),
+                CompSlot::Half(h) => out.push(bit(k.half_occ, h as usize)),
                 CompSlot::Fifo(i) => {
                     let i = i as usize;
                     let mut v = 0u64;
-                    for (b, plane) in (self.fifo_off[i]..self.fifo_off[i + 1]).enumerate() {
-                        v |= bit(self.fifo_planes[plane as usize]) << b;
+                    for (b, plane) in (k.fifo_off[i]..k.fifo_off[i + 1]).enumerate() {
+                        v |= bit(k.fifo, plane as usize) << b;
                     }
                     out.push(v);
                 }
@@ -759,55 +867,17 @@ impl BatchSkeleton {
     }
 }
 
-/// Word-wide fire condition of shell `s` (see the scalar
-/// `shell_fire` in `skeleton.rs`): lanes where every input is available
-/// and no output port is blocked.
-#[inline]
-fn shell_fire_word(
-    p: &SettleProgram,
-    fwd: &[u64],
-    stop: &[u64],
-    shell_out: &[u64],
-    in_buf: &[u64],
-    s: usize,
-) -> u64 {
-    let buffered = p.shell_buffered[s];
-    let mut all_valid = !0u64;
-    for k in p.shell_in_range(s) {
-        let v = fwd[p.shell_in_ch[k] as usize];
-        all_valid &= if buffered { in_buf[k] | v } else { v };
-    }
-    let mut blocked = 0u64;
-    for k in p.shell_out_range(s) {
-        let stp = stop[p.shell_out_ch[k] as usize];
-        blocked |= stp & if p.discards { shell_out[k] } else { !0 };
-    }
-    all_valid & !blocked
-}
-
-/// Lanes where FIFO `i` is at capacity: bit-plane equality against the
-/// capacity's binary encoding.
-#[inline]
-fn fifo_full(p: &SettleProgram, fifo_off: &[u32], fifo_planes: &[u64], i: usize) -> u64 {
-    let cap = u64::from(p.fifo_cap[i]);
-    let mut eq = !0u64;
-    for (b, plane) in (fifo_off[i]..fifo_off[i + 1]).enumerate() {
-        let cap_bit = if (cap >> b) & 1 == 1 { !0 } else { 0 };
-        eq &= !(fifo_planes[plane as usize] ^ cap_bit);
-    }
-    eq
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lane::{Lanes1024, Lanes256};
     use crate::SkeletonSystem;
     use lip_core::RelayKind;
     use lip_graph::generate;
 
     #[test]
     fn lane_counters_count() {
-        let mut c = LaneCounters::default();
+        let mut c = LaneCounters::<u64>::default();
         for i in 0..137u64 {
             // Lane 0 every time, lane 3 on even rounds, lane 63 never.
             let mask = 1 | (u64::from(i % 2 == 0) << 3);
@@ -816,6 +886,22 @@ mod tests {
         assert_eq!(c.get(0), 137);
         assert_eq!(c.get(3), 69);
         assert_eq!(c.get(63), 0);
+    }
+
+    #[test]
+    fn wide_lane_counters_count_past_word_boundaries() {
+        let mut c = LaneCounters::<Lanes256>::default();
+        for i in 0..200u64 {
+            let mut m = Lanes256::ZERO.with_lane(0).with_lane(200);
+            if i % 2 == 0 {
+                m = m.with_lane(70);
+            }
+            c.add(m);
+        }
+        assert_eq!(c.get(0), 200);
+        assert_eq!(c.get(70), 100);
+        assert_eq!(c.get(200), 200);
+        assert_eq!(c.get(255), 0);
     }
 
     #[test]
@@ -841,6 +927,31 @@ mod tests {
                 "lane {lane}"
             );
             assert_eq!(batch.total_fires_lane(lane), scalar.total_fires());
+        }
+    }
+
+    #[test]
+    fn wide_engine_lanes_match_scalar_run_on_fig1() {
+        let f = generate::fig1();
+        let mut batch = BatchEngine::<Lanes1024>::new(&f.netlist).unwrap();
+        let pats = LanePatterns::broadcast_wide(batch.program(), 1024);
+        let mut scalar = SkeletonSystem::new(&f.netlist).unwrap();
+        for _ in 0..200 {
+            batch.step_patterns(&pats);
+            scalar.step();
+        }
+        let scalar_state = scalar.component_state();
+        for lane in [0, 63, 64, 511, 1023] {
+            assert_eq!(
+                batch.lane_component_state(lane),
+                scalar_state,
+                "lane {lane}"
+            );
+            assert_eq!(
+                batch.sink_counts_lane(f.sink, lane),
+                scalar.sink_counts(f.sink),
+                "lane {lane}"
+            );
         }
     }
 
@@ -897,5 +1008,59 @@ mod tests {
         assert_eq!(v0 + n0, 400);
         assert!(v7 + n7 <= 200, "stopped lane consumes at most half");
         assert!(v0 > v7, "throttled sink sees fewer tokens");
+    }
+
+    #[test]
+    fn compiled_patterns_match_direct_evaluation() {
+        use lip_core::Pattern;
+        let f = generate::fig1();
+        let prog = Arc::new(SettleProgram::compile(&f.netlist).unwrap());
+        let mut pats = LanePatterns::broadcast_wide(&prog, 128);
+        // A mixed row: periodic lanes of different periods plus a
+        // random (aperiodic-classified) lane.
+        pats.set_sink(
+            0,
+            3,
+            Pattern::EveryNth {
+                period: 3,
+                phase: 1,
+            },
+        );
+        pats.set_sink(
+            0,
+            100,
+            Pattern::EveryNth {
+                period: 5,
+                phase: 0,
+            },
+        );
+        pats.set_source(
+            0,
+            64,
+            Pattern::Random {
+                num: 1,
+                denom: 3,
+                seed: 7,
+            },
+        );
+        let mut direct = BatchEngine::<crate::lane::Lanes128>::from_patterns(prog.clone(), &pats);
+        let mut compiled = BatchEngine::<crate::lane::Lanes128>::from_patterns(prog, &pats);
+        let cp = CompiledPatterns::compile(&pats);
+        for _ in 0..300 {
+            direct.step_patterns(&pats);
+            compiled.step_compiled_probed(&cp, &mut NullProbe);
+        }
+        for lane in [0, 3, 64, 100, 127] {
+            assert_eq!(
+                direct.lane_component_state(lane),
+                compiled.lane_component_state(lane),
+                "lane {lane}"
+            );
+            assert_eq!(
+                direct.sink_counts_lane(f.sink, lane),
+                compiled.sink_counts_lane(f.sink, lane),
+                "lane {lane}"
+            );
+        }
     }
 }

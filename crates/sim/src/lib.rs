@@ -41,20 +41,27 @@
 pub mod batch;
 pub mod cache;
 pub mod evolution;
+pub mod lane;
 pub mod measure;
 pub mod profiling;
 pub mod program;
 pub mod rtl;
 mod skeleton;
+mod stream;
 mod system;
 
-pub use batch::{BatchSkeleton, LanePatterns, LANES};
+pub use batch::{BatchEngine, BatchSkeleton, LanePatterns, LANES};
 pub use cache::ThroughputCache;
 pub use evolution::Evolution;
+pub use lane::{
+    dispatch_lane_width, lane_words_under_test, LaneWidthVisitor, LaneWord, Lanes1024, Lanes128,
+    Lanes256, Lanes512, LANE_WIDTHS,
+};
 pub use measure::{
-    measure, measure_activity, measure_batch, measure_batch_periodic, measure_batch_probed,
-    BatchMeasurement, BatchPeriodicMeasurement, LivenessReport, Measurement, PeriodDetector,
-    Periodicity, Ratio, ShellActivity,
+    measure, measure_activity, measure_batch, measure_batch_periodic, measure_batch_periodic_wide,
+    measure_batch_probed, measure_batch_probed_wide, measure_batch_wide, BatchMeasurement,
+    BatchPeriodicMeasurement, LivenessReport, Measurement, PeriodDetector, Periodicity, Ratio,
+    ShellActivity,
 };
 pub use profiling::{profile_netlist, ProfileOptions, ProfiledRun};
 pub use program::SettleProgram;

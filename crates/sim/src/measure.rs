@@ -13,7 +13,8 @@ use std::sync::Arc;
 
 use lip_graph::{Netlist, NetlistError, NodeId};
 
-use crate::batch::{BatchSkeleton, LanePatterns, LANES};
+use crate::batch::{BatchEngine, LanePatterns};
+use crate::lane::LaneWord;
 use crate::program::SettleProgram;
 use crate::system::System;
 
@@ -318,7 +319,8 @@ pub fn measure_activity(netlist: &Netlist) -> Result<Vec<ShellActivity>, Netlist
         .collect())
 }
 
-/// Result of a 64-lane batched throughput sweep ([`measure_batch`]).
+/// Result of a batched throughput sweep ([`measure_batch`] /
+/// [`measure_batch_wide`]).
 ///
 /// Lane `l` holds the outcome of simulating the netlist under lane `l`'s
 /// environment patterns for the full cycle window.
@@ -330,6 +332,8 @@ pub struct BatchMeasurement {
     pub counts: Vec<Vec<(u64, u64)>>,
     /// Cycles simulated (identical across lanes).
     pub cycles: u64,
+    /// Lanes swept (64 on the default engine, up to 1024 wide).
+    pub lanes: usize,
 }
 
 impl BatchMeasurement {
@@ -352,8 +356,8 @@ impl BatchMeasurement {
 
 /// Measure 64 environment scenarios of `netlist` in one pass: lane `l`
 /// simulates the netlist under `pats`' lane-`l` patterns for `cycles`
-/// cycles on the bit-parallel [`BatchSkeleton`], and every sink's token
-/// counts are read back per lane.
+/// cycles on the bit-parallel [`BatchSkeleton`](crate::BatchSkeleton),
+/// and every sink's token counts are read back per lane.
 ///
 /// This is the batched replacement for running [`measure`] (or a scalar
 /// skeleton) 64 times in a throughput sweep; counts are bit-identical
@@ -373,6 +377,26 @@ pub fn measure_batch(
     measure_batch_probed(netlist, pats, cycles, &mut lip_obs::NullProbe)
 }
 
+/// [`measure_batch`] at any supported lane width: `pats` must carry
+/// `W::LANES` lanes and the sweep runs on [`BatchEngine<W>`]. Results
+/// are bit-identical, lane for lane, to the 64-lane path (and to
+/// `W::LANES` scalar runs) — the wider word only buys wall-clock.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+///
+/// # Panics
+///
+/// Panics if `pats` was built for a width other than `W::LANES`.
+pub fn measure_batch_wide<W: LaneWord>(
+    netlist: &Netlist,
+    pats: &LanePatterns,
+    cycles: u64,
+) -> Result<BatchMeasurement, NetlistError> {
+    measure_batch_probed_wide::<W, _>(netlist, pats, cycles, &mut lip_obs::NullProbe)
+}
+
 /// [`measure_batch`] with a [`lip_obs::Probe`] observing every lane.
 ///
 /// Counters aggregated by a probe (e.g. [`lip_obs::MetricsRegistry`]
@@ -389,14 +413,34 @@ pub fn measure_batch_probed<P: lip_obs::Probe>(
     cycles: u64,
     probe: &mut P,
 ) -> Result<BatchMeasurement, NetlistError> {
+    measure_batch_probed_wide::<u64, P>(netlist, pats, cycles, probe)
+}
+
+/// [`measure_batch_wide`] with a [`lip_obs::Probe`] observing every
+/// lane (mask hooks carry `W::WORDS`-word slices; size a
+/// [`lip_obs::MetricsRegistry`] with `with_lanes(topology, W::LANES)`).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+///
+/// # Panics
+///
+/// Panics if `pats` was built for a width other than `W::LANES`.
+pub fn measure_batch_probed_wide<W: LaneWord, P: lip_obs::Probe>(
+    netlist: &Netlist,
+    pats: &LanePatterns,
+    cycles: u64,
+    probe: &mut P,
+) -> Result<BatchMeasurement, NetlistError> {
     let prog = Arc::new(SettleProgram::compile(netlist)?);
-    let mut batch = BatchSkeleton::from_patterns(prog, pats);
+    let mut batch = BatchEngine::<W>::from_patterns(prog, pats);
     batch.run_patterns_probed(pats, cycles, probe);
     let sinks = netlist.sinks();
     let counts = sinks
         .iter()
         .map(|&s| {
-            (0..LANES)
+            (0..W::LANES)
                 .map(|lane| batch.sink_counts_lane(s, lane).expect("sink"))
                 .collect()
         })
@@ -405,12 +449,14 @@ pub fn measure_batch_probed<P: lip_obs::Probe>(
         sinks,
         counts,
         cycles,
+        lanes: W::LANES,
     })
 }
 
-/// Result of a 64-lane periodicity-aware sweep
-/// ([`measure_batch_periodic`]): exact per-lane steady-state
-/// throughputs with the cycle budget actually spent.
+/// Result of a periodicity-aware batched sweep
+/// ([`measure_batch_periodic`] / [`measure_batch_periodic_wide`]):
+/// exact per-lane steady-state throughputs with the cycle budget
+/// actually spent.
 #[derive(Debug, Clone)]
 pub struct BatchPeriodicMeasurement {
     /// Sinks measured, in [`Netlist::sinks`] order.
@@ -426,8 +472,12 @@ pub struct BatchPeriodicMeasurement {
     pub cycles: u64,
     /// The full cycle budget a fixed-window sweep would have spent.
     pub budget: u64,
-    /// Bit `l` set iff lane `l` converged (got an exact reading).
-    pub converged: u64,
+    /// Lanes swept (64 on the default engine, up to 1024 wide).
+    pub lanes: usize,
+    /// Converged-lane mask words: bit `l % 64` of word `l / 64` is set
+    /// iff lane `l` converged (got an exact reading). Use
+    /// [`lane_converged`](Self::lane_converged) for single-lane reads.
+    pub converged: Vec<u64>,
 }
 
 impl BatchPeriodicMeasurement {
@@ -439,10 +489,21 @@ impl BatchPeriodicMeasurement {
             .min_by(|a, b| (a.num() * b.den()).cmp(&(b.num() * a.den())))
     }
 
+    /// `true` iff `lane` converged to an exact periodic reading.
+    #[must_use]
+    pub fn lane_converged(&self, lane: usize) -> bool {
+        lane < self.lanes && (self.converged[lane / 64] >> (lane % 64)) & 1 == 1
+    }
+
     /// `true` when every lane converged to an exact periodic reading.
     #[must_use]
     pub fn all_converged(&self) -> bool {
-        self.converged == !0
+        let set: u64 = self
+            .converged
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum();
+        set == self.lanes as u64
     }
 
     /// Cycles the periodicity early-exit saved against the full budget.
@@ -479,14 +540,36 @@ pub fn measure_batch_periodic(
     pats: &LanePatterns,
     budget: u64,
 ) -> Result<BatchPeriodicMeasurement, NetlistError> {
+    measure_batch_periodic_wide::<u64>(netlist, pats, budget)
+}
+
+/// [`measure_batch_periodic`] at any supported lane width: `pats` must
+/// carry `W::LANES` lanes. Per-lane periodicities, exact throughputs
+/// and the early-exit behaviour are identical to running the 64-lane
+/// path over the same lanes in chunks.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+///
+/// # Panics
+///
+/// Panics if `pats` was built for a width other than `W::LANES`.
+pub fn measure_batch_periodic_wide<W: LaneWord>(
+    netlist: &Netlist,
+    pats: &LanePatterns,
+    budget: u64,
+) -> Result<BatchPeriodicMeasurement, NetlistError> {
+    let lanes = W::LANES;
     let prog = Arc::new(SettleProgram::compile(netlist)?);
-    let mut batch = BatchSkeleton::from_patterns(Arc::clone(&prog), pats);
+    let mut batch = BatchEngine::<W>::from_patterns(Arc::clone(&prog), pats);
+    let compiled = crate::batch::CompiledPatterns::<W>::compile(pats);
     let sinks = netlist.sinks();
     let n_snk = sinks.len();
 
     // Per-lane environment period: the lcm of that lane's pattern
     // periods. Aperiodic lanes can never be declared periodic.
-    let lane_env_period: Vec<Option<u64>> = (0..LANES)
+    let lane_env_period: Vec<Option<u64>> = (0..lanes)
         .map(|lane| {
             let mut acc = Some(1u64);
             let mut fold = |p: Option<u64>| {
@@ -504,27 +587,27 @@ pub fn measure_batch_periodic(
             acc
         })
         .collect();
-    let candidates: u64 = lane_env_period
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| p.is_some())
-        .fold(0u64, |m, (l, _)| m | (1 << l));
 
     let mut detectors: Vec<PeriodDetector<Vec<(u64, u64)>>> =
-        (0..LANES).map(|_| PeriodDetector::new()).collect();
-    let mut periodicity: Vec<Option<Periodicity>> = vec![None; LANES];
-    let mut throughput = vec![vec![Ratio::new(0, 1); LANES]; n_snk];
-    let mut converged = 0u64;
+        (0..lanes).map(|_| PeriodDetector::new()).collect();
+    let mut periodicity: Vec<Option<Periodicity>> = vec![None; lanes];
+    let mut throughput = vec![vec![Ratio::new(0, 1); lanes]; n_snk];
+    let mut lane_done: Vec<bool> = lane_env_period.iter().map(Option::is_none).collect();
+    // Aperiodic lanes can never converge; they only count against the
+    // early exit, which therefore fires iff every *candidate* lane is
+    // done AND no aperiodic lane exists.
+    let aperiodic = lane_done.iter().filter(|&&d| d).count();
+    let mut retired = 0usize;
     let mut executed = 0u64;
 
     for t in 0..budget {
         // Observe the registered lane states *before* stepping, exactly
         // where the scalar detector samples; converged lanes are
         // retired from this bookkeeping entirely.
-        let mut live = candidates & !converged;
-        while live != 0 {
-            let lane = live.trailing_zeros() as usize;
-            live &= live - 1;
+        for lane in 0..lanes {
+            if lane_done[lane] {
+                continue;
+            }
             let env_period = lane_env_period[lane].expect("candidate lanes are periodic");
             let mut state = Vec::with_capacity(1 + prog.comp_slots.len());
             state.push(t % env_period);
@@ -538,19 +621,20 @@ pub fn measure_batch_periodic(
                 detectors[lane].observe(t, hash, &state, counts.clone())
             {
                 periodicity[lane] = Some(p);
-                converged |= 1 << lane;
+                lane_done[lane] = true;
+                retired += 1;
                 for j in 0..n_snk {
                     throughput[j][lane] = Ratio::new(counts[j].0 - first_counts[j].0, p.period);
                 }
             }
         }
-        if converged == !0 {
+        if aperiodic == 0 && retired == lanes {
             // Every lane has an exact reading: the remaining budget is
             // pure waste — exit early.
             executed = t;
             break;
         }
-        batch.step_patterns(pats);
+        batch.step_compiled_probed(&compiled, &mut lip_obs::NullProbe);
         executed = t + 1;
     }
 
@@ -558,11 +642,18 @@ pub fn measure_batch_periodic(
     let window = executed.max(1);
     for (j, &s) in sinks.iter().enumerate() {
         for (lane, slot) in throughput[j].iter_mut().enumerate() {
-            if converged & (1 << lane) != 0 {
+            if periodicity[lane].is_some() {
                 continue;
             }
             let (valid, _) = batch.sink_counts_lane(s, lane).expect("sink");
             *slot = Ratio::new(valid, window);
+        }
+    }
+
+    let mut converged = vec![0u64; W::WORDS];
+    for (lane, p) in periodicity.iter().enumerate() {
+        if p.is_some() {
+            converged[lane / 64] |= 1 << (lane % 64);
         }
     }
 
@@ -572,6 +663,7 @@ pub fn measure_batch_periodic(
         periodicity,
         cycles: executed,
         budget,
+        lanes,
         converged,
     })
 }
@@ -634,6 +726,7 @@ pub fn check_liveness(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::LANES;
     use lip_core::{Pattern, RelayKind};
     use lip_graph::generate;
 
@@ -944,8 +1037,8 @@ mod tests {
         let budget = 2_000;
         let m = measure_batch_periodic(&f.netlist, &pats, budget).unwrap();
         assert!(!m.all_converged());
-        assert_eq!(m.converged & 0b10, 0, "random lane must not converge");
-        assert_ne!(m.converged & 0b01, 0, "periodic lane must converge");
+        assert!(!m.lane_converged(1), "random lane must not converge");
+        assert!(m.lane_converged(0), "periodic lane must converge");
         assert_eq!(m.cycles, budget, "an unconverged lane disables early exit");
         assert_eq!(m.periodicity[1], None);
         // Lane 0 still reports the exact figure.

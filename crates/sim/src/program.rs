@@ -115,6 +115,13 @@ pub struct SettleProgram {
     /// Buffered shell rows (their stops are registered; only the fire
     /// condition is evaluated, after every stop has settled).
     pub(crate) buffered_shells: Vec<u32>,
+
+    /// The settle phase compiled to a branch-free streaming op tape
+    /// (see [`crate::stream`]). Derived from the tables above and
+    /// deliberately **not** part of
+    /// [`stable_structural_hash`](Self::stable_structural_hash): it is
+    /// an execution schedule, not netlist structure.
+    pub(crate) kernel: crate::stream::StreamKernel,
 }
 
 impl SettleProgram {
@@ -263,7 +270,7 @@ impl SettleProgram {
             .filter(|&s| shell_buffered[s as usize])
             .collect();
 
-        Ok(SettleProgram {
+        let mut prog = SettleProgram {
             n_channels: n_ch,
             variant: netlist.variant(),
             discards: netlist.variant().discards_stop_on_void(),
@@ -288,7 +295,10 @@ impl SettleProgram {
             shell_out_ch,
             bwd_shell_order,
             buffered_shells,
-        })
+            kernel: crate::stream::StreamKernel::default(),
+        };
+        prog.kernel = crate::stream::StreamKernel::compile(&prog);
+        Ok(prog)
     }
 
     /// Number of channels in the compiled netlist.

@@ -1,0 +1,388 @@
+//! The branch-free streaming settle kernel.
+//!
+//! [`SettleProgram`]'s settle phase is a fixed sequence of lane-word
+//! boolean assignments whose *structure* never changes between cycles —
+//! only the lane words do. This module compiles that structure once
+//! into a flat, stratum-ordered **op tape**: every settle assignment
+//! becomes one three-address op (`dst ← f(a, b)`) over a cell arena
+//! that holds the engine's entire bit-state, and consecutive ops of the
+//! same opcode are grouped into **segments**. Execution then matches on
+//! the opcode once per segment and runs a tight homogeneous loop over
+//! the ops inside — no per-op dispatch in the hot path, so the compiler
+//! auto-vectorizes the inner loop across the `u64` sub-words of wide
+//! [`LaneWord`] shapes. This is the stream-processor shape (simple ops
+//! over a scheduled op stream) that makes the many-lane engine scale.
+//!
+//! The tape is *data*: it is compiled from (and owned by) the
+//! [`SettleProgram`], shared via `Arc` with every engine clone, and is
+//! deliberately **excluded** from `stable_structural_hash` — the cache
+//! key fingerprints the netlist structure, not this execution schedule.
+//!
+//! # Arena layout
+//!
+//! Cells are `u32` indices into one `Vec<W>` per engine:
+//!
+//! | region       | cells                 | contents                    |
+//! |--------------|-----------------------|-----------------------------|
+//! | constants    | `0`, `1`              | all-zero, all-ones          |
+//! | `fwd`        | per channel           | settled valid bits          |
+//! | `stop`       | per channel           | settled stop bits           |
+//! | `src_valid`  | per source            | offered validity (state)    |
+//! | `shell_out`  | per shell out port    | output-register validity    |
+//! | `in_buf`     | per shell in port     | input-buffer occupancy      |
+//! | `fire`       | per shell             | settled fire condition      |
+//! | `full_main`  | per full relay        | main register validity      |
+//! | `full_aux`   | per full relay        | aux register validity       |
+//! | `half_occ`   | per half relay        | half-relay occupancy        |
+//! | `fifo`       | per FIFO bit-plane    | bit-sliced occupancy        |
+//! | `snk_stop`   | per sink              | this cycle's stop (staged)  |
+//!
+//! State regions (`src_valid` through `fifo`) persist across cycles —
+//! the engine's clock phase mutates them in place; `fwd`/`stop`/`fire`
+//! are recomputed by every tape run.
+
+use crate::lane::LaneWord;
+use crate::program::SettleProgram;
+
+/// All-lanes-zero constant cell.
+pub(crate) const CELL_ZERO: u32 = 0;
+/// All-lanes-one constant cell. Engines must initialise this cell to
+/// [`LaneWord::ONES`] (and [`CELL_ZERO`] to zero) when allocating the
+/// arena; the tape reads but never writes the constant cells.
+pub(crate) const CELL_ONES: u32 = 1;
+
+/// One op kind of the tape. Three-address over arena cells `d`, `a`,
+/// `b`; `AndOr`/`NandAcc` additionally read `d` (accumulator forms, so
+/// a shell's fire condition folds without scratch cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Opcode {
+    /// `d = a`
+    Copy,
+    /// `d = a | b`
+    Or,
+    /// `d = a & b`
+    And,
+    /// `d = a & !b`
+    AndNot,
+    /// `d &= a | b`
+    AndOr,
+    /// `d &= !(a & b)`
+    NandAcc,
+}
+
+/// One three-address op.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    d: u32,
+    a: u32,
+    b: u32,
+}
+
+/// A maximal run of consecutive same-opcode ops.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    op: Opcode,
+    start: u32,
+    end: u32,
+}
+
+/// The compiled settle tape plus the arena layout it addresses (see the
+/// [module docs](self)).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StreamKernel {
+    /// Total arena cells an engine must allocate.
+    pub(crate) cells: usize,
+    /// Region bases (cell index of row 0 of each region).
+    pub(crate) fwd: u32,
+    pub(crate) stop: u32,
+    pub(crate) src_valid: u32,
+    pub(crate) shell_out: u32,
+    pub(crate) in_buf: u32,
+    pub(crate) fire: u32,
+    pub(crate) full_main: u32,
+    pub(crate) full_aux: u32,
+    pub(crate) half_occ: u32,
+    pub(crate) fifo: u32,
+    pub(crate) snk_stop: u32,
+    /// FIFO `i` owns planes `fifo + fifo_off[i] .. fifo + fifo_off[i+1]`
+    /// (little-endian bit-planes; `len = fifos + 1`).
+    pub(crate) fifo_off: Vec<u32>,
+    ops: Vec<Op>,
+    segments: Vec<Segment>,
+}
+
+impl StreamKernel {
+    /// Compile the settle tape of `p`. Called once at the end of
+    /// [`SettleProgram::compile`]; the emission order mirrors the settle
+    /// passes (forward valids, backward stops, fire strata) exactly, so
+    /// running the tape is bit-identical to the former inline settle.
+    pub(crate) fn compile(p: &SettleProgram) -> Self {
+        let n_ch = p.n_channels as u32;
+        let mut fifo_off = Vec::with_capacity(p.fifo_cap.len() + 1);
+        let mut plane_words = 0u32;
+        fifo_off.push(plane_words);
+        for &cap in &p.fifo_cap {
+            let bits = 64 - u64::from(cap).leading_zeros();
+            plane_words += bits.max(1);
+            fifo_off.push(plane_words);
+        }
+        let mut next = 2u32;
+        let mut region = |len: usize| {
+            let base = next;
+            next += len as u32;
+            base
+        };
+        let mut k = StreamKernel {
+            cells: 0,
+            fwd: region(p.n_channels),
+            stop: region(p.n_channels),
+            src_valid: region(p.src_out_ch.len()),
+            shell_out: region(p.shell_out_ch.len()),
+            in_buf: region(p.shell_in_ch.len()),
+            fire: region(p.shell_buffered.len()),
+            full_main: region(p.full_in_ch.len()),
+            full_aux: region(p.full_in_ch.len()),
+            half_occ: region(p.half_in_ch.len()),
+            fifo: region(plane_words as usize),
+            snk_stop: region(p.snk_in_ch.len()),
+            fifo_off,
+            ops: Vec::new(),
+            segments: Vec::new(),
+        };
+        k.cells = next as usize;
+        debug_assert!(k.fwd + n_ch == k.stop);
+
+        // Forward pass 1: registered producers, any order — one long
+        // Copy segment (sources, shell outputs, full relays, FIFO
+        // plane 0), then the FIFO nonzero-fold Ors.
+        for (i, &ch) in p.src_out_ch.iter().enumerate() {
+            k.push(Opcode::Copy, k.fwd + ch, k.src_valid + i as u32, CELL_ZERO);
+        }
+        for (j, &ch) in p.shell_out_ch.iter().enumerate() {
+            k.push(Opcode::Copy, k.fwd + ch, k.shell_out + j as u32, CELL_ZERO);
+        }
+        for (i, &ch) in p.full_out_ch.iter().enumerate() {
+            k.push(Opcode::Copy, k.fwd + ch, k.full_main + i as u32, CELL_ZERO);
+        }
+        for (i, &ch) in p.fifo_out_ch.iter().enumerate() {
+            k.push(Opcode::Copy, k.fwd + ch, k.fifo + k.fifo_off[i], CELL_ZERO);
+        }
+        for (i, &ch) in p.fifo_out_ch.iter().enumerate() {
+            for plane in k.fifo_off[i] + 1..k.fifo_off[i + 1] {
+                k.push(Opcode::Or, k.fwd + ch, k.fwd + ch, k.fifo + plane);
+            }
+        }
+        // Forward pass 2: half-relay chains, upstream first (the order
+        // matters; all Or, so the segment continues).
+        for &h in &p.fwd_half_order {
+            let h = h as usize;
+            k.push(
+                Opcode::Or,
+                k.fwd + p.half_out_ch[h],
+                k.half_occ + h as u32,
+                k.fwd + p.half_in_ch[h],
+            );
+        }
+
+        // Backward pass 1: registered stops, any order — sinks, full
+        // aux, half occupancy, buffered-shell input buffers (Copy), then
+        // the FIFO at-capacity comparisons (plane-wise And/AndNot).
+        for (j, &ch) in p.snk_in_ch.iter().enumerate() {
+            k.push(Opcode::Copy, k.stop + ch, k.snk_stop + j as u32, CELL_ZERO);
+        }
+        for (i, &ch) in p.full_in_ch.iter().enumerate() {
+            k.push(Opcode::Copy, k.stop + ch, k.full_aux + i as u32, CELL_ZERO);
+        }
+        for (h, &ch) in p.half_in_ch.iter().enumerate() {
+            k.push(Opcode::Copy, k.stop + ch, k.half_occ + h as u32, CELL_ZERO);
+        }
+        for &s in &p.buffered_shells {
+            for j in p.shell_in_range(s as usize) {
+                k.push(
+                    Opcode::Copy,
+                    k.stop + p.shell_in_ch[j],
+                    k.in_buf + j as u32,
+                    CELL_ZERO,
+                );
+            }
+        }
+        for (i, &ch) in p.fifo_in_ch.iter().enumerate() {
+            // stop = AND over planes of (plane == capacity bit):
+            // capacity bit 1 contributes `plane`, bit 0 contributes
+            // `!plane`.
+            let cap = u64::from(p.fifo_cap[i]);
+            let d = k.stop + ch;
+            for (b, plane) in (k.fifo_off[i]..k.fifo_off[i + 1]).enumerate() {
+                let pl = k.fifo + plane;
+                let first = b == 0;
+                match ((cap >> b) & 1 == 1, first) {
+                    (true, true) => k.push(Opcode::Copy, d, pl, CELL_ZERO),
+                    (true, false) => k.push(Opcode::And, d, d, pl),
+                    (false, true) => k.push(Opcode::AndNot, d, CELL_ONES, pl),
+                    (false, false) => k.push(Opcode::AndNot, d, d, pl),
+                }
+            }
+        }
+
+        // Backward pass 2: unbuffered shells, downstream first. Each
+        // shell folds its fire condition into its fire cell, then
+        // writes its input stops — the ordering the stop stratification
+        // requires, so segments necessarily break per shell here.
+        for &s in &p.bwd_shell_order {
+            let s = s as usize;
+            k.emit_fire(p, s, false);
+            for j in p.shell_in_range(s) {
+                let ch = p.shell_in_ch[j];
+                // stop = !fire, masked to informative lanes under the
+                // refined variant (stop-on-void discard).
+                let a = if p.discards { k.fwd + ch } else { CELL_ONES };
+                k.push(Opcode::AndNot, k.stop + ch, a, k.fire + s as u32);
+            }
+        }
+        // Pass 3: buffered shells fire once every stop has settled
+        // (their input stops are registered — nothing more to write).
+        for &s in &p.buffered_shells {
+            k.emit_fire(p, s as usize, true);
+        }
+        k
+    }
+
+    /// Fold shell `s`'s fire condition into its fire cell: AND over
+    /// available inputs (`in_buf | fwd` when buffered), then clear
+    /// lanes where an output port blocks (`stop`, masked by the output
+    /// register under the refined variant).
+    fn emit_fire(&mut self, p: &SettleProgram, s: usize, buffered: bool) {
+        let d = self.fire + s as u32;
+        let mut first = true;
+        for j in p.shell_in_range(s) {
+            let v = self.fwd + p.shell_in_ch[j];
+            match (buffered, first) {
+                (false, true) => self.push(Opcode::Copy, d, v, CELL_ZERO),
+                (false, false) => self.push(Opcode::And, d, d, v),
+                (true, true) => self.push(Opcode::Or, d, self.in_buf + j as u32, v),
+                (true, false) => self.push(Opcode::AndOr, d, self.in_buf + j as u32, v),
+            }
+            first = false;
+        }
+        if first {
+            self.push(Opcode::Copy, d, CELL_ONES, CELL_ZERO);
+        }
+        for j in p.shell_out_range(s) {
+            let stp = self.stop + p.shell_out_ch[j];
+            let gate = if p.discards {
+                self.shell_out + j as u32
+            } else {
+                CELL_ONES
+            };
+            self.push(Opcode::NandAcc, d, stp, gate);
+        }
+    }
+
+    fn push(&mut self, op: Opcode, d: u32, a: u32, b: u32) {
+        match self.segments.last_mut() {
+            Some(seg) if seg.op == op => seg.end += 1,
+            _ => self.segments.push(Segment {
+                op,
+                start: self.ops.len() as u32,
+                end: self.ops.len() as u32 + 1,
+            }),
+        }
+        self.ops.push(Op { d, a, b });
+    }
+
+    /// Ops on the tape.
+    #[cfg(test)]
+    fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Homogeneous segments on the tape.
+    #[cfg(test)]
+    fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Run the tape over `arena` (length [`StreamKernel::cells`]). One
+    /// opcode match per segment; the inner loops are homogeneous
+    /// three-address lane-word ops.
+    #[inline]
+    pub(crate) fn execute<W: LaneWord>(&self, arena: &mut [W]) {
+        for seg in &self.segments {
+            let ops = &self.ops[seg.start as usize..seg.end as usize];
+            match seg.op {
+                Opcode::Copy => {
+                    for o in ops {
+                        arena[o.d as usize] = arena[o.a as usize];
+                    }
+                }
+                Opcode::Or => {
+                    for o in ops {
+                        let v = arena[o.a as usize].or(arena[o.b as usize]);
+                        arena[o.d as usize] = v;
+                    }
+                }
+                Opcode::And => {
+                    for o in ops {
+                        let v = arena[o.a as usize].and(arena[o.b as usize]);
+                        arena[o.d as usize] = v;
+                    }
+                }
+                Opcode::AndNot => {
+                    for o in ops {
+                        let v = arena[o.a as usize].andnot(arena[o.b as usize]);
+                        arena[o.d as usize] = v;
+                    }
+                }
+                Opcode::AndOr => {
+                    for o in ops {
+                        let v = arena[o.a as usize].or(arena[o.b as usize]);
+                        arena[o.d as usize] = arena[o.d as usize].and(v);
+                    }
+                }
+                Opcode::NandAcc => {
+                    for o in ops {
+                        let v = arena[o.a as usize].and(arena[o.b as usize]);
+                        arena[o.d as usize] = arena[o.d as usize].andnot(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_graph::generate;
+
+    #[test]
+    fn fig1_tape_is_segmented() {
+        let f = generate::fig1();
+        let p = SettleProgram::compile(&f.netlist).unwrap();
+        let k = &p.kernel;
+        assert!(k.op_count() > 0);
+        // The tape batches far better than one segment per op — the
+        // forward/backward register passes each fuse into long
+        // homogeneous runs.
+        assert!(
+            k.segment_count() < k.op_count(),
+            "{} segments over {} ops",
+            k.segment_count(),
+            k.op_count()
+        );
+        // The arena covers both constants and every region.
+        assert!(k.cells >= 2 + 2 * p.channel_count());
+    }
+
+    #[test]
+    fn constants_hold_after_execution() {
+        let f = generate::fig1();
+        let p = SettleProgram::compile(&f.netlist).unwrap();
+        let k = &p.kernel;
+        let mut arena = vec![0u64; k.cells];
+        arena[CELL_ONES as usize] = !0;
+        k.execute(&mut arena);
+        assert_eq!(arena[CELL_ZERO as usize], 0);
+        assert_eq!(arena[CELL_ONES as usize], !0);
+    }
+}

@@ -1,16 +1,24 @@
-//! Lane-equivalence property tests: every lane of the 64-wide
-//! [`BatchSkeleton`] must be cycle-for-cycle bit-identical to a scalar
-//! [`SkeletonSystem`] run of the same scenario — over the topology
-//! corpus (fig1 fork/join, fig2 feedback rings of every relay kind,
-//! random netlists), under both protocol variants, driven both by
-//! external stall schedules and by per-lane environment patterns.
+//! Lane-equivalence property tests: every lane of the many-lane
+//! [`BatchEngine`] — at every supported word shape from `u64` (64
+//! lanes) to `[u64; 16]` (1024 lanes) — must be cycle-for-cycle
+//! bit-identical to a scalar [`SkeletonSystem`] run of the same
+//! scenario — over the topology corpus (fig1 fork/join, fig2 feedback
+//! rings of every relay kind, random netlists), under both protocol
+//! variants, driven both by external stall schedules and by per-lane
+//! environment patterns. The cross-width half of the suite honours
+//! `LIP_LANE_WORDS` (see [`lane_words_under_test`]) so CI can matrix
+//! over widths.
 
 use std::sync::Arc;
 
 use lip_core::{Pattern, ProtocolVariant, RelayKind};
 use lip_graph::{generate, Netlist};
-use lip_obs::{MetricsRegistry, NullProbe, Probe};
-use lip_sim::{measure_batch, BatchSkeleton, LanePatterns, SettleProgram, SkeletonSystem, LANES};
+use lip_obs::{Event, MetricsRegistry, NullProbe, Probe};
+use lip_sim::{
+    dispatch_lane_width, lane_words_under_test, measure_batch, measure_batch_periodic_wide,
+    BatchEngine, BatchSkeleton, LanePatterns, LaneWidthVisitor, LaneWord, SettleProgram,
+    SkeletonSystem, LANES,
+};
 use proptest::prelude::*;
 
 /// Deterministic schedule words from a splitmix64 stream.
@@ -247,6 +255,279 @@ fn pattern_lanes_match_scalar_on_fig1_and_ring() {
     ] {
         assert_pattern_lanes_match_scalar(&netlist, 300, 99);
     }
+}
+
+// ---------------------------------------------------------------------
+// Cross-width half of the suite: every lane of every word shape.
+// ---------------------------------------------------------------------
+
+/// Probe that records every event it sees.
+#[derive(Default)]
+struct EventLog(Vec<Event>);
+
+impl Probe for EventLog {
+    fn event(&mut self, ev: Event) {
+        self.0.push(ev);
+    }
+}
+
+/// Sortable per-lane fingerprint of an event: engines may emit a
+/// cycle's events in different entity orders, so streams compare as
+/// sorted `(cycle, kind, entity)` sequences.
+fn fingerprint(ev: &Event) -> (u64, u8, u32) {
+    (ev.cycle, ev.kind as u8, ev.entity)
+}
+
+/// Per-lane periodic environments at `lanes` lanes: lane `l` replicates
+/// base scenario `l % 64`, so a lane of any width has an exact 64-wide
+/// and scalar counterpart.
+fn wide_patterns(prog: &SettleProgram, lanes: usize, seed: u64) -> LanePatterns {
+    let mut pats = LanePatterns::broadcast_wide(prog, lanes);
+    for lane in 0..lanes {
+        let base = (lane % LANES) as u32;
+        for j in 0..prog.sink_count() {
+            let period = 2 + (base + seed as u32 % 5) % 7;
+            pats.set_sink(
+                j,
+                lane,
+                Pattern::EveryNth {
+                    period,
+                    phase: base % period,
+                },
+            );
+        }
+        if base.is_multiple_of(3) {
+            for i in 0..prog.source_count() {
+                pats.set_source(
+                    i,
+                    lane,
+                    Pattern::EveryNth {
+                        period: 2 + base % 4,
+                        phase: 0,
+                    },
+                );
+            }
+        }
+    }
+    pats
+}
+
+/// Rebuild `netlist` with `lane`'s patterns from `pats`.
+fn rebuild_for_lane(netlist: &Netlist, pats: &LanePatterns, lane: usize) -> Netlist {
+    let mut reference = netlist.clone();
+    for (i, &s) in netlist.sources().iter().enumerate() {
+        assert!(reference.set_source_pattern(s, pats.source_pattern(i, lane).clone()));
+    }
+    for (j, &s) in netlist.sinks().iter().enumerate() {
+        assert!(reference.set_sink_pattern(s, pats.sink_pattern(j, lane).clone()));
+    }
+    reference
+}
+
+/// Lanes to spot-check at width `lanes`: both word boundaries, the
+/// middle, and the extremes.
+fn sample_lanes(lanes: usize) -> Vec<usize> {
+    let mut out = vec![0, 1, 63 % lanes, lanes / 2, lanes - 2, lanes - 1];
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Width-generic check: the full fire/stall/void event stream of every
+/// sampled lane is identical to a scalar probed run of that lane's
+/// scenario, and the final counters agree.
+fn assert_wide_event_streams_match_scalar<W: LaneWord>(netlist: &Netlist, cycles: u64, seed: u64) {
+    let prog = Arc::new(SettleProgram::compile(netlist).unwrap());
+    let pats = wide_patterns(&prog, W::LANES, seed);
+    let mut batch = BatchEngine::<W>::from_patterns(Arc::clone(&prog), &pats);
+    let mut log = EventLog::default();
+    batch.run_patterns_probed(&pats, cycles, &mut log);
+
+    for lane in sample_lanes(W::LANES) {
+        let reference = rebuild_for_lane(netlist, &pats, lane);
+        let mut scalar = SkeletonSystem::new(&reference).unwrap();
+        let mut slog = EventLog::default();
+        scalar.run_probed(cycles, &mut slog);
+
+        let mut got: Vec<_> = log
+            .0
+            .iter()
+            .filter(|e| e.lane as usize == lane)
+            .map(fingerprint)
+            .collect();
+        let mut want: Vec<_> = slog.0.iter().map(fingerprint).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want, "lane {lane} of {} event stream", W::LANES);
+        assert_eq!(
+            batch.total_fires_lane(lane),
+            scalar.total_fires(),
+            "lane {lane} of {} fires",
+            W::LANES
+        );
+        for s in netlist.sinks() {
+            assert_eq!(
+                batch.sink_counts_lane(s, lane),
+                scalar.sink_counts(s),
+                "lane {lane} of {} sink {s}",
+                W::LANES
+            );
+        }
+    }
+}
+
+/// Width-generic check under external random stall schedules: sampled
+/// lanes track scalar replicas' full component state every cycle.
+fn assert_wide_masked_lanes_match_scalar<W: LaneWord>(netlist: &Netlist, cycles: u64, seed: u64) {
+    let prog = Arc::new(SettleProgram::compile(netlist).unwrap());
+    let n_src = prog.source_count();
+    let n_snk = prog.sink_count();
+    let mut batch = BatchEngine::<W>::from_program(Arc::clone(&prog));
+    let check_lanes = sample_lanes(W::LANES);
+    let mut scalars: Vec<SkeletonSystem> = check_lanes
+        .iter()
+        .map(|_| SkeletonSystem::from_program(Arc::clone(&prog)))
+        .collect();
+
+    let word = |salt: u64, idx: usize| -> W {
+        let words = schedule_words(salt ^ ((idx as u64) << 32), W::WORDS);
+        W::from_fn(|l| (words[l / 64] >> (l % 64)) & 1 == 1)
+    };
+    for t in 0..cycles {
+        let srcs: Vec<W> = (0..n_src).map(|i| word(seed ^ (t << 1), i)).collect();
+        let snks: Vec<W> = (0..n_snk).map(|j| word(seed ^ (t << 1) ^ 1, j)).collect();
+        batch.step_with_masks(&srcs, &snks);
+        for (scalar, &lane) in scalars.iter_mut().zip(&check_lanes) {
+            let valids: Vec<bool> = srcs.iter().map(|w| w.lane(lane)).collect();
+            let stops: Vec<bool> = snks.iter().map(|w| w.lane(lane)).collect();
+            scalar.step_with(&valids, &stops);
+            assert_eq!(
+                batch.lane_component_state(lane),
+                scalar.component_state(),
+                "lane {lane} of {} diverged at cycle {t}",
+                W::LANES
+            );
+        }
+    }
+}
+
+#[test]
+fn wide_event_streams_match_scalar_over_corpus() {
+    struct Check<'a> {
+        netlist: &'a Netlist,
+        seed: u64,
+    }
+    impl LaneWidthVisitor for Check<'_> {
+        type Out = ();
+        fn visit<W: LaneWord>(&mut self) {
+            assert_wide_event_streams_match_scalar::<W>(self.netlist, 80, self.seed);
+        }
+    }
+    let widths = lane_words_under_test();
+    lip_par::par_map_indexed(&corpus(), |i, netlist| {
+        for &lanes in &widths {
+            dispatch_lane_width(
+                lanes,
+                &mut Check {
+                    netlist,
+                    seed: 0xABCD ^ (i as u64) << 4,
+                },
+            );
+        }
+    });
+}
+
+#[test]
+fn wide_masked_lanes_match_scalar_over_corpus() {
+    struct Check<'a> {
+        netlist: &'a Netlist,
+        seed: u64,
+    }
+    impl LaneWidthVisitor for Check<'_> {
+        type Out = ();
+        fn visit<W: LaneWord>(&mut self) {
+            assert_wide_masked_lanes_match_scalar::<W>(self.netlist, 50, self.seed);
+        }
+    }
+    let widths = lane_words_under_test();
+    lip_par::par_map_indexed(&corpus(), |i, netlist| {
+        for &lanes in &widths {
+            dispatch_lane_width(
+                lanes,
+                &mut Check {
+                    netlist,
+                    seed: 0xFACE ^ (i as u64) << 6,
+                },
+            );
+        }
+    });
+}
+
+#[test]
+fn wide_periodic_measurement_matches_scalar_exact_rationals() {
+    // Exact Periodicity and Ratio at every width: lane `l` of width `w`
+    // must report the same detected (transient, period) pair as lane
+    // `l % 64` of the 64-lane engine, and the same exact steady-state
+    // throughput as the scalar measurement of its rebuilt netlist —
+    // covering every relay kind around the feedback rings.
+    struct Measure<'a> {
+        netlist: &'a Netlist,
+        base: &'a lip_sim::BatchPeriodicMeasurement,
+    }
+    impl LaneWidthVisitor for Measure<'_> {
+        type Out = ();
+        fn visit<W: LaneWord>(&mut self) {
+            let prog = Arc::new(SettleProgram::compile(self.netlist).unwrap());
+            let pats = wide_patterns(&prog, W::LANES, 5);
+            let m = measure_batch_periodic_wide::<W>(self.netlist, &pats, 4096).unwrap();
+            assert!(m.all_converged(), "width {} did not converge", W::LANES);
+            for lane in sample_lanes(W::LANES) {
+                assert_eq!(
+                    m.periodicity[lane],
+                    self.base.periodicity[lane % LANES],
+                    "lane {lane} of {} periodicity vs 64-lane base",
+                    W::LANES
+                );
+                assert_eq!(
+                    m.system_throughput(lane),
+                    self.base.system_throughput(lane % LANES),
+                    "lane {lane} of {} ratio vs 64-lane base",
+                    W::LANES
+                );
+                let reference = rebuild_for_lane(self.netlist, &pats, lane);
+                let scalar = lip_sim::measure(&reference).unwrap();
+                assert!(scalar.periodicity.is_some(), "scalar lane {lane} periodic");
+                assert_eq!(
+                    m.system_throughput(lane),
+                    scalar.system_throughput(),
+                    "lane {lane} of {} exact ratio vs scalar",
+                    W::LANES
+                );
+            }
+        }
+    }
+    let items: Vec<Netlist> = vec![
+        generate::fig1().netlist,
+        generate::ring(2, 1, RelayKind::Full).netlist,
+        generate::ring(2, 2, RelayKind::Half).netlist,
+        generate::ring(2, 2, RelayKind::Fifo(3)).netlist,
+    ];
+    let widths = lane_words_under_test();
+    lip_par::par_map_indexed(&items, |_, netlist| {
+        let prog = Arc::new(SettleProgram::compile(netlist).unwrap());
+        let pats64 = wide_patterns(&prog, LANES, 5);
+        let base = measure_batch_periodic_wide::<u64>(netlist, &pats64, 4096).unwrap();
+        assert!(base.all_converged(), "64-lane base did not converge");
+        for &lanes in &widths {
+            dispatch_lane_width(
+                lanes,
+                &mut Measure {
+                    netlist,
+                    base: &base,
+                },
+            );
+        }
+    });
 }
 
 proptest! {

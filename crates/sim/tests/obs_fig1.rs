@@ -54,7 +54,7 @@ fn fig1_transient_settles_within_relay_path_bound() {
     }
     impl lip_obs::Probe for Det {
         fn event(&mut self, _ev: lip_obs::Event) {}
-        fn consume(&mut self, _cycle: u64, ch: u32, _lane: u8) {
+        fn consume(&mut self, _cycle: u64, ch: u32, _lane: u16) {
             if ch == self.sink_ch {
                 self.informative = true;
             }

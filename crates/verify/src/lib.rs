@@ -46,6 +46,7 @@ pub use equivalence::{check_latency_insensitivity, EquivalenceReport};
 pub use explore::{explore, explore_random, TraceStep, Verdict, Violation};
 pub use props::{verify_all, PropertyResult, RELAY_PROPERTIES, SHELL_PROPERTIES};
 pub use system_explore::{
-    explore_system, random_explore_system, random_explore_system_sharded, RandomSystemSearch,
+    explore_system, random_explore_system, random_explore_system_sharded,
+    random_explore_system_sharded_wide, random_explore_system_wide, RandomSystemSearch,
     SystemSearch,
 };

@@ -16,7 +16,10 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use lip_graph::{Netlist, NetlistError};
-use lip_sim::{BatchSkeleton, SettleProgram, SkeletonSystem, LANES};
+use lip_sim::{
+    dispatch_lane_width, BatchEngine, LaneWidthVisitor, LaneWord, SettleProgram, SkeletonSystem,
+    LANES,
+};
 
 use lip_analysis::transient_bound;
 
@@ -122,7 +125,9 @@ pub fn explore_system(netlist: &Netlist, max_states: usize) -> Result<SystemSear
 pub struct RandomSystemSearch {
     /// Cycles each schedule ran.
     pub cycles: u64,
-    /// Independent random stall schedules tried (always [`LANES`]).
+    /// Independent random stall schedules tried: the lane count of the
+    /// engine width that ran the hunt ([`LANES`] for
+    /// [`random_explore_system`]), summed over shards when sharded.
     pub schedules: usize,
     /// A scalar-confirmed environment trace into a wedged state, if any
     /// lane found one.
@@ -140,22 +145,78 @@ impl RandomSystemSearch {
 }
 
 /// Randomized whole-system deadlock hunt: drive 64 independent random
-/// stall schedules in lock-step on the bit-parallel [`BatchSkeleton`]
-/// (each cycle, every lane draws fresh source-offer and sink-stop
-/// choices), and periodically probe all 64 lanes at once for wedged
-/// states using the batched permissive continuation. A hit is replayed
-/// and confirmed on the scalar [`SkeletonSystem`] before it is reported,
-/// so a returned trace is always genuine.
+/// stall schedules in lock-step on the bit-parallel
+/// [`BatchEngine`]`<u64>` (each cycle, every lane draws fresh
+/// source-offer and sink-stop choices), and periodically probe all 64
+/// lanes at once for wedged states using the batched permissive
+/// continuation. A hit is replayed and confirmed on the scalar
+/// [`SkeletonSystem`] before it is reported, so a returned trace is
+/// always genuine.
 ///
 /// This samples schedules instead of enumerating them — linear cost per
 /// cycle versus the exponential branching of [`explore_system`] — which
 /// makes it the right first pass on systems whose exhaustive state space
-/// is out of budget.
+/// is out of budget. [`random_explore_system_wide`] runs the same hunt
+/// at wider lane words (up to 1024 schedules per engine pass).
 ///
 /// # Errors
 ///
 /// Propagates [`NetlistError`] from elaboration.
 pub fn random_explore_system(
+    netlist: &Netlist,
+    cycles: u64,
+    seed: u64,
+) -> Result<RandomSystemSearch, NetlistError> {
+    random_explore_generic::<u64>(netlist, cycles, seed)
+}
+
+/// [`random_explore_system`] at an arbitrary supported lane width:
+/// one [`BatchEngine`] pass carries `lanes` independent random stall
+/// schedules (walker count = lane count), so a 1024-lane word samples
+/// 16× the schedules of the classic 64-lane hunt for one engine sweep.
+///
+/// At `lanes == 64` this is *exactly* [`random_explore_system`]: the
+/// per-cycle random draw consumes one `splitmix64` word per lane word,
+/// so the 64-lane schedule stream is byte-identical.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+///
+/// # Panics
+///
+/// Panics if `lanes` is not one of [`lip_sim::LANE_WIDTHS`].
+pub fn random_explore_system_wide(
+    netlist: &Netlist,
+    cycles: u64,
+    seed: u64,
+    lanes: usize,
+) -> Result<RandomSystemSearch, NetlistError> {
+    struct Hunt<'a> {
+        netlist: &'a Netlist,
+        cycles: u64,
+        seed: u64,
+    }
+    impl LaneWidthVisitor for Hunt<'_> {
+        type Out = Result<RandomSystemSearch, NetlistError>;
+        fn visit<W: LaneWord>(&mut self) -> Self::Out {
+            random_explore_generic::<W>(self.netlist, self.cycles, self.seed)
+        }
+    }
+    dispatch_lane_width(
+        lanes,
+        &mut Hunt {
+            netlist,
+            cycles,
+            seed,
+        },
+    )
+}
+
+/// Width-generic body of the randomized hunt: `W::LANES` schedules per
+/// pass, wedge probes batched over the whole word, scalar confirmation
+/// per hit.
+fn random_explore_generic<W: LaneWord>(
     netlist: &Netlist,
     cycles: u64,
     seed: u64,
@@ -167,34 +228,46 @@ pub fn random_explore_system(
     let horizon = transient_bound(netlist) + 4;
     let probe_every = horizon.max(8);
 
-    let mut batch = BatchSkeleton::from_program(Arc::clone(&prog));
+    let mut batch = BatchEngine::<W>::from_program(Arc::clone(&prog));
     let mut rng = seed;
-    let mut schedule: Vec<(Vec<u64>, Vec<u64>)> = Vec::with_capacity(cycles as usize);
+    let mut schedule: Vec<(Vec<W>, Vec<W>)> = Vec::with_capacity(cycles as usize);
     for t in 0..cycles {
-        let srcs: Vec<u64> = (0..n_src).map(|_| splitmix64(&mut rng)).collect();
-        let snks: Vec<u64> = (0..n_snk).map(|_| splitmix64(&mut rng)).collect();
+        let srcs: Vec<W> = (0..n_src).map(|_| rand_word::<W>(&mut rng)).collect();
+        let snks: Vec<W> = (0..n_snk).map(|_| rand_word::<W>(&mut rng)).collect();
         batch.step_with_masks(&srcs, &snks);
         schedule.push((srcs, snks));
         if has_shells && ((t + 1) % probe_every == 0 || t + 1 == cycles) {
-            let mut wedged_lanes = batch_wedged_mask(&batch, n_src, n_snk, horizon);
-            while wedged_lanes != 0 {
-                let lane = wedged_lanes.trailing_zeros() as usize;
-                wedged_lanes &= wedged_lanes - 1;
-                if let Some(trace) = confirm_lane(&prog, &schedule, lane, n_src, n_snk, horizon) {
-                    return Ok(RandomSystemSearch {
-                        cycles: t + 1,
-                        schedules: LANES,
-                        wedged: Some(trace),
-                    });
+            let wedged_lanes = batch_wedged_mask(&batch, n_src, n_snk, horizon);
+            if wedged_lanes.any() {
+                for lane in (0..W::LANES).filter(|&l| wedged_lanes.lane(l)) {
+                    if let Some(trace) = confirm_lane(&prog, &schedule, lane, n_src, n_snk, horizon)
+                    {
+                        return Ok(RandomSystemSearch {
+                            cycles: t + 1,
+                            schedules: W::LANES,
+                            wedged: Some(trace),
+                        });
+                    }
                 }
             }
         }
     }
     Ok(RandomSystemSearch {
         cycles,
-        schedules: LANES,
+        schedules: W::LANES,
         wedged: None,
     })
+}
+
+/// One fresh random lane word: `W::WORDS` `splitmix64` draws, little
+/// endian, so the `u64` shape consumes exactly one draw per call and
+/// reproduces the historical 64-lane schedule stream bit for bit.
+fn rand_word<W: LaneWord>(rng: &mut u64) -> W {
+    let mut words = [0u64; 16];
+    for w in words.iter_mut().take(W::WORDS) {
+        *w = splitmix64(rng);
+    }
+    W::from_fn(|l| (words[l / 64] >> (l % 64)) & 1 == 1)
 }
 
 /// [`random_explore_system`] fanned out over `shards` independent
@@ -215,12 +288,35 @@ pub fn random_explore_system_sharded(
     seed: u64,
     shards: usize,
 ) -> Result<RandomSystemSearch, NetlistError> {
+    random_explore_system_sharded_wide(netlist, cycles, seed, shards, LANES)
+}
+
+/// [`random_explore_system_sharded`] at an arbitrary supported lane
+/// width: `shards * lanes` sampled schedules, with each shard one
+/// `lanes`-wide engine pass. Shard `k` runs exactly
+/// [`random_explore_system_wide`]`(netlist, cycles, derive(seed, k),
+/// lanes)`, preserving the worker-count-independent merge.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+///
+/// # Panics
+///
+/// Panics if `lanes` is not one of [`lip_sim::LANE_WIDTHS`].
+pub fn random_explore_system_sharded_wide(
+    netlist: &Netlist,
+    cycles: u64,
+    seed: u64,
+    shards: usize,
+    lanes: usize,
+) -> Result<RandomSystemSearch, NetlistError> {
     // Elaborate once up front so a bad netlist fails before fan-out.
     SettleProgram::compile(netlist)?;
     let shard_ids: Vec<usize> = (0..shards.max(1)).collect();
     let results = lip_par::par_map_indexed(&shard_ids, |_, &k| {
         let shard_seed = seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        random_explore_system(netlist, cycles, shard_seed)
+        random_explore_system_wide(netlist, cycles, shard_seed, lanes)
             .expect("netlist compiled above; elaboration is deterministic")
     });
     let schedules: usize = results.iter().map(|r| r.schedules).sum();
@@ -240,24 +336,30 @@ pub fn random_explore_system_sharded(
 }
 
 /// Lanes that fail to fire any shell within `horizon` permissive cycles
-/// — the batched form of [`is_wedged`], all 64 lanes probed at once.
-fn batch_wedged_mask(batch: &BatchSkeleton, n_src: usize, n_snk: usize, horizon: u64) -> u64 {
+/// — the batched form of [`is_wedged`], all `W::LANES` lanes probed at
+/// once.
+fn batch_wedged_mask<W: LaneWord>(
+    batch: &BatchEngine<W>,
+    n_src: usize,
+    n_snk: usize,
+    horizon: u64,
+) -> W {
     let mut probe = batch.clone();
     probe.reset_fired_mask();
-    let all_valid = vec![!0u64; n_src];
-    let no_stop = vec![0u64; n_snk];
+    let all_valid = vec![W::ONES; n_src];
+    let no_stop = vec![W::ZERO; n_snk];
     for _ in 0..horizon {
         probe.step_with_masks(&all_valid, &no_stop);
     }
-    !probe.fired_mask()
+    probe.fired_mask().not()
 }
 
 /// Replay `lane`'s bits of the recorded schedule on a scalar skeleton
 /// and re-check the wedge verdict; returns the per-cycle environment
 /// trace when confirmed.
-fn confirm_lane(
+fn confirm_lane<W: LaneWord>(
     prog: &Arc<SettleProgram>,
-    schedule: &[(Vec<u64>, Vec<u64>)],
+    schedule: &[(Vec<W>, Vec<W>)],
     lane: usize,
     n_src: usize,
     n_snk: usize,
@@ -266,8 +368,8 @@ fn confirm_lane(
     let mut scalar = SkeletonSystem::from_program(Arc::clone(prog));
     let mut trace = Vec::with_capacity(schedule.len());
     for (srcs, snks) in schedule {
-        let valids: Vec<bool> = (0..n_src).map(|i| (srcs[i] >> lane) & 1 == 1).collect();
-        let stops: Vec<bool> = (0..n_snk).map(|j| (snks[j] >> lane) & 1 == 1).collect();
+        let valids: Vec<bool> = (0..n_src).map(|i| srcs[i].lane(lane)).collect();
+        let stops: Vec<bool> = (0..n_snk).map(|j| snks[j].lane(lane)).collect();
         scalar.step_with(&valids, &stops);
         trace.push((valids, stops));
     }
@@ -420,6 +522,43 @@ mod tests {
         assert_eq!(single.wedged, sharded.wedged);
         let again = random_explore_system_sharded(&f.netlist, 200, 3, 4).unwrap();
         assert_eq!(sharded, again);
+    }
+
+    #[test]
+    fn wide_prepass_is_scalar_hunt_at_64_and_scales_schedules() {
+        let f = generate::fig1();
+        // At 64 lanes the wide entry point is byte-identical to the
+        // classic hunt: same splitmix64 stream, same verdict.
+        let narrow = random_explore_system(&f.netlist, 300, 11).unwrap();
+        let wide64 = random_explore_system_wide(&f.netlist, 300, 11, 64).unwrap();
+        assert_eq!(narrow, wide64);
+        // Wider words carry proportionally more walkers per pass.
+        for lanes in [128, 256] {
+            let wide = random_explore_system_wide(&f.netlist, 300, 11, lanes).unwrap();
+            assert!(wide.deadlock_free(), "{lanes} lanes: {:?}", wide.wedged);
+            assert_eq!(wide.schedules, lanes);
+            assert_eq!(wide.cycles, 300);
+        }
+    }
+
+    #[test]
+    fn sharded_wide_prepass_multiplies_walkers_deterministically() {
+        let r = generate::ring_with_entry(
+            2,
+            1,
+            RelayKind::Full,
+            lip_core::Pattern::Never,
+            lip_core::Pattern::Never,
+        );
+        let sharded = random_explore_system_sharded_wide(&r.netlist, 160, 9, 2, 256).unwrap();
+        assert!(sharded.deadlock_free(), "{:?}", sharded.wedged);
+        assert_eq!(sharded.schedules, 2 * 256);
+        let again = random_explore_system_sharded_wide(&r.netlist, 160, 9, 2, 256).unwrap();
+        assert_eq!(sharded, again);
+        // The classic sharded API is the wide one pinned at 64 lanes.
+        let classic = random_explore_system_sharded(&r.netlist, 160, 9, 2).unwrap();
+        let pinned = random_explore_system_sharded_wide(&r.netlist, 160, 9, 2, 64).unwrap();
+        assert_eq!(classic, pinned);
     }
 
     #[test]

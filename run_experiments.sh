@@ -40,7 +40,11 @@ TIMED_BINS=(
 REPORT_DIR="${LIP_REPORT_DIR:-target/reports}"
 LOG_DIR="$REPORT_DIR/logs"
 TARGET_DIR="${CARGO_TARGET_DIR:-target}"
-EXPECTED_SCHEMA=1
+# Cycle-event / report schema (bumped to 2 when channel_void + consume
+# records joined the JSONL stream). The blame artefacts version
+# independently and are still at 1.
+EXPECTED_SCHEMA=2
+EXPECTED_BLAME_SCHEMA=1
 JOBS="${LIP_JOBS:-$(nproc 2>/dev/null || echo 1)}"
 case "$JOBS" in
   ''|*[!0-9]*|0) echo "!! LIP_JOBS must be a positive integer, got '$JOBS'" >&2; exit 1 ;;
@@ -50,9 +54,11 @@ mkdir -p "$LOG_DIR"
 cargo build --release -p lip-bench --bins || exit 1
 
 # Validate one report JSON: present, and carrying the expected
-# schema_version. Uses jq when available, grep otherwise.
+# schema_version (second arg overrides, for the independently-versioned
+# blame artefacts). Uses jq when available, grep otherwise.
 check_report() {
   local file="$1"
+  local expected="${2:-$EXPECTED_SCHEMA}"
   if [ ! -f "$file" ]; then
     echo "!! missing report: $file" >&2
     return 1
@@ -60,13 +66,13 @@ check_report() {
   if command -v jq >/dev/null 2>&1; then
     local v
     v=$(jq -r '.schema_version' "$file") || return 1
-    [ "$v" = "$EXPECTED_SCHEMA" ] || {
-      echo "!! $file: schema_version $v != $EXPECTED_SCHEMA" >&2
+    [ "$v" = "$expected" ] || {
+      echo "!! $file: schema_version $v != $expected" >&2
       return 1
     }
   else
-    grep -q "\"schema_version\": $EXPECTED_SCHEMA" "$file" || {
-      echo "!! $file: schema_version $EXPECTED_SCHEMA not found" >&2
+    grep -q "\"schema_version\": $expected" "$file" || {
+      echo "!! $file: schema_version $expected not found" >&2
       return 1
     }
   fi
@@ -123,8 +129,35 @@ done
 check_report BENCH_skeleton.json || FAILED+=("BENCH_skeleton.json (schema)")
 check_report BENCH_parallel.json || FAILED+=("BENCH_parallel.json (schema)")
 
-# The causal-profiling artefacts (written by exp_profile) too.
-check_report "$REPORT_DIR/BLAME_fig1.json" || FAILED+=("BLAME_fig1.json (schema)")
+# Surface a skipped parallel-speedup gate (low-core machines record the
+# reason instead of silently passing) in the replayed summary.
+if [ -f BENCH_parallel.json ]; then
+  if command -v jq >/dev/null 2>&1; then
+    skipped=$(jq -r '.gate_skipped // empty' BENCH_parallel.json 2>/dev/null)
+    [ "$skipped" = null ] && skipped=""
+  else
+    skipped=$(sed -n 's/.*"gate_skipped": "\([a-z_]*\)".*/\1/p' BENCH_parallel.json)
+  fi
+  if [ -n "$skipped" ]; then
+    echo ">> BENCH_parallel: parallel speedup gate SKIPPED ($skipped) — recorded in the artefact, not silently passed"
+  fi
+fi
+
+# The many-lane engine artefact must carry the per-width table with a
+# passing widest-width gate.
+if [ -f BENCH_skeleton.json ] && command -v jq >/dev/null 2>&1; then
+  if ! jq -e '.lane_widths | type == "array" and length >= 2' BENCH_skeleton.json >/dev/null; then
+    echo "!! BENCH_skeleton.json: lane_widths array missing" >&2
+    FAILED+=("BENCH_skeleton.json (lane_widths)")
+  elif ! jq -e '.lane_widths | max_by(.lanes) | .ok' BENCH_skeleton.json >/dev/null; then
+    echo "!! BENCH_skeleton.json: widest lane-width gate failed" >&2
+    FAILED+=("BENCH_skeleton.json (widest gate)")
+  fi
+fi
+
+# The causal-profiling artefacts (written by exp_profile) version
+# independently: blame schema is still 1.
+check_report "$REPORT_DIR/BLAME_fig1.json" "$EXPECTED_BLAME_SCHEMA" || FAILED+=("BLAME_fig1.json (schema)")
 if [ ! -s "$REPORT_DIR/TRACE_fig1.json" ]; then
   echo "!! missing or empty trace: $REPORT_DIR/TRACE_fig1.json" >&2
   FAILED+=("TRACE_fig1.json")

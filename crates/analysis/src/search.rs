@@ -71,10 +71,16 @@ pub fn minimal_equalizing_capacity(
     cache: &mut ThroughputCache,
 ) -> Result<CapacityChoice, NetlistError> {
     assert!(max_cap >= 2, "fifo stations need capacity >= 2");
+    // Ambient flight-recorder span + probe counter: capacity searches
+    // dominate equalization sweeps, so attribute their wall-clock and
+    // candidate count when a recorder is installed.
+    let _bisect_span = lip_obs::flight::global_span("analysis", "capacity_bisect");
     let best = throughput_at(netlist, relay, max_cap, cache)?;
+    lip_obs::flight::global_add("analysis.capacity_probes", 1);
     let (mut lo, mut hi) = (2u8, max_cap);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
+        lip_obs::flight::global_add("analysis.capacity_probes", 1);
         if throughput_at(netlist, relay, mid, cache)? == best {
             hi = mid;
         } else {

@@ -17,9 +17,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use lip_bench::{banner, emit_report, mark, table, Report};
+use lip_bench::{banner, emit_report, mark, report_dir, table, Report};
 use lip_core::Pattern;
 use lip_graph::{generate, Netlist, NodeId};
+use lip_obs::{ProgressSink, ProgressSnapshot, PromFileProgress};
 use lip_sim::{
     dispatch_lane_width, measure_batch_wide, BatchMeasurement, LanePatterns, LaneWidthVisitor,
     LaneWord, SettleProgram, SkeletonSystem, LANES, LANE_WIDTHS,
@@ -165,6 +166,10 @@ fn main() {
     );
 
     let widest = *LANE_WIDTHS.last().expect("widths non-empty");
+    // Live telemetry: one snapshot per completed (topology, width) unit,
+    // published to the Prometheus exposition the `lip_top` bin renders.
+    let mut progress = PromFileProgress::new(report_dir().join("progress.prom"));
+    let sweep_started = Instant::now();
     let mut rows = Vec::new();
     for (name, netlist) in corpus() {
         let prog = Arc::new(SettleProgram::compile(&netlist).expect("compiles"));
@@ -218,6 +223,17 @@ fn main() {
                 }
             }
             let rate = (lanes as u64 * CYCLES) as f64 / t;
+            progress.publish(&ProgressSnapshot {
+                experiment: "exp_batch_sweep".to_string(),
+                topology: format!("{name}@{lanes}L"),
+                lanes: lanes as u64,
+                lanes_converged: lanes as u64,
+                cycles_executed: CYCLES,
+                cycles_per_sec: rate,
+                cache_hits: 0,
+                cache_misses: 0,
+                elapsed_ns: u64::try_from(sweep_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            });
             widths.push(WidthRow {
                 lanes,
                 rate,
@@ -230,6 +246,9 @@ fn main() {
             scalar_rate,
             widths,
         });
+    }
+    if let Some(e) = progress.take_error() {
+        eprintln!("warning: progress exposition stopped updating: {e}");
     }
 
     let printable: Vec<Vec<String>> = rows

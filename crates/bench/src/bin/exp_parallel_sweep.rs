@@ -22,9 +22,10 @@
 
 use std::time::Instant;
 
-use lip_bench::{banner, emit_report, mark, table, Report};
+use lip_bench::{banner, emit_report, mark, report_dir, table, Report};
 use lip_core::RelayKind;
 use lip_graph::{generate, Netlist};
+use lip_obs::{ProgressSink, ProgressSnapshot, PromFileProgress};
 use lip_sim::{measure, measure_batch_periodic, LanePatterns, Ratio, SettleProgram, LANES};
 
 const REPS: usize = 3;
@@ -166,12 +167,31 @@ fn main() {
             generate::ring(3, 2, RelayKind::Full).netlist,
         ),
     ];
+    // Live telemetry: one snapshot per completed early-exit unit,
+    // published to the Prometheus exposition the `lip_top` bin renders.
+    let mut progress = PromFileProgress::new(report_dir().join("progress.prom"));
+    let part2_started = Instant::now();
     let mut rows: Vec<EarlyExitRow> = Vec::new();
     for (name, netlist) in &early_corpus {
         let prog = SettleProgram::compile(netlist).expect("compiles");
         let pats = LanePatterns::broadcast(&prog);
+        let t0 = Instant::now();
         let batch =
             measure_batch_periodic(netlist, &pats, EARLY_EXIT_BUDGET).expect("batch measures");
+        #[allow(clippy::cast_precision_loss)]
+        let rate = (batch.cycles * LANES as u64) as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        let converged = batch.periodicity.iter().filter(|p| p.is_some()).count() as u64;
+        progress.publish(&ProgressSnapshot {
+            experiment: "exp_parallel_sweep".to_string(),
+            topology: name.clone(),
+            lanes: LANES as u64,
+            lanes_converged: converged,
+            cycles_executed: batch.cycles,
+            cycles_per_sec: rate,
+            cache_hits: 0,
+            cache_misses: 0,
+            elapsed_ns: u64::try_from(part2_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        });
         assert!(
             batch.all_converged(),
             "{name}: periodic corpus must converge within {EARLY_EXIT_BUDGET} cycles"
@@ -189,6 +209,9 @@ fn main() {
             saved: batch.cycles_saved(),
             exact,
         });
+    }
+    if let Some(e) = progress.take_error() {
+        eprintln!("warning: progress exposition stopped updating: {e}");
     }
     let fig1_exact = rows[0].throughput == Ratio::new(4, 5);
     let total_budget = EARLY_EXIT_BUDGET * early_corpus.len() as u64;

@@ -1,0 +1,153 @@
+//! `lip-top` — live text dashboard over the sweep progress exposition.
+//!
+//! The long-running experiment bins (`exp_runtime_obs`,
+//! `exp_batch_sweep`, `exp_parallel_sweep`) publish
+//! [`ProgressSnapshot`](lip_obs::ProgressSnapshot)s to a
+//! Prometheus-style text file (`progress.prom` in the report
+//! directory, atomically rewritten on every publish). This bin renders
+//! that file as a per-`(experiment, topology)` table — a `top`-style
+//! view of an in-flight sweep.
+//!
+//! Usage: `lip_top [--file PATH] [--watch]`. Without `--watch` it
+//! prints one table and exits; with it, the table refreshes twice a
+//! second until interrupted. A missing file is not an error — it just
+//! means nothing has published yet.
+
+use std::path::PathBuf;
+
+use lip_bench::{report_dir, table};
+
+/// One parsed `(experiment, topology)` row of the exposition.
+#[derive(Debug, Default, Clone)]
+struct Unit {
+    experiment: String,
+    topology: String,
+    lanes: f64,
+    converged: f64,
+    cycles: f64,
+    cycles_per_sec: f64,
+    cache_hits: f64,
+    cache_misses: f64,
+    elapsed_s: f64,
+}
+
+/// Parse one exposition line: `name{experiment="…",topology="…"} value`.
+fn parse_line(line: &str) -> Option<(&str, String, String, f64)> {
+    let line = line.strip_prefix("lip_")?;
+    let brace = line.find('{')?;
+    let close = line.find('}')?;
+    let metric = &line[..brace];
+    let labels = &line[brace + 1..close];
+    let value: f64 = line[close + 1..].trim().parse().ok()?;
+    let label = |key: &str| -> Option<String> {
+        let pat = format!("{key}=\"");
+        let start = labels.find(&pat)? + pat.len();
+        let end = labels[start..].find('"')? + start;
+        Some(labels[start..end].to_string())
+    };
+    Some((metric, label("experiment")?, label("topology")?, value))
+}
+
+fn parse(text: &str) -> Vec<Unit> {
+    let mut units: Vec<Unit> = Vec::new();
+    for line in text.lines() {
+        let Some((metric, experiment, topology, value)) = parse_line(line) else {
+            continue;
+        };
+        let unit = match units
+            .iter_mut()
+            .find(|u| u.experiment == experiment && u.topology == topology)
+        {
+            Some(u) => u,
+            None => {
+                units.push(Unit {
+                    experiment,
+                    topology,
+                    ..Unit::default()
+                });
+                units.last_mut().expect("just pushed")
+            }
+        };
+        match metric {
+            "lanes" => unit.lanes = value,
+            "lanes_converged" => unit.converged = value,
+            "cycles_executed" => unit.cycles = value,
+            "cycles_per_sec" => unit.cycles_per_sec = value,
+            "cache_hits" => unit.cache_hits = value,
+            "cache_misses" => unit.cache_misses = value,
+            "elapsed_seconds" => unit.elapsed_s = value,
+            _ => {}
+        }
+    }
+    units
+}
+
+fn render(units: &[Unit]) -> String {
+    let rows: Vec<Vec<String>> = units
+        .iter()
+        .map(|u| {
+            vec![
+                u.experiment.clone(),
+                u.topology.clone(),
+                format!("{}/{}", u.converged, u.lanes),
+                format!("{}", u.cycles),
+                format!("{:.3e}", u.cycles_per_sec),
+                format!("{}/{}", u.cache_hits, u.cache_misses),
+                format!("{:.2}s", u.elapsed_s),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "experiment",
+            "topology",
+            "lanes conv",
+            "cycles",
+            "cyc/s",
+            "cache h/m",
+            "elapsed",
+        ],
+        &rows,
+    )
+}
+
+fn main() {
+    let mut path: Option<PathBuf> = None;
+    let mut watch = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--file" => path = Some(PathBuf::from(args.next().expect("--file takes a path"))),
+            "--watch" => watch = true,
+            other => {
+                eprintln!("usage: lip_top [--file PATH] [--watch] (unknown arg {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| report_dir().join("progress.prom"));
+
+    loop {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let units = parse(&text);
+                if watch {
+                    // ANSI clear + home, so the refresh reads like top.
+                    print!("\x1b[2J\x1b[H");
+                }
+                println!("lip-top — {} unit(s) from {}", units.len(), path.display());
+                print!("{}", render(&units));
+            }
+            Err(_) => {
+                println!(
+                    "lip-top: nothing published yet at {} (run an exp_* bin first)",
+                    path.display()
+                );
+            }
+        }
+        if !watch {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    }
+}

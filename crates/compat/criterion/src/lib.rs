@@ -30,12 +30,18 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Id from a function name and a displayed parameter.
     pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
     }
 
     /// Id from a parameter alone.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
     }
 
     fn render(&self, group: &str) -> String {
@@ -50,13 +56,19 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { function: s.to_string(), parameter: String::new() }
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: String::new(),
+        }
     }
 }
 
 impl From<String> for BenchmarkId {
     fn from(s: String) -> Self {
-        BenchmarkId { function: s, parameter: String::new() }
+        BenchmarkId {
+            function: s,
+            parameter: String::new(),
+        }
     }
 }
 
@@ -118,7 +130,11 @@ impl Criterion {
 
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     /// Run a single benchmark outside any group.
@@ -168,7 +184,12 @@ impl Criterion {
             rate.unwrap_or_default(),
             b.iterations
         );
-        self.results.push(BenchResult { name, median_ns, iterations: b.iterations, throughput });
+        self.results.push(BenchResult {
+            name,
+            median_ns,
+            iterations: b.iterations,
+            throughput,
+        });
     }
 }
 

@@ -31,7 +31,9 @@ impl TestRng {
     /// Build from a seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     /// Next raw word.
@@ -298,7 +300,9 @@ impl<A: Arbitrary> Strategy for Any<A> {
 /// The canonical strategy for `A` (`any::<bool>()`, …).
 #[must_use]
 pub fn any<A: Arbitrary>() -> Any<A> {
-    Any { _marker: core::marker::PhantomData }
+    Any {
+        _marker: core::marker::PhantomData,
+    }
 }
 
 macro_rules! impl_tuple_strategy {
@@ -337,13 +341,19 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -361,7 +371,10 @@ pub mod collection {
 
     /// Generate vectors of `element` values with lengths in `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

@@ -152,7 +152,9 @@ mod tests {
     fn seeds_decorrelate() {
         let mut a = SmallRng::seed_from_u64(0);
         let mut b = SmallRng::seed_from_u64(1);
-        let same = (0..64).filter(|_| a.gen_range(0..8u32) == b.gen_range(0..8u32)).count();
+        let same = (0..64)
+            .filter(|_| a.gen_range(0..8u32) == b.gen_range(0..8u32))
+            .count();
         assert!(same < 32, "{same} of 64 draws collide");
     }
 }

@@ -34,6 +34,16 @@
 //!   tokens end-to-end (sequence latency, relay residency, occupancy).
 //!   [`chrome_trace_json`] renders the retained spans for
 //!   `chrome://tracing` / Perfetto.
+//! * [`Recorder`] / [`FlightRecorder`] — the engine flight recorder:
+//!   wall-clock self-profiling of the *simulator* (compile, settle,
+//!   periodicity detection, cache lookups, pool workers) with the same
+//!   compile-away [`NullRecorder`] idiom, rolled up with
+//!   [`KernelCounters`] into the versioned [`RuntimeReport`]
+//!   (`BENCH_runtime.json`) and rendered by [`runtime_chrome_trace`].
+//! * [`ProgressSink`] / [`ProgressSnapshot`] — live sweep telemetry
+//!   (lanes converged, cycles/s, cache hit rate) published by
+//!   long-running measurement loops, exposed as a Prometheus-style
+//!   text file by [`PromFileProgress`] for the `lip-top` dashboard.
 //!
 //! Layering: this crate depends only on `lip-kernel` (for the VCD
 //! trace). The engines in `lip-sim` depend on it; analytic targets from
@@ -43,14 +53,20 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod flight;
 pub mod metrics;
 pub mod probe;
 pub mod profile;
+pub mod runtime_report;
 pub mod sink;
 pub mod telemetry;
 pub mod trace_export;
 
 pub use event::{Event, EventKind};
+pub use flight::{
+    rec_span, FlightDump, FlightRecorder, FlightSpan, NullRecorder, RecSpan, Recorder, SpanRecord,
+    SpanToken,
+};
 pub use metrics::{MetricsRegistry, Topology};
 pub use probe::{
     for_each_lane, for_each_lane_word, mask_count, mask_lane, EventStreamProbe, NullProbe, Probe,
@@ -60,6 +76,12 @@ pub use profile::{
     BlameEdge, BlameEntry, BlameReport, CausalProfiler, ChannelGraph, Entity, Histogram,
     PairLatency, StallCause, BLAME_SCHEMA_VERSION,
 };
+pub use runtime_report::{
+    rollup_spans, span_coverage, KernelCounters, KernelOpRow, RuntimeReport, SpanRollup,
+};
 pub use sink::{EventSink, JsonlSink, RingBufferSink, TraceSink};
-pub use telemetry::{Report, RollingThroughput, TransientDetector, SCHEMA_VERSION};
-pub use trace_export::chrome_trace_json;
+pub use telemetry::{
+    MemoryProgress, NullProgress, ProgressSink, ProgressSnapshot, PromFileProgress, Report,
+    RollingThroughput, TransientDetector, SCHEMA_VERSION,
+};
+pub use trace_export::{chrome_trace_json, runtime_chrome_trace};

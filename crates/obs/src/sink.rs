@@ -102,9 +102,18 @@ impl EventSink for RingBufferSink {
 /// I/O errors are latched rather than panicking mid-simulation: the
 /// first error stops further writes and is retrievable via
 /// [`JsonlSink::take_error`].
+///
+/// Dropping the sink flushes the writer (best effort, errors ignored):
+/// a sink that goes out of scope mid-experiment — early return, panic
+/// unwind, forgotten [`JsonlSink::finish`] — must not leave records
+/// stranded in a `BufWriter`, where a truncated-but-well-formed prefix
+/// would silently pass downstream `jq` schema checks. Call
+/// [`JsonlSink::finish`] to *observe* flush errors.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
-    writer: W,
+    /// `Some` until `finish` takes the writer; `Drop` flushes what
+    /// remains.
+    writer: Option<W>,
     written: u64,
     error: Option<io::Error>,
 }
@@ -113,7 +122,7 @@ impl<W: Write> JsonlSink<W> {
     /// Stream records into `writer`.
     pub fn new(writer: W) -> Self {
         JsonlSink {
-            writer,
+            writer: Some(writer),
             written: 0,
             error: None,
         }
@@ -139,8 +148,17 @@ impl<W: Write> JsonlSink<W> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.writer.flush()?;
-        Ok(self.writer)
+        let mut writer = self.writer.take().expect("writer present until finish");
+        writer.flush()?;
+        Ok(writer)
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.as_mut() {
+            let _ = writer.flush();
+        }
     }
 }
 
@@ -149,7 +167,8 @@ impl<W: Write> EventSink for JsonlSink<W> {
         if self.error.is_some() {
             return;
         }
-        match writeln!(self.writer, "{}", ev.to_json()) {
+        let writer = self.writer.as_mut().expect("writer present until finish");
+        match writeln!(writer, "{}", ev.to_json()) {
             Ok(()) => self.written += 1,
             Err(e) => self.error = Some(e),
         }
@@ -157,7 +176,8 @@ impl<W: Write> EventSink for JsonlSink<W> {
 
     fn flush(&mut self) {
         if self.error.is_none() {
-            if let Err(e) = self.writer.flush() {
+            let writer = self.writer.as_mut().expect("writer present until finish");
+            if let Err(e) = writer.flush() {
                 self.error = Some(e);
             }
         }
@@ -395,6 +415,55 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains(r#""w\\6\"\n·π""#));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    /// A writer whose flushes are visible after the sink is gone.
+    struct FlushWitness {
+        buffered: Vec<u8>,
+        flushed: std::rc::Rc<std::cell::RefCell<Vec<u8>>>,
+    }
+
+    impl Write for FlushWitness {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.buffered.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushed.borrow_mut().append(&mut self.buffered);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_buffered_records_on_drop() {
+        let flushed = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        {
+            let mut s = JsonlSink::new(FlushWitness {
+                buffered: Vec::new(),
+                flushed: std::rc::Rc::clone(&flushed),
+            });
+            s.accept(&ev(0, EventKind::Fire, 0));
+            s.accept(&ev(1, EventKind::Stall, 1));
+            // No explicit flush/finish: the sink is simply dropped, as
+            // happens on early return or panic unwind.
+        }
+        let out = String::from_utf8(flushed.borrow().clone()).unwrap();
+        assert_eq!(out.lines().count(), 2, "drop must flush buffered records");
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn jsonl_sink_finish_does_not_double_flush() {
+        let flushed = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut s = JsonlSink::new(FlushWitness {
+            buffered: Vec::new(),
+            flushed: std::rc::Rc::clone(&flushed),
+        });
+        s.accept(&ev(0, EventKind::Fire, 0));
+        let writer = s.finish().unwrap();
+        drop(writer);
+        assert_eq!(flushed.borrow().iter().filter(|&&b| b == b'\n').count(), 1);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 use std::fmt::Write as _;
 
+use crate::flight::FlightDump;
 use crate::profile::{CausalProfiler, Entity};
 use crate::telemetry::escape;
 
@@ -134,9 +135,71 @@ pub fn chrome_trace_json(profiler: &CausalProfiler, end_cycle: u64) -> String {
     out
 }
 
+/// Render a drained flight-recorder dump (see
+/// [`flight`](crate::flight)) as a Chrome-trace JSON document.
+///
+/// Same Trace Event Format as [`chrome_trace_json`], but over the
+/// *engine's* wall clock instead of protocol cycles: one named track
+/// per recording thread, one complete (`"X"`) slice per closed span
+/// (`name` = span name, `cat` = span category, nesting conveyed by the
+/// timestamps), and one counter (`"C"`) event per named counter at the
+/// end of the timeline. Timestamps are nanoseconds rendered as
+/// fractional microseconds, the format's native unit.
+#[must_use]
+pub fn runtime_chrome_trace(dump: &FlightDump) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"lip-runtime\"}}"
+            .to_owned(),
+    );
+    for tid in 0..dump.threads {
+        let name = if tid == 0 { "driver" } else { "worker" };
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{name} {tid}\"}}}}"
+        ));
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let us = |ns: u64| ns as f64 / 1000.0;
+    for span in &dump.spans {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{}}}",
+            escape(&span.name),
+            escape(span.cat),
+            us(span.start_ns),
+            us(span.dur_ns.max(1)),
+            span.tid
+        ));
+    }
+    for (name, value) in &dump.counters {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":0,\
+             \"args\":{{\"value\":{value}}}}}",
+            escape(name),
+            us(dump.wall_ns)
+        ));
+    }
+
+    let mut out = String::with_capacity(events.iter().map(String::len).sum::<usize>() + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str(ev);
+        if i + 1 != events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "]}}");
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flight::{FlightRecorder, Recorder};
     use crate::probe::Probe;
     use crate::profile::ChannelGraph;
 
@@ -194,5 +257,27 @@ mod tests {
         let json = chrome_trace_json(&p, 0);
         assert!(json.contains("\"traceEvents\""));
         assert_eq!(json.matches("\"ph\":\"b\"").count(), 0);
+    }
+
+    #[test]
+    fn runtime_trace_renders_spans_threads_and_counters() {
+        let rec = FlightRecorder::new();
+        {
+            let _root = rec.span("sweep", "corpus");
+            let _child = rec.span("measure", "fig\"1");
+            rec.add("cache.hits", 5);
+        }
+        let json = runtime_chrome_trace(&rec.drain());
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        // process_name + one thread_name.
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2);
+        assert!(json.contains("lip-runtime"));
+        // Two complete slices, quote escaped.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("fig\\\"1"));
+        // One counter event.
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 1);
+        assert!(json.contains("\"value\":5"));
+        assert!(!json.contains(",\n]"));
     }
 }

@@ -1,0 +1,145 @@
+//! `Probe` mask-hook coverage at lane widths beyond one word.
+//!
+//! The many-lane engine widened every `*_mask` hook to `&[u64]` slices
+//! (bit `l` of `masks[w]` = lane `64·w + l`) without dedicated unit
+//! tests for the multi-word shapes. These tests exercise
+//! `for_each_lane_word` / `mask_count` / `mask_lane` and the default
+//! per-lane decomposition on the `[u64; W]` shapes the engines actually
+//! pass — 128, 256 and 1024 lanes — including masks whose *final word
+//! is partially populated* (the hazardous case: a lane count that is
+//! not a multiple of 64 must neither lose high lanes nor invent
+//! phantom ones).
+
+use lip_obs::{
+    for_each_lane_word, mask_count, mask_lane, Event, EventKind, MetricsRegistry, Probe, Topology,
+};
+
+/// Build a multi-word mask with exactly the given lanes set.
+fn mask_of(words: usize, lanes: &[u16]) -> Vec<u64> {
+    let mut m = vec![0u64; words];
+    for &l in lanes {
+        m[usize::from(l) / 64] |= 1u64 << (usize::from(l) % 64);
+    }
+    m
+}
+
+#[test]
+fn for_each_lane_word_visits_lanes_in_ascending_order_across_words() {
+    // 256-lane shape ([u64; 4]): lanes straddling every word boundary.
+    let lanes = [0u16, 63, 64, 127, 128, 191, 192, 255];
+    let mask = mask_of(4, &lanes);
+    let mut seen = Vec::new();
+    for_each_lane_word(&mask, |l| seen.push(l));
+    assert_eq!(seen, lanes);
+}
+
+#[test]
+fn for_each_lane_word_with_partial_final_word() {
+    // A 100-lane engine presents two words with the top 28 bits of the
+    // final word permanently clear. Set every third lane of the 100.
+    let lanes: Vec<u16> = (0..100).step_by(3).collect();
+    let mask = mask_of(2, &lanes);
+    assert_eq!(mask[1] >> 36, 0, "lanes above 99 must stay clear");
+    let mut seen = Vec::new();
+    for_each_lane_word(&mask, |l| seen.push(l));
+    assert_eq!(seen, lanes);
+    assert_eq!(mask_count(&mask), lanes.len() as u64);
+}
+
+#[test]
+fn mask_count_sums_popcounts_at_every_width() {
+    for words in [1usize, 2, 4, 8, 16] {
+        let total_lanes = words * 64;
+        // Every seventh lane set, so the final word is partial for
+        // every width (64·w − 1 is never ≡ 0 mod 7 for these w).
+        let lanes: Vec<u16> = (0..total_lanes).step_by(7).map(|l| l as u16).collect();
+        let mask = mask_of(words, &lanes);
+        assert_eq!(mask_count(&mask), lanes.len() as u64, "width {total_lanes}");
+        // All-set and all-clear extremes.
+        assert_eq!(mask_count(&vec![u64::MAX; words]), total_lanes as u64);
+        assert_eq!(mask_count(&vec![0u64; words]), 0);
+    }
+}
+
+#[test]
+fn mask_lane_across_word_boundaries_and_out_of_range() {
+    let mask = mask_of(16, &[0, 64, 100, 512, 1023]); // 1024-lane shape
+    for l in [0u16, 64, 100, 512, 1023] {
+        assert!(mask_lane(&mask, l), "lane {l} should be set");
+    }
+    for l in [1u16, 63, 65, 99, 101, 511, 513, 1022] {
+        assert!(!mask_lane(&mask, l), "lane {l} should be clear");
+    }
+    // Lanes beyond the slice are unset, not a panic.
+    assert!(!mask_lane(&mask, 1024));
+    let short = mask_of(2, &[100]);
+    assert!(mask_lane(&short, 100));
+    assert!(!mask_lane(&short, 500));
+}
+
+/// Records every decomposed per-lane call the default mask hooks make.
+#[derive(Default)]
+struct LaneLog {
+    fires: Vec<(u64, u32, u16)>,
+    stalls: Vec<(u64, u32, u16)>,
+}
+
+impl Probe for LaneLog {
+    fn event(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::Fire => self.fires.push((ev.cycle, ev.entity, ev.lane)),
+            EventKind::Stall => self.stalls.push((ev.cycle, ev.entity, ev.lane)),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn default_mask_hooks_decompose_multiword_masks_losslessly() {
+    let mut p = LaneLog::default();
+    // 512-lane shape with a partial final word (lane 400 set, 401..511
+    // clear).
+    let fire_lanes = [5u16, 70, 150, 400];
+    p.fire_mask(11, 3, &mask_of(8, &fire_lanes));
+    assert_eq!(
+        p.fires,
+        fire_lanes.iter().map(|&l| (11, 3, l)).collect::<Vec<_>>()
+    );
+    // An empty high word between populated ones must not shift lanes.
+    p.stall_mask(12, 9, &[1 << 7, 0, 1 << 7]);
+    assert_eq!(p.stalls, vec![(12, 9, 7), (12, 9, 135)]);
+}
+
+#[test]
+fn metrics_popcount_overrides_match_default_decomposition_beyond_64_lanes() {
+    // The registry overrides `*_mask` with popcounts; the default path
+    // decomposes into per-lane scalar calls. Both must agree on every
+    // multi-word shape, including partial final words.
+    let topo = Topology {
+        channels: 2,
+        shells: 1,
+        relay_capacities: vec![3],
+    };
+    for (lanes, words) in [(128u32, 2usize), (192, 3), (1024, 16)] {
+        let lane_list: Vec<u16> = (0..lanes).step_by(5).map(|l| l as u16).collect();
+        let mask = mask_of(words, &lane_list);
+        let mut fast = MetricsRegistry::with_lanes(topo.clone(), lanes);
+        fast.fire_mask(0, 0, &mask);
+        fast.stall_mask(0, 1, &mask);
+        fast.relay_fill_mask(0, 0, &mask);
+        fast.end_cycle(0);
+        let mut slow = MetricsRegistry::with_lanes(topo.clone(), lanes);
+        for_each_lane_word(&mask, |l| {
+            slow.fire(0, 0, l);
+            slow.stall(0, 1, l);
+            slow.relay_fill(0, 0, l);
+        });
+        slow.end_cycle(0);
+        assert_eq!(fast.fires(0), lane_list.len() as u64, "width {lanes}");
+        assert_eq!(fast.to_json(), slow.to_json(), "width {lanes}");
+        // Occupancy histogram saw exactly one filled slot per set lane.
+        let hist = fast.occupancy_histogram(0);
+        assert_eq!(hist[1], lane_list.len() as u64);
+        assert_eq!(hist[0], u64::from(lanes) - lane_list.len() as u64);
+    }
+}

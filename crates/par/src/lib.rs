@@ -28,6 +28,16 @@
 //! Panics in `f` are propagated to the caller with the original payload
 //! after all workers have unwound (the scope joins them), so a failing
 //! sweep item fails the sweep loudly instead of being dropped.
+//!
+//! # Observability
+//!
+//! When an ambient [`lip_obs::FlightRecorder`] is installed
+//! ([`lip_obs::flight::install`]), every spawned worker records a
+//! `par`-category `worker` span covering its whole steal loop and each
+//! executed item bumps the `par.items` counter — so a sweep's runtime
+//! report shows how wall-clock spread across workers. With no recorder
+//! installed the cost is one relaxed atomic load per worker plus one
+//! per item.
 
 #![warn(missing_docs)]
 
@@ -100,7 +110,15 @@ where
     let n = items.len();
     let workers = workers.clamp(1, n.max(1));
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let r = f(i, t);
+                lip_obs::flight::global_add("par.items", 1);
+                r
+            })
+            .collect();
     }
     // Shared queue head: claiming an index is the steal. Each worker
     // keeps its results tagged with their indices; the scatter below
@@ -113,6 +131,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
+                    let _worker_span = lip_obs::flight::global_span("par", "worker");
                     let mut out = Vec::new();
                     loop {
                         let i = head.fetch_add(1, Ordering::Relaxed);
@@ -120,6 +139,7 @@ where
                             break;
                         }
                         out.push((i, f(i, &items[i])));
+                        lip_obs::flight::global_add("par.items", 1);
                     }
                     out
                 })
@@ -229,5 +249,28 @@ mod tests {
     #[test]
     fn jobs_is_at_least_one() {
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn installed_recorder_sees_worker_spans_and_item_counts() {
+        use lip_obs::flight;
+        // The ambient recorder is process-global; this is the only test
+        // in the crate touching it, so no cross-test serialization is
+        // needed here.
+        let rec = lip_obs::FlightRecorder::new();
+        flight::install(&rec);
+        let items: Vec<u64> = (0..40).collect();
+        let out = par_map_jobs(4, &items, |&x| x + 1);
+        // Serial path counts items too.
+        let solo = par_map_jobs(1, &items, |&x| x + 1);
+        flight::uninstall();
+        assert_eq!(out, solo);
+        let dump = rec.drain();
+        let workers = dump.spans.iter().filter(|s| s.cat == "par").count();
+        assert_eq!(workers, 4, "one span per spawned worker");
+        assert_eq!(dump.counters["par.items"], 80, "both runs counted");
+        // Uninstalled: no further recording.
+        let _ = par_map_jobs(2, &items, |&x| x);
+        assert_eq!(rec.drain().counters.get("par.items"), None);
     }
 }

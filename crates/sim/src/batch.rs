@@ -38,7 +38,7 @@ use std::sync::Arc;
 
 use lip_core::Pattern;
 use lip_graph::{Netlist, NetlistError, NodeId};
-use lip_obs::{NullProbe, Probe};
+use lip_obs::{KernelCounters, NullProbe, Probe};
 
 use crate::lane::LaneWord;
 use crate::program::{lcm, CompSlot, SettleProgram};
@@ -533,6 +533,15 @@ impl<W: LaneWord> BatchEngine<W> {
         );
         assert_eq!(sink_stop.len(), self.prog.sink_count(), "sink mask arity");
         self.settle_probed(sink_stop, probe);
+        self.clock_probed(source_next, sink_stop, probe);
+    }
+
+    /// The clock phase of one step: commit this cycle's settled state
+    /// into the registered regions (source offers, sink counters, shell
+    /// registers and buffers, relay occupancies, FIFO bit-planes) and
+    /// deliver the clock-edge probe hooks. Callers must have settled
+    /// against the same `sink_stop` words first.
+    fn clock_probed<P: Probe>(&mut self, source_next: &[W], sink_stop: &[W], probe: &mut P) {
         let Self {
             prog,
             arena,
@@ -739,6 +748,67 @@ impl<W: LaneWord> BatchEngine<W> {
         self.step_with_masks_probed(&src, &snk, probe);
         self.src_scratch = src;
         self.snk_scratch = snk;
+    }
+
+    /// One cycle under a precompiled environment with kernel execution
+    /// counters: the settle runs through
+    /// [`StreamKernel::execute_counted`](crate::stream::StreamKernel),
+    /// so `kc` accrues per-opcode/per-stratum retirement for this
+    /// settle; the clock phase is the plain unprobed one. Lane
+    /// behaviour is bit-identical to
+    /// [`step_compiled_probed`](Self::step_compiled_probed).
+    pub(crate) fn step_compiled_counted(
+        &mut self,
+        pats: &CompiledPatterns<W>,
+        kc: &mut KernelCounters,
+    ) {
+        debug_assert_eq!(pats.width, W::LANES);
+        let cycle = self.cycle;
+        let mut src = std::mem::take(&mut self.src_scratch);
+        let mut snk = std::mem::take(&mut self.snk_scratch);
+        src.clear();
+        snk.clear();
+        snk.extend(pats.snk.iter().map(|row| row.word(cycle)));
+        src.extend(pats.src.iter().map(|row| row.word(cycle + 1).not()));
+        let k = &self.prog.kernel;
+        for (j, &s) in snk.iter().enumerate() {
+            self.arena[k.snk_stop as usize + j] = s;
+        }
+        k.execute_counted(&mut self.arena, kc);
+        self.clock_probed(&src, &snk, &mut NullProbe);
+        self.src_scratch = src;
+        self.snk_scratch = snk;
+    }
+
+    /// Run `n` cycles under `pats`, accumulating kernel execution
+    /// counters into `kc` — the counted twin of
+    /// [`run_patterns`](Self::run_patterns). `kc` must be laid out by
+    /// [`kernel_counters`](Self::kernel_counters) (or merge-compatible
+    /// with it); after the run, `kc` gains exactly `n` settles of `n ×`
+    /// [`SettleProgram::kernel_op_count`] retired ops, reconciled per
+    /// stratum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pats` arity or width does not match.
+    pub fn run_patterns_counted(&mut self, pats: &LanePatterns, n: u64, kc: &mut KernelCounters) {
+        let compiled = CompiledPatterns::compile(pats);
+        for _ in 0..n {
+            self.step_compiled_counted(&compiled, kc);
+        }
+    }
+
+    /// A zeroed [`KernelCounters`] laid out for this engine:
+    /// `W::LANES` lanes, the streaming kernel's six opcodes and five
+    /// settle strata. Counters from engines of the same width merge
+    /// even across different netlists.
+    #[must_use]
+    pub fn kernel_counters(&self) -> KernelCounters {
+        KernelCounters::new(
+            W::LANES as u32,
+            &crate::stream::OP_NAMES,
+            &crate::stream::STRATA,
+        )
     }
 
     /// Run `n` cycles under `pats`.
@@ -1008,6 +1078,41 @@ mod tests {
         assert_eq!(v0 + n0, 400);
         assert!(v7 + n7 <= 200, "stopped lane consumes at most half");
         assert!(v0 > v7, "throttled sink sees fewer tokens");
+    }
+
+    #[test]
+    fn counted_run_matches_plain_run_and_reconciles() {
+        let f = generate::fig1();
+        let mut plain = BatchEngine::<Lanes256>::new(&f.netlist).unwrap();
+        let mut counted = plain.clone();
+        let pats = LanePatterns::broadcast_wide(plain.program(), 256);
+        let mut kc = counted.kernel_counters();
+        plain.run_patterns(&pats, 300);
+        counted.run_patterns_counted(&pats, 300, &mut kc);
+        for lane in [0usize, 63, 64, 200, 255] {
+            assert_eq!(
+                plain.lane_component_state(lane),
+                counted.lane_component_state(lane),
+                "lane {lane}"
+            );
+            assert_eq!(
+                plain.sink_counts_lane(f.sink, lane),
+                counted.sink_counts_lane(f.sink, lane),
+                "lane {lane}"
+            );
+        }
+        // One settle per cycle, the whole tape retired each time.
+        assert_eq!(kc.lanes, 256);
+        assert_eq!(kc.settles, 300);
+        assert_eq!(
+            kc.expected_ops,
+            300 * plain.program().kernel_op_count() as u64
+        );
+        assert!(kc.reconciles());
+        // Wide words: 4 u64 words per lane value.
+        assert_eq!(kc.total_lane_words(), kc.total_ops() * 4);
+        let occ = kc.occupancy();
+        assert!(occ > 0.0 && occ <= 1.0, "occupancy {occ}");
     }
 
     #[test]

@@ -92,10 +92,17 @@ impl ThroughputCache {
         );
         if let Some(m) = self.map.get(&key) {
             self.hits += 1;
+            lip_obs::flight::global_add("cache.hits", 1);
             return Ok(m.clone());
         }
-        let m = measure_with(netlist, opts)?;
+        let m = {
+            // The miss is the expensive path — span it so sweeps can
+            // attribute wall-clock to cold measurements.
+            let _miss_span = lip_obs::flight::global_span("cache", "measure_miss");
+            measure_with(netlist, opts)?
+        };
         self.misses += 1;
+        lip_obs::flight::global_add("cache.misses", 1);
         self.map.insert(key, m.clone());
         Ok(m)
     }

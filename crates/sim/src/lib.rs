@@ -58,10 +58,10 @@ pub use lane::{
     Lanes256, Lanes512, LANE_WIDTHS,
 };
 pub use measure::{
-    measure, measure_activity, measure_batch, measure_batch_periodic, measure_batch_periodic_wide,
-    measure_batch_probed, measure_batch_probed_wide, measure_batch_wide, BatchMeasurement,
-    BatchPeriodicMeasurement, LivenessReport, Measurement, PeriodDetector, Periodicity, Ratio,
-    ShellActivity,
+    measure, measure_activity, measure_batch, measure_batch_periodic, measure_batch_periodic_obs,
+    measure_batch_periodic_wide, measure_batch_probed, measure_batch_probed_wide,
+    measure_batch_wide, BatchMeasurement, BatchPeriodicMeasurement, LivenessReport, Measurement,
+    PeriodDetector, Periodicity, Ratio, ShellActivity,
 };
 pub use profiling::{profile_netlist, ProfileOptions, ProfiledRun};
 pub use program::SettleProgram;

@@ -12,6 +12,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use lip_graph::{Netlist, NetlistError, NodeId};
+use lip_obs::{
+    rec_span, KernelCounters, NullProgress, NullRecorder, ProgressSink, ProgressSnapshot, Recorder,
+};
 
 use crate::batch::{BatchEngine, LanePatterns};
 use crate::lane::LaneWord;
@@ -560,10 +563,77 @@ pub fn measure_batch_periodic_wide<W: LaneWord>(
     pats: &LanePatterns,
     budget: u64,
 ) -> Result<BatchPeriodicMeasurement, NetlistError> {
+    // The unobserved path is the observable core monomorphized over the
+    // null recorder and sink — every recording branch compiles away, so
+    // this stays the honest baseline the overhead gate compares against.
+    measure_batch_periodic_obs::<W, _, _>(
+        netlist,
+        pats,
+        budget,
+        "batch_periodic",
+        &NullRecorder,
+        &mut NullProgress,
+    )
+    .map(|(m, _)| m)
+}
+
+/// Hot-loop phases sampled by the flight recorder: every
+/// `OBS_SAMPLE_EVERY`-th cycle of an observed
+/// [`measure_batch_periodic_obs`] run is timed per phase (recurrence
+/// detection vs. engine stepping) and accumulated into
+/// `measure.sampled_*` counters. Sampling keeps the enabled-recorder
+/// overhead bounded while still attributing wall-clock by phase.
+const OBS_SAMPLE_EVERY: u64 = 64;
+
+/// How often an observed sweep publishes a [`ProgressSnapshot`].
+const OBS_PROGRESS_EVERY: u64 = 1024;
+
+/// [`measure_batch_periodic_wide`] with runtime self-observability: a
+/// [`Recorder`] receives a `measure`-category span covering the whole
+/// call (child span `compile` for program compilation), sampled
+/// per-phase timing counters (`measure.sampled_detector_ns`,
+/// `measure.sampled_step_ns`, `measure.sampled_cycles`), and the
+/// settle tape runs *counted* — the returned [`KernelCounters`] hold
+/// per-opcode/per-stratum retirement for every executed cycle
+/// (`None` under a disabled or [`NullRecorder`]). A [`ProgressSink`]
+/// receives a live [`ProgressSnapshot`] every
+/// [`OBS_PROGRESS_EVERY`] cycles and at completion.
+///
+/// With [`NullRecorder`] and [`NullProgress`] this monomorphizes to
+/// exactly the unobserved sweep — [`measure_batch_periodic_wide`] is
+/// this function under the null instantiation — and measured results
+/// are bit-identical under every recorder configuration.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+///
+/// # Panics
+///
+/// Panics if `pats` was built for a width other than `W::LANES`.
+#[allow(clippy::too_many_lines)]
+pub fn measure_batch_periodic_obs<W: LaneWord, R: Recorder, S: ProgressSink>(
+    netlist: &Netlist,
+    pats: &LanePatterns,
+    budget: u64,
+    label: &str,
+    rec: &R,
+    progress: &mut S,
+) -> Result<(BatchPeriodicMeasurement, Option<KernelCounters>), NetlistError> {
+    let _whole = rec_span(rec, "measure", label);
     let lanes = W::LANES;
-    let prog = Arc::new(SettleProgram::compile(netlist)?);
+    let prog = {
+        let _compile = rec_span(rec, "compile", label);
+        Arc::new(SettleProgram::compile(netlist)?)
+    };
     let mut batch = BatchEngine::<W>::from_patterns(Arc::clone(&prog), pats);
     let compiled = crate::batch::CompiledPatterns::<W>::compile(pats);
+    let mut kc = if R::ENABLED && rec.active() {
+        Some(batch.kernel_counters())
+    } else {
+        None
+    };
+    let started = (R::ENABLED || S::ENABLED).then(std::time::Instant::now);
     let sinks = netlist.sinks();
     let n_snk = sinks.len();
 
@@ -601,6 +671,11 @@ pub fn measure_batch_periodic_wide<W: LaneWord>(
     let mut executed = 0u64;
 
     for t in 0..budget {
+        // Sampled per-phase wall-clock attribution: timing every cycle
+        // would dominate the loop, so only every OBS_SAMPLE_EVERY-th
+        // cycle pays the two Instant reads.
+        let sampled = R::ENABLED && rec.active() && t % OBS_SAMPLE_EVERY == 0;
+        let detector_start = sampled.then(std::time::Instant::now);
         // Observe the registered lane states *before* stepping, exactly
         // where the scalar detector samples; converged lanes are
         // retired from this bookkeeping entirely.
@@ -628,14 +703,28 @@ pub fn measure_batch_periodic_wide<W: LaneWord>(
                 }
             }
         }
+        if let Some(t0) = detector_start {
+            rec.add("measure.sampled_detector_ns", elapsed_ns(t0));
+        }
         if aperiodic == 0 && retired == lanes {
             // Every lane has an exact reading: the remaining budget is
             // pure waste — exit early.
             executed = t;
             break;
         }
-        batch.step_compiled_probed(&compiled, &mut lip_obs::NullProbe);
+        let step_start = sampled.then(std::time::Instant::now);
+        match kc.as_mut() {
+            Some(kc) => batch.step_compiled_counted(&compiled, kc),
+            None => batch.step_compiled_probed(&compiled, &mut lip_obs::NullProbe),
+        }
+        if let Some(t0) = step_start {
+            rec.add("measure.sampled_step_ns", elapsed_ns(t0));
+            rec.add("measure.sampled_cycles", 1);
+        }
         executed = t + 1;
+        if S::ENABLED && executed.is_multiple_of(OBS_PROGRESS_EVERY) {
+            progress.publish(&obs_snapshot(label, lanes, retired, executed, started));
+        }
     }
 
     // Unconverged lanes fall back to the whole-window estimate.
@@ -657,15 +746,56 @@ pub fn measure_batch_periodic_wide<W: LaneWord>(
         }
     }
 
-    Ok(BatchPeriodicMeasurement {
-        sinks,
-        throughput,
-        periodicity,
-        cycles: executed,
-        budget,
-        lanes,
-        converged,
-    })
+    if S::ENABLED {
+        progress.publish(&obs_snapshot(label, lanes, retired, executed, started));
+    }
+
+    Ok((
+        BatchPeriodicMeasurement {
+            sinks,
+            throughput,
+            periodicity,
+            cycles: executed,
+            budget,
+            lanes,
+            converged,
+        },
+        kc,
+    ))
+}
+
+/// Nanoseconds since `t0`, saturating (an observed run outliving
+/// `u64::MAX` ns is not a real configuration).
+fn elapsed_ns(t0: std::time::Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Live progress snapshot of an observed batch-periodic sweep.
+fn obs_snapshot(
+    label: &str,
+    lanes: usize,
+    converged: usize,
+    cycles: u64,
+    started: Option<std::time::Instant>,
+) -> ProgressSnapshot {
+    let elapsed = started.map_or(0, elapsed_ns);
+    #[allow(clippy::cast_precision_loss)]
+    let cycles_per_sec = if elapsed == 0 {
+        0.0
+    } else {
+        cycles as f64 / (elapsed as f64 / 1e9)
+    };
+    ProgressSnapshot {
+        experiment: "measure".to_owned(),
+        topology: label.to_owned(),
+        lanes: lanes as u64,
+        lanes_converged: converged as u64,
+        cycles_executed: cycles,
+        cycles_per_sec,
+        cache_hits: 0,
+        cache_misses: 0,
+        elapsed_ns: elapsed,
+    }
 }
 
 /// Liveness verdict from skeleton-style simulation to the periodic
@@ -1017,6 +1147,96 @@ mod tests {
                 "lane {lane} diverged from the scalar path"
             );
         }
+    }
+
+    #[test]
+    fn observed_batch_periodic_matches_null_path_and_reconciles() {
+        use lip_obs::{FlightRecorder, MemoryProgress};
+        let f = generate::fig1();
+        let prog = SettleProgram::compile(&f.netlist).unwrap();
+        let mut pats = LanePatterns::broadcast(&prog);
+        // An aperiodic lane keeps the sweep running to the full budget,
+        // so progress snapshots and kernel counters cover real work.
+        pats.set_sink(
+            0,
+            5,
+            Pattern::Random {
+                num: 1,
+                denom: 3,
+                seed: 3,
+            },
+        );
+        let budget = 3_000;
+        let baseline = measure_batch_periodic(&f.netlist, &pats, budget).unwrap();
+
+        let rec = FlightRecorder::new();
+        let mut progress = MemoryProgress::new();
+        let (observed, kc) = measure_batch_periodic_obs::<u64, _, _>(
+            &f.netlist,
+            &pats,
+            budget,
+            "fig1",
+            &rec,
+            &mut progress,
+        )
+        .unwrap();
+
+        // Observation must not perturb measurement.
+        assert_eq!(observed.cycles, baseline.cycles);
+        assert_eq!(observed.periodicity, baseline.periodicity);
+        assert_eq!(observed.throughput, baseline.throughput);
+
+        // Kernel counters: one settle per executed cycle, reconciled.
+        let kc = kc.expect("enabled recorder yields counters");
+        assert_eq!(kc.settles, observed.cycles);
+        assert_eq!(
+            kc.expected_ops,
+            observed.cycles * prog.kernel_op_count() as u64
+        );
+        assert!(kc.reconciles());
+
+        // Spans: the whole-measure span with its compile child, plus
+        // sampled phase counters.
+        let dump = rec.drain();
+        assert!(dump.total_ns("measure", 0) > 0);
+        assert!(dump
+            .spans
+            .iter()
+            .any(|s| s.cat == "compile" && s.name == "fig1"));
+        assert!(dump.counters.contains_key("measure.sampled_cycles"));
+        assert!(dump.counters["measure.sampled_step_ns"] > 0);
+
+        // Progress: periodic snapshots plus the final one.
+        let last = progress.latest("fig1").expect("published");
+        assert_eq!(last.cycles_executed, observed.cycles);
+        assert_eq!(last.lanes, 64);
+        assert!(last.lanes_converged >= 63, "only the random lane is open");
+        assert!(progress.snaps.len() >= 2, "periodic + final snapshots");
+    }
+
+    #[test]
+    fn disabled_recorder_yields_no_counters() {
+        use lip_obs::{FlightRecorder, NullProgress};
+        let f = generate::fig1();
+        let prog = SettleProgram::compile(&f.netlist).unwrap();
+        let pats = LanePatterns::broadcast(&prog);
+        let rec = FlightRecorder::disabled();
+        let (m, kc) = measure_batch_periodic_obs::<u64, _, _>(
+            &f.netlist,
+            &pats,
+            2_000,
+            "fig1",
+            &rec,
+            &mut NullProgress,
+        )
+        .unwrap();
+        assert!(kc.is_none(), "runtime-disabled recorder must not count");
+        assert_eq!(
+            m.system_throughput(0),
+            Some(Ratio::new(4, 5)),
+            "measurement unchanged"
+        );
+        assert!(rec.drain().spans.is_empty());
     }
 
     #[test]

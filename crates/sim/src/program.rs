@@ -131,6 +131,10 @@ impl SettleProgram {
     ///
     /// Propagates any [`NetlistError`] from [`Netlist::validate`].
     pub fn compile(netlist: &Netlist) -> Result<Self, NetlistError> {
+        // Ambient flight-recorder span: compilation shows up in
+        // `BENCH_runtime.json` when a recorder is installed, and costs
+        // one relaxed atomic load when none is.
+        let _compile_span = lip_obs::flight::global_span("compile", "settle_program");
         netlist.validate()?;
 
         let mut env_period: Option<u64> = Some(1);
@@ -305,6 +309,15 @@ impl SettleProgram {
     #[must_use]
     pub fn channel_count(&self) -> usize {
         self.n_channels
+    }
+
+    /// Ops on the compiled settle tape (one three-address op per settle
+    /// assignment). Each counted settle retires exactly this many ops,
+    /// so kernel execution counters reconcile as
+    /// `total_ops == kernel_op_count × settles`.
+    #[must_use]
+    pub fn kernel_op_count(&self) -> usize {
+        self.kernel.op_count()
     }
 
     /// Number of sources.

@@ -41,6 +41,8 @@
 //! the engine's clock phase mutates them in place; `fwd`/`stop`/`fire`
 //! are recomputed by every tape run.
 
+use lip_obs::KernelCounters;
+
 use crate::lane::LaneWord;
 use crate::program::SettleProgram;
 
@@ -68,6 +70,36 @@ enum Opcode {
     AndOr,
     /// `d &= !(a & b)`
     NandAcc,
+}
+
+/// Opcode names in [`Opcode::index`] order — the row layout of the
+/// kernel execution counters ([`lip_obs::KernelCounters`]).
+pub(crate) const OP_NAMES: [&str; 6] = ["copy", "or", "and", "andnot", "andor", "nandacc"];
+
+/// Settle-stratum labels in tape emission order: the two forward
+/// (valid) passes, the registered backward (stop) pass, and the two
+/// fire strata (unbuffered shells with their stop writes, then
+/// buffered shells).
+pub(crate) const STRATA: [&str; 5] = [
+    "fwd_registered",
+    "fwd_half",
+    "bwd_registered",
+    "fire",
+    "fire_buffered",
+];
+
+impl Opcode {
+    /// Row of this opcode in [`OP_NAMES`].
+    fn index(self) -> usize {
+        match self {
+            Opcode::Copy => 0,
+            Opcode::Or => 1,
+            Opcode::And => 2,
+            Opcode::AndNot => 3,
+            Opcode::AndOr => 4,
+            Opcode::NandAcc => 5,
+        }
+    }
 }
 
 /// One three-address op.
@@ -107,6 +139,9 @@ pub(crate) struct StreamKernel {
     /// FIFO `i` owns planes `fifo + fifo_off[i] .. fifo + fifo_off[i+1]`
     /// (little-endian bit-planes; `len = fifos + 1`).
     pub(crate) fifo_off: Vec<u32>,
+    /// Ops per settle stratum, in [`STRATA`] order (fixed at compile:
+    /// every settle retires exactly these counts).
+    stratum_ops: [u32; STRATA.len()],
     ops: Vec<Op>,
     segments: Vec<Segment>,
 }
@@ -146,11 +181,13 @@ impl StreamKernel {
             fifo: region(plane_words as usize),
             snk_stop: region(p.snk_in_ch.len()),
             fifo_off,
+            stratum_ops: [0; STRATA.len()],
             ops: Vec::new(),
             segments: Vec::new(),
         };
         k.cells = next as usize;
         debug_assert!(k.fwd + n_ch == k.stop);
+        let mut stratum_end = [0u32; STRATA.len()];
 
         // Forward pass 1: registered producers, any order — one long
         // Copy segment (sources, shell outputs, full relays, FIFO
@@ -172,6 +209,7 @@ impl StreamKernel {
                 k.push(Opcode::Or, k.fwd + ch, k.fwd + ch, k.fifo + plane);
             }
         }
+        stratum_end[0] = k.ops.len() as u32;
         // Forward pass 2: half-relay chains, upstream first (the order
         // matters; all Or, so the segment continues).
         for &h in &p.fwd_half_order {
@@ -184,6 +222,7 @@ impl StreamKernel {
             );
         }
 
+        stratum_end[1] = k.ops.len() as u32;
         // Backward pass 1: registered stops, any order — sinks, full
         // aux, half occupancy, buffered-shell input buffers (Copy), then
         // the FIFO at-capacity comparisons (plane-wise And/AndNot).
@@ -224,6 +263,7 @@ impl StreamKernel {
             }
         }
 
+        stratum_end[2] = k.ops.len() as u32;
         // Backward pass 2: unbuffered shells, downstream first. Each
         // shell folds its fire condition into its fire cell, then
         // writes its input stops — the ordering the stop stratification
@@ -239,10 +279,17 @@ impl StreamKernel {
                 k.push(Opcode::AndNot, k.stop + ch, a, k.fire + s as u32);
             }
         }
+        stratum_end[3] = k.ops.len() as u32;
         // Pass 3: buffered shells fire once every stop has settled
         // (their input stops are registered — nothing more to write).
         for &s in &p.buffered_shells {
             k.emit_fire(p, s as usize, true);
+        }
+        stratum_end[4] = k.ops.len() as u32;
+        let mut prev = 0u32;
+        for (slot, &end) in k.stratum_ops.iter_mut().zip(&stratum_end) {
+            *slot = end - prev;
+            prev = end;
         }
         k
     }
@@ -291,8 +338,7 @@ impl StreamKernel {
     }
 
     /// Ops on the tape.
-    #[cfg(test)]
-    fn op_count(&self) -> usize {
+    pub(crate) fn op_count(&self) -> usize {
         self.ops.len()
     }
 
@@ -348,6 +394,74 @@ impl StreamKernel {
             }
         }
     }
+
+    /// [`execute`](Self::execute) with kernel execution counters:
+    /// bit-identical arena effect, plus per-opcode ops retired /
+    /// lane-words processed / active destination lanes, per-stratum
+    /// retirement, and the `expected_ops` accumulator the
+    /// reconciliation invariant checks against. Kept separate from the
+    /// hot path so the uncounted settle pays nothing.
+    pub(crate) fn execute_counted<W: LaneWord>(&self, arena: &mut [W], kc: &mut KernelCounters) {
+        for seg in &self.segments {
+            let ops = &self.ops[seg.start as usize..seg.end as usize];
+            let mut active = 0u64;
+            match seg.op {
+                Opcode::Copy => {
+                    for o in ops {
+                        let v = arena[o.a as usize];
+                        active += u64::from(v.count_ones());
+                        arena[o.d as usize] = v;
+                    }
+                }
+                Opcode::Or => {
+                    for o in ops {
+                        let v = arena[o.a as usize].or(arena[o.b as usize]);
+                        active += u64::from(v.count_ones());
+                        arena[o.d as usize] = v;
+                    }
+                }
+                Opcode::And => {
+                    for o in ops {
+                        let v = arena[o.a as usize].and(arena[o.b as usize]);
+                        active += u64::from(v.count_ones());
+                        arena[o.d as usize] = v;
+                    }
+                }
+                Opcode::AndNot => {
+                    for o in ops {
+                        let v = arena[o.a as usize].andnot(arena[o.b as usize]);
+                        active += u64::from(v.count_ones());
+                        arena[o.d as usize] = v;
+                    }
+                }
+                Opcode::AndOr => {
+                    for o in ops {
+                        let v = arena[o.a as usize].or(arena[o.b as usize]);
+                        let v = arena[o.d as usize].and(v);
+                        active += u64::from(v.count_ones());
+                        arena[o.d as usize] = v;
+                    }
+                }
+                Opcode::NandAcc => {
+                    for o in ops {
+                        let v = arena[o.a as usize].and(arena[o.b as usize]);
+                        let v = arena[o.d as usize].andnot(v);
+                        active += u64::from(v.count_ones());
+                        arena[o.d as usize] = v;
+                    }
+                }
+            }
+            let row = &mut kc.by_op[seg.op.index()];
+            row.ops_retired += ops.len() as u64;
+            row.lane_words += (ops.len() * W::WORDS) as u64;
+            row.active_lanes += active;
+        }
+        for (slot, &n) in kc.by_stratum.iter_mut().zip(&self.stratum_ops) {
+            slot.1 += u64::from(n);
+        }
+        kc.expected_ops += self.ops.len() as u64;
+        kc.settles += 1;
+    }
 }
 
 #[cfg(test)]
@@ -384,5 +498,51 @@ mod tests {
         k.execute(&mut arena);
         assert_eq!(arena[CELL_ZERO as usize], 0);
         assert_eq!(arena[CELL_ONES as usize], !0);
+    }
+
+    #[test]
+    fn stratum_ops_partition_the_tape() {
+        use lip_core::RelayKind;
+        // Cover every stratum: fig1 (registered + fire), a half-relay
+        // ring (fwd_half) and a FIFO ring (bit-plane compares).
+        for netlist in [
+            generate::fig1().netlist,
+            generate::ring(2, 2, RelayKind::Half).netlist,
+            generate::ring(2, 1, RelayKind::Fifo(3)).netlist,
+        ] {
+            let p = SettleProgram::compile(&netlist).unwrap();
+            let k = &p.kernel;
+            let total: u32 = k.stratum_ops.iter().sum();
+            assert_eq!(total as usize, k.op_count(), "strata must tile the tape");
+            assert!(k.stratum_ops[0] > 0, "registered forward pass never empty");
+        }
+    }
+
+    #[test]
+    fn counted_execution_matches_plain_and_reconciles() {
+        let f = generate::fig1();
+        let p = SettleProgram::compile(&f.netlist).unwrap();
+        let k = &p.kernel;
+        let mut plain = vec![0u64; k.cells];
+        plain[CELL_ONES as usize] = !0;
+        // Offer tokens on every source so the tape moves live lanes
+        // (an all-zero arena legitimately writes only zero words).
+        for i in 0..p.source_count() {
+            plain[k.src_valid as usize + i] = !0;
+        }
+        let mut counted = plain.clone();
+        let mut kc = lip_obs::KernelCounters::new(64, &OP_NAMES, &STRATA);
+        for _ in 0..3 {
+            k.execute(&mut plain);
+            k.execute_counted(&mut counted, &mut kc);
+        }
+        assert_eq!(plain, counted, "counting must not perturb the arena");
+        assert_eq!(kc.settles, 3);
+        assert_eq!(kc.expected_ops, 3 * k.op_count() as u64);
+        assert!(kc.reconciles(), "opcode and stratum totals must tile");
+        // Lane-words: every op touched exactly one u64 word here.
+        assert_eq!(kc.total_lane_words(), kc.total_ops());
+        // The all-ones constant feeds real work: some lanes are active.
+        assert!(kc.occupancy() > 0.0);
     }
 }

@@ -35,6 +35,7 @@ CONCURRENT_BINS=(
 TIMED_BINS=(
   exp_batch_sweep
   exp_parallel_sweep
+  exp_runtime_obs
 )
 
 REPORT_DIR="${LIP_REPORT_DIR:-target/reports}"
@@ -144,7 +145,8 @@ if [ -f BENCH_parallel.json ]; then
 fi
 
 # The many-lane engine artefact must carry the per-width table with a
-# passing widest-width gate.
+# passing widest-width gate; replay the per-width summary so the sweep's
+# scaling curve is visible without opening the JSON.
 if [ -f BENCH_skeleton.json ] && command -v jq >/dev/null 2>&1; then
   if ! jq -e '.lane_widths | type == "array" and length >= 2' BENCH_skeleton.json >/dev/null; then
     echo "!! BENCH_skeleton.json: lane_widths array missing" >&2
@@ -153,6 +155,31 @@ if [ -f BENCH_skeleton.json ] && command -v jq >/dev/null 2>&1; then
     echo "!! BENCH_skeleton.json: widest lane-width gate failed" >&2
     FAILED+=("BENCH_skeleton.json (widest gate)")
   fi
+  echo ">> BENCH_skeleton per-width lane summary (min speedup vs scalar):"
+  jq -r '.lane_widths[] |
+         ">>   \(.lanes) lanes (\(.words)w): \(.min_speedup)x" +
+         (if .claimed_speedup > 0
+          then " (gate \(.claimed_speedup)x: \(if .ok then "ok" else "FAIL" end))"
+          else "" end)' BENCH_skeleton.json
+fi
+
+# The flight-recorder artefact: versioned, overhead-gated (< 3% with the
+# recorder shipped but disabled), span tree explaining >= 95% of the
+# sweep, and per-opcode kernel counters that reconcile exactly.
+check_report BENCH_runtime.json || FAILED+=("BENCH_runtime.json (schema)")
+if [ -f BENCH_runtime.json ] && command -v jq >/dev/null 2>&1; then
+  if ! jq -e '.overhead_pct < 3
+              and .span_coverage >= 0.95
+              and (.kernel.by_opcode | length) == 6
+              and (.kernel.by_stratum | length) == 5
+              and .kernel.reconciled' BENCH_runtime.json >/dev/null; then
+    echo "!! BENCH_runtime.json: flight-recorder gates failed" >&2
+    FAILED+=("BENCH_runtime.json (gates)")
+  fi
+  jq -r '">> BENCH_runtime: overhead \(.overhead_pct)%, span coverage \(.span_coverage), " +
+         "\(.kernel.ops_total) kernel ops over \(.kernel.settles) settles " +
+         "(occupancy \(.kernel.occupancy), reconciled: \(.kernel.reconciled))"' \
+    BENCH_runtime.json
 fi
 
 # The causal-profiling artefacts (written by exp_profile) version

@@ -16,10 +16,18 @@
 //! slack never slows a latency-insensitive system), which lets the
 //! minimal-capacity search bisect the capacity range instead of
 //! scanning it.
+//!
+//! Since the incremental-compilation layer landed, probes run on the
+//! **patch path**: a search compiles the input netlist once
+//! (`compile.full`), then every candidate capacity is a
+//! [`patch_relay_kind`](lip_sim::SettleProgram::patch_relay_kind) /
+//! [`patch_fifo_capacity`](lip_sim::SettleProgram::patch_fifo_capacity)
+//! on that one program (`compile.patch`) and a program-keyed cache
+//! lookup — a cache hit never clones, compiles or simulates anything.
 
 use lip_core::RelayKind;
-use lip_graph::{Netlist, NetlistError, NodeId};
-use lip_sim::{Ratio, ThroughputCache};
+use lip_graph::{Netlist, NetlistError, NodeId, NodeKind};
+use lip_sim::{NetlistDelta, Ratio, SettleProgram, ThroughputCache};
 
 /// Outcome of a minimal-capacity search for one relay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,19 +41,48 @@ pub struct CapacityChoice {
     pub throughput: Ratio,
 }
 
-/// Throughput of `netlist` with `relay` replaced by a capacity-`k`
-/// FIFO, via the memo table.
-fn throughput_at(
-    netlist: &Netlist,
-    relay: NodeId,
-    k: u8,
-    cache: &mut ThroughputCache,
-) -> Result<Ratio, NetlistError> {
-    let mut candidate = netlist.clone();
-    candidate.set_relay_kind(relay, RelayKind::Fifo(k));
-    let m = cache.measure(&candidate)?;
-    Ok(m.system_throughput()
-        .expect("netlist has at least one sink"))
+/// One working candidate shared by every probe of a search: a netlist
+/// copy and its compiled program, mutated in lockstep through the
+/// incremental patch layer so a whole bisection (or a batch over many
+/// relays) pays exactly one full compile.
+struct Prober {
+    netlist: Netlist,
+    program: SettleProgram,
+}
+
+impl Prober {
+    fn new(netlist: &Netlist) -> Result<Self, NetlistError> {
+        let netlist = netlist.clone();
+        let program = SettleProgram::compile(&netlist)?;
+        Ok(Prober { netlist, program })
+    }
+
+    /// Throughput with `relay` set to kind `kind`, via the memo table.
+    /// The edit is a program patch; only a cache miss materialises a
+    /// netlist (by cloning the already-edited working copy).
+    fn throughput_with(
+        &mut self,
+        relay: NodeId,
+        kind: RelayKind,
+        cache: &mut ThroughputCache,
+    ) -> Result<Ratio, NetlistError> {
+        let delta = NetlistDelta::SetRelayKind { node: relay, kind };
+        delta.apply_to(&mut self.netlist);
+        self.program.recompile_delta(&delta);
+        let netlist = &self.netlist;
+        let m =
+            cache.measure_program_with(&self.program, Default::default(), || netlist.clone())?;
+        Ok(m.system_throughput()
+            .expect("netlist has at least one sink"))
+    }
+
+    /// The current kind of `relay` in the working copy.
+    fn relay_kind(&self, relay: NodeId) -> RelayKind {
+        match self.netlist.node(relay).kind() {
+            NodeKind::Relay { kind } => *kind,
+            _ => panic!("{relay} is not a relay station"),
+        }
+    }
 }
 
 /// Find the smallest FIFO capacity in `2..=max_cap` (FIFO stations need
@@ -70,18 +107,30 @@ pub fn minimal_equalizing_capacity(
     max_cap: u8,
     cache: &mut ThroughputCache,
 ) -> Result<CapacityChoice, NetlistError> {
+    let mut prober = Prober::new(netlist)?;
+    bisect_one(&mut prober, relay, max_cap, cache)
+}
+
+/// The bisection body, probing through an existing [`Prober`] so
+/// callers searching several relays share one compiled program.
+fn bisect_one(
+    prober: &mut Prober,
+    relay: NodeId,
+    max_cap: u8,
+    cache: &mut ThroughputCache,
+) -> Result<CapacityChoice, NetlistError> {
     assert!(max_cap >= 2, "fifo stations need capacity >= 2");
     // Ambient flight-recorder span + probe counter: capacity searches
     // dominate equalization sweeps, so attribute their wall-clock and
     // candidate count when a recorder is installed.
     let _bisect_span = lip_obs::flight::global_span("analysis", "capacity_bisect");
-    let best = throughput_at(netlist, relay, max_cap, cache)?;
+    let best = prober.throughput_with(relay, RelayKind::Fifo(max_cap), cache)?;
     lip_obs::flight::global_add("analysis.capacity_probes", 1);
     let (mut lo, mut hi) = (2u8, max_cap);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         lip_obs::flight::global_add("analysis.capacity_probes", 1);
-        if throughput_at(netlist, relay, mid, cache)? == best {
+        if prober.throughput_with(relay, RelayKind::Fifo(mid), cache)? == best {
             hi = mid;
         } else {
             lo = mid + 1;
@@ -95,8 +144,11 @@ pub fn minimal_equalizing_capacity(
 }
 
 /// [`minimal_equalizing_capacity`] for each relay independently,
-/// sharing one memo table — the batch form the queue-sizing experiment
-/// uses to compare candidate stations.
+/// sharing one memo table *and one compiled program* — the batch form
+/// the queue-sizing experiment uses to compare candidate stations.
+/// After each relay's search its original kind is patched back, so
+/// every relay is probed against the input configuration without a
+/// recompile.
 ///
 /// # Errors
 ///
@@ -107,9 +159,20 @@ pub fn size_each_relay(
     max_cap: u8,
     cache: &mut ThroughputCache,
 ) -> Result<Vec<CapacityChoice>, NetlistError> {
+    let mut prober = Prober::new(netlist)?;
     relays
         .iter()
-        .map(|&r| minimal_equalizing_capacity(netlist, r, max_cap, cache))
+        .map(|&r| {
+            let original = prober.relay_kind(r);
+            let choice = bisect_one(&mut prober, r, max_cap, cache)?;
+            let delta = NetlistDelta::SetRelayKind {
+                node: r,
+                kind: original,
+            };
+            delta.apply_to(&mut prober.netlist);
+            prober.program.recompile_delta(&delta);
+            Ok(choice)
+        })
         .collect()
 }
 

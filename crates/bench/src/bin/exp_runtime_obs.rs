@@ -239,6 +239,35 @@ fn main() {
             assert!(cache.hits() > 0 && cache.misses() > 0);
         }
 
+        // Lint-fix telemetry: the `lip-lint --fix` flow — one compile
+        // per file, then every insertion fix-it applied as an
+        // incremental patch (`compile.patch`), never a per-fix
+        // recompile.
+        {
+            let src = "source in\n\
+                       shell a identity\n\
+                       shell b identity\n\
+                       sink out\n\
+                       connect in:0 -> a:0\n\
+                       connect a:0 -> b:0\n\
+                       connect b:0 -> out:0\n";
+            let parsed = lip_graph::parse_netlist_spanned(src).expect("lint corpus parses");
+            let mut netlist = parsed.netlist;
+            let diags = lip_lint::lint(&netlist, &parsed.source_map);
+            let mut program = SettleProgram::compile(&netlist).expect("lint corpus compiles");
+            let fix = lip_lint::apply_fixits_compiled(&mut netlist, &mut program, &diags)
+                .expect("fixes apply");
+            assert!(
+                fix.total_inserted() > 0,
+                "lint corpus must trigger insertion fix-its"
+            );
+            assert_eq!(
+                program,
+                SettleProgram::compile(&netlist).expect("fixed netlist compiles"),
+                "patched program must equal a fresh compile of the fixed netlist"
+            );
+        }
+
         // Worker telemetry: a small fan-out so `par` spans land in the
         // dump (worker spans live on their own threads; the wrapper
         // span keeps the main thread's time accounted).
@@ -310,18 +339,29 @@ fn main() {
         "cache.misses",
         "analysis.capacity_probes",
         "par.items",
+        "compile.full",
+        "compile.patch",
     ] {
         assert!(
             dump.counters.contains_key(key),
             "enabled run must surface the {key} counter"
         );
     }
+    // The edit loops must run on the patch path: bisection probes and
+    // lint fix-its are patches, so full compiles stay a small constant
+    // (corpus setup + one per search/file) while patches track probes.
+    assert!(
+        dump.counters["compile.patch"] >= dump.counters["analysis.capacity_probes"],
+        "every capacity probe must be an incremental patch, not a recompile"
+    );
     println!(
-        "counters: cache {}h/{}m, {} capacity probes, {} par items",
+        "counters: cache {}h/{}m, {} capacity probes, {} par items, compiles {} full / {} patched",
         dump.counters["cache.hits"],
         dump.counters["cache.misses"],
         dump.counters["analysis.capacity_probes"],
         dump.counters["par.items"],
+        dump.counters["compile.full"],
+        dump.counters["compile.patch"],
     );
     println!();
 

@@ -18,7 +18,11 @@
 //! Exit codes: 0 clean, 1 lint failure, 2 usage or parse error.
 
 use lip_graph::{parse_netlist_spanned, write_netlist};
-use lip_lint::{apply_fixits, lint, render_human, render_json, Diagnostic, LintConfig, RuleId};
+use lip_lint::{
+    apply_fixits, apply_fixits_compiled, lint, render_human, render_json, Diagnostic, LintConfig,
+    RuleId,
+};
+use lip_sim::SettleProgram;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -125,8 +129,16 @@ fn lint_file(file: &str, opts: &Options) -> Result<Vec<Diagnostic>, String> {
     if !opts.fix || diags.iter().all(|d| d.fix.is_none()) {
         return Ok(diags);
     }
-    let report = apply_fixits(&mut netlist, &diags)
-        .map_err(|e| format!("error: cannot fix `{file}`: {e}"))?;
+    // One compile per file; each insertion fix-it is then an
+    // incremental patch on that program (`compile.patch`), so a batch
+    // of fixes never pays per-fix recompiles. A netlist that does not
+    // compile (e.g. a combinational loop the lint is reporting) falls
+    // back to the uncompiled applier.
+    let report = match SettleProgram::compile(&netlist) {
+        Ok(mut program) => apply_fixits_compiled(&mut netlist, &mut program, &diags),
+        Err(_) => apply_fixits(&mut netlist, &diags),
+    }
+    .map_err(|e| format!("error: cannot fix `{file}`: {e}"))?;
     let fixed_text = write_netlist(&netlist);
     std::fs::write(file, &fixed_text).map_err(|e| format!("error: cannot write `{file}`: {e}"))?;
     eprintln!(

@@ -8,6 +8,7 @@
 use lip_analysis::{equalize, EqualizeReport};
 use lip_core::RelayKind;
 use lip_graph::{ChannelId, Netlist, NetlistError, NodeId};
+use lip_sim::{NetlistDelta, SettleProgram};
 
 use crate::diag::Diagnostic;
 
@@ -81,6 +82,49 @@ pub fn apply_fixits(
     Ok(report)
 }
 
+/// [`apply_fixits`] on the incremental-compilation path: `program` is
+/// the already-compiled [`SettleProgram`] of `netlist`, and every relay
+/// insertion is applied to both in lockstep as a
+/// [`NetlistDelta`] patch (`compile.patch`) instead of deferring a full
+/// recompile to the caller. Only the equalization pass — a whole-
+/// netlist structural rewrite by `lip_analysis` — falls back to one
+/// full recompile (`compile.full`) at the end.
+///
+/// Afterwards `program` equals `SettleProgram::compile(netlist)`
+/// byte-for-byte, so it can key a
+/// [`ThroughputCache`](lip_sim::ThroughputCache) or drive an engine
+/// directly.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from the equalization pass or its
+/// recompile; insertions themselves cannot fail.
+pub fn apply_fixits_compiled(
+    netlist: &mut Netlist,
+    program: &mut SettleProgram,
+    diags: &[Diagnostic],
+) -> Result<FixReport, NetlistError> {
+    let mut report = FixReport::default();
+    let mut want_equalize = false;
+    for diag in diags {
+        match diag.fix {
+            Some(FixIt::InsertRelay { channel, kind }) => {
+                let delta = NetlistDelta::InsertRelay { channel, kind };
+                let inserted = delta.apply_to(netlist).expect("insertion returns its id");
+                program.recompile_delta(&delta);
+                report.inserted.push(inserted);
+            }
+            Some(FixIt::Equalize) => want_equalize = true,
+            None => {}
+        }
+    }
+    if want_equalize {
+        report.equalized = Some(equalize(netlist)?);
+        *program = SettleProgram::compile(netlist)?;
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +168,40 @@ mod tests {
         assert_eq!(report.total_inserted(), 2);
         assert_eq!(n.node_count(), before + 2);
         n.validate().unwrap();
+    }
+
+    #[test]
+    fn compiled_applier_keeps_program_in_lockstep() {
+        let fig1 = generate::fig1();
+        let mut n = fig1.netlist;
+        let mut program = SettleProgram::compile(&n).unwrap();
+        let channels: Vec<_> = n.channels().map(|(id, _)| id).take(2).collect();
+        let diags = vec![
+            dummy_diag(Some(FixIt::InsertRelay {
+                channel: channels[0],
+                kind: RelayKind::Half,
+            })),
+            dummy_diag(Some(FixIt::InsertRelay {
+                channel: channels[1],
+                kind: RelayKind::Full,
+            })),
+            dummy_diag(Some(FixIt::Equalize)),
+            dummy_diag(None),
+        ];
+        let plain_report;
+        let fresh = {
+            // Reference: the plain applier on a parallel copy.
+            let mut m = n.clone();
+            plain_report = apply_fixits(&mut m, &diags).unwrap();
+            SettleProgram::compile(&m).unwrap()
+        };
+        let report = apply_fixits_compiled(&mut n, &mut program, &diags).unwrap();
+        assert_eq!(report.inserted, plain_report.inserted);
+        assert_eq!(report.total_inserted(), plain_report.total_inserted());
+        assert_eq!(program, fresh, "patched program != fresh compile");
+        assert_eq!(
+            program.stable_structural_hash(),
+            fresh.stable_structural_hash()
+        );
     }
 }

@@ -49,7 +49,7 @@ pub mod render;
 pub mod rules;
 
 pub use diag::{DiagChannel, DiagNode, Diagnostic, RuleId, Severity};
-pub use fix::{apply_fixits, FixIt, FixReport};
+pub use fix::{apply_fixits, apply_fixits_compiled, FixIt, FixReport};
 pub use render::{render_human, render_json, LINT_SCHEMA_VERSION};
 pub use rules::{lint, predicted_throughput};
 

@@ -428,6 +428,110 @@ impl<W: LaneWord> BatchEngine<W> {
         &self.prog
     }
 
+    /// Adopt a patched settle program (see [`crate::patch`]) without
+    /// rebuilding the engine: every lane keeps the state slices the
+    /// patch left alone. Channels, source offers, shell registers,
+    /// buffers and all counters carry over; relay occupancies map by
+    /// node identity (rows may have moved between kind tables), with
+    /// FIFO occupancies clamped into a shrunk capacity; kind-changed or
+    /// newly inserted relays restart from reset, as do sources whose
+    /// environment pattern changed. Adopting at reset is
+    /// indistinguishable from [`from_program`](Self::from_program) on
+    /// the new program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_prog` disagrees with the current program on
+    /// source, sink or shell structure — patches never change those;
+    /// anything that does requires a fresh engine.
+    pub fn adopt(&mut self, new_prog: Arc<SettleProgram>) {
+        let old_prog = std::mem::replace(&mut self.prog, new_prog);
+        let (p1, p2) = (&*old_prog, &*self.prog);
+        assert_eq!(p1.src_out_ch, p2.src_out_ch, "adopt cannot change sources");
+        assert_eq!(
+            p1.snk_in_ch.len(),
+            p2.snk_in_ch.len(),
+            "adopt cannot change sinks"
+        );
+        assert_eq!(
+            (&p1.shell_buffered, &p1.shell_in_off, &p1.shell_out_off),
+            (&p2.shell_buffered, &p2.shell_in_off, &p2.shell_out_off),
+            "adopt cannot change shells"
+        );
+        let (k1, k2) = (&p1.kernel, &p2.kernel);
+        let old_arena = std::mem::take(&mut self.arena);
+        let mut arena = vec![W::ZERO; k2.cells];
+        arena[CELL_ONES as usize] = W::ONES;
+        let mut copy = |dst: u32, src: u32, n: usize| {
+            arena[dst as usize..dst as usize + n]
+                .copy_from_slice(&old_arena[src as usize..src as usize + n]);
+        };
+        // Channel ids are stable under patches (insertions append), as
+        // are source / sink / shell rows.
+        copy(k2.fwd, k1.fwd, p1.n_channels);
+        copy(k2.stop, k1.stop, p1.n_channels);
+        copy(k2.src_valid, k1.src_valid, p1.src_out_ch.len());
+        copy(k2.shell_out, k1.shell_out, p1.shell_out_ch.len());
+        copy(k2.in_buf, k1.in_buf, p1.shell_in_ch.len());
+        copy(k2.fire, k1.fire, p1.shell_buffered.len());
+        copy(k2.snk_stop, k1.snk_stop, p1.snk_in_ch.len());
+        // Relay state maps by node identity — same-kind rows carry
+        // over, kind changes reset (the new rows stay zeroed).
+        for (node, &s1) in p1.comp_slots.iter().enumerate() {
+            match (s1, p2.comp_slots[node]) {
+                (CompSlot::Full(r1), CompSlot::Full(r2)) => {
+                    arena[(k2.full_main + r2) as usize] = old_arena[(k1.full_main + r1) as usize];
+                    arena[(k2.full_aux + r2) as usize] = old_arena[(k1.full_aux + r1) as usize];
+                }
+                (CompSlot::Half(r1), CompSlot::Half(r2)) => {
+                    arena[(k2.half_occ + r2) as usize] = old_arena[(k1.half_occ + r1) as usize];
+                }
+                (CompSlot::Fifo(r1), CompSlot::Fifo(r2)) => {
+                    let (r1, r2) = (r1 as usize, r2 as usize);
+                    let planes1 = (k1.fifo_off[r1 + 1] - k1.fifo_off[r1]) as usize;
+                    let planes2 = (k2.fifo_off[r2 + 1] - k2.fifo_off[r2]) as usize;
+                    let cap = u64::from(p2.fifo_cap[r2]);
+                    let occ = |b: usize| {
+                        if b < planes1 {
+                            old_arena[(k1.fifo + k1.fifo_off[r1]) as usize + b]
+                        } else {
+                            W::ZERO
+                        }
+                    };
+                    // Lanes whose occupancy exceeds the new capacity
+                    // (bit-sliced MSB-down compare) get clamped to it:
+                    // occ' = min(occ, cap).
+                    let mut gt = W::ZERO;
+                    let mut eq = W::ONES;
+                    for b in (0..planes1.max(planes2)).rev() {
+                        let o = occ(b);
+                        if (cap >> b) & 1 == 1 {
+                            eq = eq.and(o);
+                        } else {
+                            gt = gt.or(eq.and(o));
+                            eq = eq.andnot(o);
+                        }
+                    }
+                    for b in 0..planes2 {
+                        let cap_b = if (cap >> b) & 1 == 1 { gt } else { W::ZERO };
+                        arena[(k2.fifo + k2.fifo_off[r2]) as usize + b] =
+                            occ(b).andnot(gt).or(cap_b);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // A patched environment pattern restarts that source's offer
+        // from the pattern at the current cycle (broadcast; per-lane
+        // environments are driven through the step calls anyway).
+        for (i, p) in p2.src_pattern.iter().enumerate() {
+            if p1.src_pattern[i] != *p {
+                arena[k2.src_valid as usize + i] = W::splat(!p.at(self.cycle));
+            }
+        }
+        self.arena = arena;
+    }
+
     /// Cycles executed so far (identical across lanes).
     #[must_use]
     pub fn cycle(&self) -> u64 {

@@ -43,6 +43,7 @@ pub mod cache;
 pub mod evolution;
 pub mod lane;
 pub mod measure;
+pub mod patch;
 pub mod profiling;
 pub mod program;
 pub mod rtl;
@@ -63,6 +64,7 @@ pub use measure::{
     measure_batch_wide, BatchMeasurement, BatchPeriodicMeasurement, LivenessReport, Measurement,
     PeriodDetector, Periodicity, Ratio, ShellActivity,
 };
+pub use patch::{NetlistDelta, ProgramPatch};
 pub use profiling::{profile_netlist, ProfileOptions, ProfiledRun};
 pub use program::SettleProgram;
 pub use skeleton::SkeletonSystem;

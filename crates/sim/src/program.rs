@@ -44,6 +44,10 @@ pub enum CompSlot {
     Fifo(u32),
 }
 
+/// Number of tagged sections in the structural fingerprint (tags
+/// `1..=N_SECTIONS`; see [`SettleProgram::stable_structural_hash`]).
+pub(crate) const N_SECTIONS: usize = 15;
+
 /// A netlist compiled to flat per-kind op lists (see the module docs).
 ///
 /// All indices are `u32`: channel ids in `*_ch` arrays, table rows in
@@ -51,7 +55,13 @@ pub enum CompSlot {
 /// `shell_in_ch[shell_in_off[s]..shell_in_off[s+1]]` and output channels
 /// `shell_out_ch[shell_out_off[s]..shell_out_off[s+1]]`; flat per-port
 /// state (output validity, input buffers) uses the same offsets.
-#[derive(Debug)]
+///
+/// `PartialEq` compares every compiled table, the cached section
+/// hashes *and* the op tape — the byte-equality relation the
+/// incremental patch path (see [`crate::patch`]) is gated on: a patched
+/// program must compare equal to a from-scratch compile of the edited
+/// netlist.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SettleProgram {
     /// Number of channels in the netlist.
     pub(crate) n_channels: usize,
@@ -122,6 +132,14 @@ pub struct SettleProgram {
     /// [`stable_structural_hash`](Self::stable_structural_hash): it is
     /// an execution schedule, not netlist structure.
     pub(crate) kernel: crate::stream::StreamKernel,
+
+    /// Cached per-section hashes of the structural fingerprint
+    /// (`section_hashes[t - 1]` holds section tag `t`). A full compile
+    /// computes all of them; the patch path rehashes only the sections
+    /// an edit touched, so
+    /// [`stable_structural_hash`](Self::stable_structural_hash) stays a
+    /// pure function of the tables at patch cost.
+    pub(crate) section_hashes: [u64; N_SECTIONS],
 }
 
 impl SettleProgram {
@@ -131,10 +149,12 @@ impl SettleProgram {
     ///
     /// Propagates any [`NetlistError`] from [`Netlist::validate`].
     pub fn compile(netlist: &Netlist) -> Result<Self, NetlistError> {
-        // Ambient flight-recorder span: compilation shows up in
-        // `BENCH_runtime.json` when a recorder is installed, and costs
-        // one relaxed atomic load when none is.
+        // Ambient flight-recorder span + counter: full compiles show up
+        // in `BENCH_runtime.json` (against `compile.patch`, the
+        // incremental path's counter) when a recorder is installed, and
+        // cost one relaxed atomic load when none is.
         let _compile_span = lip_obs::flight::global_span("compile", "settle_program");
+        lip_obs::flight::global_add("compile.full", 1);
         netlist.validate()?;
 
         let mut env_period: Option<u64> = Some(1);
@@ -300,8 +320,10 @@ impl SettleProgram {
             bwd_shell_order,
             buffered_shells,
             kernel: crate::stream::StreamKernel::default(),
+            section_hashes: [0; N_SECTIONS],
         };
         prog.kernel = crate::stream::StreamKernel::compile(&prog);
+        prog.rehash_sections(1..=N_SECTIONS as u64);
         Ok(prog)
     }
 
@@ -502,105 +524,77 @@ impl SettleProgram {
 
     /// Stable structural fingerprint of the compiled netlist: a
     /// [`stable_hash`] over every compiled table — channel wiring, shell
-    /// CSR geometry, relay kinds and capacities, settle orders, protocol
-    /// variant — **and** the source/sink environment patterns. Two
-    /// netlists with equal fingerprints elaborate to simulations with
-    /// identical observable behaviour, so the fingerprint is a sound
-    /// memoization key for [`Measurement`](crate::Measurement)s
-    /// (see [`ThroughputCache`](crate::ThroughputCache)); it is stable
-    /// across processes and releases, so persisted experiment caches
-    /// stay valid.
+    /// CSR geometry, relay kinds and capacities, protocol variant —
+    /// **and** the source/sink environment patterns. Two netlists with
+    /// equal fingerprints elaborate to simulations with identical
+    /// observable behaviour, so the fingerprint is a sound memoization
+    /// key for [`Measurement`](crate::Measurement)s (see
+    /// [`ThroughputCache`](crate::ThroughputCache)), and it is stable
+    /// across processes so persisted experiment caches stay valid.
+    ///
+    /// The fingerprint is two-level: each table is a tagged,
+    /// length-prefixed *section* hashed on its own (the hashes are
+    /// cached in `section_hashes`), and the fingerprint combines
+    /// `[n_channels, variant, section hashes…]`. A full compile hashes
+    /// every section; an in-place patch (see [`crate::patch`]) rehashes
+    /// only the sections it touched — and reaches the identical
+    /// fingerprint, because both paths combine the same section values.
     #[must_use]
     pub fn stable_structural_hash(&self) -> u64 {
-        fn section(words: &mut Vec<u64>, tag: u64, it: &mut dyn Iterator<Item = u64>) {
-            words.push(tag);
-            let start = words.len();
-            words.extend(it);
-            let len = (words.len() - start) as u64;
-            words.insert(start, len);
-        }
-        let mut words: Vec<u64> = Vec::new();
-        words.push(self.n_channels as u64);
-        words.push(match self.variant {
+        let mut words = [0u64; 2 + N_SECTIONS];
+        words[0] = self.n_channels as u64;
+        words[1] = match self.variant {
             ProtocolVariant::Refined => 0,
             ProtocolVariant::Carloni => 1,
-        });
-        section(
-            &mut words,
-            1,
-            &mut self.src_out_ch.iter().map(|&c| u64::from(c)),
-        );
-        section(
-            &mut words,
-            2,
-            &mut self.snk_in_ch.iter().map(|&c| u64::from(c)),
-        );
-        section(
-            &mut words,
-            3,
-            &mut self.full_in_ch.iter().map(|&c| u64::from(c)),
-        );
-        section(
-            &mut words,
-            4,
-            &mut self.full_out_ch.iter().map(|&c| u64::from(c)),
-        );
-        section(
-            &mut words,
-            5,
-            &mut self.half_in_ch.iter().map(|&c| u64::from(c)),
-        );
-        section(
-            &mut words,
-            6,
-            &mut self.half_out_ch.iter().map(|&c| u64::from(c)),
-        );
-        section(
-            &mut words,
-            7,
-            &mut self.fifo_in_ch.iter().map(|&c| u64::from(c)),
-        );
-        section(
-            &mut words,
-            8,
-            &mut self.fifo_out_ch.iter().map(|&c| u64::from(c)),
-        );
-        section(
-            &mut words,
-            9,
-            &mut self.fifo_cap.iter().map(|&c| u64::from(c)),
-        );
-        section(
-            &mut words,
-            10,
-            &mut self.shell_buffered.iter().map(|&b| u64::from(b)),
-        );
-        section(
-            &mut words,
-            11,
-            &mut self.shell_in_off.iter().map(|&c| u64::from(c)),
-        );
-        section(
-            &mut words,
-            12,
-            &mut self.shell_in_ch.iter().map(|&c| u64::from(c)),
-        );
-        section(
-            &mut words,
-            13,
-            &mut self.shell_out_off.iter().map(|&c| u64::from(c)),
-        );
-        section(
-            &mut words,
-            14,
-            &mut self.shell_out_ch.iter().map(|&c| u64::from(c)),
-        );
-        let mut pat_words = Vec::new();
-        for p in self.src_pattern.iter().chain(self.snk_pattern.iter()) {
-            pattern_words(p, &mut pat_words);
-        }
-        section(&mut words, 15, &mut pat_words.into_iter());
+        };
+        words[2..].copy_from_slice(&self.section_hashes);
         stable_hash(&words)
+    }
+
+    /// Recompute the cached hashes of the given section tags
+    /// (`1..=N_SECTIONS`) from the current tables. The patch path calls
+    /// this with exactly the sections an edit touched; `compile` calls
+    /// it with every tag.
+    ///
+    /// A section hash is `stable_hash([tag, len])` XORed with one
+    /// [`section_entry_hash`] per entry. XOR combining (with the
+    /// position salted into each entry mix, so permutations still
+    /// differ) makes single-entry edits O(1): xor the old entry's mix
+    /// out and the new one in — the fast path
+    /// [`patch_fifo_capacity`](Self::patch_fifo_capacity) takes instead
+    /// of calling this.
+    pub(crate) fn rehash_sections(&mut self, tags: impl IntoIterator<Item = u64>) {
+        let mut words: Vec<u64> = Vec::new();
+        for tag in tags {
+            words.clear();
+            match tag {
+                1 => words.extend(self.src_out_ch.iter().map(|&c| u64::from(c))),
+                2 => words.extend(self.snk_in_ch.iter().map(|&c| u64::from(c))),
+                3 => words.extend(self.full_in_ch.iter().map(|&c| u64::from(c))),
+                4 => words.extend(self.full_out_ch.iter().map(|&c| u64::from(c))),
+                5 => words.extend(self.half_in_ch.iter().map(|&c| u64::from(c))),
+                6 => words.extend(self.half_out_ch.iter().map(|&c| u64::from(c))),
+                7 => words.extend(self.fifo_in_ch.iter().map(|&c| u64::from(c))),
+                8 => words.extend(self.fifo_out_ch.iter().map(|&c| u64::from(c))),
+                9 => words.extend(self.fifo_cap.iter().map(|&c| u64::from(c))),
+                10 => words.extend(self.shell_buffered.iter().map(|&b| u64::from(b))),
+                11 => words.extend(self.shell_in_off.iter().map(|&c| u64::from(c))),
+                12 => words.extend(self.shell_in_ch.iter().map(|&c| u64::from(c))),
+                13 => words.extend(self.shell_out_off.iter().map(|&c| u64::from(c))),
+                14 => words.extend(self.shell_out_ch.iter().map(|&c| u64::from(c))),
+                15 => {
+                    for p in self.src_pattern.iter().chain(self.snk_pattern.iter()) {
+                        pattern_words(p, &mut words);
+                    }
+                }
+                _ => unreachable!("section tag out of range"),
+            }
+            let mut h = stable_hash(&[tag, words.len() as u64]);
+            for (i, &w) in words.iter().enumerate() {
+                h ^= section_entry_hash(tag, i as u64, w);
+            }
+            self.section_hashes[tag as usize - 1] = h;
+        }
     }
 
     /// Input-channel run of shell `s` (indices into the flat arrays).
@@ -683,6 +677,21 @@ pub(crate) fn kahn(n: usize, deps: impl Fn(usize) -> Vec<usize>) -> Option<Vec<u
         }
     }
     (out.len() == n).then(|| out.into_iter().collect())
+}
+
+/// Per-entry mix for section hashes: a splitmix64 finalizer over the
+/// entry word salted with its section tag and position. Section hashes
+/// XOR these together (see
+/// [`rehash_sections`](SettleProgram::rehash_sections)), so replacing
+/// one entry updates the hash with two mixes instead of a full
+/// section pass — the O(1) step a capacity patch relies on.
+#[inline]
+#[must_use]
+pub(crate) fn section_entry_hash(tag: u64, pos: u64, word: u64) -> u64 {
+    let mut z = word ^ (tag << 56) ^ pos.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// FNV-1a over a word slice: a stable hash for control states.

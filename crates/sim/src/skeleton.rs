@@ -124,6 +124,73 @@ impl SkeletonSystem {
         &self.prog
     }
 
+    /// Adopt a patched settle program (see [`crate::patch`]) without
+    /// rebuilding the skeleton: state slices the patch left alone are
+    /// kept. Channels, source offers, shell registers, buffers and all
+    /// counters carry over; relay occupancies map by node identity
+    /// (rows may have moved between kind tables), FIFO occupancies are
+    /// clamped into a shrunk capacity; kind-changed or newly inserted
+    /// relays restart empty, as do sources whose environment pattern
+    /// changed. Adopting at reset is indistinguishable from
+    /// [`from_program`](Self::from_program) on the new program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_prog` disagrees with the current program on
+    /// source, sink or shell structure — patches never change those;
+    /// anything that does requires a fresh skeleton.
+    pub fn adopt(&mut self, new_prog: Arc<SettleProgram>) {
+        let old_prog = std::mem::replace(&mut self.prog, new_prog);
+        let (p1, p2) = (&*old_prog, &*self.prog);
+        assert_eq!(p1.src_out_ch, p2.src_out_ch, "adopt cannot change sources");
+        assert_eq!(
+            p1.snk_in_ch.len(),
+            p2.snk_in_ch.len(),
+            "adopt cannot change sinks"
+        );
+        assert_eq!(
+            (&p1.shell_buffered, &p1.shell_in_off, &p1.shell_out_off),
+            (&p2.shell_buffered, &p2.shell_in_off, &p2.shell_out_off),
+            "adopt cannot change shells"
+        );
+        // Channel ids are stable under patches (insertions append).
+        self.fwd.resize(p2.n_channels, false);
+        self.stop.resize(p2.n_channels, false);
+        // Relay state maps by node identity — same-kind rows carry
+        // over, kind changes reset.
+        let mut full_main = vec![false; p2.full_in_ch.len()];
+        let mut full_aux = vec![false; p2.full_in_ch.len()];
+        let mut half_occ = vec![false; p2.half_in_ch.len()];
+        let mut fifo_occ = vec![0u32; p2.fifo_in_ch.len()];
+        for (node, &s1) in p1.comp_slots.iter().enumerate() {
+            match (s1, p2.comp_slots[node]) {
+                (CompSlot::Full(r1), CompSlot::Full(r2)) => {
+                    full_main[r2 as usize] = self.full_main[r1 as usize];
+                    full_aux[r2 as usize] = self.full_aux[r1 as usize];
+                }
+                (CompSlot::Half(r1), CompSlot::Half(r2)) => {
+                    half_occ[r2 as usize] = self.half_occ[r1 as usize];
+                }
+                (CompSlot::Fifo(r1), CompSlot::Fifo(r2)) => {
+                    fifo_occ[r2 as usize] =
+                        self.fifo_occ[r1 as usize].min(p2.fifo_cap[r2 as usize]);
+                }
+                _ => {}
+            }
+        }
+        self.full_main = full_main;
+        self.full_aux = full_aux;
+        self.half_occ = half_occ;
+        self.fifo_occ = fifo_occ;
+        // A patched environment pattern restarts that source's offer
+        // from the pattern at the current cycle.
+        for (i, p) in p2.src_pattern.iter().enumerate() {
+            if p1.src_pattern[i] != *p {
+                self.src_valid[i] = !p.at(self.cycle);
+            }
+        }
+    }
+
     /// Settle this cycle's valid and stop bits.
     pub fn settle(&mut self) {
         self.settle_probed(&mut NullProbe);

@@ -48,6 +48,11 @@ use crate::program::SettleProgram;
 
 /// All-lanes-zero constant cell.
 pub(crate) const CELL_ZERO: u32 = 0;
+
+/// Bit-planes a capacity-`cap` FIFO occupancy needs (at least one).
+pub(crate) fn fifo_planes(cap: u32) -> u32 {
+    (64 - u64::from(cap).leading_zeros()).max(1)
+}
 /// All-lanes-one constant cell. Engines must initialise this cell to
 /// [`LaneWord::ONES`] (and [`CELL_ZERO`] to zero) when allocating the
 /// arena; the tape reads but never writes the constant cells.
@@ -103,7 +108,7 @@ impl Opcode {
 }
 
 /// One three-address op.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Op {
     d: u32,
     a: u32,
@@ -111,7 +116,7 @@ struct Op {
 }
 
 /// A maximal run of consecutive same-opcode ops.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Segment {
     op: Opcode,
     start: u32,
@@ -120,7 +125,10 @@ struct Segment {
 
 /// The compiled settle tape plus the arena layout it addresses (see the
 /// [module docs](self)).
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares the full tape (layout, ops, segments) — the
+/// byte-equality check the incremental patch path is gated on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct StreamKernel {
     /// Total arena cells an engine must allocate.
     pub(crate) cells: usize,
@@ -152,14 +160,27 @@ impl StreamKernel {
     /// passes (forward valids, backward stops, fire strata) exactly, so
     /// running the tape is bit-identical to the former inline settle.
     pub(crate) fn compile(p: &SettleProgram) -> Self {
+        let mut k = StreamKernel::default();
+        k.rebuild(p);
+        k
+    }
+
+    /// Re-emit the whole tape from `p`'s current tables, reusing this
+    /// kernel's allocations (`ops`, `segments`, `fifo_off`). This is the
+    /// fallback of the patch path: no netlist walk, no validation, no
+    /// Kahn re-stratification and no heap growth on steady-state sizes —
+    /// only the emission loops — yet the result is byte-identical to a
+    /// from-scratch [`compile`](Self::compile).
+    pub(crate) fn rebuild(&mut self, p: &SettleProgram) {
         let n_ch = p.n_channels as u32;
-        let mut fifo_off = Vec::with_capacity(p.fifo_cap.len() + 1);
+        self.ops.clear();
+        self.segments.clear();
+        self.fifo_off.clear();
         let mut plane_words = 0u32;
-        fifo_off.push(plane_words);
+        self.fifo_off.push(plane_words);
         for &cap in &p.fifo_cap {
-            let bits = 64 - u64::from(cap).leading_zeros();
-            plane_words += bits.max(1);
-            fifo_off.push(plane_words);
+            plane_words += fifo_planes(cap);
+            self.fifo_off.push(plane_words);
         }
         let mut next = 2u32;
         let mut region = |len: usize| {
@@ -167,25 +188,20 @@ impl StreamKernel {
             next += len as u32;
             base
         };
-        let mut k = StreamKernel {
-            cells: 0,
-            fwd: region(p.n_channels),
-            stop: region(p.n_channels),
-            src_valid: region(p.src_out_ch.len()),
-            shell_out: region(p.shell_out_ch.len()),
-            in_buf: region(p.shell_in_ch.len()),
-            fire: region(p.shell_buffered.len()),
-            full_main: region(p.full_in_ch.len()),
-            full_aux: region(p.full_in_ch.len()),
-            half_occ: region(p.half_in_ch.len()),
-            fifo: region(plane_words as usize),
-            snk_stop: region(p.snk_in_ch.len()),
-            fifo_off,
-            stratum_ops: [0; STRATA.len()],
-            ops: Vec::new(),
-            segments: Vec::new(),
-        };
-        k.cells = next as usize;
+        self.fwd = region(p.n_channels);
+        self.stop = region(p.n_channels);
+        self.src_valid = region(p.src_out_ch.len());
+        self.shell_out = region(p.shell_out_ch.len());
+        self.in_buf = region(p.shell_in_ch.len());
+        self.fire = region(p.shell_buffered.len());
+        self.full_main = region(p.full_in_ch.len());
+        self.full_aux = region(p.full_in_ch.len());
+        self.half_occ = region(p.half_in_ch.len());
+        self.fifo = region(plane_words as usize);
+        self.snk_stop = region(p.snk_in_ch.len());
+        self.stratum_ops = [0; STRATA.len()];
+        self.cells = next as usize;
+        let k = self;
         debug_assert!(k.fwd + n_ch == k.stop);
         let mut stratum_end = [0u32; STRATA.len()];
 
@@ -291,7 +307,136 @@ impl StreamKernel {
             *slot = end - prev;
             prev = end;
         }
-        k
+    }
+
+    /// Splice the tape after FIFO `row`'s capacity changed from
+    /// `old_cap` to `p.fifo_cap[row]` (the tables are already updated).
+    ///
+    /// When the bit-plane count is unchanged the settle order — and
+    /// every cell and op position — is unchanged too: only the
+    /// at-capacity compare run of this one FIFO re-encodes (its opcodes
+    /// spell the capacity bits), so the run is rewritten in place and
+    /// the segment list re-derived. A plane-count change shifts arena
+    /// regions and op counts, so it falls back to the in-place
+    /// [`rebuild`](Self::rebuild).
+    pub(crate) fn patch_fifo_capacity(&mut self, p: &SettleProgram, row: usize, old_cap: u32) {
+        let new_cap = p.fifo_cap[row];
+        if fifo_planes(old_cap) != fifo_planes(new_cap) {
+            self.rebuild(p);
+            return;
+        }
+        // The compare run sits in the registered backward stratum, after
+        // the sink / full-aux / half-occ / buffered-input copies and the
+        // compare runs of every earlier FIFO.
+        let buffered_inputs: usize = p
+            .buffered_shells
+            .iter()
+            .map(|&s| p.shell_in_range(s as usize).len())
+            .sum();
+        let lo = (self.stratum_ops[0] + self.stratum_ops[1] + self.fifo_off[row]) as usize
+            + p.snk_in_ch.len()
+            + p.full_in_ch.len()
+            + p.half_in_ch.len()
+            + buffered_inputs;
+        let cap = u64::from(new_cap);
+        let d = self.stop + p.fifo_in_ch[row];
+        let mut repl = Vec::with_capacity((self.fifo_off[row + 1] - self.fifo_off[row]) as usize);
+        for (b, plane) in (self.fifo_off[row]..self.fifo_off[row + 1]).enumerate() {
+            let pl = self.fifo + plane;
+            let first = b == 0;
+            repl.push(match ((cap >> b) & 1 == 1, first) {
+                (true, true) => (
+                    Opcode::Copy,
+                    Op {
+                        d,
+                        a: pl,
+                        b: CELL_ZERO,
+                    },
+                ),
+                (true, false) => (Opcode::And, Op { d, a: d, b: pl }),
+                (false, true) => (
+                    Opcode::AndNot,
+                    Op {
+                        d,
+                        a: CELL_ONES,
+                        b: pl,
+                    },
+                ),
+                (false, false) => (Opcode::AndNot, Op { d, a: d, b: pl }),
+            });
+        }
+        self.splice_ops(lo, &repl);
+    }
+
+    /// Overwrite ops `lo..lo + repl.len()` (opcode and operands) and
+    /// re-derive the segment list *locally*. Segments are the maximal
+    /// same-opcode run decomposition of the opcode sequence — exactly
+    /// what [`push`](Self::push) builds incrementally — and a
+    /// same-length overwrite can only change runs that overlap the
+    /// patched window: the untouched remainder of the boundary
+    /// segments keeps its opcode, so changes cannot cascade further.
+    /// The window's runs are restitched from the unchanged prefix, the
+    /// replacement opcodes and the unchanged suffix, then absorbed
+    /// into the neighbouring segments where opcodes now agree —
+    /// reproducing a fresh compile's segments byte-for-byte at
+    /// O(replacement) cost instead of O(tape), the difference between
+    /// a capacity patch and a recompile on large programs.
+    fn splice_ops(&mut self, lo: usize, repl: &[(Opcode, Op)]) {
+        let hi = lo + repl.len();
+        debug_assert!(!repl.is_empty() && hi <= self.ops.len());
+        // First and last segments overlapping [lo, hi).
+        let i0 = self.segments.partition_point(|s| s.end as usize <= lo);
+        let i1 = self.segments.partition_point(|s| (s.end as usize) < hi);
+        for (i, &(_, o)) in repl.iter().enumerate() {
+            self.ops[lo + i] = o;
+        }
+        let mut runs: Vec<Segment> = Vec::new();
+        let s0 = self.segments[i0];
+        if (s0.start as usize) < lo {
+            runs.push(Segment {
+                op: s0.op,
+                start: s0.start,
+                end: lo as u32,
+            });
+        }
+        for (i, &(op, _)) in repl.iter().enumerate() {
+            let at = (lo + i) as u32;
+            match runs.last_mut() {
+                Some(seg) if seg.op == op => seg.end += 1,
+                _ => runs.push(Segment {
+                    op,
+                    start: at,
+                    end: at + 1,
+                }),
+            }
+        }
+        let s1 = self.segments[i1];
+        if hi < s1.end as usize {
+            match runs.last_mut() {
+                Some(seg) if seg.op == s1.op => seg.end = s1.end,
+                _ => runs.push(Segment {
+                    op: s1.op,
+                    start: hi as u32,
+                    end: s1.end,
+                }),
+            }
+        }
+        // Absorb untouched neighbours whose opcode now matches a
+        // boundary run. (If part of a boundary segment survived inside
+        // `runs`, its opcode is unchanged and still maximal against the
+        // neighbour, so these checks fail exactly when they must.)
+        let mut w0 = i0;
+        if w0 > 0 && self.segments[w0 - 1].op == runs[0].op {
+            w0 -= 1;
+            runs[0].start = self.segments[w0].start;
+        }
+        let mut w1 = i1;
+        let last = runs.last_mut().expect("window is non-empty");
+        if w1 + 1 < self.segments.len() && self.segments[w1 + 1].op == last.op {
+            w1 += 1;
+            last.end = self.segments[w1].end;
+        }
+        self.segments.splice(w0..=w1, runs);
     }
 
     /// Fold shell `s`'s fire condition into its fire cell: AND over

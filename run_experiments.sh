@@ -36,6 +36,7 @@ TIMED_BINS=(
   exp_batch_sweep
   exp_parallel_sweep
   exp_runtime_obs
+  exp_incremental
 )
 
 REPORT_DIR="${LIP_REPORT_DIR:-target/reports}"
@@ -180,6 +181,24 @@ if [ -f BENCH_runtime.json ] && command -v jq >/dev/null 2>&1; then
          "\(.kernel.ops_total) kernel ops over \(.kernel.settles) settles " +
          "(occupancy \(.kernel.occupancy), reconciled: \(.kernel.reconciled))"' \
     BENCH_runtime.json
+fi
+
+# The incremental-compilation artefact: versioned, patch-vs-recompile
+# speedup gate (>= 20x), per-edit byte-equivalence flag, and the
+# end-to-end cold-cache sizing comparison.
+check_report BENCH_incremental.json || FAILED+=("BENCH_incremental.json (schema)")
+if [ -f BENCH_incremental.json ] && command -v jq >/dev/null 2>&1; then
+  if ! jq -e '.min_patch_speedup >= 20
+              and .equivalent
+              and .sizing.ok
+              and .ok' BENCH_incremental.json >/dev/null; then
+    echo "!! BENCH_incremental.json: incremental-compilation gates failed" >&2
+    FAILED+=("BENCH_incremental.json (gates)")
+  fi
+  jq -r '">> BENCH_incremental: capacity patch \(.min_patch_speedup)x vs full recompile " +
+         "(gate \(.claimed_speedup)x), \(.edits_checked) edits byte-equal: \(.equivalent), " +
+         "cold-cache sizing \(.sizing.speedup)x"' \
+    BENCH_incremental.json
 fi
 
 # The causal-profiling artefacts (written by exp_profile) version

@@ -117,7 +117,7 @@ fn main() {
     // 2. Random corpus: exact agreement + per-rule census.
     let mut random_checked = 0u64;
     let mut random_exact = 0u64;
-    let mut census = [0u64; 5];
+    let mut census = [0u64; RuleId::ALL.len()];
     for seed in 0..60u64 {
         let (_, netlist) = generate::random_family(seed);
         if netlist.validate().is_err() {

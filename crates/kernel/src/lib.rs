@@ -20,7 +20,7 @@
 //!   re-evaluating only processes sensitised by signal changes. Both
 //!   produce identical cycle-level traces; the event engine additionally
 //!   reports activity statistics used by the `engine_ablation` experiment.
-//! * [`Trace`](trace::Trace) — per-cycle change recording with a VCD
+//! * [`Trace`] — per-cycle change recording with a VCD
 //!   export, standing in for the waveform viewer used to draw the paper's
 //!   Fig. 1 and Fig. 2 evolutions.
 //!

@@ -20,24 +20,44 @@ pub enum RuleId {
     Lip001,
     /// Shell-free cycle: a closed loop of relay stations only.
     Lip002,
-    /// Guaranteed deadlock: the declared environment statically
-    /// starves or stalls one or more shells forever.
+    /// Structural deadlock guarantee: a source that never presents
+    /// data (or a sink that never accepts) starves or stalls shells —
+    /// decided from the declared patterns alone, without a state-space
+    /// search. [`RuleId::Lip006`] is the exhaustive, model-checked
+    /// upgrade of this rule.
     Lip003,
     /// Reconvergent relay imbalance `i > 0` on a feed-forward join.
     Lip004,
     /// Global throughput bottleneck: a cycle with minimum cycle ratio
     /// below 1 dictates the design's steady-state throughput.
     Lip005,
+    /// Model-checked deadlock: the exhaustive state-space search of
+    /// `lip-mc` proves one or more shells never fire again under the
+    /// declared environment. Catches deadlocks LIP003's structural
+    /// check cannot see (e.g. protocol-level wedges with live-looking
+    /// patterns), and carries the proof (stem, state count).
+    Lip006,
+    /// Over-provisioned FIFO: the model checker proves an occupancy
+    /// bound strictly below what the configured capacity admits, so the
+    /// station can shrink without changing behaviour.
+    Lip007,
+    /// Statically proved throughput below 1 token/cycle where the
+    /// structural bottleneck rule (LIP005) is silent or disagrees: the
+    /// binding constraint is the declared environment, not topology.
+    Lip008,
 }
 
 impl RuleId {
     /// Every rule, in code order.
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::Lip001,
         RuleId::Lip002,
         RuleId::Lip003,
         RuleId::Lip004,
         RuleId::Lip005,
+        RuleId::Lip006,
+        RuleId::Lip007,
+        RuleId::Lip008,
     ];
 
     /// Stable rule code, e.g. `"LIP001"`.
@@ -49,6 +69,9 @@ impl RuleId {
             Self::Lip003 => "LIP003",
             Self::Lip004 => "LIP004",
             Self::Lip005 => "LIP005",
+            Self::Lip006 => "LIP006",
+            Self::Lip007 => "LIP007",
+            Self::Lip008 => "LIP008",
         }
     }
 
@@ -66,9 +89,12 @@ impl RuleId {
         match self {
             Self::Lip001 => "combinational stop chain: simplified shells back-to-back",
             Self::Lip002 => "shell-free cycle of relay stations",
-            Self::Lip003 => "guaranteed deadlock under the declared environment",
+            Self::Lip003 => "structurally guaranteed deadlock under the declared environment",
             Self::Lip004 => "reconvergent relay imbalance i > 0",
             Self::Lip005 => "global throughput bottleneck cycle",
+            Self::Lip006 => "model-checked deadlock: shells proved to never fire again",
+            Self::Lip007 => "over-provisioned FIFO: proved occupancy bound below capacity",
+            Self::Lip008 => "statically proved throughput below 1, environment-limited",
         }
     }
 
@@ -77,8 +103,8 @@ impl RuleId {
     pub fn default_severity(self) -> Severity {
         match self {
             Self::Lip001 | Self::Lip004 => Severity::Warning,
-            Self::Lip002 | Self::Lip003 => Severity::Error,
-            Self::Lip005 => Severity::Info,
+            Self::Lip002 | Self::Lip003 | Self::Lip006 => Severity::Error,
+            Self::Lip005 | Self::Lip007 | Self::Lip008 => Severity::Info,
         }
     }
 
@@ -163,6 +189,9 @@ pub struct Diagnostic {
     pub fix: Option<FixIt>,
     /// Human description of `fix`.
     pub fix_label: Option<String>,
+    /// Rules whose findings this diagnostic refines or corroborates
+    /// (e.g. LIP006 relates to LIP003 when both fired on the design).
+    pub related: Vec<RuleId>,
 }
 
 impl Diagnostic {

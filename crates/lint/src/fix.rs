@@ -24,8 +24,17 @@ pub enum FixIt {
         kind: RelayKind,
     },
     /// Equalize reconvergent path lengths with spare relay stations
-    /// (LIP004), via [`lip_analysis::equalize`].
+    /// (LIP004), via [`lip_analysis::equalize()`].
     Equalize,
+    /// Shrink an over-provisioned FIFO relay station to `capacity`
+    /// (LIP007): the model checker proved the extra places unreachable,
+    /// so the resize is behaviour-preserving.
+    ResizeFifo {
+        /// The FIFO relay station to shrink.
+        node: NodeId,
+        /// The proved-sufficient capacity (always >= 2).
+        capacity: u8,
+    },
 }
 
 /// What [`apply_fixits`] did to the netlist.
@@ -33,6 +42,8 @@ pub enum FixIt {
 pub struct FixReport {
     /// Relay stations inserted by [`FixIt::InsertRelay`] fixes.
     pub inserted: Vec<NodeId>,
+    /// FIFO relay stations shrunk by [`FixIt::ResizeFifo`] fixes.
+    pub resized: Vec<NodeId>,
     /// Result of the equalization pass, if any fix requested one.
     pub equalized: Option<EqualizeReport>,
 }
@@ -71,6 +82,14 @@ pub fn apply_fixits(
                 report
                     .inserted
                     .push(netlist.insert_relay_on_channel(channel, kind));
+            }
+            Some(FixIt::ResizeFifo { node, capacity }) => {
+                let delta = NetlistDelta::SetRelayKind {
+                    node,
+                    kind: RelayKind::Fifo(capacity),
+                };
+                delta.apply_to(netlist); // in-place rewrite, inserts nothing
+                report.resized.push(node);
             }
             Some(FixIt::Equalize) => want_equalize = true,
             None => {}
@@ -114,6 +133,15 @@ pub fn apply_fixits_compiled(
                 program.recompile_delta(&delta);
                 report.inserted.push(inserted);
             }
+            Some(FixIt::ResizeFifo { node, capacity }) => {
+                let delta = NetlistDelta::SetRelayKind {
+                    node,
+                    kind: RelayKind::Fifo(capacity),
+                };
+                delta.apply_to(netlist); // in-place rewrite, inserts nothing
+                program.recompile_delta(&delta);
+                report.resized.push(node);
+            }
             Some(FixIt::Equalize) => want_equalize = true,
             None => {}
         }
@@ -142,6 +170,7 @@ mod tests {
             predicted_throughput: None,
             fix,
             fix_label: None,
+            related: Vec::new(),
         }
     }
 
@@ -203,5 +232,32 @@ mod tests {
             program.stable_structural_hash(),
             fresh.stable_structural_hash()
         );
+    }
+
+    #[test]
+    fn resize_fifo_keeps_program_in_lockstep() {
+        let chain = generate::chain(2, 1, RelayKind::Fifo(6));
+        let mut n = chain.netlist;
+        let mut program = SettleProgram::compile(&n).unwrap();
+        let relay = n.relays()[0];
+        let diags = vec![dummy_diag(Some(FixIt::ResizeFifo {
+            node: relay,
+            capacity: 2,
+        }))];
+        let report = apply_fixits_compiled(&mut n, &mut program, &diags).unwrap();
+        assert_eq!(report.resized, vec![relay]);
+        assert_eq!(report.total_inserted(), 0);
+        assert!(matches!(
+            n.node(relay).kind(),
+            lip_graph::NodeKind::Relay {
+                kind: RelayKind::Fifo(2)
+            }
+        ));
+        assert_eq!(program, SettleProgram::compile(&n).unwrap());
+
+        let mut plain = generate::chain(2, 1, RelayKind::Fifo(6)).netlist;
+        let plain_report = apply_fixits(&mut plain, &diags).unwrap();
+        assert_eq!(plain_report.resized, vec![relay]);
+        assert_eq!(SettleProgram::compile(&plain).unwrap(), program);
     }
 }

@@ -8,10 +8,11 @@
 //! netlist-construction time, without running the simulator:
 //!
 //! * [`rules::lint`] walks a [`Netlist`](lip_graph::Netlist) and emits
-//!   structured [`Diagnostic`]s with rule ids (`LIP001`–`LIP005`),
+//!   structured [`Diagnostic`]s with rule ids (`LIP001`–`LIP008`),
 //!   severities, node/channel spans (resolved through the
-//!   [`SourceMap`](lip_graph::SourceMap) of the textual format) and
-//!   machine-applicable [`FixIt`]s;
+//!   [`SourceMap`] of the textual format) and
+//!   machine-applicable [`FixIt`]s — `LIP006`–`LIP008` carry exhaustive
+//!   model-checking proofs from `lip_mc`;
 //! * [`fix::apply_fixits`] rewrites the netlist per those fixes
 //!   (`--fix` in the CLI);
 //! * [`render`] provides the human renderer and the versioned JSON
@@ -21,8 +22,8 @@
 //!
 //! Statically predicted throughputs are exact: the engine's
 //! [`rules::predicted_throughput`] agrees with
-//! `lip_sim::measure_batch_periodic` as an equality of [`Ratio`]s
-//! (`lip_sim::Ratio`), which the crate's test suite enforces over the
+//! `lip_sim::measure_batch_periodic` as an equality of
+//! [`Ratio`](lip_sim::Ratio)s, which the crate's test suite enforces over the
 //! random-netlist corpus.
 //!
 //! # Example

@@ -50,6 +50,10 @@ pub fn render_human(file: &str, diags: &[Diagnostic]) -> String {
         if let Some(fix) = &d.fix_label {
             let _ = writeln!(out, "  = fix: {fix}");
         }
+        if !d.related.is_empty() {
+            let codes: Vec<&str> = d.related.iter().map(|r| r.code()).collect();
+            let _ = writeln!(out, "  = related: {}", codes.join(", "));
+        }
     }
     if diags.is_empty() {
         let _ = writeln!(out, "{file}: clean");
@@ -152,6 +156,8 @@ fn diag_json(d: &Diagnostic, indent: &str) -> String {
         })
         .collect();
     let _ = writeln!(out, "{indent}  \"channels\": [{}],", channels.join(", "));
+    let related: Vec<String> = d.related.iter().map(|r| json_str(r.code())).collect();
+    let _ = writeln!(out, "{indent}  \"related\": [{}],", related.join(", "));
     match d.predicted_throughput {
         Some(t) => {
             let _ = writeln!(

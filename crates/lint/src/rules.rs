@@ -10,12 +10,22 @@
 //! | LIP003 | environment-guaranteed deadlock (starved / stalled shells)   | — |
 //! | LIP004 | reconvergent relay imbalance `i > 0`                         | equalize |
 //! | LIP005 | throughput bottleneck cycle (minimum cycle ratio < 1)        | — |
+//! | LIP006 | model-checked deadlock (exhaustive state-space proof)        | — |
+//! | LIP007 | over-provisioned FIFO (proved occupancy bound < capacity)    | shrink fifo |
+//! | LIP008 | environment-limited throughput proved below 1                | — |
+//!
+//! LIP006–LIP008 are backed by one exhaustive [`lip_mc::check_declared`]
+//! pass over the declared environment; they stay silent when that
+//! environment is aperiodic or the reachable space exceeds the default
+//! budget, and never contradict the structural rules — related findings
+//! are cross-referenced through [`Diagnostic::related`].
 
 use std::collections::VecDeque;
 
 use lip_analysis::model::{pattern_accept_rate, pattern_data_rate, MarkedGraph};
 use lip_core::RelayKind;
 use lip_graph::{topology, ChannelId, Netlist, NodeId, NodeKind, SourceMap};
+use lip_mc::{check_declared, DeclaredProof, McConfig};
 use lip_sim::Ratio;
 
 use crate::diag::{DiagChannel, DiagNode, Diagnostic, RuleId};
@@ -37,9 +47,44 @@ pub fn lint(netlist: &Netlist, map: &SourceMap) -> Vec<Diagnostic> {
     if !illegal && netlist.validate().is_ok() {
         lip004(netlist, map, &mut diags);
         lip005(netlist, map, &mut diags);
+        // The model-checked rules share one exhaustive state-space
+        // pass. They go silent (never wrong) when the declared
+        // environment is aperiodic or the space exceeds the budget.
+        if let Ok(proof) = check_declared(netlist, &McConfig::default()) {
+            lip006(netlist, map, &proof, &mut diags);
+            lip007(netlist, map, &proof, &mut diags);
+            lip008(&proof, &mut diags);
+        }
+        cross_link(&mut diags);
     }
     diags.sort_by_key(|d| (d.rule, d.primary));
     diags
+}
+
+/// Cross-reference rule pairs where one finding refines the other:
+/// LIP006 is the model-checked upgrade of LIP003, LIP008 the
+/// environment-aware refinement of LIP005. Only links pairs that both
+/// fired on this run.
+fn cross_link(diags: &mut [Diagnostic]) {
+    const PAIRS: [(RuleId, RuleId); 2] = [
+        (RuleId::Lip003, RuleId::Lip006),
+        (RuleId::Lip005, RuleId::Lip008),
+    ];
+    for (a, b) in PAIRS {
+        let has_a = diags.iter().any(|d| d.rule == a);
+        let has_b = diags.iter().any(|d| d.rule == b);
+        if !(has_a && has_b) {
+            continue;
+        }
+        for d in diags.iter_mut() {
+            if d.rule == a && !d.related.contains(&b) {
+                d.related.push(b);
+            }
+            if d.rule == b && !d.related.contains(&a) {
+                d.related.push(a);
+            }
+        }
+    }
 }
 
 /// The steady-state system throughput the rule engine predicts:
@@ -122,6 +167,7 @@ fn lip001(netlist: &Netlist, map: &SourceMap, out: &mut Vec<Diagnostic>) {
             channels: vec![channel],
             predicted_throughput: None,
             fix: Some(fix),
+            related: Vec::new(),
         });
     }
 }
@@ -199,6 +245,7 @@ fn emit_lip002(netlist: &Netlist, map: &SourceMap, ring: &[NodeId], out: &mut Ve
         predicted_throughput: None,
         fix: None,
         fix_label: None,
+        related: Vec::new(),
     });
 }
 
@@ -256,6 +303,7 @@ fn lip003(netlist: &Netlist, map: &SourceMap, out: &mut Vec<Diagnostic>) {
             predicted_throughput: Some(zero),
             fix: None,
             fix_label: None,
+            related: Vec::new(),
         });
     }
 }
@@ -330,6 +378,7 @@ fn lip004(netlist: &Netlist, map: &SourceMap, out: &mut Vec<Diagnostic>) {
             fix_label: Some(
                 "equalize path lengths with spare relay stations (analysis::equalize)".to_owned(),
             ),
+            related: Vec::new(),
         });
     }
 }
@@ -367,6 +416,145 @@ fn lip005(netlist: &Netlist, map: &SourceMap, out: &mut Vec<Diagnostic>) {
         predicted_throughput: Some(ratio),
         fix: None,
         fix_label: None,
+        related: Vec::new(),
+    });
+}
+
+/// LIP006 — model-checked deadlock: the exhaustive declared-environment
+/// search proved one or more shells never fire once the steady state is
+/// entered. Unlike LIP003 this is decided over the actual reachable
+/// state space, so it also catches protocol-level wedges whose endpoint
+/// patterns look live.
+fn lip006(netlist: &Netlist, map: &SourceMap, proof: &DeclaredProof, out: &mut Vec<Diagnostic>) {
+    if proof.is_live() {
+        return;
+    }
+    let full = proof.deadlock();
+    let nodes: Vec<DiagNode> = proof
+        .dead_shells
+        .iter()
+        .map(|&s| node_ref(netlist, map, s))
+        .collect();
+    let names: Vec<&str> = nodes.iter().map(|n| n.name.as_str()).collect();
+    let message = if full {
+        format!(
+            "model checker proved whole-system deadlock: after cycle {} none \
+             of the {} shell(s) ever fires again (all {} reachable states \
+             searched)",
+            proof.stem, proof.shell_count, proof.states,
+        )
+    } else {
+        format!(
+            "model checker proved partial deadlock: shell(s) `{}` never fire \
+             once the steady state is entered at cycle {} (all {} reachable \
+             states searched)",
+            names.join("`, `"),
+            proof.stem,
+            proof.states,
+        )
+    };
+    out.push(Diagnostic {
+        rule: RuleId::Lip006,
+        severity: RuleId::Lip006.default_severity(),
+        message,
+        primary: first_span(&nodes, &[]),
+        nodes,
+        channels: Vec::new(),
+        predicted_throughput: full.then(|| Ratio::new(0, 1)),
+        fix: None,
+        fix_label: None,
+        related: Vec::new(),
+    });
+}
+
+/// LIP007 — over-provisioned FIFO: the model checker proved a maximum
+/// reachable occupancy strictly below what the configured capacity
+/// admits. Shrinking to one place above the proved bound is
+/// behaviour-preserving — a FIFO asserts stop only when completely
+/// full, and the search proved that fill level unreachable.
+fn lip007(netlist: &Netlist, map: &SourceMap, proof: &DeclaredProof, out: &mut Vec<Diagnostic>) {
+    for &(id, occ, cap) in &proof.relay_bounds {
+        if !matches!(
+            netlist.node(id).kind(),
+            NodeKind::Relay {
+                kind: RelayKind::Fifo(_)
+            }
+        ) {
+            continue;
+        }
+        let tight = (occ + 1).max(2);
+        if cap <= tight {
+            continue;
+        }
+        let node = node_ref(netlist, map, id);
+        let message = format!(
+            "fifo relay station `{}` has capacity {cap} but a proved maximum \
+             reachable occupancy of {occ}; {tight} place(s) suffice under the \
+             declared environment",
+            node.name,
+        );
+        let fix_label = Some(format!("shrink `{}` to fifo:{tight}", node.name));
+        out.push(Diagnostic {
+            rule: RuleId::Lip007,
+            severity: RuleId::Lip007.default_severity(),
+            message,
+            primary: node.span,
+            nodes: vec![node],
+            channels: Vec::new(),
+            predicted_throughput: None,
+            fix: Some(FixIt::ResizeFifo {
+                node: id,
+                capacity: u8::try_from(tight).expect("fifo capacity fits u8"),
+            }),
+            fix_label,
+            related: Vec::new(),
+        });
+    }
+}
+
+/// LIP008 — environment-limited throughput: the model checker proved a
+/// sustained rate below 1 token/cycle that the structural bottleneck
+/// rule (LIP005) either misses entirely (minimum cycle ratio 1) or
+/// predicts differently. Either way the declared environment, not the
+/// topology, is the binding constraint. Suppressed when any shell is
+/// dead — LIP006 already carries that stronger verdict.
+fn lip008(proof: &DeclaredProof, out: &mut Vec<Diagnostic>) {
+    let Some(proved) = proof.system_throughput() else {
+        return;
+    };
+    if proved.num() >= proved.den() || !proof.is_live() {
+        return;
+    }
+    let structural = out
+        .iter()
+        .find(|d| d.rule == RuleId::Lip005)
+        .and_then(|d| d.predicted_throughput);
+    if structural == Some(proved) {
+        return;
+    }
+    let message = match structural {
+        Some(s) => format!(
+            "model checker proved sustained throughput {proved}, but the \
+             structural bottleneck analysis predicts {s}; the declared \
+             environment is the binding constraint",
+        ),
+        None => format!(
+            "model checker proved sustained throughput {proved} although no \
+             structural bottleneck exists; the declared environment alone \
+             limits the rate",
+        ),
+    };
+    out.push(Diagnostic {
+        rule: RuleId::Lip008,
+        severity: RuleId::Lip008.default_severity(),
+        message,
+        primary: None,
+        nodes: Vec::new(),
+        channels: Vec::new(),
+        predicted_throughput: Some(proved),
+        fix: None,
+        fix_label: None,
+        related: Vec::new(),
     });
 }
 
@@ -436,9 +624,15 @@ mod tests {
         n.connect(s, 0, a, 0).unwrap();
         n.connect(a, 0, t, 0).unwrap();
         let diags = lint(&n, &SourceMap::new());
-        assert_eq!(codes(&diags), ["LIP003"]);
+        // LIP006 (the model-checked proof) corroborates the structural
+        // LIP003 verdict, and the two findings cross-reference.
+        assert_eq!(codes(&diags), ["LIP003", "LIP006"]);
         assert_eq!(diags[0].predicted_throughput, Some(Ratio::new(0, 1)));
         assert!(diags[0].message.contains("starve"));
+        assert_eq!(diags[0].related, [RuleId::Lip006]);
+        assert_eq!(diags[1].related, [RuleId::Lip003]);
+        assert_eq!(diags[1].predicted_throughput, Some(Ratio::new(0, 1)));
+        assert!(diags[1].message.contains("whole-system deadlock"));
     }
 
     #[test]
@@ -450,8 +644,56 @@ mod tests {
         n.connect(s, 0, a, 0).unwrap();
         n.connect(a, 0, t, 0).unwrap();
         let diags = lint(&n, &SourceMap::new());
-        assert_eq!(codes(&diags), ["LIP003"]);
+        assert_eq!(codes(&diags), ["LIP003", "LIP006"]);
         assert!(diags[0].message.contains("stall"));
+    }
+
+    #[test]
+    fn oversized_fifo_fires_lip007_with_resize_fix() {
+        // Chain relays never hold more than one item at full rate, so
+        // every fifo:6 (one per gap) is provably over-provisioned.
+        let chain = generate::chain(2, 1, RelayKind::Fifo(6));
+        let diags = lint(&chain.netlist, &SourceMap::new());
+        assert_eq!(codes(&diags), ["LIP007", "LIP007", "LIP007"]);
+        let Some(FixIt::ResizeFifo { node, capacity }) = diags[0].fix else {
+            panic!("LIP007 must carry a resize fix");
+        };
+        assert_eq!(capacity, 2);
+        // Applying the fixes silences the rule without changing behavior.
+        let mut fixed = chain.netlist.clone();
+        let report = crate::fix::apply_fixits(&mut fixed, &diags).unwrap();
+        assert_eq!(report.resized.len(), 3);
+        assert!(matches!(
+            fixed.node(node).kind(),
+            NodeKind::Relay {
+                kind: RelayKind::Fifo(2)
+            }
+        ));
+        assert!(lint(&fixed, &SourceMap::new()).is_empty());
+    }
+
+    #[test]
+    fn environment_limited_throughput_fires_lip008() {
+        // Structurally this chain sustains 1 token/cycle (no LIP005),
+        // but the source only offers data every other cycle: the model
+        // checker proves the environment-limited rate 1/2.
+        let mut n = Netlist::new();
+        let s = n.add_source_with_pattern(
+            "in",
+            Pattern::EveryNth {
+                period: 2,
+                phase: 0,
+            },
+        );
+        let a = n.add_shell("a", IdentityPearl::new());
+        let t = n.add_sink("out");
+        n.connect(s, 0, a, 0).unwrap();
+        n.connect(a, 0, t, 0).unwrap();
+        let diags = lint(&n, &SourceMap::new());
+        assert_eq!(codes(&diags), ["LIP008"]);
+        assert_eq!(diags[0].predicted_throughput, Some(Ratio::new(1, 2)));
+        assert!(diags[0].message.contains("declared environment"));
+        assert!(diags[0].related.is_empty()); // no LIP005 to link to
     }
 
     #[test]

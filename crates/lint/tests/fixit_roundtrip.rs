@@ -28,7 +28,10 @@ fn assert_roundtrip(name: &str, netlist: &Netlist) {
     }
     let mut fixed = netlist.clone();
     let report = apply_fixits(&mut fixed, &diags).unwrap_or_else(|e| panic!("{name}: {e}"));
-    assert!(report.total_inserted() > 0, "{name}: fix did nothing");
+    assert!(
+        report.total_inserted() + report.resized.len() > 0,
+        "{name}: fix did nothing"
+    );
     fixed.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
 
     let after = lint(&fixed, &SourceMap::new());

@@ -68,7 +68,8 @@ fn golden_lip002_relay_ring() {
 
 #[test]
 fn golden_lip003_dead_source() {
-    check("lip003", &[RuleId::Lip003]);
+    // The model-checked LIP006 corroborates the structural verdict.
+    check("lip003", &[RuleId::Lip003, RuleId::Lip006]);
 }
 
 #[test]
@@ -80,6 +81,21 @@ fn golden_lip004_reconvergent_imbalance() {
 #[test]
 fn golden_lip005_loop_bottleneck() {
     check("lip005", &[RuleId::Lip005]);
+}
+
+#[test]
+fn golden_lip006_stopped_sink() {
+    check("lip006", &[RuleId::Lip003, RuleId::Lip006]);
+}
+
+#[test]
+fn golden_lip007_oversized_fifo() {
+    check("lip007", &[RuleId::Lip007]);
+}
+
+#[test]
+fn golden_lip008_environment_limited() {
+    check("lip008", &[RuleId::Lip008]);
 }
 
 #[test]

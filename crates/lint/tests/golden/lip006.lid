@@ -1,0 +1,12 @@
+# LIP006: the sink never accepts — the model checker proves the wedge
+# exhaustively (and LIP003 flags the structural cause).
+source  in
+shell   a    identity
+relay   r    full
+shell   b    identity
+sink    out  stops=every:1:0
+
+connect in:0 -> a:0
+connect a:0  -> r:0
+connect r:0  -> b:0
+connect b:0  -> out:0

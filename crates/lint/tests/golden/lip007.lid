@@ -1,0 +1,11 @@
+# LIP007: a fifo:6 relay station whose proved occupancy never exceeds 1.
+source  in
+shell   a    identity
+relay   q    fifo:6
+shell   b    identity
+sink    out
+
+connect in:0 -> a:0
+connect a:0  -> q:0
+connect q:0  -> b:0
+connect b:0  -> out:0

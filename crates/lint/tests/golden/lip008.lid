@@ -1,0 +1,12 @@
+# LIP008: no structural bottleneck, but the source only offers data
+# every other cycle — the model checker proves the rate 1/2.
+source  in   voids=every:2:0
+shell   a    identity
+relay   r    full
+shell   b    identity
+sink    out
+
+connect in:0 -> a:0
+connect a:0  -> r:0
+connect r:0  -> b:0
+connect b:0  -> out:0

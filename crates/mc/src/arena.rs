@@ -1,0 +1,136 @@
+//! Hash-consed state arena for the explicit-state search.
+//!
+//! Every distinct control state the checker reaches is interned exactly
+//! once into a flat `Vec<u64>` (all states are the same length for a
+//! given program), and from then on is referred to by its dense `u32`
+//! id. Ids are handed out in insertion order, which both search modes
+//! exploit: the declared-mode lasso detector reads the stem length
+//! straight off the revisited id, and the adversarial BFS relies on ids
+//! being discovery-ordered (hence depth-nondecreasing) to pick the
+//! *minimal* counterexample.
+//!
+//! Lookup is a [`stable_hash`]-keyed bucket map with full-word
+//! comparison on collision, so the arena is exact — hash collisions
+//! cannot conflate states.
+
+use std::collections::HashMap;
+
+use lip_sim::program::stable_hash;
+
+/// Interning arena over fixed-length `u64` state vectors.
+#[derive(Debug, Clone)]
+pub struct StateArena {
+    /// State width in words; every interned slice must match.
+    state_len: usize,
+    /// All interned states, concatenated (`id * state_len ..`).
+    words: Vec<u64>,
+    /// `stable_hash` → candidate ids, compared word-for-word.
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl StateArena {
+    /// An empty arena for states of `state_len` words.
+    #[must_use]
+    pub fn new(state_len: usize) -> Self {
+        StateArena {
+            state_len,
+            words: Vec::new(),
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Intern `state`, returning `(id, fresh)`: the dense id and
+    /// whether this call inserted it (`false` = it was already known).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has the wrong width or the arena is full
+    /// (`u32::MAX` states).
+    pub fn intern(&mut self, state: &[u64]) -> (u32, bool) {
+        assert_eq!(state.len(), self.state_len, "state width");
+        let hash = stable_hash(state);
+        let next_id = u32::try_from(self.len()).expect("state arena overflow");
+        let bucket = self.buckets.entry(hash).or_default();
+        for &id in bucket.iter() {
+            if self.words[id as usize * self.state_len..][..self.state_len] == *state {
+                return (id, false);
+            }
+        }
+        self.words.extend_from_slice(state);
+        bucket.push(next_id);
+        (next_id, true)
+    }
+
+    /// The interned state for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never handed out.
+    #[must_use]
+    pub fn get(&self, id: u32) -> &[u64] {
+        &self.words[id as usize * self.state_len..][..self.state_len]
+    }
+
+    /// Number of distinct states interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len().checked_div(self.state_len).unwrap_or(0)
+    }
+
+    /// `true` when nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Heap footprint of the arena in bytes (state words plus bucket
+    /// map), the number the bench reports as *peak arena size*.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        let bucket_words: usize = self.buckets.values().map(Vec::len).sum();
+        self.words.len() * 8 + self.buckets.len() * 16 + bucket_words * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_ordered() {
+        let mut a = StateArena::new(3);
+        assert!(a.is_empty());
+        let (id0, fresh0) = a.intern(&[1, 2, 3]);
+        let (id1, fresh1) = a.intern(&[4, 5, 6]);
+        let (id2, fresh2) = a.intern(&[1, 2, 3]);
+        assert_eq!((id0, fresh0), (0, true));
+        assert_eq!((id1, fresh1), (1, true));
+        assert_eq!((id2, fresh2), (0, false));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(1), &[4, 5, 6]);
+        assert!(a.bytes() >= 2 * 3 * 8);
+    }
+
+    #[test]
+    fn near_miss_states_stay_distinct() {
+        let mut a = StateArena::new(2);
+        for x in 0..64u64 {
+            let (id, fresh) = a.intern(&[x, x ^ 1]);
+            assert_eq!(id as u64, x);
+            assert!(fresh);
+        }
+        for x in 0..64u64 {
+            let (id, fresh) = a.intern(&[x, x ^ 1]);
+            assert_eq!(id as u64, x);
+            assert!(!fresh);
+        }
+        assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "state width")]
+    fn wrong_width_is_rejected() {
+        let mut a = StateArena::new(2);
+        a.intern(&[1, 2, 3]);
+    }
+}

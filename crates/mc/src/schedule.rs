@@ -1,0 +1,286 @@
+//! Counterexample schedules: recording, replay, validation and trace
+//! export.
+//!
+//! Both search modes talk about environment behaviour as an explicit
+//! cycle-by-cycle [`Schedule`] of [`EnvChoice`]s — exactly the values
+//! [`SkeletonSystem::step_with`] consumes. A schedule is therefore
+//! *replayable*: feeding it to a fresh skeleton reproduces the proved
+//! trajectory bit for bit, which is how every deadlock counterexample is
+//! validated ([`confirm_stuck`]) and how traces are rendered
+//! ([`schedule_tracks`] → [`lip_obs::schedule_chrome_trace`]).
+//!
+//! One subtlety, inherited from the protocol itself: a stopped source
+//! *holds* its offer, so the offer stream is state, not a pure function
+//! of the cycle. Recorded schedules store the offer each source actually
+//! presented (via [`SkeletonSystem::source_offers`]); on replay the
+//! override agrees with the held value exactly when the hold rule makes
+//! the override irrelevant, so the trajectory is reproduced exactly.
+
+use lip_analysis::transient_bound;
+use lip_graph::{Netlist, NetlistError, NodeKind};
+use lip_obs::{ScheduleSlice, ScheduleTrack};
+use lip_sim::SkeletonSystem;
+
+/// One cycle's environment behaviour: which sources offer a valid token
+/// and which sinks assert stop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvChoice {
+    /// Validity offered by each source, in source-row (node-id) order.
+    pub source_valid: Vec<bool>,
+    /// Stop asserted by each sink, in sink-row (node-id) order.
+    pub sink_stop: Vec<bool>,
+}
+
+/// A finite cycle-by-cycle environment schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule {
+    /// The choice applied at each cycle, in order.
+    pub choices: Vec<EnvChoice>,
+}
+
+impl Schedule {
+    /// Number of cycles the schedule covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// `true` when the schedule covers no cycles.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+}
+
+/// A proved deadlock: the schedule that drives a fresh system into the
+/// stuck state, and the stuck state itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Environment schedule from reset into the stuck state.
+    pub schedule: Schedule,
+    /// The wedged control state
+    /// ([`SkeletonSystem::component_state`]) the schedule lands in.
+    pub stuck_state: Vec<u64>,
+    /// The environment that keeps the system wedged, cycled forever
+    /// after `schedule` ends. `None` means the wedge is
+    /// environment-independent (an adversarial-mode verdict): no
+    /// environment whatsoever can revive the system, and validation
+    /// drives it with the fully permissive one. Declared-mode wedges
+    /// hold only under the declared environment, so they carry its
+    /// steady-state period here.
+    pub continuation: Option<Schedule>,
+}
+
+/// Replay `schedule` on a fresh skeleton of `netlist` and return the
+/// resulting system (positioned *after* the last choice).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+pub fn replay(netlist: &Netlist, schedule: &Schedule) -> Result<SkeletonSystem, NetlistError> {
+    let mut sys = SkeletonSystem::new(netlist)?;
+    for choice in &schedule.choices {
+        sys.step_with(&choice.source_valid, &choice.sink_stop);
+    }
+    Ok(sys)
+}
+
+/// Validate a deadlock counterexample against the real simulator: the
+/// replayed schedule must land exactly in the proved stuck state, and
+/// from there the continuation environment must not fire a single shell
+/// within the system's transient bound — the cycled
+/// [`Counterexample::continuation`] when the wedge is relative to the
+/// declared environment, or the fully permissive environment (every
+/// source offering, no sink stopping) when the proof says no
+/// environment can revive the system.
+///
+/// # Errors
+///
+/// Returns a description of the first discrepancy: elaboration failure,
+/// a final state that differs from the proved one, or a shell that
+/// fired after the supposed deadlock.
+pub fn confirm_stuck(netlist: &Netlist, cex: &Counterexample) -> Result<(), String> {
+    let mut sys = replay(netlist, &cex.schedule).map_err(|e| format!("elaboration: {e}"))?;
+    let landed = sys.component_state();
+    if landed != cex.stuck_state {
+        return Err(format!(
+            "replay landed in {landed:?}, proof says {:?}",
+            cex.stuck_state
+        ));
+    }
+    let fires_before = sys.total_fires();
+    let horizon = usize::try_from(transient_bound(netlist)).unwrap_or(usize::MAX - 4) + 4;
+    let mut stepped = 0usize;
+    match &cex.continuation {
+        Some(cont) if !cont.is_empty() => {
+            while stepped < horizon {
+                for choice in &cont.choices {
+                    sys.step_with(&choice.source_valid, &choice.sink_stop);
+                    stepped += 1;
+                }
+            }
+        }
+        _ => {
+            let all_valid = vec![true; netlist.sources().len()];
+            let no_stop = vec![false; netlist.sinks().len()];
+            for _ in 0..horizon {
+                sys.step_with(&all_valid, &no_stop);
+                stepped += 1;
+            }
+        }
+    }
+    let fired = sys.total_fires() - fires_before;
+    if fired != 0 {
+        return Err(format!(
+            "{fired} shell firings within {stepped} continuation cycles after the supposed deadlock"
+        ));
+    }
+    Ok(())
+}
+
+/// Push one slice per maximal run of `true` in `flags` onto `slices`.
+fn runs(flags: &[bool], name: &str, cat: &str, slices: &mut Vec<ScheduleSlice>) {
+    let mut start = None;
+    for (t, &f) in flags.iter().enumerate() {
+        match (f, start) {
+            (true, None) => start = Some(t as u64),
+            (false, Some(s)) => {
+                slices.push(ScheduleSlice {
+                    name: name.to_owned(),
+                    cat: cat.to_owned(),
+                    start: s,
+                    end: t as u64,
+                });
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        slices.push(ScheduleSlice {
+            name: name.to_owned(),
+            cat: cat.to_owned(),
+            start: s,
+            end: flags.len() as u64,
+        });
+    }
+}
+
+/// Render `schedule` as viewer tracks by replaying it: one track per
+/// source (`valid` slices), sink (`stop` slices), shell (`fire` and
+/// `stall` slices) and relay (`occ k/cap` slices per occupancy run).
+///
+/// Feed the result to [`lip_obs::schedule_chrome_trace`] for a
+/// `chrome://tracing`-loadable counterexample.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from elaboration.
+///
+/// # Panics
+///
+/// Panics if `netlist` changed shape since the schedule was recorded
+/// (mismatched source/sink arity).
+pub fn schedule_tracks(
+    netlist: &Netlist,
+    schedule: &Schedule,
+) -> Result<Vec<ScheduleTrack>, NetlistError> {
+    let mut sys = SkeletonSystem::new(netlist)?;
+    let sources = netlist.sources();
+    let sinks = netlist.sinks();
+    let shells = netlist.shells();
+    let relays = netlist.relays();
+    let cycles = schedule.len();
+
+    let mut offers = vec![Vec::with_capacity(cycles); sources.len()];
+    let mut stops = vec![Vec::with_capacity(cycles); sinks.len()];
+    let mut fires = vec![Vec::with_capacity(cycles); shells.len()];
+    let mut levels = vec![Vec::with_capacity(cycles); relays.len()];
+    for choice in &schedule.choices {
+        for (i, o) in sys.source_offers().iter().enumerate() {
+            offers[i].push(*o);
+        }
+        for (k, &r) in relays.iter().enumerate() {
+            levels[k].push(sys.relay_level(r).expect("relay row").0);
+        }
+        for (j, s) in choice.sink_stop.iter().enumerate() {
+            stops[j].push(*s);
+        }
+        sys.step_with(&choice.source_valid, &choice.sink_stop);
+        for (s, f) in sys.shell_fired().iter().enumerate() {
+            fires[s].push(*f);
+        }
+    }
+
+    let mut tracks = Vec::new();
+    let track = |name: String, slices: Vec<ScheduleSlice>| ScheduleTrack { name, slices };
+    for (i, &id) in sources.iter().enumerate() {
+        let mut slices = Vec::new();
+        runs(&offers[i], "valid", "env", &mut slices);
+        tracks.push(track(format!("source {}", netlist.node(id).name()), slices));
+    }
+    for (j, &id) in sinks.iter().enumerate() {
+        let mut slices = Vec::new();
+        runs(&stops[j], "stop", "env", &mut slices);
+        tracks.push(track(format!("sink {}", netlist.node(id).name()), slices));
+    }
+    for (s, &id) in shells.iter().enumerate() {
+        let mut slices = Vec::new();
+        runs(&fires[s], "fire", "shell", &mut slices);
+        let stalled: Vec<bool> = fires[s].iter().map(|f| !f).collect();
+        runs(&stalled, "stall", "shell", &mut slices);
+        tracks.push(track(format!("shell {}", netlist.node(id).name()), slices));
+    }
+    for (k, &id) in relays.iter().enumerate() {
+        let cap = match netlist.node(id).kind() {
+            NodeKind::Relay { kind } => kind.capacity(),
+            _ => unreachable!("relay row"),
+        };
+        let mut slices = Vec::new();
+        let mut t = 0usize;
+        while t < levels[k].len() {
+            let occ = levels[k][t];
+            let mut end = t + 1;
+            while end < levels[k].len() && levels[k][end] == occ {
+                end += 1;
+            }
+            if occ > 0 {
+                slices.push(ScheduleSlice {
+                    name: format!("occ {occ}/{cap}"),
+                    cat: "relay".to_owned(),
+                    start: t as u64,
+                    end: end as u64,
+                });
+            }
+            t = end;
+        }
+        tracks.push(track(format!("relay {}", netlist.node(id).name()), slices));
+    }
+    Ok(tracks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_find_maximal_intervals() {
+        let mut slices = Vec::new();
+        runs(
+            &[true, true, false, true, false, false, true],
+            "x",
+            "c",
+            &mut slices,
+        );
+        let spans: Vec<(u64, u64)> = slices.iter().map(|s| (s.start, s.end)).collect();
+        assert_eq!(spans, vec![(0, 2), (3, 4), (6, 7)]);
+    }
+
+    #[test]
+    fn empty_schedule_replays_to_reset() {
+        let netlist = lip_graph::generate::fig1().netlist;
+        let sys = replay(&netlist, &Schedule::default()).unwrap();
+        assert_eq!(sys.cycle(), 0);
+        assert_eq!(sys.total_fires(), 0);
+    }
+}

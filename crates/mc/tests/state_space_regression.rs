@@ -1,0 +1,149 @@
+//! State-space regression suite: the exact reachable-state counts,
+//! lasso shapes, throughputs and occupancy certificates of the named
+//! designs are *pinned*. Any change to the skeleton semantics, the
+//! compiled `SettleProgram`, or the checker's interning that perturbs
+//! the reachable space shows up here as an exact-number diff — not as
+//! a silent drift in a sampled measurement.
+//!
+//! The second half is a property: for random systems wedged by an
+//! injected blocking environment, every counterexample the checker
+//! emits must replay on the real [`SkeletonSystem`](lip_sim::SkeletonSystem)
+//! into the proved stuck state ([`confirm_stuck`]).
+
+use lip_core::{Pattern, RelayKind};
+use lip_graph::{generate, Netlist};
+use lip_mc::{check_declared, confirm_stuck, McConfig, McError};
+use lip_sim::Ratio;
+use proptest::prelude::*;
+
+/// Prove `netlist` under the default config, panicking on any error.
+fn prove(netlist: &Netlist) -> lip_mc::DeclaredProof {
+    check_declared(netlist, &McConfig::default()).expect("declared proof")
+}
+
+/// Occupancy bound for the relay named `name`, as `(occ, cap)`.
+fn bound(netlist: &Netlist, proof: &lip_mc::DeclaredProof, name: &str) -> (u32, u32) {
+    let hit = proof
+        .relay_bounds
+        .iter()
+        .find(|&&(id, _, _)| netlist.node(id).name() == name);
+    let &(_, occ, cap) = hit.unwrap_or_else(|| panic!("no bound for relay {name}"));
+    (occ, cap)
+}
+
+/// Parse a shipped `.lid` design relative to the workspace root.
+fn shipped(name: &str) -> Netlist {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../designs")
+        .join(name);
+    let src = std::fs::read_to_string(&path).expect("read design");
+    lip_graph::parse_netlist(&src).expect("parse design").0
+}
+
+#[test]
+fn fig1_reachable_space_is_pinned() {
+    let fig1 = generate::fig1();
+    let proof = prove(&fig1.netlist);
+    assert_eq!(proof.states, 7, "reachable states");
+    assert_eq!((proof.stem, proof.period), (2, 5), "lasso shape");
+    assert!(proof.is_live());
+    assert_eq!(proof.system_throughput(), Some(Ratio::new(4, 5)));
+    // Bounded occupancy: the long branch never fills, the short branch
+    // (where the paper's stop propagates) saturates.
+    for id in &fig1.long_relays {
+        let name = fig1.netlist.node(*id).name().to_owned();
+        assert_eq!(bound(&fig1.netlist, &proof, &name), (1, 2), "long {name}");
+    }
+    for id in &fig1.short_relays {
+        let name = fig1.netlist.node(*id).name().to_owned();
+        assert_eq!(bound(&fig1.netlist, &proof, &name), (2, 2), "short {name}");
+    }
+}
+
+#[test]
+fn shipped_fig1_matches_generated() {
+    let proof = prove(&shipped("fig1.lid"));
+    assert_eq!(proof.states, 7);
+    assert_eq!((proof.stem, proof.period), (2, 5));
+    assert_eq!(proof.system_throughput(), Some(Ratio::new(4, 5)));
+}
+
+#[test]
+fn soc_design_reachable_space_is_pinned() {
+    let netlist = shipped("soc.lid");
+    let proof = prove(&netlist);
+    assert_eq!(proof.states, 15, "reachable states");
+    assert_eq!((proof.stem, proof.period), (8, 7), "lasso shape");
+    assert!(proof.is_live());
+    assert_eq!(proof.system_throughput(), Some(Ratio::new(6, 7)));
+    for name in ["w1", "w2", "w3", "w4"] {
+        assert_eq!(bound(&netlist, &proof, name), (2, 2), "{name}");
+    }
+    for name in ["w5", "w6"] {
+        assert_eq!(bound(&netlist, &proof, name), (1, 1), "{name}");
+    }
+}
+
+#[test]
+fn ring_reachable_space_is_pinned() {
+    let ring = generate::ring(2, 3, RelayKind::Full);
+    let proof = prove(&ring.netlist);
+    assert_eq!(proof.states, 5, "reachable states");
+    assert_eq!((proof.stem, proof.period), (0, 5), "lasso shape");
+    assert!(proof.is_live());
+    assert_eq!(proof.system_throughput(), Some(Ratio::new(2, 5)));
+}
+
+#[test]
+fn buffered_loop_design_is_a_fixpoint() {
+    let proof = prove(&shipped("buffered_loop.lid"));
+    assert_eq!(proof.states, 1, "a balanced loop settles to one state");
+    assert_eq!((proof.stem, proof.period), (0, 1));
+    assert!(proof.is_live());
+    assert_eq!(proof.system_throughput(), Some(Ratio::new(1, 1)));
+}
+
+#[test]
+fn state_cap_is_reported_not_silently_truncated() {
+    let fig1 = generate::fig1().netlist;
+    let err = check_declared(&fig1, &McConfig { max_states: 3 }).unwrap_err();
+    assert!(
+        matches!(err, McError::StateCap { visited, cap: 3 } if visited > 3),
+        "got {err:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Injecting a permanently blocking environment (dead source or
+    /// stalled sink) into a random live system wedges it, and the
+    /// emitted counterexample replays to the proved stuck state.
+    #[test]
+    fn counterexamples_replay_to_real_deadlocks(
+        family_seed in 0u64..64,
+        kill_sink in any::<bool>(),
+    ) {
+        let (_, mut netlist) = generate::random_family(family_seed);
+        if netlist.validate().is_err() {
+            return Ok(());
+        }
+        let victims = if kill_sink { netlist.sinks() } else { netlist.sources() };
+        let Some(&victim) = victims.first() else { return Ok(()) };
+        let blocked = Pattern::EveryNth { period: 1, phase: 0 };
+        if kill_sink {
+            netlist.set_sink_pattern(victim, blocked);
+        } else {
+            netlist.set_source_pattern(victim, blocked);
+        }
+        if netlist.validate().is_err() {
+            return Ok(());
+        }
+        let proof = prove(&netlist);
+        prop_assert!(proof.deadlock(), "blocked endpoint must wedge some shell");
+        let cex = proof.counterexample(&netlist).expect("deadlock carries a counterexample");
+        if let Err(e) = confirm_stuck(&netlist, &cex) {
+            return Err(TestCaseError::fail(format!("replay diverged: {e}")));
+        }
+    }
+}

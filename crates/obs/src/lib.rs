@@ -84,4 +84,6 @@ pub use telemetry::{
     MemoryProgress, NullProgress, ProgressSink, ProgressSnapshot, PromFileProgress, Report,
     RollingThroughput, TransientDetector, SCHEMA_VERSION,
 };
-pub use trace_export::{chrome_trace_json, runtime_chrome_trace};
+pub use trace_export::{
+    chrome_trace_json, runtime_chrome_trace, schedule_chrome_trace, ScheduleSlice, ScheduleTrack,
+};

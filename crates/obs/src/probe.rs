@@ -23,7 +23,7 @@
 //!   occupancy histograms, overriding the `*_mask` hooks with popcounts
 //!   so lane-word counting costs O(words);
 //! * [`EventStreamProbe`] — forwards every event to an
-//!   [`EventSink`](crate::sink::EventSink) (ring buffer, JSONL, VCD).
+//!   [`EventSink`] (ring buffer, JSONL, VCD).
 //!
 //! Compose them with [`Tee`].
 

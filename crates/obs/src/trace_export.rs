@@ -196,6 +196,82 @@ pub fn runtime_chrome_trace(dump: &FlightDump) -> String {
     out
 }
 
+/// One interval on a [`ScheduleTrack`], in protocol cycles.
+///
+/// `end` is exclusive; zero-length slices render with `dur` 1 so they
+/// stay visible at any zoom level.
+#[derive(Debug, Clone)]
+pub struct ScheduleSlice {
+    /// Slice label shown in the viewer (escaped on render).
+    pub name: String,
+    /// Trace Event Format category (escaped on render).
+    pub cat: String,
+    /// First cycle of the interval.
+    pub start: u64,
+    /// One past the last cycle of the interval.
+    pub end: u64,
+}
+
+/// A named horizontal track of [`ScheduleSlice`]s — one per node when
+/// rendering a model-checker counterexample schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleTrack {
+    /// Track label shown in the viewer (escaped on render).
+    pub name: String,
+    /// Slices on this track, any order.
+    pub slices: Vec<ScheduleSlice>,
+}
+
+/// Render an explicit cycle-by-cycle schedule (e.g. a model-checker
+/// counterexample trace) as a Chrome-trace JSON document.
+///
+/// Same Trace Event Format and conventions as [`chrome_trace_json`]:
+/// one process named `process`, one named thread per track (`tid` =
+/// track index), a complete (`"X"`) slice per [`ScheduleSlice`], and
+/// cycles written as microseconds. Strings pass through the shared
+/// escaper; the document is hand-rolled JSON (no serde offline).
+#[must_use]
+pub fn schedule_chrome_trace(process: &str, tracks: &[ScheduleTrack]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(process)
+    ));
+    for (tid, track) in tracks.iter().enumerate() {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(&track.name)
+        ));
+    }
+    for (tid, track) in tracks.iter().enumerate() {
+        for s in &track.slices {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{tid}}}",
+                escape(&s.name),
+                escape(&s.cat),
+                s.start,
+                s.end.saturating_sub(s.start).max(1)
+            ));
+        }
+    }
+
+    let mut out = String::with_capacity(events.iter().map(String::len).sum::<usize>() + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str(ev);
+        if i + 1 != events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "]}}");
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +354,56 @@ mod tests {
         // One counter event.
         assert_eq!(json.matches("\"ph\":\"C\"").count(), 1);
         assert!(json.contains("\"value\":5"));
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn schedule_trace_renders_tracks_and_slices() {
+        let tracks = vec![
+            ScheduleTrack {
+                name: "source \"A\"".into(),
+                slices: vec![
+                    ScheduleSlice {
+                        name: "offer".into(),
+                        cat: "env".into(),
+                        start: 0,
+                        end: 3,
+                    },
+                    ScheduleSlice {
+                        name: "void".into(),
+                        cat: "env".into(),
+                        start: 3,
+                        end: 3, // zero-length still renders
+                    },
+                ],
+            },
+            ScheduleTrack {
+                name: "shell S".into(),
+                slices: vec![ScheduleSlice {
+                    name: "starved".into(),
+                    cat: "stall".into(),
+                    start: 1,
+                    end: 4,
+                }],
+            },
+        ];
+        let json = schedule_chrome_trace("lip-mc", &tracks);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        // process_name + two thread_names, quote escaped.
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 3);
+        assert!(json.contains("lip-mc"));
+        assert!(json.contains("source \\\"A\\\""));
+        // Three complete slices; the empty one got dur 1.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+        assert!(json.contains("\"ts\":3,\"dur\":1"));
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn schedule_trace_with_no_tracks_is_valid() {
+        let json = schedule_chrome_trace("empty", &[]);
+        assert!(json.contains("\"traceEvents\""));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 0);
         assert!(!json.contains(",\n]"));
     }
 }

@@ -23,7 +23,7 @@
 //! quantify over environments when hunting deadlocks.
 //!
 //! The settle phase runs on the program's streaming kernel (see
-//! [`crate::stream`]): the engine's entire bit-state lives in one flat
+//! `crate::stream`): the engine's entire bit-state lives in one flat
 //! cell arena and each settle is a branch-free pass over a precompiled
 //! op tape — no per-component dispatch, and the homogeneous inner loops
 //! auto-vectorize across the `u64` sub-words of wide lane words.
@@ -31,7 +31,7 @@
 //! Non-boolean state is bit-sliced: FIFO occupancies live as little-
 //! endian bit-planes with masked ripple-carry increment/decrement, and
 //! per-lane token/firing counters use the same plane representation
-//! ([`LaneCounters`]-style, internal) so counting costs O(1) amortised
+//! (`LaneCounters`-style, internal) so counting costs O(1) amortised
 //! word ops per cycle.
 
 use std::sync::Arc;

@@ -10,7 +10,7 @@
 //! had, so width 64 is zero-regression by construction.
 //!
 //! The array shapes are deliberately plain `[u64; W]`: the streaming
-//! kernel (see [`crate::stream`]) executes homogeneous op segments over
+//! kernel (see `crate::stream`) executes homogeneous op segments over
 //! these words in tight loops, which the compiler auto-vectorizes; no
 //! explicit SIMD (and no `unsafe`) is involved.
 //!

@@ -66,6 +66,6 @@ pub use measure::{
 };
 pub use patch::{NetlistDelta, ProgramPatch};
 pub use profiling::{profile_netlist, ProfileOptions, ProfiledRun};
-pub use program::SettleProgram;
+pub use program::{SettleProgram, VerifyError};
 pub use skeleton::SkeletonSystem;
 pub use system::System;

@@ -597,7 +597,7 @@ const OBS_PROGRESS_EVERY: u64 = 1024;
 /// per-opcode/per-stratum retirement for every executed cycle
 /// (`None` under a disabled or [`NullRecorder`]). A [`ProgressSink`]
 /// receives a live [`ProgressSnapshot`] every
-/// [`OBS_PROGRESS_EVERY`] cycles and at completion.
+/// `OBS_PROGRESS_EVERY` (internal) cycles and at completion.
 ///
 /// With [`NullRecorder`] and [`NullProgress`] this monomorphizes to
 /// exactly the unobserved sweep — [`measure_batch_periodic_wide`] is

@@ -198,6 +198,7 @@ impl SettleProgram {
         self.section_hashes[8] ^=
             crate::program::section_entry_hash(9, row as u64, u64::from(old_cap))
                 ^ crate::program::section_entry_hash(9, row as u64, u64::from(new_cap));
+        self.debug_verify("patch_fifo_capacity");
         ProgramPatch::FifoCapacity {
             node,
             old_cap,
@@ -330,6 +331,7 @@ impl SettleProgram {
         tags.sort_unstable();
         tags.dedup();
         self.rehash_sections(tags);
+        self.debug_verify("patch_relay_kind");
         ProgramPatch::RelayKind { node, restratified }
     }
 
@@ -465,6 +467,7 @@ impl SettleProgram {
         tags.sort_unstable();
         tags.dedup();
         self.rehash_sections(tags);
+        self.debug_verify("patch_insert_relay");
         ProgramPatch::Insert {
             node_index,
             split_channel: channel,
@@ -507,6 +510,7 @@ impl SettleProgram {
         }
         self.env_period = env_period;
         self.rehash_sections([15]);
+        self.debug_verify("patch_endpoint_pattern");
         ProgramPatch::Pattern { node }
     }
 
@@ -585,6 +589,21 @@ impl SettleProgram {
         let mut kernel = std::mem::take(&mut self.kernel);
         kernel.rebuild(self);
         self.kernel = kernel;
+    }
+
+    /// Run the IR verifier ([`SettleProgram::verify`]) after a patch in
+    /// debug builds, so a corrupting patch fails at the patch site
+    /// rather than at the first divergent measurement. Release builds
+    /// skip it; CI and the equivalence proptests call `verify`
+    /// explicitly.
+    #[inline]
+    fn debug_verify(&self, patched: &str) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.verify() {
+            panic!("IR verifier failed after {patched}: {e}");
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = patched;
     }
 }
 

@@ -390,8 +390,7 @@ impl SettleProgram {
     }
 
     /// The observable shape of the compiled netlist, for sizing a
-    /// [`lip_obs::MetricsRegistry`](lip_obs::MetricsRegistry) or
-    /// [`lip_obs::TraceSink`](lip_obs::TraceSink).
+    /// [`lip_obs::MetricsRegistry`] or [`lip_obs::TraceSink`].
     ///
     /// Relay rows are numbered full relays first, then half, then FIFO,
     /// each in compiled-table order — the same numbering the engines use
@@ -610,6 +609,323 @@ impl SettleProgram {
     }
 }
 
+/// Why a compiled [`SettleProgram`] failed [`SettleProgram::verify`].
+///
+/// Each variant names the invariant class that broke; the payload
+/// carries enough context to locate the corruption without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A compiled table is internally inconsistent: mismatched lengths,
+    /// a `comp_slots` row out of node-id order, a channel index out of
+    /// bounds, broken CSR geometry, a zero FIFO capacity, or a channel
+    /// without exactly one producer and one consumer.
+    Table(String),
+    /// A settle stratum is not a valid schedule of its rows: the
+    /// forward half-relay order or backward shell order is not a
+    /// permutation, or violates its dependency direction.
+    Stratum(String),
+    /// The op tape violates a kernel invariant: wrong arena layout,
+    /// strata that do not tile the tape, non-maximal segments, an op
+    /// addressing cells out of bounds or writing a constant cell, or a
+    /// tape that differs from a fresh emission of the current tables.
+    Kernel(String),
+    /// A cached section hash disagrees with recomputation from the
+    /// tables — an in-place patch forgot to rehash what it touched.
+    SectionHash {
+        /// Section tag (`1..=N_SECTIONS`).
+        tag: u64,
+        /// The cached (stale) hash.
+        cached: u64,
+        /// The hash recomputed from the current tables.
+        recomputed: u64,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Table(d) => write!(f, "table invariant violated: {d}"),
+            VerifyError::Stratum(d) => write!(f, "stratum invariant violated: {d}"),
+            VerifyError::Kernel(d) => write!(f, "op-tape invariant violated: {d}"),
+            VerifyError::SectionHash {
+                tag,
+                cached,
+                recomputed,
+            } => write!(
+                f,
+                "section {tag} hash stale: cached {cached:#018x}, tables say {recomputed:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl SettleProgram {
+    /// Statically verify the compiled IR: every table, stratum order,
+    /// cached section hash and the op tape are checked against the
+    /// invariants [`compile`](Self::compile) establishes.
+    ///
+    /// This is the safety net under the incremental patch path (see
+    /// [`crate::patch`]): a patch that corrupts the program — a stale
+    /// hash, a mis-spliced tape, a broken Kahn order — fails here at
+    /// the patch site instead of surfacing as a silently wrong
+    /// measurement later. Debug builds run it after every patch; the
+    /// model checker and CI run it explicitly.
+    ///
+    /// The check is self-contained (no netlist needed): it validates
+    /// internal consistency and re-derives everything derivable —
+    /// section hashes, the environment period, the Kahn orders'
+    /// dependency properties and a fresh tape emission — from the
+    /// tables themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] found, in table → stratum →
+    /// hash → kernel order.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        self.verify_tables()?;
+        self.verify_strata()?;
+        self.verify_section_hashes()?;
+        self.kernel.verify(self).map_err(VerifyError::Kernel)
+    }
+
+    /// Table lengths, `comp_slots` row order, channel bounds, CSR
+    /// geometry, capacities, variant cache and the channel
+    /// producer/consumer bijection.
+    fn verify_tables(&self) -> Result<(), VerifyError> {
+        let err = |d: String| Err(VerifyError::Table(d));
+
+        // comp_slots must enumerate each kind's rows in node-id order.
+        let mut rows = [0u32; 6];
+        for (node, slot) in self.comp_slots.iter().enumerate() {
+            let (kind, row) = match *slot {
+                CompSlot::Source(r) => (0, r),
+                CompSlot::Sink(r) => (1, r),
+                CompSlot::Shell(r) => (2, r),
+                CompSlot::Full(r) => (3, r),
+                CompSlot::Half(r) => (4, r),
+                CompSlot::Fifo(r) => (5, r),
+            };
+            if row != rows[kind] {
+                return err(format!(
+                    "node {node}: {slot:?} breaks node-id row order (expected row {})",
+                    rows[kind]
+                ));
+            }
+            rows[kind] += 1;
+        }
+        let lens = [
+            ("src_out_ch", rows[0] as usize, self.src_out_ch.len()),
+            ("src_pattern", rows[0] as usize, self.src_pattern.len()),
+            ("snk_in_ch", rows[1] as usize, self.snk_in_ch.len()),
+            ("snk_pattern", rows[1] as usize, self.snk_pattern.len()),
+            (
+                "shell_buffered",
+                rows[2] as usize,
+                self.shell_buffered.len(),
+            ),
+            ("full_in_ch", rows[3] as usize, self.full_in_ch.len()),
+            ("full_out_ch", rows[3] as usize, self.full_out_ch.len()),
+            ("half_in_ch", rows[4] as usize, self.half_in_ch.len()),
+            ("half_out_ch", rows[4] as usize, self.half_out_ch.len()),
+            ("fifo_in_ch", rows[5] as usize, self.fifo_in_ch.len()),
+            ("fifo_out_ch", rows[5] as usize, self.fifo_out_ch.len()),
+            ("fifo_cap", rows[5] as usize, self.fifo_cap.len()),
+        ];
+        for (name, want, got) in lens {
+            if want != got {
+                return err(format!("{name}: {got} rows, comp_slots say {want}"));
+            }
+        }
+
+        // Shell CSR geometry.
+        for (name, off, flat) in [
+            ("shell_in", &self.shell_in_off, self.shell_in_ch.len()),
+            ("shell_out", &self.shell_out_off, self.shell_out_ch.len()),
+        ] {
+            if off.len() != self.shell_buffered.len() + 1 {
+                return err(format!("{name}_off: {} entries", off.len()));
+            }
+            if off[0] != 0 || off.windows(2).any(|w| w[0] > w[1]) {
+                return err(format!("{name}_off not monotone from 0: {off:?}"));
+            }
+            if *off.last().expect("non-empty") as usize != flat {
+                return err(format!(
+                    "{name}_off ends at {:?}, flat len {flat}",
+                    off.last()
+                ));
+            }
+        }
+
+        if self.fifo_cap.contains(&0) {
+            return err("zero-capacity FIFO relay".into());
+        }
+        if self.discards != self.variant.discards_stop_on_void() {
+            return err(format!(
+                "discards cache {} contradicts variant {:?}",
+                self.discards, self.variant
+            ));
+        }
+
+        // Every channel: exactly one producer and one consumer.
+        let mut produced = vec![0u8; self.n_channels];
+        let mut consumed = vec![0u8; self.n_channels];
+        let tally = |chs: &[u32], side: &mut Vec<u8>, what: &str| -> Result<(), VerifyError> {
+            for &ch in chs {
+                let Some(slot) = side.get_mut(ch as usize) else {
+                    return Err(VerifyError::Table(format!(
+                        "{what}: channel {ch} out of bounds ({} channels)",
+                        self.n_channels
+                    )));
+                };
+                *slot += 1;
+            }
+            Ok(())
+        };
+        tally(&self.src_out_ch, &mut produced, "src_out_ch")?;
+        tally(&self.shell_out_ch, &mut produced, "shell_out_ch")?;
+        tally(&self.full_out_ch, &mut produced, "full_out_ch")?;
+        tally(&self.half_out_ch, &mut produced, "half_out_ch")?;
+        tally(&self.fifo_out_ch, &mut produced, "fifo_out_ch")?;
+        tally(&self.snk_in_ch, &mut consumed, "snk_in_ch")?;
+        tally(&self.shell_in_ch, &mut consumed, "shell_in_ch")?;
+        tally(&self.full_in_ch, &mut consumed, "full_in_ch")?;
+        tally(&self.half_in_ch, &mut consumed, "half_in_ch")?;
+        tally(&self.fifo_in_ch, &mut consumed, "fifo_in_ch")?;
+        for ch in 0..self.n_channels {
+            if produced[ch] != 1 || consumed[ch] != 1 {
+                return err(format!(
+                    "channel {ch}: {} producers, {} consumers",
+                    produced[ch], consumed[ch]
+                ));
+            }
+        }
+
+        // Environment period is a pure fold over the patterns.
+        let mut env_period: Option<u64> = Some(1);
+        for p in self.src_pattern.iter().chain(self.snk_pattern.iter()) {
+            env_period = match (p.period(), env_period) {
+                (Some(p), Some(a)) => Some(lcm(p, a)),
+                _ => None,
+            };
+        }
+        if env_period != self.env_period {
+            return err(format!(
+                "env_period {:?} but patterns fold to {env_period:?}",
+                self.env_period
+            ));
+        }
+        Ok(())
+    }
+
+    /// The two Kahn orders and the buffered-shell list.
+    fn verify_strata(&self) -> Result<(), VerifyError> {
+        let err = |d: String| Err(VerifyError::Stratum(d));
+
+        // Forward half order: a permutation that settles feeders first.
+        let halves = self.half_in_ch.len();
+        let mut pos = vec![usize::MAX; halves];
+        for (i, &h) in self.fwd_half_order.iter().enumerate() {
+            match pos.get_mut(h as usize) {
+                Some(p) if *p == usize::MAX => *p = i,
+                _ => return err(format!("fwd_half_order: row {h} repeated or out of range")),
+            }
+        }
+        if self.fwd_half_order.len() != halves {
+            return err(format!(
+                "fwd_half_order covers {} of {halves} half relays",
+                self.fwd_half_order.len()
+            ));
+        }
+        let mut half_producer = vec![u32::MAX; self.n_channels];
+        for (h, &ch) in self.half_out_ch.iter().enumerate() {
+            half_producer[ch as usize] = h as u32;
+        }
+        for h in 0..halves {
+            let up = half_producer[self.half_in_ch[h] as usize];
+            if up != u32::MAX && pos[up as usize] >= pos[h] {
+                return err(format!(
+                    "fwd_half_order: half {h} settles before feeder {up}"
+                ));
+            }
+        }
+
+        // Backward shell order: a permutation of the unbuffered rows
+        // that settles downstream consumers first; buffered_shells is
+        // exactly the complementary sorted list.
+        let shells = self.shell_buffered.len();
+        let mut spos = vec![usize::MAX; shells];
+        for (i, &s) in self.bwd_shell_order.iter().enumerate() {
+            let s = s as usize;
+            if s >= shells || self.shell_buffered[s] || spos[s] != usize::MAX {
+                return err(format!("bwd_shell_order: row {s} invalid or repeated"));
+            }
+            spos[s] = i;
+        }
+        let unbuffered = self.shell_buffered.iter().filter(|&&b| !b).count();
+        if self.bwd_shell_order.len() != unbuffered {
+            return err(format!(
+                "bwd_shell_order covers {} of {unbuffered} unbuffered shells",
+                self.bwd_shell_order.len()
+            ));
+        }
+        let expect_buffered: Vec<u32> = (0..shells as u32)
+            .filter(|&s| self.shell_buffered[s as usize])
+            .collect();
+        if self.buffered_shells != expect_buffered {
+            return err(format!(
+                "buffered_shells {:?} != flags {expect_buffered:?}",
+                self.buffered_shells
+            ));
+        }
+        let mut shell_consumer = vec![u32::MAX; self.n_channels];
+        for s in 0..shells {
+            if self.shell_buffered[s] {
+                continue;
+            }
+            for k in self.shell_in_range(s) {
+                shell_consumer[self.shell_in_ch[k] as usize] = s as u32;
+            }
+        }
+        for s in 0..shells {
+            if self.shell_buffered[s] {
+                continue;
+            }
+            for k in self.shell_out_range(s) {
+                let t = shell_consumer[self.shell_out_ch[k] as usize];
+                if t != u32::MAX && spos[t as usize] >= spos[s] {
+                    return err(format!(
+                        "bwd_shell_order: shell {s} settles before consumer {t}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Every cached section hash against a recomputation.
+    fn verify_section_hashes(&self) -> Result<(), VerifyError> {
+        let mut fresh = self.clone();
+        fresh.rehash_sections(1..=N_SECTIONS as u64);
+        for (i, (&cached, &recomputed)) in self
+            .section_hashes
+            .iter()
+            .zip(&fresh.section_hashes)
+            .enumerate()
+        {
+            if cached != recomputed {
+                return Err(VerifyError::SectionHash {
+                    tag: i as u64 + 1,
+                    cached,
+                    recomputed,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Least common multiple with the conventions the environment-period
 /// fold needs (`lcm(0, x)` behaves like `max`, never returns 0).
 pub(crate) fn lcm(a: u64, b: u64) -> u64 {
@@ -757,6 +1073,85 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn verify_accepts_fresh_compiles() {
+        use lip_core::RelayKind;
+        for netlist in [
+            generate::fig1().netlist,
+            generate::ring(2, 3, RelayKind::Full).netlist,
+            generate::ring(2, 2, RelayKind::Half).netlist,
+            generate::ring(2, 1, RelayKind::Fifo(3)).netlist,
+            generate::chain(3, 2, RelayKind::Fifo(5)).netlist,
+        ] {
+            let p = SettleProgram::compile(&netlist).unwrap();
+            p.verify().expect("fresh compile verifies");
+        }
+    }
+
+    #[test]
+    fn verify_catches_table_corruption() {
+        let p = SettleProgram::compile(&generate::fig1().netlist).unwrap();
+
+        // Dangling channel index.
+        let mut bad = p.clone();
+        bad.snk_in_ch[0] = bad.n_channels as u32 + 7;
+        assert!(matches!(bad.verify(), Err(VerifyError::Table(_))));
+
+        // Duplicate consumer (channel bijection broken).
+        let mut bad = p.clone();
+        bad.snk_in_ch[0] = bad.shell_in_ch[0];
+        assert!(matches!(bad.verify(), Err(VerifyError::Table(_))));
+
+        // Stale environment period.
+        let mut bad = p.clone();
+        bad.env_period = Some(42);
+        assert!(matches!(bad.verify(), Err(VerifyError::Table(_))));
+    }
+
+    #[test]
+    fn verify_catches_stratum_corruption() {
+        use lip_core::RelayKind;
+        let p = SettleProgram::compile(&generate::ring(2, 3, RelayKind::Half).netlist).unwrap();
+        let mut bad = p.clone();
+        bad.fwd_half_order.reverse();
+        assert!(matches!(bad.verify(), Err(VerifyError::Stratum(_))));
+
+        let p = SettleProgram::compile(&generate::chain(3, 0, RelayKind::Full).netlist).unwrap();
+        let mut bad = p.clone();
+        bad.bwd_shell_order.reverse();
+        assert!(matches!(bad.verify(), Err(VerifyError::Stratum(_))));
+    }
+
+    #[test]
+    fn verify_catches_stale_section_hashes() {
+        use lip_core::RelayKind;
+        let p = SettleProgram::compile(&generate::ring(2, 1, RelayKind::Fifo(3)).netlist).unwrap();
+        // A capacity edit without the O(1) hash fixup: tag 9 is stale.
+        let mut bad = p.clone();
+        bad.fifo_cap[0] = 2;
+        let mut kernel = std::mem::take(&mut bad.kernel);
+        kernel.patch_fifo_capacity(&bad, 0, 3);
+        bad.kernel = kernel;
+        assert!(matches!(
+            bad.verify(),
+            Err(VerifyError::SectionHash { tag: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn verify_catches_tape_corruption() {
+        use lip_core::RelayKind;
+        let p = SettleProgram::compile(&generate::ring(2, 1, RelayKind::Fifo(3)).netlist).unwrap();
+        // Tables edited (with hashes maintained) but the tape not
+        // re-emitted: the FIFO compare run still spells the old
+        // capacity, so the fresh-emission equality check fires.
+        let mut bad = p.clone();
+        bad.section_hashes[8] ^=
+            section_entry_hash(9, 0, u64::from(bad.fifo_cap[0])) ^ section_entry_hash(9, 0, 2);
+        bad.fifo_cap[0] = 2;
+        assert!(matches!(bad.verify(), Err(VerifyError::Kernel(_))));
     }
 
     #[test]

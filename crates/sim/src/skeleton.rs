@@ -541,6 +541,51 @@ impl SkeletonSystem {
         out
     }
 
+    /// Fire condition of every shell from the last settle, in shell-row
+    /// order (the order [`SettleProgram`] compiled shells, i.e. node-id
+    /// order among shells). After a [`step`](Self::step) this reports
+    /// which shells fired on the cycle that just retired — the signal
+    /// the model checker's liveness analysis keys on.
+    #[must_use]
+    pub fn shell_fired(&self) -> &[bool] {
+        &self.fire
+    }
+
+    /// Validity currently offered by each source, in source-row order.
+    ///
+    /// Unlike the void pattern itself this is *state*: a stopped source
+    /// holds its offer, so the offer at cycle `t` is not a pure
+    /// function of `t`. Counterexample schedules record this so a
+    /// replay via [`step_with`](Self::step_with) reproduces the exact
+    /// trajectory.
+    #[must_use]
+    pub fn source_offers(&self) -> &[bool] {
+        &self.src_valid
+    }
+
+    /// `(occupancy, capacity)` of the relay station at `node`; `None`
+    /// if `node` is not a relay. Full relays report occupancy
+    /// `main + aux` out of 2, half relays 0/1 out of 1, FIFOs their
+    /// element count out of the configured capacity.
+    #[must_use]
+    pub fn relay_level(&self, node: NodeId) -> Option<(u32, u32)> {
+        match self.prog.comp_slots[node.index()] {
+            CompSlot::Full(i) => {
+                let i = i as usize;
+                Some((
+                    u32::from(self.full_main[i]) + u32::from(self.full_aux[i]),
+                    2,
+                ))
+            }
+            CompSlot::Half(h) => Some((u32::from(self.half_occ[h as usize]), 1)),
+            CompSlot::Fifo(i) => {
+                let i = i as usize;
+                Some((self.fifo_occ[i], self.prog.fifo_cap[i]))
+            }
+            _ => None,
+        }
+    }
+
     /// Total shell firings so far, summed over all shells.
     #[must_use]
     pub fn total_fires(&self) -> u64 {

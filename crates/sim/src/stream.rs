@@ -487,6 +487,104 @@ impl StreamKernel {
         self.ops.len()
     }
 
+    /// Check every kernel invariant against `p`'s current tables: the
+    /// arena region layout, the FIFO plane CSR, stratum tiling, segment
+    /// maximality, cell bounds, constant-cell immutability — and, the
+    /// strongest check, byte-equality with a fresh emission. Called by
+    /// [`SettleProgram::verify`]; errors are strings so the caller can
+    /// wrap them in its own error type.
+    pub(crate) fn verify(&self, p: &SettleProgram) -> Result<(), String> {
+        // Recompute the arena layout from the tables.
+        let mut plane_words = 0u32;
+        let mut fifo_off = vec![0u32];
+        for &cap in &p.fifo_cap {
+            plane_words += fifo_planes(cap);
+            fifo_off.push(plane_words);
+        }
+        if self.fifo_off != fifo_off {
+            return Err(format!(
+                "fifo_off {:?} != plane CSR {fifo_off:?} from capacities",
+                self.fifo_off
+            ));
+        }
+        let mut next = 2u32;
+        let mut region = |len: usize| {
+            let base = next;
+            next += len as u32;
+            base
+        };
+        let bases = [
+            ("fwd", self.fwd, region(p.n_channels)),
+            ("stop", self.stop, region(p.n_channels)),
+            ("src_valid", self.src_valid, region(p.src_out_ch.len())),
+            ("shell_out", self.shell_out, region(p.shell_out_ch.len())),
+            ("in_buf", self.in_buf, region(p.shell_in_ch.len())),
+            ("fire", self.fire, region(p.shell_buffered.len())),
+            ("full_main", self.full_main, region(p.full_in_ch.len())),
+            ("full_aux", self.full_aux, region(p.full_in_ch.len())),
+            ("half_occ", self.half_occ, region(p.half_in_ch.len())),
+            ("fifo", self.fifo, region(plane_words as usize)),
+            ("snk_stop", self.snk_stop, region(p.snk_in_ch.len())),
+        ];
+        for (name, got, want) in bases {
+            if got != want {
+                return Err(format!("{name} region base {got}, layout says {want}"));
+            }
+        }
+        if self.cells != next as usize {
+            return Err(format!("{} arena cells, layout says {next}", self.cells));
+        }
+
+        // Strata tile the tape.
+        let total: u32 = self.stratum_ops.iter().sum();
+        if total as usize != self.ops.len() {
+            return Err(format!(
+                "stratum_ops {:?} sum to {total}, tape has {} ops",
+                self.stratum_ops,
+                self.ops.len()
+            ));
+        }
+
+        // Segments are a maximal same-opcode tiling of the tape.
+        let mut prev_end = 0u32;
+        let mut prev_op: Option<Opcode> = None;
+        for seg in &self.segments {
+            if seg.start != prev_end || seg.end <= seg.start {
+                return Err(format!("segment {seg:?} breaks the tiling at {prev_end}"));
+            }
+            if prev_op == Some(seg.op) {
+                return Err(format!(
+                    "segment {seg:?} not maximal (same opcode as prior)"
+                ));
+            }
+            prev_end = seg.end;
+            prev_op = Some(seg.op);
+        }
+        if prev_end as usize != self.ops.len() {
+            return Err(format!(
+                "segments end at {prev_end}, tape has {} ops",
+                self.ops.len()
+            ));
+        }
+
+        // Cell bounds; the constant cells are read-only.
+        for (i, o) in self.ops.iter().enumerate() {
+            let cells = self.cells as u32;
+            if o.d >= cells || o.a >= cells || o.b >= cells {
+                return Err(format!("op {i} {o:?} addresses beyond {cells} cells"));
+            }
+            if o.d == CELL_ZERO || o.d == CELL_ONES {
+                return Err(format!("op {i} {o:?} writes a constant cell"));
+            }
+        }
+
+        // Byte-equality with a fresh emission from the same tables.
+        if *self != StreamKernel::compile(p) {
+            return Err("tape differs from a fresh emission of the current tables".into());
+        }
+        Ok(())
+    }
+
     /// Homogeneous segments on the tape.
     #[cfg(test)]
     fn segment_count(&self) -> usize {

@@ -150,6 +150,12 @@ proptest! {
                 fresh.stable_structural_hash(),
                 "incremental hash != full recompute after {:?}", delta
             );
+            // The IR verifier must accept every patched program — it
+            // runs here unconditionally (not just under
+            // debug_assertions), so release-mode CI still exercises it.
+            if let Err(e) = prog.verify() {
+                prop_assert!(false, "IR verifier rejected patched program after {:?}: {}", delta, e);
+            }
         }
         if committed == 0 {
             return Ok(());

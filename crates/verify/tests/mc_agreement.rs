@@ -1,0 +1,96 @@
+//! Cross-crate agreement: `lip-mc`'s adversarial breadth-first checker
+//! and `lip-verify`'s [`explore_system`] walk the same reachable space.
+//!
+//! The two implementations were written against the same skeleton
+//! semantics but share no search code — `lip-mc` interns packed control
+//! states into a hash-consed arena while the explorer hashes
+//! `component_state()` vectors. On every system where both complete and
+//! prove deadlock freedom they must agree on the *exact* number of
+//! reachable states; on every system they must agree on the verdict.
+//! (When the explorer finds a wedge it returns early, so its state
+//! count is partial and only the verdict is comparable.)
+
+use lip_core::RelayKind;
+use lip_graph::{generate, Netlist};
+use lip_mc::{check_adversarial, McConfig, Verdict};
+use lip_verify::explore_system;
+
+const CAP: usize = 200_000;
+
+/// Run both searches and assert agreement; returns the shared state
+/// count when both proved deadlock freedom over the complete space.
+fn agree(name: &str, netlist: &Netlist) -> Option<usize> {
+    let proof = check_adversarial(netlist, &McConfig { max_states: CAP })
+        .unwrap_or_else(|e| panic!("{name}: adversarial check failed: {e}"));
+    let search =
+        explore_system(netlist, CAP).unwrap_or_else(|e| panic!("{name}: explorer failed: {e}"));
+    if proof.verdict == Verdict::Unknown || !search.complete {
+        return None;
+    }
+    assert_eq!(
+        proof.verdict == Verdict::DeadlockFree,
+        search.deadlock_free(),
+        "{name}: verdict disagreement"
+    );
+    if proof.verdict != Verdict::DeadlockFree {
+        return None;
+    }
+    assert_eq!(
+        proof.states, search.states,
+        "{name}: reachable-state count disagreement"
+    );
+    Some(proof.states)
+}
+
+#[test]
+fn named_small_systems_agree_exactly() {
+    let corpus: Vec<(&str, Netlist)> = vec![
+        ("fig1", generate::fig1().netlist),
+        (
+            "chain(2,1,full)",
+            generate::chain(2, 1, RelayKind::Full).netlist,
+        ),
+        (
+            "chain(1,1,half)",
+            generate::chain(1, 1, RelayKind::Half).netlist,
+        ),
+        (
+            "ring(2,1,full)",
+            generate::ring(2, 1, RelayKind::Full).netlist,
+        ),
+        ("buffered_ring(2,0)", generate::buffered_ring(2, 0).netlist),
+        ("tree(1,2,1)", generate::tree(1, 2, 1).netlist),
+    ];
+    for (name, netlist) in &corpus {
+        let states = agree(name, netlist)
+            .unwrap_or_else(|| panic!("{name}: expected both searches to complete"));
+        assert!(states > 0, "{name}: empty reachable space");
+    }
+}
+
+#[test]
+fn fig1_adversarial_space_is_pinned() {
+    // Pinned alongside the declared-mode counts in lip-mc's own
+    // regression suite: the full environment-closed space of Fig. 1.
+    let fig1 = generate::fig1().netlist;
+    assert_eq!(agree("fig1", &fig1), Some(56));
+}
+
+#[test]
+fn random_corpus_agrees() {
+    let mut compared = 0u32;
+    for seed in 0..24u64 {
+        let (family, netlist) = generate::random_family(seed);
+        if netlist.validate().is_err() {
+            continue;
+        }
+        // Both searches are capped; agree() skips truncated runs.
+        if agree(&format!("seed {seed} {family:?}"), &netlist).is_some() {
+            compared += 1;
+        }
+    }
+    assert!(
+        compared >= 8,
+        "too few random systems completed under the cap ({compared})"
+    );
+}

@@ -28,6 +28,7 @@ CONCURRENT_BINS=(
   exp_queue_sizing
   exp_clock_gating
   exp_static_analysis
+  exp_model_check
   exp_profile
 )
 
@@ -199,6 +200,26 @@ if [ -f BENCH_incremental.json ] && command -v jq >/dev/null 2>&1; then
          "(gate \(.claimed_speedup)x), \(.edits_checked) edits byte-equal: \(.equivalent), " +
          "cold-cache sizing \(.sizing.speedup)x"' \
     BENCH_incremental.json
+fi
+
+# The model-checking artefact: versioned, the six-way agreement matrix
+# all-true, and a gate_skipped marker when a corpus entry blew the
+# state budget (recorded, never silently dropped).
+check_report BENCH_check.json || FAILED+=("BENCH_check.json (schema)")
+if [ -f BENCH_check.json ] && command -v jq >/dev/null 2>&1; then
+  if ! jq -e '(.agreement | all(.[]; . == true)) and .ok' BENCH_check.json >/dev/null; then
+    echo "!! BENCH_check.json: proof-vs-simulation agreement matrix failed" >&2
+    FAILED+=("BENCH_check.json (agreement)")
+  fi
+  skipped=$(jq -r '.gate_skipped // empty' BENCH_check.json 2>/dev/null)
+  [ "$skipped" = null ] && skipped=""
+  if [ -n "$skipped" ]; then
+    echo ">> BENCH_check: a corpus entry was SKIPPED ($skipped) — recorded in the artefact, not silently passed"
+  fi
+  jq -r '">> BENCH_check: \(.systems_proved) systems proved, \(.states_total) states at " +
+         "\(.states_per_sec) states/sec, \(.deadlocks_proved) deadlocks with replayed " +
+         "counterexamples, peak arena \(.peak_arena_bytes) bytes"' \
+    BENCH_check.json
 fi
 
 # The causal-profiling artefacts (written by exp_profile) version

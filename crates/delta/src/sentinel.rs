@@ -1,0 +1,218 @@
+//! The statistical regression sentinel for timing metrics.
+//!
+//! Wall-clock numbers (`*_ns`, `*_per_sec`, speedups, overhead
+//! percentages) are not exactly reproducible, so the differ cannot
+//! hard-fail on them the way it does on proved `Ratio`s and kernel
+//! counters. The old answer was ad-hoc absolute thresholds in
+//! `run_experiments.sh` — which either flap (threshold too tight for a
+//! noisy host) or go stale (threshold so loose a real regression walks
+//! through). The sentinel replaces them with *noise bands estimated
+//! from stored run history*: each metric's band is
+//! `median ± k·max(MAD, rel_floor·median)`, i.e. a robust spread
+//! estimate with a relative floor so a perfectly quiet history still
+//! tolerates scheduler jitter. A current value outside the band in the
+//! harmful direction is a regression; outside in the helpful direction
+//! is an improvement worth re-baselining.
+
+/// Which way a metric is supposed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (latencies, overhead percentages).
+    LowerIsBetter,
+    /// Larger is better (speedups, rates).
+    HigherIsBetter,
+}
+
+/// Classify a metric key's preferred direction. Timing-domain keys
+/// only; exact-domain keys have no direction (any change is a diff).
+#[must_use]
+pub fn direction_of(key: &str) -> Direction {
+    let higher = [
+        "per_sec",
+        "speedup",
+        "throughput",
+        "rate",
+        "coverage",
+        "hits",
+    ];
+    if higher.iter().any(|m| key.contains(m)) {
+        Direction::HigherIsBetter
+    } else {
+        Direction::LowerIsBetter
+    }
+}
+
+/// The sentinel's judgement of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Inside the noise band.
+    Pass {
+        /// The estimated `(lo, hi)` band.
+        band: (f64, f64),
+    },
+    /// Outside the band in the helpful direction.
+    Improved {
+        /// The estimated `(lo, hi)` band.
+        band: (f64, f64),
+    },
+    /// Outside the band in the harmful direction.
+    Regressed {
+        /// The estimated `(lo, hi)` band.
+        band: (f64, f64),
+    },
+    /// Not enough stored history to estimate a band.
+    NoHistory {
+        /// Samples available.
+        have: usize,
+        /// Samples required.
+        need: usize,
+    },
+}
+
+impl Verdict {
+    /// True for the only verdict that should fail a gate.
+    #[must_use]
+    pub fn is_regression(&self) -> bool {
+        matches!(self, Verdict::Regressed { .. })
+    }
+}
+
+/// Noise-band estimator over stored run history.
+#[derive(Debug, Clone, Copy)]
+pub struct Sentinel {
+    /// Minimum history samples before a band is trusted.
+    pub min_history: usize,
+    /// Band half-width in robust spread units.
+    pub k: f64,
+    /// Relative spread floor (fraction of the median) so a quiet
+    /// history still tolerates normal jitter.
+    pub rel_floor: f64,
+}
+
+impl Default for Sentinel {
+    fn default() -> Self {
+        Sentinel {
+            min_history: 3,
+            k: 4.0,
+            rel_floor: 0.05,
+        }
+    }
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        f64::midpoint(sorted[n / 2 - 1], sorted[n / 2])
+    }
+}
+
+impl Sentinel {
+    /// The noise band estimated from `history`, or `None` when history
+    /// is shorter than [`Sentinel::min_history`].
+    #[must_use]
+    pub fn band(&self, history: &[f64]) -> Option<(f64, f64)> {
+        if history.len() < self.min_history {
+            return None;
+        }
+        let mut sorted: Vec<f64> = history.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let m = median(&sorted);
+        let mut devs: Vec<f64> = sorted.iter().map(|v| (v - m).abs()).collect();
+        devs.sort_by(f64::total_cmp);
+        let mad = median(&devs);
+        let spread = mad.max(self.rel_floor * m.abs());
+        Some((self.k.mul_add(-spread, m), self.k.mul_add(spread, m)))
+    }
+
+    /// Judge `current` against the band estimated from `history`.
+    #[must_use]
+    pub fn judge(&self, history: &[f64], current: f64, dir: Direction) -> Verdict {
+        let Some(band) = self.band(history) else {
+            return Verdict::NoHistory {
+                have: history.len(),
+                need: self.min_history,
+            };
+        };
+        let (lo, hi) = band;
+        if current >= lo && current <= hi {
+            return Verdict::Pass { band };
+        }
+        let harmful = match dir {
+            Direction::LowerIsBetter => current > hi,
+            Direction::HigherIsBetter => current < lo,
+        };
+        if harmful {
+            Verdict::Regressed { band }
+        } else {
+            Verdict::Improved { band }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_history_gives_no_verdict() {
+        let s = Sentinel::default();
+        let v = s.judge(&[10.0, 11.0], 100.0, Direction::LowerIsBetter);
+        assert_eq!(v, Verdict::NoHistory { have: 2, need: 3 });
+    }
+
+    #[test]
+    fn band_catches_harmful_moves_only() {
+        let s = Sentinel::default();
+        let hist = [100.0, 102.0, 98.0, 101.0, 99.0];
+        // Well outside the band, slower: regression.
+        assert!(s
+            .judge(&hist, 200.0, Direction::LowerIsBetter)
+            .is_regression());
+        // Well outside the band, faster: improvement, not a failure.
+        assert!(matches!(
+            s.judge(&hist, 10.0, Direction::LowerIsBetter),
+            Verdict::Improved { .. }
+        ));
+        // Within noise: pass.
+        assert!(matches!(
+            s.judge(&hist, 103.0, Direction::LowerIsBetter),
+            Verdict::Pass { .. }
+        ));
+        // Higher-is-better flips the harmful side.
+        assert!(s
+            .judge(&hist, 10.0, Direction::HigherIsBetter)
+            .is_regression());
+        assert!(matches!(
+            s.judge(&hist, 200.0, Direction::HigherIsBetter),
+            Verdict::Improved { .. }
+        ));
+    }
+
+    #[test]
+    fn quiet_history_keeps_a_jitter_floor() {
+        let s = Sentinel::default();
+        // Identical history: MAD is zero, the relative floor keeps the
+        // band open so normal jitter does not flap the gate.
+        let hist = [100.0, 100.0, 100.0];
+        assert!(matches!(
+            s.judge(&hist, 104.0, Direction::LowerIsBetter),
+            Verdict::Pass { .. }
+        ));
+        assert!(s
+            .judge(&hist, 150.0, Direction::LowerIsBetter)
+            .is_regression());
+    }
+
+    #[test]
+    fn direction_classifier_reads_key_names() {
+        assert_eq!(direction_of("settle_ns"), Direction::LowerIsBetter);
+        assert_eq!(
+            direction_of("overhead_enabled_pct"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(direction_of("states_per_sec"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("min_patch_speedup"), Direction::HigherIsBetter);
+    }
+}

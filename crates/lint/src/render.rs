@@ -9,8 +9,9 @@ use lip_graph::Span;
 use crate::diag::{Diagnostic, Severity};
 
 /// Version of the JSON diagnostics schema emitted by [`render_json`].
-/// Bump on any backwards-incompatible change to the document shape.
-pub const LINT_SCHEMA_VERSION: u32 = 1;
+/// Re-exported from the central `lip_obs::schema` registry; bump it
+/// there.
+pub const LINT_SCHEMA_VERSION: u32 = lip_obs::schema::LINT;
 
 fn position(file: &str, span: Option<Span>) -> String {
     match span {

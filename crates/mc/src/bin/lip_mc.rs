@@ -187,7 +187,10 @@ fn run(args: &[&str]) -> i32 {
         }
     }
     if opts.json {
-        let mut doc = String::from("{\n  \"schema_version\": 1,\n  \"files\": [\n");
+        let mut doc = format!(
+            "{{\n  \"schema_version\": {},\n  \"files\": [\n",
+            lip_obs::schema::MC
+        );
         for (i, out) in outcomes.iter().enumerate() {
             let comma = if i + 1 < outcomes.len() { "," } else { "" };
             doc.push_str(&format!(

@@ -58,6 +58,7 @@ pub mod metrics;
 pub mod probe;
 pub mod profile;
 pub mod runtime_report;
+pub mod schema;
 pub mod sink;
 pub mod telemetry;
 pub mod trace_export;

@@ -33,18 +33,24 @@ pub struct KernelOpRow {
     pub ops_retired: u64,
     /// Lane words processed (`ops_retired × words-per-lane-value`).
     pub lane_words: u64,
-    /// Total set destination lanes after each retired op: the
-    /// occupancy numerator (how much of the SWAR width carried
+    /// Total set destination lanes after each occupancy-sampled op:
+    /// the occupancy numerator (how much of the SWAR width carried
     /// live data).
     pub active_lanes: u64,
+    /// Ops whose destination occupancy was popcounted — the occupancy
+    /// denominator. The counted path samples occupancy on a subset of
+    /// settles (popcounting every destination write is the dominant
+    /// enabled-recorder cost), so `occ_ops <= ops_retired`; the
+    /// retirement counters stay exact on every settle.
+    pub occ_ops: u64,
 }
 
 impl KernelOpRow {
-    /// Fraction of destination lanes set, `0.0..=1.0`
-    /// (`NaN`-free: 0 when nothing retired).
+    /// Fraction of destination lanes set over the occupancy-sampled
+    /// ops, `0.0..=1.0` (`NaN`-free: 0 when nothing sampled).
     #[must_use]
     pub fn occupancy(&self, lanes: u32) -> f64 {
-        let denom = self.ops_retired.saturating_mul(u64::from(lanes));
+        let denom = self.occ_ops.saturating_mul(u64::from(lanes));
         if denom == 0 {
             0.0
         } else {
@@ -99,6 +105,7 @@ impl KernelCounters {
                     ops_retired: 0,
                     lane_words: 0,
                     active_lanes: 0,
+                    occ_ops: 0,
                 })
                 .collect(),
             by_stratum: strata.iter().map(|&s| (s, 0)).collect(),
@@ -125,11 +132,12 @@ impl KernelCounters {
         self.total_ops() == self.expected_ops && strata == self.expected_ops
     }
 
-    /// Overall active-lane occupancy across all opcodes,
-    /// `0.0..=1.0`.
+    /// Overall active-lane occupancy across all opcodes over the
+    /// occupancy-sampled ops, `0.0..=1.0`.
     #[must_use]
     pub fn occupancy(&self) -> f64 {
-        let denom = self.total_ops().saturating_mul(u64::from(self.lanes));
+        let sampled: u64 = self.by_op.iter().map(|r| r.occ_ops).sum();
+        let denom = sampled.saturating_mul(u64::from(self.lanes));
         if denom == 0 {
             0.0
         } else {
@@ -167,6 +175,7 @@ impl KernelCounters {
             a.ops_retired += b.ops_retired;
             a.lane_words += b.lane_words;
             a.active_lanes += b.active_lanes;
+            a.occ_ops += b.occ_ops;
         }
         for (a, b) in self.by_stratum.iter_mut().zip(&other.by_stratum) {
             assert_eq!(a.0, b.0, "merging across stratum layouts");
@@ -196,11 +205,12 @@ impl KernelCounters {
             let _ = write!(
                 s,
                 "{{\"name\": \"{}\", \"ops_retired\": {}, \"lane_words\": {}, \
-                 \"active_lanes\": {}, \"occupancy\": {:.6}}}",
+                 \"active_lanes\": {}, \"occ_ops\": {}, \"occupancy\": {:.6}}}",
                 escape(r.name),
                 r.ops_retired,
                 r.lane_words,
                 r.active_lanes,
+                r.occ_ops,
                 r.occupancy(self.lanes)
             );
         }
@@ -418,9 +428,11 @@ mod tests {
         k.by_op[0].ops_retired = 6;
         k.by_op[0].lane_words = 6;
         k.by_op[0].active_lanes = 6 * 32;
+        k.by_op[0].occ_ops = 6;
         k.by_op[1].ops_retired = 4;
         k.by_op[1].lane_words = 4;
         k.by_op[1].active_lanes = 4 * 64;
+        k.by_op[1].occ_ops = 4;
         k.by_stratum[0].1 = 7;
         k.by_stratum[1].1 = 3;
         k
@@ -480,7 +492,14 @@ mod tests {
             let _root = rec.span("sweep", "corpus");
             for i in 0..4 {
                 let _child = rec.span("measure", &format!("t{i}"));
-                std::hint::black_box((0..2000).sum::<u64>());
+                // Burn real wall time inside the child span: a
+                // constant-foldable sum leaves the children only
+                // nanoseconds wide and the coverage ratio at the mercy
+                // of per-span bookkeeping noise.
+                let t0 = std::time::Instant::now();
+                while t0.elapsed() < std::time::Duration::from_micros(200) {
+                    std::hint::black_box(0u64);
+                }
             }
         }
         let dump = rec.drain();

@@ -1,0 +1,75 @@
+//! Single source of truth for every versioned artifact schema in the
+//! workspace.
+//!
+//! Each JSON document we emit (`BENCH_*.json` reports, `BLAME_*.json`
+//! profiles, lint findings, model-checker verdicts, run-store
+//! manifests, diff documents) carries a `schema_version` field so
+//! downstream tooling can evolve safely. Before this module the
+//! constants were scattered across crates and duplicated as literal
+//! numbers inside `run_experiments.sh` / CI jq strings — a bump in one
+//! place silently desynced the others. Emitters now read the constants
+//! here, and the shell gates read them back out of the `lip_diff
+//! schema` subcommand, so there is exactly one place to bump.
+
+/// `Report` JSON layout (`BENCH_*.json` bench reports).
+///
+/// Version 2: the JSONL cycle-event stream gained `channel_void` and
+/// `consume` records (post-hoc replay blame now equals live blame) and
+/// batch reports may carry per-width `lane_widths` arrays.
+pub const REPORT: u32 = 2;
+
+/// `BlameReport` JSON layout (`BLAME_*.json` causal stall profiles).
+pub const BLAME: u32 = 1;
+
+/// `lip-lint` JSON findings document.
+pub const LINT: u32 = 1;
+
+/// `lip_mc` CLI JSON verdict document.
+pub const MC: u32 = 1;
+
+/// Run-store manifest (`target/runs/<run_id>/manifest.json`).
+pub const MANIFEST: u32 = 1;
+
+/// `lip_diff` comparison document and `BENCH_delta.json`.
+pub const DELTA: u32 = 1;
+
+/// Every `(key, version)` pair, in stable order. `lip_diff schema`
+/// prints this table so shell scripts can source the expected versions
+/// from the binary instead of hardcoding them.
+pub const ALL: &[(&str, u32)] = &[
+    ("report", REPORT),
+    ("blame", BLAME),
+    ("lint", LINT),
+    ("mc", MC),
+    ("manifest", MANIFEST),
+    ("delta", DELTA),
+];
+
+/// Look up a schema version by its key in [`ALL`].
+#[must_use]
+pub fn version(key: &str) -> Option<u32> {
+    ALL.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_finds_every_key() {
+        for &(k, v) in ALL {
+            assert_eq!(version(k), Some(v), "key {k}");
+        }
+        assert_eq!(version("nope"), None);
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        for (i, &(k, _)) in ALL.iter().enumerate() {
+            assert!(
+                ALL.iter().skip(i + 1).all(|&(other, _)| other != k),
+                "duplicate schema key {k}"
+            );
+        }
+    }
+}

@@ -17,12 +17,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Version of the `Report` JSON layout (and of the `schema_version`
-/// field in `BENCH_skeleton.json`). Bump on breaking changes.
-///
-/// Version 2: the JSONL cycle-event stream gained `channel_void` and
-/// `consume` records (post-hoc replay blame now equals live blame) and
-/// batch reports may carry per-width `lane_widths` arrays.
-pub const SCHEMA_VERSION: u32 = 2;
+/// field in `BENCH_skeleton.json`). Re-exported from the central
+/// [`crate::schema`] registry; bump it there.
+pub const SCHEMA_VERSION: u32 = crate::schema::REPORT;
 
 /// Rolling per-channel throughput: informative tokens consumed over the
 /// last `window` cycles.

@@ -52,6 +52,14 @@ pub const LANES: usize = 64;
 /// evaluation instead of a precomputed word table.
 const MAX_TABLE_PERIOD: u64 = 16_384;
 
+/// Counted settles between destination-occupancy popcount samples.
+/// Retirement/stratum counters are exact on every counted settle; only
+/// the occupancy statistic is sampled (its `occ_ops` denominator keeps
+/// it exact over the sampled ops). 8 keeps the enabled-recorder
+/// overhead low while still sampling every topology in a sweep many
+/// times over.
+pub const OCC_SAMPLE_EVERY: u64 = 8;
+
 /// Per-lane unsigned counters stored as little-endian bit-planes.
 ///
 /// `planes[b]` holds bit `b` of every lane's count. Incrementing a
@@ -861,6 +869,12 @@ impl<W: LaneWord> BatchEngine<W> {
     /// settle; the clock phase is the plain unprobed one. Lane
     /// behaviour is bit-identical to
     /// [`step_compiled_probed`](Self::step_compiled_probed).
+    ///
+    /// Destination-occupancy popcounts run on one settle in
+    /// [`OCC_SAMPLE_EVERY`] (keyed off `kc.settles`, so the first
+    /// counted settle always samples); the sampled `occ_ops`
+    /// denominator keeps the statistic exact while the retirement
+    /// counters stay exact on every settle.
     pub(crate) fn step_compiled_counted(
         &mut self,
         pats: &CompiledPatterns<W>,
@@ -878,7 +892,11 @@ impl<W: LaneWord> BatchEngine<W> {
         for (j, &s) in snk.iter().enumerate() {
             self.arena[k.snk_stop as usize + j] = s;
         }
-        k.execute_counted(&mut self.arena, kc);
+        k.execute_counted(
+            &mut self.arena,
+            kc,
+            kc.settles.is_multiple_of(OCC_SAMPLE_EVERY),
+        );
         self.clock_probed(&src, &snk, &mut NullProbe);
         self.src_scratch = src;
         self.snk_scratch = snk;

@@ -51,7 +51,7 @@ mod skeleton;
 mod stream;
 mod system;
 
-pub use batch::{BatchEngine, BatchSkeleton, LanePatterns, LANES};
+pub use batch::{BatchEngine, BatchSkeleton, LanePatterns, LANES, OCC_SAMPLE_EVERY};
 pub use cache::ThroughputCache;
 pub use evolution::Evolution;
 pub use lane::{

@@ -640,11 +640,39 @@ impl StreamKernel {
 
     /// [`execute`](Self::execute) with kernel execution counters:
     /// bit-identical arena effect, plus per-opcode ops retired /
-    /// lane-words processed / active destination lanes, per-stratum
-    /// retirement, and the `expected_ops` accumulator the
-    /// reconciliation invariant checks against. Kept separate from the
-    /// hot path so the uncounted settle pays nothing.
-    pub(crate) fn execute_counted<W: LaneWord>(&self, arena: &mut [W], kc: &mut KernelCounters) {
+    /// lane-words processed, per-stratum retirement, and the
+    /// `expected_ops` accumulator the reconciliation invariant checks
+    /// against. Kept separate from the hot path so the uncounted
+    /// settle pays nothing.
+    ///
+    /// Destination-occupancy popcounting is the dominant cost of the
+    /// counted path (it defeats the homogeneous three-address inner
+    /// loops), so it only runs when `sample_occupancy` is set; the
+    /// caller samples a subset of settles and the per-row `occ_ops`
+    /// denominator keeps the occupancy statistic exact over the
+    /// sampled ops. Retirement counters are exact on every settle
+    /// either way.
+    pub(crate) fn execute_counted<W: LaneWord>(
+        &self,
+        arena: &mut [W],
+        kc: &mut KernelCounters,
+        sample_occupancy: bool,
+    ) {
+        if !sample_occupancy {
+            self.execute(arena);
+            for seg in &self.segments {
+                let ops = seg.end as u64 - seg.start as u64;
+                let row = &mut kc.by_op[seg.op.index()];
+                row.ops_retired += ops;
+                row.lane_words += ops * W::WORDS as u64;
+            }
+            for (slot, &n) in kc.by_stratum.iter_mut().zip(&self.stratum_ops) {
+                slot.1 += u64::from(n);
+            }
+            kc.expected_ops += self.ops.len() as u64;
+            kc.settles += 1;
+            return;
+        }
         for seg in &self.segments {
             let ops = &self.ops[seg.start as usize..seg.end as usize];
             let mut active = 0u64;
@@ -698,6 +726,7 @@ impl StreamKernel {
             row.ops_retired += ops.len() as u64;
             row.lane_words += (ops.len() * W::WORDS) as u64;
             row.active_lanes += active;
+            row.occ_ops += ops.len() as u64;
         }
         for (slot, &n) in kc.by_stratum.iter_mut().zip(&self.stratum_ops) {
             slot.1 += u64::from(n);
@@ -775,17 +804,22 @@ mod tests {
         }
         let mut counted = plain.clone();
         let mut kc = lip_obs::KernelCounters::new(64, &OP_NAMES, &STRATA);
-        for _ in 0..3 {
+        // Alternate sampled and unsampled settles: retirement stays
+        // exact on every settle, occupancy accrues only when sampled.
+        for i in 0..4 {
             k.execute(&mut plain);
-            k.execute_counted(&mut counted, &mut kc);
+            k.execute_counted(&mut counted, &mut kc, i % 2 == 0);
         }
         assert_eq!(plain, counted, "counting must not perturb the arena");
-        assert_eq!(kc.settles, 3);
-        assert_eq!(kc.expected_ops, 3 * k.op_count() as u64);
+        assert_eq!(kc.settles, 4);
+        assert_eq!(kc.expected_ops, 4 * k.op_count() as u64);
         assert!(kc.reconciles(), "opcode and stratum totals must tile");
         // Lane-words: every op touched exactly one u64 word here.
         assert_eq!(kc.total_lane_words(), kc.total_ops());
         // The all-ones constant feeds real work: some lanes are active.
         assert!(kc.occupancy() > 0.0);
+        // Exactly half the settles sampled occupancy.
+        let sampled: u64 = kc.by_op.iter().map(|r| r.occ_ops).sum();
+        assert_eq!(sampled, 2 * k.op_count() as u64);
     }
 }

@@ -33,28 +33,35 @@ CONCURRENT_BINS=(
 )
 
 # Bins that assert wall-clock gates: must own the machine.
+# exp_delta rides here too — its regression sentinel builds noise bands
+# from wall-clock history committed during the run, so concurrent load
+# would widen (or bust) the bands it is asserting against.
 TIMED_BINS=(
   exp_batch_sweep
   exp_parallel_sweep
   exp_runtime_obs
   exp_incremental
+  exp_delta
 )
 
 REPORT_DIR="${LIP_REPORT_DIR:-target/reports}"
 LOG_DIR="$REPORT_DIR/logs"
 TARGET_DIR="${CARGO_TARGET_DIR:-target}"
-# Cycle-event / report schema (bumped to 2 when channel_void + consume
-# records joined the JSONL stream). The blame artefacts version
-# independently and are still at 1.
-EXPECTED_SCHEMA=2
-EXPECTED_BLAME_SCHEMA=1
 JOBS="${LIP_JOBS:-$(nproc 2>/dev/null || echo 1)}"
 case "$JOBS" in
   ''|*[!0-9]*|0) echo "!! LIP_JOBS must be a positive integer, got '$JOBS'" >&2; exit 1 ;;
 esac
 
 mkdir -p "$LOG_DIR"
-cargo build --release -p lip-bench --bins || exit 1
+cargo build --release -p lip-bench -p lip-delta --bins || exit 1
+
+# Artefact schema versions come from the single source of truth
+# (lip_obs::schema, surfaced by `lip_diff schema`) instead of being
+# hardcoded here and drifting from the emitters.
+DIFF_BIN="$TARGET_DIR/release/lip_diff"
+EXPECTED_SCHEMA=$("$DIFF_BIN" schema report) || exit 1
+EXPECTED_BLAME_SCHEMA=$("$DIFF_BIN" schema blame) || exit 1
+EXPECTED_DELTA_SCHEMA=$("$DIFF_BIN" schema delta) || exit 1
 
 # Validate one report JSON: present, and carrying the expected
 # schema_version (second arg overrides, for the independently-versioned
@@ -171,6 +178,7 @@ fi
 check_report BENCH_runtime.json || FAILED+=("BENCH_runtime.json (schema)")
 if [ -f BENCH_runtime.json ] && command -v jq >/dev/null 2>&1; then
   if ! jq -e '.overhead_pct < 3
+              and .overhead_enabled_pct < 15
               and .span_coverage >= 0.95
               and (.kernel.by_opcode | length) == 6
               and (.kernel.by_stratum | length) == 5
@@ -178,7 +186,8 @@ if [ -f BENCH_runtime.json ] && command -v jq >/dev/null 2>&1; then
     echo "!! BENCH_runtime.json: flight-recorder gates failed" >&2
     FAILED+=("BENCH_runtime.json (gates)")
   fi
-  jq -r '">> BENCH_runtime: overhead \(.overhead_pct)%, span coverage \(.span_coverage), " +
+  jq -r '">> BENCH_runtime: overhead \(.overhead_pct)% disabled / \(.overhead_enabled_pct)% enabled, " +
+         "span coverage \(.span_coverage), " +
          "\(.kernel.ops_total) kernel ops over \(.kernel.settles) settles " +
          "(occupancy \(.kernel.occupancy), reconciled: \(.kernel.reconciled))"' \
     BENCH_runtime.json
@@ -228,6 +237,66 @@ check_report "$REPORT_DIR/BLAME_fig1.json" "$EXPECTED_BLAME_SCHEMA" || FAILED+=(
 if [ ! -s "$REPORT_DIR/TRACE_fig1.json" ]; then
   echo "!! missing or empty trace: $REPORT_DIR/TRACE_fig1.json" >&2
   FAILED+=("TRACE_fig1.json")
+fi
+
+# The differential-observability artefact: the exp_delta self-test must
+# have caught its injected regressions (capacity downgrade attributed
+# via blame shift, timing spike via the sentinel) and diffed its
+# identical re-run clean.
+check_report BENCH_delta.json "$EXPECTED_DELTA_SCHEMA" || FAILED+=("BENCH_delta.json (schema)")
+if [ -f BENCH_delta.json ] && command -v jq >/dev/null 2>&1; then
+  if ! jq -e '.ok and .rerun_clean and .regression_flagged
+              and .attribution_ok and .mc_agrees
+              and .timing_regression_flagged' BENCH_delta.json >/dev/null; then
+    echo "!! BENCH_delta.json: differential-observability gates failed" >&2
+    FAILED+=("BENCH_delta.json (gates)")
+  fi
+  jq -r '">> BENCH_delta: throughput \(.ratio_before.num)/\(.ratio_before.den) -> " +
+         "\(.ratio_after.num)/\(.ratio_after.den) attributed to \(.attributed_channel), " +
+         "re-run clean: \(.rerun_clean), sentinel tripped: \(.timing_regression_flagged)"' \
+    BENCH_delta.json
+fi
+
+# ---- Phase 4: differential observability over the whole sweep. ----
+# Commit this sweep's artefacts to the run store, diff against the
+# previous stored sweep (informational: exact diffs are *expected*
+# after code changes), and gate on the committed exact-domain
+# baselines (a hard failure: divergence means either a bug or a
+# deliberate change that must be re-accepted and committed).
+if [ -x "$DIFF_BIN" ]; then
+  SWEEP_ARTIFACTS=(BENCH_skeleton.json BENCH_parallel.json BENCH_runtime.json
+                   BENCH_incremental.json BENCH_check.json BENCH_delta.json
+                   "$REPORT_DIR/BLAME_fig1.json")
+  PRESENT=()
+  for f in "${SWEEP_ARTIFACTS[@]}"; do
+    [ -f "$f" ] && PRESENT+=("$f")
+  done
+  if [ "${#PRESENT[@]}" -gt 0 ]; then
+    if RUN_ID=$("$DIFF_BIN" capture --label "run_experiments" "${PRESENT[@]}"); then
+      echo ">> run store: captured ${#PRESENT[@]} artefact(s) as run $RUN_ID"
+      mapfile -t RUN_IDS < <("$DIFF_BIN" list | awk '{print $1}')
+      if [ "${#RUN_IDS[@]}" -ge 2 ]; then
+        PREV="${RUN_IDS[-2]}"
+        if "$DIFF_BIN" compare "$PREV" "$RUN_ID" >"$LOG_DIR/diff.log" 2>&1; then
+          echo ">> differential: clean against previous sweep $PREV"
+        else
+          echo ">> differential: DIVERGED against previous sweep $PREV (expected after code changes):"
+          sed 's/^/>>   /' "$LOG_DIR/diff.log"
+        fi
+      fi
+    else
+      echo "!! run store capture failed" >&2
+      FAILED+=("run store (capture)")
+    fi
+  fi
+  if [ -d baselines ]; then
+    if "$DIFF_BIN" baseline check; then
+      echo ">> baselines: exact-domain snapshots hold"
+    else
+      echo "!! committed baselines diverged — run '$DIFF_BIN baseline accept' and commit if intentional" >&2
+      FAILED+=("baselines (check)")
+    fi
+  fi
 fi
 
 echo
